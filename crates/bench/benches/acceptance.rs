@@ -1,0 +1,41 @@
+//! E10: acceptance-rate measurement — how many random schedules each
+//! class admits as the specification loosens.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use relser_core::classes::classify;
+use relser_workload::{random_schedule, random_spec, random_txns, RandomConfig};
+use std::hint::black_box;
+
+fn bench_acceptance(c: &mut Criterion) {
+    let cfg = RandomConfig {
+        txns: 4,
+        ops_per_txn: (3, 4),
+        objects: 4,
+        theta: 0.6,
+        write_ratio: 0.5,
+    };
+    let txns = random_txns(&cfg, 42);
+    let schedules: Vec<_> = (0..100).map(|seed| random_schedule(&txns, seed)).collect();
+    let mut group = c.benchmark_group("acceptance_rate");
+    group.sample_size(10);
+    for &p in &[0.0f64, 0.5, 1.0] {
+        let spec = random_spec(&txns, p, 7);
+        group.bench_with_input(
+            BenchmarkId::new("classify_100_schedules", format!("p{p:.1}")),
+            &p,
+            |b, _| {
+                b.iter(|| {
+                    let mut accepted = 0u32;
+                    for s in &schedules {
+                        accepted += u32::from(classify(&txns, s, &spec).relatively_serializable);
+                    }
+                    black_box(accepted)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_acceptance);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Micro-costs of every schedule-class checker on the paper's Figure 1
+//! universe (E1/E2 machinery).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use relser_classes::relatively_consistent::is_relatively_consistent;
+use relser_core::classes::{
+    is_relatively_atomic, is_relatively_serial, is_relatively_serializable,
+};
+use relser_core::depends::DependsOn;
+use relser_core::paper::Figure1;
+use relser_core::rsg::Rsg;
+use relser_core::sg::is_conflict_serializable;
+use std::hint::black_box;
+
+fn bench_checkers(c: &mut Criterion) {
+    let fig = Figure1::new();
+    let s = fig.s_2();
+    let mut group = c.benchmark_group("checkers_figure1");
+    group.bench_function("depends_on", |b| {
+        b.iter(|| black_box(DependsOn::compute(&fig.txns, &s).pair_count()))
+    });
+    group.bench_function("relatively_atomic", |b| {
+        b.iter(|| black_box(is_relatively_atomic(&fig.txns, &s, &fig.spec)))
+    });
+    group.bench_function("relatively_serial", |b| {
+        b.iter(|| black_box(is_relatively_serial(&fig.txns, &s, &fig.spec)))
+    });
+    group.bench_function("conflict_serializable", |b| {
+        b.iter(|| black_box(is_conflict_serializable(&fig.txns, &s)))
+    });
+    group.bench_function("relatively_serializable_rsg", |b| {
+        b.iter(|| black_box(is_relatively_serializable(&fig.txns, &s, &fig.spec)))
+    });
+    group.bench_function("rsg_witness_extraction", |b| {
+        let rsg = Rsg::build(&fig.txns, &s, &fig.spec);
+        b.iter(|| black_box(rsg.witness(&fig.txns).is_some()))
+    });
+    group.bench_function("relatively_consistent_fo", |b| {
+        b.iter(|| black_box(is_relatively_consistent(&fig.txns, &s, &fig.spec)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_checkers);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! E6: the class-lattice measurement — exhaustive classification of every
+//! schedule over the Figure 4 universe (the Figure 1 universe's 4200
+//! schedules × the F-Ö search is run by `paper-tables e6` instead; here we
+//! keep the bench fast enough for CI).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use relser_classes::enumerate::{all_schedules, schedule_count};
+use relser_classes::lattice::count_classes;
+use relser_core::paper::Figure4;
+use std::hint::black_box;
+
+fn bench_enumeration(c: &mut Criterion) {
+    let fig = Figure4::new();
+    let mut group = c.benchmark_group("enumeration");
+    group.sample_size(10);
+    group.bench_function("enumerate_figure4_schedules", |b| {
+        b.iter(|| black_box(all_schedules(&fig.txns).len()))
+    });
+    group.bench_function("count_classes_figure4", |b| {
+        b.iter(|| black_box(count_classes(&fig.txns, &fig.spec).0))
+    });
+    group.bench_function("schedule_count_closed_form", |b| {
+        b.iter(|| black_box(schedule_count(&fig.txns)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_enumeration);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! E8(b): recognizing the Farrag–Özsu *relatively consistent* class is
+//! NP-complete — the natural search blows up exponentially on the
+//! adversarial hub family while the RSG test stays flat.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use relser_bench::experiments::adversarial_family;
+use relser_classes::relatively_consistent::search;
+use relser_core::rsg::Rsg;
+use std::hint::black_box;
+
+fn bench_fo_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fo_exponential");
+    group.sample_size(10);
+    for k in [2usize, 4, 6, 8] {
+        let (txns, spec, s) = adversarial_family(k);
+        group.bench_with_input(BenchmarkId::new("fo_search", k), &k, |b, _| {
+            b.iter(|| black_box(search(&txns, &s, &spec).0.is_some()))
+        });
+        group.bench_with_input(BenchmarkId::new("rsg_test", k), &k, |b, _| {
+            b.iter(|| black_box(Rsg::build(&txns, &s, &spec).is_acyclic()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fo_search);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! A3 (Criterion form): RSG-SGT per-request rebuild vs incremental graph
+//! maintenance, plus the depends-on closure in isolation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use relser_core::depends::DependsOn;
+use relser_protocols::driver::{run, RunConfig};
+use relser_protocols::rsg_sgt::{RsgSgt, RsgSgtIncremental};
+use relser_workload::longlived::{long_lived, LongLivedConfig};
+use relser_workload::random_schedule;
+use std::hint::black_box;
+
+fn bench_incremental(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rsg_sgt_formulations");
+    group.sample_size(10);
+    for &short in &[8usize, 16, 32] {
+        let sc = long_lived(
+            &LongLivedConfig {
+                short_txns: short,
+                steps: 8,
+                objects: short.max(8),
+                ..Default::default()
+            },
+            19,
+        );
+        let cfg = RunConfig {
+            seed: 5,
+            max_steps: 10_000_000,
+        };
+        let ops = sc.txns.total_ops();
+        group.bench_with_input(BenchmarkId::new("rebuild", ops), &ops, |b, _| {
+            b.iter(|| {
+                black_box(
+                    run(&sc.txns, &mut RsgSgt::new(&sc.txns, &sc.spec), &cfg)
+                        .unwrap()
+                        .grants,
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("incremental", ops), &ops, |b, _| {
+            b.iter(|| {
+                black_box(
+                    run(
+                        &sc.txns,
+                        &mut RsgSgtIncremental::new(&sc.txns, &sc.spec),
+                        &cfg,
+                    )
+                    .unwrap()
+                    .grants,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_depends_on(c: &mut Criterion) {
+    let mut group = c.benchmark_group("depends_on_closure");
+    group.sample_size(10);
+    for &short in &[16usize, 64, 128] {
+        let sc = long_lived(
+            &LongLivedConfig {
+                short_txns: short,
+                steps: 8,
+                objects: short.max(8),
+                ..Default::default()
+            },
+            1,
+        );
+        let s = random_schedule(&sc.txns, 1);
+        let ops = s.len();
+        group.bench_with_input(BenchmarkId::new("transitive", ops), &ops, |b, _| {
+            b.iter(|| black_box(DependsOn::compute(&sc.txns, &s).pair_count()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_incremental, bench_depends_on);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! E11: end-to-end scheduler comparison on the long-lived workload under
+//! the discrete-event simulator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use relser_protocols::altruistic::AltruisticLocking;
+use relser_protocols::rsg_sgt::RsgSgt;
+use relser_protocols::sgt::ConflictSgt;
+use relser_protocols::two_pl::TwoPhaseLocking;
+use relser_protocols::unit_locking::UnitLocking;
+use relser_protocols::Scheduler;
+use relser_simdb::{simulate, ArrivalPattern, SimConfig};
+use relser_workload::longlived::{long_lived, LongLivedConfig};
+use std::hint::black_box;
+
+fn bench_protocols(c: &mut Criterion) {
+    let sc = long_lived(
+        &LongLivedConfig {
+            long_txns: 1,
+            steps: 8,
+            short_txns: 8,
+            objects: 8,
+            ..Default::default()
+        },
+        3,
+    );
+    let cfg = SimConfig {
+        seed: 1,
+        arrival: ArrivalPattern::EvenlySpaced { gap: 15 },
+        ..Default::default()
+    };
+    let mut group = c.benchmark_group("protocols_longlived");
+    group.sample_size(10);
+    type Mk<'a> = Box<dyn Fn() -> Box<dyn Scheduler> + 'a>;
+    let protocols: Vec<(&str, Mk)> = vec![
+        ("2pl", Box::new(|| Box::new(TwoPhaseLocking::new(&sc.txns)))),
+        ("sgt", Box::new(|| Box::new(ConflictSgt::new(&sc.txns)))),
+        (
+            "altruistic",
+            Box::new(|| Box::new(AltruisticLocking::new(&sc.txns))),
+        ),
+        (
+            "unit_locking",
+            Box::new(|| Box::new(UnitLocking::new(&sc.txns, &sc.spec))),
+        ),
+        (
+            "rsg_sgt",
+            Box::new(|| Box::new(RsgSgt::new(&sc.txns, &sc.spec))),
+        ),
+    ];
+    for (name, mk) in &protocols {
+        group.bench_with_input(BenchmarkId::new("simulate", name), name, |b, _| {
+            b.iter(|| {
+                let mut sched = mk();
+                black_box(simulate(&sc.txns, sched.as_mut(), &cfg).unwrap().metrics)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_protocols);
+criterion_main!(benches);

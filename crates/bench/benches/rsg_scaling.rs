@@ -1,0 +1,36 @@
+//! E8(a): the RSG test is polynomial — build + acyclicity time vs
+//! schedule size on the long-lived workload family.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use relser_core::rsg::Rsg;
+use relser_workload::longlived::{long_lived, LongLivedConfig};
+use relser_workload::random_schedule;
+use std::hint::black_box;
+
+fn bench_rsg_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rsg_scaling");
+    group.sample_size(10);
+    for &short in &[8usize, 16, 32, 64] {
+        let sc = long_lived(
+            &LongLivedConfig {
+                short_txns: short,
+                steps: 8,
+                objects: short.max(8),
+                ..Default::default()
+            },
+            1,
+        );
+        let s = random_schedule(&sc.txns, 1);
+        let ops = s.len();
+        group.bench_with_input(BenchmarkId::new("build_and_test", ops), &ops, |b, _| {
+            b.iter(|| {
+                let rsg = Rsg::build(black_box(&sc.txns), black_box(&s), black_box(&sc.spec));
+                black_box(rsg.is_acyclic())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rsg_scaling);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Prints the experiment tables of EXPERIMENTS.md.
+//!
+//! ```text
+//! cargo run --release -p relser-bench --bin paper-tables -- all
+//! cargo run --release -p relser-bench --bin paper-tables -- e4 e8
+//! ```
+
+use relser_bench::experiments;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let ids: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
+        experiments::ALL_IDS.to_vec()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    let mut failed = false;
+    for (i, id) in ids.iter().enumerate() {
+        match experiments::run(id) {
+            Some(report) => {
+                if i > 0 {
+                    println!("\n{}\n", "=".repeat(78));
+                }
+                print!("{report}");
+            }
+            None => {
+                eprintln!("unknown experiment `{id}` (expected e1..e12 or all)");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,21 @@
+//! # relser-bench — experiment harness
+//!
+//! Two entry points:
+//!
+//! * the **`paper-tables` binary** (`cargo run -p relser-bench --bin
+//!   paper-tables -- <e1..e12|all>`) prints every experiment of
+//!   `EXPERIMENTS.md` — the executable counterpart of each figure and
+//!   claim in the PODS'94 paper;
+//! * the **Criterion benches** (`cargo bench -p relser-bench`) measure the
+//!   complexity claims (polynomial RSG test vs exponential Farrag–Özsu
+//!   search) and the protocol suite.
+//!
+//! All experiment logic lives in [`experiments`] as pure functions
+//! returning formatted tables, so the unit tests can assert the *content*
+//! of every experiment, not just that it runs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod table;

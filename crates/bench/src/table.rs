@@ -1,0 +1,68 @@
+//! Minimal aligned-text-table rendering for the experiment reports.
+
+/// Builds an aligned plain-text table from a header and rows.
+pub fn render(header: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), cols, "row arity mismatch");
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:<w$}"))
+            .collect::<Vec<_>>()
+            .join("  ")
+            .trim_end()
+            .to_string()
+    };
+    let header_cells: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Convenience: a row from anything displayable.
+#[macro_export]
+macro_rules! row {
+    ($($cell:expr),* $(,)?) => {
+        vec![$(format!("{}", $cell)),*]
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aligns_columns() {
+        let t = render(&["name", "n"], &[row!["alpha", 1], row!["b", 100]]);
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines[0], "name   n");
+        assert_eq!(lines[2], "alpha  1");
+        assert_eq!(lines[3], "b      100");
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_checked() {
+        render(&["a", "b"], &[row![1]]);
+    }
+
+    #[test]
+    fn empty_rows_ok() {
+        let t = render(&["only header"], &[]);
+        assert!(t.starts_with("only header\n"));
+    }
+}

@@ -1,0 +1,324 @@
+//! Transaction chopping \[SSV92\] — the related-work baseline the paper's
+//! §4 cites: "Shasha et al. have proposed a chopping graph to refine user
+//! transactions such that only the smaller units of the transactions
+//! instead of the entire one need to be executed using strict two phase
+//! locking."
+//!
+//! A *chopping* splits each transaction into consecutive pieces — in our
+//! terms, a **uniform** atomicity specification (the same breakpoints
+//! toward every observer). The chopping is *correct* iff the **chopping
+//! graph** — pieces as vertices, C-edges between conflicting pieces of
+//! different transactions, S-edges between sibling pieces — has no
+//! **SC-cycle** (a cycle with at least one S- and one C-edge). The
+//! standard linear-time test: no two pieces of the same transaction may
+//! share a connected component of the C-edge subgraph.
+//!
+//! The bridge to the paper's theory, verified exhaustively in the tests:
+//! for a correct chopping, every schedule that keeps each piece atomic
+//! (i.e. is *relatively atomic* under the uniform specification) is
+//! conflict serializable — chopping is the uniform, serializability-
+//! preserving special case of relative atomicity.
+
+use relser_core::error::{Error, Result};
+use relser_core::ids::TxnId;
+use relser_core::spec::AtomicitySpec;
+use relser_core::txn::TxnSet;
+
+/// A chopping: per-transaction breakpoints (uniform across observers).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Chopping {
+    /// `breaks[t]` = strictly increasing breakpoints in `1..len(T_t)`.
+    pub breaks: Vec<Vec<u32>>,
+}
+
+impl Chopping {
+    /// The trivial chopping: every transaction is one piece.
+    pub fn unchopped(txns: &TxnSet) -> Self {
+        Chopping {
+            breaks: vec![Vec::new(); txns.len()],
+        }
+    }
+
+    /// Builds and validates a chopping.
+    pub fn new(txns: &TxnSet, breaks: Vec<Vec<u32>>) -> Result<Self> {
+        if breaks.len() != txns.len() {
+            return Err(Error::BadSpec(format!(
+                "chopping has {} entries for {} transactions",
+                breaks.len(),
+                txns.len()
+            )));
+        }
+        for (t, b) in breaks.iter().enumerate() {
+            let len = txns.txn(TxnId(t as u32)).len() as u32;
+            for w in b.windows(2) {
+                if w[0] >= w[1] {
+                    return Err(Error::BadSpec(format!(
+                        "chopping of T{} is not strictly increasing",
+                        t + 1
+                    )));
+                }
+            }
+            if b.iter().any(|&x| x == 0 || x >= len) {
+                return Err(Error::BadSpec(format!(
+                    "chopping of T{} has out-of-range breakpoints",
+                    t + 1
+                )));
+            }
+        }
+        Ok(Chopping { breaks })
+    }
+
+    /// Number of pieces of transaction `t`.
+    pub fn piece_count(&self, t: TxnId) -> usize {
+        self.breaks[t.index()].len() + 1
+    }
+
+    /// The piece index containing operation index `j` of transaction `t`.
+    pub fn piece_of(&self, t: TxnId, j: u32) -> usize {
+        self.breaks[t.index()].partition_point(|&b| b <= j)
+    }
+
+    /// Lowers the chopping to the equivalent *uniform* relative atomicity
+    /// specification (the same units toward every observer).
+    pub fn to_spec(&self, txns: &TxnSet) -> AtomicitySpec {
+        let mut spec = AtomicitySpec::absolute(txns);
+        for i in txns.txn_ids() {
+            for j in txns.txn_ids() {
+                if i != j {
+                    spec.set_breakpoints(i, j, &self.breaks[i.index()])
+                        .expect("validated chopping breakpoints");
+                }
+            }
+        }
+        spec
+    }
+}
+
+/// Is the chopping correct per \[SSV92\] — i.e. is the chopping graph free
+/// of SC-cycles?
+///
+/// ```
+/// use relser_core::txn::TxnSet;
+/// use relser_classes::chopping::{is_correct_chopping, Chopping};
+/// let txns = TxnSet::parse(&["w1[x] w1[y]", "r2[x] r2[y]"]).unwrap();
+/// // Splitting T1 lets T2 observe x and y inconsistently: SC-cycle.
+/// let bad = Chopping::new(&txns, vec![vec![1], vec![]]).unwrap();
+/// assert!(!is_correct_chopping(&txns, &bad));
+/// assert!(is_correct_chopping(&txns, &Chopping::unchopped(&txns)));
+/// ```
+///
+/// Uses the standard characterization: union the pieces along C-edges
+/// (conflicting pieces of different transactions); the chopping is correct
+/// iff no two pieces of one transaction land in the same C-component.
+pub fn is_correct_chopping(txns: &TxnSet, chopping: &Chopping) -> bool {
+    // Enumerate pieces with global ids.
+    let mut piece_base = Vec::with_capacity(txns.len());
+    let mut total = 0usize;
+    for t in txns.txn_ids() {
+        piece_base.push(total);
+        total += chopping.piece_count(t);
+    }
+    let mut uf = UnionFind::new(total);
+
+    // C-edges: conflicting operations of different transactions.
+    for a in txns.txn_ids() {
+        for b in txns.txn_ids() {
+            if b.0 <= a.0 {
+                continue;
+            }
+            for (ja, opa) in txns.txn(a).ops().iter().enumerate() {
+                for (jb, opb) in txns.txn(b).ops().iter().enumerate() {
+                    if opa.conflicts_with(*opb) {
+                        let pa = piece_base[a.index()] + chopping.piece_of(a, ja as u32);
+                        let pb = piece_base[b.index()] + chopping.piece_of(b, jb as u32);
+                        uf.union(pa, pb);
+                    }
+                }
+            }
+        }
+    }
+
+    // Correct iff no two pieces of one transaction share a C-component.
+    for t in txns.txn_ids() {
+        let base = piece_base[t.index()];
+        let k = chopping.piece_count(t);
+        for p in 0..k {
+            for q in p + 1..k {
+                if uf.find(base + p) == uf.find(base + q) {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// The finest correct chopping obtainable by greedily splitting each
+/// transaction at every point that keeps the chopping correct (a simple
+/// baseline refinement, not necessarily globally optimal).
+pub fn greedy_finest_chopping(txns: &TxnSet) -> Chopping {
+    let mut chopping = Chopping::unchopped(txns);
+    loop {
+        let mut improved = false;
+        for t in txns.txn_ids() {
+            let len = txns.txn(t).len() as u32;
+            for b in 1..len {
+                if chopping.breaks[t.index()].contains(&b) {
+                    continue;
+                }
+                let mut candidate = chopping.clone();
+                let row = &mut candidate.breaks[t.index()];
+                row.push(b);
+                row.sort_unstable();
+                if is_correct_chopping(txns, &candidate) {
+                    chopping = candidate;
+                    improved = true;
+                }
+            }
+        }
+        if !improved {
+            return chopping;
+        }
+    }
+}
+
+/// Minimal union-find.
+struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+        }
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[ra] = rb;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relser_core::classes::is_relatively_atomic;
+    use relser_core::sg::is_conflict_serializable;
+
+    #[test]
+    fn unchopped_is_always_correct() {
+        let txns = TxnSet::parse(&["r1[x] w1[x]", "r2[x] w2[x]"]).unwrap();
+        assert!(is_correct_chopping(&txns, &Chopping::unchopped(&txns)));
+    }
+
+    #[test]
+    fn textbook_incorrect_chopping() {
+        // T1 = r1[x] w1[y], T2 reads both x and y: chopping T1 lets T2 see
+        // x and y in inconsistent versions — two pieces of T1 share a
+        // C-component through T2's pieces... with T2 unchopped: piece(T2)
+        // conflicts with both pieces of T1 → same C-component → SC-cycle.
+        let txns = TxnSet::parse(&["w1[x] w1[y]", "r2[x] r2[y]"]).unwrap();
+        let bad = Chopping::new(&txns, vec![vec![1], vec![]]).unwrap();
+        assert!(!is_correct_chopping(&txns, &bad));
+    }
+
+    #[test]
+    fn disjoint_tail_makes_chopping_correct() {
+        // T1's second piece touches an object nobody else uses: safe.
+        let txns = TxnSet::parse(&["w1[x] w1[z]", "r2[x] r2[y]"]).unwrap();
+        let good = Chopping::new(&txns, vec![vec![1], vec![]]).unwrap();
+        assert!(is_correct_chopping(&txns, &good));
+    }
+
+    #[test]
+    fn validation_rejects_bad_breakpoints() {
+        let txns = TxnSet::parse(&["w1[x] w1[y]"]).unwrap();
+        assert!(Chopping::new(&txns, vec![vec![0]]).is_err());
+        assert!(Chopping::new(&txns, vec![vec![2]]).is_err());
+        assert!(Chopping::new(&txns, vec![vec![1, 1]]).is_err());
+        assert!(Chopping::new(&txns, vec![]).is_err());
+        assert!(Chopping::new(&txns, vec![vec![1]]).is_ok());
+    }
+
+    #[test]
+    fn piece_of_counts_breakpoints() {
+        let txns = TxnSet::parse(&["w1[a] w1[b] w1[c] w1[d]"]).unwrap();
+        let c = Chopping::new(&txns, vec![vec![1, 3]]).unwrap();
+        assert_eq!(c.piece_count(TxnId(0)), 3);
+        assert_eq!(c.piece_of(TxnId(0), 0), 0);
+        assert_eq!(c.piece_of(TxnId(0), 1), 1);
+        assert_eq!(c.piece_of(TxnId(0), 2), 1);
+        assert_eq!(c.piece_of(TxnId(0), 3), 2);
+    }
+
+    /// The bridge theorem, checked exhaustively: under a *correct*
+    /// chopping's uniform specification, every relatively atomic schedule
+    /// is conflict serializable.
+    #[test]
+    fn correct_chopping_preserves_serializability_exhaustively() {
+        let txns = TxnSet::parse(&["w1[x] w1[z]", "r2[x] r2[y]", "w3[y]"]).unwrap();
+        let chopping = Chopping::new(&txns, vec![vec![1], vec![], vec![]]).unwrap();
+        assert!(is_correct_chopping(&txns, &chopping));
+        let spec = chopping.to_spec(&txns);
+        crate::enumerate::for_each_schedule(&txns, |s| {
+            if is_relatively_atomic(&txns, s, &spec) {
+                assert!(
+                    is_conflict_serializable(&txns, s),
+                    "correct chopping admitted a non-serializable schedule: {}",
+                    s.display(&txns)
+                );
+            }
+            true
+        });
+    }
+
+    /// And the converse failure: an incorrect chopping admits relatively
+    /// atomic schedules that are NOT conflict serializable.
+    #[test]
+    fn incorrect_chopping_admits_non_serializable_schedules() {
+        let txns = TxnSet::parse(&["w1[x] w1[y]", "r2[x] r2[y]"]).unwrap();
+        let bad = Chopping::new(&txns, vec![vec![1], vec![]]).unwrap();
+        assert!(!is_correct_chopping(&txns, &bad));
+        let spec = bad.to_spec(&txns);
+        let mut witness = None;
+        crate::enumerate::for_each_schedule(&txns, |s| {
+            if is_relatively_atomic(&txns, s, &spec) && !is_conflict_serializable(&txns, s) {
+                witness = Some(s.clone());
+                false
+            } else {
+                true
+            }
+        });
+        let w = witness.expect("an anomaly exists");
+        // The classic inconsistent read: w1[x] r2[x] r2[y] w1[y].
+        assert!(!is_conflict_serializable(&txns, &w));
+    }
+
+    #[test]
+    fn greedy_finest_chopping_is_correct_and_maximal_here() {
+        // Independent transactions can be chopped to single operations.
+        let txns = TxnSet::parse(&["w1[a] w1[b]", "w2[c] w2[d]"]).unwrap();
+        let c = greedy_finest_chopping(&txns);
+        assert!(is_correct_chopping(&txns, &c));
+        assert_eq!(c.piece_count(TxnId(0)), 2);
+        assert_eq!(c.piece_count(TxnId(1)), 2);
+
+        // Conflicting reads force coarse pieces.
+        let txns2 = TxnSet::parse(&["w1[x] w1[y]", "r2[x] r2[y]"]).unwrap();
+        let c2 = greedy_finest_chopping(&txns2);
+        assert!(is_correct_chopping(&txns2, &c2));
+        // At most one of the two transactions may be chopped.
+        assert!(c2.piece_count(TxnId(0)) == 1 || c2.piece_count(TxnId(1)) == 1);
+    }
+}

@@ -1,0 +1,254 @@
+//! Exhaustive enumeration of all schedules over a transaction set.
+//!
+//! A schedule is an interleaving of the transactions' operation sequences,
+//! so the number of schedules over transactions of lengths `l1..ln` is the
+//! multinomial coefficient `(Σl)! / Πl!`. For the paper-sized universes
+//! (≤ ~12 operations) this is a few thousand schedules — cheap enough to
+//! serve as a ground-truth oracle for Theorem 1 and Figure 5.
+
+use relser_core::ids::{OpId, TxnId};
+use relser_core::schedule::Schedule;
+use relser_core::txn::TxnSet;
+
+/// Number of schedules over `txns`: the multinomial coefficient.
+///
+/// Returns `None` on overflow (u128).
+pub fn schedule_count(txns: &TxnSet) -> Option<u128> {
+    let mut total: u128 = 0;
+    let mut result: u128 = 1;
+    for t in txns.txns() {
+        for k in 1..=t.len() as u128 {
+            total += 1;
+            // result *= total; result /= k — keep exact by multiplying
+            // first (binomial products stay integral at every step).
+            result = result.checked_mul(total)?;
+            result /= k;
+        }
+    }
+    Some(result)
+}
+
+/// Calls `f` with every schedule over `txns`, in lexicographic order of
+/// transaction choice sequences. Enumeration stops early if `f` returns
+/// `false`.
+pub fn for_each_schedule(txns: &TxnSet, mut f: impl FnMut(&Schedule) -> bool) {
+    let n = txns.len();
+    if n == 0 {
+        return;
+    }
+    let lens: Vec<u32> = txns.txns().iter().map(|t| t.len() as u32).collect();
+    let total: usize = txns.total_ops();
+    let mut cursor = vec![0u32; n];
+    let mut order: Vec<OpId> = Vec::with_capacity(total);
+    // DFS over choice sequences.
+    let mut stack: Vec<usize> = Vec::with_capacity(total); // chosen txn per level
+    let mut next_choice: usize = 0;
+    loop {
+        if order.len() == total {
+            let schedule =
+                Schedule::new(txns, order.clone()).expect("enumerated schedules are valid");
+            if !f(&schedule) {
+                return;
+            }
+            // Backtrack.
+            match stack.pop() {
+                None => return,
+                Some(t) => {
+                    order.pop();
+                    cursor[t] -= 1;
+                    next_choice = t + 1;
+                }
+            }
+            continue;
+        }
+        // Find the next transaction with remaining operations.
+        let mut t = next_choice;
+        while t < n && cursor[t] >= lens[t] {
+            t += 1;
+        }
+        if t == n {
+            // Exhausted choices at this level: backtrack.
+            match stack.pop() {
+                None => return,
+                Some(prev) => {
+                    order.pop();
+                    cursor[prev] -= 1;
+                    next_choice = prev + 1;
+                }
+            }
+            continue;
+        }
+        // Descend with choice t.
+        order.push(OpId::new(TxnId(t as u32), cursor[t]));
+        cursor[t] += 1;
+        stack.push(t);
+        next_choice = 0;
+    }
+}
+
+/// Collects every schedule (use only for small universes).
+pub fn all_schedules(txns: &TxnSet) -> Vec<Schedule> {
+    let mut out = Vec::new();
+    for_each_schedule(txns, |s| {
+        out.push(s.clone());
+        true
+    });
+    out
+}
+
+/// All schedules conflict-equivalent to `s` (including `s` itself),
+/// by filtering the full enumeration. Exponential — small universes only.
+///
+/// This is the ground-truth machinery behind the Theorem 1 completeness
+/// checks: `s` is relatively serializable iff its equivalence class
+/// contains a relatively serial member.
+pub fn conflict_equivalence_class(txns: &TxnSet, s: &Schedule) -> Vec<Schedule> {
+    let mut out = Vec::new();
+    for_each_schedule(txns, |c| {
+        if c.conflict_equivalent(s, txns) {
+            out.push(c.clone());
+        }
+        true
+    });
+    out
+}
+
+/// All serial schedules (one per permutation of the transactions).
+pub fn all_serial_schedules(txns: &TxnSet) -> Vec<Schedule> {
+    let n = txns.len();
+    let mut perm: Vec<TxnId> = txns.txn_ids().collect();
+    let mut out = Vec::new();
+    // Heap's algorithm, iterative.
+    let mut c = vec![0usize; n];
+    out.push(txns.serial_schedule(&perm).expect("valid"));
+    let mut i = 0;
+    while i < n {
+        if c[i] < i {
+            if i % 2 == 0 {
+                perm.swap(0, i);
+            } else {
+                perm.swap(c[i], i);
+            }
+            out.push(txns.serial_schedule(&perm).expect("valid"));
+            c[i] += 1;
+            i = 0;
+        } else {
+            c[i] = 0;
+            i += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn count_matches_enumeration() {
+        let txns = TxnSet::parse(&["r1[x] w1[x]", "r2[y] w2[y]", "w3[z]"]).unwrap();
+        // 5!/(2!2!1!) = 30.
+        assert_eq!(schedule_count(&txns), Some(30));
+        let mut n = 0usize;
+        for_each_schedule(&txns, |_| {
+            n += 1;
+            true
+        });
+        assert_eq!(n, 30);
+    }
+
+    #[test]
+    fn enumeration_is_duplicate_free_and_valid() {
+        let txns = TxnSet::parse(&["r1[x] w1[x] r1[y]", "w2[x] w2[y]"]).unwrap();
+        let mut seen = HashSet::new();
+        for_each_schedule(&txns, |s| {
+            assert!(seen.insert(s.ops().to_vec()), "duplicate schedule");
+            true
+        });
+        assert_eq!(seen.len() as u128, schedule_count(&txns).unwrap());
+    }
+
+    #[test]
+    fn early_exit_stops_enumeration() {
+        let txns = TxnSet::parse(&["r1[x] w1[x]", "r2[y] w2[y]"]).unwrap();
+        let mut n = 0;
+        for_each_schedule(&txns, |_| {
+            n += 1;
+            n < 3
+        });
+        assert_eq!(n, 3);
+    }
+
+    #[test]
+    fn single_transaction_has_one_schedule() {
+        let txns = TxnSet::parse(&["r1[x] w1[x] r1[y]"]).unwrap();
+        assert_eq!(schedule_count(&txns), Some(1));
+        assert_eq!(all_schedules(&txns).len(), 1);
+    }
+
+    #[test]
+    fn figure1_universe_count() {
+        let fig = relser_core::paper::Figure1::new();
+        // 10!/(4!·3!·3!) = 4200.
+        assert_eq!(schedule_count(&fig.txns), Some(4200));
+    }
+
+    #[test]
+    fn serial_schedules_are_all_permutations() {
+        let txns = TxnSet::parse(&["r1[x]", "r2[x]", "r3[x]"]).unwrap();
+        let serials = all_serial_schedules(&txns);
+        assert_eq!(serials.len(), 6);
+        let unique: HashSet<Vec<OpId>> = serials.iter().map(|s| s.ops().to_vec()).collect();
+        assert_eq!(unique.len(), 6);
+        assert!(serials.iter().all(Schedule::is_serial));
+    }
+
+    #[test]
+    fn equivalence_class_contains_self_and_is_symmetric() {
+        let txns = TxnSet::parse(&["r1[x] w1[x]", "r2[y] w2[y]"]).unwrap();
+        let s = txns.parse_schedule("r1[x] r2[y] w1[x] w2[y]").unwrap();
+        let class = conflict_equivalence_class(&txns, &s);
+        // No conflicts at all: everything is equivalent (6 interleavings
+        // of 2+2 ops = 4!/2!2! = 6).
+        assert_eq!(class.len(), 6);
+        assert!(class.iter().any(|c| c == &s));
+        // Every member's class is the same set.
+        for c in &class {
+            assert_eq!(conflict_equivalence_class(&txns, c).len(), 6);
+        }
+    }
+
+    #[test]
+    fn conflicting_ops_pin_the_class() {
+        let txns = TxnSet::parse(&["w1[x]", "w2[x]"]).unwrap();
+        let s = txns.parse_schedule("w1[x] w2[x]").unwrap();
+        let class = conflict_equivalence_class(&txns, &s);
+        assert_eq!(class.len(), 1, "total conflict order admits no freedom");
+    }
+
+    #[test]
+    fn equivalence_classes_partition_the_universe() {
+        let fig = relser_core::paper::Figure2::new();
+        let all = all_schedules(&fig.txns);
+        let mut covered = 0usize;
+        let mut seen: Vec<Vec<relser_core::ids::OpId>> = Vec::new();
+        for s in &all {
+            if seen.iter().any(|ops| ops == s.ops()) {
+                continue;
+            }
+            let class = conflict_equivalence_class(&fig.txns, s);
+            covered += class.len();
+            seen.extend(class.iter().map(|c| c.ops().to_vec()));
+        }
+        assert_eq!(covered, all.len());
+    }
+
+    #[test]
+    fn first_enumerated_schedule_is_t1_first() {
+        let txns = TxnSet::parse(&["r1[x]", "r2[x]"]).unwrap();
+        let all = all_schedules(&txns);
+        assert_eq!(all[0].display(&txns), "r1[x] r2[x]");
+        assert_eq!(all[1].display(&txns), "r2[x] r1[x]");
+    }
+}

@@ -1,0 +1,188 @@
+//! Measured reproduction of the paper's Figure 5 — the lattice of schedule
+//! classes:
+//!
+//! ```text
+//!   relatively serializable
+//!     ⊇ relatively serial            ⊇ relatively consistent
+//!       ⊇ relatively atomic   (and)    ⊇ relatively atomic
+//! ```
+//!
+//! [`count_classes`] enumerates every schedule over a (small) universe and
+//! counts membership in each class, so the containments — including the
+//! paper's headline strictness claims — become measured numbers rather
+//! than assertions.
+
+use crate::relatively_consistent::is_relatively_consistent;
+use relser_core::classes::{
+    is_relatively_atomic, is_relatively_serial, is_relatively_serializable,
+};
+use relser_core::schedule::Schedule;
+use relser_core::sg::is_conflict_serializable;
+use relser_core::spec::AtomicitySpec;
+use relser_core::txn::TxnSet;
+
+/// Exhaustive class membership counts over all schedules of one universe.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ClassCounts {
+    /// Total number of schedules enumerated.
+    pub total: u64,
+    /// Serial schedules.
+    pub serial: u64,
+    /// Conflict-serializable schedules (spec-independent).
+    pub conflict_serializable: u64,
+    /// Definition 1 (Farrag–Özsu "correct") schedules.
+    pub relatively_atomic: u64,
+    /// Farrag–Özsu relatively consistent schedules (NP-hard membership).
+    pub relatively_consistent: u64,
+    /// Definition 2 schedules.
+    pub relatively_serial: u64,
+    /// Theorem 1 (RSG-acyclic) schedules.
+    pub relatively_serializable: u64,
+}
+
+impl ClassCounts {
+    /// Do the counted sizes respect every containment of Figure 5?
+    /// (Necessary, not sufficient — [`count_classes`] also asserts
+    /// per-schedule containment.)
+    pub fn sizes_consistent(&self) -> bool {
+        self.serial <= self.relatively_atomic
+            && self.relatively_atomic <= self.relatively_consistent
+            && self.relatively_consistent <= self.relatively_serializable
+            && self.relatively_atomic <= self.relatively_serial
+            && self.relatively_serial <= self.relatively_serializable
+            && self.relatively_serializable <= self.total
+            && self.serial <= self.conflict_serializable
+    }
+}
+
+/// Example schedules witnessing the *strictness* of each Figure 5
+/// inclusion found during counting (when the universe contains them).
+#[derive(Clone, Debug, Default)]
+pub struct StrictnessWitnesses {
+    /// Relatively atomic but not serial.
+    pub atomic_not_serial: Option<Schedule>,
+    /// Relatively consistent but not relatively atomic.
+    pub consistent_not_atomic: Option<Schedule>,
+    /// Relatively serial but not relatively consistent (the paper's
+    /// Figure 4 phenomenon).
+    pub serial_not_consistent: Option<Schedule>,
+    /// Relatively serializable but not relatively serial.
+    pub serializable_not_serial: Option<Schedule>,
+    /// Relatively serializable but not relatively consistent.
+    pub serializable_not_consistent: Option<Schedule>,
+}
+
+/// Enumerates every schedule over `txns`, counting class membership and
+/// collecting strictness witnesses.
+///
+/// Panics if any *per-schedule* containment of Figure 5 is violated — the
+/// enumeration doubles as a ground-truth consistency check of all
+/// checkers.
+pub fn count_classes(txns: &TxnSet, spec: &AtomicitySpec) -> (ClassCounts, StrictnessWitnesses) {
+    let mut counts = ClassCounts::default();
+    let mut witnesses = StrictnessWitnesses::default();
+    crate::enumerate::for_each_schedule(txns, |s| {
+        let serial = s.is_serial();
+        let csr = is_conflict_serializable(txns, s);
+        let ra = is_relatively_atomic(txns, s, spec);
+        let rc = is_relatively_consistent(txns, s, spec);
+        let rs = is_relatively_serial(txns, s, spec);
+        let rsr = is_relatively_serializable(txns, s, spec);
+
+        assert!(
+            !serial || ra,
+            "serial ⊄ relatively atomic: {}",
+            s.display(txns)
+        );
+        assert!(!ra || rc, "atomic ⊄ consistent: {}", s.display(txns));
+        assert!(!ra || rs, "atomic ⊄ serial(rel): {}", s.display(txns));
+        assert!(!rc || rsr, "consistent ⊄ serializable: {}", s.display(txns));
+        assert!(!rs || rsr, "rel-serial ⊄ serializable: {}", s.display(txns));
+
+        counts.total += 1;
+        counts.serial += u64::from(serial);
+        counts.conflict_serializable += u64::from(csr);
+        counts.relatively_atomic += u64::from(ra);
+        counts.relatively_consistent += u64::from(rc);
+        counts.relatively_serial += u64::from(rs);
+        counts.relatively_serializable += u64::from(rsr);
+
+        if ra && !serial && witnesses.atomic_not_serial.is_none() {
+            witnesses.atomic_not_serial = Some(s.clone());
+        }
+        if rc && !ra && witnesses.consistent_not_atomic.is_none() {
+            witnesses.consistent_not_atomic = Some(s.clone());
+        }
+        if rs && !rc && witnesses.serial_not_consistent.is_none() {
+            witnesses.serial_not_consistent = Some(s.clone());
+        }
+        if rsr && !rs && witnesses.serializable_not_serial.is_none() {
+            witnesses.serializable_not_serial = Some(s.clone());
+        }
+        if rsr && !rc && witnesses.serializable_not_consistent.is_none() {
+            witnesses.serializable_not_consistent = Some(s.clone());
+        }
+        true
+    });
+    assert!(counts.sizes_consistent());
+    (counts, witnesses)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relser_core::paper::{Figure1, Figure4};
+
+    #[test]
+    fn figure1_universe_lattice_is_strict() {
+        let fig = Figure1::new();
+        let (counts, witnesses) = count_classes(&fig.txns, &fig.spec);
+        assert_eq!(counts.total, 4200);
+        // Strict inclusions measured on the paper's own example universe.
+        assert!(counts.serial < counts.relatively_atomic);
+        assert!(counts.relatively_atomic < counts.relatively_consistent);
+        assert!(counts.relatively_consistent <= counts.relatively_serializable);
+        assert!(counts.relatively_serial < counts.relatively_serializable);
+        // And the relaxed classes beat plain conflict serializability.
+        assert!(counts.relatively_serializable > counts.conflict_serializable);
+        assert!(witnesses.atomic_not_serial.is_some());
+        assert!(witnesses.consistent_not_atomic.is_some());
+        assert!(witnesses.serializable_not_serial.is_some());
+    }
+
+    #[test]
+    fn figure4_universe_separates_serial_from_consistent() {
+        let fig = Figure4::new();
+        let (counts, witnesses) = count_classes(&fig.txns, &fig.spec);
+        assert!(
+            counts.relatively_serial > counts.relatively_consistent
+                || witnesses.serial_not_consistent.is_some(),
+            "figure 4's universe contains a relatively serial, non-consistent schedule"
+        );
+        let w = witnesses.serial_not_consistent.expect("witness exists");
+        assert!(is_relatively_serial(&fig.txns, &w, &fig.spec));
+        assert!(!is_relatively_consistent(&fig.txns, &w, &fig.spec));
+    }
+
+    #[test]
+    fn absolute_spec_collapses_the_lattice() {
+        // Under absolute atomicity: relatively atomic = serial,
+        // relatively consistent = relatively serializable = conflict
+        // serializable (Lemma 1 + §2 remarks).
+        let txns = TxnSet::parse(&["r1[x] w1[x]", "w2[x] r2[y]", "w3[y]"]).unwrap();
+        let spec = AtomicitySpec::absolute(&txns);
+        let (counts, _) = count_classes(&txns, &spec);
+        assert_eq!(counts.relatively_atomic, counts.serial);
+        assert_eq!(counts.relatively_consistent, counts.conflict_serializable);
+        assert_eq!(counts.relatively_serializable, counts.conflict_serializable);
+    }
+
+    #[test]
+    fn free_spec_accepts_all_schedules() {
+        let txns = TxnSet::parse(&["r1[x] w1[x]", "r2[x] w2[x]"]).unwrap();
+        let spec = AtomicitySpec::free(&txns);
+        let (counts, _) = count_classes(&txns, &spec);
+        assert_eq!(counts.relatively_atomic, counts.total);
+        assert_eq!(counts.relatively_serializable, counts.total);
+    }
+}

@@ -1,0 +1,35 @@
+//! # relser-classes — schedule-class analysis
+//!
+//! The companion crate to [`relser_core`] holding everything that is
+//! *intentionally expensive*:
+//!
+//! * [`enumerate`] — exhaustive enumeration of every schedule
+//!   (interleaving) over a transaction set, used as a ground-truth oracle
+//!   for the paper's Theorem 1 and Figure 5;
+//! * [`relatively_consistent`] — the Farrag–Özsu class: schedules
+//!   conflict-equivalent to a **relatively atomic** schedule. Recognizing
+//!   this class is NP-complete \[KB92\]; the checker here is a memoized
+//!   exponential search over linear extensions, used both as a baseline for
+//!   the paper's complexity claim (experiment E8) and to reproduce
+//!   Figure 4;
+//! * [`view`] — view equivalence and view serializability, the historical
+//!   analogue the paper's §5 discussion draws on;
+//! * [`lattice`] — measured class counts and containment verification for
+//!   the paper's Figure 5;
+//! * [`chopping`] — Shasha–Simon–Valduriez transaction chopping \[SSV92\]
+//!   (§4 related work): the SC-cycle test, lowering choppings to uniform
+//!   relative-atomicity specifications, and the exhaustive bridge check
+//!   that correct choppings preserve serializability.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chopping;
+pub mod enumerate;
+pub mod lattice;
+pub mod relatively_consistent;
+pub mod view;
+
+pub use lattice::{count_classes, ClassCounts};
+pub use relatively_consistent::{is_relatively_consistent, relatively_consistent_witness};
+pub use view::{is_relatively_view_serializable, is_view_serializable, view_equivalent};

@@ -1,0 +1,259 @@
+//! The Farrag–Özsu class: *relatively consistent* schedules.
+//!
+//! A schedule is **relatively consistent** \[FÖ89\] if it is
+//! conflict-equivalent to some **relatively atomic** schedule
+//! (Definition 1). Recognizing this class is NP-complete \[KB92\] — this is
+//! precisely the complexity the paper's relative-serializability class
+//! avoids. The checker here is the natural decision procedure: a memoized
+//! depth-first search over the *linear extensions* of the precedence order
+//! induced by the schedule (program order ∪ conflict order), looking for
+//! one that is relatively atomic.
+//!
+//! ## Why the search state is small enough to memoize
+//!
+//! Any prefix of a linear extension is determined, up to feasibility, by
+//! the per-transaction cursor vector `(c_1, …, c_n)` (how many operations
+//! of each transaction have been emitted): program order forces the emitted
+//! operations of `T_i` to be its first `c_i`. Both the conflict-order
+//! constraints and the "no foreign operation inside an open atomic unit"
+//! constraint of Definition 1 are functions of the cursor vector alone, so
+//! the DFS memoizes failed cursor states. The state space is
+//! `Π (len_i + 1)` — still exponential in the number of transactions
+//! (matching the NP-completeness), but exact.
+
+use relser_core::classes::is_relatively_atomic;
+use relser_core::ids::{OpId, TxnId};
+use relser_core::schedule::Schedule;
+use relser_core::spec::AtomicitySpec;
+use relser_core::txn::TxnSet;
+use std::collections::HashSet;
+
+/// Outcome statistics of one relatively-consistent search, for the
+/// complexity experiments (E8).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Number of DFS states expanded.
+    pub states_expanded: u64,
+    /// Number of states pruned by memoization.
+    pub memo_hits: u64,
+}
+
+/// Is `schedule` conflict-equivalent to some relatively atomic schedule?
+///
+/// ```
+/// use relser_core::paper::Figure4;
+/// use relser_classes::relatively_consistent::is_relatively_consistent;
+/// use relser_core::classes::is_relatively_serial;
+/// // The paper's Figure 4 separation: relatively serial, yet not
+/// // conflict-equivalent to any relatively atomic schedule.
+/// let fig = Figure4::new();
+/// assert!(is_relatively_serial(&fig.txns, &fig.s(), &fig.spec));
+/// assert!(!is_relatively_consistent(&fig.txns, &fig.s(), &fig.spec));
+/// ```
+pub fn is_relatively_consistent(txns: &TxnSet, schedule: &Schedule, spec: &AtomicitySpec) -> bool {
+    search(txns, schedule, spec).0.is_some()
+}
+
+/// Like [`is_relatively_consistent`], returning the witnessing relatively
+/// atomic schedule when one exists.
+pub fn relatively_consistent_witness(
+    txns: &TxnSet,
+    schedule: &Schedule,
+    spec: &AtomicitySpec,
+) -> Option<Schedule> {
+    search(txns, schedule, spec).0
+}
+
+/// Full search entry point with statistics (used by the benchmarks).
+pub fn search(
+    txns: &TxnSet,
+    schedule: &Schedule,
+    spec: &AtomicitySpec,
+) -> (Option<Schedule>, SearchStats) {
+    let n = txns.len();
+    let lens: Vec<u32> = txns.txns().iter().map(|t| t.len() as u32).collect();
+    let total = txns.total_ops();
+
+    // Conflict-order predecessors: preds[t][j] lists (t', j') pairs that
+    // must be emitted before o_{t,j}.
+    let mut preds: Vec<Vec<Vec<(u32, u32)>>> =
+        lens.iter().map(|&l| vec![Vec::new(); l as usize]).collect();
+    for (a, b) in schedule.conflict_pairs(txns) {
+        preds[b.txn.index()][b.index as usize].push((a.txn.0, a.index));
+    }
+
+    let mut stats = SearchStats::default();
+    let mut failed: HashSet<Vec<u32>> = HashSet::new();
+    let mut cursor = vec![0u32; n];
+    let mut prefix: Vec<OpId> = Vec::with_capacity(total);
+
+    // An operation o_{t, c_t} is emittable iff:
+    //  (a) all conflict predecessors are emitted, and
+    //  (b) no *other* transaction has an open atomic unit relative to T_t.
+    // A unit of T_i relative to T_t is open iff 0 < c_i < len_i and the
+    // last emitted operation (c_i - 1) and the next one (c_i) share a unit.
+    fn emittable(
+        t: usize,
+        cursor: &[u32],
+        lens: &[u32],
+        preds: &[Vec<Vec<(u32, u32)>>],
+        spec: &AtomicitySpec,
+    ) -> bool {
+        let j = cursor[t];
+        for &(pt, pj) in &preds[t][j as usize] {
+            if cursor[pt as usize] <= pj {
+                return false;
+            }
+        }
+        for (i, &ci) in cursor.iter().enumerate() {
+            if i == t || ci == 0 || ci >= lens[i] {
+                continue;
+            }
+            let ti = TxnId(i as u32);
+            let tt = TxnId(t as u32);
+            if spec.unit_of_index(ti, tt, ci - 1) == spec.unit_of_index(ti, tt, ci) {
+                return false; // T_i's unit toward T_t is open
+            }
+        }
+        true
+    }
+
+    // Iterative DFS with explicit choice stack.
+    let mut choice_stack: Vec<usize> = Vec::with_capacity(total);
+    let mut next_try: usize = 0;
+    loop {
+        if prefix.len() == total {
+            let witness = Schedule::new(txns, prefix).expect("search emits valid schedules");
+            debug_assert!(witness.conflict_equivalent(schedule, txns));
+            debug_assert!(is_relatively_atomic(txns, &witness, spec));
+            return (Some(witness), stats);
+        }
+        let mut advanced = false;
+        let mut t = next_try;
+        while t < n {
+            if cursor[t] < lens[t] && emittable(t, &cursor, &lens, &preds, spec) {
+                // Tentatively emit o_{t, cursor[t]}.
+                let mut after = cursor.clone();
+                after[t] += 1;
+                if !failed.contains(&after) {
+                    prefix.push(OpId::new(TxnId(t as u32), cursor[t]));
+                    cursor[t] += 1;
+                    choice_stack.push(t);
+                    stats.states_expanded += 1;
+                    next_try = 0;
+                    advanced = true;
+                    break;
+                }
+                stats.memo_hits += 1;
+            }
+            t += 1;
+        }
+        if advanced {
+            continue;
+        }
+        // Dead end: memoize this cursor state and backtrack.
+        failed.insert(cursor.clone());
+        match choice_stack.pop() {
+            None => return (None, stats),
+            Some(prev) => {
+                prefix.pop();
+                cursor[prev] -= 1;
+                next_try = prev + 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relser_core::classes::{is_relatively_serial, is_relatively_serializable};
+    use relser_core::paper::{Figure1, Figure4};
+
+    #[test]
+    fn relatively_atomic_schedules_are_relatively_consistent() {
+        let fig = Figure1::new();
+        let sra = fig.s_ra();
+        assert!(is_relatively_atomic(&fig.txns, &sra, &fig.spec));
+        let w = relatively_consistent_witness(&fig.txns, &sra, &fig.spec).unwrap();
+        assert!(w.conflict_equivalent(&sra, &fig.txns));
+    }
+
+    #[test]
+    fn figure1_s2_is_relatively_consistent() {
+        // S2 ~ S_rs ~ (rearrangeable into a relatively atomic schedule).
+        let fig = Figure1::new();
+        let s2 = fig.s_2();
+        assert!(is_relatively_consistent(&fig.txns, &s2, &fig.spec));
+    }
+
+    /// The paper's Figure 4: S is relatively serial but **not** relatively
+    /// consistent — the separating witness for Figure 5's strict inclusion.
+    #[test]
+    fn figure4_schedule_is_not_relatively_consistent() {
+        let fig = Figure4::new();
+        let s = fig.s();
+        assert!(is_relatively_serial(&fig.txns, &s, &fig.spec));
+        assert!(is_relatively_serializable(&fig.txns, &s, &fig.spec));
+        assert!(
+            !is_relatively_consistent(&fig.txns, &s, &fig.spec),
+            "paper: operations of T1 cannot be moved out of the atomic unit of T3"
+        );
+    }
+
+    #[test]
+    fn non_serializable_schedule_is_not_relatively_consistent() {
+        // Under absolute atomicity, relatively consistent = conflict
+        // serializable; the lost update is neither.
+        let txns = TxnSet::parse(&["r1[x] w1[x]", "r2[x] w2[x]"]).unwrap();
+        let spec = AtomicitySpec::absolute(&txns);
+        let s = txns.parse_schedule("r1[x] r2[x] w1[x] w2[x]").unwrap();
+        assert!(!is_relatively_consistent(&txns, &s, &spec));
+    }
+
+    #[test]
+    fn absolute_spec_relatively_consistent_equals_conflict_serializable() {
+        // Exhaustive check on a small universe.
+        let txns = TxnSet::parse(&["r1[x] w1[x]", "w2[x] r2[y]", "w3[y]"]).unwrap();
+        let spec = AtomicitySpec::absolute(&txns);
+        crate::enumerate::for_each_schedule(&txns, |s| {
+            let rc = is_relatively_consistent(&txns, s, &spec);
+            let csr = relser_core::sg::is_conflict_serializable(&txns, s);
+            assert_eq!(rc, csr, "disagreement on {}", s.display(&txns));
+            true
+        });
+    }
+
+    #[test]
+    fn witness_is_always_relatively_atomic_and_equivalent() {
+        let fig = Figure1::new();
+        let mut checked = 0;
+        crate::enumerate::for_each_schedule(&fig.txns, |s| {
+            if let Some(w) = relatively_consistent_witness(&fig.txns, s, &fig.spec) {
+                assert!(is_relatively_atomic(&fig.txns, &w, &fig.spec));
+                assert!(w.conflict_equivalent(s, &fig.txns));
+            }
+            checked += 1;
+            checked < 300 // bounded sample of the 4200 schedules
+        });
+        assert_eq!(checked, 300);
+    }
+
+    #[test]
+    fn search_stats_are_populated() {
+        let fig = Figure4::new();
+        let (witness, stats) = search(&fig.txns, &fig.s(), &fig.spec);
+        assert!(witness.is_none());
+        assert!(stats.states_expanded > 0);
+    }
+
+    #[test]
+    fn free_spec_everything_relatively_consistent() {
+        let txns = TxnSet::parse(&["r1[x] w1[x]", "r2[x] w2[x]"]).unwrap();
+        let spec = AtomicitySpec::free(&txns);
+        crate::enumerate::for_each_schedule(&txns, |s| {
+            assert!(is_relatively_consistent(&txns, s, &spec));
+            true
+        });
+    }
+}

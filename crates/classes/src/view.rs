@@ -1,0 +1,202 @@
+//! View equivalence and view serializability.
+//!
+//! §5 of the paper draws the historical analogy: view serializability was
+//! the intuitive-but-intractable class of the traditional theory, and
+//! conflict serializability the tractable restriction — just as relative
+//! consistency is intractable and relative serializability its tractable
+//! superset. This module makes the analogy measurable: view
+//! serializability is decided by brute force over serial schedules
+//! (NP-hard in general).
+
+use relser_core::ids::OpId;
+use relser_core::schedule::Schedule;
+use relser_core::txn::TxnSet;
+
+/// The reads-from relation plus final writes of one schedule: the "view".
+///
+/// `reads_from[k]` pairs the k-th read (in schedule order) with the write
+/// it reads from (`None` = initial database state); `final_writes[o]` is
+/// the last write of each object (`None` if never written).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct View {
+    reads_from: Vec<(OpId, Option<OpId>)>,
+    final_writes: Vec<Option<OpId>>,
+}
+
+/// Computes the view of `schedule`.
+pub fn view(txns: &TxnSet, schedule: &Schedule) -> View {
+    let num_objects = txns.objects().len();
+    let mut last_write: Vec<Option<OpId>> = vec![None; num_objects];
+    let mut reads_from = Vec::new();
+    for &op_id in schedule.ops() {
+        let op = txns.op(op_id).expect("validated schedule");
+        if op.is_write() {
+            last_write[op.object.index()] = Some(op_id);
+        } else {
+            reads_from.push((op_id, last_write[op.object.index()]));
+        }
+    }
+    // Reads are collected in schedule order; normalize by (txn, index) so
+    // two schedules over the same TxnSet compare structurally.
+    reads_from.sort_by_key(|&(r, _)| (r.txn, r.index));
+    View {
+        reads_from,
+        final_writes: last_write,
+    }
+}
+
+/// Are the schedules view-equivalent (same reads-from and final writes)?
+pub fn view_equivalent(txns: &TxnSet, a: &Schedule, b: &Schedule) -> bool {
+    view(txns, a) == view(txns, b)
+}
+
+/// Is `schedule` view-equivalent to some *serial* schedule? Brute force
+/// over all `n!` serial orders.
+pub fn is_view_serializable(txns: &TxnSet, schedule: &Schedule) -> bool {
+    let target = view(txns, schedule);
+    crate::enumerate::all_serial_schedules(txns)
+        .iter()
+        .any(|s| view(txns, s) == target)
+}
+
+/// **Relative view serializability** — the footnote-1 direction: instead
+/// of relaxing the correct class (as the paper does), strengthen the
+/// equivalence from conflict to *view* equivalence over the same correct
+/// class. `S` is relatively view serializable iff some schedule
+/// view-equivalent to `S` is relatively serial (Definition 2).
+///
+/// Brute force over the whole universe — exponential, small universes
+/// only. Since conflict equivalence implies view equivalence, this class
+/// contains relative serializability; the tests exhibit the strictness of
+/// that containment (blind writes).
+pub fn is_relatively_view_serializable(
+    txns: &TxnSet,
+    schedule: &Schedule,
+    spec: &relser_core::spec::AtomicitySpec,
+) -> bool {
+    let target = view(txns, schedule);
+    let mut found = false;
+    crate::enumerate::for_each_schedule(txns, |c| {
+        if view(txns, c) == target && relser_core::classes::is_relatively_serial(txns, c, spec) {
+            found = true;
+            return false;
+        }
+        true
+    });
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relser_core::sg::is_conflict_serializable;
+
+    #[test]
+    fn identical_schedules_are_view_equivalent() {
+        let txns = TxnSet::parse(&["r1[x] w1[x]", "r2[x]"]).unwrap();
+        let s = txns.parse_schedule("r1[x] r2[x] w1[x]").unwrap();
+        assert!(view_equivalent(&txns, &s, &s));
+    }
+
+    #[test]
+    fn reads_from_distinguishes_schedules() {
+        let txns = TxnSet::parse(&["w1[x]", "r2[x]"]).unwrap();
+        let a = txns.parse_schedule("w1[x] r2[x]").unwrap(); // reads T1
+        let b = txns.parse_schedule("r2[x] w1[x]").unwrap(); // reads initial
+        assert!(!view_equivalent(&txns, &a, &b));
+        // Both are serial, hence view serializable.
+        assert!(is_view_serializable(&txns, &a));
+        assert!(is_view_serializable(&txns, &b));
+    }
+
+    #[test]
+    fn conflict_serializable_implies_view_serializable() {
+        // Exhaustive on a small universe.
+        let txns = TxnSet::parse(&["r1[x] w1[x]", "w2[x] r2[y]", "w3[y]"]).unwrap();
+        crate::enumerate::for_each_schedule(&txns, |s| {
+            if is_conflict_serializable(&txns, s) {
+                assert!(is_view_serializable(&txns, s), "{}", s.display(&txns));
+            }
+            true
+        });
+    }
+
+    #[test]
+    fn blind_writes_view_but_not_conflict_serializable() {
+        // The textbook separation: blind writes.
+        // T1 = r1[x] w1[x], T2 = w2[x], T3 = w3[x].
+        // S = r1[x] w2[x] w1[x] w3[x] is view-equivalent to T1 T2 T3
+        // (all reads from initial, final write w3[x]) but its SG is cyclic.
+        let txns = TxnSet::parse(&["r1[x] w1[x]", "w2[x]", "w3[x]"]).unwrap();
+        let s = txns.parse_schedule("r1[x] w2[x] w1[x] w3[x]").unwrap();
+        assert!(!is_conflict_serializable(&txns, &s));
+        assert!(is_view_serializable(&txns, &s));
+    }
+
+    #[test]
+    fn lost_update_is_not_view_serializable() {
+        let txns = TxnSet::parse(&["r1[x] w1[x]", "r2[x] w2[x]"]).unwrap();
+        let s = txns.parse_schedule("r1[x] r2[x] w1[x] w2[x]").unwrap();
+        assert!(!is_view_serializable(&txns, &s));
+    }
+
+    #[test]
+    fn final_write_matters() {
+        let txns = TxnSet::parse(&["w1[x]", "w2[x]"]).unwrap();
+        let a = txns.parse_schedule("w1[x] w2[x]").unwrap();
+        let b = txns.parse_schedule("w2[x] w1[x]").unwrap();
+        assert!(!view_equivalent(&txns, &a, &b));
+    }
+
+    #[test]
+    fn relative_view_serializability_contains_relative_serializability() {
+        // Conflict equivalence implies view equivalence, so every
+        // RSG-accepted schedule is also relatively view serializable.
+        // Exhaustive over the Figure 2 universe (30 schedules).
+        let fig = relser_core::paper::Figure2::new();
+        crate::enumerate::for_each_schedule(&fig.txns, |s| {
+            if relser_core::classes::is_relatively_serializable(&fig.txns, s, &fig.spec) {
+                assert!(
+                    is_relatively_view_serializable(&fig.txns, s, &fig.spec),
+                    "{}",
+                    s.display(&fig.txns)
+                );
+            }
+            true
+        });
+    }
+
+    #[test]
+    fn blind_writes_separate_the_view_variant() {
+        // Under absolute atomicity, relatively view serializable =
+        // view serializable (relatively serial ⊇ serial and view-equiv
+        // closure) — and the blind-writes schedule separates it from the
+        // conflict-based class.
+        let txns = TxnSet::parse(&["r1[x] w1[x]", "w2[x]", "w3[x]"]).unwrap();
+        let spec = relser_core::spec::AtomicitySpec::absolute(&txns);
+        let s = txns.parse_schedule("r1[x] w2[x] w1[x] w3[x]").unwrap();
+        assert!(!relser_core::classes::is_relatively_serializable(
+            &txns, &s, &spec
+        ));
+        assert!(is_relatively_view_serializable(&txns, &s, &spec));
+    }
+
+    #[test]
+    fn relative_view_class_grows_with_looser_specs() {
+        let txns = TxnSet::parse(&["r1[x] w1[x]", "r2[x] w2[x]"]).unwrap();
+        let s = txns.parse_schedule("r1[x] r2[x] w1[x] w2[x]").unwrap();
+        let absolute = relser_core::spec::AtomicitySpec::absolute(&txns);
+        assert!(!is_relatively_view_serializable(&txns, &s, &absolute));
+        let free = relser_core::spec::AtomicitySpec::free(&txns);
+        assert!(is_relatively_view_serializable(&txns, &s, &free));
+    }
+
+    #[test]
+    fn view_of_write_only_schedule_has_no_reads() {
+        let txns = TxnSet::parse(&["w1[x]", "w2[y]"]).unwrap();
+        let s = txns.parse_schedule("w1[x] w2[y]").unwrap();
+        let v = view(&txns, &s);
+        assert!(v.reads_from.is_empty());
+        assert_eq!(v.final_writes.len(), 2);
+    }
+}

@@ -1,0 +1,359 @@
+//! Schedule-class checkers for every polynomial class in the paper's
+//! Figure 5, with violation diagnostics.
+//!
+//! * serial — the traditional strictest class;
+//! * **relatively atomic** (Definition 1) — the user-specified correct
+//!   executions of Farrag–Özsu;
+//! * **relatively serial** (Definition 2) — the paper's relaxed correct
+//!   executions;
+//! * conflict serializable — the traditional graph-testable class;
+//! * **relatively serializable** (Theorem 1) — conflict-equivalent to a
+//!   relatively serial schedule, decided by RSG acyclicity.
+//!
+//! (The remaining Figure 5 class, *relatively consistent*, is NP-complete
+//! to recognize and lives in `relser-classes`.)
+
+use crate::depends::DependsOn;
+use crate::ids::{OpId, TxnId};
+use crate::rsg::Rsg;
+use crate::schedule::Schedule;
+use crate::sg::is_conflict_serializable;
+use crate::spec::AtomicitySpec;
+use crate::txn::TxnSet;
+
+/// A witnessed violation of Definition 1 or Definition 2: operation `op`
+/// of `observer`'s transaction sits inside `unit` of `Atomicity(owner,
+/// observer)`, and (for Definition 2) `dependency` names a unit operation
+/// linked to `op` by the depends-on relation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// The intruding operation.
+    pub op: OpId,
+    /// The transaction whose atomic unit is violated.
+    pub owner: TxnId,
+    /// Index of the violated atomic unit in `Atomicity(owner, op.txn)`.
+    pub unit: usize,
+    /// For relative-serial violations: a unit operation with a dependency
+    /// to/from `op`. `None` for plain relative-atomicity violations.
+    pub dependency: Option<OpId>,
+}
+
+/// Definition 1 check with witness: returns the first interleaving of an
+/// operation into a foreign atomic unit, or `None` if `schedule` is
+/// relatively atomic.
+pub fn relative_atomicity_violation(
+    txns: &TxnSet,
+    schedule: &Schedule,
+    spec: &AtomicitySpec,
+) -> Option<Violation> {
+    // For each owner T_l and observer T_i, an operation o of T_i is
+    // interleaved with a unit iff pos(first) < pos(o) < pos(last): the unit
+    // operations occupy increasing schedule positions (program order).
+    for l in txns.txn_ids() {
+        for i in txns.txn_ids() {
+            if i == l {
+                continue;
+            }
+            for unit in 0..spec.unit_count(l, i) {
+                let bounds = spec.unit_bounds(l, i, unit);
+                let first = schedule.position(OpId::new(l, *bounds.start()));
+                let last = schedule.position(OpId::new(l, *bounds.end()));
+                if last <= first + 1 {
+                    continue; // nothing fits inside
+                }
+                for op in txns.txn(i).op_ids() {
+                    let p = schedule.position(op);
+                    if first < p && p < last {
+                        return Some(Violation {
+                            op,
+                            owner: l,
+                            unit,
+                            dependency: None,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Definition 1: is `schedule` relatively atomic (the paper's / Farrag–
+/// Özsu's user-specified "correct" executions)?
+pub fn is_relatively_atomic(txns: &TxnSet, schedule: &Schedule, spec: &AtomicitySpec) -> bool {
+    relative_atomicity_violation(txns, schedule, spec).is_none()
+}
+
+/// Definition 2 check with witness: an interleaved operation is only a
+/// violation if a depends-on relation links it (in either direction) to
+/// some operation of the invaded unit.
+pub fn relative_seriality_violation(
+    txns: &TxnSet,
+    schedule: &Schedule,
+    spec: &AtomicitySpec,
+) -> Option<Violation> {
+    let deps = DependsOn::compute(txns, schedule);
+    relative_seriality_violation_with_deps(txns, schedule, spec, &deps)
+}
+
+/// Definition 2 check against a caller-supplied dependency relation
+/// (pass [`DependsOn::direct`] to reproduce Figure 2's flawed variant).
+pub fn relative_seriality_violation_with_deps(
+    txns: &TxnSet,
+    schedule: &Schedule,
+    spec: &AtomicitySpec,
+    deps: &DependsOn,
+) -> Option<Violation> {
+    for l in txns.txn_ids() {
+        for i in txns.txn_ids() {
+            if i == l {
+                continue;
+            }
+            for unit in 0..spec.unit_count(l, i) {
+                let bounds = spec.unit_bounds(l, i, unit);
+                let first_idx = *bounds.start();
+                let last_idx = *bounds.end();
+                let first = schedule.position(OpId::new(l, first_idx));
+                let last = schedule.position(OpId::new(l, last_idx));
+                if last <= first + 1 {
+                    continue;
+                }
+                for op in txns.txn(i).op_ids() {
+                    let p = schedule.position(op);
+                    if !(first < p && p < last) {
+                        continue;
+                    }
+                    // Interleaved: tolerated only if independent of every
+                    // operation of the unit, in both directions.
+                    for m in first_idx..=last_idx {
+                        let unit_op = OpId::new(l, m);
+                        let q = schedule.position(unit_op);
+                        if deps.depends_by_pos(p, q) || deps.depends_by_pos(q, p) {
+                            return Some(Violation {
+                                op,
+                                owner: l,
+                                unit,
+                                dependency: Some(unit_op),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Definition 2: is `schedule` relatively serial?
+pub fn is_relatively_serial(txns: &TxnSet, schedule: &Schedule, spec: &AtomicitySpec) -> bool {
+    relative_seriality_violation(txns, schedule, spec).is_none()
+}
+
+/// Theorem 1: is `schedule` relatively serializable (RSG acyclic)?
+pub fn is_relatively_serializable(
+    txns: &TxnSet,
+    schedule: &Schedule,
+    spec: &AtomicitySpec,
+) -> bool {
+    Rsg::build(txns, schedule, spec).is_acyclic()
+}
+
+/// Membership of one schedule in every polynomial class of Figure 5.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ClassReport {
+    /// Transactions run back-to-back.
+    pub serial: bool,
+    /// Definition 1.
+    pub relatively_atomic: bool,
+    /// Definition 2.
+    pub relatively_serial: bool,
+    /// Classical SG test.
+    pub conflict_serializable: bool,
+    /// Theorem 1 (RSG test).
+    pub relatively_serializable: bool,
+}
+
+/// Classifies `schedule` against every polynomial class.
+///
+/// ```
+/// use relser_core::prelude::*;
+/// let fig = relser_core::paper::Figure1::new();
+/// let report = classify(&fig.txns, &fig.s_ra(), &fig.spec);
+/// assert!(report.relatively_atomic && !report.serial);
+/// assert!(report.relatively_serializable && !report.conflict_serializable);
+/// ```
+pub fn classify(txns: &TxnSet, schedule: &Schedule, spec: &AtomicitySpec) -> ClassReport {
+    ClassReport {
+        serial: schedule.is_serial(),
+        relatively_atomic: is_relatively_atomic(txns, schedule, spec),
+        relatively_serial: is_relatively_serial(txns, schedule, spec),
+        conflict_serializable: is_conflict_serializable(txns, schedule),
+        relatively_serializable: is_relatively_serializable(txns, schedule, spec),
+    }
+}
+
+impl ClassReport {
+    /// Checks the containments of Figure 5 that hold for a *single*
+    /// schedule: serial ⇒ relatively atomic ⇒ relatively serial ⇒
+    /// relatively serializable, and conflict-serializable consistency is
+    /// left to the caller (it is incomparable per-schedule under relaxed
+    /// specs). Returns `true` if no containment is violated.
+    pub fn containments_hold(&self) -> bool {
+        (!self.serial || self.relatively_atomic)
+            && (!self.relatively_atomic || self.relatively_serial)
+            && (!self.relatively_serial || self.relatively_serializable)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T1: TxnId = TxnId(0);
+    const T2: TxnId = TxnId(1);
+
+    fn fig1() -> (TxnSet, AtomicitySpec) {
+        let txns = TxnSet::parse(&[
+            "r1[x] w1[x] w1[z] r1[y]",
+            "r2[y] w2[y] r2[x]",
+            "w3[x] w3[y] w3[z]",
+        ])
+        .unwrap();
+        let mut spec = AtomicitySpec::absolute(&txns);
+        spec.set_units_str(&txns, 0, 1, "r1[x] w1[x] | w1[z] r1[y]")
+            .unwrap();
+        spec.set_units_str(&txns, 0, 2, "r1[x] w1[x] | w1[z] | r1[y]")
+            .unwrap();
+        spec.set_units_str(&txns, 1, 0, "r2[y] | w2[y] r2[x]")
+            .unwrap();
+        spec.set_units_str(&txns, 1, 2, "r2[y] w2[y] | r2[x]")
+            .unwrap();
+        spec.set_units_str(&txns, 2, 0, "w3[x] w3[y] | w3[z]")
+            .unwrap();
+        spec.set_units_str(&txns, 2, 1, "w3[x] w3[y] | w3[z]")
+            .unwrap();
+        (txns, spec)
+    }
+
+    #[test]
+    fn sra_is_relatively_atomic_but_not_serial() {
+        // §2: "even though S_ra is not a serial schedule, it is correct with
+        // respect to the relative atomicity specifications."
+        let (txns, spec) = fig1();
+        let sra = txns
+            .parse_schedule("r2[y] r1[x] w1[x] w2[y] r2[x] w1[z] w3[x] w3[y] r1[y] w3[z]")
+            .unwrap();
+        let report = classify(&txns, &sra, &spec);
+        assert!(!report.serial);
+        assert!(report.relatively_atomic);
+        assert!(report.relatively_serial);
+        assert!(report.relatively_serializable);
+        assert!(report.containments_hold());
+    }
+
+    #[test]
+    fn srs_is_relatively_serial_but_not_relatively_atomic() {
+        // §2: in S_rs, r2[y] is interleaved with AtomicUnit(1, T1, T2) but
+        // carries no dependency — allowed by Definition 2, forbidden by
+        // Definition 1.
+        let (txns, spec) = fig1();
+        let srs = txns
+            .parse_schedule("r1[x] r2[y] w1[x] w2[y] w3[x] w1[z] w3[y] r2[x] r1[y] w3[z]")
+            .unwrap();
+        assert!(!is_relatively_atomic(&txns, &srs, &spec));
+        assert!(is_relatively_serial(&txns, &srs, &spec));
+        // The atomicity violation is exactly the tolerated one.
+        let v = relative_atomicity_violation(&txns, &srs, &spec).unwrap();
+        assert_eq!(v.op, OpId::new(T2, 0)); // r2[y]
+        assert_eq!(v.owner, T1);
+        assert_eq!(v.unit, 0);
+    }
+
+    #[test]
+    fn s2_is_relatively_serializable_but_not_relatively_serial() {
+        // §2: "S2 is not relatively serial since w1[x] is interleaved with
+        // AtomicUnit(2, T2, T1) and r2[x] depends on w1[x]."
+        let (txns, spec) = fig1();
+        let s2 = txns
+            .parse_schedule("r1[x] r2[y] w2[y] w1[x] w3[x] r2[x] w1[z] w3[y] r1[y] w3[z]")
+            .unwrap();
+        let report = classify(&txns, &s2, &spec);
+        assert!(!report.relatively_serial);
+        assert!(report.relatively_serializable);
+        assert!(report.containments_hold());
+        let v = relative_seriality_violation(&txns, &s2, &spec).unwrap();
+        assert_eq!(v.op, OpId::new(T1, 1), "w1[x] is the intruder");
+        assert_eq!(v.owner, T2);
+        assert_eq!(v.unit, 1, "AtomicUnit(2, T2, T1), 0-based unit 1");
+        assert_eq!(
+            v.dependency,
+            Some(OpId::new(T2, 2)),
+            "r2[x] depends on w1[x]"
+        );
+    }
+
+    #[test]
+    fn serial_schedules_belong_to_every_class() {
+        let (txns, spec) = fig1();
+        for perm in [[0u32, 1, 2], [1, 2, 0], [2, 0, 1]] {
+            let order: Vec<TxnId> = perm.iter().map(|&i| TxnId(i)).collect();
+            let s = txns.serial_schedule(&order).unwrap();
+            let r = classify(&txns, &s, &spec);
+            assert!(r.serial && r.relatively_atomic && r.relatively_serial);
+            assert!(r.conflict_serializable && r.relatively_serializable);
+        }
+    }
+
+    #[test]
+    fn figure2_direct_dependencies_are_insufficient() {
+        // S1 = w1[x] w2[y] r3[y] w3[z] r1[z] with w1[x] r1[z] atomic wrt T2.
+        // Transitive depends-on: w2[y] ~> r1[z] ⇒ NOT relatively serial.
+        // Direct-only variant wrongly accepts S1.
+        let txns = TxnSet::parse(&["w1[x] r1[z]", "w2[y]", "r3[y] w3[z]"]).unwrap();
+        let mut spec = AtomicitySpec::absolute(&txns);
+        // Figure 2: T1 is a single unit toward T2, split toward T3; T3
+        // split toward T1, atomic toward T2.
+        spec.set_units_str(&txns, 0, 2, "w1[x] | r1[z]").unwrap();
+        spec.set_units_str(&txns, 2, 0, "r3[y] | w3[z]").unwrap();
+        let s1 = txns
+            .parse_schedule("w1[x] w2[y] r3[y] w3[z] r1[z]")
+            .unwrap();
+
+        assert!(
+            !is_relatively_serial(&txns, &s1, &spec),
+            "paper: S1 is not correct"
+        );
+        let direct = DependsOn::direct(&txns, &s1);
+        assert!(
+            relative_seriality_violation_with_deps(&txns, &s1, &spec, &direct).is_none(),
+            "paper: conflict-only dependencies would wrongly accept S1"
+        );
+        let v = relative_seriality_violation(&txns, &s1, &spec).unwrap();
+        assert_eq!(v.op, OpId::new(T2, 0), "w2[y] intrudes");
+        assert_eq!(v.owner, T1);
+    }
+
+    #[test]
+    fn absolute_spec_relative_serial_equals_dependency_free_interleaving() {
+        // Under absolute atomicity a non-serial schedule can still be
+        // relatively serial if interleaved transactions are independent.
+        let txns = TxnSet::parse(&["r1[x] w1[x]", "r2[y] w2[y]"]).unwrap();
+        let spec = AtomicitySpec::absolute(&txns);
+        let s = txns.parse_schedule("r1[x] r2[y] w1[x] w2[y]").unwrap();
+        assert!(!s.is_serial());
+        assert!(is_relatively_serial(&txns, &s, &spec));
+        // But with a dependency, interleaving is rejected.
+        let txns2 = TxnSet::parse(&["r1[x] w1[x]", "w2[x] w2[y]"]).unwrap();
+        let spec2 = AtomicitySpec::absolute(&txns2);
+        let s2 = txns2.parse_schedule("r1[x] w2[x] w1[x] w2[y]").unwrap();
+        assert!(!is_relatively_serial(&txns2, &s2, &spec2));
+    }
+
+    #[test]
+    fn violation_reports_are_none_for_clean_schedules() {
+        let (txns, spec) = fig1();
+        let s = txns.serial_schedule(&[T1, T2, TxnId(2)]).unwrap();
+        assert_eq!(relative_atomicity_violation(&txns, &s, &spec), None);
+        assert_eq!(relative_seriality_violation(&txns, &s, &spec), None);
+    }
+}

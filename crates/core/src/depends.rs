@@ -1,0 +1,352 @@
+//! The *depends-on* relation (§2, paragraph before Definition 2).
+//!
+//! "We say that `o2` **directly depends on** `o1` if `o1` precedes `o2` in
+//! `S` and either `o1` and `o2` are operations of the same transaction or
+//! `o1` conflicts with `o2`. The **depends on** relation is the transitive
+//! closure of the directly-depends-on relation."
+//!
+//! The paper's Figure 2 shows why the closure matters: in
+//! `S1 = w1[x] w2[y] r3[y] w3[z] r1[z]`, `r1[z]` conflicts with nothing of
+//! `T2`, yet is *affected by* `w2[y]` through `T3` — a conflict-only
+//! relation would wrongly accept `S1`. [`DependsOn::direct`] materializes
+//! that deliberately-flawed variant so the reproduction (experiment E3) can
+//! demonstrate the failure.
+//!
+//! ## Complexity
+//!
+//! Direct dependencies always point forward in schedule order, so the
+//! direct-dependency graph is a DAG whose node order (schedule position) is
+//! already topological. We build a *reduced* generator set with O(N) edges
+//! per object chain — per-transaction successor edges, write→write,
+//! write→following-reads, read→next-write — whose transitive closure
+//! provably equals the closure of the full direct relation, then close it
+//! with one reverse pass over per-position bitsets
+//! ([`relser_digraph::reach::transitive_closure_dag`]).
+
+use crate::ids::OpId;
+use crate::schedule::Schedule;
+use crate::txn::TxnSet;
+use relser_digraph::bitset::BitSet;
+use relser_digraph::reach::transitive_closure_dag;
+use relser_digraph::DiGraph;
+
+/// A materialized dependency relation over one schedule.
+///
+/// `affects[p]` holds every schedule position `q` whose operation depends
+/// on the operation at position `p` (for the transitive variant), or is
+/// directly dependent on it (for the direct variant).
+#[derive(Clone, Debug)]
+pub struct DependsOn {
+    affects: Vec<BitSet>,
+    transitive: bool,
+}
+
+impl DependsOn {
+    /// Computes the paper's depends-on relation (transitive closure of
+    /// program order ∪ conflicts) for `schedule`.
+    ///
+    /// ```
+    /// use relser_core::prelude::*;
+    /// use relser_core::depends::DependsOn;
+    /// // Figure 2's chain: w2[y] -> r3[y] -> w3[z] -> r1[z].
+    /// let txns = TxnSet::parse(&["w1[x] r1[z]", "w2[y]", "r3[y] w3[z]"]).unwrap();
+    /// let s = txns.parse_schedule("w1[x] w2[y] r3[y] w3[z] r1[z]").unwrap();
+    /// let deps = DependsOn::compute(&txns, &s);
+    /// let w2y = OpId::new(TxnId(1), 0);
+    /// let r1z = OpId::new(TxnId(0), 1);
+    /// assert!(deps.depends(&s, r1z, w2y), "transitively affected");
+    /// assert!(!DependsOn::direct(&txns, &s).depends(&s, r1z, w2y));
+    /// ```
+    pub fn compute(txns: &TxnSet, schedule: &Schedule) -> Self {
+        let g = reduced_direct_graph(txns, schedule);
+        DependsOn {
+            affects: transitive_closure_dag(&g),
+            transitive: true,
+        }
+    }
+
+    /// Computes the *direct-only* variant (no transitive closure): `b`
+    /// depends on `a` iff `a` precedes `b` and they are of the same
+    /// transaction or conflict. Exists to reproduce Figure 2's point that
+    /// this relation is **insufficient** for correctness.
+    pub fn direct(txns: &TxnSet, schedule: &Schedule) -> Self {
+        let n = schedule.len();
+        let mut affects = vec![BitSet::with_capacity(n); n];
+        let ops: Vec<_> = schedule
+            .ops()
+            .iter()
+            .map(|&o| (o, txns.op(o).expect("validated schedule")))
+            .collect();
+        for p in 0..n {
+            let (a_id, a) = ops[p];
+            for (q, &(b_id, b)) in ops.iter().enumerate().skip(p + 1) {
+                if a_id.txn == b_id.txn || a.conflicts_with(b) {
+                    affects[p].insert(q);
+                }
+            }
+        }
+        DependsOn {
+            affects,
+            transitive: false,
+        }
+    }
+
+    /// Was this relation transitively closed (the paper's definition)?
+    pub fn is_transitive(&self) -> bool {
+        self.transitive
+    }
+
+    /// Does the operation at schedule position `later` depend on the one at
+    /// position `earlier`?
+    #[inline]
+    pub fn depends_by_pos(&self, later: usize, earlier: usize) -> bool {
+        self.affects[earlier].contains(later)
+    }
+
+    /// Does operation `later` depend on operation `earlier` (positions
+    /// resolved through `schedule`)?
+    pub fn depends(&self, schedule: &Schedule, later: OpId, earlier: OpId) -> bool {
+        self.depends_by_pos(schedule.position(later), schedule.position(earlier))
+    }
+
+    /// All schedule positions affected by position `p` (i.e. that depend on
+    /// it), ascending.
+    pub fn affected_by(&self, p: usize) -> impl Iterator<Item = usize> + '_ {
+        self.affects[p].iter()
+    }
+
+    /// Number of ordered dependent pairs.
+    pub fn pair_count(&self) -> usize {
+        self.affects.iter().map(BitSet::len).sum()
+    }
+}
+
+/// Builds the reduced direct-dependency generator DAG over schedule
+/// positions. Its transitive closure equals the closure of the full direct
+/// relation (see module docs for the argument).
+fn reduced_direct_graph(txns: &TxnSet, schedule: &Schedule) -> DiGraph<(), ()> {
+    let n = schedule.len();
+    let mut g: DiGraph<(), ()> = DiGraph::with_capacity(n, n * 2);
+    for _ in 0..n {
+        g.add_node(());
+    }
+    let node = |p: usize| relser_digraph::NodeIdx(p as u32);
+
+    // Program-order chains: consecutive operations of each transaction.
+    for t in txns.txns() {
+        let mut prev: Option<usize> = None;
+        for op in t.op_ids() {
+            let p = schedule.position(op);
+            if let Some(q) = prev {
+                g.add_edge(node(q), node(p), ());
+            }
+            prev = Some(p);
+        }
+    }
+
+    // Per-object conflict structure: write→write (when no intervening
+    // read), write→each following read, read→next write.
+    let num_objects = txns.objects().len();
+    let mut last_write: Vec<Option<usize>> = vec![None; num_objects];
+    let mut reads_since_write: Vec<Vec<usize>> = vec![Vec::new(); num_objects];
+    for (p, &op_id) in schedule.ops().iter().enumerate() {
+        let op = txns.op(op_id).expect("validated schedule");
+        let o = op.object.index();
+        if op.is_write() {
+            if reads_since_write[o].is_empty() {
+                if let Some(w) = last_write[o] {
+                    g.add_edge(node(w), node(p), ());
+                }
+            } else {
+                for &r in &reads_since_write[o] {
+                    g.add_edge(node(r), node(p), ());
+                }
+                reads_since_write[o].clear();
+            }
+            last_write[o] = Some(p);
+        } else {
+            if let Some(w) = last_write[o] {
+                g.add_edge(node(w), node(p), ());
+            }
+            reads_since_write[o].push(p);
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::TxnId;
+
+    /// Brute-force oracle: full direct relation, Floyd–Warshall-style
+    /// closure.
+    #[allow(clippy::needless_range_loop)] // index symmetry reads clearer here
+    fn oracle(txns: &TxnSet, s: &Schedule, transitive: bool) -> Vec<Vec<bool>> {
+        let n = s.len();
+        let mut m = vec![vec![false; n]; n];
+        for p in 0..n {
+            let a_id = s.op_at(p);
+            let a = txns.op(a_id).unwrap();
+            for q in p + 1..n {
+                let b_id = s.op_at(q);
+                let b = txns.op(b_id).unwrap();
+                if a_id.txn == b_id.txn || a.conflicts_with(b) {
+                    m[p][q] = true;
+                }
+            }
+        }
+        if transitive {
+            for k in 0..n {
+                for i in 0..n {
+                    if m[i][k] {
+                        for j in 0..n {
+                            if m[k][j] {
+                                m[i][j] = true;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        m
+    }
+
+    fn check_against_oracle(sources: &[&str], schedule: &str) {
+        let txns = TxnSet::parse(sources).unwrap();
+        let s = txns.parse_schedule(schedule).unwrap();
+        let trans = DependsOn::compute(&txns, &s);
+        let direct = DependsOn::direct(&txns, &s);
+        let oracle_t = oracle(&txns, &s, true);
+        let oracle_d = oracle(&txns, &s, false);
+        for p in 0..s.len() {
+            for q in 0..s.len() {
+                assert_eq!(
+                    trans.depends_by_pos(q, p),
+                    oracle_t[p][q],
+                    "transitive mismatch at {p}->{q} in {schedule}"
+                );
+                assert_eq!(
+                    direct.depends_by_pos(q, p),
+                    oracle_d[p][q],
+                    "direct mismatch at {p}->{q} in {schedule}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn figure2_chain_dependency() {
+        // S1 = w1[x] w2[y] r3[y] w3[z] r1[z]: r1[z] depends on w2[y]
+        // transitively (w2[y] -> r3[y] -> w3[z] -> r1[z]) but not directly.
+        let txns = TxnSet::parse(&["w1[x] r1[z]", "w2[y]", "r3[y] w3[z]"]).unwrap();
+        let s1 = txns
+            .parse_schedule("w1[x] w2[y] r3[y] w3[z] r1[z]")
+            .unwrap();
+        let trans = DependsOn::compute(&txns, &s1);
+        let direct = DependsOn::direct(&txns, &s1);
+        let w2y = OpId::new(TxnId(1), 0);
+        let r1z = OpId::new(TxnId(0), 1);
+        assert!(
+            trans.depends(&s1, r1z, w2y),
+            "paper: r1[z] is affected by w2[y]"
+        );
+        assert!(
+            !direct.depends(&s1, r1z, w2y),
+            "no direct conflict between them"
+        );
+    }
+
+    #[test]
+    fn same_transaction_ops_always_depend() {
+        let txns = TxnSet::parse(&["r1[x] w1[y] r1[z]"]).unwrap();
+        let s = txns.parse_schedule("r1[x] w1[y] r1[z]").unwrap();
+        let d = DependsOn::compute(&txns, &s);
+        // All forward same-txn pairs, including non-adjacent.
+        assert!(d.depends_by_pos(2, 0));
+        assert!(d.depends_by_pos(1, 0));
+        assert!(d.depends_by_pos(2, 1));
+        // Never backwards.
+        assert!(!d.depends_by_pos(0, 2));
+    }
+
+    #[test]
+    fn read_read_no_dependency() {
+        let txns = TxnSet::parse(&["r1[x]", "r2[x]"]).unwrap();
+        let s = txns.parse_schedule("r1[x] r2[x]").unwrap();
+        let d = DependsOn::compute(&txns, &s);
+        assert!(!d.depends_by_pos(1, 0));
+        assert_eq!(d.pair_count(), 0);
+    }
+
+    #[test]
+    fn write_read_write_chains() {
+        let txns = TxnSet::parse(&["w1[x]", "r2[x]", "w3[x]"]).unwrap();
+        let s = txns.parse_schedule("w1[x] r2[x] w3[x]").unwrap();
+        let d = DependsOn::compute(&txns, &s);
+        assert!(d.depends_by_pos(1, 0)); // r2 on w1
+        assert!(d.depends_by_pos(2, 1)); // w3 on r2
+        assert!(d.depends_by_pos(2, 0)); // w3 on w1 (direct conflict too)
+    }
+
+    #[test]
+    fn reduced_graph_matches_oracle_on_paper_examples() {
+        check_against_oracle(
+            &[
+                "r1[x] w1[x] w1[z] r1[y]",
+                "r2[y] w2[y] r2[x]",
+                "w3[x] w3[y] w3[z]",
+            ],
+            "r2[y] r1[x] w1[x] w2[y] r2[x] w1[z] w3[x] w3[y] r1[y] w3[z]",
+        );
+        check_against_oracle(
+            &[
+                "r1[x] w1[x] w1[z] r1[y]",
+                "r2[y] w2[y] r2[x]",
+                "w3[x] w3[y] w3[z]",
+            ],
+            "r1[x] r2[y] w2[y] w1[x] w3[x] r2[x] w1[z] w3[y] r1[y] w3[z]",
+        );
+        check_against_oracle(
+            &["w1[x] r1[z]", "r2[x] w2[y]", "r3[z] r3[y]"],
+            "w1[x] r2[x] r3[z] w2[y] r3[y] r1[z]",
+        );
+        check_against_oracle(
+            &["w1[x] w1[y]", "w2[z] w2[y]", "w3[t] w3[z]", "w4[x] w4[t]"],
+            "w4[x] w3[t] w4[t] w1[x] w1[y] w2[z] w2[y] w3[z]",
+        );
+    }
+
+    #[test]
+    fn reduced_graph_matches_oracle_on_write_heavy_object() {
+        // Multiple writers and readers of one object exercise every branch
+        // of the per-object reduction.
+        check_against_oracle(
+            &["w1[x] w1[x]", "r2[x] r2[x]", "w3[x]", "r4[x]"],
+            "w1[x] r2[x] r4[x] w3[x] r2[x] w1[x]",
+        );
+    }
+
+    #[test]
+    fn depends_is_never_reflexive_or_backward() {
+        let txns = TxnSet::parse(&["w1[x] r1[z]", "w2[x] w2[z]"]).unwrap();
+        let s = txns.parse_schedule("w1[x] w2[x] w2[z] r1[z]").unwrap();
+        let d = DependsOn::compute(&txns, &s);
+        for p in 0..s.len() {
+            assert!(!d.depends_by_pos(p, p), "reflexive at {p}");
+            for q in 0..p {
+                assert!(!d.depends_by_pos(q, p), "backward {p}->{q}");
+            }
+        }
+    }
+
+    #[test]
+    fn affected_by_lists_dependents() {
+        let txns = TxnSet::parse(&["w1[x]", "r2[x] w2[y]", "r3[y]"]).unwrap();
+        let s = txns.parse_schedule("w1[x] r2[x] w2[y] r3[y]").unwrap();
+        let d = DependsOn::compute(&txns, &s);
+        let affected: Vec<usize> = d.affected_by(0).collect();
+        assert_eq!(affected, vec![1, 2, 3]); // everything downstream of w1[x]
+        assert_eq!(d.pair_count(), 3 + 2 + 1);
+    }
+}

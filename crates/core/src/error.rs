@@ -1,0 +1,77 @@
+//! Error type for model construction, parsing, and validation.
+
+use crate::ids::{OpId, TxnId};
+use std::fmt;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Everything that can go wrong while building transactions, schedules, or
+/// atomicity specifications.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Error {
+    /// A parse error in the `r1[x] w2[y]` DSL, with a human-readable reason.
+    Parse(String),
+    /// A transaction id referenced by a schedule or spec does not exist.
+    UnknownTxn(TxnId),
+    /// An operation id referenced does not exist in its transaction.
+    UnknownOp(OpId),
+    /// The schedule is not a permutation of all operations of the
+    /// transaction set (missing, duplicated, or foreign operations).
+    NotAPermutation(String),
+    /// The schedule violates some transaction's program order.
+    ProgramOrderViolated {
+        /// Transaction whose internal order is violated.
+        txn: TxnId,
+        /// The operation that appeared too early.
+        op: OpId,
+    },
+    /// An atomicity specification is malformed (bad breakpoints or units).
+    BadSpec(String),
+    /// An empty transaction, schedule, or unit where one is not allowed.
+    Empty(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Parse(msg) => write!(f, "parse error: {msg}"),
+            Error::UnknownTxn(t) => write!(f, "unknown transaction {t}"),
+            Error::UnknownOp(o) => write!(f, "unknown operation {o:?}"),
+            Error::NotAPermutation(msg) => {
+                write!(
+                    f,
+                    "schedule is not a permutation of the transaction set: {msg}"
+                )
+            }
+            Error::ProgramOrderViolated { txn, op } => {
+                write!(f, "schedule violates program order of {txn} at {op:?}")
+            }
+            Error::BadSpec(msg) => write!(f, "bad atomicity specification: {msg}"),
+            Error::Empty(what) => write!(f, "{what} must not be empty"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = Error::Parse("unexpected token `q`".into());
+        assert_eq!(e.to_string(), "parse error: unexpected token `q`");
+        let e = Error::UnknownTxn(TxnId(3));
+        assert!(e.to_string().contains("T4"), "{e}");
+        let e = Error::Empty("transaction".into());
+        assert_eq!(e.to_string(), "transaction must not be empty");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+}

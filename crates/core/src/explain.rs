@@ -1,0 +1,182 @@
+//! Human-readable verdicts: *why* a schedule is or is not in each class.
+//!
+//! The graph tests give yes/no plus raw witnesses (a cycle of operations,
+//! a `Violation`); this module turns them into the explanations a
+//! developer debugging a rejected schedule actually wants — rendered in
+//! the paper's own notation so they can be checked against the text.
+
+use crate::classes::{
+    classify, relative_atomicity_violation, relative_seriality_violation, ClassReport,
+};
+use crate::rsg::Rsg;
+use crate::schedule::Schedule;
+use crate::sg::SerializationGraph;
+use crate::spec::AtomicitySpec;
+use crate::txn::TxnSet;
+use std::fmt::Write as _;
+
+/// Renders an RSG cycle as `op -(kinds)-> op -(kinds)-> … -(kinds)-> op`,
+/// closing back on the first operation.
+pub fn render_cycle(txns: &TxnSet, rsg: &Rsg, cycle: &[crate::ids::OpId]) -> String {
+    let mut out = String::new();
+    for (i, &op) in cycle.iter().enumerate() {
+        let next = cycle[(i + 1) % cycle.len()];
+        let kinds = rsg
+            .arc_between(op, next)
+            .map(|k| k.to_string())
+            .unwrap_or_else(|| "?".into());
+        let _ = write!(out, "{} -({kinds})-> ", txns.display_op(op));
+    }
+    out.push_str(&txns.display_op(cycle[0]));
+    out
+}
+
+/// A full classification report with reasons, in the paper's notation.
+///
+/// ```
+/// use relser_core::prelude::*;
+/// let fig = relser_core::paper::Figure1::new();
+/// let report = relser_core::explain::explain(&fig.txns, &fig.s_2(), &fig.spec);
+/// assert!(report.contains("relatively serializable (Thm. 1): yes"));
+/// assert!(report.contains("w1[x] is interleaved with AtomicUnit(2, T2, T1)"));
+/// ```
+pub fn explain(txns: &TxnSet, schedule: &Schedule, spec: &AtomicitySpec) -> String {
+    let report: ClassReport = classify(txns, schedule, spec);
+    let mut out = String::new();
+    let _ = writeln!(out, "schedule: {}", schedule.display(txns));
+
+    let _ = writeln!(out, "serial: {}", report.serial);
+
+    match relative_atomicity_violation(txns, schedule, spec) {
+        None => {
+            let _ = writeln!(out, "relatively atomic (Def. 1): yes");
+        }
+        Some(v) => {
+            let _ = writeln!(
+                out,
+                "relatively atomic (Def. 1): no — {} of {} is interleaved with \
+                 AtomicUnit({}, {}, {})",
+                txns.display_op(v.op),
+                v.op.txn,
+                v.unit + 1,
+                v.owner,
+                v.op.txn,
+            );
+        }
+    }
+
+    match relative_seriality_violation(txns, schedule, spec) {
+        None => {
+            let _ = writeln!(out, "relatively serial (Def. 2): yes");
+        }
+        Some(v) => {
+            let dep = v
+                .dependency
+                .map(|d| txns.display_op(d))
+                .unwrap_or_else(|| "?".into());
+            let _ = writeln!(
+                out,
+                "relatively serial (Def. 2): no — {} is interleaved with \
+                 AtomicUnit({}, {}, {}) and carries a dependency with {}",
+                txns.display_op(v.op),
+                v.unit + 1,
+                v.owner,
+                v.op.txn,
+                dep,
+            );
+        }
+    }
+
+    if report.conflict_serializable {
+        let _ = writeln!(out, "conflict serializable: yes");
+    } else {
+        let sg = SerializationGraph::build(txns, schedule);
+        let cycle = sg
+            .find_cycle()
+            .map(|c| {
+                c.iter()
+                    .chain(c.first()) // close the loop for readability
+                    .map(ToString::to_string)
+                    .collect::<Vec<_>>()
+                    .join(" -> ")
+            })
+            .unwrap_or_default();
+        let _ = writeln!(out, "conflict serializable: no — SG cycle {cycle}");
+    }
+
+    let rsg = Rsg::build(txns, schedule, spec);
+    match rsg.find_cycle() {
+        None => {
+            let witness = rsg.witness(txns).expect("acyclic RSG has a witness");
+            let _ = writeln!(
+                out,
+                "relatively serializable (Thm. 1): yes — equivalent relatively serial schedule:\n  {}",
+                witness.display(txns)
+            );
+        }
+        Some(cycle) => {
+            let _ = writeln!(
+                out,
+                "relatively serializable (Thm. 1): no — RSG cycle:\n  {}",
+                render_cycle(txns, &rsg, &cycle)
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper::{Figure1, Figure2};
+
+    #[test]
+    fn explains_an_accepted_schedule() {
+        let fig = Figure1::new();
+        let text = explain(&fig.txns, &fig.s_2(), &fig.spec);
+        assert!(text.contains("relatively serializable (Thm. 1): yes"));
+        assert!(text.contains("equivalent relatively serial schedule"));
+        assert!(text.contains("relatively serial (Def. 2): no"));
+        // The paper's exact violation: w1[x] intrudes into unit 2 of
+        // Atomicity(T2, T1), dependency r2[x].
+        assert!(
+            text.contains("w1[x] is interleaved with AtomicUnit(2, T2, T1)"),
+            "{text}"
+        );
+        assert!(text.contains("dependency with r2[x]"), "{text}");
+    }
+
+    #[test]
+    fn explains_a_rejected_schedule_with_cycle() {
+        let txns = TxnSet::parse(&["r1[x] w1[x]", "r2[x] w2[x]"]).unwrap();
+        let spec = AtomicitySpec::absolute(&txns);
+        let s = txns.parse_schedule("r1[x] r2[x] w1[x] w2[x]").unwrap();
+        let text = explain(&txns, &s, &spec);
+        assert!(text.contains("conflict serializable: no — SG cycle"));
+        assert!(text.contains("relatively serializable (Thm. 1): no — RSG cycle"));
+        assert!(text.contains("-("), "cycle arcs carry kinds: {text}");
+    }
+
+    #[test]
+    fn figure2_explanation_names_the_transitive_dependency() {
+        let fig = Figure2::new();
+        let text = explain(&fig.txns, &fig.s_1(), &fig.spec);
+        assert!(
+            text.contains("w2[y] is interleaved with AtomicUnit(1, T1, T2)"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn render_cycle_closes_the_loop() {
+        let txns = TxnSet::parse(&["r1[x] w1[x]", "r2[x] w2[x]"]).unwrap();
+        let spec = AtomicitySpec::absolute(&txns);
+        let s = txns.parse_schedule("r1[x] r2[x] w1[x] w2[x]").unwrap();
+        let rsg = Rsg::build(&txns, &s, &spec);
+        let cycle = rsg.find_cycle().unwrap();
+        let rendered = render_cycle(&txns, &rsg, &cycle);
+        let first = txns.display_op(cycle[0]);
+        assert!(rendered.starts_with(&first));
+        assert!(rendered.ends_with(&first));
+    }
+}

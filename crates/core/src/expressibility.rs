@@ -1,0 +1,373 @@
+//! Mechanized versions of the paper's §4 expressiveness comparisons.
+//!
+//! The paper argues informally that its model strictly generalizes the
+//! prior specification styles: Garcia-Molina's compatibility sets are "a
+//! special case of transactions with relative atomicity specifications";
+//! Lynch's multilevel atomicity "imposes several constraints … it is easy
+//! to construct examples that can be specified using relative atomicity
+//! but cannot be specified using multilevel atomicity". This module makes
+//! those statements *decidable* for concrete specifications:
+//!
+//! * [`as_compatibility_sets`] — is the spec exactly "free within groups,
+//!   absolute across groups" for some partition of the transactions?
+//! * [`as_uniform`] — does every transaction show the *same* units to all
+//!   observers (the transaction-chopping shape \[SSV92\])?
+//! * [`as_multilevel`] — does *some* hierarchy (enumerated exhaustively —
+//!   exponential, intended for ≤ ~6 transactions) together with nested
+//!   per-depth breakpoint families reproduce the spec?
+//!
+//! The expressibility census experiment uses these to measure how much of
+//! the relative-atomicity space each prior model covers.
+
+use crate::error::{Error, Result};
+use crate::ids::TxnId;
+use crate::spec::AtomicitySpec;
+use crate::spec_builders::Hierarchy;
+use crate::txn::TxnSet;
+
+/// If `spec` is exactly a Garcia-Molina compatibility-set specification,
+/// returns the group index per transaction; `None` otherwise.
+pub fn as_compatibility_sets(txns: &TxnSet, spec: &AtomicitySpec) -> Option<Vec<usize>> {
+    let n = txns.len();
+    // Candidate relation: i ~ j iff both directions are fully breakpointed
+    // (or the transaction has a single operation, which is trivially both).
+    let full = |i: TxnId, j: TxnId| -> bool {
+        spec.breakpoints(i, j).len() as u32 == txns.txn(i).len() as u32 - 1
+    };
+    let related = |i: TxnId, j: TxnId| full(i, j) && full(j, i);
+
+    // Union-find the relation, then verify it is exactly block-structured.
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    for i in txns.txn_ids() {
+        for j in txns.txn_ids() {
+            if i != j && related(i, j) {
+                let (a, b) = (find(&mut parent, i.index()), find(&mut parent, j.index()));
+                if a != b {
+                    parent[a] = b;
+                }
+            }
+        }
+    }
+    let mut group = vec![0usize; n];
+    let mut next = 0;
+    let mut label: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+    for t in 0..n {
+        let root = find(&mut parent, t);
+        let g = *label.entry(root).or_insert_with(|| {
+            next += 1;
+            next - 1
+        });
+        group[t] = g;
+    }
+    // Verify: same group ⇒ free both ways; different ⇒ absolute both ways.
+    for i in txns.txn_ids() {
+        for j in txns.txn_ids() {
+            if i == j {
+                continue;
+            }
+            if group[i.index()] == group[j.index()] {
+                if !full(i, j) {
+                    return None;
+                }
+            } else if !spec.breakpoints(i, j).is_empty() {
+                return None;
+            }
+        }
+    }
+    Some(group)
+}
+
+/// If every transaction shows identical units to every observer, returns
+/// the per-transaction breakpoints (the transaction-chopping shape);
+/// `None` otherwise.
+pub fn as_uniform(txns: &TxnSet, spec: &AtomicitySpec) -> Option<Vec<Vec<u32>>> {
+    let mut out = Vec::with_capacity(txns.len());
+    for i in txns.txn_ids() {
+        let mut reference: Option<&[u32]> = None;
+        for j in txns.txn_ids() {
+            if i == j {
+                continue;
+            }
+            match reference {
+                None => reference = Some(spec.breakpoints(i, j)),
+                Some(r) => {
+                    if r != spec.breakpoints(i, j) {
+                        return None;
+                    }
+                }
+            }
+        }
+        out.push(reference.unwrap_or(&[]).to_vec());
+    }
+    Some(out)
+}
+
+/// Does `hierarchy` (with the best possible per-depth breakpoint
+/// families) reproduce `spec`? The per-depth families are forced: all
+/// observers of `T_i` at the same LCA depth must see identical
+/// breakpoints, and deeper (more closely related) observers must see a
+/// superset of shallower ones.
+pub fn matches_hierarchy(txns: &TxnSet, spec: &AtomicitySpec, hierarchy: &Hierarchy) -> bool {
+    let Ok(ml) = crate::spec_builders::MultilevelSpec::new(txns, hierarchy, vec![Vec::new(); txns.len()])
+    else {
+        return false;
+    };
+    for i in txns.txn_ids() {
+        // Group observers by LCA depth.
+        let mut by_depth: std::collections::BTreeMap<usize, Vec<TxnId>> =
+            std::collections::BTreeMap::new();
+        for j in txns.txn_ids() {
+            if i != j {
+                by_depth.entry(ml.lca_depth(i, j)).or_default().push(j);
+            }
+        }
+        // Same depth ⇒ identical; increasing depth ⇒ nested supersets.
+        let mut prev: Option<&[u32]> = None;
+        for (_, observers) in by_depth.iter() {
+            let first = spec.breakpoints(i, observers[0]);
+            for &j in &observers[1..] {
+                if spec.breakpoints(i, j) != first {
+                    return false;
+                }
+            }
+            if let Some(p) = prev {
+                if !p.iter().all(|b| first.contains(b)) {
+                    return false;
+                }
+            }
+            prev = Some(first);
+        }
+    }
+    true
+}
+
+/// Enumerates every hierarchy shape over `n` labeled leaves (internal
+/// nodes with ≥ 2 children — Schröder trees). Exponential; guarded.
+pub fn all_hierarchies(n: usize) -> Result<Vec<Hierarchy>> {
+    if n == 0 {
+        return Err(Error::Empty("hierarchy leaf set".into()));
+    }
+    if n > 6 {
+        return Err(Error::BadSpec(format!(
+            "hierarchy enumeration is limited to 6 transactions, got {n}"
+        )));
+    }
+    let leaves: Vec<usize> = (0..n).collect();
+    Ok(trees_over(&leaves))
+}
+
+fn trees_over(leaves: &[usize]) -> Vec<Hierarchy> {
+    if leaves.len() == 1 {
+        return vec![Hierarchy::Txn(leaves[0])];
+    }
+    let mut out = Vec::new();
+    for partition in partitions_min2(leaves) {
+        // Each block becomes a child: a leaf if singleton, else any tree
+        // over the block.
+        let child_choices: Vec<Vec<Hierarchy>> = partition
+            .iter()
+            .map(|block| {
+                if block.len() == 1 {
+                    vec![Hierarchy::Txn(block[0])]
+                } else {
+                    trees_over(block)
+                }
+            })
+            .collect();
+        // Cartesian product of the choices.
+        let mut combos: Vec<Vec<Hierarchy>> = vec![Vec::new()];
+        for choices in &child_choices {
+            let mut next = Vec::with_capacity(combos.len() * choices.len());
+            for combo in &combos {
+                for c in choices {
+                    let mut extended = combo.clone();
+                    extended.push(c.clone());
+                    next.push(extended);
+                }
+            }
+            combos = next;
+        }
+        for children in combos {
+            out.push(Hierarchy::Group(children));
+        }
+    }
+    out
+}
+
+/// All partitions of `items` into at least two blocks (canonical order:
+/// each block is sorted, blocks ordered by first element).
+fn partitions_min2(items: &[usize]) -> Vec<Vec<Vec<usize>>> {
+    let mut all = Vec::new();
+    let mut current: Vec<Vec<usize>> = Vec::new();
+    fn rec(items: &[usize], idx: usize, current: &mut Vec<Vec<usize>>, all: &mut Vec<Vec<Vec<usize>>>) {
+        if idx == items.len() {
+            if current.len() >= 2 {
+                all.push(current.clone());
+            }
+            return;
+        }
+        let item = items[idx];
+        for b in 0..current.len() {
+            current[b].push(item);
+            rec(items, idx + 1, current, all);
+            current[b].pop();
+        }
+        current.push(vec![item]);
+        rec(items, idx + 1, current, all);
+        current.pop();
+    }
+    rec(items, 0, &mut current, &mut all);
+    all
+}
+
+/// Searches every hierarchy over the transactions for one matching the
+/// spec. `None` means the spec is **not** expressible as multilevel
+/// atomicity — the paper's §4 inexpressibility claim, decided.
+pub fn as_multilevel(txns: &TxnSet, spec: &AtomicitySpec) -> Result<Option<Hierarchy>> {
+    for h in all_hierarchies(txns.len())? {
+        if matches_hierarchy(txns, spec, &h) {
+            return Ok(Some(h));
+        }
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper::Figure1;
+    use crate::spec_builders::{compatibility_sets, multilevel};
+
+    fn four_txns() -> TxnSet {
+        TxnSet::parse(&[
+            "r1[a] w1[a] r1[b]",
+            "r2[a] w2[a]",
+            "r3[c] w3[c]",
+            "r4[c] w4[c]",
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn compatibility_sets_round_trip() {
+        let txns = four_txns();
+        let groups = vec![0usize, 0, 1, 1];
+        let spec = compatibility_sets(&txns, &groups).unwrap();
+        let recovered = as_compatibility_sets(&txns, &spec).expect("expressible");
+        // Group labels may be renamed; the partition must be identical.
+        for i in 0..4 {
+            for j in 0..4 {
+                assert_eq!(
+                    groups[i] == groups[j],
+                    recovered[i] == recovered[j],
+                    "{i} {j}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn figure1_spec_is_not_compatibility_sets() {
+        let fig = Figure1::new();
+        assert!(as_compatibility_sets(&fig.txns, &fig.spec).is_none());
+    }
+
+    #[test]
+    fn absolute_spec_is_singleton_groups_and_uniform() {
+        let txns = four_txns();
+        let spec = AtomicitySpec::absolute(&txns);
+        let groups = as_compatibility_sets(&txns, &spec).expect("absolute = singletons");
+        let distinct: std::collections::HashSet<usize> = groups.into_iter().collect();
+        assert_eq!(distinct.len(), 4);
+        assert_eq!(as_uniform(&txns, &spec).unwrap(), vec![vec![]; 4]);
+    }
+
+    #[test]
+    fn uniform_detects_chopping_shape() {
+        let txns = four_txns();
+        let mut spec = AtomicitySpec::absolute(&txns);
+        for j in 1..4u32 {
+            spec.set_breakpoints(TxnId(0), TxnId(j), &[1]).unwrap();
+        }
+        assert_eq!(
+            as_uniform(&txns, &spec).unwrap(),
+            vec![vec![1], vec![], vec![], vec![]]
+        );
+        // Make one observer different: no longer uniform.
+        spec.set_breakpoints(TxnId(0), TxnId(1), &[2]).unwrap();
+        assert!(as_uniform(&txns, &spec).is_none());
+    }
+
+    #[test]
+    fn figure1_spec_is_not_uniform() {
+        let fig = Figure1::new();
+        assert!(as_uniform(&fig.txns, &fig.spec).is_none());
+    }
+
+    #[test]
+    fn hierarchy_enumeration_counts() {
+        // Schröder/phylogenetic tree counts over labeled leaves:
+        // n=1: 1, n=2: 1, n=3: 4, n=4: 26.
+        assert_eq!(all_hierarchies(1).unwrap().len(), 1);
+        assert_eq!(all_hierarchies(2).unwrap().len(), 1);
+        assert_eq!(all_hierarchies(3).unwrap().len(), 4);
+        assert_eq!(all_hierarchies(4).unwrap().len(), 26);
+        assert!(all_hierarchies(7).is_err());
+    }
+
+    #[test]
+    fn multilevel_specs_are_recognized() {
+        let txns = four_txns();
+        let h = Hierarchy::Group(vec![
+            Hierarchy::Group(vec![Hierarchy::Txn(0), Hierarchy::Txn(1)]),
+            Hierarchy::Group(vec![Hierarchy::Txn(2), Hierarchy::Txn(3)]),
+        ]);
+        let levels = vec![
+            vec![vec![1], vec![1, 2]],
+            vec![vec![], vec![1]],
+            vec![],
+            vec![vec![1]],
+        ];
+        let spec = multilevel(&txns, &h, levels).unwrap();
+        assert!(matches_hierarchy(&txns, &spec, &h));
+        assert!(as_multilevel(&txns, &spec).unwrap().is_some());
+    }
+
+    /// The §4 inexpressibility claim, decided mechanically: the asymmetric
+    /// spec is not expressible under ANY hierarchy.
+    #[test]
+    fn asymmetric_spec_is_not_multilevel() {
+        let txns = TxnSet::parse(&["r1[a] w1[a] r1[b]", "r2[a]", "r3[b]"]).unwrap();
+        let mut spec = AtomicitySpec::absolute(&txns);
+        spec.set_breakpoints(TxnId(0), TxnId(1), &[1]).unwrap();
+        spec.set_breakpoints(TxnId(0), TxnId(2), &[2]).unwrap();
+        assert!(as_multilevel(&txns, &spec).unwrap().is_none());
+    }
+
+    /// Figure 1's own specification: compatibility sets cannot express it,
+    /// and neither can any Lynch hierarchy — mechanically confirming that
+    /// the paper's running example already needs the full model.
+    #[test]
+    fn figure1_needs_full_relative_atomicity() {
+        let fig = Figure1::new();
+        assert!(as_compatibility_sets(&fig.txns, &fig.spec).is_none());
+        assert!(as_uniform(&fig.txns, &fig.spec).is_none());
+        assert!(as_multilevel(&fig.txns, &fig.spec).unwrap().is_none());
+    }
+
+    #[test]
+    fn compatibility_sets_are_multilevel() {
+        // Gar83 ⊂ Lyn83: a compat spec matches the flat two-level
+        // hierarchy of its groups.
+        let txns = four_txns();
+        let spec = compatibility_sets(&txns, &[0, 0, 1, 1]).unwrap();
+        assert!(as_multilevel(&txns, &spec).unwrap().is_some());
+    }
+}

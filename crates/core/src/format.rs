@@ -1,0 +1,214 @@
+//! A plain-text document format for whole universes — transactions,
+//! relative atomicity specification, and named schedules — so examples and
+//! experiments can be stored, diffed, and shared as files.
+//!
+//! ```text
+//! # Figure 1 of the paper
+//! txn r1[x] w1[x] w1[z] r1[y]
+//! txn r2[y] w2[y] r2[x]
+//! txn w3[x] w3[y] w3[z]
+//! atomicity 1 2: r1[x] w1[x] | w1[z] r1[y]
+//! atomicity 2 1: r2[y] | w2[y] r2[x]
+//! schedule Sra: r2[y] r1[x] w1[x] w2[y] r2[x] w1[z] w3[x] w3[y] r1[y] w3[z]
+//! ```
+//!
+//! * `txn` lines define transactions in order (the `k`-th line must use
+//!   number `k`);
+//! * `atomicity i j: units` sets `Atomicity(T_i, T_j)` (1-based ids,
+//!   `|`-separated units); unspecified pairs stay absolute;
+//! * `schedule name: ops` defines a named schedule;
+//! * `#` starts a comment; blank lines are ignored.
+//!
+//! [`render`] inverts [`parse`] exactly (round-trip tested).
+
+use crate::error::{Error, Result};
+use crate::schedule::Schedule;
+use crate::spec::AtomicitySpec;
+use crate::txn::TxnSet;
+use std::fmt::Write as _;
+
+/// A parsed universe document.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Document {
+    /// The transactions.
+    pub txns: TxnSet,
+    /// The relative atomicity specification.
+    pub spec: AtomicitySpec,
+    /// Named schedules, in file order.
+    pub schedules: Vec<(String, Schedule)>,
+}
+
+/// Parses a universe document.
+pub fn parse(src: &str) -> Result<Document> {
+    let mut txn_lines: Vec<&str> = Vec::new();
+    let mut atomicity_lines: Vec<(usize, usize, &str)> = Vec::new();
+    let mut schedule_lines: Vec<(String, &str)> = Vec::new();
+
+    for (lineno, raw) in src.lines().enumerate() {
+        let line = raw.trim();
+        let line = match line.find('#') {
+            Some(i) => line[..i].trim(),
+            None => line,
+        };
+        if line.is_empty() {
+            continue;
+        }
+        let err = |msg: String| Error::Parse(format!("line {}: {msg}", lineno + 1));
+        if let Some(rest) = line.strip_prefix("txn ") {
+            txn_lines.push(rest.trim());
+        } else if let Some(rest) = line.strip_prefix("atomicity ") {
+            let (head, units) = rest
+                .split_once(':')
+                .ok_or_else(|| err("`atomicity i j: units` needs a `:`".into()))?;
+            let mut ids = head.split_whitespace();
+            let i: usize = ids
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| err("bad first transaction number".into()))?;
+            let j: usize = ids
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| err("bad second transaction number".into()))?;
+            if ids.next().is_some() {
+                return Err(err("too many ids before `:`".into()));
+            }
+            if i == 0 || j == 0 {
+                return Err(err("transaction numbers are 1-based".into()));
+            }
+            atomicity_lines.push((i - 1, j - 1, units.trim()));
+        } else if let Some(rest) = line.strip_prefix("schedule ") {
+            let (name, ops) = rest
+                .split_once(':')
+                .ok_or_else(|| err("`schedule name: ops` needs a `:`".into()))?;
+            let name = name.trim();
+            if name.is_empty() {
+                return Err(err("schedule needs a name".into()));
+            }
+            schedule_lines.push((name.to_string(), ops.trim()));
+        } else {
+            return Err(err(format!("unknown directive `{line}`")));
+        }
+    }
+
+    let txns = TxnSet::parse(&txn_lines)?;
+    let mut spec = AtomicitySpec::absolute(&txns);
+    for (i, j, units) in atomicity_lines {
+        spec.set_units_str(&txns, i, j, units)?;
+    }
+    let mut schedules = Vec::new();
+    for (name, ops) in schedule_lines {
+        schedules.push((name, txns.parse_schedule(ops)?));
+    }
+    Ok(Document {
+        txns,
+        spec,
+        schedules,
+    })
+}
+
+/// Renders a document; `parse(render(d)) == d`.
+pub fn render(doc: &Document) -> String {
+    let mut out = String::new();
+    for t in doc.txns.txns() {
+        let ops: Vec<String> = t.op_ids().map(|o| doc.txns.display_op(o)).collect();
+        let _ = writeln!(out, "txn {}", ops.join(" "));
+    }
+    for i in doc.txns.txn_ids() {
+        for j in doc.txns.txn_ids() {
+            if i != j && !doc.spec.breakpoints(i, j).is_empty() {
+                let _ = writeln!(
+                    out,
+                    "atomicity {} {}: {}",
+                    i.0 + 1,
+                    j.0 + 1,
+                    doc.spec.display_pair(&doc.txns, i, j)
+                );
+            }
+        }
+    }
+    for (name, s) in &doc.schedules {
+        let _ = writeln!(out, "schedule {name}: {}", s.display(&doc.txns));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper::Figure1;
+
+    const FIG1_DOC: &str = "\
+# Figure 1 of the paper
+txn r1[x] w1[x] w1[z] r1[y]
+txn r2[y] w2[y] r2[x]
+txn w3[x] w3[y] w3[z]
+
+atomicity 1 2: r1[x] w1[x] | w1[z] r1[y]
+atomicity 1 3: r1[x] w1[x] | w1[z] | r1[y]
+atomicity 2 1: r2[y] | w2[y] r2[x]
+atomicity 2 3: r2[y] w2[y] | r2[x]
+atomicity 3 1: w3[x] w3[y] | w3[z]
+atomicity 3 2: w3[x] w3[y] | w3[z]
+
+schedule Sra: r2[y] r1[x] w1[x] w2[y] r2[x] w1[z] w3[x] w3[y] r1[y] w3[z]
+";
+
+    #[test]
+    fn parses_figure1_document() {
+        let doc = parse(FIG1_DOC).unwrap();
+        let fig = Figure1::new();
+        assert_eq!(doc.txns, fig.txns);
+        assert_eq!(doc.spec, fig.spec);
+        assert_eq!(doc.schedules.len(), 1);
+        assert_eq!(doc.schedules[0].0, "Sra");
+        assert_eq!(doc.schedules[0].1, fig.s_ra());
+    }
+
+    #[test]
+    fn round_trips() {
+        let doc = parse(FIG1_DOC).unwrap();
+        let rendered = render(&doc);
+        let doc2 = parse(&rendered).unwrap();
+        assert_eq!(doc, doc2);
+        // Rendering is stable.
+        assert_eq!(render(&doc2), rendered);
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let doc = parse("# only\n\n   # comments\ntxn r1[x]   # trailing\n").unwrap();
+        assert_eq!(doc.txns.len(), 1);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse("txn r1[x]\nbogus line\n").unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+        let err = parse("txn r1[x]\natomicity 1: r1[x]\n").unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+        let err = parse("txn r1[x]\nschedule : r1[x]\n").unwrap_err();
+        assert!(err.to_string().contains("needs a name"), "{err}");
+        let err = parse("atomicity 0 1: x\n").unwrap_err();
+        assert!(err.to_string().contains("1-based"), "{err}");
+    }
+
+    #[test]
+    fn atomicity_for_unknown_txn_rejected() {
+        let err = parse("txn r1[x]\natomicity 1 5: r1[x]\n").unwrap_err();
+        assert!(matches!(err, Error::UnknownTxn(_)), "{err}");
+    }
+
+    #[test]
+    fn schedule_must_be_valid() {
+        let err = parse("txn r1[x] w1[y]\nschedule s: r1[x]\n").unwrap_err();
+        assert!(matches!(err, Error::NotAPermutation(_)), "{err}");
+    }
+
+    #[test]
+    fn absolute_spec_renders_no_atomicity_lines() {
+        let doc = parse("txn r1[x]\ntxn w2[x]\n").unwrap();
+        let rendered = render(&doc);
+        assert!(!rendered.contains("atomicity"));
+        assert!(doc.spec.is_absolute());
+    }
+}

@@ -1,0 +1,179 @@
+//! Identifier newtypes and the object-name interner.
+//!
+//! Internally everything is 0-based and `u32`-sized; `Display`
+//! implementations use the paper's 1-based convention (`T1`, `o_{1,2}`) so
+//! test output and DOT renderings can be compared against the paper
+//! directly.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A transaction identifier (0-based index into a [`crate::txn::TxnSet`]).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct TxnId(pub u32);
+
+impl TxnId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for TxnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // 1-based, matching the paper's T1, T2, ...
+        write!(f, "T{}", self.0 + 1)
+    }
+}
+
+impl fmt::Debug for TxnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// A database object identifier (index into an [`ObjectTable`]).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ObjectId(pub u32);
+
+impl ObjectId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "obj{}", self.0)
+    }
+}
+
+/// An operation identifier: the `j`-th operation (0-based) of transaction
+/// `txn` — the paper's `o_{ij}`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct OpId {
+    /// Owning transaction.
+    pub txn: TxnId,
+    /// Position within the transaction's program order (0-based).
+    pub index: u32,
+}
+
+impl OpId {
+    /// Convenience constructor.
+    #[inline]
+    pub fn new(txn: TxnId, index: u32) -> Self {
+        OpId { txn, index }
+    }
+}
+
+impl fmt::Debug for OpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // o_{i,j}, 1-based like the paper.
+        write!(f, "o{},{}", self.txn.0 + 1, self.index + 1)
+    }
+}
+
+/// Interns object names so operations can carry compact [`ObjectId`]s.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ObjectTable {
+    names: Vec<String>,
+    by_name: HashMap<String, ObjectId>,
+}
+
+impl ObjectTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning its id (existing or fresh).
+    pub fn intern(&mut self, name: &str) -> ObjectId {
+        if let Some(&id) = self.by_name.get(name) {
+            return id;
+        }
+        let id = ObjectId(u32::try_from(self.names.len()).expect("too many objects"));
+        self.names.push(name.to_owned());
+        self.by_name.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Looks a name up without interning.
+    pub fn get(&self, name: &str) -> Option<ObjectId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The name of `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this table.
+    pub fn name(&self, id: ObjectId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Number of distinct objects interned.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Is the table empty?
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates `(id, name)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (ObjectId, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (ObjectId(i as u32), n.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_one_based() {
+        assert_eq!(TxnId(0).to_string(), "T1");
+        assert_eq!(format!("{:?}", OpId::new(TxnId(1), 2)), "o2,3");
+    }
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut t = ObjectTable::new();
+        let x1 = t.intern("x");
+        let y = t.intern("y");
+        let x2 = t.intern("x");
+        assert_eq!(x1, x2);
+        assert_ne!(x1, y);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.name(x1), "x");
+        assert_eq!(t.get("y"), Some(y));
+        assert_eq!(t.get("z"), None);
+    }
+
+    #[test]
+    fn iter_in_id_order() {
+        let mut t = ObjectTable::new();
+        t.intern("b");
+        t.intern("a");
+        let pairs: Vec<(ObjectId, &str)> = t.iter().collect();
+        assert_eq!(pairs, vec![(ObjectId(0), "b"), (ObjectId(1), "a")]);
+    }
+
+    #[test]
+    fn opid_ordering_groups_by_txn() {
+        let a = OpId::new(TxnId(0), 5);
+        let b = OpId::new(TxnId(1), 0);
+        assert!(a < b);
+    }
+}

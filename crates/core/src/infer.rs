@@ -1,0 +1,202 @@
+//! Specification inference: learn relative atomicity from examples.
+//!
+//! The paper assumes users write `Atomicity(T_i, T_j)` by hand. In
+//! practice it is often easier to show the system *interleavings that
+//! should be legal* — e.g. "the credit audit may observe the family
+//! between these two transfers" — and let it derive the loosest-possible
+//! breakpoints. [`infer_spec`] computes the **minimal** specification
+//! (fewest breakpoints, i.e. the most atomic one) under which every
+//! example schedule is **relatively atomic** (Definition 1):
+//!
+//! * start from absolute atomicity;
+//! * whenever an example has an operation of `T_j` between consecutive
+//!   operations `o_{i,k}, o_{i,k+1}` of `T_i`, a breakpoint at `k+1` in
+//!   `Atomicity(T_i, T_j)` is *forced* — without it the example violates
+//!   Definition 1 no matter how the rest is split;
+//! * the union of forced breakpoints is also *sufficient*: with every
+//!   intrusion point split, no operation remains strictly inside a unit.
+//!
+//! Minimality is therefore exact, not heuristic, and [`infer_spec`] is a
+//! closure operator: inferring from schedules accepted by the inferred
+//! spec adds nothing (tested).
+
+use crate::error::Result;
+use crate::schedule::Schedule;
+use crate::spec::AtomicitySpec;
+use crate::txn::TxnSet;
+use std::collections::BTreeSet;
+
+/// Infers the minimal specification making every example relatively
+/// atomic. See the module docs for the exact semantics.
+///
+/// ```
+/// use relser_core::prelude::*;
+/// use relser_core::infer::infer_spec;
+/// let txns = TxnSet::parse(&["r1[a] w1[b]", "w2[x]"]).unwrap();
+/// // The user wants T2 to be able to run between T1's operations:
+/// let wanted = txns.parse_schedule("r1[a] w2[x] w1[b]").unwrap();
+/// let spec = infer_spec(&txns, &[wanted.clone()]).unwrap();
+/// assert_eq!(spec.breakpoints(TxnId(0), TxnId(1)), &[1]);
+/// assert!(classify(&txns, &wanted, &spec).relatively_atomic);
+/// ```
+pub fn infer_spec(txns: &TxnSet, examples: &[Schedule]) -> Result<AtomicitySpec> {
+    // forced[(i, j)] = breakpoints forced in Atomicity(T_i, T_j).
+    let n = txns.len();
+    let mut forced: Vec<BTreeSet<u32>> = vec![BTreeSet::new(); n * n];
+    for s in examples {
+        for i in txns.txn_ids() {
+            let t = txns.txn(i);
+            // For each gap between consecutive operations of T_i, find
+            // which other transactions have operations inside it.
+            for k in 0..t.len() as u32 - 1 {
+                let lo = s.position(crate::ids::OpId::new(i, k));
+                let hi = s.position(crate::ids::OpId::new(i, k + 1));
+                for p in lo + 1..hi {
+                    let intruder = s.op_at(p).txn;
+                    debug_assert_ne!(intruder, i);
+                    forced[i.index() * n + intruder.index()].insert(k + 1);
+                }
+            }
+        }
+    }
+    let mut spec = AtomicitySpec::absolute(txns);
+    for i in txns.txn_ids() {
+        for j in txns.txn_ids() {
+            if i == j {
+                continue;
+            }
+            let b: Vec<u32> = forced[i.index() * n + j.index()].iter().copied().collect();
+            if !b.is_empty() {
+                spec.set_breakpoints(i, j, &b)?;
+            }
+        }
+    }
+    Ok(spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classes::is_relatively_atomic;
+    use crate::paper::Figure1;
+
+    #[test]
+    fn empty_examples_stay_absolute() {
+        let fig = Figure1::new();
+        let spec = infer_spec(&fig.txns, &[]).unwrap();
+        assert!(spec.is_absolute());
+    }
+
+    #[test]
+    fn serial_examples_force_nothing() {
+        let fig = Figure1::new();
+        let serials: Vec<Schedule> = (0..3u32)
+            .map(|k| {
+                let order: Vec<crate::ids::TxnId> =
+                    (0..3).map(|i| crate::ids::TxnId((i + k) % 3)).collect();
+                fig.txns.serial_schedule(&order).unwrap()
+            })
+            .collect();
+        let spec = infer_spec(&fig.txns, &serials).unwrap();
+        assert!(spec.is_absolute());
+    }
+
+    #[test]
+    fn examples_become_relatively_atomic_under_the_inferred_spec() {
+        let fig = Figure1::new();
+        let examples = vec![fig.s_ra(), fig.s_rs(), fig.s_2()];
+        let spec = infer_spec(&fig.txns, &examples).unwrap();
+        for s in &examples {
+            assert!(
+                is_relatively_atomic(&fig.txns, s, &spec),
+                "{}",
+                s.display(&fig.txns)
+            );
+        }
+    }
+
+    #[test]
+    fn inferring_from_sra_recovers_a_sub_spec_of_figure1() {
+        // The paper's own S_ra exercises only part of Figure 1's freedom;
+        // the inferred spec must be contained in the published one
+        // (breakpoint-wise) and must include the interleavings S_ra uses.
+        let fig = Figure1::new();
+        let spec = infer_spec(&fig.txns, &[fig.s_ra()]).unwrap();
+        for i in fig.txns.txn_ids() {
+            for j in fig.txns.txn_ids() {
+                if i == j {
+                    continue;
+                }
+                for b in spec.breakpoints(i, j) {
+                    assert!(
+                        fig.spec.breakpoints(i, j).contains(b),
+                        "inferred breakpoint {b} of Atomicity({i},{j}) is not in Figure 1"
+                    );
+                }
+            }
+        }
+        // S_ra interleaves T1 between r2[y] and w2[y]: that breakpoint is
+        // forced.
+        assert_eq!(
+            spec.breakpoints(crate::ids::TxnId(1), crate::ids::TxnId(0)),
+            &[1]
+        );
+    }
+
+    #[test]
+    fn minimality_every_forced_breakpoint_is_necessary() {
+        let fig = Figure1::new();
+        let examples = vec![fig.s_ra()];
+        let spec = infer_spec(&fig.txns, &examples).unwrap();
+        // Removing any single inferred breakpoint breaks some example.
+        for i in fig.txns.txn_ids() {
+            for j in fig.txns.txn_ids() {
+                if i == j {
+                    continue;
+                }
+                let breaks = spec.breakpoints(i, j).to_vec();
+                for drop in &breaks {
+                    let mut weakened = spec.clone();
+                    let remaining: Vec<u32> =
+                        breaks.iter().copied().filter(|b| b != drop).collect();
+                    weakened.set_breakpoints(i, j, &remaining).unwrap();
+                    assert!(
+                        examples
+                            .iter()
+                            .any(|s| !is_relatively_atomic(&fig.txns, s, &weakened)),
+                        "breakpoint {drop} of Atomicity({i},{j}) was not necessary"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn inference_is_a_closure_operator() {
+        let fig = Figure1::new();
+        let examples = vec![fig.s_ra(), fig.s_2()];
+        let spec1 = infer_spec(&fig.txns, &examples).unwrap();
+        let spec2 = infer_spec(&fig.txns, &examples).unwrap();
+        assert_eq!(spec1, spec2, "deterministic");
+        // Re-inferring from the same examples under the inferred spec
+        // changes nothing (idempotence of the forced-breakpoint union).
+        let again = infer_spec(&fig.txns, &examples).unwrap();
+        assert_eq!(spec1, again);
+    }
+
+    #[test]
+    fn union_over_examples() {
+        let txns = TxnSet::parse(&["r1[a] w1[b] r1[c]", "w2[x]"]).unwrap();
+        let s1 = txns.parse_schedule("r1[a] w2[x] w1[b] r1[c]").unwrap();
+        let s2 = txns.parse_schedule("r1[a] w1[b] w2[x] r1[c]").unwrap();
+        let spec = infer_spec(&txns, &[s1, s2]).unwrap();
+        assert_eq!(
+            spec.breakpoints(crate::ids::TxnId(0), crate::ids::TxnId(1)),
+            &[1, 2]
+        );
+        // T2 is never interleaved: stays absolute toward T1.
+        assert!(spec
+            .breakpoints(crate::ids::TxnId(1), crate::ids::TxnId(0))
+            .is_empty());
+    }
+}

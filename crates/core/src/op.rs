@@ -1,0 +1,103 @@
+//! Read/write operations and the conflict relation.
+
+use crate::ids::ObjectId;
+
+/// Whether an operation reads or writes its object.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum AccessMode {
+    /// An atomic read.
+    Read,
+    /// An atomic write.
+    Write,
+}
+
+impl AccessMode {
+    /// The DSL letter: `r` or `w`.
+    pub fn letter(self) -> char {
+        match self {
+            AccessMode::Read => 'r',
+            AccessMode::Write => 'w',
+        }
+    }
+}
+
+/// One database operation: a read or a write of a single object.
+///
+/// The paper's model (§2): "A database is modeled as a set of objects. The
+/// objects in the database can be accessed through atomic read and write
+/// operations."
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Operation {
+    /// Read or write.
+    pub mode: AccessMode,
+    /// The accessed object.
+    pub object: ObjectId,
+}
+
+impl Operation {
+    /// A read of `object`.
+    pub fn read(object: ObjectId) -> Self {
+        Operation {
+            mode: AccessMode::Read,
+            object,
+        }
+    }
+
+    /// A write of `object`.
+    pub fn write(object: ObjectId) -> Self {
+        Operation {
+            mode: AccessMode::Write,
+            object,
+        }
+    }
+
+    /// Is this a write?
+    pub fn is_write(self) -> bool {
+        self.mode == AccessMode::Write
+    }
+
+    /// The paper's conflict relation: two operations (of *different*
+    /// transactions — the caller enforces that) conflict iff they access the
+    /// same object and at least one writes it.
+    pub fn conflicts_with(self, other: Operation) -> bool {
+        self.object == other.object && (self.is_write() || other.is_write())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const X: ObjectId = ObjectId(0);
+    const Y: ObjectId = ObjectId(1);
+
+    #[test]
+    fn reads_on_same_object_do_not_conflict() {
+        assert!(!Operation::read(X).conflicts_with(Operation::read(X)));
+    }
+
+    #[test]
+    fn read_write_conflicts_both_ways() {
+        assert!(Operation::read(X).conflicts_with(Operation::write(X)));
+        assert!(Operation::write(X).conflicts_with(Operation::read(X)));
+    }
+
+    #[test]
+    fn write_write_conflicts() {
+        assert!(Operation::write(X).conflicts_with(Operation::write(X)));
+    }
+
+    #[test]
+    fn different_objects_never_conflict() {
+        assert!(!Operation::write(X).conflicts_with(Operation::write(Y)));
+        assert!(!Operation::read(X).conflicts_with(Operation::write(Y)));
+    }
+
+    #[test]
+    fn mode_letters() {
+        assert_eq!(AccessMode::Read.letter(), 'r');
+        assert_eq!(AccessMode::Write.letter(), 'w');
+    }
+}

@@ -1,0 +1,338 @@
+//! Executable versions of the paper's figures and named schedules.
+//!
+//! Every figure of the PODS'94 paper is packaged here so tests, examples,
+//! and the `paper-tables` experiment harness all reproduce the *same*
+//! objects the paper prints. Figure and schedule names follow the paper:
+//! `S_ra` (§2), `S_rs` (§2), `S_2` (§2 / Figure 3), `S_1` (Figure 2), `S`
+//! (Figure 4).
+
+use crate::spec::AtomicitySpec;
+use crate::txn::TxnSet;
+
+/// Figure 1: three transactions with their relative atomicity
+/// specifications, plus the schedules the paper discusses over them.
+pub struct Figure1 {
+    /// `T1 = r1[x] w1[x] w1[z] r1[y]`, `T2 = r2[y] w2[y] r2[x]`,
+    /// `T3 = w3[x] w3[y] w3[z]`.
+    pub txns: TxnSet,
+    /// The six `Atomicity(T_i, T_j)` rows of Figure 1.
+    pub spec: AtomicitySpec,
+}
+
+impl Figure1 {
+    /// Builds the figure.
+    pub fn new() -> Self {
+        let txns = TxnSet::parse(&[
+            "r1[x] w1[x] w1[z] r1[y]",
+            "r2[y] w2[y] r2[x]",
+            "w3[x] w3[y] w3[z]",
+        ])
+        .expect("figure 1 transactions are well-formed");
+        let mut spec = AtomicitySpec::absolute(&txns);
+        let rows = [
+            (0, 1, "r1[x] w1[x] | w1[z] r1[y]"),
+            (0, 2, "r1[x] w1[x] | w1[z] | r1[y]"),
+            (1, 0, "r2[y] | w2[y] r2[x]"),
+            (1, 2, "r2[y] w2[y] | r2[x]"),
+            (2, 0, "w3[x] w3[y] | w3[z]"),
+            (2, 1, "w3[x] w3[y] | w3[z]"),
+        ];
+        for (i, j, units) in rows {
+            spec.set_units_str(&txns, i, j, units)
+                .expect("figure 1 spec rows are well-formed");
+        }
+        Figure1 { txns, spec }
+    }
+
+    /// §2 `S_ra`: "not a serial schedule, \[but\] correct with respect to the
+    /// relative atomicity specifications" — relatively atomic.
+    pub fn s_ra(&self) -> crate::schedule::Schedule {
+        self.txns
+            .parse_schedule("r2[y] r1[x] w1[x] w2[y] r2[x] w1[z] w3[x] w3[y] r1[y] w3[z]")
+            .expect("S_ra is a valid schedule")
+    }
+
+    /// §2 `S_rs`: relatively serial but not relatively atomic.
+    pub fn s_rs(&self) -> crate::schedule::Schedule {
+        self.txns
+            .parse_schedule("r1[x] r2[y] w1[x] w2[y] w3[x] w1[z] w3[y] r2[x] r1[y] w3[z]")
+            .expect("S_rs is a valid schedule")
+    }
+
+    /// §2 `S_2`: not relatively serial, but relatively serializable
+    /// (conflict-equivalent to `S_rs`).
+    pub fn s_2(&self) -> crate::schedule::Schedule {
+        self.txns
+            .parse_schedule("r1[x] r2[y] w2[y] w1[x] w3[x] r2[x] w1[z] w3[y] r1[y] w3[z]")
+            .expect("S_2 is a valid schedule")
+    }
+}
+
+impl Default for Figure1 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Figure 2: the example showing that direct conflicts are not sufficient
+/// for correctness — `r1[z]` is *affected by* `w2[y]` only transitively.
+pub struct Figure2 {
+    /// `T1 = w1[x] r1[z]`, `T2 = w2[y]`, `T3 = r3[y] w3[z]`.
+    pub txns: TxnSet,
+    /// `Atomicity(T1,T2) = [w1[x] r1[z]]`, `Atomicity(T1,T3) = [w1[x]][r1[z]]`,
+    /// `Atomicity(T3,T1) = [r3[y]][w3[z]]`, `Atomicity(T3,T2) = [r3[y] w3[z]]`.
+    pub spec: AtomicitySpec,
+}
+
+impl Figure2 {
+    /// Builds the figure.
+    pub fn new() -> Self {
+        let txns = TxnSet::parse(&["w1[x] r1[z]", "w2[y]", "r3[y] w3[z]"])
+            .expect("figure 2 transactions are well-formed");
+        let mut spec = AtomicitySpec::absolute(&txns);
+        spec.set_units_str(&txns, 0, 2, "w1[x] | r1[z]").unwrap();
+        spec.set_units_str(&txns, 2, 0, "r3[y] | w3[z]").unwrap();
+        Figure2 { txns, spec }
+    }
+
+    /// `S_1 = w1[x] w2[y] r3[y] w3[z] r1[z]` — not relatively serial, but a
+    /// conflict-only dependency relation would wrongly accept it.
+    pub fn s_1(&self) -> crate::schedule::Schedule {
+        self.txns
+            .parse_schedule("w1[x] w2[y] r3[y] w3[z] r1[z]")
+            .expect("S_1 is a valid schedule")
+    }
+}
+
+impl Default for Figure2 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Figure 3: the worked relative serialization graph.
+pub struct Figure3 {
+    /// `T1 = w1[x] r1[z]`, `T2 = r2[x] w2[y]`, `T3 = r3[z] r3[y]`.
+    pub txns: TxnSet,
+    /// The six `Atomicity` rows of Figure 3.
+    pub spec: AtomicitySpec,
+}
+
+impl Figure3 {
+    /// Builds the figure.
+    pub fn new() -> Self {
+        let txns = TxnSet::parse(&["w1[x] r1[z]", "r2[x] w2[y]", "r3[z] r3[y]"])
+            .expect("figure 3 transactions are well-formed");
+        let mut spec = AtomicitySpec::absolute(&txns);
+        // Atomicity(T1,T3): w1[x] | r1[z];   Atomicity(T1,T2): one unit.
+        spec.set_units_str(&txns, 0, 2, "w1[x] | r1[z]").unwrap();
+        // Atomicity(T2,T3): r2[x] | w2[y];   Atomicity(T2,T1): r2[x] | w2[y].
+        spec.set_units_str(&txns, 1, 2, "r2[x] | w2[y]").unwrap();
+        spec.set_units_str(&txns, 1, 0, "r2[x] | w2[y]").unwrap();
+        // Atomicity(T3,T1): r3[z] | r3[y];   Atomicity(T3,T2): one unit.
+        spec.set_units_str(&txns, 2, 0, "r3[z] | r3[y]").unwrap();
+        Figure3 { txns, spec }
+    }
+
+    /// The schedule whose RSG the paper draws:
+    /// `S_2 = w1[x] r2[x] r3[z] w2[y] r3[y] r1[z]`.
+    pub fn s_2(&self) -> crate::schedule::Schedule {
+        self.txns
+            .parse_schedule("w1[x] r2[x] r3[z] w2[y] r3[y] r1[z]")
+            .expect("figure 3 schedule is valid")
+    }
+}
+
+impl Default for Figure3 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Figure 4: a relatively *serial* schedule that is **not** relatively
+/// consistent — the witness separating the paper's class from
+/// Farrag–Özsu's.
+pub struct Figure4 {
+    /// `T1 = w1[x] w1[y]`, `T2 = w2[z] w2[y]`, `T3 = w3[t] w3[z]`,
+    /// `T4 = w4[x] w4[t]`.
+    pub txns: TxnSet,
+    /// Everyone is atomic toward everyone, except:
+    /// `Atomicity(T2,T4) = [w2[z]][w2[y]]`, `Atomicity(T3,T2) =
+    /// [w3[t]][w3[z]]`, `Atomicity(T3,T4) = [w3[t]][w3[z]]`,
+    /// `Atomicity(T4,T2) = [w4[x]][w4[t]]`, `Atomicity(T4,T3) =
+    /// [w4[x]][w4[t]]`.
+    pub spec: AtomicitySpec,
+}
+
+impl Figure4 {
+    /// Builds the figure.
+    pub fn new() -> Self {
+        let txns = TxnSet::parse(&["w1[x] w1[y]", "w2[z] w2[y]", "w3[t] w3[z]", "w4[x] w4[t]"])
+            .expect("figure 4 transactions are well-formed");
+        let mut spec = AtomicitySpec::absolute(&txns);
+        spec.set_units_str(&txns, 1, 3, "w2[z] | w2[y]").unwrap();
+        spec.set_units_str(&txns, 2, 1, "w3[t] | w3[z]").unwrap();
+        spec.set_units_str(&txns, 2, 3, "w3[t] | w3[z]").unwrap();
+        spec.set_units_str(&txns, 3, 1, "w4[x] | w4[t]").unwrap();
+        spec.set_units_str(&txns, 3, 2, "w4[x] | w4[t]").unwrap();
+        Figure4 { txns, spec }
+    }
+
+    /// `S = w4[x] w3[t] w4[t] w1[x] w1[y] w2[z] w2[y] w3[z]` — relatively
+    /// serial, not relatively consistent.
+    pub fn s(&self) -> crate::schedule::Schedule {
+        self.txns
+            .parse_schedule("w4[x] w3[t] w4[t] w1[x] w1[y] w2[z] w2[y] w3[z]")
+            .expect("figure 4 schedule is valid")
+    }
+}
+
+impl Default for Figure4 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classes::{classify, is_relatively_serial};
+    use crate::ids::{OpId, TxnId};
+    use crate::rsg::{ArcKinds, Rsg};
+
+    #[test]
+    fn figure1_schedules_classify_as_the_paper_says() {
+        let fig = Figure1::new();
+        let ra = classify(&fig.txns, &fig.s_ra(), &fig.spec);
+        assert!(ra.relatively_atomic && !ra.serial);
+        let rs = classify(&fig.txns, &fig.s_rs(), &fig.spec);
+        assert!(rs.relatively_serial && !rs.relatively_atomic);
+        let s2 = classify(&fig.txns, &fig.s_2(), &fig.spec);
+        assert!(s2.relatively_serializable && !s2.relatively_serial);
+        // And S2 is conflict-equivalent to S_rs (the paper's witness).
+        assert!(fig.s_2().conflict_equivalent(&fig.s_rs(), &fig.txns));
+    }
+
+    #[test]
+    fn figure2_schedule_rejected_only_with_transitive_dependencies() {
+        let fig = Figure2::new();
+        let s1 = fig.s_1();
+        assert!(!is_relatively_serial(&fig.txns, &s1, &fig.spec));
+        let direct = crate::depends::DependsOn::direct(&fig.txns, &s1);
+        assert!(crate::classes::relative_seriality_violation_with_deps(
+            &fig.txns, &s1, &fig.spec, &direct
+        )
+        .is_none());
+    }
+
+    /// The paper's Figure 3, arc for arc. The drawing contains (besides the
+    /// three I-arcs): D/F/B combinations on seven operation pairs.
+    #[test]
+    fn figure3_rsg_arcs_match_the_paper_exactly() {
+        let fig = Figure3::new();
+        let s2 = fig.s_2();
+        let rsg = Rsg::build(&fig.txns, &s2, &fig.spec);
+
+        let t1 = TxnId(0);
+        let t2 = TxnId(1);
+        let t3 = TxnId(2);
+        let w1x = OpId::new(t1, 0);
+        let r1z = OpId::new(t1, 1);
+        let r2x = OpId::new(t2, 0);
+        let w2y = OpId::new(t2, 1);
+        let r3z = OpId::new(t3, 0);
+        let r3y = OpId::new(t3, 1);
+
+        // I-arcs along each transaction.
+        assert_eq!(rsg.arc_between(w1x, r1z), Some(ArcKinds::I));
+        assert_eq!(rsg.arc_between(r2x, w2y), Some(ArcKinds::I));
+        assert_eq!(rsg.arc_between(r3z, r3y), Some(ArcKinds::I));
+
+        // w1[x] -> r2[x]: r2[x] depends on w1[x] (conflict on x); the
+        // B-arc pulls r2[x] back to the start of its unit wrt T1, which is
+        // r2[x] itself (Atomicity(T2,T1) = [r2x][w2y]) — merged D,B.
+        assert_eq!(rsg.arc_between(w1x, r2x), Some(ArcKinds::D | ArcKinds::B));
+        // "since w1[x]r1[z] is atomic with respect to T2 and since r2[x]
+        // depends on w1[x], RSG(S2) contains the F-arc from r1[z] to
+        // r2[x]" — the paper's own example sentence.
+        assert_eq!(rsg.arc_between(r1z, r2x), Some(ArcKinds::F));
+
+        // w1[x] -> w2[y]: transitive dependency (w1x -> r2x -> w2y);
+        // B-arc target PullBackward(w2[y], T1) = w2[y] itself — merged D,B;
+        // F-arc source PushForward(w1[x], T2) = r1[z].
+        assert_eq!(rsg.arc_between(w1x, w2y), Some(ArcKinds::D | ArcKinds::B));
+        assert_eq!(rsg.arc_between(r1z, w2y), Some(ArcKinds::F));
+
+        // w1[x] -> r3[y]: transitive dependency; PushForward(w1[x], T3) =
+        // w1[x] (unit [w1x][r1z] wrt T3) and PullBackward(r3[y], T1) =
+        // r3[y] (units [r3z][r3y] wrt T1): all three kinds merge.
+        assert_eq!(
+            rsg.arc_between(w1x, r3y),
+            Some(ArcKinds::D | ArcKinds::F | ArcKinds::B)
+        );
+
+        // r2[x] -> r3[y]: transitive dependency (r2x -> w2y -> r3y);
+        // PushForward(r2[x], T3) = r2[x] (unit [r2x][w2y] wrt T3 splits) —
+        // D,F merged; B-arc pulls r3[y] back to r3[z] (Atomicity(T3,T2) is
+        // one unit).
+        assert_eq!(rsg.arc_between(r2x, r3y), Some(ArcKinds::D | ArcKinds::F));
+        assert_eq!(rsg.arc_between(r2x, r3z), Some(ArcKinds::B));
+
+        // "Since r3[z]r3[y] is atomic relative to T2 and r3[y] depends on
+        // w2[y], RSG(S2) contains the B-arc from w2[y] to r3[z]" — the
+        // paper's other example sentence. The direct arc itself is D plus a
+        // coinciding F (PushForward(w2[y], T3) = w2[y]).
+        assert_eq!(rsg.arc_between(w2y, r3y), Some(ArcKinds::D | ArcKinds::F));
+        assert_eq!(rsg.arc_between(w2y, r3z), Some(ArcKinds::B));
+
+        // r3[z] and r1[z] are both reads: no conflict, no dependency, no
+        // arc either way.
+        assert_eq!(rsg.arc_between(r3z, r1z), None);
+        assert_eq!(rsg.arc_between(r1z, r3z), None);
+
+        // Figure 3's RSG is acyclic: S2 is relatively serializable even
+        // though it is not relatively serial (r2[x] and w2[y] intrude into
+        // T1's unit while depending on it).
+        assert!(rsg.is_acyclic());
+        let witness = rsg.witness(&fig.txns).unwrap();
+        assert!(witness.conflict_equivalent(&s2, &fig.txns));
+        assert!(crate::classes::is_relatively_serial(
+            &fig.txns, &witness, &fig.spec
+        ));
+        assert!(!crate::classes::is_relatively_serial(
+            &fig.txns, &s2, &fig.spec
+        ));
+    }
+
+    #[test]
+    fn figure3_total_arc_inventory() {
+        // The published drawing has exactly 12 labelled arcs: I×3, F×2,
+        // B×2, "D,F"×2, "D,B"×2, "D,F,B"×1.
+        let fig = Figure3::new();
+        let rsg = Rsg::build(&fig.txns, &fig.s_2(), &fig.spec);
+        assert_eq!(rsg.arc_count(), 12);
+        let mut label_counts = std::collections::HashMap::new();
+        for (_, _, kinds) in rsg.arcs() {
+            *label_counts.entry(kinds.to_string()).or_insert(0u32) += 1;
+        }
+        assert_eq!(label_counts.get("I"), Some(&3));
+        assert_eq!(label_counts.get("F"), Some(&2));
+        assert_eq!(label_counts.get("B"), Some(&2));
+        assert_eq!(label_counts.get("D,F"), Some(&2));
+        assert_eq!(label_counts.get("D,B"), Some(&2));
+        assert_eq!(label_counts.get("D,F,B"), Some(&1));
+    }
+
+    #[test]
+    fn figure4_schedule_is_relatively_serial() {
+        let fig = Figure4::new();
+        let s = fig.s();
+        let report = classify(&fig.txns, &s, &fig.spec);
+        assert!(report.relatively_serial, "paper: S is relatively serial");
+        assert!(report.relatively_serializable);
+        assert!(
+            !report.relatively_atomic,
+            "T1 sits inside T3's unit as seen by T1"
+        );
+    }
+}

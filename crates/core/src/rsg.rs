@@ -1,0 +1,518 @@
+//! The Relative Serialization Graph (§3, Definition 3) and the paper's
+//! Theorem 1.
+//!
+//! `RSG(S)` is a directed graph over the *operations* of the schedule with
+//! four arc families:
+//!
+//! 1. **I-arcs** — program order: `o_{i,j} -> o_{i,j+1}`;
+//! 2. **D-arcs** — `o_{i,j} -> o_{k,l}` (`i ≠ k`) whenever `o_{k,l}`
+//!    *depends on* `o_{i,j}` in `S` (this subsumes conflicts);
+//! 3. **F-arcs** — for each D-arc `o_{i,j} -> o_{k,l}`:
+//!    `PushForward(o_{i,j}, T_k) -> o_{k,l}` — the dependent operation must
+//!    fall after the *entire* atomic unit its source belongs to, as seen by
+//!    the dependent's transaction;
+//! 4. **B-arcs** — for each D-arc `o_{k,l} -> o_{i,j}`:
+//!    `o_{k,l} -> PullBackward(o_{i,j}, T_k)` — the source must precede the
+//!    *entire* atomic unit of its dependent, as seen by the source's
+//!    transaction.
+//!
+//! **Theorem 1.** `S` is relatively serializable **iff** `RSG(S)` is
+//! acyclic. The sufficiency direction is constructive — a topological sort
+//! of an acyclic RSG *is* an equivalent relatively serial schedule — and
+//! [`Rsg::witness`] implements exactly that construction.
+
+use crate::depends::DependsOn;
+use crate::ids::OpId;
+use crate::schedule::Schedule;
+use crate::spec::AtomicitySpec;
+use crate::txn::TxnSet;
+use relser_digraph::{cycle, dot, topo, DiGraph, NodeIdx};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A set of arc kinds on one RSG edge (an edge may simultaneously be, say,
+/// a D-, F-, and B-arc, as in the paper's Figure 3).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct ArcKinds(u8);
+
+impl ArcKinds {
+    /// Internal (program-order) arc.
+    pub const I: ArcKinds = ArcKinds(1);
+    /// Dependency arc.
+    pub const D: ArcKinds = ArcKinds(2);
+    /// Push-forward arc.
+    pub const F: ArcKinds = ArcKinds(4);
+    /// Pull-backward arc.
+    pub const B: ArcKinds = ArcKinds(8);
+
+    /// No kinds.
+    pub fn empty() -> Self {
+        ArcKinds(0)
+    }
+
+    /// Does this set contain every kind in `other`?
+    pub fn contains(self, other: ArcKinds) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Is the set empty?
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl std::ops::BitOr for ArcKinds {
+    type Output = ArcKinds;
+    fn bitor(self, rhs: ArcKinds) -> ArcKinds {
+        ArcKinds(self.0 | rhs.0)
+    }
+}
+
+impl std::ops::BitOrAssign for ArcKinds {
+    fn bitor_assign(&mut self, rhs: ArcKinds) {
+        self.0 |= rhs.0;
+    }
+}
+
+impl fmt::Display for ArcKinds {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut parts = Vec::new();
+        if self.contains(ArcKinds::I) {
+            parts.push("I");
+        }
+        if self.contains(ArcKinds::D) {
+            parts.push("D");
+        }
+        if self.contains(ArcKinds::F) {
+            parts.push("F");
+        }
+        if self.contains(ArcKinds::B) {
+            parts.push("B");
+        }
+        write!(f, "{}", parts.join(","))
+    }
+}
+
+impl fmt::Debug for ArcKinds {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// Which arc families to generate — the default is the paper's full
+/// Definition 3. Disabling families yields the deliberately *incomplete*
+/// variants used by the ablation experiments: the paper notes (§3) that
+/// Lynch and Farrag–Özsu "use the notion of pushing forward … however,
+/// neither of them employed the notion of pulling backward", and the
+/// ablation measures exactly what the missing B-arcs cost.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ArcConfig {
+    /// Generate push-forward arcs.
+    pub f_arcs: bool,
+    /// Generate pull-backward arcs.
+    pub b_arcs: bool,
+}
+
+impl Default for ArcConfig {
+    fn default() -> Self {
+        ArcConfig {
+            f_arcs: true,
+            b_arcs: true,
+        }
+    }
+}
+
+/// The relative serialization graph of one schedule under one
+/// specification.
+///
+/// Nodes are the schedule's operations, indexed by schedule position;
+/// parallel arcs of different kinds between the same operations are merged
+/// into a single edge carrying an [`ArcKinds`] set.
+#[derive(Clone, Debug)]
+pub struct Rsg {
+    g: DiGraph<OpId, ArcKinds>,
+    /// Node index == schedule position; kept for witness extraction.
+    schedule: Schedule,
+}
+
+impl Rsg {
+    /// Builds `RSG(schedule)` per Definition 3, computing the depends-on
+    /// relation internally.
+    ///
+    /// ```
+    /// use relser_core::prelude::*;
+    /// let txns = TxnSet::parse(&["r1[x] w1[x]", "r2[x] w2[x]"]).unwrap();
+    /// let spec = AtomicitySpec::absolute(&txns);
+    /// // The classic lost update is rejected...
+    /// let bad = txns.parse_schedule("r1[x] r2[x] w1[x] w2[x]").unwrap();
+    /// assert!(!Rsg::build(&txns, &bad, &spec).is_acyclic());
+    /// // ...but admitted once the user declares the transactions
+    /// // arbitrarily interleavable.
+    /// let free = AtomicitySpec::free(&txns);
+    /// assert!(Rsg::build(&txns, &bad, &free).is_acyclic());
+    /// ```
+    pub fn build(txns: &TxnSet, schedule: &Schedule, spec: &AtomicitySpec) -> Self {
+        let deps = DependsOn::compute(txns, schedule);
+        Self::build_with_deps(txns, schedule, spec, &deps)
+    }
+
+    /// Builds the RSG from a precomputed dependency relation. Passing
+    /// [`DependsOn::direct`] here yields the deliberately *incorrect*
+    /// conflict-only variant used by experiment E3 (Figure 2) — the paper's
+    /// argument for why the transitive closure is necessary.
+    pub fn build_with_deps(
+        txns: &TxnSet,
+        schedule: &Schedule,
+        spec: &AtomicitySpec,
+        deps: &DependsOn,
+    ) -> Self {
+        Self::build_with_config(txns, schedule, spec, deps, ArcConfig::default())
+    }
+
+    /// Builds the graph with a chosen subset of arc families (see
+    /// [`ArcConfig`]). Only the default configuration decides relative
+    /// serializability; the others exist for the ablation experiments.
+    pub fn build_with_config(
+        txns: &TxnSet,
+        schedule: &Schedule,
+        spec: &AtomicitySpec,
+        deps: &DependsOn,
+        config: ArcConfig,
+    ) -> Self {
+        let n = schedule.len();
+        let mut arcs: HashMap<(u32, u32), ArcKinds> = HashMap::new();
+        let mut add = |from: usize, to: usize, kind: ArcKinds| {
+            debug_assert_ne!(from, to, "RSG arcs never self-loop by construction");
+            *arcs
+                .entry((from as u32, to as u32))
+                .or_insert_with(ArcKinds::empty) |= kind;
+        };
+
+        // I-arcs: consecutive operations of each transaction.
+        for t in txns.txns() {
+            for w in (0..t.len() as u32).collect::<Vec<_>>().windows(2) {
+                let a = schedule.position(OpId::new(t.id(), w[0]));
+                let b = schedule.position(OpId::new(t.id(), w[1]));
+                add(a, b, ArcKinds::I);
+            }
+        }
+
+        // D-arcs and their induced F- and B-arcs.
+        for p in 0..n {
+            let src = schedule.op_at(p);
+            let dependents: Vec<usize> = deps.affected_by(p).collect();
+            for q in dependents {
+                let dst = schedule.op_at(q);
+                if src.txn == dst.txn {
+                    continue; // D-arcs are cross-transaction only
+                }
+                add(p, q, ArcKinds::D);
+                if config.f_arcs {
+                    // F-arc: PushForward(src, txn(dst)) -> dst.
+                    let pf = spec.push_forward(src, dst.txn);
+                    add(schedule.position(pf), q, ArcKinds::F);
+                }
+                if config.b_arcs {
+                    // B-arc: src -> PullBackward(dst, txn(src)).
+                    let pb = spec.pull_backward(dst, src.txn);
+                    add(p, schedule.position(pb), ArcKinds::B);
+                }
+            }
+        }
+
+        let mut g: DiGraph<OpId, ArcKinds> = DiGraph::with_capacity(n, arcs.len());
+        for p in 0..n {
+            g.add_node(schedule.op_at(p));
+        }
+        // Deterministic edge order for reproducible DOT output and tests.
+        let mut sorted: Vec<((u32, u32), ArcKinds)> = arcs.into_iter().collect();
+        sorted.sort_by_key(|&(k, _)| k);
+        for ((a, b), kinds) in sorted {
+            g.add_edge(NodeIdx(a), NodeIdx(b), kinds);
+        }
+        Rsg {
+            g,
+            schedule: schedule.clone(),
+        }
+    }
+
+    /// Number of operations (nodes).
+    pub fn node_count(&self) -> usize {
+        self.g.node_count()
+    }
+
+    /// Number of merged arcs (edges).
+    pub fn arc_count(&self) -> usize {
+        self.g.edge_count()
+    }
+
+    /// All arcs as `(from, to, kinds)` triples in deterministic order.
+    pub fn arcs(&self) -> Vec<(OpId, OpId, ArcKinds)> {
+        self.g
+            .edge_refs()
+            .map(|e| {
+                (
+                    *self.g.node_weight(e.from),
+                    *self.g.node_weight(e.to),
+                    *e.weight,
+                )
+            })
+            .collect()
+    }
+
+    /// The kinds on the arc `from -> to`, if present.
+    pub fn arc_between(&self, from: OpId, to: OpId) -> Option<ArcKinds> {
+        let a = NodeIdx(self.schedule.position(from) as u32);
+        let b = NodeIdx(self.schedule.position(to) as u32);
+        self.g.find_edge(a, b).map(|e| *self.g.edge_weight(e))
+    }
+
+    /// Theorem 1's criterion: is the schedule relatively serializable?
+    pub fn is_acyclic(&self) -> bool {
+        cycle::is_acyclic(&self.g)
+    }
+
+    /// A witness cycle (operations in cycle order) when the schedule is
+    /// *not* relatively serializable.
+    pub fn find_cycle(&self) -> Option<Vec<OpId>> {
+        cycle::find_cycle(&self.g).map(|c| c.into_iter().map(|v| *self.g.node_weight(v)).collect())
+    }
+
+    /// The constructive half of Theorem 1: if the RSG is acyclic, a
+    /// topological sort of it is a **relatively serial** schedule
+    /// conflict-equivalent to the original. Ties are broken by original
+    /// schedule position, so the witness is canonical.
+    ///
+    /// Returns `None` iff the RSG is cyclic.
+    pub fn witness(&self, txns: &TxnSet) -> Option<Schedule> {
+        let sched = &self.schedule;
+        let order = topo::topological_sort_by(&self.g, |v| v.index())?;
+        let ops: Vec<OpId> = order.into_iter().map(|v| *self.g.node_weight(v)).collect();
+        let witness = Schedule::new(txns, ops)
+            .expect("topological order of RSG respects program order via I-arcs");
+        debug_assert!(
+            witness.conflict_equivalent(sched, txns),
+            "witness must be conflict-equivalent (D-arcs subsume conflicts)"
+        );
+        Some(witness)
+    }
+
+    /// Graphviz rendering with paper-style labels (nodes `r1[x]`, edges
+    /// `D,F`), suitable for comparing against the paper's Figure 3.
+    pub fn to_dot(&self, txns: &TxnSet, name: &str) -> String {
+        dot::to_dot(
+            &self.g,
+            name,
+            |op| txns.display_op(*op),
+            |kinds| kinds.to_string(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::TxnId;
+
+    const T1: TxnId = TxnId(0);
+    const T2: TxnId = TxnId(1);
+    const T3: TxnId = TxnId(2);
+
+    fn fig1() -> (TxnSet, AtomicitySpec) {
+        let txns = TxnSet::parse(&[
+            "r1[x] w1[x] w1[z] r1[y]",
+            "r2[y] w2[y] r2[x]",
+            "w3[x] w3[y] w3[z]",
+        ])
+        .unwrap();
+        let mut spec = AtomicitySpec::absolute(&txns);
+        spec.set_units_str(&txns, 0, 1, "r1[x] w1[x] | w1[z] r1[y]")
+            .unwrap();
+        spec.set_units_str(&txns, 0, 2, "r1[x] w1[x] | w1[z] | r1[y]")
+            .unwrap();
+        spec.set_units_str(&txns, 1, 0, "r2[y] | w2[y] r2[x]")
+            .unwrap();
+        spec.set_units_str(&txns, 1, 2, "r2[y] w2[y] | r2[x]")
+            .unwrap();
+        spec.set_units_str(&txns, 2, 0, "w3[x] w3[y] | w3[z]")
+            .unwrap();
+        spec.set_units_str(&txns, 2, 1, "w3[x] w3[y] | w3[z]")
+            .unwrap();
+        (txns, spec)
+    }
+
+    #[test]
+    fn arckinds_display() {
+        assert_eq!(
+            (ArcKinds::D | ArcKinds::F | ArcKinds::B).to_string(),
+            "D,F,B"
+        );
+        assert_eq!(ArcKinds::I.to_string(), "I");
+        assert!((ArcKinds::D | ArcKinds::F).contains(ArcKinds::D));
+        assert!(!(ArcKinds::D).contains(ArcKinds::F));
+        assert!(ArcKinds::empty().is_empty());
+    }
+
+    #[test]
+    fn srs_is_relatively_serializable() {
+        let (txns, spec) = fig1();
+        let srs = txns
+            .parse_schedule("r1[x] r2[y] w1[x] w2[y] w3[x] w1[z] w3[y] r2[x] r1[y] w3[z]")
+            .unwrap();
+        let rsg = Rsg::build(&txns, &srs, &spec);
+        assert!(rsg.is_acyclic());
+        let w = rsg.witness(&txns).unwrap();
+        assert!(w.conflict_equivalent(&srs, &txns));
+    }
+
+    #[test]
+    fn s2_is_relatively_serializable_and_witness_matches_conflicts() {
+        let (txns, spec) = fig1();
+        let s2 = txns
+            .parse_schedule("r1[x] r2[y] w2[y] w1[x] w3[x] r2[x] w1[z] w3[y] r1[y] w3[z]")
+            .unwrap();
+        let rsg = Rsg::build(&txns, &s2, &spec);
+        assert!(rsg.is_acyclic(), "paper: S2 is relatively serializable");
+        let w = rsg.witness(&txns).unwrap();
+        assert!(w.conflict_equivalent(&s2, &txns));
+    }
+
+    #[test]
+    fn absolute_spec_reduces_to_conflict_serializability() {
+        // Under absolute atomicity, RSG acyclicity must agree with SG
+        // acyclicity (Lemma 1 + §2 closing remarks).
+        let txns = TxnSet::parse(&["r1[x] w1[x]", "r2[x] w2[x]"]).unwrap();
+        let spec = AtomicitySpec::absolute(&txns);
+        let bad = txns.parse_schedule("r1[x] r2[x] w1[x] w2[x]").unwrap();
+        assert!(!Rsg::build(&txns, &bad, &spec).is_acyclic());
+        assert!(!crate::sg::is_conflict_serializable(&txns, &bad));
+        let good = txns.parse_schedule("r1[x] w1[x] r2[x] w2[x]").unwrap();
+        assert!(Rsg::build(&txns, &good, &spec).is_acyclic());
+    }
+
+    #[test]
+    fn free_spec_accepts_everything() {
+        // With per-operation units and Theorem 1, every schedule is
+        // relatively serializable (every topological conflict order can be
+        // realized: F/B arcs collapse to D arcs).
+        let txns = TxnSet::parse(&["r1[x] w1[x]", "r2[x] w2[x]"]).unwrap();
+        let spec = AtomicitySpec::free(&txns);
+        let s = txns.parse_schedule("r1[x] r2[x] w1[x] w2[x]").unwrap();
+        let rsg = Rsg::build(&txns, &s, &spec);
+        assert!(rsg.is_acyclic());
+        let w = rsg.witness(&txns).unwrap();
+        assert!(w.conflict_equivalent(&s, &txns));
+    }
+
+    #[test]
+    fn cycle_witness_is_reported_in_operations() {
+        let txns = TxnSet::parse(&["r1[x] w1[x]", "r2[x] w2[x]"]).unwrap();
+        let spec = AtomicitySpec::absolute(&txns);
+        let bad = txns.parse_schedule("r1[x] r2[x] w1[x] w2[x]").unwrap();
+        let rsg = Rsg::build(&txns, &bad, &spec);
+        let cycle = rsg.find_cycle().expect("cyclic");
+        assert!(cycle.len() >= 2);
+        assert!(rsg.witness(&txns).is_none());
+    }
+
+    #[test]
+    fn dot_output_uses_paper_notation() {
+        let (txns, spec) = fig1();
+        let s = txns
+            .parse_schedule("r1[x] r2[y] w1[x] w2[y] w3[x] w1[z] w3[y] r2[x] r1[y] w3[z]")
+            .unwrap();
+        let rsg = Rsg::build(&txns, &s, &spec);
+        let dot = rsg.to_dot(&txns, "rsg_srs");
+        assert!(dot.contains("r1[x]"));
+        assert!(dot.contains("label=\"I\"") || dot.contains("label=\"I,"));
+    }
+
+    #[test]
+    fn i_arcs_follow_program_order() {
+        let (txns, spec) = fig1();
+        let s = txns
+            .parse_schedule("r1[x] r2[y] w1[x] w2[y] w3[x] w1[z] w3[y] r2[x] r1[y] w3[z]")
+            .unwrap();
+        let rsg = Rsg::build(&txns, &s, &spec);
+        for t in [T1, T2, T3] {
+            let len = txns.txn(t).len() as u32;
+            for j in 0..len - 1 {
+                let kinds = rsg
+                    .arc_between(OpId::new(t, j), OpId::new(t, j + 1))
+                    .unwrap_or_else(|| panic!("missing I-arc in {t} at {j}"));
+                assert!(kinds.contains(ArcKinds::I));
+            }
+        }
+    }
+
+    /// §3: prior work (Lynch, Farrag–Özsu) used push-forward but "neither
+    /// of them employed the notion of pulling backward". Without B-arcs
+    /// the test is unsound: this Figure 1 schedule is *not* relatively
+    /// serializable, yet the B-less graph is acyclic. (Found by exhaustive
+    /// search; 434 of the universe's 4200 schedules are false-accepted.)
+    #[test]
+    fn dropping_b_arcs_is_unsound() {
+        let (txns, spec) = fig1();
+        let s = txns
+            .parse_schedule("r2[y] w2[y] w3[x] r1[x] w1[x] w1[z] r2[x] w3[y] r1[y] w3[z]")
+            .unwrap();
+        let deps = crate::depends::DependsOn::compute(&txns, &s);
+        let full = Rsg::build_with_deps(&txns, &s, &spec, &deps);
+        assert!(!full.is_acyclic(), "the full RSG rejects this schedule");
+        let no_b = Rsg::build_with_config(
+            &txns,
+            &s,
+            &spec,
+            &deps,
+            ArcConfig {
+                f_arcs: true,
+                b_arcs: false,
+            },
+        );
+        assert!(no_b.is_acyclic(), "without B-arcs the cycle disappears");
+    }
+
+    /// Ablated graphs are always sub-graphs: whatever the full RSG
+    /// accepts, the ablations accept too.
+    #[test]
+    fn ablations_only_accept_more() {
+        let (txns, spec) = fig1();
+        for sched in [
+            "r1[x] r2[y] w1[x] w2[y] w3[x] w1[z] w3[y] r2[x] r1[y] w3[z]",
+            "r2[y] r1[x] w1[x] w2[y] r2[x] w1[z] w3[x] w3[y] r1[y] w3[z]",
+        ] {
+            let s = txns.parse_schedule(sched).unwrap();
+            let deps = crate::depends::DependsOn::compute(&txns, &s);
+            if Rsg::build_with_deps(&txns, &s, &spec, &deps).is_acyclic() {
+                for config in [
+                    ArcConfig {
+                        f_arcs: false,
+                        b_arcs: true,
+                    },
+                    ArcConfig {
+                        f_arcs: true,
+                        b_arcs: false,
+                    },
+                    ArcConfig {
+                        f_arcs: false,
+                        b_arcs: false,
+                    },
+                ] {
+                    assert!(Rsg::build_with_config(&txns, &s, &spec, &deps, config).is_acyclic());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn arc_count_and_node_count_consistent() {
+        let (txns, spec) = fig1();
+        let s = txns
+            .parse_schedule("r2[y] r1[x] w1[x] w2[y] r2[x] w1[z] w3[x] w3[y] r1[y] w3[z]")
+            .unwrap();
+        let rsg = Rsg::build(&txns, &s, &spec);
+        assert_eq!(rsg.node_count(), 10);
+        assert_eq!(rsg.arcs().len(), rsg.arc_count());
+        assert!(rsg.arc_count() >= 7, "at least the I-arcs exist");
+    }
+}

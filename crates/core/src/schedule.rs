@@ -1,0 +1,286 @@
+//! Schedules: interleaved total orders over a transaction set.
+//!
+//! §2 of the paper: "A schedule S over T = {T1,…,Tn} is an interleaved
+//! sequence of all the operations of the transactions in T such that the
+//! operations of transaction Ti appear in the same order in S as they do in
+//! Ti." (The paper — and this crate — restrict attention to totally-ordered
+//! schedules.)
+
+use crate::error::{Error, Result};
+use crate::ids::{OpId, TxnId};
+use crate::txn::TxnSet;
+
+/// A validated schedule: a permutation of every operation of a [`TxnSet`]
+/// preserving each transaction's program order.
+///
+/// Positions are 0-based indices into the schedule sequence; a precomputed
+/// position table makes `position(op)` O(1).
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Schedule {
+    order: Vec<OpId>,
+    /// `pos[t][j]` = schedule position of operation `o_{t,j}`.
+    pos: Vec<Vec<u32>>,
+}
+
+impl Schedule {
+    /// Validates and wraps an operation sequence.
+    ///
+    /// Errors if `order` is not a permutation of all operations of `txns`
+    /// or violates some transaction's program order.
+    pub fn new(txns: &TxnSet, order: Vec<OpId>) -> Result<Self> {
+        if order.len() != txns.total_ops() {
+            return Err(Error::NotAPermutation(format!(
+                "schedule has {} operations, transaction set has {}",
+                order.len(),
+                txns.total_ops()
+            )));
+        }
+        let mut cursor: Vec<u32> = vec![0; txns.len()];
+        let mut pos: Vec<Vec<u32>> = txns
+            .txns()
+            .iter()
+            .map(|t| vec![u32::MAX; t.len()])
+            .collect();
+        for (p, &op) in order.iter().enumerate() {
+            let txn = txns.get(op.txn).ok_or(Error::UnknownTxn(op.txn))?;
+            if op.index as usize >= txn.len() {
+                return Err(Error::UnknownOp(op));
+            }
+            let expected = cursor[op.txn.index()];
+            if op.index != expected {
+                return Err(Error::ProgramOrderViolated { txn: op.txn, op });
+            }
+            cursor[op.txn.index()] += 1;
+            pos[op.txn.index()][op.index as usize] = p as u32;
+        }
+        Ok(Schedule { order, pos })
+    }
+
+    /// The operations in schedule order.
+    pub fn ops(&self) -> &[OpId] {
+        &self.order
+    }
+
+    /// Number of operations.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Is the schedule empty (only possible for an empty transaction set)?
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// Position of `op` in the schedule, O(1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `op` does not belong to the schedule's transaction set.
+    pub fn position(&self, op: OpId) -> usize {
+        self.pos[op.txn.index()][op.index as usize] as usize
+    }
+
+    /// The operation at `position`.
+    pub fn op_at(&self, position: usize) -> OpId {
+        self.order[position]
+    }
+
+    /// Does `a` precede `b` in the schedule?
+    pub fn precedes(&self, a: OpId, b: OpId) -> bool {
+        self.position(a) < self.position(b)
+    }
+
+    /// Is the schedule serial (each transaction's operations contiguous)?
+    pub fn is_serial(&self) -> bool {
+        let mut current: Option<TxnId> = None;
+        let mut finished: Vec<bool> = vec![false; self.pos.len()];
+        for &op in &self.order {
+            match current {
+                Some(t) if t == op.txn => {}
+                _ => {
+                    if let Some(t) = current {
+                        finished[t.index()] = true;
+                    }
+                    if finished[op.txn.index()] {
+                        return false; // transaction resumed after another ran
+                    }
+                    current = Some(op.txn);
+                }
+            }
+        }
+        true
+    }
+
+    /// All conflicting ordered pairs `(a, b)`: `a` precedes `b`, different
+    /// transactions, same object, at least one write. This is the data on
+    /// which conflict equivalence is defined.
+    pub fn conflict_pairs(&self, txns: &TxnSet) -> Vec<(OpId, OpId)> {
+        let mut pairs = Vec::new();
+        for (p, &a) in self.order.iter().enumerate() {
+            let op_a = txns.op(a).expect("validated schedule");
+            for &b in &self.order[p + 1..] {
+                if a.txn == b.txn {
+                    continue;
+                }
+                let op_b = txns.op(b).expect("validated schedule");
+                if op_a.conflicts_with(op_b) {
+                    pairs.push((a, b));
+                }
+            }
+        }
+        pairs
+    }
+
+    /// Conflict equivalence (§2): both schedules order every conflicting
+    /// pair the same way. The schedules must be over the same [`TxnSet`]
+    /// (same operations), otherwise `false`.
+    pub fn conflict_equivalent(&self, other: &Schedule, txns: &TxnSet) -> bool {
+        if self.len() != other.len() {
+            return false;
+        }
+        // Both must be schedules over `txns`; conflicting pairs must agree.
+        self.conflict_pairs(txns)
+            .into_iter()
+            .all(|(a, b)| other.precedes(a, b))
+    }
+
+    /// Renders the schedule in the paper's inline style:
+    /// `r2[y] r1[x] w1[x] …`.
+    pub fn display(&self, txns: &TxnSet) -> String {
+        self.order
+            .iter()
+            .map(|&o| txns.display_op(o))
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::OpId;
+
+    fn fig1() -> TxnSet {
+        TxnSet::parse(&[
+            "r1[x] w1[x] w1[z] r1[y]",
+            "r2[y] w2[y] r2[x]",
+            "w3[x] w3[y] w3[z]",
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn position_and_precedes() {
+        let t = fig1();
+        let s = t
+            .parse_schedule("r2[y] r1[x] w1[x] w2[y] r2[x] w1[z] w3[x] w3[y] r1[y] w3[z]")
+            .unwrap();
+        let r2y = OpId::new(TxnId(1), 0);
+        let w3z = OpId::new(TxnId(2), 2);
+        assert_eq!(s.position(r2y), 0);
+        assert_eq!(s.position(w3z), 9);
+        assert!(s.precedes(r2y, w3z));
+        assert!(!s.precedes(w3z, r2y));
+        assert_eq!(s.op_at(0), r2y);
+    }
+
+    #[test]
+    fn serial_detection() {
+        let t = fig1();
+        let serial = t.serial_schedule(&[TxnId(0), TxnId(1), TxnId(2)]).unwrap();
+        assert!(serial.is_serial());
+        let interleaved = t
+            .parse_schedule("r2[y] r1[x] w1[x] w2[y] r2[x] w1[z] w3[x] w3[y] r1[y] w3[z]")
+            .unwrap();
+        assert!(!interleaved.is_serial());
+    }
+
+    #[test]
+    fn program_order_enforced() {
+        let t = TxnSet::parse(&["r1[x] w1[y]"]).unwrap();
+        let bad = vec![OpId::new(TxnId(0), 1), OpId::new(TxnId(0), 0)];
+        let err = Schedule::new(&t, bad).unwrap_err();
+        assert!(matches!(err, Error::ProgramOrderViolated { .. }));
+    }
+
+    #[test]
+    fn permutation_enforced() {
+        let t = TxnSet::parse(&["r1[x] w1[y]"]).unwrap();
+        assert!(matches!(
+            Schedule::new(&t, vec![OpId::new(TxnId(0), 0)]),
+            Err(Error::NotAPermutation(_))
+        ));
+        // Duplicate op: length right but program order broken.
+        let dup = vec![OpId::new(TxnId(0), 0), OpId::new(TxnId(0), 0)];
+        assert!(Schedule::new(&t, dup).is_err());
+    }
+
+    #[test]
+    fn foreign_ops_rejected() {
+        let t = TxnSet::parse(&["r1[x]"]).unwrap();
+        assert!(matches!(
+            Schedule::new(&t, vec![OpId::new(TxnId(3), 0)]),
+            Err(Error::UnknownTxn(_))
+        ));
+    }
+
+    #[test]
+    fn conflict_pairs_of_simple_schedule() {
+        let t = TxnSet::parse(&["r1[x] w1[x]", "w2[x]"]).unwrap();
+        let s = t.parse_schedule("r1[x] w2[x] w1[x]").unwrap();
+        let pairs = s.conflict_pairs(&t);
+        let shown: Vec<(String, String)> = pairs
+            .iter()
+            .map(|&(a, b)| (t.display_op(a), t.display_op(b)))
+            .collect();
+        assert_eq!(
+            shown,
+            vec![
+                ("r1[x]".into(), "w2[x]".into()),
+                ("w2[x]".into(), "w1[x]".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn reads_do_not_generate_conflict_pairs() {
+        let t = TxnSet::parse(&["r1[x]", "r2[x]"]).unwrap();
+        let s = t.parse_schedule("r1[x] r2[x]").unwrap();
+        assert!(s.conflict_pairs(&t).is_empty());
+    }
+
+    #[test]
+    fn conflict_equivalence_positive_and_negative() {
+        let t = fig1();
+        // The paper: S2 is conflict-equivalent to Srs.
+        let srs = t
+            .parse_schedule("r1[x] r2[y] w1[x] w2[y] w3[x] w1[z] w3[y] r2[x] r1[y] w3[z]")
+            .unwrap();
+        let s2 = t
+            .parse_schedule("r1[x] r2[y] w2[y] w1[x] w3[x] r2[x] w1[z] w3[y] r1[y] w3[z]")
+            .unwrap();
+        assert!(s2.conflict_equivalent(&srs, &t));
+        assert!(srs.conflict_equivalent(&s2, &t));
+        // A serial schedule ordering T3 first flips w1[x]/w3[x] and more.
+        let serial = t.serial_schedule(&[TxnId(2), TxnId(0), TxnId(1)]).unwrap();
+        assert!(!s2.conflict_equivalent(&serial, &t));
+    }
+
+    #[test]
+    fn conflict_equivalence_is_reflexive() {
+        let t = fig1();
+        let s = t
+            .parse_schedule("r2[y] r1[x] w1[x] w2[y] r2[x] w1[z] w3[x] w3[y] r1[y] w3[z]")
+            .unwrap();
+        assert!(s.conflict_equivalent(&s, &t));
+    }
+
+    #[test]
+    fn display_roundtrips_through_parse() {
+        let t = fig1();
+        let text = "r2[y] r1[x] w1[x] w2[y] r2[x] w1[z] w3[x] w3[y] r1[y] w3[z]";
+        let s = t.parse_schedule(text).unwrap();
+        assert_eq!(s.display(&t), text);
+    }
+}

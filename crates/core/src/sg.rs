@@ -1,0 +1,150 @@
+//! The classical serialization graph `SG(S)` and conflict serializability
+//! \[Pap79, BSW79\] — the baseline theory the paper generalizes, and the
+//! tool used in the proof of Lemma 1.
+
+use crate::ids::TxnId;
+use crate::schedule::Schedule;
+use crate::txn::TxnSet;
+use relser_digraph::{cycle, topo, DiGraph, NodeIdx};
+
+/// The serialization graph: one node per transaction, an edge
+/// `T_i -> T_k` whenever some operation of `T_i` conflicts with and
+/// precedes some operation of `T_k` in the schedule.
+#[derive(Clone, Debug)]
+pub struct SerializationGraph {
+    g: DiGraph<TxnId, ()>,
+}
+
+impl SerializationGraph {
+    /// Builds `SG(schedule)`.
+    pub fn build(txns: &TxnSet, schedule: &Schedule) -> Self {
+        let mut g: DiGraph<TxnId, ()> = DiGraph::with_capacity(txns.len(), txns.len());
+        for t in txns.txn_ids() {
+            g.add_node(t);
+        }
+        let mut seen = std::collections::HashSet::new();
+        for (a, b) in schedule.conflict_pairs(txns) {
+            if seen.insert((a.txn, b.txn)) {
+                g.add_edge(NodeIdx(a.txn.0), NodeIdx(b.txn.0), ());
+            }
+        }
+        SerializationGraph { g }
+    }
+
+    /// Is the graph acyclic (⇔ the schedule is conflict serializable)?
+    pub fn is_acyclic(&self) -> bool {
+        cycle::is_acyclic(&self.g)
+    }
+
+    /// Some cycle of transactions, if one exists.
+    pub fn find_cycle(&self) -> Option<Vec<TxnId>> {
+        cycle::find_cycle(&self.g).map(|c| c.into_iter().map(|v| TxnId(v.0)).collect())
+    }
+
+    /// An equivalent serial order of the transactions, if the graph is
+    /// acyclic (the standard serializability witness).
+    pub fn serial_order(&self) -> Option<Vec<TxnId>> {
+        topo::topological_sort(&self.g).map(|o| o.into_iter().map(|v| TxnId(v.0)).collect())
+    }
+
+    /// Does the graph contain the edge `a -> b`?
+    pub fn has_edge(&self, a: TxnId, b: TxnId) -> bool {
+        self.g.has_edge(NodeIdx(a.0), NodeIdx(b.0))
+    }
+
+    /// Number of (deduplicated) edges.
+    pub fn edge_count(&self) -> usize {
+        self.g.edge_count()
+    }
+}
+
+/// Is `schedule` conflict serializable?
+pub fn is_conflict_serializable(txns: &TxnSet, schedule: &Schedule) -> bool {
+    SerializationGraph::build(txns, schedule).is_acyclic()
+}
+
+/// If `schedule` is conflict serializable, returns an equivalent *serial*
+/// schedule (transactions in a topological order of `SG`).
+pub fn serialization_witness(txns: &TxnSet, schedule: &Schedule) -> Option<Schedule> {
+    let order = SerializationGraph::build(txns, schedule).serial_order()?;
+    let witness = txns
+        .serial_schedule(&order)
+        .expect("topological order over all transactions is a valid serial schedule");
+    debug_assert!(witness.conflict_equivalent(schedule, txns));
+    Some(witness)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serializable_schedule_accepted_with_witness() {
+        let txns = TxnSet::parse(&["r1[x] w1[x]", "r2[x] w2[x]"]).unwrap();
+        let s = txns.parse_schedule("r1[x] w1[x] r2[x] w2[x]").unwrap();
+        assert!(is_conflict_serializable(&txns, &s));
+        let w = serialization_witness(&txns, &s).unwrap();
+        assert!(w.is_serial());
+        assert!(w.conflict_equivalent(&s, &txns));
+    }
+
+    #[test]
+    fn lost_update_rejected() {
+        // Classic non-serializable interleaving.
+        let txns = TxnSet::parse(&["r1[x] w1[x]", "r2[x] w2[x]"]).unwrap();
+        let s = txns.parse_schedule("r1[x] r2[x] w1[x] w2[x]").unwrap();
+        assert!(!is_conflict_serializable(&txns, &s));
+        let sg = SerializationGraph::build(&txns, &s);
+        assert!(sg.has_edge(TxnId(0), TxnId(1))); // r1[x] < w2[x]
+        assert!(sg.has_edge(TxnId(1), TxnId(0))); // r2[x] < w1[x]
+        let cycle = sg.find_cycle().unwrap();
+        assert_eq!(cycle.len(), 2);
+        assert!(serialization_witness(&txns, &s).is_none());
+    }
+
+    #[test]
+    fn serializable_but_not_serial() {
+        let txns = TxnSet::parse(&["r1[x] w1[y]", "r2[z] w2[t]"]).unwrap();
+        let s = txns.parse_schedule("r1[x] r2[z] w1[y] w2[t]").unwrap();
+        assert!(!s.is_serial());
+        assert!(is_conflict_serializable(&txns, &s));
+    }
+
+    #[test]
+    fn edges_deduplicated() {
+        let txns = TxnSet::parse(&["w1[x] w1[y]", "w2[x] w2[y]"]).unwrap();
+        let s = txns.parse_schedule("w1[x] w1[y] w2[x] w2[y]").unwrap();
+        let sg = SerializationGraph::build(&txns, &s);
+        assert_eq!(sg.edge_count(), 1); // two conflicts, one edge
+    }
+
+    #[test]
+    fn three_txn_cycle_detected() {
+        let txns = TxnSet::parse(&["w1[a] r1[c]", "w2[b] r2[a]", "w3[c] r3[b]"]).unwrap();
+        // w1[a] < r2[a]: 1->2; w2[b] < r3[b]: 2->3; w3[c] < r1[c]: 3->1.
+        let s = txns
+            .parse_schedule("w1[a] w2[b] w3[c] r2[a] r3[b] r1[c]")
+            .unwrap();
+        assert!(!is_conflict_serializable(&txns, &s));
+        assert_eq!(
+            SerializationGraph::build(&txns, &s)
+                .find_cycle()
+                .unwrap()
+                .len(),
+            3
+        );
+    }
+
+    #[test]
+    fn serial_schedules_always_serializable() {
+        let txns = TxnSet::parse(&["r1[x] w1[x]", "r2[x] w2[x]", "w3[x]"]).unwrap();
+        for perm in [[0u32, 1, 2], [2, 1, 0], [1, 0, 2]] {
+            let order: Vec<TxnId> = perm.iter().map(|&i| TxnId(i)).collect();
+            let s = txns.serial_schedule(&order).unwrap();
+            assert!(is_conflict_serializable(&txns, &s));
+            // The witness must be conflict-equivalent (possibly the same).
+            let w = serialization_witness(&txns, &s).unwrap();
+            assert!(w.conflict_equivalent(&s, &txns));
+        }
+    }
+}

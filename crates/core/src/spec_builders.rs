@@ -1,0 +1,387 @@
+//! Constructors for the prior-art specification styles the paper
+//! generalizes (§1, §4).
+//!
+//! * **Garcia-Molina compatibility sets** \[Gar83\]: transactions are grouped
+//!   into sets; transactions in the same set "may be arbitrarily
+//!   interleaved, but transactions in different sets observe each other as
+//!   single atomic units". [`compatibility_sets`] expresses that as a
+//!   relative atomicity specification (free within a group, absolute across
+//!   groups) — demonstrating the paper's claim that \[Gar83\] is a special
+//!   case of relative atomicity.
+//! * **Lynch multilevel atomicity** \[Lyn83\]: transactions sit at the
+//!   leaves of a hierarchy; each transaction carries a *nested* family of
+//!   breakpoint sets, one per tree depth, finer for more closely related
+//!   transactions. `Atomicity(T_i, T_j)` is `T_i`'s breakpoint set at the
+//!   depth of the least common ancestor of `T_i` and `T_j`.
+//!   [`MultilevelSpec`] enforces the nestedness constraints that make
+//!   Lynch's model *strictly less expressive* than relative atomicity —
+//!   which the tests demonstrate with a concrete inexpressible spec.
+
+use crate::error::{Error, Result};
+use crate::ids::TxnId;
+use crate::spec::AtomicitySpec;
+use crate::txn::TxnSet;
+
+/// Builds the relative atomicity specification corresponding to
+/// Garcia-Molina compatibility sets.
+///
+/// ```
+/// use relser_core::prelude::*;
+/// let txns = TxnSet::parse(&["r1[x] w1[x]", "r2[x] w2[x]", "w3[x]"]).unwrap();
+/// // T1 and T2 share a family; T3 is foreign.
+/// let spec = compatibility_sets(&txns, &[0, 0, 1]).unwrap();
+/// assert_eq!(spec.breakpoints(TxnId(0), TxnId(1)), &[1]); // free in-family
+/// assert!(spec.breakpoints(TxnId(0), TxnId(2)).is_empty()); // atomic outside
+/// ```
+///
+/// `group_of[t]` is the compatibility-set index of transaction `t`.
+/// Transactions sharing a group get fully-interleavable (per-operation)
+/// units relative to each other; transactions in different groups are
+/// mutually absolute.
+pub fn compatibility_sets(txns: &TxnSet, group_of: &[usize]) -> Result<AtomicitySpec> {
+    if group_of.len() != txns.len() {
+        return Err(Error::BadSpec(format!(
+            "group_of has {} entries for {} transactions",
+            group_of.len(),
+            txns.len()
+        )));
+    }
+    let mut spec = AtomicitySpec::absolute(txns);
+    for i in txns.txn_ids() {
+        for j in txns.txn_ids() {
+            if i != j && group_of[i.index()] == group_of[j.index()] {
+                let all: Vec<u32> = (1..txns.txn(i).len() as u32).collect();
+                spec.set_breakpoints(i, j, &all)?;
+            }
+        }
+    }
+    Ok(spec)
+}
+
+/// A node in a Lynch-style hierarchy: leaves are transactions (by 0-based
+/// index), internal nodes group subtrees.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Hierarchy {
+    /// A leaf holding transaction index `t`.
+    Txn(usize),
+    /// An internal grouping node.
+    Group(Vec<Hierarchy>),
+}
+
+impl Hierarchy {
+    /// Depth of each transaction leaf and a path id per transaction, used
+    /// to compute LCA depths. Returns `paths[t]` = sequence of child
+    /// indices from the root to the leaf of transaction `t`.
+    fn paths(&self, n: usize) -> Result<Vec<Vec<usize>>> {
+        let mut paths: Vec<Option<Vec<usize>>> = vec![None; n];
+        let mut stack: Vec<(&Hierarchy, Vec<usize>)> = vec![(self, Vec::new())];
+        while let Some((node, path)) = stack.pop() {
+            match node {
+                Hierarchy::Txn(t) => {
+                    if *t >= n {
+                        return Err(Error::UnknownTxn(TxnId(*t as u32)));
+                    }
+                    if paths[*t].is_some() {
+                        return Err(Error::BadSpec(format!(
+                            "transaction T{} appears twice in the hierarchy",
+                            t + 1
+                        )));
+                    }
+                    paths[*t] = Some(path);
+                }
+                Hierarchy::Group(children) => {
+                    for (ci, child) in children.iter().enumerate() {
+                        let mut p = path.clone();
+                        p.push(ci);
+                        stack.push((child, p));
+                    }
+                }
+            }
+        }
+        paths
+            .into_iter()
+            .enumerate()
+            .map(|(t, p)| {
+                p.ok_or_else(|| {
+                    Error::BadSpec(format!("transaction T{} missing from the hierarchy", t + 1))
+                })
+            })
+            .collect()
+    }
+}
+
+/// A validated multilevel-atomicity specification in the style of
+/// \[Lyn83\].
+#[derive(Clone, Debug)]
+pub struct MultilevelSpec {
+    /// `levels[t][d]` = breakpoints of transaction `t` exposed to
+    /// transactions whose LCA with `t` is at depth `d`. Sets must be
+    /// *nested*: `levels[t][d] ⊆ levels[t][d+1]` (deeper relationship ⇒
+    /// finer interleaving). Pairs deeper than the provided levels use the
+    /// deepest set.
+    levels: Vec<Vec<Vec<u32>>>,
+    /// Root-to-leaf child-index paths per transaction.
+    paths: Vec<Vec<usize>>,
+}
+
+impl MultilevelSpec {
+    /// Builds and validates a multilevel specification.
+    ///
+    /// * `hierarchy` must mention each transaction exactly once.
+    /// * `levels[t]` lists breakpoint sets from depth 0 (most distant
+    ///   relatives) inward; each must refine the previous (superset), each
+    ///   value in `1..len(T_t)`. An empty `levels[t]` means `T_t` is always
+    ///   a single unit.
+    pub fn new(txns: &TxnSet, hierarchy: &Hierarchy, levels: Vec<Vec<Vec<u32>>>) -> Result<Self> {
+        if levels.len() != txns.len() {
+            return Err(Error::BadSpec(format!(
+                "levels has {} entries for {} transactions",
+                levels.len(),
+                txns.len()
+            )));
+        }
+        let paths = hierarchy.paths(txns.len())?;
+        for (t, lvls) in levels.iter().enumerate() {
+            let len = txns.txn(TxnId(t as u32)).len() as u32;
+            let mut prev: &[u32] = &[];
+            for (d, set) in lvls.iter().enumerate() {
+                for w in set.windows(2) {
+                    if w[0] >= w[1] {
+                        return Err(Error::BadSpec(format!(
+                            "level {d} of T{} is not strictly increasing",
+                            t + 1
+                        )));
+                    }
+                }
+                if set.iter().any(|&b| b == 0 || b >= len) {
+                    return Err(Error::BadSpec(format!(
+                        "level {d} of T{} has out-of-range breakpoints",
+                        t + 1
+                    )));
+                }
+                if !prev.iter().all(|b| set.contains(b)) {
+                    return Err(Error::BadSpec(format!(
+                        "level {d} of T{} does not refine level {}: multilevel \
+                         atomicity requires nested breakpoint sets",
+                        t + 1,
+                        d.wrapping_sub(1)
+                    )));
+                }
+                prev = set;
+            }
+        }
+        Ok(MultilevelSpec { levels, paths })
+    }
+
+    /// Depth of the least common ancestor of `a` and `b` (root = depth 0).
+    pub fn lca_depth(&self, a: TxnId, b: TxnId) -> usize {
+        self.paths[a.index()]
+            .iter()
+            .zip(&self.paths[b.index()])
+            .take_while(|(x, y)| x == y)
+            .count()
+    }
+
+    /// Lowers the multilevel specification into a general
+    /// [`AtomicitySpec`], demonstrating that \[Lyn83\] is a special case of
+    /// relative atomicity.
+    pub fn to_spec(&self, txns: &TxnSet) -> Result<AtomicitySpec> {
+        let mut spec = AtomicitySpec::absolute(txns);
+        for i in txns.txn_ids() {
+            for j in txns.txn_ids() {
+                if i == j {
+                    continue;
+                }
+                let depth = self.lca_depth(i, j);
+                let lvls = &self.levels[i.index()];
+                if lvls.is_empty() {
+                    continue; // always a single unit
+                }
+                let set = &lvls[depth.min(lvls.len() - 1)];
+                spec.set_breakpoints(i, j, set)?;
+            }
+        }
+        Ok(spec)
+    }
+}
+
+/// Shorthand: builds the [`AtomicitySpec`] for a hierarchy + levels in one
+/// call.
+pub fn multilevel(
+    txns: &TxnSet,
+    hierarchy: &Hierarchy,
+    levels: Vec<Vec<Vec<u32>>>,
+) -> Result<AtomicitySpec> {
+    MultilevelSpec::new(txns, hierarchy, levels)?.to_spec(txns)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn four_txns() -> TxnSet {
+        TxnSet::parse(&[
+            "r1[a] w1[a] r1[b] w1[b]",
+            "r2[a] w2[a]",
+            "r3[c] w3[c]",
+            "r4[c] w4[c] r4[d]",
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn compatibility_sets_free_within_absolute_across() {
+        let t = four_txns();
+        // Groups: {T1, T2}, {T3, T4}.
+        let spec = compatibility_sets(&t, &[0, 0, 1, 1]).unwrap();
+        // Within a group: every op its own unit.
+        assert_eq!(spec.breakpoints(TxnId(0), TxnId(1)), &[1, 2, 3]);
+        assert_eq!(spec.breakpoints(TxnId(3), TxnId(2)), &[1, 2]);
+        // Across groups: single unit.
+        assert_eq!(spec.breakpoints(TxnId(0), TxnId(2)), &[] as &[u32]);
+        assert_eq!(spec.breakpoints(TxnId(3), TxnId(1)), &[] as &[u32]);
+    }
+
+    #[test]
+    fn compatibility_sets_validates_length() {
+        let t = four_txns();
+        assert!(compatibility_sets(&t, &[0, 0]).is_err());
+    }
+
+    #[test]
+    fn singleton_groups_reduce_to_absolute() {
+        let t = four_txns();
+        let spec = compatibility_sets(&t, &[0, 1, 2, 3]).unwrap();
+        assert!(spec.is_absolute());
+    }
+
+    #[test]
+    fn hierarchy_lca_depths() {
+        let t = four_txns();
+        // ((T1 T2) (T3 T4))
+        let h = Hierarchy::Group(vec![
+            Hierarchy::Group(vec![Hierarchy::Txn(0), Hierarchy::Txn(1)]),
+            Hierarchy::Group(vec![Hierarchy::Txn(2), Hierarchy::Txn(3)]),
+        ]);
+        let ml = MultilevelSpec::new(&t, &h, vec![vec![]; 4]).unwrap();
+        assert_eq!(ml.lca_depth(TxnId(0), TxnId(1)), 1);
+        assert_eq!(ml.lca_depth(TxnId(0), TxnId(2)), 0);
+        assert_eq!(ml.lca_depth(TxnId(2), TxnId(3)), 1);
+    }
+
+    #[test]
+    fn multilevel_lowers_by_lca_depth() {
+        let t = four_txns();
+        let h = Hierarchy::Group(vec![
+            Hierarchy::Group(vec![Hierarchy::Txn(0), Hierarchy::Txn(1)]),
+            Hierarchy::Group(vec![Hierarchy::Txn(2), Hierarchy::Txn(3)]),
+        ]);
+        // T1: one unit toward strangers (depth 0), units {2} toward its
+        // sibling group (depth 1).
+        let levels = vec![
+            vec![vec![], vec![2]], // T1
+            vec![vec![], vec![1]], // T2
+            vec![],                // T3: always atomic
+            vec![vec![1]],         // T4: breakpoint 1 toward everyone
+        ];
+        let spec = multilevel(&t, &h, levels).unwrap();
+        assert_eq!(spec.breakpoints(TxnId(0), TxnId(1)), &[2]); // sibling
+        assert_eq!(spec.breakpoints(TxnId(0), TxnId(2)), &[] as &[u32]); // stranger
+        assert_eq!(spec.breakpoints(TxnId(1), TxnId(0)), &[1]);
+        assert_eq!(spec.breakpoints(TxnId(2), TxnId(3)), &[] as &[u32]);
+        assert_eq!(spec.breakpoints(TxnId(3), TxnId(0)), &[1]);
+        assert_eq!(spec.breakpoints(TxnId(3), TxnId(2)), &[1]);
+    }
+
+    #[test]
+    fn multilevel_requires_nested_levels() {
+        let t = four_txns();
+        let h = Hierarchy::Group(vec![
+            Hierarchy::Group(vec![Hierarchy::Txn(0), Hierarchy::Txn(1)]),
+            Hierarchy::Group(vec![Hierarchy::Txn(2), Hierarchy::Txn(3)]),
+        ]);
+        // Level 1 {3} does not contain level 0 {2}: not nested → rejected.
+        let levels = vec![vec![vec![2], vec![3]], vec![], vec![], vec![]];
+        let err = MultilevelSpec::new(&t, &h, levels).unwrap_err();
+        assert!(matches!(err, Error::BadSpec(_)), "{err}");
+    }
+
+    #[test]
+    fn hierarchy_must_cover_each_txn_exactly_once() {
+        let t = four_txns();
+        let missing = Hierarchy::Group(vec![Hierarchy::Txn(0), Hierarchy::Txn(1)]);
+        assert!(MultilevelSpec::new(&t, &missing, vec![vec![]; 4]).is_err());
+        let duplicated = Hierarchy::Group(vec![
+            Hierarchy::Txn(0),
+            Hierarchy::Txn(0),
+            Hierarchy::Txn(1),
+            Hierarchy::Txn(2),
+            Hierarchy::Txn(3),
+        ]);
+        assert!(MultilevelSpec::new(&t, &duplicated, vec![vec![]; 4]).is_err());
+    }
+
+    /// §4 of the paper: "It is easy to construct examples that can be
+    /// specified using relative atomicity but cannot be specified using
+    /// multilevel atomicity." Here is one: under any single hierarchy,
+    /// `Atomicity(T1, T2)` and `Atomicity(T1, T3)` must coincide whenever
+    /// depth(LCA(T1,T2)) == depth(LCA(T1,T3)); and with three transactions
+    /// the possible hierarchies are so constrained that the asymmetric spec
+    /// below is inexpressible. We verify inexpressibility by enumerating
+    /// all hierarchies over {T1,T2,T3}.
+    #[test]
+    fn relative_atomicity_strictly_more_expressive_than_multilevel() {
+        let t = TxnSet::parse(&["r1[a] w1[a] r1[b]", "r2[a]", "r3[b]"]).unwrap();
+        // Target: T1 shows units (1|2) to T2, units (2|1) to T3, while T2
+        // and T3 are atomic toward everyone.
+        let mut target = AtomicitySpec::absolute(&t);
+        target.set_breakpoints(TxnId(0), TxnId(1), &[1]).unwrap();
+        target.set_breakpoints(TxnId(0), TxnId(2), &[2]).unwrap();
+
+        // All shapes of hierarchies over three leaves (up to the ones that
+        // matter for LCA depth): flat, and each pair nested together.
+        let hierarchies = vec![
+            Hierarchy::Group(vec![
+                Hierarchy::Txn(0),
+                Hierarchy::Txn(1),
+                Hierarchy::Txn(2),
+            ]),
+            Hierarchy::Group(vec![
+                Hierarchy::Group(vec![Hierarchy::Txn(0), Hierarchy::Txn(1)]),
+                Hierarchy::Txn(2),
+            ]),
+            Hierarchy::Group(vec![
+                Hierarchy::Group(vec![Hierarchy::Txn(0), Hierarchy::Txn(2)]),
+                Hierarchy::Txn(1),
+            ]),
+            Hierarchy::Group(vec![
+                Hierarchy::Group(vec![Hierarchy::Txn(1), Hierarchy::Txn(2)]),
+                Hierarchy::Txn(0),
+            ]),
+        ];
+        // Candidate level sets for T1 (nested families over breakpoints
+        // {1, 2} of a 3-op transaction).
+        let candidate_levels: Vec<Vec<Vec<u32>>> = vec![
+            vec![],
+            vec![vec![1]],
+            vec![vec![2]],
+            vec![vec![1, 2]],
+            vec![vec![], vec![1]],
+            vec![vec![], vec![2]],
+            vec![vec![], vec![1, 2]],
+            vec![vec![1], vec![1, 2]],
+            vec![vec![2], vec![1, 2]],
+        ];
+        for h in &hierarchies {
+            for lv in &candidate_levels {
+                let levels = vec![lv.clone(), vec![], vec![]];
+                if let Ok(spec) = multilevel(&t, h, levels) {
+                    assert_ne!(
+                        spec, target,
+                        "target spec unexpectedly expressible: hierarchy {h:?}, levels {lv:?}"
+                    );
+                }
+            }
+        }
+    }
+}

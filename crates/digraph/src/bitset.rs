@@ -1,0 +1,203 @@
+//! A fixed-capacity bitset used for reachability and transitive closure.
+//!
+//! The core crate computes the paper's *depends-on* relation as the
+//! transitive closure of the direct-dependency DAG; with a few thousand
+//! operations per schedule, per-node bitsets make the closure an
+//! O(N²/64)-word computation with excellent cache behaviour.
+
+/// A growable set of small integers backed by `u64` words.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct BitSet {
+    words: Vec<u64>,
+    /// Capacity in bits (indices `0..nbits` are addressable).
+    nbits: usize,
+}
+
+impl BitSet {
+    /// Creates an empty set able to hold indices `0..nbits`.
+    pub fn with_capacity(nbits: usize) -> Self {
+        BitSet {
+            words: vec![0; nbits.div_ceil(64)],
+            nbits,
+        }
+    }
+
+    /// Capacity in bits.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.nbits
+    }
+
+    /// Inserts `i`; returns `true` if it was newly inserted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= capacity()`.
+    #[inline]
+    pub fn insert(&mut self, i: usize) -> bool {
+        assert!(
+            i < self.nbits,
+            "bit index {i} out of capacity {}",
+            self.nbits
+        );
+        let (w, b) = (i / 64, i % 64);
+        let mask = 1u64 << b;
+        let was = self.words[w] & mask != 0;
+        self.words[w] |= mask;
+        !was
+    }
+
+    /// Removes `i`; returns `true` if it was present.
+    #[inline]
+    pub fn remove(&mut self, i: usize) -> bool {
+        assert!(
+            i < self.nbits,
+            "bit index {i} out of capacity {}",
+            self.nbits
+        );
+        let (w, b) = (i / 64, i % 64);
+        let mask = 1u64 << b;
+        let was = self.words[w] & mask != 0;
+        self.words[w] &= !mask;
+        was
+    }
+
+    /// Membership test. Out-of-capacity indices are simply absent.
+    #[inline]
+    pub fn contains(&self, i: usize) -> bool {
+        if i >= self.nbits {
+            return false;
+        }
+        self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// `self |= other`. The sets must have equal capacity.
+    #[inline]
+    pub fn union_with(&mut self, other: &BitSet) {
+        debug_assert_eq!(self.nbits, other.nbits, "capacity mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= *b;
+        }
+    }
+
+    /// Returns `true` if `self` and `other` share at least one element.
+    pub fn intersects(&self, other: &BitSet) -> bool {
+        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
+    }
+
+    /// Number of elements present.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Returns `true` if no element is present.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Removes every element.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Iterates over the elements in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut w = w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let b = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(wi * 64 + b)
+                }
+            })
+        })
+    }
+}
+
+impl FromIterator<usize> for BitSet {
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let items: Vec<usize> = iter.into_iter().collect();
+        let cap = items.iter().copied().max().map_or(0, |m| m + 1);
+        let mut s = BitSet::with_capacity(cap);
+        for i in items {
+            s.insert(i);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = BitSet::with_capacity(130);
+        assert!(s.insert(0));
+        assert!(s.insert(63));
+        assert!(s.insert(64));
+        assert!(s.insert(129));
+        assert!(!s.insert(64), "double insert reports false");
+        assert!(s.contains(0) && s.contains(63) && s.contains(64) && s.contains(129));
+        assert!(!s.contains(1));
+        assert!(s.remove(64));
+        assert!(!s.remove(64));
+        assert!(!s.contains(64));
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn contains_out_of_capacity_is_false() {
+        let s = BitSet::with_capacity(10);
+        assert!(!s.contains(1000));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of capacity")]
+    fn insert_out_of_capacity_panics() {
+        let mut s = BitSet::with_capacity(10);
+        s.insert(10);
+    }
+
+    #[test]
+    fn union_and_intersects() {
+        let mut a = BitSet::with_capacity(100);
+        let mut b = BitSet::with_capacity(100);
+        a.insert(3);
+        a.insert(70);
+        b.insert(70);
+        b.insert(99);
+        assert!(a.intersects(&b));
+        a.union_with(&b);
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![3, 70, 99]);
+
+        let mut c = BitSet::with_capacity(100);
+        c.insert(1);
+        assert!(!c.intersects(&b));
+    }
+
+    #[test]
+    fn iter_in_order() {
+        let s: BitSet = [5usize, 1, 64, 63].into_iter().collect();
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![1, 5, 63, 64]);
+    }
+
+    #[test]
+    fn clear_and_empty() {
+        let mut s: BitSet = [1usize, 2].into_iter().collect();
+        assert!(!s.is_empty());
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+    }
+
+    #[test]
+    fn from_iter_empty() {
+        let s: BitSet = std::iter::empty::<usize>().collect();
+        assert!(s.is_empty());
+        assert_eq!(s.capacity(), 0);
+    }
+}

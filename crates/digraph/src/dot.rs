@@ -1,0 +1,113 @@
+//! Graphviz DOT export.
+//!
+//! `relser-core` uses this to render RSGs like the paper's Figure 3, with
+//! arc labels (`I`, `D`, `F`, `B`) on the edges.
+
+use crate::DiGraph;
+use std::fmt::Write as _;
+
+/// Renders `g` in Graphviz DOT syntax.
+///
+/// `node_label` and `edge_label` produce the display strings; labels are
+/// escaped for double-quoted DOT strings.
+pub fn to_dot<N, E>(
+    g: &DiGraph<N, E>,
+    name: &str,
+    node_label: impl Fn(&N) -> String,
+    edge_label: impl Fn(&E) -> String,
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph {} {{", sanitize_id(name));
+    let _ = writeln!(out, "  rankdir=LR;");
+    for v in g.node_indices() {
+        let _ = writeln!(
+            out,
+            "  n{} [label=\"{}\"];",
+            v.0,
+            escape(&node_label(g.node_weight(v)))
+        );
+    }
+    for e in g.edge_refs() {
+        let label = edge_label(e.weight);
+        if label.is_empty() {
+            let _ = writeln!(out, "  n{} -> n{};", e.from.0, e.to.0);
+        } else {
+            let _ = writeln!(
+                out,
+                "  n{} -> n{} [label=\"{}\"];",
+                e.from.0,
+                e.to.0,
+                escape(&label)
+            );
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn sanitize_id(s: &str) -> String {
+    let cleaned: String = s
+        .chars()
+        .map(|c| {
+            if c.is_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if cleaned.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        format!("g_{cleaned}")
+    } else if cleaned.is_empty() {
+        "g".to_string()
+    } else {
+        cleaned
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nodes_and_edges() {
+        let mut g: DiGraph<&str, &str> = DiGraph::new();
+        let a = g.add_node("r1[x]");
+        let b = g.add_node("w2[x]");
+        g.add_edge(a, b, "D");
+        let dot = to_dot(&g, "rsg", |n| n.to_string(), |e| e.to_string());
+        assert!(dot.contains("digraph rsg {"));
+        assert!(dot.contains("n0 [label=\"r1[x]\"];"));
+        assert!(dot.contains("n0 -> n1 [label=\"D\"];"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn empty_edge_label_omits_attribute() {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        g.add_edge(a, b, ());
+        let dot = to_dot(&g, "g", |_| "x".into(), |_| String::new());
+        assert!(dot.contains("n0 -> n1;"));
+    }
+
+    #[test]
+    fn quotes_are_escaped() {
+        let mut g: DiGraph<&str, ()> = DiGraph::new();
+        g.add_node("he said \"hi\"");
+        let dot = to_dot(&g, "q", |n| n.to_string(), |_| String::new());
+        assert!(dot.contains("\\\"hi\\\""));
+    }
+
+    #[test]
+    fn graph_name_sanitized() {
+        let g: DiGraph<(), ()> = DiGraph::new();
+        let dot = to_dot(&g, "1 bad name!", |_| String::new(), |_| String::new());
+        assert!(dot.starts_with("digraph g_1_bad_name_ {"));
+    }
+}

@@ -1,0 +1,178 @@
+//! Reachability and transitive closure.
+//!
+//! The paper's *depends-on* relation (Definition preceding Definition 2) is
+//! the transitive closure of the *directly-depends-on* relation, whose edges
+//! always point forward in schedule order — i.e. the direct-dependency graph
+//! is a DAG whose node indices are already a topological order.
+//! [`transitive_closure_dag`] exploits that: one reverse pass, merging
+//! successor bitsets, gives the exact closure in O(N·M/64) word operations.
+
+use crate::bitset::BitSet;
+use crate::{DiGraph, NodeIdx};
+
+/// Full transitive closure of an arbitrary graph: `closure[v]` contains `u`
+/// iff there is a non-empty path `v ~> u`.
+///
+/// Works on cyclic graphs too (a node on a cycle reaches itself). Cost is a
+/// DFS per node; prefer [`transitive_closure_dag`] when indices are already
+/// topologically ordered.
+pub fn transitive_closure<N, E>(g: &DiGraph<N, E>) -> Vec<BitSet> {
+    let n = g.node_count();
+    let mut closure = vec![BitSet::with_capacity(n); n];
+    for v in g.node_indices() {
+        // DFS from v marking reachable nodes (excluding v unless revisited).
+        let mut stack: Vec<NodeIdx> = g.successors(v).collect();
+        while let Some(u) = stack.pop() {
+            if closure[v.index()].insert(u.index()) {
+                for w in g.successors(u) {
+                    if !closure[v.index()].contains(w.index()) {
+                        stack.push(w);
+                    }
+                }
+            }
+        }
+    }
+    closure
+}
+
+/// Transitive closure of a DAG whose node indices are a topological order
+/// (every edge goes from a lower to a higher index).
+///
+/// # Panics
+///
+/// Panics (debug assertion) if an edge violates the index order.
+pub fn transitive_closure_dag<N, E>(g: &DiGraph<N, E>) -> Vec<BitSet> {
+    let n = g.node_count();
+    let mut closure = vec![BitSet::with_capacity(n); n];
+    // Process nodes in reverse index order; successors have higher indices
+    // and are therefore already complete.
+    for vi in (0..n).rev() {
+        let v = NodeIdx::from(vi);
+        let succs: Vec<NodeIdx> = g.successors(v).collect();
+        for s in succs {
+            debug_assert!(
+                s.index() > vi,
+                "transitive_closure_dag requires topologically-ordered indices"
+            );
+            // Split-borrow: successor sets live at higher indices.
+            let (lo, hi) = closure.split_at_mut(s.index());
+            lo[vi].union_with(&hi[0]);
+            lo[vi].insert(s.index());
+        }
+    }
+    closure
+}
+
+/// Is there a non-empty path `from ~> to`? One DFS; no precomputation.
+pub fn is_reachable<N, E>(g: &DiGraph<N, E>, from: NodeIdx, to: NodeIdx) -> bool {
+    let mut visited = vec![false; g.node_count()];
+    let mut stack: Vec<NodeIdx> = g.successors(from).collect();
+    while let Some(u) = stack.pop() {
+        if u == to {
+            return true;
+        }
+        if !std::mem::replace(&mut visited[u.index()], true) {
+            stack.extend(g.successors(u));
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closure_of_chain() {
+        let g = DiGraph::<(), ()>::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let c = transitive_closure(&g);
+        assert_eq!(c[0].iter().collect::<Vec<_>>(), vec![1, 2, 3]);
+        assert_eq!(c[1].iter().collect::<Vec<_>>(), vec![2, 3]);
+        assert_eq!(c[2].iter().collect::<Vec<_>>(), vec![3]);
+        assert!(c[3].is_empty());
+    }
+
+    #[test]
+    fn dag_closure_matches_generic_closure() {
+        let g = DiGraph::<(), ()>::from_edges(6, &[(0, 2), (1, 2), (2, 3), (2, 4), (3, 5), (4, 5)]);
+        assert_eq!(transitive_closure_dag(&g), transitive_closure(&g));
+    }
+
+    #[test]
+    fn cycle_nodes_reach_themselves_in_generic_closure() {
+        let g = DiGraph::<(), ()>::from_edges(2, &[(0, 1), (1, 0)]);
+        let c = transitive_closure(&g);
+        assert!(c[0].contains(0));
+        assert!(c[1].contains(1));
+    }
+
+    #[test]
+    fn no_empty_path_reachability() {
+        // A node without a self-loop does not "reach" itself.
+        let g = DiGraph::<(), ()>::from_edges(2, &[(0, 1)]);
+        assert!(!is_reachable(&g, NodeIdx(0), NodeIdx(0)));
+        assert!(is_reachable(&g, NodeIdx(0), NodeIdx(1)));
+        assert!(!is_reachable(&g, NodeIdx(1), NodeIdx(0)));
+    }
+
+    #[test]
+    fn reachability_through_diamond() {
+        let g = DiGraph::<(), ()>::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        assert!(is_reachable(&g, NodeIdx(0), NodeIdx(3)));
+        assert!(!is_reachable(&g, NodeIdx(3), NodeIdx(0)));
+        assert!(!is_reachable(&g, NodeIdx(1), NodeIdx(2)));
+    }
+
+    #[test]
+    fn closure_with_parallel_edges() {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        g.add_edge(a, b, ());
+        g.add_edge(a, b, ());
+        let c = transitive_closure_dag(&g);
+        assert_eq!(c[0].iter().collect::<Vec<_>>(), vec![1]);
+    }
+
+    #[test]
+    fn empty_graph_closure() {
+        let g: DiGraph<(), ()> = DiGraph::new();
+        assert!(transitive_closure(&g).is_empty());
+        assert!(transitive_closure_dag(&g).is_empty());
+    }
+
+    #[test]
+    fn larger_random_dag_agreement() {
+        // Deterministic pseudo-random DAG (edges forced forward).
+        let mut state: u64 = 42;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        let n = 40usize;
+        let mut edges = Vec::new();
+        for _ in 0..120 {
+            let a = (next() % n as u64) as u32;
+            let b = (next() % n as u64) as u32;
+            if a < b {
+                edges.push((a, b));
+            }
+        }
+        let g = DiGraph::<(), ()>::from_edges(n, &edges);
+        let fast = transitive_closure_dag(&g);
+        let slow = transitive_closure(&g);
+        assert_eq!(fast, slow);
+        // Spot-check against is_reachable.
+        for (a, row) in fast.iter().enumerate() {
+            for b in 0..n {
+                assert_eq!(
+                    row.contains(b),
+                    is_reachable(&g, NodeIdx::from(a), NodeIdx::from(b)),
+                    "disagreement at {a}->{b}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Strongly connected components (iterative Tarjan).
+//!
+//! SCCs give an alternative acyclicity oracle (acyclic ⇔ every SCC is a
+//! singleton without a self-loop), which the test suites use to cross-check
+//! [`crate::cycle::find_cycle`], and let the class-lattice experiments report
+//! *how* entangled a rejected schedule's RSG is.
+
+use crate::{DiGraph, NodeIdx};
+
+/// Computes the strongly connected components of `g` in reverse topological
+/// order of the condensation (i.e. a component appears before the components
+/// it has edges into... precisely: Tarjan's emission order — every component
+/// is emitted only after all components it can reach).
+pub fn tarjan_scc<N, E>(g: &DiGraph<N, E>) -> Vec<Vec<NodeIdx>> {
+    let n = g.node_count();
+    const UNVISITED: u32 = u32::MAX;
+
+    let mut index = vec![UNVISITED; n];
+    let mut lowlink = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<NodeIdx> = Vec::new();
+    let mut next_index: u32 = 0;
+    let mut components: Vec<Vec<NodeIdx>> = Vec::new();
+
+    // Iterative DFS frame: (node, next successor position).
+    let mut call: Vec<(NodeIdx, usize)> = Vec::new();
+
+    for root in g.node_indices() {
+        if index[root.index()] != UNVISITED {
+            continue;
+        }
+        call.push((root, 0));
+        index[root.index()] = next_index;
+        lowlink[root.index()] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root.index()] = true;
+
+        while let Some(&mut (v, ref mut pos)) = call.last_mut() {
+            let succs: Vec<NodeIdx> = g.successors(v).collect();
+            if *pos < succs.len() {
+                let w = succs[*pos];
+                *pos += 1;
+                if index[w.index()] == UNVISITED {
+                    index[w.index()] = next_index;
+                    lowlink[w.index()] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w.index()] = true;
+                    call.push((w, 0));
+                } else if on_stack[w.index()] {
+                    lowlink[v.index()] = lowlink[v.index()].min(index[w.index()]);
+                }
+            } else {
+                call.pop();
+                if let Some(&(parent, _)) = call.last() {
+                    lowlink[parent.index()] = lowlink[parent.index()].min(lowlink[v.index()]);
+                }
+                if lowlink[v.index()] == index[v.index()] {
+                    let mut comp = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w.index()] = false;
+                        comp.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    components.push(comp);
+                }
+            }
+        }
+    }
+    components
+}
+
+/// Acyclicity via SCCs: acyclic ⇔ all components are singletons and no node
+/// has a self-loop.
+pub fn is_acyclic_by_scc<N, E>(g: &DiGraph<N, E>) -> bool {
+    if g.node_indices().any(|v| g.has_edge(v, v)) {
+        return false;
+    }
+    tarjan_scc(g).iter().all(|c| c.len() == 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cycle::is_acyclic;
+
+    fn normalize(mut comps: Vec<Vec<NodeIdx>>) -> Vec<Vec<NodeIdx>> {
+        for c in &mut comps {
+            c.sort();
+        }
+        comps.sort();
+        comps
+    }
+
+    #[test]
+    fn dag_gives_singletons() {
+        let g = DiGraph::<(), ()>::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let comps = tarjan_scc(&g);
+        assert_eq!(comps.len(), 4);
+        assert!(comps.iter().all(|c| c.len() == 1));
+        assert!(is_acyclic_by_scc(&g));
+    }
+
+    #[test]
+    fn triangle_is_one_component() {
+        let g = DiGraph::<(), ()>::from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        let comps = normalize(tarjan_scc(&g));
+        assert_eq!(comps, vec![vec![NodeIdx(0), NodeIdx(1), NodeIdx(2)]]);
+        assert!(!is_acyclic_by_scc(&g));
+    }
+
+    #[test]
+    fn two_components_with_bridge() {
+        // {0,1} strongly connected, {2,3} strongly connected, bridge 1->2.
+        let g = DiGraph::<(), ()>::from_edges(4, &[(0, 1), (1, 0), (1, 2), (2, 3), (3, 2)]);
+        let comps = normalize(tarjan_scc(&g));
+        assert_eq!(
+            comps,
+            vec![vec![NodeIdx(0), NodeIdx(1)], vec![NodeIdx(2), NodeIdx(3)]]
+        );
+    }
+
+    #[test]
+    fn emission_order_is_reverse_topological() {
+        // Condensation: {0,1} -> {2}. Tarjan emits {2} first.
+        let g = DiGraph::<(), ()>::from_edges(3, &[(0, 1), (1, 0), (1, 2)]);
+        let comps = tarjan_scc(&g);
+        assert_eq!(comps[0], vec![NodeIdx(2)]);
+        assert_eq!(comps[1].len(), 2);
+    }
+
+    #[test]
+    fn self_loop_detected_by_scc_acyclicity() {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let a = g.add_node(());
+        g.add_edge(a, a, ());
+        // A self-loop node is still a singleton component...
+        assert_eq!(tarjan_scc(&g).len(), 1);
+        // ...but the acyclicity wrapper catches it.
+        assert!(!is_acyclic_by_scc(&g));
+    }
+
+    #[test]
+    fn agrees_with_dfs_cycle_detection_on_randomish_graphs() {
+        // Deterministic pseudo-random edge sets (LCG) across sizes.
+        let mut state: u64 = 0x9E3779B97F4A7C15;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        for n in [2usize, 5, 10, 20] {
+            for density in [1usize, 2, 3] {
+                let m = n * density / 2 + 1;
+                let edges: Vec<(u32, u32)> = (0..m)
+                    .map(|_| ((next() % n as u64) as u32, (next() % n as u64) as u32))
+                    .collect();
+                let g = DiGraph::<(), ()>::from_edges(n, &edges);
+                assert_eq!(
+                    is_acyclic(&g),
+                    is_acyclic_by_scc(&g),
+                    "disagreement on n={n} edges={edges:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_node_in_exactly_one_component() {
+        let g = DiGraph::<(), ()>::from_edges(6, &[(0, 1), (1, 2), (2, 0), (3, 4)]);
+        let comps = tarjan_scc(&g);
+        let mut all: Vec<NodeIdx> = comps.into_iter().flatten().collect();
+        all.sort();
+        assert_eq!(all, (0..6).map(NodeIdx).collect::<Vec<_>>());
+    }
+}

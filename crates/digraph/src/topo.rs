@@ -1,0 +1,142 @@
+//! Topological sorting.
+//!
+//! Theorem 1's sufficiency proof constructs the equivalent relatively serial
+//! schedule by *topologically sorting* the acyclic RSG. [`topological_sort`]
+//! is the plain Kahn algorithm; [`topological_sort_by`] breaks ties with a
+//! caller-supplied priority so `relser-core` can produce a canonical witness
+//! (ties broken by original schedule position), making every result
+//! reproducible and testable.
+
+use crate::{DiGraph, NodeIdx};
+use std::collections::BinaryHeap;
+
+/// Kahn topological sort. Returns `None` if the graph has a cycle.
+///
+/// Deterministic: among ready nodes, lower indices come first.
+pub fn topological_sort<N, E>(g: &DiGraph<N, E>) -> Option<Vec<NodeIdx>> {
+    topological_sort_by(g, |v| v.index())
+}
+
+/// Kahn topological sort with tie-breaking: among all nodes whose
+/// predecessors have been emitted, the one with the smallest
+/// `priority(node)` is emitted first. Returns `None` on a cycle.
+pub fn topological_sort_by<N, E, P, K>(g: &DiGraph<N, E>, priority: P) -> Option<Vec<NodeIdx>>
+where
+    P: Fn(NodeIdx) -> K,
+    K: Ord,
+{
+    let n = g.node_count();
+    let mut indeg: Vec<usize> = (0..n).map(|i| g.in_degree(NodeIdx::from(i))).collect();
+    // Min-heap via Reverse ordering on (priority, index).
+    let mut ready: BinaryHeap<std::cmp::Reverse<(K, u32)>> = BinaryHeap::new();
+    for v in g.node_indices() {
+        if indeg[v.index()] == 0 {
+            ready.push(std::cmp::Reverse((priority(v), v.0)));
+        }
+    }
+    let mut order = Vec::with_capacity(n);
+    while let Some(std::cmp::Reverse((_, vi))) = ready.pop() {
+        let v = NodeIdx(vi);
+        order.push(v);
+        for s in g.successors(v) {
+            indeg[s.index()] -= 1;
+            if indeg[s.index()] == 0 {
+                ready.push(std::cmp::Reverse((priority(s), s.0)));
+            }
+        }
+    }
+    (order.len() == n).then_some(order)
+}
+
+/// Verifies that `order` is a permutation of all nodes respecting every edge.
+pub fn is_topological_order<N, E>(g: &DiGraph<N, E>, order: &[NodeIdx]) -> bool {
+    if order.len() != g.node_count() {
+        return false;
+    }
+    let mut pos = vec![usize::MAX; g.node_count()];
+    for (i, v) in order.iter().enumerate() {
+        if pos[v.index()] != usize::MAX {
+            return false; // duplicate
+        }
+        pos[v.index()] = i;
+    }
+    g.edge_refs()
+        .all(|e| pos[e.from.index()] < pos[e.to.index()])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorts_a_dag() {
+        let g = DiGraph::<(), ()>::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let order = topological_sort(&g).unwrap();
+        assert!(is_topological_order(&g, &order));
+        assert_eq!(order[0], NodeIdx(0));
+        assert_eq!(order[3], NodeIdx(3));
+    }
+
+    #[test]
+    fn cycle_yields_none() {
+        let g = DiGraph::<(), ()>::from_edges(2, &[(0, 1), (1, 0)]);
+        assert!(topological_sort(&g).is_none());
+    }
+
+    #[test]
+    fn self_loop_yields_none() {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let a = g.add_node(());
+        g.add_edge(a, a, ());
+        assert!(topological_sort(&g).is_none());
+    }
+
+    #[test]
+    fn deterministic_tiebreak_by_index() {
+        // 0 and 1 both ready; 0 must come first.
+        let g = DiGraph::<(), ()>::from_edges(3, &[(0, 2), (1, 2)]);
+        let order = topological_sort(&g).unwrap();
+        assert_eq!(order, vec![NodeIdx(0), NodeIdx(1), NodeIdx(2)]);
+    }
+
+    #[test]
+    fn priority_tiebreak_reverses_readiness() {
+        // Priority prefers the *larger* index among ready nodes.
+        let g = DiGraph::<(), ()>::from_edges(3, &[(0, 2), (1, 2)]);
+        let order = topological_sort_by(&g, |v| std::cmp::Reverse(v.index())).unwrap();
+        assert_eq!(order, vec![NodeIdx(1), NodeIdx(0), NodeIdx(2)]);
+    }
+
+    #[test]
+    fn isolated_nodes_appear() {
+        let g = DiGraph::<(), ()>::from_edges(3, &[]);
+        let order = topological_sort(&g).unwrap();
+        assert_eq!(order.len(), 3);
+        assert!(is_topological_order(&g, &order));
+    }
+
+    #[test]
+    fn parallel_edges_handled() {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        g.add_edge(a, b, ());
+        g.add_edge(a, b, ());
+        let order = topological_sort(&g).unwrap();
+        assert_eq!(order, vec![a, b]);
+    }
+
+    #[test]
+    fn is_topological_order_rejects_bad_orders() {
+        let g = DiGraph::<(), ()>::from_edges(2, &[(0, 1)]);
+        assert!(!is_topological_order(&g, &[NodeIdx(1), NodeIdx(0)]));
+        assert!(!is_topological_order(&g, &[NodeIdx(0)]));
+        assert!(!is_topological_order(&g, &[NodeIdx(0), NodeIdx(0)]));
+    }
+
+    #[test]
+    fn empty_graph_sorts_to_empty() {
+        let g: DiGraph<(), ()> = DiGraph::new();
+        assert_eq!(topological_sort(&g).unwrap(), Vec::<NodeIdx>::new());
+    }
+}

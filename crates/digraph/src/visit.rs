@@ -1,0 +1,178 @@
+//! Iterative graph traversals.
+//!
+//! All traversals are iterative (explicit stacks/queues): RSGs over long
+//! schedules can be thousands of operations deep along I-arc chains, and
+//! recursion would risk stack overflow.
+
+use crate::{DiGraph, NodeIdx};
+use std::collections::VecDeque;
+
+/// Depth-first preorder from `start`, following successor edges.
+///
+/// Each reachable node is yielded exactly once. Neighbors are explored in
+/// adjacency order, so the traversal is deterministic.
+pub fn dfs_preorder<N, E>(g: &DiGraph<N, E>, start: NodeIdx) -> Vec<NodeIdx> {
+    let mut visited = vec![false; g.node_count()];
+    let mut order = Vec::new();
+    let mut stack = vec![start];
+    while let Some(v) = stack.pop() {
+        if std::mem::replace(&mut visited[v.index()], true) {
+            continue;
+        }
+        order.push(v);
+        // Push in reverse so the first successor is processed first.
+        let succs: Vec<NodeIdx> = g.successors(v).collect();
+        for s in succs.into_iter().rev() {
+            if !visited[s.index()] {
+                stack.push(s);
+            }
+        }
+    }
+    order
+}
+
+/// Breadth-first order from `start`.
+pub fn bfs<N, E>(g: &DiGraph<N, E>, start: NodeIdx) -> Vec<NodeIdx> {
+    let mut visited = vec![false; g.node_count()];
+    let mut order = Vec::new();
+    let mut queue = VecDeque::new();
+    visited[start.index()] = true;
+    queue.push_back(start);
+    while let Some(v) = queue.pop_front() {
+        order.push(v);
+        for s in g.successors(v) {
+            if !std::mem::replace(&mut visited[s.index()], true) {
+                queue.push_back(s);
+            }
+        }
+    }
+    order
+}
+
+/// Depth-first postorder of the whole graph (all roots), iterative.
+///
+/// Every node appears exactly once; for an acyclic graph, reversing the
+/// result yields a topological order.
+pub fn dfs_postorder_all<N, E>(g: &DiGraph<N, E>) -> Vec<NodeIdx> {
+    let n = g.node_count();
+    let mut visited = vec![false; n];
+    let mut post = Vec::with_capacity(n);
+    // Stack frames: (node, next successor position).
+    let mut stack: Vec<(NodeIdx, usize)> = Vec::new();
+    for root in g.node_indices() {
+        if visited[root.index()] {
+            continue;
+        }
+        visited[root.index()] = true;
+        stack.push((root, 0));
+        while let Some(&mut (v, ref mut pos)) = stack.last_mut() {
+            let succs: Vec<NodeIdx> = g.successors(v).collect();
+            if *pos < succs.len() {
+                let s = succs[*pos];
+                *pos += 1;
+                if !visited[s.index()] {
+                    visited[s.index()] = true;
+                    stack.push((s, 0));
+                }
+            } else {
+                post.push(v);
+                stack.pop();
+            }
+        }
+    }
+    post
+}
+
+/// The set of nodes reachable from `start` (including `start`).
+pub fn reachable_from<N, E>(g: &DiGraph<N, E>, start: NodeIdx) -> Vec<bool> {
+    let mut visited = vec![false; g.node_count()];
+    let mut stack = vec![start];
+    visited[start.index()] = true;
+    while let Some(v) = stack.pop() {
+        for s in g.successors(v) {
+            if !std::mem::replace(&mut visited[s.index()], true) {
+                stack.push(s);
+            }
+        }
+    }
+    visited
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> DiGraph<(), ()> {
+        // 0 -> 1 -> 3, 0 -> 2 -> 3
+        DiGraph::<(), ()>::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)])
+    }
+
+    #[test]
+    fn dfs_preorder_diamond() {
+        let g = diamond();
+        let order = dfs_preorder(&g, NodeIdx(0));
+        assert_eq!(order, vec![NodeIdx(0), NodeIdx(1), NodeIdx(3), NodeIdx(2)]);
+    }
+
+    #[test]
+    fn dfs_preorder_unreachable_nodes_excluded() {
+        let g = DiGraph::<(), ()>::from_edges(3, &[(0, 1)]);
+        let order = dfs_preorder(&g, NodeIdx(0));
+        assert_eq!(order, vec![NodeIdx(0), NodeIdx(1)]);
+    }
+
+    #[test]
+    fn bfs_diamond_levels() {
+        let g = diamond();
+        let order = bfs(&g, NodeIdx(0));
+        assert_eq!(order, vec![NodeIdx(0), NodeIdx(1), NodeIdx(2), NodeIdx(3)]);
+    }
+
+    #[test]
+    fn postorder_reversed_is_topological() {
+        let g = diamond();
+        let post = dfs_postorder_all(&g);
+        assert_eq!(post.len(), 4);
+        let position: Vec<usize> = {
+            let mut p = vec![0; 4];
+            for (i, v) in post.iter().rev().enumerate() {
+                p[v.index()] = i;
+            }
+            p
+        };
+        for e in g.edge_refs() {
+            assert!(
+                position[e.from.index()] < position[e.to.index()],
+                "edge {:?}->{:?} violates order",
+                e.from,
+                e.to
+            );
+        }
+    }
+
+    #[test]
+    fn postorder_covers_all_nodes_even_with_cycle() {
+        let g = DiGraph::<(), ()>::from_edges(4, &[(0, 1), (1, 0), (2, 3)]);
+        let post = dfs_postorder_all(&g);
+        let mut seen = post.clone();
+        seen.sort();
+        assert_eq!(seen, (0..4).map(NodeIdx).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn reachable_from_start() {
+        let g = DiGraph::<(), ()>::from_edges(5, &[(0, 1), (1, 2), (3, 4)]);
+        let r = reachable_from(&g, NodeIdx(0));
+        assert_eq!(r, vec![true, true, true, false, false]);
+    }
+
+    #[test]
+    fn bfs_on_deep_chain_does_not_overflow() {
+        // 100k-node chain: guards against accidental recursion.
+        let n = 100_000u32;
+        let edges: Vec<(u32, u32)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        let g = DiGraph::<(), ()>::from_edges(n as usize, &edges);
+        assert_eq!(dfs_preorder(&g, NodeIdx(0)).len(), n as usize);
+        assert_eq!(dfs_postorder_all(&g).len(), n as usize);
+    }
+}

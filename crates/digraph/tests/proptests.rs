@@ -1,0 +1,148 @@
+//! Property-based tests for the graph substrate.
+
+use proptest::prelude::*;
+use relser_digraph::{cycle, reach, scc, topo, DiGraph, IncrementalDag, NodeIdx};
+
+/// Strategy: a graph as (node count, edge list).
+fn arb_graph(
+    max_nodes: usize,
+    max_edges: usize,
+) -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
+    (1..=max_nodes).prop_flat_map(move |n| {
+        let edge = (0..n as u32, 0..n as u32);
+        (Just(n), proptest::collection::vec(edge, 0..=max_edges))
+    })
+}
+
+/// Strategy: a DAG by forcing edges forward in index order.
+fn arb_dag(max_nodes: usize, max_edges: usize) -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
+    arb_graph(max_nodes, max_edges).prop_map(|(n, edges)| {
+        let dag_edges = edges
+            .into_iter()
+            .filter(|(a, b)| a != b)
+            .map(|(a, b)| if a < b { (a, b) } else { (b, a) })
+            .collect();
+        (n, dag_edges)
+    })
+}
+
+proptest! {
+    /// DFS cycle detection and SCC-based acyclicity always agree.
+    #[test]
+    fn cycle_detection_agrees_with_scc((n, edges) in arb_graph(24, 60)) {
+        let g = DiGraph::<(), ()>::from_edges(n, &edges);
+        prop_assert_eq!(cycle::is_acyclic(&g), scc::is_acyclic_by_scc(&g));
+    }
+
+    /// Any returned cycle witness is a real cycle.
+    #[test]
+    fn cycle_witness_is_valid((n, edges) in arb_graph(24, 60)) {
+        let g = DiGraph::<(), ()>::from_edges(n, &edges);
+        if let Some(c) = cycle::find_cycle(&g) {
+            prop_assert!(cycle::is_valid_cycle(&g, &c));
+        }
+    }
+
+    /// A DAG always topologically sorts, and the order is valid.
+    #[test]
+    fn dags_sort_topologically((n, edges) in arb_dag(24, 60)) {
+        let g = DiGraph::<(), ()>::from_edges(n, &edges);
+        let order = topo::topological_sort(&g);
+        prop_assert!(order.is_some());
+        prop_assert!(topo::is_topological_order(&g, &order.unwrap()));
+    }
+
+    /// Cyclic graphs never topologically sort.
+    #[test]
+    fn cyclic_graphs_do_not_sort((n, edges) in arb_graph(24, 60)) {
+        let g = DiGraph::<(), ()>::from_edges(n, &edges);
+        prop_assert_eq!(topo::topological_sort(&g).is_some(), cycle::is_acyclic(&g));
+    }
+
+    /// DAG-specialized closure equals the generic closure.
+    #[test]
+    fn dag_closure_matches_generic((n, edges) in arb_dag(20, 50)) {
+        let g = DiGraph::<(), ()>::from_edges(n, &edges);
+        prop_assert_eq!(reach::transitive_closure_dag(&g), reach::transitive_closure(&g));
+    }
+
+    /// Pointwise reachability matches the closure matrix.
+    #[test]
+    fn reachability_matches_closure((n, edges) in arb_graph(14, 35)) {
+        let g = DiGraph::<(), ()>::from_edges(n, &edges);
+        let closure = reach::transitive_closure(&g);
+        for (a, row) in closure.iter().enumerate() {
+            for b in 0..n {
+                prop_assert_eq!(
+                    row.contains(b),
+                    reach::is_reachable(&g, NodeIdx::from(a), NodeIdx::from(b))
+                );
+            }
+        }
+    }
+
+    /// Closure is transitive: a->b and b->c implies a->c.
+    #[test]
+    fn closure_is_transitive((n, edges) in arb_graph(14, 35)) {
+        let g = DiGraph::<(), ()>::from_edges(n, &edges);
+        let closure = reach::transitive_closure(&g);
+        for a in 0..n {
+            let reach_a: Vec<usize> = closure[a].iter().collect();
+            for &b in &reach_a {
+                for c in closure[b].iter() {
+                    prop_assert!(closure[a].contains(c), "not transitive: {a}->{b}->{c}");
+                }
+            }
+        }
+    }
+
+    /// IncrementalDag accepts exactly the edges that keep the accepted
+    /// subgraph acyclic, and the result is always acyclic.
+    #[test]
+    fn incremental_dag_is_always_acyclic((n, edges) in arb_graph(16, 60)) {
+        let mut d = IncrementalDag::new();
+        let nodes: Vec<NodeIdx> = (0..n).map(|_| d.add_node()).collect();
+        let mut accepted = Vec::new();
+        for (a, b) in edges {
+            let r = d.try_add_edge(nodes[a as usize], nodes[b as usize]);
+            if r == relser_digraph::incremental::AddEdge::Added {
+                accepted.push((a, b));
+            }
+        }
+        let g = DiGraph::<(), ()>::from_edges(n, &accepted);
+        prop_assert!(cycle::is_acyclic(&g));
+    }
+
+    /// Tarjan components partition the node set.
+    #[test]
+    fn scc_partitions_nodes((n, edges) in arb_graph(24, 60)) {
+        let g = DiGraph::<(), ()>::from_edges(n, &edges);
+        let comps = scc::tarjan_scc(&g);
+        let mut all: Vec<NodeIdx> = comps.into_iter().flatten().collect();
+        all.sort();
+        all.dedup();
+        prop_assert_eq!(all.len(), n);
+    }
+
+    /// Two nodes share a component iff they reach each other.
+    #[test]
+    fn scc_iff_mutual_reachability((n, edges) in arb_graph(12, 30)) {
+        let g = DiGraph::<(), ()>::from_edges(n, &edges);
+        let comps = scc::tarjan_scc(&g);
+        let mut comp_of = vec![usize::MAX; n];
+        for (ci, c) in comps.iter().enumerate() {
+            for v in c {
+                comp_of[v.index()] = ci;
+            }
+        }
+        for a in 0..n {
+            for b in 0..n {
+                if a == b { continue; }
+                let same = comp_of[a] == comp_of[b];
+                let mutual = reach::is_reachable(&g, NodeIdx::from(a), NodeIdx::from(b))
+                    && reach::is_reachable(&g, NodeIdx::from(b), NodeIdx::from(a));
+                prop_assert_eq!(same, mutual, "a={} b={}", a, b);
+            }
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! Fault injection: a wrapper that randomly aborts transactions on top of
+//! any inner scheduler.
+//!
+//! Real engines abort transactions for reasons outside concurrency
+//! control — crashes, timeouts, user aborts. [`ChaosScheduler`] injects
+//! such aborts with a configurable probability so the driver/engine
+//! restart machinery and, more importantly, every protocol's *recovery of
+//! internal state across aborts* get exercised under fire. The safety
+//! property is unchanged: whatever commits must still verify offline.
+
+use crate::{AbortReason, Decision, Scheduler};
+use relser_core::ids::{OpId, TxnId};
+
+/// Deterministic xorshift for the injection decisions.
+#[derive(Clone, Debug)]
+struct ChaosRng(u64);
+
+impl ChaosRng {
+    fn new(seed: u64) -> Self {
+        ChaosRng(seed | 1)
+    }
+
+    /// A value in `[0, 1)`.
+    fn unit(&mut self) -> f64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        (self.0 >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Wraps an inner scheduler, aborting each granted request with
+/// probability `abort_prob` instead of handing the grant out.
+pub struct ChaosScheduler<S> {
+    inner: S,
+    rng: ChaosRng,
+    abort_prob: f64,
+    /// Injected aborts so far (inspection).
+    pub injected: u64,
+}
+
+impl<S: Scheduler> ChaosScheduler<S> {
+    /// Wraps `inner`; every grant is converted into an abort with
+    /// probability `abort_prob` (0.0 = transparent).
+    pub fn new(inner: S, abort_prob: f64, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&abort_prob), "abort_prob in [0,1)");
+        ChaosScheduler {
+            inner,
+            rng: ChaosRng::new(seed),
+            abort_prob,
+            injected: 0,
+        }
+    }
+
+    /// The wrapped scheduler.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+}
+
+impl<S: Scheduler> Scheduler for ChaosScheduler<S> {
+    fn name(&self) -> &'static str {
+        "Chaos"
+    }
+
+    fn begin(&mut self, txn: TxnId) {
+        self.inner.begin(txn);
+    }
+
+    fn request(&mut self, op: OpId) -> Decision {
+        match self.inner.request(op) {
+            Decision::Granted => {
+                if self.rng.unit() < self.abort_prob {
+                    self.injected += 1;
+                    // The inner scheduler granted; the caller will invoke
+                    // `abort`, which we forward, so the grant is undone by
+                    // the inner scheduler's own abort path. The granted
+                    // operation must be rolled back there — which is
+                    // exactly the code path this wrapper exists to stress.
+                    Decision::Aborted(AbortReason::CycleRejected)
+                } else {
+                    Decision::Granted
+                }
+            }
+            other => other,
+        }
+    }
+
+    fn commit(&mut self, txn: TxnId) {
+        self.inner.commit(txn);
+    }
+
+    fn abort(&mut self, txn: TxnId) {
+        self.inner.abort(txn);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::{run, RunConfig};
+    use crate::rsg_sgt::{RsgSgt, RsgSgtIncremental};
+    use crate::two_pl::TwoPhaseLocking;
+    use relser_core::classes::is_relatively_serializable;
+    use relser_core::sg::is_conflict_serializable;
+    use relser_core::spec::AtomicitySpec;
+    use relser_core::txn::TxnSet;
+
+    fn txns() -> TxnSet {
+        TxnSet::parse(&["r1[x] w1[x]", "r2[x] w2[y]", "r3[y] w3[x]"]).unwrap()
+    }
+
+    #[test]
+    fn zero_probability_is_transparent() {
+        let t = txns();
+        let cfg = RunConfig {
+            seed: 4,
+            ..Default::default()
+        };
+        let plain = run(&t, &mut TwoPhaseLocking::new(&t), &cfg).unwrap();
+        let mut chaos = ChaosScheduler::new(TwoPhaseLocking::new(&t), 0.0, 1);
+        let wrapped = run(&t, &mut chaos, &cfg).unwrap();
+        assert_eq!(plain.history, wrapped.history);
+        assert_eq!(chaos.injected, 0);
+    }
+
+    #[test]
+    fn injected_aborts_still_produce_safe_histories_2pl() {
+        let t = txns();
+        for seed in 0..20u64 {
+            let cfg = RunConfig {
+                seed,
+                max_steps: 5_000_000,
+            };
+            let mut chaos = ChaosScheduler::new(TwoPhaseLocking::new(&t), 0.3, seed);
+            let r = run(&t, &mut chaos, &cfg).unwrap();
+            assert!(is_conflict_serializable(&t, &r.history), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn injected_aborts_still_produce_safe_histories_rsg_sgt() {
+        let t = txns();
+        let spec = AtomicitySpec::free(&t);
+        for seed in 0..20u64 {
+            let cfg = RunConfig {
+                seed,
+                max_steps: 5_000_000,
+            };
+            let mut chaos = ChaosScheduler::new(RsgSgt::new(&t, &spec), 0.3, seed);
+            let r = run(&t, &mut chaos, &cfg).unwrap();
+            assert!(
+                is_relatively_serializable(&t, &r.history, &spec),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn incremental_rsg_sgt_survives_abort_storms() {
+        // High injection rate stresses the rebuild-on-abort path.
+        let t = txns();
+        let spec = AtomicitySpec::absolute(&t);
+        for seed in 0..10u64 {
+            let cfg = RunConfig {
+                seed,
+                max_steps: 5_000_000,
+            };
+            let mut chaos = ChaosScheduler::new(RsgSgtIncremental::new(&t, &spec), 0.5, seed);
+            let r = run(&t, &mut chaos, &cfg).unwrap();
+            assert!(chaos.injected > 0, "storm actually fired (seed {seed})");
+            assert!(
+                is_relatively_serializable(&t, &r.history, &spec),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "abort_prob")]
+    fn probability_is_validated() {
+        let t = txns();
+        ChaosScheduler::new(TwoPhaseLocking::new(&t), 1.5, 1);
+    }
+}

@@ -1,0 +1,261 @@
+//! Compatibility-set locking — Garcia-Molina \[Gar83\] as a scheduler.
+//!
+//! Transactions in one compatibility set "may be arbitrarily interleaved,
+//! but transactions in different sets observe each other as single atomic
+//! units". Taking that seriously with locks means the **group** — not the
+//! individual transaction — is the unit of isolation:
+//!
+//! * members of the same group never conflict with each other;
+//! * locks are owned by groups, and a group's locks are released only when
+//!   its last concurrently-active member commits — toward other groups,
+//!   each *generation* of overlapping group members behaves like a single
+//!   strict-2PL transaction.
+//!
+//! Two weaker designs fail, and the property tests in
+//! `tests/protocol_safety.rs` found counterexample cycles for both within
+//! a few dozen random workloads:
+//!
+//! 1. *pairwise compatibility* (ignore group-mate conflicts, per-txn
+//!    release): a foreign transaction can serialize between two
+//!    group-mates whose in-group conflict order opposes their commit
+//!    order;
+//! 2. *per-object refcounts* (release when the last holder of that object
+//!    commits): the group can release an object and later re-acquire it
+//!    through another member — not two-phase at group granularity — letting
+//!    a foreign transaction observe two group-mates in incompatible
+//!    orders.
+//!
+//! Blocked requests wait on the *active members* of the owning group
+//! (lock-holding members may have committed already, but the group keeps
+//! the lock); deadlock detection is the usual waits-for cycle check.
+
+use crate::lock_table::WaitsFor;
+use crate::{AbortReason, Decision, Scheduler};
+use relser_core::ids::{ObjectId, OpId, TxnId};
+use relser_core::op::AccessMode;
+use relser_core::txn::TxnSet;
+use std::collections::{HashMap, HashSet};
+
+/// Per-object lock state at group granularity.
+#[derive(Clone, Debug, Default)]
+struct GroupLock {
+    readers: HashSet<usize>,
+    writer: Option<usize>,
+}
+
+/// Group-granularity 2PL with Garcia-Molina compatibility sets.
+pub struct CompatSet2Pl {
+    txns: TxnSet,
+    group_of: Vec<usize>,
+    locks: HashMap<ObjectId, GroupLock>,
+    /// Currently active (begun, not yet committed/aborted) members per
+    /// group.
+    active_members: HashMap<usize, HashSet<TxnId>>,
+    /// Objects locked per group (for wholesale release).
+    group_holdings: HashMap<usize, HashSet<ObjectId>>,
+    waits: WaitsFor,
+}
+
+impl CompatSet2Pl {
+    /// Creates a scheduler; `group_of[t]` is transaction `t`'s
+    /// compatibility-set index.
+    pub fn new(txns: &TxnSet, group_of: &[usize]) -> Self {
+        assert_eq!(group_of.len(), txns.len(), "one group per transaction");
+        CompatSet2Pl {
+            txns: txns.clone(),
+            group_of: group_of.to_vec(),
+            locks: HashMap::new(),
+            active_members: HashMap::new(),
+            group_holdings: HashMap::new(),
+            waits: WaitsFor::new(),
+        }
+    }
+
+    /// Active members of the groups blocking `group` on `object`/`mode`.
+    fn blockers(&self, group: usize, object: ObjectId, mode: AccessMode) -> Vec<TxnId> {
+        let Some(lock) = self.locks.get(&object) else {
+            return Vec::new();
+        };
+        let mut groups: Vec<usize> = Vec::new();
+        if let Some(wg) = lock.writer {
+            if wg != group {
+                groups.push(wg);
+            }
+        }
+        if mode == AccessMode::Write {
+            groups.extend(lock.readers.iter().copied().filter(|&g| g != group));
+        }
+        let mut out: Vec<TxnId> = groups
+            .into_iter()
+            .flat_map(|g| self.active_members.get(&g).into_iter().flatten().copied())
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Releases every lock of `group`.
+    fn release_group(&mut self, group: usize) {
+        if let Some(objects) = self.group_holdings.remove(&group) {
+            for o in objects {
+                if let Some(lock) = self.locks.get_mut(&o) {
+                    lock.readers.remove(&group);
+                    if lock.writer == Some(group) {
+                        lock.writer = None;
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Scheduler for CompatSet2Pl {
+    fn name(&self) -> &'static str {
+        "CompatSet-2PL"
+    }
+
+    fn begin(&mut self, txn: TxnId) {
+        let group = self.group_of[txn.index()];
+        self.active_members.entry(group).or_default().insert(txn);
+    }
+
+    fn request(&mut self, op: OpId) -> Decision {
+        let operation = self.txns.op(op).expect("op belongs to the set");
+        let group = self.group_of[op.txn.index()];
+        let blockers = self.blockers(group, operation.object, operation.mode);
+        if !blockers.is_empty() {
+            return if self.waits.would_deadlock(op.txn, &blockers) {
+                Decision::Aborted(AbortReason::Deadlock)
+            } else {
+                self.waits.set_waits(op.txn, &blockers);
+                Decision::Blocked { on: blockers }
+            };
+        }
+        let lock = self.locks.entry(operation.object).or_default();
+        match operation.mode {
+            AccessMode::Read => {
+                lock.readers.insert(group);
+            }
+            AccessMode::Write => {
+                lock.readers.remove(&group); // upgrade within the group
+                lock.writer = Some(group);
+            }
+        }
+        self.group_holdings
+            .entry(group)
+            .or_default()
+            .insert(operation.object);
+        self.waits.clear(op.txn);
+        Decision::Granted
+    }
+
+    fn commit(&mut self, txn: TxnId) {
+        let group = self.group_of[txn.index()];
+        let last = if let Some(members) = self.active_members.get_mut(&group) {
+            members.remove(&txn);
+            members.is_empty()
+        } else {
+            true
+        };
+        if last {
+            self.release_group(group);
+        }
+        self.waits.clear(txn);
+    }
+
+    fn abort(&mut self, txn: TxnId) {
+        self.commit(txn);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn op(t: u32, j: u32) -> OpId {
+        OpId::new(TxnId(t), j)
+    }
+
+    #[test]
+    fn same_group_conflicts_are_ignored() {
+        let txns = TxnSet::parse(&["r1[x] w1[x]", "r2[x] w2[x]"]).unwrap();
+        let mut s = CompatSet2Pl::new(&txns, &[0, 0]);
+        s.begin(TxnId(0));
+        s.begin(TxnId(1));
+        // The lost-update interleaving is *fine* inside one family.
+        assert_eq!(s.request(op(0, 0)), Decision::Granted);
+        assert_eq!(s.request(op(1, 0)), Decision::Granted);
+        assert_eq!(s.request(op(0, 1)), Decision::Granted);
+        assert_eq!(s.request(op(1, 1)), Decision::Granted);
+    }
+
+    #[test]
+    fn cross_group_conflicts_behave_like_2pl() {
+        let txns = TxnSet::parse(&["r1[x] w1[x]", "r2[x] w2[x]"]).unwrap();
+        let mut s = CompatSet2Pl::new(&txns, &[0, 1]);
+        s.begin(TxnId(0));
+        s.begin(TxnId(1));
+        assert_eq!(s.request(op(0, 0)), Decision::Granted);
+        assert_eq!(s.request(op(1, 0)), Decision::Granted); // shared read ok
+        assert!(matches!(s.request(op(0, 1)), Decision::Blocked { .. }));
+        // T2's write attempt closes the waits-for cycle → deadlock abort.
+        assert_eq!(
+            s.request(op(1, 1)),
+            Decision::Aborted(AbortReason::Deadlock)
+        );
+    }
+
+    #[test]
+    fn group_locks_survive_until_the_generation_ends() {
+        // T1 and T2 (group 0) overlap; even after T1 commits, the group's
+        // lock on x persists while T2 is active.
+        let txns = TxnSet::parse(&["w1[x]", "r2[y]", "w3[x]"]).unwrap();
+        let mut s = CompatSet2Pl::new(&txns, &[0, 0, 1]);
+        s.begin(TxnId(0));
+        s.begin(TxnId(1));
+        s.begin(TxnId(2));
+        assert_eq!(s.request(op(0, 0)), Decision::Granted);
+        s.commit(TxnId(0));
+        // T3 must wait on group 0's still-active member T2.
+        match s.request(op(2, 0)) {
+            Decision::Blocked { on } => assert_eq!(on, vec![TxnId(1)]),
+            other => panic!("expected block on T2, got {other:?}"),
+        }
+        assert_eq!(s.request(op(1, 0)), Decision::Granted);
+        s.commit(TxnId(1));
+        assert_eq!(s.request(op(2, 0)), Decision::Granted);
+    }
+
+    #[test]
+    fn new_generation_starts_clean() {
+        let txns = TxnSet::parse(&["w1[x]", "w2[x]", "w3[x]"]).unwrap();
+        let mut s = CompatSet2Pl::new(&txns, &[0, 1, 0]);
+        s.begin(TxnId(0));
+        s.request(op(0, 0));
+        s.commit(TxnId(0)); // generation of group 0 ends, locks released
+        s.begin(TxnId(1));
+        assert_eq!(s.request(op(1, 0)), Decision::Granted);
+        s.commit(TxnId(1));
+        s.begin(TxnId(2)); // a fresh group-0 generation
+        assert_eq!(s.request(op(2, 0)), Decision::Granted);
+    }
+
+    #[test]
+    fn commit_releases_for_other_groups() {
+        let txns = TxnSet::parse(&["w1[x]", "w2[x]"]).unwrap();
+        let mut s = CompatSet2Pl::new(&txns, &[0, 1]);
+        s.begin(TxnId(0));
+        s.begin(TxnId(1));
+        assert_eq!(s.request(op(0, 0)), Decision::Granted);
+        assert!(matches!(s.request(op(1, 0)), Decision::Blocked { .. }));
+        s.commit(TxnId(0));
+        assert_eq!(s.request(op(1, 0)), Decision::Granted);
+    }
+
+    #[test]
+    #[should_panic(expected = "one group per transaction")]
+    fn group_vector_length_checked() {
+        let txns = TxnSet::parse(&["w1[x]"]).unwrap();
+        CompatSet2Pl::new(&txns, &[0, 1]);
+    }
+}

@@ -1,0 +1,310 @@
+//! A shared read/write lock manager used by the lock-based schedulers,
+//! with a waits-for graph for deadlock detection.
+
+use relser_core::ids::{ObjectId, TxnId};
+use relser_core::op::AccessMode;
+use std::collections::{HashMap, HashSet};
+
+/// The result of a lock acquisition attempt.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Acquire {
+    /// The lock is held (or was already held / upgraded).
+    Acquired,
+    /// Conflicting holders block the request.
+    Conflict(Vec<TxnId>),
+}
+
+/// Per-object lock state: any number of readers, or one writer.
+#[derive(Clone, Debug, Default)]
+struct LockState {
+    readers: HashSet<TxnId>,
+    writer: Option<TxnId>,
+}
+
+/// A read/write lock table keyed by [`ObjectId`].
+#[derive(Clone, Debug, Default)]
+pub struct LockTable {
+    locks: HashMap<ObjectId, LockState>,
+    /// Objects locked per transaction, for O(holdings) release.
+    holdings: HashMap<TxnId, HashSet<ObjectId>>,
+}
+
+impl LockTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Attempts to lock `object` in `mode` for `txn`. Re-acquisition is a
+    /// no-op; a read→write upgrade succeeds iff `txn` is the only reader.
+    ///
+    /// `compatible` lets callers inject extra compatibility (e.g.
+    /// Garcia-Molina compatibility sets): a holder `h` is ignored as a
+    /// conflict when `compatible(h, txn)` is true.
+    pub fn acquire_with(
+        &mut self,
+        txn: TxnId,
+        object: ObjectId,
+        mode: AccessMode,
+        compatible: impl Fn(TxnId, TxnId) -> bool,
+    ) -> Acquire {
+        let state = self.locks.entry(object).or_default();
+        let blockers: Vec<TxnId> = match mode {
+            AccessMode::Read => state
+                .writer
+                .into_iter()
+                .filter(|&w| w != txn && !compatible(w, txn))
+                .collect(),
+            AccessMode::Write => {
+                let mut b: Vec<TxnId> = state
+                    .readers
+                    .iter()
+                    .copied()
+                    .filter(|&r| r != txn && !compatible(r, txn))
+                    .collect();
+                b.extend(
+                    state
+                        .writer
+                        .into_iter()
+                        .filter(|&w| w != txn && !compatible(w, txn)),
+                );
+                b.sort();
+                b.dedup();
+                b
+            }
+        };
+        if !blockers.is_empty() {
+            return Acquire::Conflict(blockers);
+        }
+        match mode {
+            AccessMode::Read => {
+                state.readers.insert(txn);
+            }
+            AccessMode::Write => {
+                state.readers.remove(&txn); // upgrade consumes the read lock
+                state.writer = Some(txn);
+            }
+        }
+        self.holdings.entry(txn).or_default().insert(object);
+        Acquire::Acquired
+    }
+
+    /// [`LockTable::acquire_with`] with plain (no extra) compatibility.
+    pub fn acquire(&mut self, txn: TxnId, object: ObjectId, mode: AccessMode) -> Acquire {
+        self.acquire_with(txn, object, mode, |_, _| false)
+    }
+
+    /// Does `txn` hold any lock on `object`?
+    pub fn holds(&self, txn: TxnId, object: ObjectId) -> bool {
+        self.holdings.get(&txn).is_some_and(|h| h.contains(&object))
+    }
+
+    /// Does `txn` hold the *write* lock on `object`?
+    pub fn holds_write(&self, txn: TxnId, object: ObjectId) -> bool {
+        self.locks
+            .get(&object)
+            .is_some_and(|s| s.writer == Some(txn))
+    }
+
+    /// Releases one lock.
+    pub fn release(&mut self, txn: TxnId, object: ObjectId) {
+        if let Some(state) = self.locks.get_mut(&object) {
+            state.readers.remove(&txn);
+            if state.writer == Some(txn) {
+                state.writer = None;
+            }
+        }
+        if let Some(h) = self.holdings.get_mut(&txn) {
+            h.remove(&object);
+        }
+    }
+
+    /// Releases every lock of `txn`, returning the released objects.
+    pub fn release_all(&mut self, txn: TxnId) -> Vec<ObjectId> {
+        let objects: Vec<ObjectId> = self
+            .holdings
+            .remove(&txn)
+            .map(|h| h.into_iter().collect())
+            .unwrap_or_default();
+        for &o in &objects {
+            if let Some(state) = self.locks.get_mut(&o) {
+                state.readers.remove(&txn);
+                if state.writer == Some(txn) {
+                    state.writer = None;
+                }
+            }
+        }
+        objects
+    }
+
+    /// Objects currently locked by `txn`.
+    pub fn held_by(&self, txn: TxnId) -> Vec<ObjectId> {
+        self.holdings
+            .get(&txn)
+            .map(|h| {
+                let mut v: Vec<ObjectId> = h.iter().copied().collect();
+                v.sort();
+                v
+            })
+            .unwrap_or_default()
+    }
+}
+
+/// A waits-for graph for deadlock detection: `waits[t]` = transactions `t`
+/// is currently waiting on.
+#[derive(Clone, Debug, Default)]
+pub struct WaitsFor {
+    waits: HashMap<TxnId, HashSet<TxnId>>,
+}
+
+impl WaitsFor {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Replaces `t`'s wait set (a blocked request waits on its current
+    /// blockers only).
+    pub fn set_waits(&mut self, t: TxnId, on: &[TxnId]) {
+        self.waits.insert(t, on.iter().copied().collect());
+    }
+
+    /// Removes `t` both as a waiter and as a wait target.
+    pub fn clear(&mut self, t: TxnId) {
+        self.waits.remove(&t);
+        for s in self.waits.values_mut() {
+            s.remove(&t);
+        }
+    }
+
+    /// Would `t` waiting on `on` close a cycle (i.e. is `t` reachable from
+    /// any of `on` through the current waits-for edges)?
+    pub fn would_deadlock(&self, t: TxnId, on: &[TxnId]) -> bool {
+        let mut stack: Vec<TxnId> = on.to_vec();
+        let mut seen: HashSet<TxnId> = HashSet::new();
+        while let Some(u) = stack.pop() {
+            if u == t {
+                return true;
+            }
+            if seen.insert(u) {
+                if let Some(next) = self.waits.get(&u) {
+                    stack.extend(next.iter().copied());
+                }
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T1: TxnId = TxnId(0);
+    const T2: TxnId = TxnId(1);
+    const T3: TxnId = TxnId(2);
+    const X: ObjectId = ObjectId(0);
+    const Y: ObjectId = ObjectId(1);
+
+    #[test]
+    fn shared_reads_exclusive_writes() {
+        let mut lt = LockTable::new();
+        assert_eq!(lt.acquire(T1, X, AccessMode::Read), Acquire::Acquired);
+        assert_eq!(lt.acquire(T2, X, AccessMode::Read), Acquire::Acquired);
+        match lt.acquire(T3, X, AccessMode::Write) {
+            Acquire::Conflict(mut who) => {
+                who.sort();
+                assert_eq!(who, vec![T1, T2]);
+            }
+            other => panic!("expected conflict, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn write_blocks_read() {
+        let mut lt = LockTable::new();
+        assert_eq!(lt.acquire(T1, X, AccessMode::Write), Acquire::Acquired);
+        assert_eq!(
+            lt.acquire(T2, X, AccessMode::Read),
+            Acquire::Conflict(vec![T1])
+        );
+        // The writer itself can re-read.
+        assert_eq!(lt.acquire(T1, X, AccessMode::Read), Acquire::Acquired);
+    }
+
+    #[test]
+    fn upgrade_only_for_sole_reader() {
+        let mut lt = LockTable::new();
+        lt.acquire(T1, X, AccessMode::Read);
+        assert_eq!(lt.acquire(T1, X, AccessMode::Write), Acquire::Acquired);
+        assert!(lt.holds_write(T1, X));
+
+        let mut lt2 = LockTable::new();
+        lt2.acquire(T1, Y, AccessMode::Read);
+        lt2.acquire(T2, Y, AccessMode::Read);
+        assert_eq!(
+            lt2.acquire(T1, Y, AccessMode::Write),
+            Acquire::Conflict(vec![T2])
+        );
+    }
+
+    #[test]
+    fn release_all_frees_objects() {
+        let mut lt = LockTable::new();
+        lt.acquire(T1, X, AccessMode::Write);
+        lt.acquire(T1, Y, AccessMode::Read);
+        let mut freed = lt.release_all(T1);
+        freed.sort();
+        assert_eq!(freed, vec![X, Y]);
+        assert_eq!(lt.acquire(T2, X, AccessMode::Write), Acquire::Acquired);
+        assert!(!lt.holds(T1, Y));
+    }
+
+    #[test]
+    fn single_release() {
+        let mut lt = LockTable::new();
+        lt.acquire(T1, X, AccessMode::Write);
+        lt.release(T1, X);
+        assert!(!lt.holds(T1, X));
+        assert_eq!(lt.acquire(T2, X, AccessMode::Write), Acquire::Acquired);
+    }
+
+    #[test]
+    fn compatibility_function_bypasses_conflicts() {
+        let mut lt = LockTable::new();
+        lt.acquire(T1, X, AccessMode::Write);
+        // T2 is "compatible" with T1: conflict ignored.
+        assert_eq!(
+            lt.acquire_with(T2, X, AccessMode::Write, |a, b| {
+                (a, b) == (T1, T2) || (a, b) == (T2, T1)
+            }),
+            Acquire::Acquired
+        );
+    }
+
+    #[test]
+    fn waits_for_detects_two_party_deadlock() {
+        let mut wf = WaitsFor::new();
+        wf.set_waits(T1, &[T2]);
+        assert!(!wf.would_deadlock(T2, &[T3]));
+        assert!(wf.would_deadlock(T2, &[T1]));
+    }
+
+    #[test]
+    fn waits_for_detects_three_party_cycle() {
+        let mut wf = WaitsFor::new();
+        wf.set_waits(T1, &[T2]);
+        wf.set_waits(T2, &[T3]);
+        assert!(wf.would_deadlock(T3, &[T1]));
+        wf.clear(T2);
+        assert!(!wf.would_deadlock(T3, &[T1]));
+    }
+
+    #[test]
+    fn held_by_lists_sorted_objects() {
+        let mut lt = LockTable::new();
+        lt.acquire(T1, Y, AccessMode::Read);
+        lt.acquire(T1, X, AccessMode::Read);
+        assert_eq!(lt.held_by(T1), vec![X, Y]);
+    }
+}

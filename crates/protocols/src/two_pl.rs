@@ -1,0 +1,155 @@
+//! Strict two-phase locking — the canonical baseline \[EGLT76\].
+//!
+//! Locks are acquired per operation and held until commit/abort; blocked
+//! requests register waits-for edges and a request that would close a
+//! waits-for cycle aborts the requester (deadlock victim = requester,
+//! deterministic).
+
+use crate::lock_table::{Acquire, LockTable, WaitsFor};
+use crate::{AbortReason, Decision, Scheduler};
+use relser_core::ids::{OpId, TxnId};
+use relser_core::txn::TxnSet;
+
+/// Strict 2PL scheduler.
+pub struct TwoPhaseLocking {
+    txns: TxnSet,
+    locks: LockTable,
+    waits: WaitsFor,
+}
+
+impl TwoPhaseLocking {
+    /// Creates a scheduler over a fixed transaction set.
+    pub fn new(txns: &TxnSet) -> Self {
+        TwoPhaseLocking {
+            txns: txns.clone(),
+            locks: LockTable::new(),
+            waits: WaitsFor::new(),
+        }
+    }
+}
+
+impl Scheduler for TwoPhaseLocking {
+    fn name(&self) -> &'static str {
+        "2PL"
+    }
+
+    fn begin(&mut self, _txn: TxnId) {}
+
+    fn request(&mut self, op: OpId) -> Decision {
+        let operation = self.txns.op(op).expect("op belongs to the transaction set");
+        match self.locks.acquire(op.txn, operation.object, operation.mode) {
+            Acquire::Acquired => {
+                self.waits.clear(op.txn);
+                Decision::Granted
+            }
+            Acquire::Conflict(holders) => {
+                if self.waits.would_deadlock(op.txn, &holders) {
+                    Decision::Aborted(AbortReason::Deadlock)
+                } else {
+                    self.waits.set_waits(op.txn, &holders);
+                    Decision::Blocked { on: holders }
+                }
+            }
+        }
+    }
+
+    fn commit(&mut self, txn: TxnId) {
+        self.locks.release_all(txn);
+        self.waits.clear(txn);
+    }
+
+    fn abort(&mut self, txn: TxnId) {
+        self.locks.release_all(txn);
+        self.waits.clear(txn);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set() -> TxnSet {
+        TxnSet::parse(&["r1[x] w1[y]", "r2[y] w2[x]"]).unwrap()
+    }
+
+    fn op(t: u32, j: u32) -> OpId {
+        OpId::new(TxnId(t), j)
+    }
+
+    #[test]
+    fn grants_conflict_free_requests() {
+        let txns = set();
+        let mut s = TwoPhaseLocking::new(&txns);
+        s.begin(TxnId(0));
+        s.begin(TxnId(1));
+        assert_eq!(s.request(op(0, 0)), Decision::Granted); // r1[x]
+        assert_eq!(s.request(op(1, 0)), Decision::Granted); // r2[y]
+    }
+
+    #[test]
+    fn blocks_on_conflicting_lock() {
+        let txns = set();
+        let mut s = TwoPhaseLocking::new(&txns);
+        s.begin(TxnId(0));
+        s.begin(TxnId(1));
+        assert_eq!(s.request(op(0, 0)), Decision::Granted); // r1[x]
+        assert_eq!(s.request(op(0, 1)), Decision::Granted); // w1[y]
+                                                            // r2[y] conflicts with w1[y].
+        assert_eq!(
+            s.request(op(1, 0)),
+            Decision::Blocked { on: vec![TxnId(0)] }
+        );
+    }
+
+    #[test]
+    fn deadlock_aborts_requester() {
+        let txns = set();
+        let mut s = TwoPhaseLocking::new(&txns);
+        s.begin(TxnId(0));
+        s.begin(TxnId(1));
+        assert_eq!(s.request(op(0, 0)), Decision::Granted); // r1[x]
+        assert_eq!(s.request(op(1, 0)), Decision::Granted); // r2[y]
+                                                            // w1[y] blocks on T2's read of y.
+        assert!(matches!(s.request(op(0, 1)), Decision::Blocked { .. }));
+        // w2[x] would block on T1's read of x → waits-for cycle → abort.
+        assert_eq!(
+            s.request(op(1, 1)),
+            Decision::Aborted(AbortReason::Deadlock)
+        );
+    }
+
+    #[test]
+    fn commit_releases_locks() {
+        let txns = set();
+        let mut s = TwoPhaseLocking::new(&txns);
+        s.begin(TxnId(0));
+        s.begin(TxnId(1));
+        s.request(op(0, 0));
+        s.request(op(0, 1));
+        s.commit(TxnId(0));
+        assert_eq!(s.request(op(1, 0)), Decision::Granted);
+    }
+
+    #[test]
+    fn abort_releases_locks_and_waits() {
+        let txns = set();
+        let mut s = TwoPhaseLocking::new(&txns);
+        s.begin(TxnId(0));
+        s.begin(TxnId(1));
+        s.request(op(0, 0));
+        s.request(op(0, 1));
+        assert!(matches!(s.request(op(1, 0)), Decision::Blocked { .. }));
+        s.abort(TxnId(0));
+        assert_eq!(s.request(op(1, 0)), Decision::Granted);
+    }
+
+    #[test]
+    fn reacquisition_is_idempotent() {
+        let txns = TxnSet::parse(&["r1[x] r1[x] w1[x]"]).unwrap();
+        let mut s = TwoPhaseLocking::new(&txns);
+        s.begin(TxnId(0));
+        assert_eq!(s.request(op(0, 0)), Decision::Granted);
+        assert_eq!(s.request(op(0, 1)), Decision::Granted);
+        assert_eq!(s.request(op(0, 2)), Decision::Granted); // upgrade
+    }
+}

@@ -1,0 +1,145 @@
+//! A deterministic discrete-event queue.
+//!
+//! Time is measured in integer **ticks**; events at the same tick are
+//! ordered by insertion sequence, so simulations are reproducible
+//! byte-for-byte across runs and platforms.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A deterministic future-event list.
+#[derive(Clone, Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<(u64, u64, EventBox<E>)>>,
+    seq: u64,
+    now: u64,
+}
+
+/// Wrapper giving events a total order without requiring `Ord` on `E`.
+#[derive(Clone, Debug)]
+struct EventBox<E>(E);
+
+impl<E> PartialEq for EventBox<E> {
+    fn eq(&self, _: &Self) -> bool {
+        true
+    }
+}
+impl<E> Eq for EventBox<E> {}
+impl<E> PartialOrd for EventBox<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for EventBox<E> {
+    fn cmp(&self, _: &Self) -> std::cmp::Ordering {
+        std::cmp::Ordering::Equal
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: 0,
+        }
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue at tick 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current simulation time (the tick of the last popped event).
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Schedules `event` at absolute tick `at` (clamped to `now`).
+    pub fn schedule_at(&mut self, at: u64, event: E) {
+        let at = at.max(self.now);
+        self.heap.push(Reverse((at, self.seq, EventBox(event))));
+        self.seq += 1;
+    }
+
+    /// Schedules `event` `delay` ticks from now.
+    pub fn schedule_in(&mut self, delay: u64, event: E) {
+        self.schedule_at(self.now.saturating_add(delay), event);
+    }
+
+    /// Pops the next event, advancing the clock. `None` when empty.
+    pub fn pop(&mut self) -> Option<(u64, E)> {
+        let Reverse((at, _, EventBox(e))) = self.heap.pop()?;
+        self.now = at;
+        Some((at, e))
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Is the queue empty?
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(5, "c");
+        q.schedule_at(1, "a");
+        q.schedule_at(3, "b");
+        assert_eq!(q.pop(), Some((1, "a")));
+        assert_eq!(q.now(), 1);
+        assert_eq!(q.pop(), Some((3, "b")));
+        assert_eq!(q.pop(), Some((5, "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(7, 1);
+        q.schedule_at(7, 2);
+        q.schedule_at(7, 3);
+        assert_eq!(q.pop().unwrap().1, 1);
+        assert_eq!(q.pop().unwrap().1, 2);
+        assert_eq!(q.pop().unwrap().1, 3);
+    }
+
+    #[test]
+    fn schedule_in_is_relative() {
+        let mut q = EventQueue::new();
+        q.schedule_at(10, "first");
+        q.pop();
+        q.schedule_in(5, "second");
+        assert_eq!(q.pop(), Some((15, "second")));
+    }
+
+    #[test]
+    fn past_events_clamp_to_now() {
+        let mut q = EventQueue::new();
+        q.schedule_at(10, "first");
+        q.pop();
+        q.schedule_at(3, "late");
+        assert_eq!(q.pop(), Some((10, "late")));
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule_at(1, ());
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,510 @@
+//! The discrete-event simulation engine: transactions arrive, operations
+//! take time, conflicts block or abort, restarts back off — and every
+//! committed history is returned as a validated [`Schedule`] so the
+//! offline checkers can audit the run.
+
+use crate::clock::EventQueue;
+use crate::metrics::{summarize, Metrics};
+use crate::store::{execute, Store};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use relser_core::ids::{OpId, TxnId};
+use relser_core::schedule::Schedule;
+use relser_core::txn::TxnSet;
+use relser_protocols::{Decision, Scheduler};
+
+/// When transactions enter the system.
+#[derive(Clone, Debug)]
+pub enum ArrivalPattern {
+    /// Everybody at tick 0 (closed system, maximal contention).
+    AllAtZero,
+    /// Transaction `k` arrives at `k * gap`.
+    EvenlySpaced {
+        /// Ticks between consecutive arrivals.
+        gap: u64,
+    },
+    /// Exponential inter-arrival times with the given mean (seeded by the
+    /// simulation seed).
+    Poisson {
+        /// Mean inter-arrival gap in ticks.
+        mean_gap: u64,
+    },
+}
+
+/// Simulation parameters.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Arrival process.
+    pub arrival: ArrivalPattern,
+    /// Base service time per operation, in ticks.
+    pub service_base: u64,
+    /// Uniform extra service jitter in `0..=service_jitter` ticks.
+    pub service_jitter: u64,
+    /// Backoff before an aborted transaction restarts.
+    pub restart_backoff: u64,
+    /// Seed for jitter, arrivals, and wake ordering.
+    pub seed: u64,
+    /// Hard event cap (livelock guard).
+    pub max_events: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            arrival: ArrivalPattern::AllAtZero,
+            service_base: 10,
+            service_jitter: 3,
+            restart_backoff: 25,
+            seed: 1,
+            max_events: 2_000_000,
+        }
+    }
+}
+
+/// The outcome of a completed simulation.
+#[derive(Clone, Debug)]
+pub struct SimReport {
+    /// Aggregate timing metrics.
+    pub metrics: Metrics,
+    /// The committed history, validated against the transaction set.
+    pub history: Schedule,
+    /// Final object-store state after executing the history.
+    pub final_store: Store,
+}
+
+#[derive(Clone, Debug)]
+enum Event {
+    Arrive(TxnId),
+    OpDone(TxnId, u32),
+    Retry(TxnId, u32),
+}
+
+/// Simulation failure: the event budget ran out.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EventLimitExceeded {
+    /// The configured budget that was exhausted.
+    pub max_events: u64,
+}
+
+impl std::fmt::Display for EventLimitExceeded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "simulation exceeded {} events", self.max_events)
+    }
+}
+
+impl std::error::Error for EventLimitExceeded {}
+
+/// Runs all transactions of `txns` to commit under `scheduler`.
+///
+/// ```
+/// use relser_core::paper::Figure1;
+/// use relser_protocols::rsg_sgt::RsgSgt;
+/// use relser_simdb::{simulate, SimConfig};
+/// let fig = Figure1::new();
+/// let mut sched = RsgSgt::new(&fig.txns, &fig.spec);
+/// let report = simulate(&fig.txns, &mut sched, &SimConfig::default()).unwrap();
+/// assert_eq!(report.metrics.commits, 3);
+/// assert!(relser_core::classes::is_relatively_serializable(
+///     &fig.txns, &report.history, &fig.spec,
+/// ));
+/// ```
+pub fn simulate(
+    txns: &TxnSet,
+    scheduler: &mut dyn Scheduler,
+    cfg: &SimConfig,
+) -> Result<SimReport, EventLimitExceeded> {
+    let n = txns.len();
+    assert!(n > 0, "empty transaction set");
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    // Precomputed per-operation service times (independent of event
+    // interleaving, so jitter does not break determinism).
+    let service: Vec<Vec<u64>> = txns
+        .txns()
+        .iter()
+        .map(|t| {
+            (0..t.len())
+                .map(|_| cfg.service_base + rng.random_range(0..=cfg.service_jitter))
+                .collect()
+        })
+        .collect();
+
+    let mut q: EventQueue<Event> = EventQueue::new();
+    let mut arrival_tick = vec![0u64; n];
+    match cfg.arrival {
+        ArrivalPattern::AllAtZero => {}
+        ArrivalPattern::EvenlySpaced { gap } => {
+            for (k, a) in arrival_tick.iter_mut().enumerate() {
+                *a = k as u64 * gap;
+            }
+        }
+        ArrivalPattern::Poisson { mean_gap } => {
+            let mut t = 0.0f64;
+            for a in arrival_tick.iter_mut() {
+                let u: f64 = rng.random_range(f64::EPSILON..1.0);
+                t += -u.ln() * mean_gap as f64;
+                *a = t as u64;
+            }
+        }
+    }
+    for (t, &at) in arrival_tick.iter().enumerate() {
+        q.schedule_at(at, Event::Arrive(TxnId(t as u32)));
+    }
+
+    let mut cursor = vec![0u32; n];
+    let mut incarnation = vec![0u32; n];
+    let mut blocked = vec![false; n];
+    let mut done = vec![false; n];
+    let mut in_flight = vec![false; n]; // an OpDone event pending
+    let mut arrived = vec![false; n];
+    let mut commit_tick = vec![0u64; n];
+    let mut history: Vec<OpId> = Vec::with_capacity(txns.total_ops());
+    let mut aborts = 0u64;
+    let mut blocked_events = 0u64;
+    let mut events = 0u64;
+    let mut committed = 0usize;
+
+    // Concurrency integral bookkeeping.
+    let mut busy_integral = 0u64;
+    let mut last_tick = 0u64;
+    let mut active_count = 0u64;
+
+    // Requests the next operation for `t`; returns true if the scheduler
+    // state changed (grant or abort). The argument list mirrors the
+    // engine's whole mutable state on purpose: a free function keeps the
+    // borrow checker happy inside the event loop.
+    #[allow(clippy::too_many_arguments)]
+    fn try_progress(
+        t: usize,
+        _txns: &TxnSet,
+        scheduler: &mut dyn Scheduler,
+        q: &mut EventQueue<Event>,
+        service: &[Vec<u64>],
+        cursor: &mut [u32],
+        incarnation: &mut [u32],
+        blocked: &mut [bool],
+        in_flight: &mut [bool],
+        history: &mut Vec<OpId>,
+        aborts: &mut u64,
+        blocked_events: &mut u64,
+        backoff: u64,
+    ) -> bool {
+        let txn = TxnId(t as u32);
+        let op = OpId::new(txn, cursor[t]);
+        match scheduler.request(op) {
+            Decision::Granted => {
+                blocked[t] = false;
+                in_flight[t] = true;
+                history.push(op);
+                q.schedule_in(
+                    service[t][cursor[t] as usize],
+                    Event::OpDone(txn, incarnation[t]),
+                );
+                true
+            }
+            Decision::Blocked { .. } => {
+                if !blocked[t] {
+                    *blocked_events += 1;
+                }
+                blocked[t] = true;
+                false
+            }
+            Decision::Aborted(_) => {
+                *aborts += 1;
+                scheduler.abort(txn);
+                history.retain(|o| o.txn != txn);
+                cursor[t] = 0;
+                blocked[t] = false;
+                incarnation[t] += 1;
+                q.schedule_in(backoff, Event::Retry(txn, incarnation[t]));
+                true
+            }
+        }
+    }
+
+    while let Some((tick, event)) = q.pop() {
+        events += 1;
+        if events > cfg.max_events {
+            return Err(EventLimitExceeded {
+                max_events: cfg.max_events,
+            });
+        }
+        busy_integral += active_count * (tick - last_tick);
+        last_tick = tick;
+
+        let mut changed = false;
+        match event {
+            Event::Arrive(txn) => {
+                let t = txn.index();
+                arrived[t] = true;
+                active_count += 1;
+                scheduler.begin(txn);
+                changed |= try_progress(
+                    t,
+                    txns,
+                    scheduler,
+                    &mut q,
+                    &service,
+                    &mut cursor,
+                    &mut incarnation,
+                    &mut blocked,
+                    &mut in_flight,
+                    &mut history,
+                    &mut aborts,
+                    &mut blocked_events,
+                    cfg.restart_backoff,
+                );
+            }
+            Event::Retry(txn, inc) => {
+                let t = txn.index();
+                if inc != incarnation[t] || done[t] {
+                    continue;
+                }
+                scheduler.begin(txn);
+                changed |= try_progress(
+                    t,
+                    txns,
+                    scheduler,
+                    &mut q,
+                    &service,
+                    &mut cursor,
+                    &mut incarnation,
+                    &mut blocked,
+                    &mut in_flight,
+                    &mut history,
+                    &mut aborts,
+                    &mut blocked_events,
+                    cfg.restart_backoff,
+                );
+            }
+            Event::OpDone(txn, inc) => {
+                let t = txn.index();
+                if inc != incarnation[t] || done[t] {
+                    continue; // stale completion of an aborted incarnation
+                }
+                in_flight[t] = false;
+                cursor[t] += 1;
+                if cursor[t] as usize == txns.txn(txn).len() {
+                    scheduler.commit(txn);
+                    done[t] = true;
+                    commit_tick[t] = tick;
+                    committed += 1;
+                    active_count -= 1;
+                } else {
+                    try_progress(
+                        t,
+                        txns,
+                        scheduler,
+                        &mut q,
+                        &service,
+                        &mut cursor,
+                        &mut incarnation,
+                        &mut blocked,
+                        &mut in_flight,
+                        &mut history,
+                        &mut aborts,
+                        &mut blocked_events,
+                        cfg.restart_backoff,
+                    );
+                }
+                changed = true;
+            }
+        }
+
+        // Wake blocked transactions until fixpoint whenever anything
+        // changed (a grant may have released unit/altruistic locks; a
+        // commit releases everything).
+        while changed {
+            changed = false;
+            for t in 0..n {
+                if arrived[t] && blocked[t] && !done[t] && !in_flight[t] {
+                    changed |= try_progress(
+                        t,
+                        txns,
+                        scheduler,
+                        &mut q,
+                        &service,
+                        &mut cursor,
+                        &mut incarnation,
+                        &mut blocked,
+                        &mut in_flight,
+                        &mut history,
+                        &mut aborts,
+                        &mut blocked_events,
+                        cfg.restart_backoff,
+                    );
+                }
+            }
+        }
+    }
+
+    assert_eq!(
+        committed, n,
+        "simulation drained without committing all txns"
+    );
+    let history = Schedule::new(txns, history).expect("committed history is a valid schedule");
+    let final_store = execute(txns, &history);
+    let spans: Vec<(u64, u64)> = (0..n).map(|t| (arrival_tick[t], commit_tick[t])).collect();
+    Ok(SimReport {
+        metrics: summarize(&spans, aborts, blocked_events, busy_integral),
+        history,
+        final_store,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relser_protocols::rsg_sgt::RsgSgt;
+    use relser_protocols::two_pl::TwoPhaseLocking;
+    use relser_protocols::unit_locking::UnitLocking;
+
+    fn txns() -> TxnSet {
+        TxnSet::parse(&["r1[x] w1[x]", "r2[x] w2[x]", "r3[y] w3[y]"]).unwrap()
+    }
+
+    #[test]
+    fn simulation_commits_everything() {
+        let t = txns();
+        let mut sched = TwoPhaseLocking::new(&t);
+        let r = simulate(&t, &mut sched, &SimConfig::default()).unwrap();
+        assert_eq!(r.metrics.commits, 3);
+        assert_eq!(r.history.len(), t.total_ops());
+        assert!(relser_core::sg::is_conflict_serializable(&t, &r.history));
+    }
+
+    #[test]
+    fn same_seed_same_report() {
+        let t = txns();
+        let cfg = SimConfig {
+            seed: 9,
+            ..Default::default()
+        };
+        let a = simulate(&t, &mut TwoPhaseLocking::new(&t), &cfg).unwrap();
+        let b = simulate(&t, &mut TwoPhaseLocking::new(&t), &cfg).unwrap();
+        assert_eq!(a.history, b.history);
+        assert_eq!(a.metrics, b.metrics);
+        assert_eq!(a.final_store, b.final_store);
+    }
+
+    #[test]
+    fn arrivals_spread_lower_concurrency() {
+        let t = txns();
+        let all = simulate(
+            &t,
+            &mut TwoPhaseLocking::new(&t),
+            &SimConfig {
+                arrival: ArrivalPattern::AllAtZero,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let spaced = simulate(
+            &t,
+            &mut TwoPhaseLocking::new(&t),
+            &SimConfig {
+                arrival: ArrivalPattern::EvenlySpaced { gap: 1000 },
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(spaced.metrics.mean_concurrency < all.metrics.mean_concurrency);
+    }
+
+    #[test]
+    fn poisson_arrivals_are_deterministic_per_seed() {
+        let t = txns();
+        let cfg = SimConfig {
+            arrival: ArrivalPattern::Poisson { mean_gap: 40 },
+            seed: 5,
+            ..Default::default()
+        };
+        let a = simulate(&t, &mut TwoPhaseLocking::new(&t), &cfg).unwrap();
+        let b = simulate(&t, &mut TwoPhaseLocking::new(&t), &cfg).unwrap();
+        assert_eq!(a.metrics, b.metrics);
+    }
+
+    #[test]
+    fn deadlock_prone_workload_finishes_with_aborts_somewhere() {
+        let t = TxnSet::parse(&["w1[a] w1[b]", "w2[b] w2[a]"]).unwrap();
+        let mut any_aborts = false;
+        for seed in 0..20 {
+            let cfg = SimConfig {
+                seed,
+                ..Default::default()
+            };
+            let r = simulate(&t, &mut TwoPhaseLocking::new(&t), &cfg).unwrap();
+            assert_eq!(r.metrics.commits, 2);
+            any_aborts |= r.metrics.aborts > 0;
+        }
+        assert!(any_aborts);
+    }
+
+    #[test]
+    fn unit_locking_beats_2pl_on_long_lived_makespan() {
+        // The §5 claim, measured end-to-end: the long transaction donates
+        // finished steps, so short transactions overlap it instead of
+        // queuing behind it.
+        let sc = {
+            let txns = TxnSet::parse(&[
+                "r1[a] w1[a] r1[b] w1[b] r1[c] w1[c] r1[d] w1[d]",
+                "r2[a] w2[a]",
+                "r3[b] w3[b]",
+                "r4[c] w4[c]",
+            ])
+            .unwrap();
+            let mut spec = relser_core::spec::AtomicitySpec::absolute(&txns);
+            for j in 1..4u32 {
+                spec.set_breakpoints(TxnId(0), TxnId(j), &[2, 4, 6])
+                    .unwrap();
+            }
+            (txns, spec)
+        };
+        let mut worse = 0;
+        let mut better = 0;
+        for seed in 0..10u64 {
+            let cfg = SimConfig {
+                seed,
+                service_jitter: 0,
+                ..Default::default()
+            };
+            let a = simulate(&sc.0, &mut TwoPhaseLocking::new(&sc.0), &cfg).unwrap();
+            let b = simulate(&sc.0, &mut UnitLocking::new(&sc.0, &sc.1), &cfg).unwrap();
+            assert!(relser_core::classes::is_relatively_serializable(
+                &sc.0, &b.history, &sc.1
+            ));
+            if b.metrics.mean_latency < a.metrics.mean_latency {
+                better += 1;
+            } else if b.metrics.mean_latency > a.metrics.mean_latency {
+                worse += 1;
+            }
+        }
+        assert!(better > worse, "better={better} worse={worse}");
+    }
+
+    #[test]
+    fn rsg_sgt_simulation_verifies_offline() {
+        let fig = relser_core::paper::Figure1::new();
+        for seed in 0..5u64 {
+            let cfg = SimConfig {
+                seed,
+                ..Default::default()
+            };
+            let r = simulate(&fig.txns, &mut RsgSgt::new(&fig.txns, &fig.spec), &cfg).unwrap();
+            assert!(relser_core::classes::is_relatively_serializable(
+                &fig.txns, &r.history, &fig.spec
+            ));
+        }
+    }
+
+    #[test]
+    fn event_limit_guards_against_livelock() {
+        let t = txns();
+        let cfg = SimConfig {
+            max_events: 2,
+            ..Default::default()
+        };
+        let err = simulate(&t, &mut TwoPhaseLocking::new(&t), &cfg).unwrap_err();
+        assert_eq!(err.max_events, 2);
+    }
+}

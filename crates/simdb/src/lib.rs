@@ -1,0 +1,33 @@
+//! # relser-simdb — a discrete-event simulated database engine
+//!
+//! The PODS'94 paper motivates relative atomicity with *systems* benefits:
+//! long-lived transactions and collaborative workloads gain concurrency
+//! when atomicity is relaxed (§1, §5). The paper itself reports no
+//! experiments; this crate supplies the missing testbed as a deterministic
+//! discrete-event simulation:
+//!
+//! * [`clock`] — an event queue with integer ticks (deterministic
+//!   ordering, no floating-point time);
+//! * [`store`] — an in-memory object store plus a deterministic executor:
+//!   writes derive from the values a transaction has read, so
+//!   conflict-equivalent schedules provably produce identical final
+//!   states — used to validate witnesses end-to-end;
+//! * [`engine`] — runs a transaction set against any
+//!   [`relser_protocols::Scheduler`]: arrivals, per-operation service
+//!   times, blocking with wakeups, abort-restart with backoff;
+//! * [`metrics`] — throughput, latency percentiles, abort counts, and
+//!   mean effective concurrency.
+//!
+//! Everything is seeded and reproducible; the `paper-tables` harness in
+//! `relser-bench` uses this crate to print experiment E11.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod engine;
+pub mod metrics;
+pub mod store;
+
+pub use engine::{simulate, ArrivalPattern, SimConfig, SimReport};
+pub use store::{execute, Store};

@@ -1,0 +1,117 @@
+//! Simulation metrics: throughput, latency percentiles, aborts, and mean
+//! effective concurrency.
+
+/// Aggregate statistics of one simulation run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Metrics {
+    /// Committed transactions.
+    pub commits: u64,
+    /// Abort/restart events.
+    pub aborts: u64,
+    /// Blocked-request events.
+    pub blocked_events: u64,
+    /// Total ticks from first arrival to last commit.
+    pub makespan: u64,
+    /// Commits per 1000 ticks.
+    pub throughput_per_kilotick: f64,
+    /// Mean commit latency (commit tick − arrival tick).
+    pub mean_latency: f64,
+    /// 95th-percentile commit latency.
+    pub p95_latency: u64,
+    /// Time-averaged number of in-flight transactions.
+    pub mean_concurrency: f64,
+}
+
+/// Builds [`Metrics`] from per-transaction observations.
+///
+/// `spans` are `(arrival, commit)` tick pairs; `busy` is the running
+/// integral of in-flight transactions over time (Σ active·Δt).
+pub fn summarize(
+    spans: &[(u64, u64)],
+    aborts: u64,
+    blocked_events: u64,
+    busy_integral: u64,
+) -> Metrics {
+    assert!(!spans.is_empty(), "no committed transactions to summarize");
+    let first_arrival = spans.iter().map(|&(a, _)| a).min().unwrap_or(0);
+    let last_commit = spans.iter().map(|&(_, c)| c).max().unwrap_or(0);
+    let makespan = last_commit.saturating_sub(first_arrival).max(1);
+    let mut latencies: Vec<u64> = spans.iter().map(|&(a, c)| c.saturating_sub(a)).collect();
+    latencies.sort_unstable();
+    let mean_latency = latencies.iter().sum::<u64>() as f64 / latencies.len() as f64;
+    let p95_idx = ((latencies.len() as f64 * 0.95).ceil() as usize).clamp(1, latencies.len()) - 1;
+    Metrics {
+        commits: spans.len() as u64,
+        aborts,
+        blocked_events,
+        makespan,
+        throughput_per_kilotick: spans.len() as f64 * 1000.0 / makespan as f64,
+        mean_latency,
+        p95_latency: latencies[p95_idx],
+        mean_concurrency: busy_integral as f64 / makespan as f64,
+    }
+}
+
+impl std::fmt::Display for Metrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "commits={} aborts={} blocked={} makespan={} thru/kt={:.2} lat(mean)={:.1} lat(p95)={} conc={:.2}",
+            self.commits,
+            self.aborts,
+            self.blocked_events,
+            self.makespan,
+            self.throughput_per_kilotick,
+            self.mean_latency,
+            self.p95_latency,
+            self.mean_concurrency
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_summary() {
+        let spans = vec![(0, 10), (0, 20), (5, 25)];
+        let m = summarize(&spans, 2, 7, 40);
+        assert_eq!(m.commits, 3);
+        assert_eq!(m.aborts, 2);
+        assert_eq!(m.blocked_events, 7);
+        assert_eq!(m.makespan, 25);
+        assert!((m.throughput_per_kilotick - 120.0).abs() < 1e-9);
+        assert!((m.mean_latency - (10.0 + 20.0 + 20.0) / 3.0).abs() < 1e-9);
+        assert_eq!(m.p95_latency, 20);
+        assert!((m.mean_concurrency - 40.0 / 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_txn_run() {
+        let m = summarize(&[(3, 9)], 0, 0, 6);
+        assert_eq!(m.makespan, 6);
+        assert_eq!(m.p95_latency, 6);
+        assert_eq!(m.commits, 1);
+    }
+
+    #[test]
+    fn zero_span_clamps_makespan() {
+        let m = summarize(&[(5, 5)], 0, 0, 0);
+        assert_eq!(m.makespan, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "no committed transactions")]
+    fn empty_spans_panic() {
+        summarize(&[], 0, 0, 0);
+    }
+
+    #[test]
+    fn display_contains_key_figures() {
+        let m = summarize(&[(0, 10)], 1, 2, 10);
+        let s = m.to_string();
+        assert!(s.contains("commits=1"));
+        assert!(s.contains("aborts=1"));
+    }
+}

@@ -1,0 +1,287 @@
+//! The banking scenario from the paper's introduction (after Lynch
+//! \[Lyn83\]).
+//!
+//! "Customers are grouped into families each of which shares a common set
+//! of accounts. The bank may wish to take a complete bank audit of all
+//! accounts, while creditors may require a credit audit of specific
+//! families. In this case the bank audit should be atomic with respect to
+//! all other transactions and vice versa. The relative atomicity
+//! specifications for credit audits and customer transactions are much
+//! less severe. Finally, customer transactions in the same family can be
+//! arbitrarily interleaved."
+//!
+//! Concretely:
+//!
+//! * **bank audit** — reads every account; single atomic unit toward every
+//!   transaction, and every transaction is a single unit toward it;
+//! * **credit audit (family f)** — reads every account of `f`; atomic
+//!   toward customers of `f` (they would corrupt the audit), but exposes a
+//!   breakpoint after every read to transactions of *other* families;
+//! * **customer (family f)** — transfers between accounts of `f`; freely
+//!   interleavable by same-family customers and by other families'
+//!   customers (disjoint data), but a single unit toward audits that cover
+//!   its family.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use relser_core::op::AccessMode;
+use relser_core::spec::AtomicitySpec;
+use relser_core::txn::TxnSet;
+
+/// What role a generated transaction plays.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BankTxnKind {
+    /// A customer transaction operating within `family`.
+    Customer {
+        /// Owning family index.
+        family: usize,
+    },
+    /// A credit audit reading all accounts of `family`.
+    CreditAudit {
+        /// Audited family index.
+        family: usize,
+    },
+    /// A bank-wide audit reading every account.
+    BankAudit,
+}
+
+/// Parameters of the banking scenario.
+#[derive(Clone, Debug)]
+pub struct BankingConfig {
+    /// Number of families.
+    pub families: usize,
+    /// Accounts per family.
+    pub accounts_per_family: usize,
+    /// Customer transactions per family.
+    pub customers_per_family: usize,
+    /// Transfers (read+write pairs) per customer transaction.
+    pub transfers_per_customer: usize,
+    /// Generate one credit audit per family?
+    pub credit_audits: bool,
+    /// Generate the global bank audit?
+    pub bank_audit: bool,
+}
+
+impl Default for BankingConfig {
+    fn default() -> Self {
+        BankingConfig {
+            families: 2,
+            accounts_per_family: 3,
+            customers_per_family: 2,
+            transfers_per_customer: 2,
+            credit_audits: true,
+            bank_audit: true,
+        }
+    }
+}
+
+/// A generated banking universe.
+#[derive(Clone, Debug)]
+pub struct BankingScenario {
+    /// The transactions.
+    pub txns: TxnSet,
+    /// The relative atomicity specification described in the module docs.
+    pub spec: AtomicitySpec,
+    /// Role of each transaction, indexed by `TxnId`.
+    pub kinds: Vec<BankTxnKind>,
+}
+
+/// Generates the banking scenario.
+///
+/// ```
+/// use relser_workload::banking::{banking, BankingConfig};
+/// let sc = banking(&BankingConfig::default(), 7);
+/// // 2 families x 2 customers + 2 credit audits + 1 bank audit.
+/// assert_eq!(sc.txns.len(), 7);
+/// // The bank audit is absolutely atomic toward everyone.
+/// let audit = relser_core::ids::TxnId(6);
+/// assert!(sc.spec.breakpoints(audit, relser_core::ids::TxnId(0)).is_empty());
+/// ```
+pub fn banking(cfg: &BankingConfig, seed: u64) -> BankingScenario {
+    assert!(cfg.families > 0 && cfg.accounts_per_family > 0);
+    assert!(cfg.transfers_per_customer > 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let account = |f: usize, a: usize| format!("f{f}_acct{a}");
+
+    let mut set = TxnSet::new();
+    let mut kinds = Vec::new();
+
+    // Customers.
+    for f in 0..cfg.families {
+        for _ in 0..cfg.customers_per_family {
+            let mut names: Vec<String> = Vec::new();
+            for _ in 0..cfg.transfers_per_customer {
+                let src = rng.random_range(0..cfg.accounts_per_family);
+                let mut dst = rng.random_range(0..cfg.accounts_per_family);
+                if cfg.accounts_per_family > 1 {
+                    while dst == src {
+                        dst = rng.random_range(0..cfg.accounts_per_family);
+                    }
+                }
+                names.push(account(f, src));
+                names.push(account(f, src));
+                names.push(account(f, dst));
+                names.push(account(f, dst));
+            }
+            let ops: Vec<(AccessMode, &str)> = names
+                .iter()
+                .enumerate()
+                .map(|(i, n)| {
+                    // r src, w src, r dst, w dst per transfer.
+                    let mode = if i % 2 == 0 {
+                        AccessMode::Read
+                    } else {
+                        AccessMode::Write
+                    };
+                    (mode, n.as_str())
+                })
+                .collect();
+            set.add(&ops).expect("customer txn non-empty");
+            kinds.push(BankTxnKind::Customer { family: f });
+        }
+    }
+
+    // Credit audits.
+    if cfg.credit_audits {
+        for f in 0..cfg.families {
+            let names: Vec<String> = (0..cfg.accounts_per_family)
+                .map(|a| account(f, a))
+                .collect();
+            let ops: Vec<(AccessMode, &str)> = names
+                .iter()
+                .map(|n| (AccessMode::Read, n.as_str()))
+                .collect();
+            set.add(&ops).expect("credit audit non-empty");
+            kinds.push(BankTxnKind::CreditAudit { family: f });
+        }
+    }
+
+    // Bank audit.
+    if cfg.bank_audit {
+        let names: Vec<String> = (0..cfg.families)
+            .flat_map(|f| (0..cfg.accounts_per_family).map(move |a| account(f, a)))
+            .collect();
+        let ops: Vec<(AccessMode, &str)> = names
+            .iter()
+            .map(|n| (AccessMode::Read, n.as_str()))
+            .collect();
+        set.add(&ops).expect("bank audit non-empty");
+        kinds.push(BankTxnKind::BankAudit);
+    }
+
+    // Specification.
+    let mut spec = AtomicitySpec::absolute(&set);
+    let family_of = |k: &BankTxnKind| match *k {
+        BankTxnKind::Customer { family } | BankTxnKind::CreditAudit { family } => Some(family),
+        BankTxnKind::BankAudit => None,
+    };
+    for i in set.txn_ids() {
+        for j in set.txn_ids() {
+            if i == j {
+                continue;
+            }
+            let ki = kinds[i.index()];
+            let kj = kinds[j.index()];
+            let all_breaks: Vec<u32> = (1..set.txn(i).len() as u32).collect();
+            let free = match (ki, kj) {
+                // Bank audit: absolutely atomic in both directions.
+                (BankTxnKind::BankAudit, _) | (_, BankTxnKind::BankAudit) => false,
+                // Credit audit of f vs customer of f: atomic. Other
+                // families: free.
+                (BankTxnKind::CreditAudit { family }, BankTxnKind::Customer { family: cf }) => {
+                    family != cf
+                }
+                (BankTxnKind::Customer { family: cf }, BankTxnKind::CreditAudit { family }) => {
+                    family != cf
+                }
+                // Audits of different families never share accounts; free.
+                (BankTxnKind::CreditAudit { .. }, BankTxnKind::CreditAudit { .. }) => {
+                    family_of(&ki) != family_of(&kj)
+                }
+                // Customers: arbitrarily interleavable.
+                (BankTxnKind::Customer { .. }, BankTxnKind::Customer { .. }) => true,
+            };
+            if free {
+                spec.set_breakpoints(i, j, &all_breaks).expect("valid");
+            }
+        }
+    }
+    BankingScenario {
+        txns: set,
+        spec,
+        kinds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relser_core::ids::TxnId;
+
+    #[test]
+    fn scenario_shape() {
+        let cfg = BankingConfig::default();
+        let sc = banking(&cfg, 1);
+        // 2 families × 2 customers + 2 credit audits + 1 bank audit = 7.
+        assert_eq!(sc.txns.len(), 7);
+        assert_eq!(sc.kinds.len(), 7);
+        assert_eq!(sc.kinds[6], BankTxnKind::BankAudit);
+        // Bank audit reads all 6 accounts.
+        assert_eq!(sc.txns.txn(TxnId(6)).len(), 6);
+    }
+
+    #[test]
+    fn bank_audit_is_absolutely_atomic_both_ways() {
+        let sc = banking(&BankingConfig::default(), 2);
+        let audit = TxnId(6);
+        for j in sc.txns.txn_ids() {
+            if j == audit {
+                continue;
+            }
+            assert!(sc.spec.breakpoints(audit, j).is_empty());
+            assert!(sc.spec.breakpoints(j, audit).is_empty());
+        }
+    }
+
+    #[test]
+    fn same_family_customers_fully_interleavable() {
+        let sc = banking(&BankingConfig::default(), 3);
+        // Customers 0 and 1 are family 0.
+        let (a, b) = (TxnId(0), TxnId(1));
+        let len = sc.txns.txn(a).len() as u32;
+        assert_eq!(
+            sc.spec.breakpoints(a, b),
+            (1..len).collect::<Vec<_>>().as_slice()
+        );
+    }
+
+    #[test]
+    fn credit_audit_atomic_toward_own_family_only() {
+        let sc = banking(&BankingConfig::default(), 4);
+        // kinds: 0,1 customers f0; 2,3 customers f1; 4 audit f0; 5 audit f1.
+        let audit_f0 = TxnId(4);
+        let cust_f0 = TxnId(0);
+        let cust_f1 = TxnId(2);
+        assert!(sc.spec.breakpoints(audit_f0, cust_f0).is_empty());
+        assert!(!sc.spec.breakpoints(audit_f0, cust_f1).is_empty());
+    }
+
+    #[test]
+    fn generation_is_seed_deterministic() {
+        let cfg = BankingConfig::default();
+        assert_eq!(banking(&cfg, 5).txns, banking(&cfg, 5).txns);
+    }
+
+    #[test]
+    fn customers_only_touch_their_family_accounts() {
+        let sc = banking(&BankingConfig::default(), 6);
+        for (t, kind) in sc.txns.txns().iter().zip(&sc.kinds) {
+            if let BankTxnKind::Customer { family } = kind {
+                for op in t.ops() {
+                    let name = sc.txns.objects().name(op.object);
+                    assert!(name.starts_with(&format!("f{family}_")), "{name}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! The computer-aided-design scenario from the paper's introduction and
+//! §5: "users are divided into teams of specialized experts … within each
+//! group any interleavings may be allowed while different atomicity units
+//! can be specified among the different groups depending on the degree of
+//! collaboration."
+//!
+//! Each team owns a set of design modules. A designer transaction performs
+//! several *phases*; each phase edits one module of the designer's team
+//! (read then write) and optionally reads a shared interface object.
+//! Specification: free interleaving inside a team; toward other teams a
+//! designer exposes breakpoints only at **phase boundaries** — other teams
+//! may observe a design between phases but never mid-phase.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use relser_core::op::AccessMode;
+use relser_core::spec::AtomicitySpec;
+use relser_core::txn::TxnSet;
+
+/// Parameters of the CAD scenario.
+#[derive(Clone, Debug)]
+pub struct CadConfig {
+    /// Number of teams.
+    pub teams: usize,
+    /// Designer transactions per team.
+    pub designers_per_team: usize,
+    /// Modules owned by each team.
+    pub modules_per_team: usize,
+    /// Phases per designer transaction.
+    pub phases: usize,
+    /// Probability a phase also reads the shared interface object.
+    pub interface_read_prob: f64,
+}
+
+impl Default for CadConfig {
+    fn default() -> Self {
+        CadConfig {
+            teams: 2,
+            designers_per_team: 2,
+            modules_per_team: 3,
+            phases: 2,
+            interface_read_prob: 0.5,
+        }
+    }
+}
+
+/// A generated CAD universe.
+#[derive(Clone, Debug)]
+pub struct CadScenario {
+    /// The designer transactions, grouped team-by-team in id order.
+    pub txns: TxnSet,
+    /// Free within a team, phase-boundary units across teams.
+    pub spec: AtomicitySpec,
+    /// Team of each transaction, indexed by `TxnId`.
+    pub team_of: Vec<usize>,
+    /// Operation index where each phase starts, per transaction (phase
+    /// boundaries exposed across teams).
+    pub phase_starts: Vec<Vec<u32>>,
+}
+
+/// Generates the CAD scenario.
+pub fn cad(cfg: &CadConfig, seed: u64) -> CadScenario {
+    assert!(cfg.teams > 0 && cfg.designers_per_team > 0);
+    assert!(cfg.modules_per_team > 0 && cfg.phases > 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let module = |team: usize, m: usize| format!("team{team}_mod{m}");
+
+    let mut set = TxnSet::new();
+    let mut team_of = Vec::new();
+    let mut phase_starts: Vec<Vec<u32>> = Vec::new();
+
+    for team in 0..cfg.teams {
+        for _ in 0..cfg.designers_per_team {
+            let mut names: Vec<(AccessMode, String)> = Vec::new();
+            let mut starts = Vec::new();
+            for _ in 0..cfg.phases {
+                starts.push(names.len() as u32);
+                let m = rng.random_range(0..cfg.modules_per_team);
+                if rng.random_bool(cfg.interface_read_prob) {
+                    names.push((AccessMode::Read, "interface".to_string()));
+                }
+                names.push((AccessMode::Read, module(team, m)));
+                names.push((AccessMode::Write, module(team, m)));
+            }
+            let ops: Vec<(AccessMode, &str)> =
+                names.iter().map(|(m, n)| (*m, n.as_str())).collect();
+            set.add(&ops).expect("designer txn non-empty");
+            team_of.push(team);
+            phase_starts.push(starts);
+        }
+    }
+
+    let mut spec = AtomicitySpec::absolute(&set);
+    for i in set.txn_ids() {
+        for j in set.txn_ids() {
+            if i == j {
+                continue;
+            }
+            if team_of[i.index()] == team_of[j.index()] {
+                // Same team: free interleaving.
+                let all: Vec<u32> = (1..set.txn(i).len() as u32).collect();
+                spec.set_breakpoints(i, j, &all).expect("valid");
+            } else {
+                // Cross team: breakpoints at phase boundaries only.
+                let breaks: Vec<u32> = phase_starts[i.index()]
+                    .iter()
+                    .copied()
+                    .filter(|&b| b > 0)
+                    .collect();
+                spec.set_breakpoints(i, j, &breaks).expect("valid");
+            }
+        }
+    }
+    CadScenario {
+        txns: set,
+        spec,
+        team_of,
+        phase_starts,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relser_core::ids::TxnId;
+
+    #[test]
+    fn scenario_shape() {
+        let sc = cad(&CadConfig::default(), 1);
+        assert_eq!(sc.txns.len(), 4);
+        assert_eq!(sc.team_of, vec![0, 0, 1, 1]);
+        for (t, starts) in sc.txns.txns().iter().zip(&sc.phase_starts) {
+            assert_eq!(starts.len(), 2);
+            assert!(t.len() >= 4); // two phases of at least r+w
+        }
+    }
+
+    #[test]
+    fn same_team_is_free() {
+        let sc = cad(&CadConfig::default(), 2);
+        let (a, b) = (TxnId(0), TxnId(1));
+        let len = sc.txns.txn(a).len() as u32;
+        assert_eq!(sc.spec.breakpoints(a, b), (1..len).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cross_team_breaks_at_phase_boundaries() {
+        let sc = cad(&CadConfig::default(), 3);
+        let (a, other) = (TxnId(0), TxnId(2));
+        let expected: Vec<u32> = sc.phase_starts[0]
+            .iter()
+            .copied()
+            .filter(|&b| b > 0)
+            .collect();
+        assert_eq!(sc.spec.breakpoints(a, other), expected.as_slice());
+        assert!(!expected.is_empty());
+    }
+
+    #[test]
+    fn teams_touch_disjoint_modules() {
+        let sc = cad(&CadConfig::default(), 4);
+        for (t, &team) in sc.txns.txns().iter().zip(&sc.team_of) {
+            for op in t.ops() {
+                let name = sc.txns.objects().name(op.object);
+                assert!(
+                    name == "interface" || name.starts_with(&format!("team{team}_")),
+                    "{name} accessed by team {team}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = CadConfig::default();
+        assert_eq!(cad(&cfg, 9).txns, cad(&cfg, 9).txns);
+    }
+}

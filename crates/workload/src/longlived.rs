@@ -1,0 +1,187 @@
+//! Long-lived transactions — the application §5 highlights via altruistic
+//! locking \[SGMA87\]: "a long-lived transaction does not need to be atomic
+//! for its entire duration with respect to all other transactions. Rather,
+//! different atomic units may be allowed, thus providing more flexibility
+//! and concurrency."
+//!
+//! The generated mix has one (or more) long *scan/update* transactions
+//! that touch a sequence of objects step by step, plus many short
+//! transactions touching one or two objects. Specification: the long
+//! transaction exposes a breakpoint after every step to every short
+//! transaction (it has "finished with" those objects, exactly the
+//! altruistic-locking donation); short transactions stay absolutely
+//! atomic.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use relser_core::op::AccessMode;
+use relser_core::spec::AtomicitySpec;
+use relser_core::txn::TxnSet;
+
+/// Parameters of the long-lived mix.
+#[derive(Clone, Debug)]
+pub struct LongLivedConfig {
+    /// Number of long transactions.
+    pub long_txns: usize,
+    /// Steps (objects visited) per long transaction.
+    pub steps: usize,
+    /// Does each long step write (read+write) or only read?
+    pub long_writes: bool,
+    /// Number of short transactions.
+    pub short_txns: usize,
+    /// Objects touched per short transaction (1 or 2).
+    pub short_objects: usize,
+    /// Total number of objects.
+    pub objects: usize,
+    /// Zipf skew for short-transaction object choice.
+    pub theta: f64,
+}
+
+impl Default for LongLivedConfig {
+    fn default() -> Self {
+        LongLivedConfig {
+            long_txns: 1,
+            steps: 6,
+            long_writes: true,
+            short_txns: 6,
+            short_objects: 2,
+            objects: 8,
+            theta: 0.0,
+        }
+    }
+}
+
+/// A generated long-lived mix.
+#[derive(Clone, Debug)]
+pub struct LongLivedScenario {
+    /// Long transactions first (ids `0..long_txns`), then short ones.
+    pub txns: TxnSet,
+    /// Long transactions expose per-step breakpoints; short transactions
+    /// are absolute.
+    pub spec: AtomicitySpec,
+    /// Number of long transactions (prefix of the id space).
+    pub long_txns: usize,
+}
+
+impl LongLivedScenario {
+    /// Is `t` (by index) one of the long transactions?
+    pub fn is_long(&self, t: usize) -> bool {
+        t < self.long_txns
+    }
+}
+
+/// Generates the long-lived mix.
+pub fn long_lived(cfg: &LongLivedConfig, seed: u64) -> LongLivedScenario {
+    assert!(cfg.objects > 0 && cfg.steps > 0);
+    assert!((1..=2).contains(&cfg.short_objects));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let zipf = crate::zipf::Zipf::new(cfg.objects, cfg.theta);
+    let name = |o: usize| format!("obj{o}");
+
+    let mut set = TxnSet::new();
+    // Long transactions: a scan over `steps` distinct-ish objects.
+    let mut step_starts: Vec<Vec<u32>> = Vec::new();
+    for _ in 0..cfg.long_txns {
+        let mut names: Vec<(AccessMode, String)> = Vec::new();
+        let mut starts = Vec::new();
+        for s in 0..cfg.steps {
+            starts.push(names.len() as u32);
+            let o = if cfg.objects >= cfg.steps {
+                s % cfg.objects // a clean scan across distinct objects
+            } else {
+                rng.random_range(0..cfg.objects)
+            };
+            names.push((AccessMode::Read, name(o)));
+            if cfg.long_writes {
+                names.push((AccessMode::Write, name(o)));
+            }
+        }
+        let ops: Vec<(AccessMode, &str)> = names.iter().map(|(m, n)| (*m, n.as_str())).collect();
+        set.add(&ops).expect("long txn non-empty");
+        step_starts.push(starts);
+    }
+    // Short transactions.
+    for _ in 0..cfg.short_txns {
+        let mut names: Vec<(AccessMode, String)> = Vec::new();
+        for _ in 0..cfg.short_objects {
+            let o = zipf.sample(&mut rng);
+            names.push((AccessMode::Read, name(o)));
+            names.push((AccessMode::Write, name(o)));
+        }
+        let ops: Vec<(AccessMode, &str)> = names.iter().map(|(m, n)| (*m, n.as_str())).collect();
+        set.add(&ops).expect("short txn non-empty");
+    }
+
+    let mut spec = AtomicitySpec::absolute(&set);
+    for i in set.txn_ids() {
+        if (i.index()) >= cfg.long_txns {
+            continue; // short transactions stay absolute
+        }
+        let breaks: Vec<u32> = step_starts[i.index()]
+            .iter()
+            .copied()
+            .filter(|&b| b > 0)
+            .collect();
+        for j in set.txn_ids() {
+            if i != j {
+                spec.set_breakpoints(i, j, &breaks).expect("valid");
+            }
+        }
+    }
+    LongLivedScenario {
+        txns: set,
+        spec,
+        long_txns: cfg.long_txns,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relser_core::ids::TxnId;
+
+    #[test]
+    fn shape_and_roles() {
+        let sc = long_lived(&LongLivedConfig::default(), 1);
+        assert_eq!(sc.txns.len(), 7);
+        assert!(sc.is_long(0));
+        assert!(!sc.is_long(1));
+        assert_eq!(sc.txns.txn(TxnId(0)).len(), 12); // 6 steps × (r+w)
+    }
+
+    #[test]
+    fn long_txn_exposes_step_breakpoints() {
+        let sc = long_lived(&LongLivedConfig::default(), 2);
+        let long = TxnId(0);
+        let short = TxnId(3);
+        assert_eq!(sc.spec.breakpoints(long, short), &[2, 4, 6, 8, 10]);
+        // Short transactions stay absolute.
+        assert!(sc.spec.breakpoints(short, long).is_empty());
+    }
+
+    #[test]
+    fn read_only_long_txn() {
+        let cfg = LongLivedConfig {
+            long_writes: false,
+            ..Default::default()
+        };
+        let sc = long_lived(&cfg, 3);
+        let long = sc.txns.txn(TxnId(0));
+        assert!(long.ops().iter().all(|o| !o.is_write()));
+        assert_eq!(long.len(), 6);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = LongLivedConfig::default();
+        assert_eq!(long_lived(&cfg, 4).txns, long_lived(&cfg, 4).txns);
+    }
+
+    #[test]
+    fn long_scan_visits_distinct_objects_when_possible() {
+        let sc = long_lived(&LongLivedConfig::default(), 5);
+        let long = sc.txns.txn(TxnId(0));
+        let objects: std::collections::HashSet<_> = long.ops().iter().map(|o| o.object).collect();
+        assert_eq!(objects.len(), 6);
+    }
+}

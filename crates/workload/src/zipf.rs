@@ -1,0 +1,110 @@
+//! A small Zipf(θ) sampler over `{0, …, n-1}`.
+//!
+//! Implemented in-house because `rand_distr` is not in the approved
+//! dependency set. Uses the standard inverse-CDF method over precomputed
+//! cumulative weights — O(n) setup, O(log n) per sample — which is exact
+//! and plenty fast at workload-generation scale.
+
+use rand::Rng;
+
+/// Zipf-distributed index sampler: item `i` (0-based) has weight
+/// `1 / (i+1)^theta`.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    /// Creates a sampler over `n` items with skew `theta >= 0`
+    /// (`theta = 0` is uniform; typical hot-spot workloads use 0.8–1.2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `theta` is negative/non-finite.
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0, "Zipf over zero items");
+        assert!(theta >= 0.0 && theta.is_finite(), "bad theta {theta}");
+        let mut cumulative = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for i in 0..n {
+            acc += 1.0 / ((i + 1) as f64).powf(theta);
+            cumulative.push(acc);
+        }
+        Zipf { cumulative }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// Samplers are never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Draws one index.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let total = *self.cumulative.last().expect("non-empty");
+        let u: f64 = rng.random_range(0.0..total);
+        self.cumulative.partition_point(|&c| c <= u)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn theta_zero_is_roughly_uniform() {
+        let z = Zipf::new(4, 0.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = [0usize; 4];
+        for _ in 0..40_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 - 10_000.0).abs() < 800.0, "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn skew_prefers_low_indices() {
+        let z = Zipf::new(10, 1.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = [0usize; 10];
+        for _ in 0..50_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[4], "{counts:?}");
+        assert!(counts[0] > 2 * counts[9], "{counts:?}");
+        // Ratio item0/item1 ≈ 2 for theta = 1.
+        let ratio = counts[0] as f64 / counts[1] as f64;
+        assert!((1.6..2.6).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn samples_always_in_range() {
+        let z = Zipf::new(3, 1.5);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < 3);
+        }
+    }
+
+    #[test]
+    fn single_item_always_zero() {
+        let z = Zipf::new(1, 1.0);
+        let mut rng = StdRng::seed_from_u64(4);
+        assert_eq!(z.sample(&mut rng), 0);
+        assert_eq!(z.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero items")]
+    fn zero_items_panics() {
+        Zipf::new(0, 1.0);
+    }
+}

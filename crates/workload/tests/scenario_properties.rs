@@ -1,0 +1,143 @@
+//! Property tests for the scenario generators: structural invariants that
+//! must hold for every configuration and seed.
+
+use proptest::prelude::*;
+use relser_workload::banking::{banking, BankTxnKind, BankingConfig};
+use relser_workload::cad::{cad, CadConfig};
+use relser_workload::longlived::{long_lived, LongLivedConfig};
+use relser_workload::{random_spec, random_txns, RandomConfig};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Banking: the spec is exactly as documented — bank audit absolute
+    /// both ways, same-family customers free, credit audits atomic toward
+    /// their own family only.
+    #[test]
+    fn banking_spec_invariants(
+        families in 1usize..4, accounts in 1usize..4, customers in 1usize..3, seed in any::<u64>()
+    ) {
+        let cfg = BankingConfig {
+            families,
+            accounts_per_family: accounts,
+            customers_per_family: customers,
+            transfers_per_customer: 2,
+            credit_audits: true,
+            bank_audit: true,
+        };
+        let sc = banking(&cfg, seed);
+        prop_assert_eq!(sc.txns.len(), families * customers + families + 1);
+        for i in sc.txns.txn_ids() {
+            for j in sc.txns.txn_ids() {
+                if i == j { continue; }
+                let free = !sc.spec.breakpoints(i, j).is_empty()
+                    || sc.txns.txn(i).len() == 1;
+                match (sc.kinds[i.index()], sc.kinds[j.index()]) {
+                    (BankTxnKind::BankAudit, _) | (_, BankTxnKind::BankAudit) => {
+                        prop_assert!(sc.spec.breakpoints(i, j).is_empty());
+                    }
+                    (BankTxnKind::Customer { family: a }, BankTxnKind::Customer { family: b }) => {
+                        let _ = (a, b);
+                        prop_assert!(free, "customers are mutually free");
+                    }
+                    (BankTxnKind::CreditAudit { family }, BankTxnKind::Customer { family: cf })
+                    | (BankTxnKind::Customer { family: cf }, BankTxnKind::CreditAudit { family }) => {
+                        if family == cf {
+                            prop_assert!(sc.spec.breakpoints(i, j).is_empty());
+                        } else {
+                            prop_assert!(free);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    /// CAD: cross-team breakpoints are exactly the non-zero phase starts;
+    /// teams never write each other's modules.
+    #[test]
+    fn cad_spec_invariants(
+        teams in 1usize..4, designers in 1usize..3, phases in 1usize..4, seed in any::<u64>()
+    ) {
+        let cfg = CadConfig {
+            teams,
+            designers_per_team: designers,
+            modules_per_team: 2,
+            phases,
+            interface_read_prob: 0.5,
+        };
+        let sc = cad(&cfg, seed);
+        prop_assert_eq!(sc.txns.len(), teams * designers);
+        for i in sc.txns.txn_ids() {
+            prop_assert_eq!(sc.phase_starts[i.index()].len(), phases);
+            for j in sc.txns.txn_ids() {
+                if i == j { continue; }
+                if sc.team_of[i.index()] != sc.team_of[j.index()] {
+                    let expected: Vec<u32> = sc.phase_starts[i.index()]
+                        .iter().copied().filter(|&b| b > 0).collect();
+                    prop_assert_eq!(sc.spec.breakpoints(i, j), expected.as_slice());
+                }
+            }
+            for op in sc.txns.txn(i).ops() {
+                let name = sc.txns.objects().name(op.object);
+                let team = sc.team_of[i.index()];
+                prop_assert!(
+                    name == "interface" || name.starts_with(&format!("team{team}_")),
+                    "{name}"
+                );
+                if name == "interface" {
+                    prop_assert!(!op.is_write(), "interface is read-only");
+                }
+            }
+        }
+    }
+
+    /// Long-lived: long transactions expose exactly the step boundaries;
+    /// short transactions stay absolute.
+    #[test]
+    fn long_lived_spec_invariants(
+        longs in 1usize..3, steps in 1usize..6, shorts in 0usize..6, seed in any::<u64>()
+    ) {
+        let cfg = LongLivedConfig {
+            long_txns: longs,
+            steps,
+            long_writes: true,
+            short_txns: shorts,
+            short_objects: 1,
+            objects: 8,
+            theta: 0.0,
+        };
+        let sc = long_lived(&cfg, seed);
+        prop_assert_eq!(sc.txns.len(), longs + shorts);
+        for i in sc.txns.txn_ids() {
+            let is_long = sc.is_long(i.index());
+            for j in sc.txns.txn_ids() {
+                if i == j { continue; }
+                if is_long {
+                    prop_assert_eq!(sc.spec.breakpoints(i, j).len(), steps - 1);
+                } else {
+                    prop_assert!(sc.spec.breakpoints(i, j).is_empty());
+                }
+            }
+        }
+    }
+
+    /// Random specs interpolate between absolute and free.
+    #[test]
+    fn random_spec_extremes_and_monotonic_density(seed in any::<u64>()) {
+        let txns = random_txns(&RandomConfig::default(), seed);
+        prop_assert!(random_spec(&txns, 0.0, seed).is_absolute());
+        let free = random_spec(&txns, 1.0, seed);
+        for i in txns.txn_ids() {
+            for j in txns.txn_ids() {
+                if i != j {
+                    prop_assert_eq!(
+                        free.breakpoints(i, j).len() as u32,
+                        txns.txn(i).len() as u32 - 1
+                    );
+                }
+            }
+        }
+    }
+}

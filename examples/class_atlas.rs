@@ -1,0 +1,61 @@
+//! The class lattice of Figure 5, measured: enumerate all 4200 schedules
+//! over the paper's Figure 1 universe (and all 2520 over Figure 4's) and
+//! count membership in every class, printing a separating witness for
+//! each strict inclusion.
+//!
+//! ```text
+//! cargo run --release --example class_atlas
+//! ```
+
+use relative_serializability::classes::lattice::count_classes;
+use relative_serializability::core::paper::{Figure1, Figure4};
+
+fn main() {
+    for (name, txns, spec) in [
+        {
+            let f = Figure1::new();
+            ("Figure 1 universe", f.txns, f.spec)
+        },
+        {
+            let f = Figure4::new();
+            ("Figure 4 universe", f.txns, f.spec)
+        },
+    ] {
+        let (c, w) = count_classes(&txns, &spec);
+        println!("{name}: {} schedules", c.total);
+        println!("  serial                   {:>6}", c.serial);
+        println!("  relatively atomic        {:>6}", c.relatively_atomic);
+        println!(
+            "  relatively consistent    {:>6}   (Farrag-Ozsu, NP-hard membership)",
+            c.relatively_consistent
+        );
+        println!("  relatively serial        {:>6}", c.relatively_serial);
+        println!(
+            "  relatively serializable  {:>6}   (Theorem 1, polynomial)",
+            c.relatively_serializable
+        );
+        println!(
+            "  conflict serializable    {:>6}   (classical)",
+            c.conflict_serializable
+        );
+        if let Some(s) = &w.atomic_not_serial {
+            println!(
+                "  e.g. relatively atomic, not serial:\n    {}",
+                s.display(&txns)
+            );
+        }
+        if let Some(s) = &w.serializable_not_serial {
+            println!(
+                "  e.g. relatively serializable, not relatively serial:\n    {}",
+                s.display(&txns)
+            );
+        }
+        if let Some(s) = &w.serial_not_consistent {
+            println!("  e.g. relatively serial, NOT relatively consistent (the Figure 4 separation):\n    {}", s.display(&txns));
+        }
+        println!();
+    }
+    println!(
+        "Every containment of the paper's Figure 5 was asserted per-schedule during counting."
+    );
+}

@@ -1,0 +1,17 @@
+//! The `relser` CLI: analyze relative-atomicity universe documents.
+//!
+//! See `relative_serializability::cli::USAGE` for the commands.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let read = |path: &str| -> Result<String, String> {
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))
+    };
+    match relative_serializability::cli::dispatch(&args, read) {
+        Ok(out) => print!("{out}"),
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    }
+}

