@@ -1,12 +1,12 @@
 //! E10: acceptance-rate measurement — how many random schedules each
 //! class admits as the specification loosens.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use relser_bench::harness::{BenchmarkId, Harness};
 use relser_core::classes::classify;
 use relser_workload::{random_schedule, random_spec, random_txns, RandomConfig};
 use std::hint::black_box;
 
-fn bench_acceptance(c: &mut Criterion) {
+fn bench_acceptance(h: &mut Harness) {
     let cfg = RandomConfig {
         txns: 4,
         ops_per_txn: (3, 4),
@@ -16,7 +16,7 @@ fn bench_acceptance(c: &mut Criterion) {
     };
     let txns = random_txns(&cfg, 42);
     let schedules: Vec<_> = (0..100).map(|seed| random_schedule(&txns, seed)).collect();
-    let mut group = c.benchmark_group("acceptance_rate");
+    let mut group = h.group("acceptance_rate");
     group.sample_size(10);
     for &p in &[0.0f64, 0.5, 1.0] {
         let spec = random_spec(&txns, p, 7);
@@ -37,5 +37,7 @@ fn bench_acceptance(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_acceptance);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new("acceptance");
+    bench_acceptance(&mut h);
+}

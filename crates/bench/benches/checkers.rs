@@ -1,7 +1,7 @@
 //! Micro-costs of every schedule-class checker on the paper's Figure 1
 //! universe (E1/E2 machinery).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use relser_bench::harness::Harness;
 use relser_classes::relatively_consistent::is_relatively_consistent;
 use relser_core::classes::{
     is_relatively_atomic, is_relatively_serial, is_relatively_serializable,
@@ -12,10 +12,10 @@ use relser_core::rsg::Rsg;
 use relser_core::sg::is_conflict_serializable;
 use std::hint::black_box;
 
-fn bench_checkers(c: &mut Criterion) {
+fn bench_checkers(h: &mut Harness) {
     let fig = Figure1::new();
     let s = fig.s_2();
-    let mut group = c.benchmark_group("checkers_figure1");
+    let mut group = h.group("checkers_figure1");
     group.bench_function("depends_on", |b| {
         b.iter(|| black_box(DependsOn::compute(&fig.txns, &s).pair_count()))
     });
@@ -41,5 +41,7 @@ fn bench_checkers(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_checkers);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new("checkers");
+    bench_checkers(&mut h);
+}

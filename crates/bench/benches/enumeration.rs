@@ -3,15 +3,15 @@
 //! schedules × the F-Ö search is run by `paper-tables e6` instead; here we
 //! keep the bench fast enough for CI).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use relser_bench::harness::Harness;
 use relser_classes::enumerate::{all_schedules, schedule_count};
 use relser_classes::lattice::count_classes;
 use relser_core::paper::Figure4;
 use std::hint::black_box;
 
-fn bench_enumeration(c: &mut Criterion) {
+fn bench_enumeration(h: &mut Harness) {
     let fig = Figure4::new();
-    let mut group = c.benchmark_group("enumeration");
+    let mut group = h.group("enumeration");
     group.sample_size(10);
     group.bench_function("enumerate_figure4_schedules", |b| {
         b.iter(|| black_box(all_schedules(&fig.txns).len()))
@@ -25,5 +25,7 @@ fn bench_enumeration(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_enumeration);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new("enumeration");
+    bench_enumeration(&mut h);
+}

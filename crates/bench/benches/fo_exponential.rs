@@ -2,14 +2,14 @@
 //! NP-complete — the natural search blows up exponentially on the
 //! adversarial hub family while the RSG test stays flat.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use relser_bench::experiments::adversarial_family;
+use relser_bench::harness::{BenchmarkId, Harness};
 use relser_classes::relatively_consistent::search;
 use relser_core::rsg::Rsg;
 use std::hint::black_box;
 
-fn bench_fo_search(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fo_exponential");
+fn bench_fo_search(h: &mut Harness) {
+    let mut group = h.group("fo_exponential");
     group.sample_size(10);
     for k in [2usize, 4, 6, 8] {
         let (txns, spec, s) = adversarial_family(k);
@@ -23,5 +23,7 @@ fn bench_fo_search(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_fo_search);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new("fo_exponential");
+    bench_fo_search(&mut h);
+}

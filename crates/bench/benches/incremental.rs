@@ -1,18 +1,28 @@
-//! A3 (Criterion form): RSG-SGT per-request rebuild vs incremental graph
+//! A3 (bench form): RSG-SGT per-request rebuild vs incremental graph
 //! maintenance, plus the depends-on closure in isolation.
+//!
+//! Run with `cargo bench -p relser-bench --bench incremental`. Besides
+//! printing the comparison, this writes the scaling measurements to
+//! `BENCH_rsg_sgt.json` (in the working directory) so the perf trajectory
+//! of the incremental engine is tracked from PR to PR.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use relser_bench::harness::{BenchmarkId, Harness};
 use relser_core::depends::DependsOn;
 use relser_protocols::driver::{run, RunConfig};
-use relser_protocols::rsg_sgt::{RsgSgt, RsgSgtIncremental};
+use relser_protocols::rsg_sgt::{RsgSgt, RsgSgtOracle};
 use relser_workload::longlived::{long_lived, LongLivedConfig};
 use relser_workload::random_schedule;
 use std::hint::black_box;
 
-fn bench_incremental(c: &mut Criterion) {
-    let mut group = c.benchmark_group("rsg_sgt_formulations");
-    group.sample_size(10);
-    for &short in &[8usize, 16, 32] {
+/// Short-transaction counts: the last size pushes the workload past
+/// 1,000 operations, where the per-request O(P²) rebuild visibly
+/// diverges from the incremental engine.
+const SIZES: [usize; 4] = [8, 16, 32, 256];
+
+fn bench_incremental(h: &mut Harness) {
+    let mut group = h.group("rsg_sgt_formulations");
+    group.sample_size(5);
+    for &short in &SIZES {
         let sc = long_lived(
             &LongLivedConfig {
                 short_txns: short,
@@ -30,7 +40,7 @@ fn bench_incremental(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("rebuild", ops), &ops, |b, _| {
             b.iter(|| {
                 black_box(
-                    run(&sc.txns, &mut RsgSgt::new(&sc.txns, &sc.spec), &cfg)
+                    run(&sc.txns, &mut RsgSgtOracle::new(&sc.txns, &sc.spec), &cfg)
                         .unwrap()
                         .grants,
                 )
@@ -39,13 +49,9 @@ fn bench_incremental(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("incremental", ops), &ops, |b, _| {
             b.iter(|| {
                 black_box(
-                    run(
-                        &sc.txns,
-                        &mut RsgSgtIncremental::new(&sc.txns, &sc.spec),
-                        &cfg,
-                    )
-                    .unwrap()
-                    .grants,
+                    run(&sc.txns, &mut RsgSgt::new(&sc.txns, &sc.spec), &cfg)
+                        .unwrap()
+                        .grants,
                 )
             })
         });
@@ -53,8 +59,8 @@ fn bench_incremental(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_depends_on(c: &mut Criterion) {
-    let mut group = c.benchmark_group("depends_on_closure");
+fn bench_depends_on(h: &mut Harness) {
+    let mut group = h.group("depends_on_closure");
     group.sample_size(10);
     for &short in &[16usize, 64, 128] {
         let sc = long_lived(
@@ -75,5 +81,14 @@ fn bench_depends_on(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_incremental, bench_depends_on);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new("incremental");
+    bench_incremental(&mut h);
+    bench_depends_on(&mut h);
+    // Anchor at the workspace root, not the bench cwd, so the tracked
+    // file is always the one that gets refreshed.
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_rsg_sgt.json");
+    if let Err(e) = h.write_json(out) {
+        eprintln!("could not write {out}: {e}");
+    }
+}

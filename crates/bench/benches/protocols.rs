@@ -1,7 +1,7 @@
 //! E11: end-to-end scheduler comparison on the long-lived workload under
 //! the discrete-event simulator.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use relser_bench::harness::{BenchmarkId, Harness};
 use relser_protocols::altruistic::AltruisticLocking;
 use relser_protocols::rsg_sgt::RsgSgt;
 use relser_protocols::sgt::ConflictSgt;
@@ -12,7 +12,7 @@ use relser_simdb::{simulate, ArrivalPattern, SimConfig};
 use relser_workload::longlived::{long_lived, LongLivedConfig};
 use std::hint::black_box;
 
-fn bench_protocols(c: &mut Criterion) {
+fn bench_protocols(h: &mut Harness) {
     let sc = long_lived(
         &LongLivedConfig {
             long_txns: 1,
@@ -28,7 +28,7 @@ fn bench_protocols(c: &mut Criterion) {
         arrival: ArrivalPattern::EvenlySpaced { gap: 15 },
         ..Default::default()
     };
-    let mut group = c.benchmark_group("protocols_longlived");
+    let mut group = h.group("protocols_longlived");
     group.sample_size(10);
     type Mk<'a> = Box<dyn Fn() -> Box<dyn Scheduler> + 'a>;
     let protocols: Vec<(&str, Mk)> = vec![
@@ -58,5 +58,7 @@ fn bench_protocols(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_protocols);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new("protocols");
+    bench_protocols(&mut h);
+}

@@ -1,14 +1,14 @@
 //! E8(a): the RSG test is polynomial — build + acyclicity time vs
 //! schedule size on the long-lived workload family.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use relser_bench::harness::{BenchmarkId, Harness};
 use relser_core::rsg::Rsg;
 use relser_workload::longlived::{long_lived, LongLivedConfig};
 use relser_workload::random_schedule;
 use std::hint::black_box;
 
-fn bench_rsg_scaling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("rsg_scaling");
+fn bench_rsg_scaling(h: &mut Harness) {
+    let mut group = h.group("rsg_scaling");
     group.sample_size(10);
     for &short in &[8usize, 16, 32, 64] {
         let sc = long_lived(
@@ -32,5 +32,7 @@ fn bench_rsg_scaling(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_rsg_scaling);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new("rsg_scaling");
+    bench_rsg_scaling(&mut h);
+}

@@ -889,18 +889,21 @@ pub fn a2() -> String {
 }
 
 /// A3 — scheduler-cost ablation: the O(P²)-per-request rebuild
-/// formulation of RSG-SGT vs the incremental formulation (identical
-/// decisions, different cost).
+/// formulation of RSG-SGT vs the incremental maintenance engine
+/// (identical decisions, different cost). Both run under the simulator,
+/// which times every `Scheduler::request` call, so the columns are the
+/// *per-decision* wall-clock means/p95s from [`relser_simdb::Metrics`].
+/// The last row crosses 1,000 operations, where the rebuild's quadratic
+/// per-request term dominates.
 pub fn a3() -> String {
-    use relser_protocols::driver::{run as drive, RunConfig};
-    use relser_protocols::rsg_sgt::RsgSgtIncremental;
+    use relser_protocols::rsg_sgt::RsgSgtOracle;
     let mut out = String::new();
     let _ = writeln!(
         out,
         "A3  RSG-SGT formulations: per-request rebuild vs incremental maintenance\n"
     );
     let mut rows = Vec::new();
-    for &short in &[8usize, 16, 32, 64] {
+    for &short in &[8usize, 16, 32, 64, 256] {
         let sc = long_lived(
             &LongLivedConfig {
                 short_txns: short,
@@ -910,34 +913,35 @@ pub fn a3() -> String {
             },
             19,
         );
-        let cfg = RunConfig {
+        let cfg = SimConfig {
             seed: 5,
-            max_steps: 10_000_000,
+            max_events: 40_000_000,
+            ..Default::default()
         };
-        let t0 = Instant::now();
-        let a = drive(&sc.txns, &mut RsgSgt::new(&sc.txns, &sc.spec), &cfg).unwrap();
-        let rebuild_time = t0.elapsed();
-        let t1 = Instant::now();
-        let b = drive(
-            &sc.txns,
-            &mut RsgSgtIncremental::new(&sc.txns, &sc.spec),
-            &cfg,
-        )
-        .unwrap();
-        let inc_time = t1.elapsed();
+        let a = simulate(&sc.txns, &mut RsgSgtOracle::new(&sc.txns, &sc.spec), &cfg).unwrap();
+        let b = simulate(&sc.txns, &mut RsgSgt::new(&sc.txns, &sc.spec), &cfg).unwrap();
         assert_eq!(a.history, b.history, "formulations must agree");
+        let (ra, rb) = (&a.metrics.scheduler_latency, &b.metrics.scheduler_latency);
         rows.push(row![
             sc.txns.total_ops(),
-            format!("{:.2} ms", rebuild_time.as_secs_f64() * 1e3),
-            format!("{:.2} ms", inc_time.as_secs_f64() * 1e3),
-            format!(
-                "{:.1}x",
-                rebuild_time.as_secs_f64() / inc_time.as_secs_f64()
-            )
+            ra.decisions,
+            format!("{:.0} ns", ra.mean_ns),
+            format!("{} ns", ra.p95_ns),
+            format!("{:.0} ns", rb.mean_ns),
+            format!("{} ns", rb.p95_ns),
+            format!("{:.1}x", ra.mean_ns / rb.mean_ns)
         ]);
     }
     out.push_str(&render(
-        &["ops", "rebuild", "incremental", "speedup"],
+        &[
+            "ops",
+            "decisions",
+            "rebuild mean",
+            "rebuild p95",
+            "incr mean",
+            "incr p95",
+            "speedup",
+        ],
         &rows,
     ));
     out.push_str("\nIdentical committed histories (asserted); only the cost differs.\n");
@@ -986,7 +990,13 @@ pub fn a4() -> String {
         ]);
     }
     out.push_str(&render(
-        &["breakpoint prob.", "compat sets [Gar83]", "uniform [SSV92]", "multilevel [Lyn83]", "relative (paper)"],
+        &[
+            "breakpoint prob.",
+            "compat sets [Gar83]",
+            "uniform [SSV92]",
+            "multilevel [Lyn83]",
+            "relative (paper)",
+        ],
         &rows,
     ));
     let fig = Figure1::new();
@@ -1211,7 +1221,16 @@ mod tests {
     fn a3_formulations_agree_and_report_speedup() {
         let t = a3();
         assert!(t.contains("Identical committed histories"));
+        assert!(t.contains("rebuild mean") && t.contains("incr mean"));
         assert!(t.lines().filter(|l| l.contains('x')).count() >= 4);
+        // The scaling table reaches the 1,000-operation regime.
+        let max_ops = t
+            .lines()
+            .filter_map(|l| l.split_whitespace().next())
+            .filter_map(|w| w.parse::<u64>().ok())
+            .max()
+            .unwrap_or(0);
+        assert!(max_ops >= 1000, "largest row has only {max_ops} ops");
     }
 
     #[test]

@@ -1,0 +1,254 @@
+//! A small, dependency-free benchmark harness with a criterion-flavoured
+//! API (`group` / `sample_size` / `bench_function` / `iter`).
+//!
+//! The build environment has no crates.io access, so the workspace's
+//! `[[bench]]` targets run on this harness instead of Criterion. It does
+//! auto-calibrated timed sampling (median-of-samples reporting, so a GC
+//! pause or scheduler hiccup in one sample doesn't skew the figure) and
+//! can serialise all measurements of a run to a JSON file for perf
+//! tracking (see [`Harness::write_json`]).
+
+use std::fmt::Display;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// One measured benchmark.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// Benchmark group (e.g. `rsg_sgt_formulations`).
+    pub group: String,
+    /// Benchmark id within the group (e.g. `rebuild/1032`).
+    pub id: String,
+    /// Median per-iteration time across samples, in nanoseconds.
+    pub median_ns: f64,
+    /// Mean per-iteration time across samples, in nanoseconds.
+    pub mean_ns: f64,
+    /// Number of timed samples.
+    pub samples: usize,
+    /// Iterations per timed sample (chosen by calibration).
+    pub iters: u64,
+}
+
+/// Collects measurements for one bench binary.
+pub struct Harness {
+    name: String,
+    measurements: Vec<Measurement>,
+}
+
+impl Harness {
+    /// A harness for the bench binary `name`.
+    pub fn new(name: &str) -> Self {
+        println!("== bench {name} (offline harness; median of samples) ==");
+        Harness {
+            name: name.to_string(),
+            measurements: Vec::new(),
+        }
+    }
+
+    /// Opens a named benchmark group.
+    pub fn group(&mut self, name: &str) -> Group<'_> {
+        Group {
+            harness: self,
+            name: name.to_string(),
+            samples: 20,
+            target_sample: Duration::from_millis(20),
+        }
+    }
+
+    /// All measurements recorded so far.
+    pub fn measurements(&self) -> &[Measurement] {
+        &self.measurements
+    }
+
+    /// Serialises every measurement to `path` as JSON (hand-rolled — the
+    /// workspace has no serde).
+    pub fn write_json(&self, path: &str) -> std::io::Result<()> {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"bench\": \"{}\",\n", self.name));
+        out.push_str("  \"unit\": \"ns_per_iter\",\n  \"results\": [\n");
+        for (i, m) in self.measurements.iter().enumerate() {
+            let sep = if i + 1 == self.measurements.len() {
+                ""
+            } else {
+                ","
+            };
+            out.push_str(&format!(
+                "    {{\"group\": \"{}\", \"id\": \"{}\", \"median_ns\": {:.1}, \
+                 \"mean_ns\": {:.1}, \"samples\": {}, \"iters\": {}}}{}\n",
+                m.group, m.id, m.median_ns, m.mean_ns, m.samples, m.iters, sep
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        std::fs::write(path, out)?;
+        println!("wrote {path}");
+        Ok(())
+    }
+}
+
+/// A benchmark group; see [`Harness::group`].
+pub struct Group<'a> {
+    harness: &'a mut Harness,
+    name: String,
+    samples: usize,
+    target_sample: Duration,
+}
+
+impl Group<'_> {
+    /// Sets the number of timed samples (criterion-compatible spelling).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(3);
+        self
+    }
+
+    /// Measures `f`, which should call [`Bencher::iter`] exactly once.
+    pub fn bench_function(&mut self, id: impl Display, mut f: impl FnMut(&mut Bencher)) {
+        let mut b = Bencher {
+            samples: self.samples,
+            target_sample: self.target_sample,
+            result: None,
+        };
+        f(&mut b);
+        let (median_ns, mean_ns, iters) = b.result.expect("bench_function body must call iter()");
+        let m = Measurement {
+            group: self.name.clone(),
+            id: id.to_string(),
+            median_ns,
+            mean_ns,
+            samples: self.samples,
+            iters,
+        };
+        println!(
+            "{:<28} {:<24} {:>14}  ({} samples x {} iters)",
+            m.group,
+            m.id,
+            fmt_ns(m.median_ns),
+            m.samples,
+            m.iters
+        );
+        self.harness.measurements.push(m);
+    }
+
+    /// Like [`Group::bench_function`] but with a `BenchmarkId`-style
+    /// two-part id and an input reference, for criterion-compatible call
+    /// sites.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        self.bench_function(id, |b| f(b, input));
+    }
+
+    /// Group teardown (no-op; criterion-compatible spelling).
+    pub fn finish(&mut self) {}
+}
+
+/// A two-part benchmark id, `function/parameter`.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `function/parameter`.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Passed to the closure of [`Group::bench_function`]; call
+/// [`Bencher::iter`] with the code under test.
+pub struct Bencher {
+    samples: usize,
+    target_sample: Duration,
+    result: Option<(f64, f64, u64)>,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly: calibrates an iteration count so one sample
+    /// takes roughly the target duration, then times `samples` samples.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        // Warm-up + calibration: grow the iteration count until one
+        // sample is long enough to time reliably.
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= self.target_sample || iters >= 1 << 20 {
+                break;
+            }
+            let grow = if elapsed.is_zero() {
+                16
+            } else {
+                (self.target_sample.as_nanos() / elapsed.as_nanos().max(1)).clamp(2, 16) as u64
+            };
+            iters = iters.saturating_mul(grow);
+        }
+
+        let mut per_iter: Vec<f64> = (0..self.samples)
+            .map(|_| {
+                let start = Instant::now();
+                for _ in 0..iters {
+                    black_box(f());
+                }
+                start.elapsed().as_nanos() as f64 / iters as f64
+            })
+            .collect();
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+        let median = per_iter[per_iter.len() / 2];
+        let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+        self.result = Some((median, mean, iters));
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.2} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2} us", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_serialises() {
+        let mut h = Harness::new("selftest");
+        let mut g = h.group("g");
+        g.sample_size(3);
+        g.bench_function("spin", |b| {
+            b.iter(|| (0..100u64).map(black_box).sum::<u64>())
+        });
+        g.bench_with_input(BenchmarkId::new("param", 7), &7u32, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        g.finish();
+        assert_eq!(h.measurements().len(), 2);
+        assert_eq!(h.measurements()[1].id, "param/7");
+        assert!(h.measurements().iter().all(|m| m.median_ns > 0.0));
+
+        let path = std::env::temp_dir().join("relser_bench_selftest.json");
+        h.write_json(path.to_str().unwrap()).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"id\": \"param/7\""));
+        assert!(text.contains("\"bench\": \"selftest\""));
+        std::fs::remove_file(path).ok();
+    }
+}

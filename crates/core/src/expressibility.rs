@@ -38,7 +38,7 @@ pub fn as_compatibility_sets(txns: &TxnSet, spec: &AtomicitySpec) -> Option<Vec<
 
     // Union-find the relation, then verify it is exactly block-structured.
     let mut parent: Vec<usize> = (0..n).collect();
-    fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
         while parent[x] != x {
             parent[x] = parent[parent[x]];
             x = parent[x];
@@ -58,13 +58,13 @@ pub fn as_compatibility_sets(txns: &TxnSet, spec: &AtomicitySpec) -> Option<Vec<
     let mut group = vec![0usize; n];
     let mut next = 0;
     let mut label: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
-    for t in 0..n {
+    for (t, slot) in group.iter_mut().enumerate() {
         let root = find(&mut parent, t);
         let g = *label.entry(root).or_insert_with(|| {
             next += 1;
             next - 1
         });
-        group[t] = g;
+        *slot = g;
     }
     // Verify: same group ⇒ free both ways; different ⇒ absolute both ways.
     for i in txns.txn_ids() {
@@ -115,7 +115,8 @@ pub fn as_uniform(txns: &TxnSet, spec: &AtomicitySpec) -> Option<Vec<Vec<u32>>> 
 /// breakpoints, and deeper (more closely related) observers must see a
 /// superset of shallower ones.
 pub fn matches_hierarchy(txns: &TxnSet, spec: &AtomicitySpec, hierarchy: &Hierarchy) -> bool {
-    let Ok(ml) = crate::spec_builders::MultilevelSpec::new(txns, hierarchy, vec![Vec::new(); txns.len()])
+    let Ok(ml) =
+        crate::spec_builders::MultilevelSpec::new(txns, hierarchy, vec![Vec::new(); txns.len()])
     else {
         return false;
     };
@@ -206,7 +207,12 @@ fn trees_over(leaves: &[usize]) -> Vec<Hierarchy> {
 fn partitions_min2(items: &[usize]) -> Vec<Vec<Vec<usize>>> {
     let mut all = Vec::new();
     let mut current: Vec<Vec<usize>> = Vec::new();
-    fn rec(items: &[usize], idx: usize, current: &mut Vec<Vec<usize>>, all: &mut Vec<Vec<Vec<usize>>>) {
+    fn rec(
+        items: &[usize],
+        idx: usize,
+        current: &mut Vec<Vec<usize>>,
+        all: &mut Vec<Vec<Vec<usize>>>,
+    ) {
         if idx == items.len() {
             if current.len() >= 2 {
                 all.push(current.clone());

@@ -10,7 +10,6 @@ use std::fmt;
 
 /// A transaction identifier (0-based index into a [`crate::txn::TxnSet`]).
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TxnId(pub u32);
 
 impl TxnId {
@@ -36,7 +35,6 @@ impl fmt::Debug for TxnId {
 
 /// A database object identifier (index into an [`ObjectTable`]).
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ObjectId(pub u32);
 
 impl ObjectId {
@@ -56,7 +54,6 @@ impl fmt::Debug for ObjectId {
 /// An operation identifier: the `j`-th operation (0-based) of transaction
 /// `txn` — the paper's `o_{ij}`.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct OpId {
     /// Owning transaction.
     pub txn: TxnId,
@@ -81,7 +78,6 @@ impl fmt::Debug for OpId {
 
 /// Interns object names so operations can carry compact [`ObjectId`]s.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ObjectTable {
     names: Vec<String>,
     by_name: HashMap<String, ObjectId>,

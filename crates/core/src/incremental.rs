@@ -1,0 +1,571 @@
+//! Incremental RSG maintenance — the engine behind the online RSG-SGT
+//! scheduler.
+//!
+//! The offline builder ([`crate::rsg::Rsg`]) recomputes the depends-on
+//! closure and every arc family from scratch; doing that per scheduler
+//! request costs O(P²) in the executed prefix length P. This module
+//! maintains the same graph *incrementally*: admitting one operation
+//! produces exactly the new D/F/B arcs it induces (an [`RsgDelta`]) in
+//! time proportional to the operation's depends-on set, with no
+//! recomputation of the closure.
+//!
+//! ## Why deltas are exact
+//!
+//! The depends-on relation (§2) is the transitive closure of program
+//! order and conflicts, both of which point from earlier to later
+//! schedule positions. Appending an operation `o` therefore never
+//! changes the ancestor set of an already-admitted operation: the only
+//! new depends-on pairs are `(u, o)` for
+//!
+//! ```text
+//! ancestors(o) = ⋃ { ancestors(p) ∪ {p} : p direct predecessor of o }
+//! ```
+//!
+//! where the direct predecessors are `o`'s program-order predecessor and
+//! every earlier admitted conflicting access to `o`'s object. The engine
+//! stores `ancestors` as one [`BitSet`] per admitted operation (indexed
+//! by *global operation id*), so the union is a word-parallel O(P/64)
+//! sweep. Each cross-transaction ancestor `u` then contributes the
+//! Definition 3 arcs: the D-arc `u → o`, the F-arc
+//! `PushForward(u, txn(o)) → o`, and the B-arc
+//! `o's PullBackward image: u → PullBackward(o, txn(u))`.
+//!
+//! Nodes for **all** operations (and the I-arc skeleton) are installed up
+//! front from the static transaction programs — push-forward/pull-backward
+//! targets must exist as nodes before they execute, exactly as in the
+//! offline graph.
+//!
+//! ## Rollback and retirement
+//!
+//! All engine state is append-only per admission, so each admission is
+//! journalled: the graph arcs via [`relser_digraph::BatchUndo`] and the
+//! ancestor/access tables by position. An abort undoes journals
+//! newest-first down to the aborted transaction's first admission and
+//! replays the surviving suffix — replay cannot fail, because the replayed
+//! graph is a subgraph of the previously acyclic one.
+//!
+//! Committed transactions are *retired* once every arc into them
+//! originates from retired nodes (or their own): retired nodes are masked
+//! out of cycle searches, so long-finished transactions stop costing
+//! anything. Retirement is sound because an admission only ever targets
+//! the requester's own nodes — a committed transaction never gains new
+//! incoming arcs — so no future cycle can enter the retired region.
+
+use crate::ids::{OpId, TxnId};
+use crate::rsg::ArcKinds;
+use crate::spec::AtomicitySpec;
+use crate::txn::TxnSet;
+use relser_digraph::bitset::BitSet;
+use relser_digraph::{BatchUndo, IncrementalDag, NodeIdx};
+use std::collections::HashMap;
+
+/// The exact set of new arcs one admitted operation adds to the RSG.
+///
+/// I-arcs are static (installed with the node skeleton at construction),
+/// so a delta carries only the D/F/B arcs induced by the operation's new
+/// depends-on pairs. Arcs are merged per ordered endpoint pair and sorted
+/// for determinism.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RsgDelta {
+    /// The operation whose admission induces these arcs.
+    pub op: OpId,
+    /// New or label-widened arcs, `(from, to, kinds)`, deterministic order.
+    pub arcs: Vec<(OpId, OpId, ArcKinds)>,
+    /// Depends-on ancestors of `op` (global operation ids).
+    ancestors: BitSet,
+}
+
+impl RsgDelta {
+    /// Number of operations `op` depends on.
+    pub fn depends_on_count(&self) -> usize {
+        self.ancestors.len()
+    }
+}
+
+/// Why an admission was refused: one of the delta's arcs would have
+/// closed a cycle in the RSG (Theorem 1 violated by the extended prefix).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Rejection {
+    /// The refused operation.
+    pub op: OpId,
+    /// The offending arc `(from, to, kinds)` from the delta.
+    pub arc: (OpId, OpId, ArcKinds),
+    /// Pre-existing path `to ~> from` (inclusive) the arc would close.
+    pub cycle: Vec<OpId>,
+}
+
+/// Incrementally maintained relative serialization graph over the full
+/// (static) operation set, supporting admission, rollback, and
+/// retirement. See the module docs for the invariants.
+#[derive(Clone, Debug)]
+pub struct IncrementalRsg {
+    txns: TxnSet,
+    spec: AtomicitySpec,
+    /// Global node index base per transaction.
+    offset: Vec<u32>,
+    /// Owning transaction per global operation id.
+    owner: Vec<TxnId>,
+    total: u32,
+    dag: IncrementalDag<ArcKinds>,
+    nodes: Vec<NodeIdx>,
+    /// Granted operations in grant order.
+    admitted: Vec<OpId>,
+    /// One graph journal per admission, parallel to `admitted`.
+    journals: Vec<BatchUndo<ArcKinds>>,
+    /// `ancestors[g]` = depends-on set of admitted operation `g`.
+    ancestors: Vec<Option<BitSet>>,
+    /// Admitted accesses per object: (global id, is_write), grant order.
+    accesses: Vec<Vec<(u32, bool)>>,
+    committed: Vec<bool>,
+    retired: Vec<bool>,
+}
+
+impl IncrementalRsg {
+    /// Creates the engine; nodes and the I-arc skeleton are installed up
+    /// front from the transaction programs.
+    pub fn new(txns: &TxnSet, spec: &AtomicitySpec) -> Self {
+        let mut offset = Vec::with_capacity(txns.len());
+        let mut owner = Vec::with_capacity(txns.total_ops());
+        let mut acc = 0u32;
+        for t in txns.txns() {
+            offset.push(acc);
+            acc += t.len() as u32;
+            owner.extend(std::iter::repeat_n(t.id(), t.len()));
+        }
+        let mut dag: IncrementalDag<ArcKinds> = IncrementalDag::new();
+        let nodes: Vec<NodeIdx> = (0..acc).map(|_| dag.add_node()).collect();
+        for t in txns.txns() {
+            let base = offset[t.id().index()];
+            for j in 1..t.len() as u32 {
+                let r = dag.try_add_labeled_edge(
+                    nodes[(base + j - 1) as usize],
+                    nodes[(base + j) as usize],
+                    ArcKinds::I,
+                );
+                debug_assert!(matches!(r, relser_digraph::AddEdge::Added));
+            }
+        }
+        IncrementalRsg {
+            txns: txns.clone(),
+            spec: spec.clone(),
+            offset,
+            owner,
+            total: acc,
+            dag,
+            nodes,
+            admitted: Vec::new(),
+            journals: Vec::new(),
+            ancestors: vec![None; acc as usize],
+            accesses: vec![Vec::new(); txns.objects().len()],
+            committed: vec![false; txns.len()],
+            retired: vec![false; txns.len()],
+        }
+    }
+
+    /// Total operations (= graph nodes), admitted or not.
+    pub fn total_ops(&self) -> u32 {
+        self.total
+    }
+
+    /// The granted prefix, in grant order.
+    pub fn admitted(&self) -> &[OpId] {
+        &self.admitted
+    }
+
+    /// Has `txn` been committed (via [`IncrementalRsg::commit`])?
+    pub fn is_committed(&self, txn: TxnId) -> bool {
+        self.committed[txn.index()]
+    }
+
+    /// Has `txn` been retired (masked out of cycle searches)?
+    pub fn is_retired(&self, txn: TxnId) -> bool {
+        self.retired[txn.index()]
+    }
+
+    /// Number of retired transactions.
+    pub fn retired_count(&self) -> usize {
+        self.retired.iter().filter(|&&r| r).count()
+    }
+
+    /// Number of merged arcs currently in the graph (including the static
+    /// I-skeleton and arcs of retired transactions).
+    pub fn arc_count(&self) -> usize {
+        self.dag.graph().edge_count()
+    }
+
+    #[inline]
+    fn global(&self, op: OpId) -> u32 {
+        self.offset[op.txn.index()] + op.index
+    }
+
+    #[inline]
+    fn op_of(&self, g: u32) -> OpId {
+        let t = self.owner[g as usize];
+        OpId::new(t, g - self.offset[t.index()])
+    }
+
+    /// Computes the delta `op`'s admission would apply, without applying
+    /// it. Arcs whose endpoints lie in retired transactions are omitted:
+    /// retired nodes are invisible to cycle searches, so such arcs are
+    /// decision-neutral (they can only occur when replaying a committed
+    /// transaction's own operations after an unrelated abort, or when an
+    /// ancestor has retired).
+    pub fn propose(&self, op: OpId) -> RsgDelta {
+        let g = self.global(op);
+        let operation = self.txns.op(op).expect("operation belongs to the set");
+
+        // Direct predecessors: program order + earlier conflicting
+        // accesses; ancestors = union of their closures plus themselves.
+        let mut ancestors = BitSet::with_capacity(self.total as usize);
+        if op.index > 0 {
+            let prev = (g - 1) as usize;
+            debug_assert!(
+                self.ancestors[prev].is_some(),
+                "operations must be admitted in program order"
+            );
+            if let Some(prev_anc) = &self.ancestors[prev] {
+                ancestors.union_with(prev_anc);
+            }
+            ancestors.insert(prev);
+        }
+        for &(u, was_write) in &self.accesses[operation.object.index()] {
+            if was_write || operation.is_write() {
+                if let Some(u_anc) = &self.ancestors[u as usize] {
+                    ancestors.union_with(u_anc);
+                }
+                ancestors.insert(u as usize);
+            }
+        }
+
+        // Definition 3 arcs for every *new* depends-on pair (u, op).
+        let mut merged: HashMap<(u32, u32), ArcKinds> = HashMap::new();
+        let mut add = |a: u32, b: u32, kind: ArcKinds| {
+            if a == b {
+                return; // F/B arc collapsed onto its own endpoint
+            }
+            if self.retired[self.owner[a as usize].index()]
+                || self.retired[self.owner[b as usize].index()]
+            {
+                return; // decision-neutral: masked from searches anyway
+            }
+            *merged.entry((a, b)).or_insert_with(ArcKinds::empty) |= kind;
+        };
+        for u in ancestors.iter() {
+            let u_op = self.op_of(u as u32);
+            if u_op.txn == op.txn {
+                continue; // D-arcs are cross-transaction only
+            }
+            add(u as u32, g, ArcKinds::D);
+            let pf = self.spec.push_forward(u_op, op.txn);
+            add(self.global(pf), g, ArcKinds::F);
+            let pb = self.spec.pull_backward(op, u_op.txn);
+            add(u as u32, self.global(pb), ArcKinds::B);
+        }
+        let mut arcs: Vec<((u32, u32), ArcKinds)> = merged.into_iter().collect();
+        arcs.sort_by_key(|&(k, _)| k);
+        RsgDelta {
+            op,
+            arcs: arcs
+                .into_iter()
+                .map(|((a, b), k)| (self.op_of(a), self.op_of(b), k))
+                .collect(),
+            ancestors,
+        }
+    }
+
+    /// Attempts to admit `op`: applies its delta atomically. On success
+    /// the delta is returned and the admission is journalled; on failure
+    /// graph and engine state are **unchanged** and the rejection names
+    /// the offending arc and cycle.
+    pub fn try_admit(&mut self, op: OpId) -> Result<RsgDelta, Rejection> {
+        let delta = self.propose(op);
+        let batch: Vec<(NodeIdx, NodeIdx, ArcKinds)> = delta
+            .arcs
+            .iter()
+            .map(|&(a, b, k)| {
+                (
+                    self.nodes[self.global(a) as usize],
+                    self.nodes[self.global(b) as usize],
+                    k,
+                )
+            })
+            .collect();
+        match self.dag.try_add_batch(&batch) {
+            Ok(undo) => {
+                let g = self.global(op);
+                let operation = self.txns.op(op).expect("operation belongs to the set");
+                self.ancestors[g as usize] = Some(delta.ancestors.clone());
+                self.accesses[operation.object.index()].push((g, operation.is_write()));
+                self.admitted.push(op);
+                self.journals.push(undo);
+                Ok(delta)
+            }
+            Err(rej) => {
+                let arc = delta.arcs[rej.arc];
+                let cycle = rej
+                    .path
+                    .iter()
+                    .map(|v| self.op_of(v.0))
+                    .collect::<Vec<OpId>>();
+                Err(Rejection { op, arc, cycle })
+            }
+        }
+    }
+
+    /// Undoes the newest admission (graph arcs and tables).
+    fn pop_admission(&mut self) {
+        let op = self.admitted.pop().expect("admission to pop");
+        let undo = self.journals.pop().expect("journal parallel to admitted");
+        self.dag.undo_batch(undo);
+        let g = self.global(op);
+        self.ancestors[g as usize] = None;
+        let operation = self.txns.op(op).expect("operation belongs to the set");
+        let popped = self.accesses[operation.object.index()].pop();
+        debug_assert_eq!(popped, Some((g, operation.is_write())));
+    }
+
+    /// Aborts `txn`: rolls the engine back to `txn`'s first admission and
+    /// replays the surviving operations in their original grant order.
+    /// Replay cannot fail — the replayed graph is a subgraph of the
+    /// previously acyclic graph.
+    pub fn abort(&mut self, txn: TxnId) {
+        let Some(k) = self.admitted.iter().position(|o| o.txn == txn) else {
+            return; // nothing of txn was admitted
+        };
+        let suffix: Vec<OpId> = self.admitted[k..].to_vec();
+        while self.admitted.len() > k {
+            self.pop_admission();
+        }
+        for op in suffix {
+            if op.txn == txn {
+                continue;
+            }
+            self.try_admit(op)
+                .expect("replaying a subgraph of an acyclic graph cannot cycle");
+        }
+        self.sweep_retirement();
+    }
+
+    /// Marks `txn` committed and retires every transaction whose
+    /// information can no longer participate in a cycle.
+    pub fn commit(&mut self, txn: TxnId) {
+        self.committed[txn.index()] = true;
+        self.sweep_retirement();
+    }
+
+    /// Retires committed transactions whose every incoming arc originates
+    /// from retired nodes or their own, iterating to a fixpoint (retiring
+    /// one transaction may unblock another).
+    fn sweep_retirement(&mut self) {
+        loop {
+            let mut changed = false;
+            'txns: for t in 0..self.txns.len() {
+                if !self.committed[t] || self.retired[t] {
+                    continue;
+                }
+                let base = self.offset[t];
+                let len = self.txns.txns()[t].len() as u32;
+                for g in base..base + len {
+                    for p in self.dag.graph().predecessors(self.nodes[g as usize]) {
+                        let src = self.owner[p.index()];
+                        if src.index() != t && !self.retired[src.index()] {
+                            continue 'txns; // a live arc still points in
+                        }
+                    }
+                }
+                for g in base..base + len {
+                    self.dag.retire_node(self.nodes[g as usize]);
+                }
+                self.retired[t] = true;
+                changed = true;
+            }
+            if !changed {
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper::Figure1;
+    use crate::rsg::Rsg;
+    use crate::schedule::Schedule;
+
+    fn op(t: u32, j: u32) -> OpId {
+        OpId::new(TxnId(t), j)
+    }
+
+    /// Feeds a complete schedule; panics on rejection.
+    fn feed(engine: &mut IncrementalRsg, schedule: &Schedule) -> Vec<RsgDelta> {
+        schedule
+            .ops()
+            .iter()
+            .map(|&o| engine.try_admit(o).expect("schedule known admissible"))
+            .collect()
+    }
+
+    /// The union of all deltas plus the static I-skeleton is exactly the
+    /// offline RSG of the admitted schedule.
+    #[test]
+    fn delta_union_equals_offline_rsg() {
+        let fig = Figure1::new();
+        for schedule in [fig.s_ra(), fig.s_2()] {
+            let mut engine = IncrementalRsg::new(&fig.txns, &fig.spec);
+            let deltas = feed(&mut engine, &schedule);
+
+            let mut incremental: HashMap<(OpId, OpId), ArcKinds> = HashMap::new();
+            for t in fig.txns.txns() {
+                for j in 1..t.len() as u32 {
+                    incremental.insert(
+                        (
+                            op(t.id().index() as u32, j - 1),
+                            op(t.id().index() as u32, j),
+                        ),
+                        ArcKinds::I,
+                    );
+                }
+            }
+            for d in deltas {
+                for (a, b, k) in d.arcs {
+                    *incremental.entry((a, b)).or_insert_with(ArcKinds::empty) |= k;
+                }
+            }
+
+            let offline: HashMap<(OpId, OpId), ArcKinds> =
+                Rsg::build(&fig.txns, &schedule, &fig.spec)
+                    .arcs()
+                    .into_iter()
+                    .map(|(a, b, k)| ((a, b), k))
+                    .collect();
+            assert_eq!(
+                incremental,
+                offline,
+                "schedule {}",
+                schedule.display(&fig.txns)
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_lost_update_and_reports_cycle() {
+        let txns = TxnSet::parse(&["r1[x] w1[x]", "r2[x] w2[x]"]).unwrap();
+        let spec = AtomicitySpec::absolute(&txns);
+        let mut engine = IncrementalRsg::new(&txns, &spec);
+        engine.try_admit(op(0, 0)).unwrap();
+        engine.try_admit(op(1, 0)).unwrap();
+        engine.try_admit(op(0, 1)).unwrap();
+        let rej = engine.try_admit(op(1, 1)).unwrap_err();
+        assert_eq!(rej.op, op(1, 1));
+        assert!(rej.cycle.len() >= 2, "cycle witness: {:?}", rej.cycle);
+        // Rejection leaves the engine unchanged.
+        assert_eq!(engine.admitted().len(), 3);
+    }
+
+    #[test]
+    fn abort_restores_the_surviving_prefix_exactly() {
+        let txns = TxnSet::parse(&["r1[x] w1[x]", "r2[x] w2[x]", "r3[y] w3[x]"]).unwrap();
+        let spec = AtomicitySpec::free(&txns);
+        let mut engine = IncrementalRsg::new(&txns, &spec);
+        for o in [op(0, 0), op(1, 0), op(2, 0), op(0, 1), op(1, 1)] {
+            engine.try_admit(o).unwrap();
+        }
+        engine.abort(TxnId(1));
+
+        // Reference: a fresh engine fed only the survivors.
+        let mut fresh = IncrementalRsg::new(&txns, &spec);
+        for o in [op(0, 0), op(2, 0), op(0, 1)] {
+            fresh.try_admit(o).unwrap();
+        }
+        assert_eq!(engine.admitted(), fresh.admitted());
+        assert_eq!(engine.arc_count(), fresh.arc_count());
+        let edges = |e: &IncrementalRsg| -> Vec<(u32, u32)> {
+            let mut v: Vec<(u32, u32)> = e
+                .dag
+                .graph()
+                .edge_refs()
+                .map(|r| (r.from.0, r.to.0))
+                .collect();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(edges(&engine), edges(&fresh));
+    }
+
+    #[test]
+    fn abort_of_unadmitted_txn_is_a_noop() {
+        let txns = TxnSet::parse(&["r1[x]", "r2[x]"]).unwrap();
+        let spec = AtomicitySpec::absolute(&txns);
+        let mut engine = IncrementalRsg::new(&txns, &spec);
+        engine.try_admit(op(0, 0)).unwrap();
+        engine.abort(TxnId(1));
+        assert_eq!(engine.admitted(), &[op(0, 0)]);
+    }
+
+    #[test]
+    fn commit_retires_transactions_and_keeps_decisions_sound() {
+        // T1 runs alone and commits: retirable immediately. T2 and T3 then
+        // conflict with T1's history; their arcs from T1 are masked but the
+        // schedule they produce must still be relatively serializable.
+        let txns = TxnSet::parse(&["r1[x] w1[x]", "r2[x] w2[x]", "w3[x]"]).unwrap();
+        let spec = AtomicitySpec::absolute(&txns);
+        let mut engine = IncrementalRsg::new(&txns, &spec);
+        engine.try_admit(op(0, 0)).unwrap();
+        engine.try_admit(op(0, 1)).unwrap();
+        engine.commit(TxnId(0));
+        assert!(engine.is_retired(TxnId(0)), "no outside arcs point at T1");
+
+        engine.try_admit(op(1, 0)).unwrap();
+        engine.try_admit(op(1, 1)).unwrap();
+        engine.commit(TxnId(1));
+        engine.try_admit(op(2, 0)).unwrap();
+        engine.commit(TxnId(2));
+        assert_eq!(engine.retired_count(), 3);
+
+        let s = Schedule::new(&txns, engine.admitted().to_vec()).unwrap();
+        assert!(Rsg::build(&txns, &s, &spec).is_acyclic());
+    }
+
+    #[test]
+    fn retirement_blocked_by_live_in_arc_until_source_retires() {
+        // Interleave so T2 depends on T1 *and* T1 on T2's first op:
+        // r2[x] r1[x] w1[x] ... under free spec both admit; T1 commits
+        // first but has an in-arc from the still-live T2.
+        let txns = TxnSet::parse(&["r1[x] w1[x]", "r2[x] w2[y]"]).unwrap();
+        let spec = AtomicitySpec::free(&txns);
+        let mut engine = IncrementalRsg::new(&txns, &spec);
+        engine.try_admit(op(1, 0)).unwrap();
+        engine.try_admit(op(0, 0)).unwrap();
+        engine.try_admit(op(0, 1)).unwrap();
+        engine.commit(TxnId(0));
+        assert!(
+            !engine.is_retired(TxnId(0)),
+            "live T2's r2[x] -> w1[x] D-arc pins T1"
+        );
+        engine.try_admit(op(1, 1)).unwrap();
+        engine.commit(TxnId(1));
+        assert!(engine.is_retired(TxnId(0)), "fixpoint retires both");
+        assert!(engine.is_retired(TxnId(1)));
+    }
+
+    #[test]
+    fn replay_after_abort_handles_retired_survivors() {
+        // T1 commits and retires; T2 aborts afterwards; the replay must
+        // re-admit T1's (retired) operations without panicking.
+        let txns = TxnSet::parse(&["r1[x] w1[x]", "r2[x] w2[x]"]).unwrap();
+        let spec = AtomicitySpec::free(&txns);
+        let mut engine = IncrementalRsg::new(&txns, &spec);
+        engine.try_admit(op(1, 0)).unwrap();
+        engine.try_admit(op(0, 0)).unwrap();
+        engine.try_admit(op(0, 1)).unwrap();
+        engine.commit(TxnId(0));
+        engine.abort(TxnId(1));
+        assert_eq!(engine.admitted(), &[op(0, 0), op(0, 1)]);
+        // T2 restarts and completes.
+        engine.try_admit(op(1, 0)).unwrap();
+        engine.try_admit(op(1, 1)).unwrap();
+        engine.commit(TxnId(1));
+        assert_eq!(engine.retired_count(), 2);
+    }
+}

@@ -79,6 +79,7 @@ pub mod explain;
 pub mod expressibility;
 pub mod format;
 pub mod ids;
+pub mod incremental;
 pub mod infer;
 pub mod op;
 pub mod paper;
@@ -95,6 +96,7 @@ pub mod prelude {
     pub use crate::depends::DependsOn;
     pub use crate::error::{Error, Result};
     pub use crate::ids::{ObjectId, OpId, TxnId};
+    pub use crate::incremental::{IncrementalRsg, RsgDelta};
     pub use crate::op::{AccessMode, Operation};
     pub use crate::rsg::{ArcKinds, Rsg};
     pub use crate::schedule::Schedule;

@@ -4,7 +4,6 @@ use crate::ids::ObjectId;
 
 /// Whether an operation reads or writes its object.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum AccessMode {
     /// An atomic read.
     Read,
@@ -28,7 +27,6 @@ impl AccessMode {
 /// objects in the database can be accessed through atomic read and write
 /// operations."
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Operation {
     /// Read or write.
     pub mode: AccessMode,

@@ -99,6 +99,15 @@ impl fmt::Debug for ArcKinds {
     }
 }
 
+/// RSG arc-kind sets are the edge labels of the incremental engine's DAG:
+/// re-adding an existing arc unions the kinds, exactly as the offline
+/// builder merges parallel arcs into one [`ArcKinds`]-labelled edge.
+impl relser_digraph::EdgeLabel for ArcKinds {
+    fn merge(&mut self, other: &Self) {
+        *self |= *other;
+    }
+}
+
 /// Which arc families to generate — the default is the paper's full
 /// Definition 3. Disabling families yields the deliberately *incomplete*
 /// variants used by the ablation experiments: the paper notes (§3) that
@@ -190,9 +199,9 @@ impl Rsg {
 
         // I-arcs: consecutive operations of each transaction.
         for t in txns.txns() {
-            for w in (0..t.len() as u32).collect::<Vec<_>>().windows(2) {
-                let a = schedule.position(OpId::new(t.id(), w[0]));
-                let b = schedule.position(OpId::new(t.id(), w[1]));
+            for j in 1..t.len() as u32 {
+                let a = schedule.position(OpId::new(t.id(), j - 1));
+                let b = schedule.position(OpId::new(t.id(), j));
                 add(a, b, ArcKinds::I);
             }
         }
@@ -232,6 +241,7 @@ impl Rsg {
         }
         Rsg {
             g,
+            // O(1): Schedule shares its order/position tables behind an Arc.
             schedule: schedule.clone(),
         }
     }

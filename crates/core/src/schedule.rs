@@ -9,15 +9,24 @@
 use crate::error::{Error, Result};
 use crate::ids::{OpId, TxnId};
 use crate::txn::TxnSet;
+use std::sync::Arc;
 
 /// A validated schedule: a permutation of every operation of a [`TxnSet`]
 /// preserving each transaction's program order.
 ///
 /// Positions are 0-based indices into the schedule sequence; a precomputed
 /// position table makes `position(op)` O(1).
+///
+/// The operation order and position table are immutable after validation
+/// and shared behind an [`Arc`], so cloning a `Schedule` (e.g. to embed it
+/// in an [`crate::rsg::Rsg`]) is O(1) and allocation-free.
 #[derive(Clone, Debug, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Schedule {
+    inner: Arc<Inner>,
+}
+
+#[derive(Debug, PartialEq, Eq)]
+struct Inner {
     order: Vec<OpId>,
     /// `pos[t][j]` = schedule position of operation `o_{t,j}`.
     pos: Vec<Vec<u32>>,
@@ -54,22 +63,24 @@ impl Schedule {
             cursor[op.txn.index()] += 1;
             pos[op.txn.index()][op.index as usize] = p as u32;
         }
-        Ok(Schedule { order, pos })
+        Ok(Schedule {
+            inner: Arc::new(Inner { order, pos }),
+        })
     }
 
     /// The operations in schedule order.
     pub fn ops(&self) -> &[OpId] {
-        &self.order
+        &self.inner.order
     }
 
     /// Number of operations.
     pub fn len(&self) -> usize {
-        self.order.len()
+        self.inner.order.len()
     }
 
     /// Is the schedule empty (only possible for an empty transaction set)?
     pub fn is_empty(&self) -> bool {
-        self.order.is_empty()
+        self.inner.order.is_empty()
     }
 
     /// Position of `op` in the schedule, O(1).
@@ -78,12 +89,12 @@ impl Schedule {
     ///
     /// Panics if `op` does not belong to the schedule's transaction set.
     pub fn position(&self, op: OpId) -> usize {
-        self.pos[op.txn.index()][op.index as usize] as usize
+        self.inner.pos[op.txn.index()][op.index as usize] as usize
     }
 
     /// The operation at `position`.
     pub fn op_at(&self, position: usize) -> OpId {
-        self.order[position]
+        self.inner.order[position]
     }
 
     /// Does `a` precede `b` in the schedule?
@@ -94,8 +105,8 @@ impl Schedule {
     /// Is the schedule serial (each transaction's operations contiguous)?
     pub fn is_serial(&self) -> bool {
         let mut current: Option<TxnId> = None;
-        let mut finished: Vec<bool> = vec![false; self.pos.len()];
-        for &op in &self.order {
+        let mut finished: Vec<bool> = vec![false; self.inner.pos.len()];
+        for &op in &self.inner.order {
             match current {
                 Some(t) if t == op.txn => {}
                 _ => {
@@ -117,9 +128,9 @@ impl Schedule {
     /// which conflict equivalence is defined.
     pub fn conflict_pairs(&self, txns: &TxnSet) -> Vec<(OpId, OpId)> {
         let mut pairs = Vec::new();
-        for (p, &a) in self.order.iter().enumerate() {
+        for (p, &a) in self.inner.order.iter().enumerate() {
             let op_a = txns.op(a).expect("validated schedule");
-            for &b in &self.order[p + 1..] {
+            for &b in &self.inner.order[p + 1..] {
                 if a.txn == b.txn {
                     continue;
                 }
@@ -148,7 +159,8 @@ impl Schedule {
     /// Renders the schedule in the paper's inline style:
     /// `r2[y] r1[x] w1[x] …`.
     pub fn display(&self, txns: &TxnSet) -> String {
-        self.order
+        self.inner
+            .order
             .iter()
             .map(|&o| txns.display_op(o))
             .collect::<Vec<_>>()

@@ -24,7 +24,6 @@ use std::ops::RangeInclusive;
 /// The relative atomicity specification for a whole transaction set: one
 /// breakpoint set per *ordered* pair of distinct transactions.
 #[derive(Clone, Debug, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct AtomicitySpec {
     /// Lengths of the transactions, indexed by `TxnId`.
     lens: Vec<u32>,

@@ -13,7 +13,6 @@ use crate::schedule::Schedule;
 
 /// A transaction: a totally-ordered sequence of read/write operations.
 #[derive(Clone, Debug, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Transaction {
     id: TxnId,
     ops: Vec<Operation>,
@@ -66,7 +65,6 @@ impl Transaction {
 ///
 /// Transaction ids are dense: `TxnId(k)` is the `k`-th transaction.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TxnSet {
     txns: Vec<Transaction>,
     objects: ObjectTable,

@@ -146,6 +146,48 @@ impl<N, E> DiGraph<N, E> {
         idx
     }
 
+    /// Removes edge `e`, returning its endpoints and weight.
+    ///
+    /// Uses swap-removal: the edge that previously had the highest index
+    /// takes over index `e`, so any held [`EdgeIdx`] equal to the old
+    /// highest index is invalidated. Callers that need stable handles
+    /// should re-address edges by endpoints via [`DiGraph::find_edge`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is out of bounds.
+    pub fn remove_edge(&mut self, e: EdgeIdx) -> (NodeIdx, NodeIdx, E) {
+        let (from, to) = self.edge_endpoints(e);
+        Self::detach(&mut self.succ[from.index()], e);
+        Self::detach(&mut self.pred[to.index()], e);
+        let removed = self.edges.swap_remove(e.index());
+        if e.index() < self.edges.len() {
+            // The former last edge moved into slot `e`; re-point its
+            // adjacency entries.
+            let old = EdgeIdx(u32::try_from(self.edges.len()).expect("edge index overflows u32"));
+            let (mfrom, mto) = (self.edges[e.index()].from, self.edges[e.index()].to);
+            Self::repoint(&mut self.succ[mfrom.index()], old, e);
+            Self::repoint(&mut self.pred[mto.index()], old, e);
+        }
+        (removed.from, removed.to, removed.weight)
+    }
+
+    fn detach(list: &mut Vec<EdgeIdx>, e: EdgeIdx) {
+        let pos = list
+            .iter()
+            .position(|&x| x == e)
+            .expect("edge missing from adjacency list");
+        list.swap_remove(pos);
+    }
+
+    fn repoint(list: &mut [EdgeIdx], old: EdgeIdx, new: EdgeIdx) {
+        let pos = list
+            .iter()
+            .position(|&x| x == old)
+            .expect("moved edge missing from adjacency list");
+        list[pos] = new;
+    }
+
     /// Returns the first edge `from -> to`, if any.
     pub fn find_edge(&self, from: NodeIdx, to: NodeIdx) -> Option<EdgeIdx> {
         self.succ[from.index()]
@@ -354,6 +396,44 @@ mod tests {
                 (NodeIdx(2), NodeIdx(0))
             ]
         );
+    }
+
+    #[test]
+    fn remove_edge_swaps_and_repoints() {
+        let mut g: DiGraph<(), u32> = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let c = g.add_node(());
+        let e1 = g.add_edge(a, b, 1);
+        g.add_edge(b, c, 2);
+        g.add_edge(a, c, 3);
+        assert_eq!(g.remove_edge(e1), (a, b, 1));
+        assert_eq!(g.edge_count(), 2);
+        assert!(!g.has_edge(a, b));
+        // The former last edge (a -> c) moved into slot 0 and must still be
+        // addressable through adjacency.
+        let e = g.find_edge(a, c).unwrap();
+        assert_eq!(*g.edge_weight(e), 3);
+        assert_eq!(g.out_degree(a), 1);
+        assert_eq!(g.in_degree(c), 2);
+        // Removing the true last edge exercises the no-swap path.
+        let e = g.find_edge(b, c).unwrap();
+        assert_eq!(g.remove_edge(e), (b, c, 2));
+        assert_eq!(g.edge_count(), 1);
+        assert!(g.has_edge(a, c));
+    }
+
+    #[test]
+    fn remove_parallel_edge_leaves_sibling() {
+        let mut g: DiGraph<(), u32> = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let e1 = g.add_edge(a, b, 1);
+        g.add_edge(a, b, 2);
+        g.remove_edge(e1);
+        assert_eq!(g.edge_count(), 1);
+        let e = g.find_edge(a, b).unwrap();
+        assert_eq!(*g.edge_weight(e), 2);
     }
 
     #[test]

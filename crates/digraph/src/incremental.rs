@@ -8,8 +8,16 @@
 //!
 //! * `try_add_edge` — insert an edge, *rejecting* it (leaving the graph
 //!   unchanged) if it would create a cycle;
-//! * `retire_node` — mask a node (a committed transaction whose information
-//!   is no longer needed) so its edges stop participating in searches.
+//! * **edge labels** — each edge carries an [`EdgeLabel`] (RSG-SGT stores
+//!   the I/D/F/B arc-kind set); re-adding an existing edge merges labels
+//!   instead of creating a parallel edge;
+//! * `try_add_batch` — insert a group of labelled edges atomically: either
+//!   all go in (returning a [`BatchUndo`] journal) or none do. RSG-SGT
+//!   uses one batch per granted operation, and replays journals backwards
+//!   via [`IncrementalDag::undo_batch`] when a transaction aborts;
+//! * `retire_node` — mask a node (a committed transaction whose
+//!   information is no longer needed) so its edges stop participating in
+//!   searches.
 //!
 //! The cycle check is a bounded DFS from the edge's head towards its tail,
 //! restricted to live nodes — the standard "naive" incremental algorithm,
@@ -18,10 +26,25 @@
 
 use crate::{DiGraph, NodeIdx};
 
+/// A mergeable edge annotation.
+///
+/// [`IncrementalDag`] keeps at most one edge per ordered node pair; when
+/// the same pair is added again the labels are merged (for RSG arc kinds
+/// this is a bitwise union). `Default` is the "plain edge" label used by
+/// the unlabelled [`IncrementalDag::try_add_edge`].
+pub trait EdgeLabel: Clone + Default + PartialEq + std::fmt::Debug {
+    /// Merges `other` into `self` (set union for arc-kind labels).
+    fn merge(&mut self, other: &Self);
+}
+
+impl EdgeLabel for () {
+    fn merge(&mut self, _other: &Self) {}
+}
+
 /// An acyclic directed graph that stays acyclic by construction.
 #[derive(Clone, Debug, Default)]
-pub struct IncrementalDag {
-    g: DiGraph<(), ()>,
+pub struct IncrementalDag<L: EdgeLabel = ()> {
+    g: DiGraph<(), L>,
     live: Vec<bool>,
 }
 
@@ -30,7 +53,7 @@ pub struct IncrementalDag {
 pub enum AddEdge {
     /// Edge inserted; acyclicity preserved.
     Added,
-    /// Edge already present; graph unchanged.
+    /// Edge already present; graph unchanged apart from a label merge.
     Duplicate,
     /// Insertion would have closed a cycle; graph unchanged. Contains the
     /// pre-existing path `to ~> from` (inclusive of both endpoints) that the
@@ -38,7 +61,44 @@ pub enum AddEdge {
     WouldCycle(Vec<NodeIdx>),
 }
 
-impl IncrementalDag {
+/// Journal of one applied [`IncrementalDag::try_add_batch`], consumed by
+/// [`IncrementalDag::undo_batch`] to reverse it exactly.
+///
+/// Journals from successive batches must be undone in reverse application
+/// order (the newest batch first), as RSG-SGT does when rolling a
+/// transaction abort back to its admission point.
+#[derive(Clone, Debug, Default)]
+pub struct BatchUndo<L> {
+    ops: Vec<UndoOp<L>>,
+}
+
+impl<L> BatchUndo<L> {
+    /// Did the batch change the graph at all?
+    pub fn is_noop(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+#[derive(Clone, Debug)]
+enum UndoOp<L> {
+    /// The batch inserted a brand-new edge `from -> to`.
+    Inserted(NodeIdx, NodeIdx),
+    /// The batch merged into an existing edge; `L` is the prior label.
+    Relabeled(NodeIdx, NodeIdx, L),
+}
+
+/// Rejection report of a failed [`IncrementalDag::try_add_batch`]: the
+/// graph has been restored to its pre-batch state.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BatchRejected {
+    /// Index (into the submitted arc slice) of the offending arc.
+    pub arc: usize,
+    /// The pre-existing live path `to ~> from` the arc would have closed
+    /// into a cycle (inclusive of both endpoints).
+    pub path: Vec<NodeIdx>,
+}
+
+impl<L: EdgeLabel> IncrementalDag<L> {
     /// Creates an empty DAG.
     pub fn new() -> Self {
         Self::default()
@@ -79,26 +139,118 @@ impl IncrementalDag {
         self.live[from.index()] && self.live[to.index()] && self.g.has_edge(from, to)
     }
 
-    /// Attempts to insert `from -> to`, keeping the graph acyclic.
+    /// The label of edge `from -> to`, live or retired, if present.
+    pub fn edge_label(&self, from: NodeIdx, to: NodeIdx) -> Option<&L> {
+        self.g.find_edge(from, to).map(|e| self.g.edge_weight(e))
+    }
+
+    /// Attempts to insert `from -> to` with the default label, keeping the
+    /// graph acyclic.
     ///
     /// A self-loop is always rejected as [`AddEdge::WouldCycle`]. Edges
     /// touching retired nodes are rejected by panic: retired nodes must not
     /// gain edges (it would indicate a scheduler logic error).
     pub fn try_add_edge(&mut self, from: NodeIdx, to: NodeIdx) -> AddEdge {
+        self.try_add_labeled_edge(from, to, L::default())
+    }
+
+    /// Attempts to insert `from -> to` carrying `label`, keeping the graph
+    /// acyclic. If the edge already exists the labels are merged and
+    /// [`AddEdge::Duplicate`] is returned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is retired.
+    pub fn try_add_labeled_edge(&mut self, from: NodeIdx, to: NodeIdx, label: L) -> AddEdge {
+        let mut undo = BatchUndo { ops: Vec::new() };
+        match self.apply_arc(from, to, &label, &mut undo) {
+            Err(path) => AddEdge::WouldCycle(path),
+            Ok(()) => match undo.ops.first() {
+                Some(UndoOp::Inserted(..)) => AddEdge::Added,
+                _ => AddEdge::Duplicate,
+            },
+        }
+    }
+
+    /// Attempts to insert all of `arcs` as one atomic group.
+    ///
+    /// On success every arc is in the graph (new edges inserted, existing
+    /// edges label-merged) and the returned [`BatchUndo`] reverses exactly
+    /// this batch. On failure the graph is **unchanged** and the rejection
+    /// identifies the offending arc plus the cycle-closing path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any arc endpoint is retired.
+    pub fn try_add_batch(
+        &mut self,
+        arcs: &[(NodeIdx, NodeIdx, L)],
+    ) -> Result<BatchUndo<L>, BatchRejected> {
+        let mut undo = BatchUndo { ops: Vec::new() };
+        for (i, (from, to, label)) in arcs.iter().enumerate() {
+            if let Err(path) = self.apply_arc(*from, *to, label, &mut undo) {
+                self.undo_batch(undo);
+                return Err(BatchRejected { arc: i, path });
+            }
+        }
+        Ok(undo)
+    }
+
+    /// Reverses one applied batch. Journals must be undone newest-first
+    /// across batches; liveness is *not* required (a batch may be undone
+    /// after one of its endpoints retired).
+    pub fn undo_batch(&mut self, undo: BatchUndo<L>) {
+        for op in undo.ops.into_iter().rev() {
+            match op {
+                UndoOp::Inserted(from, to) => {
+                    let e = self
+                        .g
+                        .find_edge(from, to)
+                        .expect("undo journal names a missing edge");
+                    self.g.remove_edge(e);
+                }
+                UndoOp::Relabeled(from, to, prev) => {
+                    let e = self
+                        .g
+                        .find_edge(from, to)
+                        .expect("undo journal names a missing edge");
+                    *self.g.edge_weight_mut(e) = prev;
+                }
+            }
+        }
+    }
+
+    /// Inserts or label-merges one arc, journalling the change; `Err` is
+    /// the cycle witness path and leaves graph and journal untouched.
+    fn apply_arc(
+        &mut self,
+        from: NodeIdx,
+        to: NodeIdx,
+        label: &L,
+        undo: &mut BatchUndo<L>,
+    ) -> Result<(), Vec<NodeIdx>> {
         assert!(self.live[from.index()], "edge source is retired");
         assert!(self.live[to.index()], "edge target is retired");
         if from == to {
-            return AddEdge::WouldCycle(vec![from]);
+            return Err(vec![from]);
         }
-        if self.g.has_edge(from, to) {
-            return AddEdge::Duplicate;
+        if let Some(e) = self.g.find_edge(from, to) {
+            let prev = self.g.edge_weight(e).clone();
+            let mut merged = prev.clone();
+            merged.merge(label);
+            if merged != prev {
+                *self.g.edge_weight_mut(e) = merged;
+                undo.ops.push(UndoOp::Relabeled(from, to, prev));
+            }
+            return Ok(());
         }
         // A cycle would arise iff `from` is reachable from `to` via live nodes.
         if let Some(path) = self.live_path(to, from) {
-            return AddEdge::WouldCycle(path);
+            return Err(path);
         }
-        self.g.add_edge(from, to, ());
-        AddEdge::Added
+        self.g.add_edge(from, to, label.clone());
+        undo.ops.push(UndoOp::Inserted(from, to));
+        Ok(())
     }
 
     /// Is `to` reachable from `from` through live nodes (non-empty path)?
@@ -141,7 +293,7 @@ impl IncrementalDag {
 
     /// Read-only view of the underlying graph (includes retired nodes and
     /// their edges; callers must filter by liveness).
-    pub fn graph(&self) -> &DiGraph<(), ()> {
+    pub fn graph(&self) -> &DiGraph<(), L> {
         &self.g
     }
 }
@@ -150,9 +302,19 @@ impl IncrementalDag {
 mod tests {
     use super::*;
 
+    /// A tiny bitmask label standing in for RSG arc kinds.
+    #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+    struct Mask(u8);
+
+    impl EdgeLabel for Mask {
+        fn merge(&mut self, other: &Self) {
+            self.0 |= other.0;
+        }
+    }
+
     #[test]
     fn accepts_dag_edges() {
-        let mut d = IncrementalDag::new();
+        let mut d = IncrementalDag::<()>::new();
         let a = d.add_node();
         let b = d.add_node();
         let c = d.add_node();
@@ -164,7 +326,7 @@ mod tests {
 
     #[test]
     fn rejects_cycle_with_witness_path() {
-        let mut d = IncrementalDag::new();
+        let mut d = IncrementalDag::<()>::new();
         let a = d.add_node();
         let b = d.add_node();
         let c = d.add_node();
@@ -180,14 +342,14 @@ mod tests {
 
     #[test]
     fn rejects_self_loop() {
-        let mut d = IncrementalDag::new();
+        let mut d = IncrementalDag::<()>::new();
         let a = d.add_node();
         assert_eq!(d.try_add_edge(a, a), AddEdge::WouldCycle(vec![a]));
     }
 
     #[test]
     fn duplicate_edge_reported() {
-        let mut d = IncrementalDag::new();
+        let mut d = IncrementalDag::<()>::new();
         let a = d.add_node();
         let b = d.add_node();
         assert_eq!(d.try_add_edge(a, b), AddEdge::Added);
@@ -195,10 +357,108 @@ mod tests {
     }
 
     #[test]
+    fn labels_merge_on_duplicate_insert() {
+        let mut d = IncrementalDag::<Mask>::new();
+        let a = d.add_node();
+        let b = d.add_node();
+        assert_eq!(d.try_add_labeled_edge(a, b, Mask(0b01)), AddEdge::Added);
+        assert_eq!(d.try_add_labeled_edge(a, b, Mask(0b10)), AddEdge::Duplicate);
+        assert_eq!(d.edge_label(a, b), Some(&Mask(0b11)));
+        // No parallel edge was created.
+        assert_eq!(d.graph().edge_count(), 1);
+    }
+
+    #[test]
+    fn batch_is_all_or_nothing() {
+        let mut d = IncrementalDag::<Mask>::new();
+        let a = d.add_node();
+        let b = d.add_node();
+        let c = d.add_node();
+        d.try_add_labeled_edge(a, b, Mask(1));
+        // Batch: one fresh arc, one label merge, then a cycle-closer. All
+        // three must be rolled back.
+        let rejected = d
+            .try_add_batch(&[
+                (b, c, Mask(1)),
+                (a, b, Mask(2)),
+                (c, a, Mask(1)), // closes c -> a -> b -> c? no: a~>c exists after (b,c): a->b->c
+            ])
+            .unwrap_err();
+        assert_eq!(rejected.arc, 2);
+        assert_eq!(rejected.path, vec![a, b, c]);
+        assert!(!d.has_edge(b, c), "fresh arc rolled back");
+        assert_eq!(
+            d.edge_label(a, b),
+            Some(&Mask(1)),
+            "label merge rolled back"
+        );
+        assert_eq!(d.graph().edge_count(), 1);
+    }
+
+    #[test]
+    fn batch_success_returns_reversing_journal() {
+        let mut d = IncrementalDag::<Mask>::new();
+        let a = d.add_node();
+        let b = d.add_node();
+        let c = d.add_node();
+        d.try_add_labeled_edge(a, b, Mask(1));
+        let undo = d
+            .try_add_batch(&[(b, c, Mask(4)), (a, b, Mask(2)), (a, c, Mask(1))])
+            .unwrap();
+        assert!(!undo.is_noop());
+        assert_eq!(d.graph().edge_count(), 3);
+        assert_eq!(d.edge_label(a, b), Some(&Mask(3)));
+        d.undo_batch(undo);
+        assert_eq!(d.graph().edge_count(), 1);
+        assert_eq!(d.edge_label(a, b), Some(&Mask(1)));
+        assert!(!d.has_edge(b, c) && !d.has_edge(a, c));
+    }
+
+    #[test]
+    fn noop_batch_merge_of_subset_label() {
+        let mut d = IncrementalDag::<Mask>::new();
+        let a = d.add_node();
+        let b = d.add_node();
+        d.try_add_labeled_edge(a, b, Mask(3));
+        // Re-adding a subset label changes nothing and journals nothing.
+        let undo = d.try_add_batch(&[(a, b, Mask(1))]).unwrap();
+        assert!(undo.is_noop());
+        assert_eq!(d.edge_label(a, b), Some(&Mask(3)));
+    }
+
+    #[test]
+    fn undo_works_after_endpoint_retires() {
+        let mut d = IncrementalDag::<Mask>::new();
+        let a = d.add_node();
+        let b = d.add_node();
+        let undo = d.try_add_batch(&[(a, b, Mask(1))]).unwrap();
+        d.retire_node(a);
+        d.undo_batch(undo);
+        assert_eq!(d.graph().edge_count(), 0);
+    }
+
+    #[test]
+    fn stacked_batches_undo_in_reverse_order() {
+        let mut d = IncrementalDag::<Mask>::new();
+        let a = d.add_node();
+        let b = d.add_node();
+        let c = d.add_node();
+        let u1 = d.try_add_batch(&[(a, b, Mask(1))]).unwrap();
+        let u2 = d
+            .try_add_batch(&[(a, b, Mask(2)), (b, c, Mask(1))])
+            .unwrap();
+        d.undo_batch(u2);
+        assert_eq!(d.edge_label(a, b), Some(&Mask(1)));
+        assert!(!d.has_edge(b, c));
+        d.undo_batch(u1);
+        assert_eq!(d.graph().edge_count(), 0);
+    }
+
+    #[test]
     fn retiring_a_node_unblocks_edges() {
         // a -> b -> c; retire b; now c -> a is fine because the only path
         // a ~> c ran through b.
-        let mut d = IncrementalDag::new();
+        let mut d = IncrementalDag::<()>::new();
         let a = d.add_node();
         let b = d.add_node();
         let c = d.add_node();
@@ -212,7 +472,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "retired")]
     fn edges_to_retired_nodes_panic() {
-        let mut d = IncrementalDag::new();
+        let mut d = IncrementalDag::<()>::new();
         let a = d.add_node();
         let b = d.add_node();
         d.retire_node(b);
@@ -221,7 +481,7 @@ mod tests {
 
     #[test]
     fn reaches_respects_liveness() {
-        let mut d = IncrementalDag::new();
+        let mut d = IncrementalDag::<()>::new();
         let a = d.add_node();
         let b = d.add_node();
         let c = d.add_node();
@@ -234,7 +494,7 @@ mod tests {
 
     #[test]
     fn live_count_tracks_retirement() {
-        let mut d = IncrementalDag::new();
+        let mut d = IncrementalDag::<()>::new();
         let a = d.add_node();
         let _b = d.add_node();
         assert_eq!(d.live_count(), 2);
@@ -257,7 +517,7 @@ mod tests {
             state >> 33
         };
         let n = 30usize;
-        let mut d = IncrementalDag::new();
+        let mut d = IncrementalDag::<()>::new();
         let nodes: Vec<NodeIdx> = (0..n).map(|_| d.add_node()).collect();
         let mut accepted = Vec::new();
         for _ in 0..400 {
@@ -270,5 +530,45 @@ mod tests {
         let g = DiGraph::<(), ()>::from_edges(n, &accepted);
         assert!(crate::cycle::is_acyclic(&g));
         assert!(accepted.len() > n, "stress test should accept many edges");
+    }
+
+    #[test]
+    fn stress_batches_with_undo_match_offline_checker() {
+        // Random batches, occasionally undone, always acyclic.
+        let mut state: u64 = 99;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        let n = 20usize;
+        let mut d = IncrementalDag::<Mask>::new();
+        let nodes: Vec<NodeIdx> = (0..n).map(|_| d.add_node()).collect();
+        let mut journals = Vec::new();
+        for round in 0..200 {
+            let arcs: Vec<(NodeIdx, NodeIdx, Mask)> = (0..(next() % 4 + 1))
+                .map(|_| {
+                    (
+                        nodes[(next() % n as u64) as usize],
+                        nodes[(next() % n as u64) as usize],
+                        Mask(1 << (next() % 4)),
+                    )
+                })
+                .collect();
+            if let Ok(u) = d.try_add_batch(&arcs) {
+                journals.push(u);
+            }
+            if round % 7 == 0 {
+                if let Some(u) = journals.pop() {
+                    d.undo_batch(u);
+                }
+            }
+            let edges: Vec<(u32, u32)> =
+                d.graph().edge_refs().map(|e| (e.from.0, e.to.0)).collect();
+            assert!(crate::cycle::is_acyclic(&DiGraph::<(), ()>::from_edges(
+                n, &edges
+            )));
+        }
     }
 }

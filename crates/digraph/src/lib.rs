@@ -64,4 +64,4 @@ pub mod topo;
 pub mod visit;
 
 pub use graph::{DiGraph, EdgeIdx, EdgeRef, NodeIdx};
-pub use incremental::IncrementalDag;
+pub use incremental::{AddEdge, BatchRejected, BatchUndo, EdgeLabel, IncrementalDag};

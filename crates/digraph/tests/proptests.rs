@@ -100,7 +100,7 @@ proptest! {
     /// subgraph acyclic, and the result is always acyclic.
     #[test]
     fn incremental_dag_is_always_acyclic((n, edges) in arb_graph(16, 60)) {
-        let mut d = IncrementalDag::new();
+        let mut d = IncrementalDag::<()>::new();
         let nodes: Vec<NodeIdx> = (0..n).map(|_| d.add_node()).collect();
         let mut accepted = Vec::new();
         for (a, b) in edges {

@@ -99,7 +99,7 @@ impl<S: Scheduler> Scheduler for ChaosScheduler<S> {
 mod tests {
     use super::*;
     use crate::driver::{run, RunConfig};
-    use crate::rsg_sgt::{RsgSgt, RsgSgtIncremental};
+    use crate::rsg_sgt::RsgSgt;
     use crate::two_pl::TwoPhaseLocking;
     use relser_core::classes::is_relatively_serializable;
     use relser_core::sg::is_conflict_serializable;
@@ -158,7 +158,7 @@ mod tests {
 
     #[test]
     fn incremental_rsg_sgt_survives_abort_storms() {
-        // High injection rate stresses the rebuild-on-abort path.
+        // High injection rate stresses the rollback-and-replay path.
         let t = txns();
         let spec = AtomicitySpec::absolute(&t);
         for seed in 0..10u64 {
@@ -166,7 +166,7 @@ mod tests {
                 seed,
                 max_steps: 5_000_000,
             };
-            let mut chaos = ChaosScheduler::new(RsgSgtIncremental::new(&t, &spec), 0.5, seed);
+            let mut chaos = ChaosScheduler::new(RsgSgt::new(&t, &spec), 0.5, seed);
             let r = run(&t, &mut chaos, &cfg).unwrap();
             assert!(chaos.injected > 0, "storm actually fired (seed {seed})");
             assert!(

@@ -2,38 +2,115 @@
 //! serialization graph … can be used as the basis for a concurrency
 //! control protocol similar to serialization graph testing."*
 //!
-//! The scheduler maintains the sequence of granted operations (the
-//! executed schedule prefix) and, per request, rebuilds the relative
-//! serialization graph of `prefix + requested op` over the *complete*
-//! operation sets of all transactions (the transaction programs are known,
-//! so push-forward / pull-backward targets exist as nodes even before they
-//! execute). The request is granted iff the graph stays acyclic; otherwise
-//! the requester aborts and restarts — exactly Theorem 1 applied online.
+//! ## Architecture: incremental maintenance
+//!
+//! [`RsgSgt`] is a thin [`Scheduler`] adapter over
+//! [`relser_core::incremental::IncrementalRsg`], which maintains the
+//! relative serialization graph of the executed prefix *incrementally*:
+//!
+//! * Nodes for **all** operations and the I-arc skeleton are installed up
+//!   front from the static transaction programs, so push-forward /
+//!   pull-backward targets exist before they execute — exactly the graph
+//!   the offline Theorem 1 checker builds.
+//! * Granting one operation appends exactly the new D/F/B arcs it induces
+//!   (an [`relser_core::incremental::RsgDelta`]), derived from per-source
+//!   depends-on bitsets. Appending an operation never changes the
+//!   dependencies of already-granted operations, so arc insertion is
+//!   monotone and nothing is ever recomputed — the per-request cost is
+//!   proportional to the operation's dependency set plus one bounded
+//!   cycle search, not O(P²) like a rebuild.
+//! * The delta is applied as one **atomic batch**
+//!   ([`relser_digraph::IncrementalDag::try_add_batch`]): a request is
+//!   granted iff the batch keeps the graph acyclic; a rejected batch
+//!   leaves graph and engine bit-for-bit unchanged.
+//!
+//! ## Rollback discipline
+//!
+//! Rejection means **abort**, never blocking: RSG arcs only disappear by
+//! aborting their transaction, so a cycle can never resolve by waiting —
+//! the classic SGT abort discipline. Every grant's batch journal is kept;
+//! an abort undoes journals newest-first down to the aborted
+//! transaction's first grant, then replays the surviving suffix (replay
+//! cannot fail — it re-creates a subgraph of the previously acyclic
+//! graph). Committed transactions are *retired* once no arc from a live
+//! transaction points into them; retired nodes are masked out of every
+//! cycle search, so long-finished transactions stop costing anything.
 //!
 //! Because every granted prefix has an acyclic RSG, the final committed
 //! history's RSG is acyclic, i.e. **every history this scheduler produces
 //! is relatively serializable** (the property tests verify this against
 //! the offline checkers).
 //!
-//! Rejection means **abort**, never blocking: RSG arcs are only removed
-//! by aborting their transaction, so a cycle can never resolve by
-//! waiting — the classic SGT abort discipline carries over unchanged.
+//! ## The rebuild oracle
 //!
-//! The per-request rebuild is O(P²) in the prefix length — the simple,
-//! obviously-correct formulation. A production engine would maintain the
-//! graph incrementally; at simulation scale the rebuild is already far
-//! below a millisecond, and keeping it simple makes the protocol's
-//! correctness argument one sentence long.
+//! [`RsgSgtOracle`] (feature `oracle`, enabled by default) retains the
+//! original formulation — rebuild the RSG of `prefix + requested op` from
+//! scratch per request — whose correctness argument is one sentence long.
+//! The equivalence property test in `tests/protocol_safety.rs` drives
+//! both through identical randomized request sequences (including aborts
+//! and restarts) and asserts byte-identical decisions; ablation A3 and
+//! the `incremental` bench measure the speedup.
 
 use crate::{AbortReason, Decision, Scheduler};
 use relser_core::ids::{OpId, TxnId};
+use relser_core::incremental::IncrementalRsg;
 use relser_core::spec::AtomicitySpec;
 use relser_core::txn::TxnSet;
-use relser_digraph::{cycle, DiGraph, NodeIdx};
-use std::collections::HashSet;
 
-/// The paper's RSG-based serialization-graph-testing scheduler.
+/// The paper's RSG-based serialization-graph-testing scheduler, on the
+/// incremental maintenance engine (see the module docs).
 pub struct RsgSgt {
+    engine: IncrementalRsg,
+}
+
+impl RsgSgt {
+    /// Creates a scheduler over a fixed transaction set and specification.
+    pub fn new(txns: &TxnSet, spec: &AtomicitySpec) -> Self {
+        RsgSgt {
+            engine: IncrementalRsg::new(txns, spec),
+        }
+    }
+
+    /// The granted prefix (for inspection / tests).
+    pub fn admitted(&self) -> &[OpId] {
+        self.engine.admitted()
+    }
+
+    /// The underlying incremental engine (for inspection / experiments).
+    pub fn engine(&self) -> &IncrementalRsg {
+        &self.engine
+    }
+}
+
+impl Scheduler for RsgSgt {
+    fn name(&self) -> &'static str {
+        "RSG-SGT"
+    }
+
+    fn begin(&mut self, _txn: TxnId) {}
+
+    fn request(&mut self, op: OpId) -> Decision {
+        match self.engine.try_admit(op) {
+            Ok(_) => Decision::Granted,
+            Err(_) => Decision::Aborted(AbortReason::CycleRejected),
+        }
+    }
+
+    fn commit(&mut self, txn: TxnId) {
+        self.engine.commit(txn);
+    }
+
+    fn abort(&mut self, txn: TxnId) {
+        self.engine.abort(txn);
+    }
+}
+
+/// The original full-rebuild formulation, kept as a differential oracle:
+/// per request it recomputes the depends-on closure of the whole prefix
+/// and rebuilds the RSG from scratch — O(P²), obviously correct, and the
+/// reference the incremental [`RsgSgt`] is tested against.
+#[cfg(feature = "oracle")]
+pub struct RsgSgtOracle {
     txns: TxnSet,
     spec: AtomicitySpec,
     /// Granted operations of live or committed incarnations, grant order.
@@ -43,7 +120,8 @@ pub struct RsgSgt {
     total_ops: u32,
 }
 
-impl RsgSgt {
+#[cfg(feature = "oracle")]
+impl RsgSgtOracle {
     /// Creates a scheduler over a fixed transaction set and specification.
     pub fn new(txns: &TxnSet, spec: &AtomicitySpec) -> Self {
         let mut offset = Vec::with_capacity(txns.len());
@@ -52,7 +130,7 @@ impl RsgSgt {
             offset.push(acc);
             acc += t.len() as u32;
         }
-        RsgSgt {
+        RsgSgtOracle {
             txns: txns.clone(),
             spec: spec.clone(),
             admitted: Vec::new(),
@@ -62,13 +140,16 @@ impl RsgSgt {
     }
 
     #[inline]
-    fn node(&self, op: OpId) -> NodeIdx {
-        NodeIdx(self.offset[op.txn.index()] + op.index)
+    fn node(&self, op: OpId) -> relser_digraph::NodeIdx {
+        relser_digraph::NodeIdx(self.offset[op.txn.index()] + op.index)
     }
 
     /// Is the RSG of `seq` (as an executed prefix, with full program
     /// structure) acyclic?
     fn prefix_rsg_acyclic(&self, seq: &[OpId]) -> bool {
+        use relser_digraph::{cycle, DiGraph, NodeIdx};
+        use std::collections::HashSet;
+
         let p = seq.len();
         // Depends-on over the prefix: direct deps (same txn or conflict,
         // earlier → later), then transitive closure by position.
@@ -138,9 +219,10 @@ impl RsgSgt {
     }
 }
 
-impl Scheduler for RsgSgt {
+#[cfg(feature = "oracle")]
+impl Scheduler for RsgSgtOracle {
     fn name(&self) -> &'static str {
-        "RSG-SGT"
+        "RSG-SGT-rebuild"
     }
 
     fn begin(&mut self, _txn: TxnId) {}
@@ -163,197 +245,6 @@ impl Scheduler for RsgSgt {
     }
 }
 
-/// The incremental formulation of [`RsgSgt`]: instead of rebuilding the
-/// RSG per request, it maintains
-///
-/// * an [`IncrementalDag`](relser_digraph::IncrementalDag) over *all*
-///   operations (nodes created up front from the static transaction
-///   programs, I-arcs pre-installed), and
-/// * a per-admitted-operation *ancestor* bitset — the operation's
-///   depends-on set — so a new request's D-arcs are exactly
-///   `{ancestors(direct preds)} ∪ {direct preds}`, with F/B arcs mapped
-///   through the specification as in Definition 3.
-///
-/// Dependencies of already-admitted operations never change when a new
-/// operation is appended, so arc insertion is monotone; the only
-/// non-monotone event is an abort, which triggers a full rebuild
-/// (amortized: one rebuild per restart, not per request). The equivalence
-/// property test in `tests/protocol_safety.rs` drives both formulations
-/// through identical request sequences and asserts identical decisions;
-/// the ablation experiment A3 measures the speedup.
-pub struct RsgSgtIncremental {
-    txns: TxnSet,
-    spec: AtomicitySpec,
-    offset: Vec<u32>,
-    total_ops: u32,
-    dag: relser_digraph::IncrementalDag,
-    nodes: Vec<relser_digraph::NodeIdx>,
-    admitted: Vec<OpId>,
-    /// `ancestors[g]` = global indices the admitted op `g` depends on.
-    ancestors: Vec<Option<relser_digraph::bitset::BitSet>>,
-    /// Admitted accesses per object: (global index, is_write).
-    accesses: Vec<Vec<(u32, bool)>>,
-}
-
-impl RsgSgtIncremental {
-    /// Creates the scheduler; nodes and I-arcs are installed up front.
-    pub fn new(txns: &TxnSet, spec: &AtomicitySpec) -> Self {
-        let mut offset = Vec::with_capacity(txns.len());
-        let mut acc = 0u32;
-        for t in txns.txns() {
-            offset.push(acc);
-            acc += t.len() as u32;
-        }
-        let mut s = RsgSgtIncremental {
-            txns: txns.clone(),
-            spec: spec.clone(),
-            offset,
-            total_ops: acc,
-            dag: relser_digraph::IncrementalDag::new(),
-            nodes: Vec::new(),
-            admitted: Vec::new(),
-            ancestors: vec![None; acc as usize],
-            accesses: vec![Vec::new(); txns.objects().len()],
-        };
-        s.install_static_structure();
-        s
-    }
-
-    fn install_static_structure(&mut self) {
-        self.dag = relser_digraph::IncrementalDag::new();
-        self.nodes = (0..self.total_ops).map(|_| self.dag.add_node()).collect();
-        for t in self.txns.txns() {
-            let base = self.offset[t.id().index()];
-            for j in 0..t.len() as u32 - 1 {
-                let r = self.dag.try_add_edge(
-                    self.nodes[(base + j) as usize],
-                    self.nodes[(base + j + 1) as usize],
-                );
-                debug_assert!(matches!(r, AddEdge::Added));
-            }
-        }
-    }
-
-    #[inline]
-    fn global(&self, op: OpId) -> u32 {
-        self.offset[op.txn.index()] + op.index
-    }
-
-    fn global_to_op(&self, g: u32) -> OpId {
-        // offsets are sorted; find the owning transaction.
-        let t = match self.offset.binary_search(&g) {
-            Ok(i) => i,
-            Err(i) => i - 1,
-        };
-        OpId::new(TxnId(t as u32), g - self.offset[t])
-    }
-
-    /// Rebuilds the graph and ancestor sets from the admitted list (after
-    /// an abort).
-    fn rebuild(&mut self) {
-        let admitted = std::mem::take(&mut self.admitted);
-        self.ancestors = vec![None; self.total_ops as usize];
-        for a in &mut self.accesses {
-            a.clear();
-        }
-        self.install_static_structure();
-        for op in admitted {
-            let d = self.admit(op);
-            debug_assert_eq!(d, Decision::Granted, "replaying admitted ops cannot fail");
-        }
-    }
-
-    /// Attempts to admit `op`, inserting its arcs; `Granted` or `Aborted`.
-    fn admit(&mut self, op: OpId) -> Decision {
-        let g = self.global(op);
-        let operation = self.txns.op(op).expect("op belongs to the set");
-
-        // Direct predecessors: program order + conflicting accesses.
-        let mut ancestors = relser_digraph::bitset::BitSet::with_capacity(self.total_ops as usize);
-        if op.index > 0 {
-            let prev = g - 1;
-            if let Some(prev_anc) = &self.ancestors[prev as usize] {
-                ancestors.union_with(prev_anc);
-            }
-            ancestors.insert(prev as usize);
-        }
-        for &(u, was_write) in &self.accesses[operation.object.index()] {
-            if was_write || operation.is_write() {
-                if let Some(u_anc) = &self.ancestors[u as usize] {
-                    ancestors.union_with(u_anc);
-                }
-                ancestors.insert(u as usize);
-            }
-        }
-
-        // New arcs for every cross-transaction ancestor.
-        for u in ancestors.iter() {
-            let u_op = self.global_to_op(u as u32);
-            if u_op.txn == op.txn {
-                continue;
-            }
-            let mut arcs = [(u as u32, g), (0, 0), (0, 0)];
-            let mut n_arcs = 1;
-            let pf = self.spec.push_forward(u_op, op.txn);
-            arcs[n_arcs] = (self.global(pf), g);
-            n_arcs += 1;
-            let pb = self.spec.pull_backward(op, u_op.txn);
-            arcs[n_arcs] = (u as u32, self.global(pb));
-            n_arcs += 1;
-            for &(a, b) in &arcs[..n_arcs] {
-                if a == b {
-                    continue; // F/B arc collapsed onto its own endpoint
-                }
-                match self
-                    .dag
-                    .try_add_edge(self.nodes[a as usize], self.nodes[b as usize])
-                {
-                    AddEdge::Added | AddEdge::Duplicate => {}
-                    AddEdge::WouldCycle(_) => {
-                        return Decision::Aborted(AbortReason::CycleRejected);
-                    }
-                }
-            }
-        }
-        self.ancestors[g as usize] = Some(ancestors);
-        self.accesses[operation.object.index()].push((g, operation.is_write()));
-        self.admitted.push(op);
-        Decision::Granted
-    }
-
-    /// The granted prefix (for inspection / tests).
-    pub fn admitted(&self) -> &[OpId] {
-        &self.admitted
-    }
-}
-
-use relser_digraph::incremental::AddEdge;
-
-impl Scheduler for RsgSgtIncremental {
-    fn name(&self) -> &'static str {
-        "RSG-SGT-inc"
-    }
-
-    fn begin(&mut self, _txn: TxnId) {}
-
-    fn request(&mut self, op: OpId) -> Decision {
-        let d = self.admit(op);
-        if matches!(d, Decision::Aborted(_)) {
-            // Partial arcs of the rejected request pollute the graph; the
-            // contract is that the transaction now aborts, and `abort`
-            // rebuilds. Nothing to do here.
-        }
-        d
-    }
-
-    fn commit(&mut self, _txn: TxnId) {}
-
-    fn abort(&mut self, txn: TxnId) {
-        self.admitted.retain(|o| o.txn != txn);
-        self.rebuild();
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -365,8 +256,8 @@ mod tests {
 
     /// Feed a full schedule through the scheduler; return granted count
     /// before first rejection (or total if all granted).
-    fn feed(s: &mut RsgSgt, schedule: &[OpId]) -> usize {
-        for t in 0..s.txns.len() as u32 {
+    fn feed<S: Scheduler>(s: &mut S, n_txns: usize, schedule: &[OpId]) -> usize {
+        for t in 0..n_txns as u32 {
             s.begin(TxnId(t));
         }
         for (i, &o) in schedule.iter().enumerate() {
@@ -383,7 +274,11 @@ mod tests {
         let fig = Figure1::new();
         let mut s = RsgSgt::new(&fig.txns, &fig.spec);
         let sra = fig.s_ra();
-        assert_eq!(feed(&mut s, sra.ops()), sra.len(), "S_ra fully admitted");
+        assert_eq!(
+            feed(&mut s, fig.txns.len(), sra.ops()),
+            sra.len(),
+            "S_ra fully admitted"
+        );
     }
 
     #[test]
@@ -391,7 +286,11 @@ mod tests {
         let fig = Figure1::new();
         let mut s = RsgSgt::new(&fig.txns, &fig.spec);
         let s2 = fig.s_2();
-        assert_eq!(feed(&mut s, s2.ops()), s2.len(), "S_2 fully admitted");
+        assert_eq!(
+            feed(&mut s, fig.txns.len(), s2.ops()),
+            s2.len(),
+            "S_2 fully admitted"
+        );
     }
 
     #[test]
@@ -437,19 +336,38 @@ mod tests {
         let txns = TxnSet::parse(&["r1[x] w1[x]", "r2[x] w2[x]"]).unwrap();
         let order = [op(0, 0), op(1, 0), op(0, 1), op(1, 1)];
         let mut tight = RsgSgt::new(&txns, &AtomicitySpec::absolute(&txns));
-        assert_eq!(feed(&mut tight, &order), 3);
+        assert_eq!(feed(&mut tight, txns.len(), &order), 3);
         let mut loose = RsgSgt::new(&txns, &AtomicitySpec::free(&txns));
-        assert_eq!(feed(&mut loose, &order), 4);
+        assert_eq!(feed(&mut loose, txns.len(), &order), 4);
+    }
+
+    #[test]
+    fn commit_retires_finished_transactions() {
+        let txns = TxnSet::parse(&["r1[x] w1[x]", "r2[x] w2[x]"]).unwrap();
+        let spec = AtomicitySpec::absolute(&txns);
+        let mut s = RsgSgt::new(&txns, &spec);
+        s.begin(TxnId(0));
+        assert_eq!(s.request(op(0, 0)), Decision::Granted);
+        assert_eq!(s.request(op(0, 1)), Decision::Granted);
+        s.commit(TxnId(0));
+        assert!(s.engine().is_retired(TxnId(0)));
+        // T2 still runs to completion against the retired history.
+        s.begin(TxnId(1));
+        assert_eq!(s.request(op(1, 0)), Decision::Granted);
+        assert_eq!(s.request(op(1, 1)), Decision::Granted);
+        s.commit(TxnId(1));
+        assert_eq!(s.engine().retired_count(), 2);
     }
 
     /// The incremental and rebuild formulations make identical decisions
     /// on identical request sequences, including across aborts/restarts.
+    #[cfg(feature = "oracle")]
     #[test]
     fn incremental_matches_rebuild_on_random_feeds() {
         let fig = Figure1::new();
         for seed in 0..30u64 {
-            let mut rebuild = RsgSgt::new(&fig.txns, &fig.spec);
-            let mut inc = RsgSgtIncremental::new(&fig.txns, &fig.spec);
+            let mut rebuild = RsgSgtOracle::new(&fig.txns, &fig.spec);
+            let mut inc = RsgSgt::new(&fig.txns, &fig.spec);
             // Deterministic pseudo-random feed with restart handling.
             let mut state = seed | 1;
             let mut next = move || {
@@ -501,48 +419,13 @@ mod tests {
     }
 
     #[test]
-    fn incremental_admits_the_paper_schedules() {
-        let fig = Figure1::new();
-        for schedule in [fig.s_ra(), fig.s_2()] {
-            let mut s = RsgSgtIncremental::new(&fig.txns, &fig.spec);
-            for t in 0..fig.txns.len() as u32 {
-                s.begin(TxnId(t));
-            }
-            for &o in schedule.ops() {
-                assert_eq!(s.request(o), Decision::Granted);
-            }
-        }
-    }
-
-    #[test]
-    fn incremental_rejects_lost_update() {
-        let txns = TxnSet::parse(&["r1[x] w1[x]", "r2[x] w2[x]"]).unwrap();
-        let spec = AtomicitySpec::absolute(&txns);
-        let mut s = RsgSgtIncremental::new(&txns, &spec);
-        s.begin(TxnId(0));
-        s.begin(TxnId(1));
-        assert_eq!(s.request(op(0, 0)), Decision::Granted);
-        assert_eq!(s.request(op(1, 0)), Decision::Granted);
-        assert_eq!(s.request(op(0, 1)), Decision::Granted);
-        assert_eq!(
-            s.request(op(1, 1)),
-            Decision::Aborted(AbortReason::CycleRejected)
-        );
-        s.abort(TxnId(1));
-        s.commit(TxnId(0));
-        s.begin(TxnId(1));
-        assert_eq!(s.request(op(1, 0)), Decision::Granted);
-        assert_eq!(s.request(op(1, 1)), Decision::Granted);
-    }
-
-    #[test]
     fn granted_prefix_always_has_acyclic_rsg() {
         // After any sequence of grants, the offline RSG of the admitted
         // prefix extended to a full schedule (when complete) is acyclic.
         let fig = Figure1::new();
         let mut s = RsgSgt::new(&fig.txns, &fig.spec);
         let full = fig.s_2();
-        assert_eq!(feed(&mut s, full.ops()), full.len());
+        assert_eq!(feed(&mut s, fig.txns.len(), full.ops()), full.len());
         let final_schedule =
             relser_core::schedule::Schedule::new(&fig.txns, s.admitted().to_vec()).unwrap();
         assert!(relser_core::rsg::Rsg::build(&fig.txns, &final_schedule, &fig.spec).is_acyclic());

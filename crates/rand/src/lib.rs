@@ -1,0 +1,220 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the small slice of the rand 0.9 API it actually uses:
+//!
+//! * [`SeedableRng::seed_from_u64`] / [`rngs::StdRng`];
+//! * [`Rng::random_range`] over integer and `f64` ranges (half-open and
+//!   inclusive);
+//! * [`Rng::random_bool`].
+//!
+//! The generator is xoshiro256\*\* seeded through SplitMix64 — the same
+//! construction rand's own `SmallRng` uses — so the statistical quality is
+//! adequate for the simulation workloads, and every consumer stays
+//! deterministic per seed. This is **not** a cryptographic RNG and makes no
+//! attempt at bit-compatibility with upstream `rand` streams.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Seedable random generators (the subset of `rand::SeedableRng` used
+/// here: construction from a `u64`).
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be sampled uniformly from a range by an [`Rng`]
+/// (stand-in for `rand::distr::uniform::SampleRange`).
+pub trait SampleRange<T> {
+    /// Draws one uniform sample using `next` as the 64-bit entropy source.
+    fn sample_one(self, next: &mut dyn FnMut() -> u64) -> T;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_one(self, next: &mut dyn FnMut() -> u64) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as u128).wrapping_sub(self.start as u128) as u128;
+                let r = (((next() as u128) << 64 | next() as u128) % span) as $t;
+                self.start.wrapping_add(r)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_one(self, next: &mut dyn FnMut() -> u64) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                let span = (hi as u128).wrapping_sub(lo as u128).wrapping_add(1);
+                if span == 0 {
+                    // Full domain of the type: any draw is uniform.
+                    return next() as $t;
+                }
+                let r = (((next() as u128) << 64 | next() as u128) % span) as $t;
+                lo.wrapping_add(r)
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Converts 64 random bits to a uniform `f64` in `[0, 1)`.
+#[inline]
+fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_one(self, next: &mut dyn FnMut() -> u64) -> f64 {
+        assert!(self.start < self.end, "empty range");
+        let u = unit_f64(next());
+        let v = self.start + u * (self.end - self.start);
+        // Guard against rounding up to the excluded endpoint.
+        if v >= self.end {
+            self.start
+        } else {
+            v
+        }
+    }
+}
+
+impl SampleRange<f64> for RangeInclusive<f64> {
+    fn sample_one(self, next: &mut dyn FnMut() -> u64) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range");
+        lo + unit_f64(next()) * (hi - lo)
+    }
+}
+
+/// Random-value convenience methods (the used subset of `rand::Rng`).
+pub trait Rng {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform sample from `range`.
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        let mut next = || self.next_u64();
+        range.sample_one(&mut next)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    fn random_bool(&mut self, p: f64) -> bool {
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Concrete generator implementations.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256\*\* seeded via
+    /// SplitMix64. Deterministic per seed; not cryptographically secure.
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, as recommended by the xoshiro authors.
+            let mut x = seed;
+            let mut sm = move || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [sm(), sm(), sm(), sm()],
+            }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // xoshiro256** by Blackman & Vigna (public domain).
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(StdRng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x: usize = rng.random_range(0..17);
+            assert!(x < 17);
+            let y: u64 = rng.random_range(3..=9);
+            assert!((3..=9).contains(&y));
+            let f: f64 = rng.random_range(f64::EPSILON..1.0);
+            assert!((f64::EPSILON..1.0).contains(&f));
+            let g: f64 = rng.random_range(0.0..2.5);
+            assert!((0.0..2.5).contains(&g));
+        }
+    }
+
+    #[test]
+    fn ranges_cover_their_support() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 6];
+        for _ in 0..1000 {
+            seen[rng.random_range(0usize..6)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
+    }
+
+    #[test]
+    fn random_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let hits = (0..100_000).filter(|_| rng.random_bool(0.3)).count();
+        assert!((25_000..35_000).contains(&hits), "{hits}");
+        assert!(!StdRng::seed_from_u64(1).random_bool(0.0));
+        assert!(StdRng::seed_from_u64(1).random_bool(1.0));
+    }
+
+    #[test]
+    fn works_through_unsized_generic_receivers() {
+        fn draw<R: Rng + ?Sized>(rng: &mut R) -> usize {
+            rng.random_range(0..10)
+        }
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(draw(&mut rng) < 10);
+    }
+}

@@ -161,6 +161,7 @@ pub fn simulate(
     let mut history: Vec<OpId> = Vec::with_capacity(txns.total_ops());
     let mut aborts = 0u64;
     let mut blocked_events = 0u64;
+    let mut decision_ns: Vec<u64> = Vec::with_capacity(txns.total_ops());
     let mut events = 0u64;
     let mut committed = 0usize;
 
@@ -187,11 +188,15 @@ pub fn simulate(
         history: &mut Vec<OpId>,
         aborts: &mut u64,
         blocked_events: &mut u64,
+        decision_ns: &mut Vec<u64>,
         backoff: u64,
     ) -> bool {
         let txn = TxnId(t as u32);
         let op = OpId::new(txn, cursor[t]);
-        match scheduler.request(op) {
+        let started = std::time::Instant::now();
+        let decision = scheduler.request(op);
+        decision_ns.push(started.elapsed().as_nanos() as u64);
+        match decision {
             Decision::Granted => {
                 blocked[t] = false;
                 in_flight[t] = true;
@@ -252,6 +257,7 @@ pub fn simulate(
                     &mut history,
                     &mut aborts,
                     &mut blocked_events,
+                    &mut decision_ns,
                     cfg.restart_backoff,
                 );
             }
@@ -274,6 +280,7 @@ pub fn simulate(
                     &mut history,
                     &mut aborts,
                     &mut blocked_events,
+                    &mut decision_ns,
                     cfg.restart_backoff,
                 );
             }
@@ -304,6 +311,7 @@ pub fn simulate(
                         &mut history,
                         &mut aborts,
                         &mut blocked_events,
+                        &mut decision_ns,
                         cfg.restart_backoff,
                     );
                 }
@@ -331,6 +339,7 @@ pub fn simulate(
                         &mut history,
                         &mut aborts,
                         &mut blocked_events,
+                        &mut decision_ns,
                         cfg.restart_backoff,
                     );
                 }
@@ -346,7 +355,7 @@ pub fn simulate(
     let final_store = execute(txns, &history);
     let spans: Vec<(u64, u64)> = (0..n).map(|t| (arrival_tick[t], commit_tick[t])).collect();
     Ok(SimReport {
-        metrics: summarize(&spans, aborts, blocked_events, busy_integral),
+        metrics: summarize(&spans, aborts, blocked_events, busy_integral, &decision_ns),
         history,
         final_store,
     })

@@ -1,8 +1,50 @@
-//! Simulation metrics: throughput, latency percentiles, aborts, and mean
-//! effective concurrency.
+//! Simulation metrics: throughput, latency percentiles, aborts, mean
+//! effective concurrency, and real (wall-clock) scheduler decision cost.
+
+/// Wall-clock cost of the scheduler's per-request decisions during one
+/// run. Unlike every other metric this measures *host* nanoseconds, not
+/// simulated ticks — it is how the rebuild-vs-incremental RSG-SGT
+/// formulations are compared (ablation A3 / the `incremental` bench).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct DecisionLatency {
+    /// Number of `Scheduler::request` calls measured.
+    pub decisions: u64,
+    /// Total nanoseconds across all decisions.
+    pub total_ns: u64,
+    /// Mean nanoseconds per decision.
+    pub mean_ns: f64,
+    /// 95th-percentile nanoseconds per decision.
+    pub p95_ns: u64,
+    /// Slowest single decision.
+    pub max_ns: u64,
+}
+
+impl DecisionLatency {
+    /// Summarizes raw per-decision samples (empty samples → all zeros).
+    pub fn from_samples(samples: &[u64]) -> Self {
+        if samples.is_empty() {
+            return DecisionLatency::default();
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable();
+        let total: u64 = sorted.iter().sum();
+        let p95_idx = ((sorted.len() as f64 * 0.95).ceil() as usize).clamp(1, sorted.len()) - 1;
+        DecisionLatency {
+            decisions: sorted.len() as u64,
+            total_ns: total,
+            mean_ns: total as f64 / sorted.len() as f64,
+            p95_ns: sorted[p95_idx],
+            max_ns: *sorted.last().unwrap(),
+        }
+    }
+}
 
 /// Aggregate statistics of one simulation run.
-#[derive(Clone, Debug, PartialEq)]
+///
+/// Equality deliberately ignores [`Metrics::scheduler_latency`]: it is
+/// wall-clock noise, while everything else is a deterministic function of
+/// the seed (the determinism property tests rely on this).
+#[derive(Clone, Debug)]
 pub struct Metrics {
     /// Committed transactions.
     pub commits: u64,
@@ -20,17 +62,34 @@ pub struct Metrics {
     pub p95_latency: u64,
     /// Time-averaged number of in-flight transactions.
     pub mean_concurrency: f64,
+    /// Wall-clock cost of the scheduler's decisions (not part of `==`).
+    pub scheduler_latency: DecisionLatency,
+}
+
+impl PartialEq for Metrics {
+    fn eq(&self, other: &Self) -> bool {
+        self.commits == other.commits
+            && self.aborts == other.aborts
+            && self.blocked_events == other.blocked_events
+            && self.makespan == other.makespan
+            && self.throughput_per_kilotick == other.throughput_per_kilotick
+            && self.mean_latency == other.mean_latency
+            && self.p95_latency == other.p95_latency
+            && self.mean_concurrency == other.mean_concurrency
+    }
 }
 
 /// Builds [`Metrics`] from per-transaction observations.
 ///
-/// `spans` are `(arrival, commit)` tick pairs; `busy` is the running
-/// integral of in-flight transactions over time (Σ active·Δt).
+/// `spans` are `(arrival, commit)` tick pairs; `busy_integral` is the
+/// running integral of in-flight transactions over time (Σ active·Δt);
+/// `decision_ns` holds one wall-clock sample per `Scheduler::request`.
 pub fn summarize(
     spans: &[(u64, u64)],
     aborts: u64,
     blocked_events: u64,
     busy_integral: u64,
+    decision_ns: &[u64],
 ) -> Metrics {
     assert!(!spans.is_empty(), "no committed transactions to summarize");
     let first_arrival = spans.iter().map(|&(a, _)| a).min().unwrap_or(0);
@@ -49,6 +108,7 @@ pub fn summarize(
         mean_latency,
         p95_latency: latencies[p95_idx],
         mean_concurrency: busy_integral as f64 / makespan as f64,
+        scheduler_latency: DecisionLatency::from_samples(decision_ns),
     }
 }
 
@@ -56,7 +116,7 @@ impl std::fmt::Display for Metrics {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "commits={} aborts={} blocked={} makespan={} thru/kt={:.2} lat(mean)={:.1} lat(p95)={} conc={:.2}",
+            "commits={} aborts={} blocked={} makespan={} thru/kt={:.2} lat(mean)={:.1} lat(p95)={} conc={:.2} sched(mean)={:.0}ns sched(p95)={}ns",
             self.commits,
             self.aborts,
             self.blocked_events,
@@ -64,7 +124,9 @@ impl std::fmt::Display for Metrics {
             self.throughput_per_kilotick,
             self.mean_latency,
             self.p95_latency,
-            self.mean_concurrency
+            self.mean_concurrency,
+            self.scheduler_latency.mean_ns,
+            self.scheduler_latency.p95_ns,
         )
     }
 }
@@ -76,7 +138,7 @@ mod tests {
     #[test]
     fn basic_summary() {
         let spans = vec![(0, 10), (0, 20), (5, 25)];
-        let m = summarize(&spans, 2, 7, 40);
+        let m = summarize(&spans, 2, 7, 40, &[]);
         assert_eq!(m.commits, 3);
         assert_eq!(m.aborts, 2);
         assert_eq!(m.blocked_events, 7);
@@ -89,7 +151,7 @@ mod tests {
 
     #[test]
     fn single_txn_run() {
-        let m = summarize(&[(3, 9)], 0, 0, 6);
+        let m = summarize(&[(3, 9)], 0, 0, 6, &[]);
         assert_eq!(m.makespan, 6);
         assert_eq!(m.p95_latency, 6);
         assert_eq!(m.commits, 1);
@@ -97,21 +159,43 @@ mod tests {
 
     #[test]
     fn zero_span_clamps_makespan() {
-        let m = summarize(&[(5, 5)], 0, 0, 0);
+        let m = summarize(&[(5, 5)], 0, 0, 0, &[]);
         assert_eq!(m.makespan, 1);
     }
 
     #[test]
     #[should_panic(expected = "no committed transactions")]
     fn empty_spans_panic() {
-        summarize(&[], 0, 0, 0);
+        summarize(&[], 0, 0, 0, &[]);
     }
 
     #[test]
     fn display_contains_key_figures() {
-        let m = summarize(&[(0, 10)], 1, 2, 10);
+        let m = summarize(&[(0, 10)], 1, 2, 10, &[100, 200]);
         let s = m.to_string();
         assert!(s.contains("commits=1"));
         assert!(s.contains("aborts=1"));
+        assert!(s.contains("sched(mean)=150ns"));
+    }
+
+    #[test]
+    fn decision_latency_summary() {
+        let d = DecisionLatency::from_samples(&[100, 300, 200, 1000]);
+        assert_eq!(d.decisions, 4);
+        assert_eq!(d.total_ns, 1600);
+        assert!((d.mean_ns - 400.0).abs() < 1e-9);
+        assert_eq!(d.p95_ns, 1000);
+        assert_eq!(d.max_ns, 1000);
+        assert_eq!(
+            DecisionLatency::from_samples(&[]),
+            DecisionLatency::default()
+        );
+    }
+
+    #[test]
+    fn metrics_equality_ignores_wall_clock_latency() {
+        let a = summarize(&[(0, 10)], 0, 0, 10, &[100]);
+        let b = summarize(&[(0, 10)], 0, 0, 10, &[999_999]);
+        assert_eq!(a, b, "scheduler latency is not part of ==");
     }
 }

@@ -8,7 +8,7 @@ use relser_core::sg::is_conflict_serializable;
 use relser_core::spec::AtomicitySpec;
 use relser_protocols::altruistic::AltruisticLocking;
 use relser_protocols::chaos::ChaosScheduler;
-use relser_protocols::rsg_sgt::{RsgSgt, RsgSgtIncremental};
+use relser_protocols::rsg_sgt::{RsgSgt, RsgSgtOracle};
 use relser_protocols::sgt::ConflictSgt;
 use relser_protocols::two_pl::TwoPhaseLocking;
 use relser_protocols::unit_locking::UnitLocking;
@@ -94,7 +94,7 @@ proptest! {
         let ra = simulate(&txns, &mut a, &cfg).unwrap();
         prop_assert!(is_relatively_serializable(&txns, &ra.history, &spec));
 
-        let mut b = ChaosScheduler::new(RsgSgtIncremental::new(&txns, &spec), prob, seed);
+        let mut b = ChaosScheduler::new(RsgSgtOracle::new(&txns, &spec), prob, seed);
         let rb = simulate(&txns, &mut b, &cfg).unwrap();
         prop_assert!(is_relatively_serializable(&txns, &rb.history, &spec));
 
