@@ -6,7 +6,7 @@
 //! `BENCH_rsg_sgt.json` (in the working directory) so the perf trajectory
 //! of the incremental engine is tracked from PR to PR.
 
-use relser_bench::harness::{BenchmarkId, Harness};
+use relser_bench::harness::{git_commit, BenchmarkId, Harness};
 use relser_core::depends::DependsOn;
 use relser_protocols::driver::{run, RunConfig};
 use relser_protocols::rsg_sgt::{RsgSgt, RsgSgtOracle};
@@ -83,6 +83,13 @@ fn bench_depends_on(h: &mut Harness) {
 
 fn main() {
     let mut h = Harness::new("incremental");
+    // Provenance: which code and which workload produced these figures.
+    h.set_meta("git_commit", git_commit());
+    h.set_meta("workload", "long_lived");
+    h.set_meta("short_txns", SIZES.map(|s| s.to_string()).join(","));
+    h.set_meta("steps", 8);
+    h.set_meta("workload_seed", 19);
+    h.set_meta("driver_seed", 5);
     bench_incremental(&mut h);
     bench_depends_on(&mut h);
     // Anchor at the workspace root, not the bench cwd, so the tracked

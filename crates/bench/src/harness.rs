@@ -33,6 +33,7 @@ pub struct Measurement {
 pub struct Harness {
     name: String,
     measurements: Vec<Measurement>,
+    meta: Vec<(String, String)>,
 }
 
 impl Harness {
@@ -42,6 +43,19 @@ impl Harness {
         Harness {
             name: name.to_string(),
             measurements: Vec::new(),
+            meta: Vec::new(),
+        }
+    }
+
+    /// Records a provenance/configuration key for the JSON `meta` object
+    /// (git commit, workload parameters, thread counts, …). Keys keep
+    /// insertion order; setting an existing key overwrites its value.
+    pub fn set_meta(&mut self, key: &str, value: impl Display) {
+        let value = value.to_string();
+        if let Some(slot) = self.meta.iter_mut().find(|(k, _)| k == key) {
+            slot.1 = value;
+        } else {
+            self.meta.push((key.to_string(), value));
         }
     }
 
@@ -65,7 +79,23 @@ impl Harness {
     pub fn write_json(&self, path: &str) -> std::io::Result<()> {
         let mut out = String::from("{\n");
         out.push_str(&format!("  \"bench\": \"{}\",\n", self.name));
-        out.push_str("  \"unit\": \"ns_per_iter\",\n  \"results\": [\n");
+        out.push_str("  \"unit\": \"ns_per_iter\",\n");
+        out.push_str("  \"meta\": {");
+        for (i, (k, v)) in self.meta.iter().enumerate() {
+            let sep = if i + 1 == self.meta.len() { "" } else { "," };
+            out.push_str(&format!(
+                "\n    \"{}\": \"{}\"{}",
+                escape_json(k),
+                escape_json(v),
+                sep
+            ));
+        }
+        if self.meta.is_empty() {
+            out.push_str("},\n");
+        } else {
+            out.push_str("\n  },\n");
+        }
+        out.push_str("  \"results\": [\n");
         for (i, m) in self.measurements.iter().enumerate() {
             let sep = if i + 1 == self.measurements.len() {
                 ""
@@ -212,6 +242,48 @@ impl Bencher {
     }
 }
 
+/// The current git commit (short hash, `-dirty` suffixed when the tree
+/// has uncommitted changes), or `"unknown"` outside a git checkout —
+/// recorded into bench JSON so every figure is traceable to the code
+/// that produced it.
+pub fn git_commit() -> String {
+    let run = |args: &[&str]| {
+        std::process::Command::new("git")
+            .args(args)
+            .output()
+            .ok()
+            .filter(|o| o.status.success())
+            .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+    };
+    match run(&["rev-parse", "--short", "HEAD"]) {
+        Some(hash) if !hash.is_empty() => {
+            let dirty = run(&["status", "--porcelain"]).is_some_and(|s| !s.is_empty());
+            if dirty {
+                format!("{hash}-dirty")
+            } else {
+                hash
+            }
+        }
+        _ => "unknown".to_string(),
+    }
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 fn fmt_ns(ns: f64) -> String {
     if ns >= 1e9 {
         format!("{:.2} s", ns / 1e9)
@@ -250,5 +322,34 @@ mod tests {
         assert!(text.contains("\"id\": \"param/7\""));
         assert!(text.contains("\"bench\": \"selftest\""));
         std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn meta_is_written_and_escaped() {
+        let mut h = Harness::new("metatest");
+        h.set_meta("git_commit", git_commit());
+        h.set_meta("seed", 42);
+        h.set_meta("quoted", "a\"b");
+        h.set_meta("seed", 43); // overwrite, not duplicate
+        let mut g = h.group("g");
+        g.sample_size(3);
+        g.bench_function("noop", |b| b.iter(|| 1u32));
+        g.finish();
+
+        let path = std::env::temp_dir().join("relser_bench_metatest.json");
+        h.write_json(path.to_str().unwrap()).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"meta\": {"));
+        assert!(text.contains("\"git_commit\": \""));
+        assert!(text.contains("\"seed\": \"43\""));
+        assert!(!text.contains("\"seed\": \"42\""));
+        assert!(text.contains("\"quoted\": \"a\\\"b\""));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn git_commit_reports_something() {
+        let c = git_commit();
+        assert!(!c.is_empty());
     }
 }

@@ -70,7 +70,15 @@ pub enum Decision {
 /// granted prefix ends with either `commit` (after the last operation) or
 /// `abort`; after `abort`, the transaction may `begin` again (a restart
 /// replays the same operations).
-pub trait Scheduler {
+///
+/// `Send` is a supertrait so a scheduler can be moved into a dedicated
+/// admission thread (the single-writer core of `relser-server`). All
+/// access is `&mut self` — schedulers are single-writer by construction
+/// and never need `Sync` or internal locking. Every implementor in this
+/// crate is plain owned data (no `Rc`, no thread-local handles), so the
+/// bound is satisfied structurally; new implementors must keep it that
+/// way.
+pub trait Scheduler: Send {
     /// A short stable name for reports (e.g. `"2PL"`, `"RSG-SGT"`).
     fn name(&self) -> &'static str;
 

@@ -1,0 +1,100 @@
+//! Single-thread driver-style baseline for the throughput comparison.
+//!
+//! Runs the same arrival order through the same scheduler and performs
+//! the same simulated per-operation work as the concurrent server — but
+//! on one thread, one transaction at a time, start to commit. This is
+//! the fair yardstick for `BENCH_server.json`: the only thing the server
+//! adds is concurrency, so `server_ops_per_sec / baseline_ops_per_sec`
+//! is a pure concurrency speedup, not a workload change.
+
+use relser_core::ids::OpId;
+use relser_core::schedule::Schedule;
+use relser_core::txn::TxnSet;
+use relser_protocols::{Decision, Scheduler};
+use relser_workload::stream::RequestStream;
+use std::time::{Duration, Instant};
+
+/// Result of a [`run_baseline`] pass.
+#[derive(Debug)]
+pub struct BaselineRun {
+    /// The committed history (grant order; trivially serial here).
+    pub history: Schedule,
+    /// Wall-clock duration.
+    pub elapsed: Duration,
+    /// Scheduler-initiated aborts encountered (each restarted the txn).
+    pub aborts: u64,
+}
+
+impl BaselineRun {
+    /// Committed operations per wall-clock second.
+    pub fn ops_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.history.len() as f64 / secs
+        }
+    }
+}
+
+/// Runs every transaction to commit on the calling thread, in stream
+/// order, sleeping `op_work_ns` after each grant (the same simulated
+/// record-access latency the server's sessions incur).
+///
+/// One transaction runs at a time, so a blocking scheduler can never
+/// block it (there is no one to wait for) and a certifying scheduler can
+/// never abort it — but both cases are still handled for robustness.
+///
+/// # Panics
+///
+/// Panics if a transaction aborts 1000 times (a serial run aborting at
+/// all indicates a scheduler bug).
+pub fn run_baseline(
+    txns: &TxnSet,
+    scheduler: &mut dyn Scheduler,
+    stream: &RequestStream,
+    op_work_ns: u64,
+) -> BaselineRun {
+    let mut log: Vec<OpId> = Vec::new();
+    let mut aborts = 0u64;
+    let t0 = Instant::now();
+    while let Some(txn) = stream.next() {
+        let n_ops = txns.txn(txn).len();
+        'incarnation: loop {
+            assert!(aborts < 1000, "serial run keeps aborting: scheduler bug");
+            scheduler.begin(txn);
+            for index in 0..n_ops {
+                let op = OpId {
+                    txn,
+                    index: index as u32,
+                };
+                match scheduler.request(op) {
+                    Decision::Granted => {
+                        if op_work_ns > 0 {
+                            std::thread::sleep(Duration::from_nanos(op_work_ns));
+                        }
+                    }
+                    Decision::Blocked { on } => {
+                        unreachable!("serial run blocked on {on:?}: nothing else is running")
+                    }
+                    Decision::Aborted(_) => {
+                        aborts += 1;
+                        scheduler.abort(txn);
+                        log.retain(|o| o.txn != txn);
+                        continue 'incarnation;
+                    }
+                }
+                log.push(op);
+            }
+            scheduler.commit(txn);
+            break;
+        }
+    }
+    let elapsed = t0.elapsed();
+    let history = Schedule::new(txns, log).expect("serial grant order is a valid schedule");
+    BaselineRun {
+        history,
+        elapsed,
+        aborts,
+    }
+}

@@ -1,0 +1,321 @@
+//! The single-writer admission core.
+//!
+//! Exactly one thread owns the [`Scheduler`]; every state transition —
+//! begin, operation request, commit, abort — arrives as a [`Command`]
+//! over the bounded queue and is applied in queue order. That order is
+//! the **serialization point** of the whole service: concurrent client
+//! threads race only to enqueue, and whatever order the queue fixes is
+//! the order the scheduler sees. Recording that order (the *trace*) is
+//! therefore enough to replay any concurrent run deterministically on a
+//! single thread — see [`crate::replay`].
+//!
+//! The core drains commands in batches (up to `batch_max` per queue lock
+//! acquisition) so queue traffic is amortized under load, and it answers
+//! each operation request through a one-shot [`Reply`] cell. After every
+//! state *change* (grant, abort, commit — not a mere block) it bumps the
+//! shared [`Progress`] epoch, which wakes blocked sessions to retry.
+
+use crate::queue::BoundedQueue;
+use relser_core::ids::{OpId, TxnId};
+use relser_protocols::{Decision, Scheduler};
+use relser_simdb::metrics::LatencyHistogram;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// One client-visible event in core order — the unit of deterministic
+/// replay. A concurrent run is fully described by its trace because the
+/// single-writer core applies commands sequentially.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// `begin(txn)` was applied (a new incarnation started).
+    Begin(TxnId),
+    /// `request(op)` was applied and answered with the given decision.
+    /// A recorded `Aborted` decision implies the core immediately applied
+    /// `abort(op.txn)` as well.
+    Decision(OpId, Decision),
+    /// `commit(txn)` was applied.
+    Commit(TxnId),
+    /// A session-initiated `abort(txn)` was applied (waits-for timeout).
+    Abort(TxnId),
+}
+
+/// A one-shot reply cell: the core fills it once, the session waits on it.
+#[derive(Clone)]
+pub struct Reply {
+    cell: Arc<(Mutex<Option<Decision>>, Condvar)>,
+}
+
+impl Reply {
+    /// An empty cell.
+    pub fn new() -> Self {
+        Reply {
+            cell: Arc::new((Mutex::new(None), Condvar::new())),
+        }
+    }
+
+    /// Fills the cell and wakes the waiter. Must be called exactly once.
+    pub fn fill(&self, decision: Decision) {
+        let (slot, cv) = &*self.cell;
+        let mut guard = slot.lock().expect("reply lock");
+        debug_assert!(guard.is_none(), "reply filled twice");
+        *guard = Some(decision);
+        drop(guard);
+        cv.notify_all();
+    }
+
+    /// Blocks until the cell is filled. A generous watchdog panics after
+    /// 60 s — a reply can only go missing if the admission core died, and
+    /// hanging forever would mask that bug in tests.
+    pub fn wait(&self) -> Decision {
+        let (slot, cv) = &*self.cell;
+        let mut guard = slot.lock().expect("reply lock");
+        let deadline = Instant::now() + Duration::from_secs(60);
+        loop {
+            if let Some(d) = guard.take() {
+                return d;
+            }
+            let now = Instant::now();
+            assert!(
+                now < deadline,
+                "no reply from the admission core within 60s (core died?)"
+            );
+            let (g, _) = cv.wait_timeout(guard, deadline - now).expect("reply lock");
+            guard = g;
+        }
+    }
+}
+
+impl Default for Reply {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A monotone epoch counter sessions wait on: the core bumps it after
+/// every scheduler state change, waking blocked sessions to retry their
+/// request (wait/wake bookkeeping without per-lock wait queues).
+pub struct Progress {
+    epoch: Mutex<u64>,
+    cv: Condvar,
+}
+
+impl Progress {
+    /// Epoch 0.
+    pub fn new() -> Self {
+        Progress {
+            epoch: Mutex::new(0),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// The current epoch.
+    pub fn current(&self) -> u64 {
+        *self.epoch.lock().expect("progress lock")
+    }
+
+    /// Advances the epoch and wakes all waiters.
+    pub fn bump(&self) {
+        let mut e = self.epoch.lock().expect("progress lock");
+        *e += 1;
+        drop(e);
+        self.cv.notify_all();
+    }
+
+    /// Waits until the epoch exceeds `seen` or `timeout` elapses;
+    /// returns the epoch observed on exit.
+    pub fn wait_past(&self, seen: u64, timeout: Duration) -> u64 {
+        let deadline = Instant::now() + timeout;
+        let mut e = self.epoch.lock().expect("progress lock");
+        while *e <= seen {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let (g, _) = self
+                .cv
+                .wait_timeout(e, deadline - now)
+                .expect("progress lock");
+            e = g;
+        }
+        *e
+    }
+}
+
+impl Default for Progress {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A state transition submitted to the admission core.
+pub enum Command {
+    /// A transaction (incarnation) starts.
+    Begin(TxnId),
+    /// An operation request; the decision comes back through `reply`.
+    Request {
+        /// The requested operation.
+        op: OpId,
+        /// When the session enqueued the command (admission latency
+        /// measurement: queue wait + decision time).
+        enqueued: Instant,
+        /// Where the decision is delivered.
+        reply: Reply,
+    },
+    /// The transaction commits (all operations were granted).
+    Commit(TxnId),
+    /// Session-initiated abort (waits-for timeout fired while blocked).
+    Abort(TxnId),
+}
+
+/// Everything the core accumulated over one run.
+#[derive(Debug, Default)]
+pub struct CoreOutput {
+    /// Granted operations of live/committed incarnations, grant order.
+    /// After a clean run (everything committed) this is the committed
+    /// history.
+    pub log: Vec<OpId>,
+    /// The replayable event trace (empty unless trace recording is on).
+    pub trace: Vec<TraceEvent>,
+    /// Commands processed.
+    pub commands: u64,
+    /// Batches drained (commands / batches = achieved batching).
+    pub batches: u64,
+    /// Largest single batch.
+    pub max_batch: usize,
+    /// Requests answered `Granted`.
+    pub grants: u64,
+    /// Requests answered `Blocked`.
+    pub blocked: u64,
+    /// Scheduler-initiated aborts (`Decision::Aborted`).
+    pub aborts: u64,
+    /// Session-initiated aborts (waits-for timeouts).
+    pub timeout_aborts: u64,
+    /// Commits applied.
+    pub commits: u64,
+    /// Wall-clock nanoseconds of each `Scheduler::request` call.
+    pub decision_ns: Vec<u64>,
+    /// Enqueue→decision latency (queue wait + decision) histogram.
+    pub admission: LatencyHistogram,
+}
+
+/// Runs the admission core until the queue is closed and drained.
+/// `scheduler` is owned by this call — the single-writer discipline is
+/// enforced by construction, which is why [`Scheduler`] needs `Send` but
+/// never `Sync`.
+pub fn run_core(
+    mut scheduler: Box<dyn Scheduler + Send + '_>,
+    queue: &BoundedQueue<Command>,
+    progress: &Progress,
+    batch_max: usize,
+    record_trace: bool,
+) -> CoreOutput {
+    let mut out = CoreOutput::default();
+    let mut batch: Vec<Command> = Vec::with_capacity(batch_max);
+    while queue.pop_batch(batch_max, &mut batch) {
+        out.batches += 1;
+        out.max_batch = out.max_batch.max(batch.len());
+        let mut changed = false;
+        for cmd in batch.drain(..) {
+            out.commands += 1;
+            match cmd {
+                Command::Begin(txn) => {
+                    scheduler.begin(txn);
+                    if record_trace {
+                        out.trace.push(TraceEvent::Begin(txn));
+                    }
+                }
+                Command::Request {
+                    op,
+                    enqueued,
+                    reply,
+                } => {
+                    let t0 = Instant::now();
+                    let decision = scheduler.request(op);
+                    out.decision_ns.push(t0.elapsed().as_nanos() as u64);
+                    out.admission.record(enqueued.elapsed().as_nanos() as u64);
+                    match &decision {
+                        Decision::Granted => {
+                            out.grants += 1;
+                            out.log.push(op);
+                            changed = true;
+                        }
+                        Decision::Blocked { .. } => {
+                            out.blocked += 1;
+                        }
+                        Decision::Aborted(_) => {
+                            // The abort is applied here, inside the core,
+                            // so the scheduler state transition and the
+                            // log purge are atomic w.r.t. other commands.
+                            out.aborts += 1;
+                            scheduler.abort(op.txn);
+                            out.log.retain(|o| o.txn != op.txn);
+                            changed = true;
+                        }
+                    }
+                    if record_trace {
+                        out.trace.push(TraceEvent::Decision(op, decision.clone()));
+                    }
+                    reply.fill(decision);
+                }
+                Command::Commit(txn) => {
+                    scheduler.commit(txn);
+                    out.commits += 1;
+                    changed = true;
+                    if record_trace {
+                        out.trace.push(TraceEvent::Commit(txn));
+                    }
+                }
+                Command::Abort(txn) => {
+                    scheduler.abort(txn);
+                    out.log.retain(|o| o.txn != txn);
+                    out.timeout_aborts += 1;
+                    changed = true;
+                    if record_trace {
+                        out.trace.push(TraceEvent::Abort(txn));
+                    }
+                }
+            }
+        }
+        // One bump per batch, not per command: waking blocked sessions is
+        // only useful after the batch's state changes are all applied.
+        if changed {
+            progress.bump();
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn reply_roundtrip() {
+        let r = Reply::new();
+        let waiter = r.clone();
+        let h = std::thread::spawn(move || waiter.wait());
+        std::thread::sleep(Duration::from_millis(5));
+        r.fill(Decision::Granted);
+        assert_eq!(h.join().unwrap(), Decision::Granted);
+    }
+
+    #[test]
+    fn progress_wait_past_times_out() {
+        let p = Progress::new();
+        let e = p.wait_past(0, Duration::from_millis(5));
+        assert_eq!(e, 0, "no bump: timeout returns the old epoch");
+        p.bump();
+        assert_eq!(p.wait_past(0, Duration::from_millis(5)), 1);
+    }
+
+    #[test]
+    fn progress_wakes_waiters() {
+        let p = std::sync::Arc::new(Progress::new());
+        let p2 = std::sync::Arc::clone(&p);
+        let h = std::thread::spawn(move || p2.wait_past(0, Duration::from_secs(10)));
+        std::thread::sleep(Duration::from_millis(5));
+        p.bump();
+        assert_eq!(h.join().unwrap(), 1);
+    }
+}

@@ -1,0 +1,71 @@
+//! # relser-server — a concurrent transaction service over the RSG core
+//!
+//! Everything below `crates/server` in this workspace is single-threaded:
+//! the driver and simulator own the whole transaction set and call the
+//! scheduler inline. This crate turns the same
+//! [`Scheduler`](relser_protocols::Scheduler) machinery —
+//! including the incremental RSG-SGT engine — into a **service**: N
+//! client worker threads open sessions and submit read/write/commit/abort
+//! requests concurrently, while a *single-writer admission core* owns the
+//! scheduler and drains a bounded command queue in batches.
+//!
+//! The architecture, bottom to top:
+//!
+//! * [`queue`] — bounded MPSC command queue with backpressure
+//!   ([`OverloadPolicy::Wait`]) or load-shedding ([`OverloadPolicy::Shed`])
+//!   and batch draining on the consumer side;
+//! * [`core`] — the admission loop: applies commands in queue order
+//!   (the run's serialization point), answers requests through one-shot
+//!   [`core::Reply`] cells, bumps a [`core::Progress`] epoch after every
+//!   state change, and optionally records a [`TraceEvent`] log;
+//! * [`session`] — the client protocol: program-order requests,
+//!   block/retry on progress epochs, waits-for-based abort timeouts, and
+//!   restart-on-abort, exactly mirroring the single-threaded driver
+//!   discipline;
+//! * [`server`] — [`serve`] wires it all together with `thread::scope`
+//!   and returns the committed history as a validated
+//!   [`Schedule`](relser_core::schedule::Schedule) plus [`ServerMetrics`];
+//!   [`replay`] re-executes a recorded trace
+//!   deterministically on one thread;
+//! * [`baseline`] — the single-thread yardstick for throughput speedups.
+//!
+//! ## The headline invariant
+//!
+//! Whatever interleaving the threads produce, the committed history must
+//! be *relatively serializable*: re-validating it offline with
+//! `Rsg::build(&txns, &run.history, &spec).is_acyclic()` must succeed.
+//! The stress tests in `tests/stress.rs` check exactly that, across
+//! schedulers, seeds, and thread counts.
+//!
+//! ```
+//! use relser_core::rsg::Rsg;
+//! use relser_protocols::rsg_sgt::RsgSgt;
+//! use relser_server::{serve, ServerConfig};
+//! use relser_workload::banking::{banking, BankingConfig};
+//!
+//! let scenario = banking(&BankingConfig::default(), 42);
+//! let scheduler = RsgSgt::new(&scenario.txns, &scenario.spec);
+//! let cfg = ServerConfig { workers: 4, seed: 7, ..ServerConfig::default() };
+//! let run = serve(&scenario.txns, Box::new(scheduler), &cfg).unwrap();
+//! let rsg = Rsg::build(&scenario.txns, &run.history, &scenario.spec);
+//! assert!(rsg.is_acyclic(), "committed history is relatively serializable");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod core;
+pub mod metrics;
+pub mod queue;
+pub mod server;
+pub mod session;
+
+pub use baseline::{run_baseline, BaselineRun};
+pub use core::TraceEvent;
+pub use metrics::ServerMetrics;
+pub use queue::{BoundedQueue, PushError, QueueStats};
+pub use server::{
+    replay, serve, serve_stream, ReplayMismatch, ServerConfig, ServerError, ServerRun,
+};
+pub use session::{OverloadPolicy, SessionError, SessionStats};

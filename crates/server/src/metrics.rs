@@ -1,0 +1,114 @@
+//! Aggregated service metrics for one [`crate::serve`] run.
+
+use crate::queue::QueueStats;
+use relser_simdb::metrics::{DecisionLatency, LatencyHistogram};
+use std::fmt;
+use std::time::Duration;
+
+/// Everything measured during one server run: throughput, queue
+/// behaviour, admission latency, and abort/shed accounting. Serialized
+/// into `BENCH_server.json` by the bench harness.
+#[derive(Clone, Debug, Default)]
+pub struct ServerMetrics {
+    /// Worker (session) threads.
+    pub workers: usize,
+    /// Transactions committed.
+    pub commits: u64,
+    /// Scheduler-initiated aborts (each restarted the incarnation).
+    pub aborts: u64,
+    /// Session-initiated aborts (waits-for timeout while blocked).
+    pub timeout_aborts: u64,
+    /// Requests shed by the overload policy (each retried later).
+    pub sheds: u64,
+    /// Operation requests answered (grants + blocks + aborts).
+    pub requests: u64,
+    /// Requests granted.
+    pub grants: u64,
+    /// Requests answered `Blocked`.
+    pub blocked: u64,
+    /// Total commands the core processed.
+    pub commands: u64,
+    /// Queue batches the core drained.
+    pub batches: u64,
+    /// Largest batch drained at once.
+    pub max_batch: usize,
+    /// Queue depth statistics (at push time).
+    pub queue: QueueStats,
+    /// Pure `Scheduler::request` decision cost (host ns).
+    pub decision: DecisionLatency,
+    /// Admission latency: enqueue → decision (queue wait + decision).
+    pub admission: LatencyHistogram,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+    /// Operations in the committed history.
+    pub committed_ops: u64,
+}
+
+impl ServerMetrics {
+    /// Committed operations per wall-clock second.
+    pub fn ops_per_sec(&self) -> f64 {
+        per_sec(self.committed_ops, self.elapsed)
+    }
+
+    /// Committed transactions per wall-clock second.
+    pub fn txns_per_sec(&self) -> f64 {
+        per_sec(self.commits, self.elapsed)
+    }
+
+    /// Mean commands per drained batch (hot-path batching factor).
+    pub fn mean_batch(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.commands as f64 / self.batches as f64
+        }
+    }
+}
+
+fn per_sec(n: u64, elapsed: Duration) -> f64 {
+    let secs = elapsed.as_secs_f64();
+    if secs <= 0.0 {
+        0.0
+    } else {
+        n as f64 / secs
+    }
+}
+
+impl fmt::Display for ServerMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "workers={} commits={} ops={} elapsed={:.1?}",
+            self.workers, self.commits, self.committed_ops, self.elapsed
+        )?;
+        writeln!(
+            f,
+            "throughput: {:.0} ops/s, {:.0} txns/s",
+            self.ops_per_sec(),
+            self.txns_per_sec()
+        )?;
+        writeln!(
+            f,
+            "admission: requests={} grants={} blocked={} aborts={} timeout_aborts={} sheds={}",
+            self.requests, self.grants, self.blocked, self.aborts, self.timeout_aborts, self.sheds
+        )?;
+        writeln!(
+            f,
+            "queue: max_depth={} mean_depth={:.2} batches={} mean_batch={:.2} max_batch={}",
+            self.queue.max_depth,
+            self.queue.mean_depth,
+            self.batches,
+            self.mean_batch(),
+            self.max_batch
+        )?;
+        writeln!(
+            f,
+            "decision: mean={:.0}ns p95={}ns max={}ns (n={})",
+            self.decision.mean_ns,
+            self.decision.p95_ns,
+            self.decision.max_ns,
+            self.decision.decisions
+        )?;
+        write!(f, "admission latency: {}", self.admission)
+    }
+}

@@ -1,0 +1,296 @@
+//! Run orchestration: wire a scheduler, a command queue, an admission
+//! core thread, and N session threads together; return the committed
+//! history plus metrics (and optionally a deterministic-replay trace).
+
+use crate::core::{run_core, Command, Progress, TraceEvent};
+use crate::metrics::ServerMetrics;
+use crate::queue::BoundedQueue;
+use crate::session::{run_txn, OverloadPolicy, SessionCtx, SessionError, SessionStats};
+use relser_core::ids::{OpId, TxnId};
+use relser_core::schedule::Schedule;
+use relser_core::txn::TxnSet;
+use relser_protocols::{Decision, Scheduler};
+use relser_simdb::metrics::DecisionLatency;
+use relser_workload::stream::RequestStream;
+use std::fmt;
+use std::sync::atomic::AtomicU64;
+use std::time::{Duration, Instant};
+
+/// Tunables for one [`serve`] run.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Session (client worker) threads.
+    pub workers: usize,
+    /// Command queue capacity (backpressure threshold).
+    pub queue_capacity: usize,
+    /// Max commands the core drains per queue lock acquisition.
+    pub batch_max: usize,
+    /// What sessions do when the queue is full.
+    pub policy: OverloadPolicy,
+    /// Self-abort after being blocked on an unchanged waits-for set
+    /// this long (deadlock resolution for blocking schedulers).
+    pub block_timeout: Duration,
+    /// One epoch-wait slice while blocked (upper bound).
+    pub retry_slice: Duration,
+    /// Backoff before restarting an aborted incarnation.
+    pub restart_backoff: Duration,
+    /// Simulated record-access latency per granted operation, in
+    /// nanoseconds — slept, not spun, so it models I/O-bound work that
+    /// sessions overlap (the thing the concurrent service parallelizes).
+    pub op_work_ns: u64,
+    /// Livelock guard: give up after this many incarnations of one txn.
+    pub max_attempts: u32,
+    /// Record a [`TraceEvent`] log for deterministic replay.
+    pub record_trace: bool,
+    /// Seed for the arrival order (see [`RequestStream::shuffled`]).
+    pub seed: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 8,
+            queue_capacity: 1024,
+            batch_max: 64,
+            policy: OverloadPolicy::Wait,
+            block_timeout: Duration::from_millis(100),
+            retry_slice: Duration::from_millis(1),
+            restart_backoff: Duration::from_micros(200),
+            op_work_ns: 0,
+            max_attempts: 10_000,
+            record_trace: false,
+            seed: 0,
+        }
+    }
+}
+
+/// Why a run failed as a whole.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServerError {
+    /// A transaction exceeded its incarnation budget.
+    Livelock(TxnId),
+    /// The service shut down before all transactions committed
+    /// (another session failed, closing the queue).
+    Shutdown,
+    /// The committed log is not a valid schedule — a service bug, never
+    /// expected; carried instead of panicking so tests report it nicely.
+    InvalidHistory(String),
+}
+
+impl fmt::Display for ServerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServerError::Livelock(t) => write!(f, "transaction {t:?} exceeded its attempt budget"),
+            ServerError::Shutdown => write!(f, "service shut down before completion"),
+            ServerError::InvalidHistory(m) => write!(f, "committed log is not a schedule: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+/// A completed run: the committed history (every transaction committed
+/// exactly once), the metrics, and — when requested — the replay trace.
+#[derive(Debug)]
+pub struct ServerRun {
+    /// The committed history in grant order. Re-validate it offline with
+    /// `Rsg::build(txns, &history, spec).is_acyclic()`.
+    pub history: Schedule,
+    /// Aggregated service metrics.
+    pub metrics: ServerMetrics,
+    /// Core-order event trace (empty unless `record_trace` was set).
+    pub trace: Vec<TraceEvent>,
+}
+
+/// Serves a transaction set to completion with a seeded-shuffle arrival
+/// order. See [`serve_stream`] for the general form.
+pub fn serve(
+    txns: &TxnSet,
+    scheduler: Box<dyn Scheduler + Send + '_>,
+    cfg: &ServerConfig,
+) -> Result<ServerRun, ServerError> {
+    let stream = RequestStream::shuffled(txns, cfg.seed);
+    serve_stream(txns, &stream, scheduler, cfg)
+}
+
+/// Serves every transaction in `stream` to commit.
+///
+/// `cfg.workers` session threads claim arrivals from the stream and run
+/// the client protocol ([`run_txn`]); one admission core thread owns the
+/// scheduler and applies commands in queue order ([`run_core`]). The
+/// function returns when every transaction has committed (or the first
+/// session gives up, which closes the queue and unwinds the rest).
+pub fn serve_stream(
+    txns: &TxnSet,
+    stream: &RequestStream,
+    scheduler: Box<dyn Scheduler + Send + '_>,
+    cfg: &ServerConfig,
+) -> Result<ServerRun, ServerError> {
+    assert!(cfg.workers >= 1, "need at least one worker");
+    let queue: BoundedQueue<Command> = BoundedQueue::new(cfg.queue_capacity);
+    let progress = Progress::new();
+    let sheds = AtomicU64::new(0);
+    let t0 = Instant::now();
+
+    let (core_out, sessions) = std::thread::scope(|s| {
+        let queue = &queue;
+        let progress = &progress;
+        let sheds = &sheds;
+        let core =
+            s.spawn(move || run_core(scheduler, queue, progress, cfg.batch_max, cfg.record_trace));
+        let mut workers = Vec::with_capacity(cfg.workers);
+        for _ in 0..cfg.workers {
+            workers.push(s.spawn(move || {
+                let ctx = SessionCtx {
+                    queue,
+                    progress,
+                    txns,
+                    policy: cfg.policy,
+                    block_timeout: cfg.block_timeout,
+                    retry_slice: cfg.retry_slice,
+                    restart_backoff: cfg.restart_backoff,
+                    op_work_ns: cfg.op_work_ns,
+                    max_attempts: cfg.max_attempts,
+                    sheds,
+                };
+                let mut stats = SessionStats::default();
+                let mut failure = None;
+                while let Some(txn) = stream.next() {
+                    if let Err(e) = run_txn(&ctx, txn, &mut stats) {
+                        failure = Some(e);
+                        break;
+                    }
+                }
+                if failure.is_some() {
+                    // Wake every blocked session and the core so the run
+                    // unwinds instead of hanging.
+                    queue.close();
+                }
+                (stats, failure)
+            }));
+        }
+        let sessions: Vec<(SessionStats, Option<SessionError>)> = workers
+            .into_iter()
+            .map(|h| h.join().expect("session thread panicked"))
+            .collect();
+        queue.close();
+        let core_out = core.join().expect("admission core panicked");
+        (core_out, sessions)
+    });
+    let elapsed = t0.elapsed();
+
+    // Surface the most informative failure: a livelock names its culprit;
+    // shutdowns are downstream collateral.
+    let mut failure: Option<ServerError> = None;
+    for (_, err) in &sessions {
+        match err {
+            Some(SessionError::Livelock(t)) => {
+                failure = Some(ServerError::Livelock(*t));
+                break;
+            }
+            Some(SessionError::Shutdown) if failure.is_none() => {
+                failure = Some(ServerError::Shutdown);
+            }
+            _ => {}
+        }
+    }
+    if let Some(e) = failure {
+        return Err(e);
+    }
+
+    let history = Schedule::new(txns, core_out.log.clone())
+        .map_err(|e| ServerError::InvalidHistory(e.to_string()))?;
+
+    let metrics = ServerMetrics {
+        workers: cfg.workers,
+        commits: core_out.commits,
+        aborts: core_out.aborts,
+        timeout_aborts: core_out.timeout_aborts,
+        sheds: sheds.into_inner(),
+        requests: core_out.grants + core_out.blocked + core_out.aborts,
+        grants: core_out.grants,
+        blocked: core_out.blocked,
+        commands: core_out.commands,
+        batches: core_out.batches,
+        max_batch: core_out.max_batch,
+        queue: queue.stats(),
+        decision: DecisionLatency::from_samples(&core_out.decision_ns),
+        admission: core_out.admission,
+        elapsed,
+        committed_ops: history.len() as u64,
+    };
+
+    Ok(ServerRun {
+        history,
+        metrics,
+        trace: core_out.trace,
+    })
+}
+
+/// A replay diverged from its trace: the scheduler answered differently
+/// than it did during the recorded run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReplayMismatch {
+    /// Index of the diverging event in the trace.
+    pub at: usize,
+    /// The decision the trace recorded.
+    pub expected: Decision,
+    /// The decision the fresh scheduler produced.
+    pub got: Decision,
+}
+
+impl fmt::Display for ReplayMismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "replay diverged at event {}: recorded {:?}, got {:?}",
+            self.at, self.expected, self.got
+        )
+    }
+}
+
+impl std::error::Error for ReplayMismatch {}
+
+/// Deterministic replay: feeds a recorded trace through a **fresh**
+/// scheduler on a single thread, checking that every decision comes out
+/// exactly as recorded. Because the single-writer core applied commands
+/// sequentially, the trace fully determines scheduler state — so replay
+/// succeeding means the concurrent run is reproducible (and debuggable)
+/// offline. Returns the reconstructed committed log.
+pub fn replay(
+    scheduler: &mut dyn Scheduler,
+    trace: &[TraceEvent],
+) -> Result<Vec<OpId>, ReplayMismatch> {
+    let mut log: Vec<OpId> = Vec::new();
+    for (at, event) in trace.iter().enumerate() {
+        match event {
+            TraceEvent::Begin(txn) => scheduler.begin(*txn),
+            TraceEvent::Decision(op, expected) => {
+                let got = scheduler.request(*op);
+                if got != *expected {
+                    return Err(ReplayMismatch {
+                        at,
+                        expected: expected.clone(),
+                        got,
+                    });
+                }
+                match got {
+                    Decision::Granted => log.push(*op),
+                    Decision::Blocked { .. } => {}
+                    Decision::Aborted(_) => {
+                        // Mirror the core: the abort was applied with the
+                        // decision, atomically.
+                        scheduler.abort(op.txn);
+                        log.retain(|o| o.txn != op.txn);
+                    }
+                }
+            }
+            TraceEvent::Commit(txn) => scheduler.commit(*txn),
+            TraceEvent::Abort(txn) => {
+                scheduler.abort(*txn);
+                log.retain(|o| o.txn != *txn);
+            }
+        }
+    }
+    Ok(log)
+}

@@ -1,0 +1,226 @@
+//! Client sessions: the worker-thread side of the service protocol.
+//!
+//! A session runs one transaction at a time through the full driver
+//! discipline the rest of the repo assumes: `begin`, then every operation
+//! in **program order**, then `commit` — restarting the whole incarnation
+//! from its first operation whenever the scheduler aborts it. Sessions
+//! never touch the scheduler; they only enqueue [`Command`]s and wait on
+//! [`Reply`] cells, so any number of them can run concurrently against
+//! the single-writer core.
+//!
+//! Two liveness mechanisms live here:
+//!
+//! * **Block/retry with progress epochs.** A `Blocked` decision does not
+//!   park the session on a lock queue (the scheduler has none the session
+//!   can see); instead the session sleeps until the core's progress epoch
+//!   advances — i.e. until *some* grant, commit, or abort changed the
+//!   state — then re-submits the same operation.
+//! * **Waits-for-based timeout.** The session tracks *which* transactions
+//!   it has been waiting on (the `on` set of the `Blocked` decision). The
+//!   abort timer starts only when that set stabilizes and resets whenever
+//!   it changes, so a transaction making slow-but-real progress behind a
+//!   busy peer is not shot down; one stuck behind the *same* peers for a
+//!   full `block_timeout` aborts itself and restarts. This is deadlock
+//!   resolution for blocking schedulers (2PL) that the RSG protocols
+//!   never need (they abort instead of blocking).
+
+use crate::core::{Command, Progress, Reply};
+use crate::queue::{BoundedQueue, PushError};
+use relser_core::ids::{OpId, TxnId};
+use relser_core::txn::TxnSet;
+use relser_protocols::Decision;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// What a worker does when the command queue is full.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OverloadPolicy {
+    /// Block until the queue has room (backpressure; nothing is lost).
+    Wait,
+    /// Shed the request: back off and retry later, counting the shed.
+    /// Only operation requests are ever shed — `begin`/`commit`/`abort`
+    /// always wait, because dropping one would corrupt the protocol.
+    Shed,
+}
+
+/// Why a session gave up (the run as a whole then shuts down).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SessionError {
+    /// The command queue closed underneath the session (another worker
+    /// failed, or the server is shutting down).
+    Shutdown,
+    /// A transaction exceeded the per-transaction attempt budget.
+    Livelock(TxnId),
+}
+
+/// Per-session counters, merged into [`crate::ServerMetrics`] at the end.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SessionStats {
+    /// Transactions this session committed.
+    pub commits: u64,
+    /// Incarnations restarted after a scheduler-initiated abort.
+    pub restarts: u64,
+    /// Incarnations this session aborted itself (waits-for timeout).
+    pub timeout_aborts: u64,
+    /// Requests shed by the overload policy (then retried).
+    pub sheds: u64,
+    /// Granted operations executed (simulated work performed).
+    pub ops_executed: u64,
+}
+
+/// Everything a session needs, shared across all workers of one run.
+pub struct SessionCtx<'a> {
+    /// The command queue into the admission core.
+    pub queue: &'a BoundedQueue<Command>,
+    /// The core's progress epoch (block/retry wakeups).
+    pub progress: &'a Progress,
+    /// The transaction set (program order source).
+    pub txns: &'a TxnSet,
+    /// Overload policy for operation requests.
+    pub policy: OverloadPolicy,
+    /// Abort after waiting on an unchanged waits-for set this long.
+    pub block_timeout: Duration,
+    /// Upper bound on one epoch-wait slice while blocked.
+    pub retry_slice: Duration,
+    /// Sleep before re-beginning an aborted incarnation.
+    pub restart_backoff: Duration,
+    /// Simulated record-access latency per granted operation (slept,
+    /// not spun — see [`SessionCtx::do_op_work`]).
+    pub op_work_ns: u64,
+    /// Give up on a transaction after this many incarnations.
+    pub max_attempts: u32,
+    /// Shared shed counter (all sessions of the run).
+    pub sheds: &'a AtomicU64,
+}
+
+impl SessionCtx<'_> {
+    /// Enqueues a command that must not be lost (begin/commit/abort —
+    /// and requests under the `Wait` policy).
+    fn send(&self, cmd: Command) -> Result<(), SessionError> {
+        self.queue
+            .push_wait(cmd)
+            .map_err(|_| SessionError::Shutdown)
+    }
+
+    /// Enqueues an operation request under the configured policy.
+    fn send_request(
+        &self,
+        op: OpId,
+        reply: Reply,
+        stats: &mut SessionStats,
+    ) -> Result<(), SessionError> {
+        let mut cmd = Command::Request {
+            op,
+            enqueued: Instant::now(),
+            reply,
+        };
+        loop {
+            match self.policy {
+                OverloadPolicy::Wait => return self.send(cmd),
+                OverloadPolicy::Shed => match self.queue.try_push(cmd) {
+                    Ok(()) => return Ok(()),
+                    Err(PushError::Closed(_)) => return Err(SessionError::Shutdown),
+                    Err(PushError::Full(back)) => {
+                        stats.sheds += 1;
+                        self.sheds.fetch_add(1, Ordering::Relaxed);
+                        std::thread::sleep(self.retry_slice);
+                        // Refresh the enqueue timestamp: the shed-and-retry
+                        // delay is client-side, not admission latency.
+                        cmd = match back {
+                            Command::Request { op, reply, .. } => Command::Request {
+                                op,
+                                enqueued: Instant::now(),
+                                reply,
+                            },
+                            other => other,
+                        };
+                    }
+                },
+            }
+        }
+    }
+
+    /// Simulates executing the granted operation: sleeps for
+    /// `op_work_ns`, modelling I/O-bound record access. Sleeping (not
+    /// spinning) is what makes the work overlappable across sessions —
+    /// like real record I/O, it occupies the session but not a CPU, so
+    /// the service parallelizes it even on a single hardware thread.
+    fn do_op_work(&self) {
+        if self.op_work_ns == 0 {
+            return;
+        }
+        std::thread::sleep(Duration::from_nanos(self.op_work_ns));
+    }
+}
+
+/// Runs one transaction to commit (restarting across aborts).
+pub fn run_txn(
+    ctx: &SessionCtx<'_>,
+    txn: TxnId,
+    stats: &mut SessionStats,
+) -> Result<(), SessionError> {
+    let n_ops = ctx.txns.txn(txn).len();
+    let mut attempts = 0u32;
+    'incarnation: loop {
+        attempts += 1;
+        if attempts > ctx.max_attempts {
+            return Err(SessionError::Livelock(txn));
+        }
+        if attempts > 1 {
+            stats.restarts += 1;
+            std::thread::sleep(ctx.restart_backoff);
+        }
+        ctx.send(Command::Begin(txn))?;
+        for index in 0..n_ops {
+            let op = OpId {
+                txn,
+                index: index as u32,
+            };
+            // Waits-for timeout state for this operation.
+            let mut waited_on: Vec<TxnId> = Vec::new();
+            let mut blocked_since = Instant::now();
+            let mut ever_blocked = false;
+            loop {
+                let reply = Reply::new();
+                let seen = ctx.progress.current();
+                ctx.send_request(op, reply.clone(), stats)?;
+                match reply.wait() {
+                    Decision::Granted => {
+                        ctx.do_op_work();
+                        stats.ops_executed += 1;
+                        break; // next operation in program order
+                    }
+                    Decision::Aborted(_) => {
+                        // The core already applied the abort; restart the
+                        // incarnation from its first operation.
+                        continue 'incarnation;
+                    }
+                    Decision::Blocked { mut on } => {
+                        on.sort_unstable();
+                        on.dedup();
+                        let now = Instant::now();
+                        if !ever_blocked || on != waited_on {
+                            // First block, or the waits-for set moved:
+                            // (re)start the timeout clock.
+                            ever_blocked = true;
+                            waited_on = on;
+                            blocked_since = now;
+                        } else if now.duration_since(blocked_since) >= ctx.block_timeout {
+                            // Stuck behind the same transactions too long:
+                            // abort ourselves and restart.
+                            ctx.send(Command::Abort(txn))?;
+                            stats.timeout_aborts += 1;
+                            continue 'incarnation;
+                        }
+                        // Sleep until the core makes progress (or a slice
+                        // elapses), then re-submit the same operation.
+                        ctx.progress.wait_past(seen, ctx.retry_slice);
+                    }
+                }
+            }
+        }
+        ctx.send(Command::Commit(txn))?;
+        stats.commits += 1;
+        return Ok(());
+    }
+}

@@ -39,6 +39,135 @@ impl DecisionLatency {
     }
 }
 
+/// A log2-bucketed latency histogram (nanoseconds).
+///
+/// Bucket `k` counts samples in `[2^(k-1), 2^k)` ns (bucket 0 counts the
+/// value 0). Shared between the simulator and `relser-server`: recording
+/// is O(1) and branch-free, merging is element-wise, and quantiles are
+/// answered with bucket-upper-bound precision — good enough for p50/p95/
+/// p99 reporting without retaining per-sample vectors on the hot path.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    buckets: [u64; 65],
+    count: u64,
+    total_ns: u64,
+    max_ns: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: [0; 65],
+            count: 0,
+            total_ns: 0,
+            max_ns: 0,
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&mut self, ns: u64) {
+        let bucket = (64 - ns.leading_zeros()) as usize;
+        self.buckets[bucket] += 1;
+        self.count += 1;
+        self.total_ns = self.total_ns.saturating_add(ns);
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Element-wise merge of another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.total_ns = self.total_ns.saturating_add(other.total_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples, ns.
+    pub fn total_ns(&self) -> u64 {
+        self.total_ns
+    }
+
+    /// Mean sample, ns (0 if empty).
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_ns as f64 / self.count as f64
+        }
+    }
+
+    /// Largest recorded sample, ns.
+    pub fn max_ns(&self) -> u64 {
+        self.max_ns
+    }
+
+    /// Upper bound of the bucket containing the `q`-quantile sample
+    /// (`q` in `[0, 1]`; 0 if empty). The true sample lies within 2x.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((self.count as f64 * q).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (k, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::bucket_upper(k);
+            }
+        }
+        self.max_ns
+    }
+
+    /// Upper bound of bucket `k` in nanoseconds.
+    #[inline]
+    fn bucket_upper(k: usize) -> u64 {
+        match k {
+            0 => 0,
+            64 => u64::MAX,
+            _ => 1u64 << k,
+        }
+    }
+
+    /// Non-empty buckets as `(upper_bound_ns, count)` pairs, ascending.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(k, &c)| (Self::bucket_upper(k), c))
+            .collect()
+    }
+}
+
+impl std::fmt::Display for LatencyHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.0}ns p50<{}ns p95<{}ns p99<{}ns max={}ns",
+            self.count,
+            self.mean_ns(),
+            self.quantile_ns(0.50),
+            self.quantile_ns(0.95),
+            self.quantile_ns(0.99),
+            self.max_ns,
+        )
+    }
+}
+
 /// Aggregate statistics of one simulation run.
 ///
 /// Equality deliberately ignores [`Metrics::scheduler_latency`]: it is
@@ -190,6 +319,46 @@ mod tests {
             DecisionLatency::from_samples(&[]),
             DecisionLatency::default()
         );
+    }
+
+    #[test]
+    fn histogram_records_and_quantiles() {
+        let mut h = LatencyHistogram::new();
+        for ns in [0u64, 1, 100, 100, 1000, 50_000] {
+            h.record(ns);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.total_ns(), 51_201);
+        assert_eq!(h.max_ns(), 50_000);
+        // The p50 sample is 100 → bucket upper bound 128.
+        assert_eq!(h.quantile_ns(0.50), 128);
+        // The max sample 50_000 → bucket upper bound 65536.
+        assert_eq!(h.quantile_ns(1.0), 65_536);
+        assert_eq!(h.quantile_ns(0.0), 0);
+        let display = h.to_string();
+        assert!(display.contains("n=6"), "{display}");
+    }
+
+    #[test]
+    fn histogram_merge_is_elementwise() {
+        let mut a = LatencyHistogram::new();
+        a.record(10);
+        let mut b = LatencyHistogram::new();
+        b.record(1_000_000);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.max_ns(), 1_000_000);
+        assert_eq!(a.nonzero_buckets().len(), 2);
+    }
+
+    #[test]
+    fn histogram_handles_extremes() {
+        let mut h = LatencyHistogram::new();
+        h.record(u64::MAX);
+        assert_eq!(h.quantile_ns(1.0), u64::MAX);
+        let empty = LatencyHistogram::new();
+        assert_eq!(empty.quantile_ns(0.95), 0);
+        assert_eq!(empty.mean_ns(), 0.0);
     }
 
     #[test]

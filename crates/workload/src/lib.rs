@@ -15,7 +15,10 @@
 //!   atomicity across teams;
 //! * [`longlived`] — long-lived transactions à la altruistic locking
 //!   \[SGMA87\]: one long scan exposing per-step breakpoints amid short
-//!   absolute transactions.
+//!   absolute transactions;
+//! * [`stream`] — the open-system adapter: a seeded arrival order over a
+//!   transaction set that server worker threads drain concurrently
+//!   (one atomic fetch per claim).
 //!
 //! All generators take explicit seeds (`StdRng::seed_from_u64`), so every
 //! experiment in EXPERIMENTS.md is reproducible run-to-run.
@@ -27,6 +30,7 @@ pub mod banking;
 pub mod cad;
 pub mod longlived;
 pub mod random;
+pub mod stream;
 pub mod zipf;
 
 pub use random::{

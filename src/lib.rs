@@ -17,6 +17,9 @@
 //! * [`protocols`] — online schedulers: 2PL, SGT,
 //!   RSG-SGT, altruistic locking, compatibility-set locking, unit locking;
 //! * [`simdb`] — a discrete-event simulated database engine;
+//! * [`server`] — a concurrent transaction service: worker-thread
+//!   sessions over a bounded command queue into a single-writer
+//!   admission core that owns the scheduler;
 //! * [`workload`] — scenario and random workload
 //!   generators (banking families, CAD teams, long-lived transactions);
 //! * [`digraph`] — the graph-algorithms substrate.
@@ -29,6 +32,7 @@ pub use relser_classes as classes;
 pub use relser_core as core;
 pub use relser_digraph as digraph;
 pub use relser_protocols as protocols;
+pub use relser_server as server;
 pub use relser_simdb as simdb;
 pub use relser_workload as workload;
 
