@@ -1,0 +1,122 @@
+//! Model-checker throughput: how fast the `relser-check` explorer
+//! enumerates, prunes, and oracle-validates the interleaving spaces of
+//! the paper's figure universes.
+//!
+//! Run with `cargo bench -p relser-bench --bench check`. Beyond the
+//! timings, the JSON `meta` object records the exploration *shape* —
+//! states visited, sleep-set prunes, paths checked, counterexample size —
+//! so a regression in pruning power (not just in speed) shows up in
+//! `BENCH_check.json`.
+
+use relser_bench::harness::{git_commit, BenchmarkId, Harness};
+use relser_check::{shrink, ExploreConfig, ExploreStats, Mode, ScheduleExplorer};
+use relser_core::paper::{Figure1, Figure4};
+use relser_protocols::SchedulerKind;
+use std::hint::black_box;
+
+fn explore(
+    txns: &relser_core::txn::TxnSet,
+    spec: &relser_core::spec::AtomicitySpec,
+    kind: SchedulerKind,
+    mode: Mode,
+    max_incarnations: u32,
+) -> ExploreStats {
+    let cfg = ExploreConfig {
+        mode,
+        max_incarnations,
+        ..ExploreConfig::default()
+    };
+    let report = ScheduleExplorer::new(txns, spec, kind, cfg).explore();
+    assert!(report.clean(), "{kind} diverged: {:?}", report.divergences);
+    report.stats
+}
+
+fn bench_exploration(h: &mut Harness) {
+    let fig1 = Figure1::new();
+    let fig4 = Figure4::new();
+    let mut group = h.group("explore");
+    group.sample_size(5);
+    for kind in [SchedulerKind::RsgSgt, SchedulerKind::TwoPl] {
+        group.bench_with_input(BenchmarkId::new("figure1_pruned", kind), &kind, |b, &k| {
+            b.iter(|| black_box(explore(&fig1.txns, &fig1.spec, k, Mode::PrunedDfs, 1)))
+        });
+        group.bench_with_input(BenchmarkId::new("figure4_pruned", kind), &kind, |b, &k| {
+            b.iter(|| black_box(explore(&fig4.txns, &fig4.spec, k, Mode::PrunedDfs, 2)))
+        });
+    }
+    group.bench_function("figure4_unpruned/RSG-SGT", |b| {
+        b.iter(|| {
+            black_box(explore(
+                &fig4.txns,
+                &fig4.spec,
+                SchedulerKind::RsgSgt,
+                Mode::Exhaustive,
+                2,
+            ))
+        })
+    });
+    group.bench_function("figure1_walks300/RSG-SGT", |b| {
+        b.iter(|| {
+            black_box(explore(
+                &fig1.txns,
+                &fig1.spec,
+                SchedulerKind::RsgSgt,
+                Mode::RandomWalks {
+                    walks: 300,
+                    seed: 7,
+                },
+                2,
+            ))
+        })
+    });
+    group.finish();
+}
+
+fn record_shapes(h: &mut Harness) {
+    let fig1 = Figure1::new();
+    for kind in SchedulerKind::all() {
+        let stats = explore(&fig1.txns, &fig1.spec, kind, Mode::PrunedDfs, 1);
+        h.set_meta(
+            &format!("figure1_{kind}"),
+            format!(
+                "paths={} nodes={} pruned={} gave_up={}",
+                stats.paths, stats.nodes, stats.pruned, stats.gave_up
+            ),
+        );
+    }
+}
+
+fn bench_shrink(h: &mut Harness) {
+    let (txns, spec) = relser_protocols::planted::refutation_universe();
+    let mut group = h.group("counterexample");
+    group.sample_size(5);
+    group.bench_function("shrink_planted_bug", |b| {
+        b.iter(|| {
+            let cex = shrink(
+                &txns,
+                &spec,
+                SchedulerKind::PlantedSwappedRsg,
+                &ExploreConfig::default(),
+            )
+            .expect("planted bug caught");
+            assert!(cex.total_ops() <= 6);
+            black_box(cex.total_ops())
+        })
+    });
+    group.finish();
+}
+
+fn main() {
+    let mut h = Harness::new("check");
+    h.set_meta("git_commit", git_commit());
+    h.set_meta("universes", "figure1,figure4");
+    h.set_meta("figure1_max_incarnations", 1);
+    h.set_meta("figure4_max_incarnations", 2);
+    record_shapes(&mut h);
+    bench_exploration(&mut h);
+    bench_shrink(&mut h);
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_check.json");
+    if let Err(e) = h.write_json(out) {
+        eprintln!("could not write {out}: {e}");
+    }
+}

@@ -1,0 +1,109 @@
+//! Acceptance-set containment properties, randomized with the in-tree
+//! `proptest` stand-in.
+//!
+//! Two directions of the Figure 5 story, stated over *acceptance* rather
+//! than over produced histories (the protocol-safety suite in
+//! `relser-protocols` already covers the latter):
+//!
+//! * soundness — any schedule the online RSG-SGT engine grants in full
+//!   is accepted by the offline Theorem 1 oracle
+//!   (`Rsg::build(..).is_acyclic()`);
+//! * strictness — any schedule strict 2PL grants in full is also granted
+//!   in full by RSG-SGT (CSR ⊆ relatively serializable, prefix by
+//!   prefix), while a fixed witness (the paper's Figure 1 relaxed
+//!   schedule `S_ra`) is granted by RSG-SGT and refused by 2PL, so the
+//!   containment is strict.
+
+use proptest::prelude::*;
+use relser_core::paper::Figure1;
+use relser_core::rsg::Rsg;
+use relser_core::schedule::Schedule;
+use relser_core::spec::AtomicitySpec;
+use relser_core::txn::TxnSet;
+use relser_protocols::rsg_sgt::RsgSgt;
+use relser_protocols::two_pl::TwoPhaseLocking;
+use relser_protocols::{Decision, Scheduler};
+use relser_workload::{random_schedule, random_spec, random_txns, RandomConfig};
+
+/// Feeds `s` to a fresh scheduler op by op; `true` iff every single
+/// request is granted (no blocks, no aborts — pure acceptance).
+fn grants_in_full(scheduler: &mut dyn Scheduler, txns: &TxnSet, s: &Schedule) -> bool {
+    for t in txns.txn_ids() {
+        scheduler.begin(t);
+    }
+    s.ops()
+        .iter()
+        .all(|&op| scheduler.request(op) == Decision::Granted)
+}
+
+fn universe(wl_seed: u64, spec_seed: u64) -> (TxnSet, AtomicitySpec) {
+    let cfg = RandomConfig {
+        txns: 4,
+        ops_per_txn: (1, 4),
+        objects: 3,
+        theta: 0.6,
+        write_ratio: 0.5,
+    };
+    let txns = random_txns(&cfg, wl_seed);
+    let spec = random_spec(&txns, 0.5, spec_seed);
+    (txns, spec)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::default())]
+
+    /// RSG-SGT acceptance implies offline Theorem 1 acceptance.
+    #[test]
+    fn rsg_sgt_accepted_schedules_pass_the_offline_oracle(
+        wl_seed in 0u64..100_000,
+        spec_seed in 0u64..100_000,
+        shuffle_seed in 0u64..100_000,
+    ) {
+        let (txns, spec) = universe(wl_seed, spec_seed);
+        let s = random_schedule(&txns, shuffle_seed);
+        if grants_in_full(&mut RsgSgt::new(&txns, &spec), &txns, &s) {
+            prop_assert!(
+                Rsg::build(&txns, &s, &spec).is_acyclic(),
+                "RSG-SGT granted `{}` but its RSG is cyclic",
+                s.display(&txns)
+            );
+        }
+    }
+
+    /// 2PL acceptance implies RSG-SGT acceptance (the containment
+    /// direction of Figure 5, prefix by prefix).
+    #[test]
+    fn two_pl_accepted_schedules_are_rsg_sgt_accepted(
+        wl_seed in 0u64..100_000,
+        spec_seed in 0u64..100_000,
+        shuffle_seed in 0u64..100_000,
+    ) {
+        let (txns, spec) = universe(wl_seed, spec_seed);
+        let s = random_schedule(&txns, shuffle_seed);
+        if grants_in_full(&mut TwoPhaseLocking::new(&txns), &txns, &s) {
+            prop_assert!(
+                grants_in_full(&mut RsgSgt::new(&txns, &spec), &txns, &s),
+                "2PL granted `{}` but RSG-SGT refused it",
+                s.display(&txns)
+            );
+        }
+    }
+}
+
+/// The witness making the containment *strict*: Figure 1's relaxed
+/// schedule is granted in full by RSG-SGT under the paper's spec, and
+/// refused by 2PL (T3 writes x between T1's read and write of x, which
+/// no lock-based protocol admits).
+#[test]
+fn figure1_relaxed_schedule_separates_rsg_sgt_from_two_pl() {
+    let fig = Figure1::new();
+    let s = fig.s_ra();
+    assert!(
+        grants_in_full(&mut RsgSgt::new(&fig.txns, &fig.spec), &fig.txns, &s),
+        "RSG-SGT must grant the paper's own relaxed schedule"
+    );
+    assert!(
+        !grants_in_full(&mut TwoPhaseLocking::new(&fig.txns), &fig.txns, &s),
+        "2PL must refuse the relaxed schedule"
+    );
+}

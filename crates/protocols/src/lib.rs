@@ -31,11 +31,16 @@ pub mod altruistic;
 pub mod chaos;
 pub mod compat;
 pub mod driver;
+pub mod factory;
 pub mod lock_table;
+#[cfg(feature = "planted-bug")]
+pub mod planted;
 pub mod rsg_sgt;
 pub mod sgt;
 pub mod two_pl;
 pub mod unit_locking;
+
+pub use factory::SchedulerKind;
 
 use relser_core::ids::{OpId, TxnId};
 
@@ -46,6 +51,9 @@ pub enum AbortReason {
     Deadlock,
     /// A graph-testing scheduler found that granting would close a cycle.
     CycleRejected,
+    /// A fault-injection layer aborted the transaction (never produced by
+    /// a real protocol; see `relser-server`'s `FaultPlan`).
+    Injected,
 }
 
 /// A scheduler's answer to one operation request.

@@ -1,0 +1,156 @@
+//! A deliberately broken scheduler, compiled only under the test-only
+//! `planted-bug` feature.
+//!
+//! The `Atomicity` relation is *directional*: `Atomicity(T_i, T_j)`
+//! describes how `T_i` decomposes into units **as observed by** `T_j`,
+//! and the paper stresses that it need not equal `Atomicity(T_j, T_i)`.
+//! [`SwappedSpecRsgSgt`] is the production RSG-SGT engine fed a
+//! *transposed* specification — for every ordered pair it installs the
+//! breakpoints of the opposite row (clamped to the program length). The
+//! engine itself is untouched; the bug is purely a mis-oriented relation,
+//! the kind of swap a correct-looking implementation makes silently.
+//!
+//! The smallest refutation ([`refutation_universe`]) is four operations:
+//! `T1 = w1[x] w1[y]` breakable for `T2` (`Atomicity(T1,T2) = w1[x] |
+//! w1[y]`) while `T2 = r2[x] r2[y]` must be atomic w.r.t. `T1`. The
+//! swapped engine sees the rows reversed and admits the inconsistent
+//! read `r2[x] w1[x] w1[y] r2[y]`, whose true RSG carries the cycle
+//! `r2[y] -> w1[x] -> w1[y] -> r2[y]` (the F-arc pushes `w1[x]` behind
+//! the whole unit `[r2[x] r2[y]]`). The scheduler exists so the model
+//! checker in `crates/check` can prove it catches real protocol bugs and
+//! shrinks them to this minimal core.
+
+use crate::rsg_sgt::RsgSgt;
+use crate::{Decision, Scheduler};
+use relser_core::ids::{OpId, TxnId};
+use relser_core::spec::AtomicitySpec;
+use relser_core::txn::TxnSet;
+
+/// The production RSG-SGT engine driven by a transposed `Atomicity`
+/// relation — the planted bug.
+pub struct SwappedSpecRsgSgt {
+    inner: RsgSgt,
+}
+
+/// `Atomicity'(T_i, T_j) := Atomicity(T_j, T_i)`, with breakpoints
+/// falling outside `T_i`'s program clamped away (rows of a pair with
+/// different program lengths cannot be swapped verbatim).
+pub fn transpose_spec(txns: &TxnSet, spec: &AtomicitySpec) -> AtomicitySpec {
+    let mut swapped = AtomicitySpec::absolute(txns);
+    for i in txns.txn_ids() {
+        for j in txns.txn_ids() {
+            if i == j {
+                continue;
+            }
+            let len_i = txns.txn(i).len() as u32;
+            let bps: Vec<u32> = spec
+                .breakpoints(j, i)
+                .iter()
+                .copied()
+                .filter(|&b| b < len_i)
+                .collect();
+            swapped
+                .set_breakpoints(i, j, &bps)
+                .expect("clamped breakpoints are in range");
+        }
+    }
+    swapped
+}
+
+impl SwappedSpecRsgSgt {
+    /// Creates the buggy scheduler over a universe: the real engine, the
+    /// wrong orientation.
+    pub fn new(txns: &TxnSet, spec: &AtomicitySpec) -> Self {
+        SwappedSpecRsgSgt {
+            inner: RsgSgt::new(txns, &transpose_spec(txns, spec)),
+        }
+    }
+}
+
+impl Scheduler for SwappedSpecRsgSgt {
+    fn name(&self) -> &'static str {
+        "RSG-SGT-swapped(planted bug)"
+    }
+
+    fn begin(&mut self, txn: TxnId) {
+        self.inner.begin(txn);
+    }
+
+    fn request(&mut self, op: OpId) -> Decision {
+        self.inner.request(op)
+    }
+
+    fn commit(&mut self, txn: TxnId) {
+        self.inner.commit(txn);
+    }
+
+    fn abort(&mut self, txn: TxnId) {
+        self.inner.abort(txn);
+    }
+}
+
+/// The minimal universe separating the swapped engine from Theorem 1:
+/// `T1 = w1[x] w1[y]` with `Atomicity(T1,T2) = w1[x] | w1[y]`,
+/// `T2 = r2[x] r2[y]` atomic w.r.t. `T1`.
+pub fn refutation_universe() -> (TxnSet, AtomicitySpec) {
+    let txns = TxnSet::parse(&["w1[x] w1[y]", "r2[x] r2[y]"])
+        .expect("refutation transactions are well-formed");
+    let mut spec = AtomicitySpec::absolute(&txns);
+    spec.set_units_str(&txns, 0, 1, "w1[x] | w1[y]").unwrap();
+    (txns, spec)
+}
+
+/// The schedule the swapped engine wrongly admits over
+/// [`refutation_universe`]: `r2[x] w1[x] w1[y] r2[y]` — `T2`'s atomic
+/// read pair straddles both of `T1`'s writes.
+pub fn refutation_schedule(txns: &TxnSet) -> relser_core::schedule::Schedule {
+    txns.parse_schedule("r2[x] w1[x] w1[y] r2[y]")
+        .expect("refutation schedule is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relser_core::rsg::Rsg;
+
+    #[test]
+    fn wrongly_admits_the_refutation_schedule() {
+        let (txns, spec) = refutation_universe();
+        let s = refutation_schedule(&txns);
+        let mut bug = SwappedSpecRsgSgt::new(&txns, &spec);
+        for t in txns.txn_ids() {
+            bug.begin(t);
+        }
+        for &op in s.ops() {
+            assert_eq!(bug.request(op), Decision::Granted, "the bug admits it");
+        }
+        // ... but the offline Theorem 1 oracle rejects it.
+        assert!(!Rsg::build(&txns, &s, &spec).is_acyclic());
+    }
+
+    #[test]
+    fn the_correct_engine_rejects_it() {
+        let (txns, spec) = refutation_universe();
+        let s = refutation_schedule(&txns);
+        let mut real = RsgSgt::new(&txns, &spec);
+        for t in txns.txn_ids() {
+            real.begin(t);
+        }
+        let verdicts: Vec<Decision> = s.ops().iter().map(|&op| real.request(op)).collect();
+        assert!(
+            verdicts.iter().any(|d| !matches!(d, Decision::Granted)),
+            "the correctly-oriented engine must not grant all of {verdicts:?}"
+        );
+    }
+
+    #[test]
+    fn transposing_twice_clamps_but_round_trips_equal_lengths() {
+        let (txns, spec) = refutation_universe();
+        let once = transpose_spec(&txns, &spec);
+        // Equal program lengths: the swap moves the broken row across.
+        assert_eq!(once.breakpoints(TxnId(1), TxnId(0)), &[1]);
+        assert_eq!(once.breakpoints(TxnId(0), TxnId(1)), &[] as &[u32]);
+        let twice = transpose_spec(&txns, &once);
+        assert_eq!(twice.breakpoints(TxnId(0), TxnId(1)), &[1]);
+    }
+}

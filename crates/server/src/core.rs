@@ -17,7 +17,7 @@
 
 use crate::queue::BoundedQueue;
 use relser_core::ids::{OpId, TxnId};
-use relser_protocols::{Decision, Scheduler};
+use relser_protocols::{AbortReason, Decision, Scheduler};
 use relser_simdb::metrics::LatencyHistogram;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -167,6 +167,33 @@ pub enum Command {
     Abort(TxnId),
 }
 
+/// Deterministic fault injection for the admission core.
+///
+/// Faults are keyed by *command position* in core order, which is the
+/// run's serialization point — so the same plan against the same trace
+/// injects the same faults, and a fault sweep is reproducible. An empty
+/// plan (the default) injects nothing and costs nothing.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    /// Request commands (0-based, counted over `Command::Request` only)
+    /// answered `Aborted(Injected)` without consulting the scheduler; the
+    /// core applies the abort exactly as it would a scheduler-initiated
+    /// one (state rollback + log purge, atomic with the decision).
+    pub abort_requests: Vec<u64>,
+    /// Crash the core instead of applying the command with this 0-based
+    /// index (counted over all commands). The core stops applying
+    /// commands, closes the queue, and drains everything still enqueued,
+    /// answering `Aborted(Injected)` so no session hangs on a reply.
+    pub crash_at_command: Option<u64>,
+}
+
+impl FaultPlan {
+    /// Does the plan inject anything at all?
+    pub fn is_empty(&self) -> bool {
+        self.abort_requests.is_empty() && self.crash_at_command.is_none()
+    }
+}
+
 /// Everything the core accumulated over one run.
 #[derive(Debug, Default)]
 pub struct CoreOutput {
@@ -174,6 +201,14 @@ pub struct CoreOutput {
     /// After a clean run (everything committed) this is the committed
     /// history.
     pub log: Vec<OpId>,
+    /// Transactions committed, in commit order. `log` filtered to this
+    /// set is the committed history even when the run did not complete
+    /// (crash faults, session failures).
+    pub committed: Vec<TxnId>,
+    /// The core crashed at the planned command index (see [`FaultPlan`]).
+    pub crashed: bool,
+    /// Injected (fault-plan) aborts applied.
+    pub injected_aborts: u64,
     /// The replayable event trace (empty unless trace recording is on).
     pub trace: Vec<TraceEvent>,
     /// Commands processed.
@@ -203,19 +238,56 @@ pub struct CoreOutput {
 /// enforced by construction, which is why [`Scheduler`] needs `Send` but
 /// never `Sync`.
 pub fn run_core(
-    mut scheduler: Box<dyn Scheduler + Send + '_>,
+    scheduler: Box<dyn Scheduler + Send + '_>,
     queue: &BoundedQueue<Command>,
     progress: &Progress,
     batch_max: usize,
     record_trace: bool,
 ) -> CoreOutput {
+    run_core_faulty(
+        scheduler,
+        queue,
+        progress,
+        batch_max,
+        record_trace,
+        &FaultPlan::default(),
+    )
+}
+
+/// [`run_core`] with a deterministic [`FaultPlan`]. With an empty plan
+/// the behaviour is identical to `run_core`.
+pub fn run_core_faulty(
+    mut scheduler: Box<dyn Scheduler + Send + '_>,
+    queue: &BoundedQueue<Command>,
+    progress: &Progress,
+    batch_max: usize,
+    record_trace: bool,
+    faults: &FaultPlan,
+) -> CoreOutput {
     let mut out = CoreOutput::default();
     let mut batch: Vec<Command> = Vec::with_capacity(batch_max);
-    while queue.pop_batch(batch_max, &mut batch) {
+    let mut requests_seen: u64 = 0;
+    'serve: while queue.pop_batch(batch_max, &mut batch) {
         out.batches += 1;
         out.max_batch = out.max_batch.max(batch.len());
         let mut changed = false;
-        for cmd in batch.drain(..) {
+        let mut pending = batch.drain(..);
+        while let Some(cmd) = pending.next() {
+            if faults.crash_at_command == Some(out.commands) {
+                // Crash point: stop applying commands. Close the queue so
+                // sessions stop submitting, then unwind everything still
+                // in flight (this batch's remainder plus the backlog) so
+                // no session hangs on an unfilled reply cell.
+                out.crashed = true;
+                queue.close();
+                // `cmd` itself dies in the crash too — its reply must be
+                // unwound like the rest or its session hangs forever.
+                let mut rest: Vec<Command> = vec![cmd];
+                rest.extend(pending.by_ref());
+                drain_after_crash(rest, queue, batch_max);
+                progress.bump();
+                break 'serve;
+            }
             out.commands += 1;
             match cmd {
                 Command::Begin(txn) => {
@@ -229,6 +301,25 @@ pub fn run_core(
                     enqueued,
                     reply,
                 } => {
+                    let request_index = requests_seen;
+                    requests_seen += 1;
+                    if faults.abort_requests.contains(&request_index) {
+                        // Injected abort: the scheduler is never asked;
+                        // the abort is applied exactly like a
+                        // scheduler-initiated one. The trace records a
+                        // plain `Abort` (not a `Decision`) so replay does
+                        // not expect a real scheduler to answer
+                        // `Aborted` here.
+                        out.injected_aborts += 1;
+                        scheduler.abort(op.txn);
+                        out.log.retain(|o| o.txn != op.txn);
+                        changed = true;
+                        if record_trace {
+                            out.trace.push(TraceEvent::Abort(op.txn));
+                        }
+                        reply.fill(Decision::Aborted(AbortReason::Injected));
+                        continue;
+                    }
                     let t0 = Instant::now();
                     let decision = scheduler.request(op);
                     out.decision_ns.push(t0.elapsed().as_nanos() as u64);
@@ -260,6 +351,7 @@ pub fn run_core(
                 Command::Commit(txn) => {
                     scheduler.commit(txn);
                     out.commits += 1;
+                    out.committed.push(txn);
                     changed = true;
                     if record_trace {
                         out.trace.push(TraceEvent::Commit(txn));
@@ -283,6 +375,27 @@ pub fn run_core(
         }
     }
     out
+}
+
+/// Unwinds every command still in flight after a crash: request replies
+/// are filled with `Aborted(Injected)` so no session hangs, everything
+/// else is dropped (the scheduler is gone). The queue is already closed,
+/// so this terminates once the backlog is drained.
+fn drain_after_crash(rest: Vec<Command>, queue: &BoundedQueue<Command>, batch_max: usize) {
+    let unwind = |cmd: Command| {
+        if let Command::Request { reply, .. } = cmd {
+            reply.fill(Decision::Aborted(AbortReason::Injected));
+        }
+    };
+    for cmd in rest {
+        unwind(cmd);
+    }
+    let mut batch = Vec::with_capacity(batch_max.max(1));
+    while queue.pop_batch(batch_max.max(1), &mut batch) {
+        for cmd in batch.drain(..) {
+            unwind(cmd);
+        }
+    }
 }
 
 #[cfg(test)]

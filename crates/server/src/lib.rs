@@ -62,10 +62,11 @@ pub mod server;
 pub mod session;
 
 pub use baseline::{run_baseline, BaselineRun};
-pub use core::TraceEvent;
+pub use core::{FaultPlan, TraceEvent};
 pub use metrics::ServerMetrics;
 pub use queue::{BoundedQueue, PushError, QueueStats};
 pub use server::{
-    replay, serve, serve_stream, ReplayMismatch, ServerConfig, ServerError, ServerRun,
+    replay, serve, serve_report, serve_stream, ReplayMismatch, RunOutcome, ServeReport,
+    ServerConfig, ServerError, ServerRun,
 };
 pub use session::{OverloadPolicy, SessionError, SessionStats};

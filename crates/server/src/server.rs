@@ -2,7 +2,7 @@
 //! core thread, and N session threads together; return the committed
 //! history plus metrics (and optionally a deterministic-replay trace).
 
-use crate::core::{run_core, Command, Progress, TraceEvent};
+use crate::core::{run_core_faulty, Command, CoreOutput, FaultPlan, Progress, TraceEvent};
 use crate::metrics::ServerMetrics;
 use crate::queue::BoundedQueue;
 use crate::session::{run_txn, OverloadPolicy, SessionCtx, SessionError, SessionStats};
@@ -126,81 +126,151 @@ pub fn serve_stream(
     scheduler: Box<dyn Scheduler + Send + '_>,
     cfg: &ServerConfig,
 ) -> Result<ServerRun, ServerError> {
+    let report = serve_report(txns, stream, scheduler, cfg, &FaultPlan::default());
+    match report.outcome {
+        RunOutcome::Completed => {}
+        RunOutcome::Crashed => unreachable!("empty fault plan never crashes"),
+        RunOutcome::Failed(e) => return Err(e),
+    }
+    let history =
+        Schedule::new(txns, report.log).map_err(|e| ServerError::InvalidHistory(e.to_string()))?;
+    Ok(ServerRun {
+        history,
+        metrics: report.metrics,
+        trace: report.trace,
+    })
+}
+
+/// How a [`serve_report`] run ended.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// Every transaction committed.
+    Completed,
+    /// The fault plan crashed the admission core; the committed prefix is
+    /// in [`ServeReport::committed`] / [`ServeReport::log`].
+    Crashed,
+    /// A session gave up (livelock budget, or shutdown collateral).
+    Failed(ServerError),
+}
+
+/// The full observable result of a (possibly fault-injected) run —
+/// returned even when the run did not complete, so harnesses can check
+/// the committed prefix against the offline oracles.
+#[derive(Debug)]
+pub struct ServeReport {
+    /// How the run ended.
+    pub outcome: RunOutcome,
+    /// Transactions committed, in commit order.
+    pub committed: Vec<TxnId>,
+    /// Granted operations of live/committed incarnations, grant order.
+    /// Filter to `committed` for the committed history of a partial run.
+    pub log: Vec<OpId>,
+    /// Core-order event trace (empty unless `record_trace` was set).
+    pub trace: Vec<TraceEvent>,
+    /// Aggregated service metrics.
+    pub metrics: ServerMetrics,
+    /// Injected (fault-plan) aborts the core applied.
+    pub injected_aborts: u64,
+}
+
+/// [`serve_stream`] with a deterministic [`FaultPlan`], returning a
+/// [`ServeReport`] instead of failing on partial runs. The headline
+/// invariant harnesses check on top: whatever the faults, the committed
+/// transactions' history must still be relatively serializable.
+pub fn serve_report(
+    txns: &TxnSet,
+    stream: &RequestStream,
+    scheduler: Box<dyn Scheduler + Send + '_>,
+    cfg: &ServerConfig,
+    faults: &FaultPlan,
+) -> ServeReport {
     assert!(cfg.workers >= 1, "need at least one worker");
     let queue: BoundedQueue<Command> = BoundedQueue::new(cfg.queue_capacity);
     let progress = Progress::new();
     let sheds = AtomicU64::new(0);
     let t0 = Instant::now();
 
-    let (core_out, sessions) = std::thread::scope(|s| {
-        let queue = &queue;
-        let progress = &progress;
-        let sheds = &sheds;
-        let core =
-            s.spawn(move || run_core(scheduler, queue, progress, cfg.batch_max, cfg.record_trace));
-        let mut workers = Vec::with_capacity(cfg.workers);
-        for _ in 0..cfg.workers {
-            workers.push(s.spawn(move || {
-                let ctx = SessionCtx {
+    let (core_out, sessions): (CoreOutput, Vec<(SessionStats, Option<SessionError>)>) =
+        std::thread::scope(|s| {
+            let queue = &queue;
+            let progress = &progress;
+            let sheds = &sheds;
+            let core = s.spawn(move || {
+                run_core_faulty(
+                    scheduler,
                     queue,
                     progress,
-                    txns,
-                    policy: cfg.policy,
-                    block_timeout: cfg.block_timeout,
-                    retry_slice: cfg.retry_slice,
-                    restart_backoff: cfg.restart_backoff,
-                    op_work_ns: cfg.op_work_ns,
-                    max_attempts: cfg.max_attempts,
-                    sheds,
-                };
-                let mut stats = SessionStats::default();
-                let mut failure = None;
-                while let Some(txn) = stream.next() {
-                    if let Err(e) = run_txn(&ctx, txn, &mut stats) {
-                        failure = Some(e);
-                        break;
+                    cfg.batch_max,
+                    cfg.record_trace,
+                    faults,
+                )
+            });
+            let mut workers = Vec::with_capacity(cfg.workers);
+            for _ in 0..cfg.workers {
+                workers.push(s.spawn(move || {
+                    let ctx = SessionCtx {
+                        queue,
+                        progress,
+                        txns,
+                        policy: cfg.policy,
+                        block_timeout: cfg.block_timeout,
+                        retry_slice: cfg.retry_slice,
+                        restart_backoff: cfg.restart_backoff,
+                        op_work_ns: cfg.op_work_ns,
+                        max_attempts: cfg.max_attempts,
+                        sheds,
+                    };
+                    let mut stats = SessionStats::default();
+                    let mut failure = None;
+                    while let Some(txn) = stream.next() {
+                        if let Err(e) = run_txn(&ctx, txn, &mut stats) {
+                            failure = Some(e);
+                            break;
+                        }
                     }
-                }
-                if failure.is_some() {
-                    // Wake every blocked session and the core so the run
-                    // unwinds instead of hanging.
-                    queue.close();
-                }
-                (stats, failure)
-            }));
-        }
-        let sessions: Vec<(SessionStats, Option<SessionError>)> = workers
-            .into_iter()
-            .map(|h| h.join().expect("session thread panicked"))
-            .collect();
-        queue.close();
-        let core_out = core.join().expect("admission core panicked");
-        (core_out, sessions)
-    });
+                    if failure.is_some() {
+                        // Wake every blocked session and the core so the run
+                        // unwinds instead of hanging.
+                        queue.close();
+                    }
+                    (stats, failure)
+                }));
+            }
+            let sessions: Vec<(SessionStats, Option<SessionError>)> = workers
+                .into_iter()
+                .map(|h| h.join().expect("session thread panicked"))
+                .collect();
+            queue.close();
+            let core_out = core.join().expect("admission core panicked");
+            (core_out, sessions)
+        });
     let elapsed = t0.elapsed();
 
-    // Surface the most informative failure: a livelock names its culprit;
-    // shutdowns are downstream collateral.
-    let mut failure: Option<ServerError> = None;
-    for (_, err) in &sessions {
-        match err {
-            Some(SessionError::Livelock(t)) => {
-                failure = Some(ServerError::Livelock(*t));
-                break;
+    // Surface the most informative failure: a planned crash explains
+    // every downstream shutdown; a livelock names its culprit.
+    let mut outcome = RunOutcome::Completed;
+    if core_out.crashed {
+        outcome = RunOutcome::Crashed;
+    } else {
+        for (_, err) in &sessions {
+            match err {
+                Some(SessionError::Livelock(t)) => {
+                    outcome = RunOutcome::Failed(ServerError::Livelock(*t));
+                    break;
+                }
+                Some(SessionError::Shutdown) if outcome == RunOutcome::Completed => {
+                    outcome = RunOutcome::Failed(ServerError::Shutdown);
+                }
+                _ => {}
             }
-            Some(SessionError::Shutdown) if failure.is_none() => {
-                failure = Some(ServerError::Shutdown);
-            }
-            _ => {}
         }
     }
-    if let Some(e) = failure {
-        return Err(e);
-    }
 
-    let history = Schedule::new(txns, core_out.log.clone())
-        .map_err(|e| ServerError::InvalidHistory(e.to_string()))?;
-
+    let committed_ops = core_out
+        .log
+        .iter()
+        .filter(|o| core_out.committed.contains(&o.txn))
+        .count() as u64;
     let metrics = ServerMetrics {
         workers: cfg.workers,
         commits: core_out.commits,
@@ -217,14 +287,17 @@ pub fn serve_stream(
         decision: DecisionLatency::from_samples(&core_out.decision_ns),
         admission: core_out.admission,
         elapsed,
-        committed_ops: history.len() as u64,
+        committed_ops,
     };
 
-    Ok(ServerRun {
-        history,
-        metrics,
+    ServeReport {
+        outcome,
+        committed: core_out.committed,
+        log: core_out.log,
         trace: core_out.trace,
-    })
+        metrics,
+        injected_aborts: core_out.injected_aborts,
+    }
 }
 
 /// A replay diverged from its trace: the scheduler answered differently

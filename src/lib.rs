@@ -20,6 +20,11 @@
 //! * [`server`] — a concurrent transaction service: worker-thread
 //!   sessions over a bounded command queue into a single-writer
 //!   admission core that owns the scheduler;
+//! * [`check`] — the deterministic schedule-space model checker:
+//!   exhaustive/pruned/random exploration of small universes with every
+//!   execution cross-validated against offline oracles, fault-injection
+//!   sweeps against the server, and a minimizing counterexample
+//!   reporter;
 //! * [`workload`] — scenario and random workload
 //!   generators (banking families, CAD teams, long-lived transactions);
 //! * [`digraph`] — the graph-algorithms substrate.
@@ -28,6 +33,7 @@
 
 pub mod cli;
 
+pub use relser_check as check;
 pub use relser_classes as classes;
 pub use relser_core as core;
 pub use relser_digraph as digraph;
