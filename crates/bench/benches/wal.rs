@@ -1,0 +1,214 @@
+//! Write-ahead log costs: service throughput under each fsync policy,
+//! and recovery time as the log grows.
+//!
+//! Run with `cargo bench -p relser-bench --bench wal`. Two questions:
+//!
+//! * what does durability cost the service? — the banking workload runs
+//!   through `serve_durable` once per [`FsyncPolicy`] (plus a no-WAL
+//!   baseline), all on in-memory storage so the numbers isolate the
+//!   framing/checksum/barrier work from disk variance;
+//! * what does a crash cost at restart? — serial logs of increasing
+//!   record counts are recovered (scan + replay + Theorem 1
+//!   re-certification) to show recovery stays linear-ish in log length.
+//!
+//! Measurements plus provenance meta go to `BENCH_wal.json`.
+
+use relser_bench::harness::{git_commit, BenchmarkId, Harness};
+use relser_core::ids::{OpId, TxnId};
+use relser_core::op::AccessMode;
+use relser_core::spec::AtomicitySpec;
+use relser_core::txn::TxnSet;
+use relser_protocols::rsg_sgt::RsgSgt;
+use relser_server::recovery::recover;
+use relser_server::{serve_durable, serve_report, FaultPlan, RunOutcome, ServerConfig};
+use relser_wal::{FsyncPolicy, MemStorage, WalRecord, WalWriter};
+use relser_workload::banking::{banking, BankingConfig, BankingScenario};
+use relser_workload::stream::RequestStream;
+use std::hint::black_box;
+
+const WORKLOAD: BankingConfig = BankingConfig {
+    families: 2,
+    accounts_per_family: 4,
+    customers_per_family: 8,
+    transfers_per_customer: 2,
+    credit_audits: true,
+    bank_audit: false,
+};
+const WORKLOAD_SEED: u64 = 11;
+const ARRIVAL_SEED: u64 = 7;
+const WORKERS: usize = 4;
+/// Transactions per synthetic recovery log (6 records each).
+const RECOVERY_TXNS: [usize; 3] = [8, 32, 128];
+const OPS_PER_TXN: usize = 4;
+
+fn server_cfg() -> ServerConfig {
+    ServerConfig {
+        workers: WORKERS,
+        seed: ARRIVAL_SEED,
+        ..ServerConfig::default()
+    }
+}
+
+/// Throughput per fsync policy, with a no-WAL baseline.
+fn bench_policies(h: &mut Harness, sc: &BankingScenario) {
+    let cfg = server_cfg();
+    let mut group = h.group("wal_throughput");
+    group.sample_size(10);
+
+    group.bench_with_input(BenchmarkId::new("policy", "none"), &(), |b, _| {
+        b.iter(|| {
+            let stream = RequestStream::shuffled(&sc.txns, ARRIVAL_SEED);
+            let scheduler = RsgSgt::new(&sc.txns, &sc.spec);
+            let report = serve_report(
+                &sc.txns,
+                &stream,
+                Box::new(scheduler),
+                &cfg,
+                &FaultPlan::default(),
+            );
+            assert_eq!(report.outcome, RunOutcome::Completed);
+            black_box(report.committed.len())
+        })
+    });
+
+    let policies: [(&str, FsyncPolicy); 4] = [
+        ("always", FsyncPolicy::Always),
+        ("every8", FsyncPolicy::EveryN(8)),
+        ("every64", FsyncPolicy::EveryN(64)),
+        ("never", FsyncPolicy::Never),
+    ];
+    for (name, policy) in policies {
+        group.bench_with_input(BenchmarkId::new("policy", name), &(), |b, _| {
+            b.iter(|| {
+                let (mem, _handle) = MemStorage::new();
+                let mut wal = WalWriter::new(Box::new(mem), policy).unwrap();
+                let stream = RequestStream::shuffled(&sc.txns, ARRIVAL_SEED);
+                let scheduler = RsgSgt::new(&sc.txns, &sc.spec);
+                let report = serve_durable(
+                    &sc.txns,
+                    &stream,
+                    Box::new(scheduler),
+                    &cfg,
+                    &FaultPlan::default(),
+                    &mut wal,
+                );
+                assert_eq!(report.outcome, RunOutcome::Completed);
+                black_box(report.metrics.wal.syncs)
+            })
+        });
+    }
+    group.finish();
+}
+
+/// A conflict-free universe of `n` transactions (each on its own object)
+/// and the byte log of committing all of them serially — recovery input
+/// whose length scales exactly with `n`.
+fn serial_log(n: usize) -> (TxnSet, AtomicitySpec, Vec<u8>) {
+    let mut txns = TxnSet::new();
+    for t in 0..n {
+        let name = format!("x{t}");
+        let ops: Vec<(AccessMode, &str)> = (0..OPS_PER_TXN)
+            .map(|_| (AccessMode::Write, name.as_str()))
+            .collect();
+        txns.add(&ops).unwrap();
+    }
+    let spec = AtomicitySpec::absolute(&txns);
+    let (mem, handle) = MemStorage::new();
+    let mut wal = WalWriter::new(Box::new(mem), FsyncPolicy::Never).unwrap();
+    for t in 0..n {
+        let txn = TxnId(t as u32);
+        wal.append(&WalRecord::Begin(txn)).unwrap();
+        for i in 0..OPS_PER_TXN {
+            wal.append(&WalRecord::Grant(OpId::new(txn, i as u32)))
+                .unwrap();
+        }
+        wal.append(&WalRecord::Commit(txn)).unwrap();
+    }
+    wal.close().unwrap();
+    (txns, spec, handle.bytes())
+}
+
+/// Recovery time (scan + replay + re-certify) vs log length.
+fn bench_recovery(h: &mut Harness) {
+    let inputs: Vec<(usize, TxnSet, AtomicitySpec, Vec<u8>)> = RECOVERY_TXNS
+        .iter()
+        .map(|&n| {
+            let (txns, spec, bytes) = serial_log(n);
+            (n * (OPS_PER_TXN + 2), txns, spec, bytes)
+        })
+        .collect();
+    let mut group = h.group("wal_recovery");
+    group.sample_size(10);
+    for (records, txns, spec, bytes) in &inputs {
+        group.bench_with_input(BenchmarkId::new("records", records), records, |b, _| {
+            b.iter(|| {
+                let mut fresh = RsgSgt::new(txns, spec);
+                let rec = recover(txns, spec, &mut fresh, bytes).unwrap();
+                assert_eq!(rec.records, *records);
+                black_box(rec.committed.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn main() {
+    let sc = banking(&WORKLOAD, WORKLOAD_SEED);
+
+    let mut h = Harness::new("wal");
+    h.set_meta("git_commit", git_commit());
+    h.set_meta("workload", "banking");
+    h.set_meta("txns", sc.txns.len());
+    h.set_meta("total_ops", sc.txns.total_ops());
+    h.set_meta("workload_seed", WORKLOAD_SEED);
+    h.set_meta("arrival_seed", ARRIVAL_SEED);
+    h.set_meta("workers", WORKERS);
+    h.set_meta("scheduler", "RSG-SGT");
+    h.set_meta(
+        "storage",
+        "MemStorage (in-memory; isolates framing/barrier cost)",
+    );
+    h.set_meta(
+        "recovery_logs",
+        format!("serial, {OPS_PER_TXN} ops/txn, txns={RECOVERY_TXNS:?}"),
+    );
+
+    bench_policies(&mut h, &sc);
+    bench_recovery(&mut h);
+
+    let median = |id: &str| {
+        h.measurements()
+            .iter()
+            .find(|m| m.id == id)
+            .map(|m| m.median_ns)
+            .expect("measurement present")
+    };
+    let none = median("policy/none");
+    let always = median("policy/always");
+    let never = median("policy/never");
+    let recovery: Vec<(usize, f64)> = RECOVERY_TXNS
+        .iter()
+        .map(|&n| {
+            let records = n * (OPS_PER_TXN + 2);
+            (records, median(&format!("records/{records}")))
+        })
+        .collect();
+    h.set_meta("always_overhead_vs_none", format!("{:.3}", always / none));
+    h.set_meta("never_overhead_vs_none", format!("{:.3}", never / none));
+    for (records, ns) in recovery {
+        h.set_meta(
+            &format!("recovery_ns_per_record_{records}"),
+            format!("{:.0}", ns / records as f64),
+        );
+    }
+    println!(
+        "durability overhead vs no WAL: always {:.2}x, never {:.2}x",
+        always / none,
+        never / none
+    );
+
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_wal.json");
+    if let Err(e) = h.write_json(out) {
+        eprintln!("could not write {out}: {e}");
+    }
+}

@@ -24,7 +24,12 @@
 //!   human-readable counterexample report;
 //! * [`faults`] — fault-injection sweeps against the real server
 //!   (`relser-server`): injected aborts, admission-core crashes, queue
-//!   shedding, and block-timeout storms, each run validated end to end.
+//!   shedding, and block-timeout storms, each run validated end to end;
+//! * [`storage_faults`] (feature `fault-fs`) — storage fault injection
+//!   against the durable server: a fault-injecting WAL backend plus the
+//!   crash-point sweep that cuts, flips, and live-fails the commit log at
+//!   every offset and demands oracle-clean recovery with zero
+//!   acknowledged-commit loss.
 //!
 //! The headline guarantee the test-suite pins down: exhaustive
 //! exploration of the paper's Figure 1 and Figure 4 universes reports
@@ -42,9 +47,15 @@ pub mod faults;
 pub mod oracle;
 pub mod project;
 pub mod shrink;
+#[cfg(feature = "fault-fs")]
+pub mod storage_faults;
 
 pub use explore::{ExploreConfig, ExploreReport, ExploreStats, Mode, ScheduleExplorer};
 pub use faults::{fault_sweep, FaultSweepConfig, FaultSweepReport};
 pub use oracle::{check_execution, Divergence, DivergenceKind, ExecutionRecord};
 pub use project::Projection;
 pub use shrink::{shrink, Counterexample};
+#[cfg(feature = "fault-fs")]
+pub use storage_faults::{
+    crash_point_sweep, CrashSweepConfig, CrashSweepReport, FaultFs, FaultFsConfig, FaultFsHandle,
+};

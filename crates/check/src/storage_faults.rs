@@ -1,0 +1,462 @@
+//! Storage fault injection against the durable server (`fault-fs`).
+//!
+//! The WAL's own tests hammer the *scanner* with arbitrary bytes; this
+//! module hammers the whole durability loop — write path, fsync policy,
+//! crash, recovery, re-certification — with two instruments:
+//!
+//! * [`FaultFs`] — a [`Storage`] shim that fails an append mid-write
+//!   (leaving a torn tail), fails an fsync, or silently flips a bit as
+//!   the bytes land, while tracking the synced watermark that models
+//!   what a real disk still holds after power loss;
+//! * [`crash_point_sweep`] — the headline harness. It runs the durable
+//!   server to completion, then crashes it *everywhere*: the log is cut
+//!   at every byte offset (covering every record boundary and every torn
+//!   tail), bit-flipped at every byte, and re-run live against `FaultFs`
+//!   failures. Every recovery must succeed, pass the full offline oracle
+//!   suite of [`crate::oracle::check_execution`], and — under
+//!   [`FsyncPolicy::Always`] — preserve every acknowledged commit.
+//!
+//! The invariant this buys on top of the fault sweeps in
+//! [`crate::faults`]: **no storage failure can lose an acknowledged
+//! commit or make recovery bless a non-relatively-serializable history.**
+
+use crate::oracle::{check_execution, Divergence, ExecutionRecord};
+use relser_core::spec::AtomicitySpec;
+use relser_core::txn::TxnSet;
+use relser_protocols::SchedulerKind;
+use relser_server::recovery::{recover, Recovery};
+use relser_server::{serve_durable, FaultPlan, RunOutcome, ServeReport, ServerConfig};
+use relser_wal::{FsyncPolicy, MemStorage, Storage, WalWriter};
+use relser_workload::stream::RequestStream;
+use std::io;
+use std::sync::{Arc, Mutex};
+
+/// Knobs for one [`FaultFs`] instance. Ordinals are 0-based; `None`
+/// disables that fault.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FaultFsConfig {
+    /// This append call fails. The writer (and so the core) fail-stops.
+    pub fail_append_at: Option<u64>,
+    /// How many bytes of the failing append still reach the buffer
+    /// before the error — the torn tail a real crash leaves behind.
+    pub torn_bytes: usize,
+    /// Silently flip bit `b` of global byte offset `o` as it is written
+    /// (bit rot / a misdirected write the writer never notices).
+    pub bit_flip: Option<(u64, u8)>,
+    /// This sync call fails (call 0 is the header sync under `Always`).
+    pub fail_sync_at: Option<u64>,
+}
+
+struct FaultInner {
+    bytes: Vec<u8>,
+    synced: usize,
+}
+
+/// A fault-injecting in-memory [`Storage`]: behaves like
+/// [`MemStorage`] until a configured ordinal, then fails exactly the way
+/// the [`FaultFsConfig`] says. The synced watermark only advances on a
+/// *successful* sync, so [`FaultFsHandle::synced_bytes`] is what a
+/// power-lossed disk still holds.
+pub struct FaultFs {
+    inner: Arc<Mutex<FaultInner>>,
+    cfg: FaultFsConfig,
+    appends: u64,
+    syncs: u64,
+}
+
+/// Reader handle onto a [`FaultFs`] buffer (shared with the writer).
+#[derive(Clone)]
+pub struct FaultFsHandle {
+    inner: Arc<Mutex<FaultInner>>,
+}
+
+impl FaultFs {
+    /// A fresh faulty store and its reader handle.
+    pub fn new(cfg: FaultFsConfig) -> (FaultFs, FaultFsHandle) {
+        let inner = Arc::new(Mutex::new(FaultInner {
+            bytes: Vec::new(),
+            synced: 0,
+        }));
+        (
+            FaultFs {
+                inner: Arc::clone(&inner),
+                cfg,
+                appends: 0,
+                syncs: 0,
+            },
+            FaultFsHandle { inner },
+        )
+    }
+}
+
+impl FaultFsHandle {
+    /// Everything ever written (including unsynced and torn tails).
+    pub fn bytes(&self) -> Vec<u8> {
+        self.inner.lock().expect("faultfs lock").bytes.clone()
+    }
+
+    /// The durable prefix: bytes covered by the last successful sync —
+    /// what survives a power loss.
+    pub fn synced_bytes(&self) -> Vec<u8> {
+        let inner = self.inner.lock().expect("faultfs lock");
+        inner.bytes[..inner.synced].to_vec()
+    }
+}
+
+impl Storage for FaultFs {
+    fn append(&mut self, bytes: &[u8]) -> io::Result<()> {
+        let n = self.appends;
+        self.appends += 1;
+        let mut inner = self.inner.lock().expect("faultfs lock");
+        if self.cfg.fail_append_at == Some(n) {
+            let keep = self.cfg.torn_bytes.min(bytes.len());
+            let slice = &bytes[..keep];
+            inner.bytes.extend_from_slice(slice);
+            return Err(io::Error::other("injected append failure (torn tail)"));
+        }
+        let start = inner.bytes.len() as u64;
+        inner.bytes.extend_from_slice(bytes);
+        if let Some((off, bit)) = self.cfg.bit_flip {
+            if off >= start && off < inner.bytes.len() as u64 {
+                inner.bytes[off as usize] ^= 1 << (bit % 8);
+            }
+        }
+        Ok(())
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        let n = self.syncs;
+        self.syncs += 1;
+        if self.cfg.fail_sync_at == Some(n) {
+            return Err(io::Error::other("injected fsync failure"));
+        }
+        let mut inner = self.inner.lock().expect("faultfs lock");
+        inner.synced = inner.bytes.len();
+        Ok(())
+    }
+
+    fn len(&self) -> u64 {
+        self.inner.lock().expect("faultfs lock").bytes.len() as u64
+    }
+}
+
+/// The sweep grid: which protocols/seeds to log, and which live storage
+/// faults to inject on top of the exhaustive offline cuts.
+#[derive(Clone, Debug)]
+pub struct CrashSweepConfig {
+    /// Protocols to sweep.
+    pub kinds: Vec<SchedulerKind>,
+    /// Arrival-order seeds (one clean durable run each).
+    pub seeds: Vec<u64>,
+    /// Append ordinals to fail live (each with every `torn_bytes` value).
+    pub fail_appends: Vec<u64>,
+    /// Torn-tail lengths for the failing append.
+    pub torn_bytes: Vec<usize>,
+    /// Sync ordinals to fail live.
+    pub fail_syncs: Vec<u64>,
+    /// Session worker threads per live run.
+    pub workers: usize,
+}
+
+impl Default for CrashSweepConfig {
+    fn default() -> Self {
+        CrashSweepConfig {
+            kinds: vec![SchedulerKind::RsgSgt],
+            seeds: vec![1, 2],
+            fail_appends: vec![0, 2, 5, 9],
+            torn_bytes: vec![0, 1, 5],
+            fail_syncs: vec![0, 3, 7],
+            workers: 3,
+        }
+    }
+}
+
+/// What the sweep observed. [`CrashSweepReport::clean`] is the pass/fail.
+#[derive(Debug, Default)]
+pub struct CrashSweepReport {
+    /// Clean durable runs whose logs were swept.
+    pub runs: u64,
+    /// Offline crash points recovered (one per byte offset per log).
+    pub crash_points: u64,
+    /// Single-bit corruptions recovered (one per byte per log).
+    pub bit_flips: u64,
+    /// Live [`FaultFs`] runs (each crashed the core mid-run).
+    pub live_faults: u64,
+    /// Recoveries oracle-checked through [`check_execution`].
+    pub oracle_checked: u64,
+    /// Acknowledged commits verified present after recovery.
+    pub acked_commits_checked: u64,
+    /// Acknowledged commits a recovery failed to produce (must be 0).
+    pub lost_commits: u64,
+    /// Recoveries that errored (must be 0 — every cut/flip/fault leaves
+    /// a recoverable log).
+    pub failed_recoveries: u64,
+    /// Committed-count regressions across increasing cut points (must
+    /// be 0: a longer surviving log never recovers fewer commits).
+    pub monotonicity_violations: u64,
+    /// Oracle divergences (count; storage capped like the fault sweep).
+    pub divergence_count: u64,
+    /// The first divergences found.
+    pub divergences: Vec<Divergence>,
+}
+
+impl CrashSweepReport {
+    /// Did every crash point recover cleanly with nothing lost?
+    pub fn clean(&self) -> bool {
+        self.divergence_count == 0
+            && self.lost_commits == 0
+            && self.failed_recoveries == 0
+            && self.monotonicity_violations == 0
+    }
+}
+
+/// Runs the crash-point sweep over one universe; see the module docs.
+/// Everything uses [`FsyncPolicy::Always`], the policy whose contract
+/// ("zero acknowledged commits lost, ever") is checkable pointwise.
+pub fn crash_point_sweep(
+    txns: &TxnSet,
+    spec: &AtomicitySpec,
+    cfg: &CrashSweepConfig,
+) -> CrashSweepReport {
+    let mut report = CrashSweepReport::default();
+    for &kind in &cfg.kinds {
+        for &seed in &cfg.seeds {
+            let server_cfg = ServerConfig {
+                workers: cfg.workers,
+                record_trace: true,
+                seed,
+                ..ServerConfig::default()
+            };
+            // One clean durable run produces the log the offline passes cut up.
+            let (mem, handle) = MemStorage::new();
+            let mut wal =
+                WalWriter::new(Box::new(mem), FsyncPolicy::Always).expect("MemStorage never fails");
+            let run = serve_one(txns, spec, kind, &server_cfg, &mut wal);
+            if run.outcome != RunOutcome::Completed {
+                // A failed faultless run is a server bug the plain fault
+                // sweep reports; the storage sweep just skips the log.
+                continue;
+            }
+            report.runs += 1;
+            let bytes = handle.bytes();
+
+            // Pass 1: cut the log at every byte — every record boundary
+            // and every torn-tail length in between.
+            let mut prev_commits = 0usize;
+            for cut in 0..=bytes.len() {
+                report.crash_points += 1;
+                let Some(rec) = try_recover(txns, spec, kind, &bytes[..cut], &mut report) else {
+                    continue;
+                };
+                if rec.committed.len() < prev_commits {
+                    report.monotonicity_violations += 1;
+                }
+                prev_commits = rec.committed.len();
+                // Oracle-check the boundary cuts (where the recovered
+                // state is a genuine acknowledged prefix; mid-frame cuts
+                // recover the same states a nearby boundary already checks).
+                if rec.truncation.is_none() {
+                    oracle_check(txns, spec, kind, &rec, &mut report);
+                }
+            }
+            // The full log must recover the full run.
+            check_acked_commits(&run, &bytes, txns, spec, kind, &mut report);
+
+            // Pass 2: flip one bit in every byte — recovery must survive
+            // (truncating at the damage), never panic, never forge state.
+            for byte in 0..bytes.len() {
+                report.bit_flips += 1;
+                let mut corrupt = bytes.clone();
+                corrupt[byte] ^= 1 << (byte % 8);
+                let _ = try_recover(txns, spec, kind, &corrupt, &mut report);
+            }
+
+            // Pass 3: live FaultFs runs — the storage fails mid-run, the
+            // core fail-stops, and the synced watermark must still hold
+            // every commit the crashed run acknowledged.
+            let mut live: Vec<FaultFsConfig> = Vec::new();
+            for &a in &cfg.fail_appends {
+                for &t in &cfg.torn_bytes {
+                    live.push(FaultFsConfig {
+                        fail_append_at: Some(a),
+                        torn_bytes: t,
+                        ..FaultFsConfig::default()
+                    });
+                }
+            }
+            for &s in &cfg.fail_syncs {
+                live.push(FaultFsConfig {
+                    fail_sync_at: Some(s),
+                    ..FaultFsConfig::default()
+                });
+            }
+            for fs_cfg in live {
+                report.live_faults += 1;
+                let (fs, fs_handle) = FaultFs::new(fs_cfg);
+                let mut wal = match WalWriter::new(Box::new(fs), FsyncPolicy::Always) {
+                    Ok(w) => w,
+                    // Header append/sync already failed: nothing was ever
+                    // acknowledged, and the empty synced prefix recovers
+                    // to the empty state below.
+                    Err(_) => {
+                        let durable = fs_handle.synced_bytes();
+                        let _ = try_recover(txns, spec, kind, &durable, &mut report);
+                        continue;
+                    }
+                };
+                let crashed = serve_one(txns, spec, kind, &server_cfg, &mut wal);
+                check_acked_commits(
+                    &crashed,
+                    &fs_handle.synced_bytes(),
+                    txns,
+                    spec,
+                    kind,
+                    &mut report,
+                );
+            }
+        }
+    }
+    report
+}
+
+/// One durable server run against `wal`.
+fn serve_one(
+    txns: &TxnSet,
+    spec: &AtomicitySpec,
+    kind: SchedulerKind,
+    server_cfg: &ServerConfig,
+    wal: &mut WalWriter,
+) -> ServeReport {
+    let stream = RequestStream::shuffled(txns, server_cfg.seed);
+    serve_durable(
+        txns,
+        &stream,
+        kind.make(txns, spec),
+        server_cfg,
+        &FaultPlan::default(),
+        wal,
+    )
+}
+
+/// Recovers `bytes` into a fresh scheduler, counting failures.
+fn try_recover(
+    txns: &TxnSet,
+    spec: &AtomicitySpec,
+    kind: SchedulerKind,
+    bytes: &[u8],
+    report: &mut CrashSweepReport,
+) -> Option<Recovery> {
+    let mut fresh = kind.make(txns, spec);
+    match recover(txns, spec, &mut *fresh, bytes) {
+        Ok(rec) => Some(rec),
+        Err(_) => {
+            report.failed_recoveries += 1;
+            None
+        }
+    }
+}
+
+/// The zero-acknowledged-commit-loss check: every commit the (possibly
+/// crashed) run reported must come back from recovering `durable_bytes`,
+/// and the recovered state must pass the oracle suite.
+fn check_acked_commits(
+    run: &ServeReport,
+    durable_bytes: &[u8],
+    txns: &TxnSet,
+    spec: &AtomicitySpec,
+    kind: SchedulerKind,
+    report: &mut CrashSweepReport,
+) {
+    let Some(rec) = try_recover(txns, spec, kind, durable_bytes, report) else {
+        report.lost_commits += run.committed.len() as u64;
+        return;
+    };
+    for t in &run.committed {
+        report.acked_commits_checked += 1;
+        if !rec.committed.contains(t) {
+            report.lost_commits += 1;
+        }
+    }
+    oracle_check(txns, spec, kind, &rec, report);
+}
+
+/// Pushes a recovered state through the full offline oracle suite.
+fn oracle_check(
+    txns: &TxnSet,
+    spec: &AtomicitySpec,
+    kind: SchedulerKind,
+    rec: &Recovery,
+    report: &mut CrashSweepReport,
+) {
+    report.oracle_checked += 1;
+    let exec = ExecutionRecord {
+        path: Vec::new(),
+        committed: rec.committed.clone(),
+        log: rec.log.clone(),
+        trace: rec.trace.clone(),
+        shadow_mismatch: None,
+    };
+    let found = check_execution(txns, spec, kind, &exec);
+    report.divergence_count += found.len() as u64;
+    for d in found {
+        if report.divergences.len() < crate::explore::MAX_STORED_DIVERGENCES {
+            report.divergences.push(d);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relser_core::paper::Figure1;
+
+    #[test]
+    fn figure1_crash_point_sweep_is_clean() {
+        let fig = Figure1::new();
+        let cfg = CrashSweepConfig {
+            seeds: vec![1],
+            fail_appends: vec![0, 3],
+            torn_bytes: vec![0, 3],
+            fail_syncs: vec![1, 4],
+            ..CrashSweepConfig::default()
+        };
+        let report = crash_point_sweep(&fig.txns, &fig.spec, &cfg);
+        assert!(report.clean(), "{report:?}");
+        assert!(report.crash_points > 0);
+        assert!(report.bit_flips > 0);
+        assert!(report.live_faults > 0);
+        assert!(report.acked_commits_checked > 0);
+    }
+
+    #[test]
+    fn faultfs_tears_and_flips_as_configured() {
+        let (mut fs, handle) = FaultFs::new(FaultFsConfig {
+            fail_append_at: Some(1),
+            torn_bytes: 2,
+            bit_flip: Some((1, 0)),
+            ..FaultFsConfig::default()
+        });
+        fs.append(&[0xAA, 0xBB, 0xCC]).unwrap();
+        assert_eq!(handle.bytes(), vec![0xAA, 0xBB ^ 1, 0xCC], "bit flipped");
+        assert_eq!(handle.synced_bytes(), b"", "nothing synced yet");
+        fs.sync().unwrap();
+        assert_eq!(handle.synced_bytes().len(), 3);
+        let err = fs.append(&[0x11, 0x22, 0x33]).unwrap_err();
+        assert!(err.to_string().contains("torn tail"));
+        assert_eq!(handle.bytes().len(), 5, "two torn bytes landed");
+        assert_eq!(handle.synced_bytes().len(), 3, "torn tail not durable");
+    }
+
+    #[test]
+    fn failed_sync_stops_the_watermark() {
+        let (mut fs, handle) = FaultFs::new(FaultFsConfig {
+            fail_sync_at: Some(0),
+            ..FaultFsConfig::default()
+        });
+        fs.append(&[1, 2, 3]).unwrap();
+        assert!(fs.sync().is_err());
+        assert_eq!(handle.synced_bytes(), b"");
+        fs.sync().unwrap();
+        assert_eq!(handle.synced_bytes().len(), 3, "later syncs recover");
+    }
+}

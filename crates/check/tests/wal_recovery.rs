@@ -1,0 +1,122 @@
+//! Recovery × oracle cross-validation (no features required).
+//!
+//! Durable server runs — clean, and crashed mid-run by the admission
+//! core's deterministic fault plan — write their WAL to plain
+//! `MemStorage`; recovery rebuilds the state from the bytes, and the
+//! recovered `(committed, log, trace)` triple is pushed through the full
+//! offline oracle suite exactly like a live execution would be. Theorem 1
+//! acyclicity, lattice containments, conflict-serializability claims, and
+//! deterministic trace replay must all hold for what recovery blesses —
+//! for every production scheduler.
+
+use relser_check::{check_execution, ExecutionRecord};
+use relser_core::paper::{Figure1, Figure2};
+use relser_core::spec::AtomicitySpec;
+use relser_core::txn::TxnSet;
+use relser_protocols::SchedulerKind;
+use relser_server::recovery::recover;
+use relser_server::{serve_durable, FaultPlan, RunOutcome, ServerConfig};
+use relser_wal::{FsyncPolicy, MemHandle, MemStorage, WalWriter};
+use relser_workload::stream::RequestStream;
+
+/// One durable run; returns the committed set the server reported and
+/// the log bytes it wrote.
+fn durable_run(
+    txns: &TxnSet,
+    spec: &AtomicitySpec,
+    kind: SchedulerKind,
+    seed: u64,
+    faults: &FaultPlan,
+) -> (RunOutcome, Vec<relser_core::ids::TxnId>, MemHandle) {
+    let (mem, handle) = MemStorage::new();
+    let mut wal = WalWriter::new(Box::new(mem), FsyncPolicy::Always).unwrap();
+    let cfg = ServerConfig {
+        workers: 3,
+        record_trace: true,
+        seed,
+        ..ServerConfig::default()
+    };
+    let stream = RequestStream::shuffled(txns, seed);
+    let report = serve_durable(txns, &stream, kind.make(txns, spec), &cfg, faults, &mut wal);
+    (report.outcome, report.committed, handle)
+}
+
+/// Recovers `handle`'s bytes and runs the oracle suite over the result.
+fn recover_and_check(
+    txns: &TxnSet,
+    spec: &AtomicitySpec,
+    kind: SchedulerKind,
+    handle: &MemHandle,
+) -> ExecutionRecord {
+    let mut fresh = kind.make(txns, spec);
+    let rec = recover(txns, spec, &mut *fresh, &handle.bytes()).expect("recovery succeeds");
+    let exec = ExecutionRecord {
+        path: Vec::new(),
+        committed: rec.committed,
+        log: rec.log,
+        trace: rec.trace,
+        shadow_mismatch: None,
+    };
+    let divergences = check_execution(txns, spec, kind, &exec);
+    assert!(
+        divergences.is_empty(),
+        "{kind:?}: recovered state diverges: {divergences:?}"
+    );
+    exec
+}
+
+#[test]
+fn clean_durable_runs_recover_oracle_clean_for_every_scheduler() {
+    let fig = Figure1::new();
+    for kind in SchedulerKind::all() {
+        for seed in [1u64, 2, 3] {
+            let (outcome, committed, handle) =
+                durable_run(&fig.txns, &fig.spec, kind, seed, &FaultPlan::default());
+            assert_eq!(outcome, RunOutcome::Completed, "{kind:?} seed {seed}");
+            let exec = recover_and_check(&fig.txns, &fig.spec, kind, &handle);
+            assert_eq!(exec.committed, committed, "{kind:?} seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn crashed_durable_runs_lose_no_acknowledged_commit() {
+    let fig = Figure2::new();
+    for kind in SchedulerKind::all() {
+        for crash_at in [0u64, 3, 7, 12] {
+            let faults = FaultPlan {
+                crash_at_command: Some(crash_at),
+                ..FaultPlan::default()
+            };
+            let (outcome, committed, handle) = durable_run(&fig.txns, &fig.spec, kind, 1, &faults);
+            if outcome == RunOutcome::Completed {
+                // The run finished before reaching the crash command.
+                continue;
+            }
+            let exec = recover_and_check(&fig.txns, &fig.spec, kind, &handle);
+            // Under FsyncPolicy::Always every acknowledged commit is in
+            // the durable prefix: the crashed run's committed set must
+            // come back exactly.
+            assert_eq!(
+                exec.committed, committed,
+                "{kind:?} crash@{crash_at}: acknowledged commits lost or forged"
+            );
+        }
+    }
+}
+
+#[test]
+fn injected_abort_runs_recover_oracle_clean() {
+    let fig = Figure1::new();
+    for k in [1u64, 3, 6] {
+        let faults = FaultPlan {
+            abort_requests: vec![k],
+            ..FaultPlan::default()
+        };
+        let (outcome, committed, handle) =
+            durable_run(&fig.txns, &fig.spec, SchedulerKind::RsgSgt, 2, &faults);
+        assert_eq!(outcome, RunOutcome::Completed, "abort@{k}");
+        let exec = recover_and_check(&fig.txns, &fig.spec, SchedulerKind::RsgSgt, &handle);
+        assert_eq!(exec.committed, committed, "abort@{k}");
+    }
+}

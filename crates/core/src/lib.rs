@@ -83,6 +83,7 @@ pub mod incremental;
 pub mod infer;
 pub mod op;
 pub mod paper;
+pub mod project;
 pub mod rsg;
 pub mod schedule;
 pub mod sg;
@@ -98,6 +99,7 @@ pub mod prelude {
     pub use crate::ids::{ObjectId, OpId, TxnId};
     pub use crate::incremental::{IncrementalRsg, RsgDelta};
     pub use crate::op::{AccessMode, Operation};
+    pub use crate::project::Projection;
     pub use crate::rsg::{ArcKinds, Rsg};
     pub use crate::schedule::Schedule;
     pub use crate::sg::SerializationGraph;

@@ -19,6 +19,8 @@ use crate::queue::BoundedQueue;
 use relser_core::ids::{OpId, TxnId};
 use relser_protocols::{AbortReason, Decision, Scheduler};
 use relser_simdb::metrics::LatencyHistogram;
+use relser_wal::{WalRecord, WalStats, WalWriter};
+use std::fmt;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -63,27 +65,56 @@ impl Reply {
         cv.notify_all();
     }
 
-    /// Blocks until the cell is filled. A generous watchdog panics after
-    /// 60 s — a reply can only go missing if the admission core died, and
-    /// hanging forever would mask that bug in tests.
-    pub fn wait(&self) -> Decision {
+    /// Blocks until the cell is filled, with a generous 60 s watchdog. A
+    /// reply can only go missing if the admission core died (or dropped
+    /// the cell); the watchdog turns that hang into a typed
+    /// [`ReplyLost`] the session can degrade on — one session fails, the
+    /// rest of the service keeps running.
+    pub fn wait(&self) -> Result<Decision, ReplyLost> {
+        self.wait_for(Duration::from_secs(60))
+    }
+
+    /// [`Reply::wait`] with an explicit watchdog duration (tests and
+    /// latency-sensitive deployments shorten it).
+    pub fn wait_for(&self, watchdog: Duration) -> Result<Decision, ReplyLost> {
         let (slot, cv) = &*self.cell;
         let mut guard = slot.lock().expect("reply lock");
-        let deadline = Instant::now() + Duration::from_secs(60);
+        let deadline = Instant::now() + watchdog;
         loop {
             if let Some(d) = guard.take() {
-                return d;
+                return Ok(d);
             }
             let now = Instant::now();
-            assert!(
-                now < deadline,
-                "no reply from the admission core within 60s (core died?)"
-            );
+            if now >= deadline {
+                return Err(ReplyLost { waited: watchdog });
+            }
             let (g, _) = cv.wait_timeout(guard, deadline - now).expect("reply lock");
             guard = g;
         }
     }
 }
+
+/// The admission core never answered within the watchdog — it died, or
+/// the command (and its reply cell) was lost. The waiting session treats
+/// this as its own failure, not the service's: it gives up on its
+/// transaction without tearing the whole run down.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReplyLost {
+    /// How long the session waited before giving up.
+    pub waited: Duration,
+}
+
+impl fmt::Display for ReplyLost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "no reply from the admission core within {:?} (core died?)",
+            self.waited
+        )
+    }
+}
+
+impl std::error::Error for ReplyLost {}
 
 impl Default for Reply {
     fn default() -> Self {
@@ -205,8 +236,17 @@ pub struct CoreOutput {
     /// set is the committed history even when the run did not complete
     /// (crash faults, session failures).
     pub committed: Vec<TxnId>,
-    /// The core crashed at the planned command index (see [`FaultPlan`]).
+    /// The core crashed: at the planned command index (see [`FaultPlan`])
+    /// or because the write-ahead log failed (see
+    /// [`CoreOutput::wal_error`]).
     pub crashed: bool,
+    /// Write-ahead log counters (zero when the core ran without a log).
+    pub wal: WalStats,
+    /// The storage error that fail-stopped the core, if any. A durable
+    /// core treats a WAL append/sync failure as fatal: it cannot
+    /// acknowledge work it cannot make durable, so it crashes and lets
+    /// recovery truncate at the damage.
+    pub wal_error: Option<String>,
     /// Injected (fault-plan) aborts applied.
     pub injected_aborts: u64,
     /// The replayable event trace (empty unless trace recording is on).
@@ -257,12 +297,58 @@ pub fn run_core(
 /// [`run_core`] with a deterministic [`FaultPlan`]. With an empty plan
 /// the behaviour is identical to `run_core`.
 pub fn run_core_faulty(
+    scheduler: Box<dyn Scheduler + Send + '_>,
+    queue: &BoundedQueue<Command>,
+    progress: &Progress,
+    batch_max: usize,
+    record_trace: bool,
+    faults: &FaultPlan,
+) -> CoreOutput {
+    run_core_durable(
+        scheduler,
+        queue,
+        progress,
+        batch_max,
+        record_trace,
+        faults,
+        None,
+    )
+}
+
+/// Why one command's application stopped the core.
+enum Halt {
+    /// Planned crash ([`FaultPlan::crash_at_command`]); the command was
+    /// not applied and its reply (if any) must be unwound.
+    PlannedCrash(Option<Reply>),
+    /// The write-ahead log failed; fail-stop with the storage error. The
+    /// command's effects are not acknowledged.
+    WalBroken(String, Option<Reply>),
+}
+
+/// [`run_core_faulty`] with an optional write-ahead log.
+///
+/// When `wal` is given, the core follows the WAL discipline: every
+/// state-*changing* event (begin, grant, commit, abort — blocks change
+/// nothing and are not logged) is appended **before** it is applied and
+/// acknowledged, in core order, which is the run's serialization point.
+/// Under `FsyncPolicy::Always` the append also syncs, so an acknowledged
+/// decision or an applied commit is durable by the time anyone can
+/// observe it. Deferred policies get their group-commit barrier once per
+/// drained queue batch ([`WalWriter::batch_end`]).
+///
+/// A WAL append/sync failure is fatal by design: the core cannot
+/// acknowledge work it cannot make durable, so it crashes exactly like a
+/// planned crash fault (queue closed, in-flight replies unwound) and the
+/// storage error is reported in [`CoreOutput::wal_error`]. Recovery then
+/// truncates the log at the damage.
+pub fn run_core_durable(
     mut scheduler: Box<dyn Scheduler + Send + '_>,
     queue: &BoundedQueue<Command>,
     progress: &Progress,
     batch_max: usize,
     record_trace: bool,
     faults: &FaultPlan,
+    mut wal: Option<&mut WalWriter>,
 ) -> CoreOutput {
     let mut out = CoreOutput::default();
     let mut batch: Vec<Command> = Vec::with_capacity(batch_max);
@@ -273,99 +359,54 @@ pub fn run_core_faulty(
         let mut changed = false;
         let mut pending = batch.drain(..);
         while let Some(cmd) = pending.next() {
-            if faults.crash_at_command == Some(out.commands) {
-                // Crash point: stop applying commands. Close the queue so
-                // sessions stop submitting, then unwind everything still
-                // in flight (this batch's remainder plus the backlog) so
-                // no session hangs on an unfilled reply cell.
+            let halt: Halt = match apply_command(
+                cmd,
+                &mut *scheduler,
+                &mut out,
+                &mut requests_seen,
+                record_trace,
+                faults,
+                &mut wal,
+                &mut changed,
+            ) {
+                Ok(()) => continue,
+                Err(h) => h,
+            };
+            // Crash path — planned fault or broken WAL. Stop applying
+            // commands and close the queue so sessions stop submitting,
+            // then unwind everything still in flight (the dying command's
+            // reply, this batch's remainder, and the backlog) so no
+            // session hangs on an unfilled reply cell.
+            out.crashed = true;
+            let dying_reply = match halt {
+                Halt::PlannedCrash(r) => r,
+                Halt::WalBroken(err, r) => {
+                    out.wal_error = Some(err);
+                    r
+                }
+            };
+            queue.close();
+            if let Some(reply) = dying_reply {
+                reply.fill(Decision::Aborted(AbortReason::Injected));
+            }
+            let rest: Vec<Command> = pending.by_ref().collect();
+            drain_after_crash(rest, queue, batch_max);
+            progress.bump();
+            break 'serve;
+        }
+        // Group commit: one durability barrier per drained batch for the
+        // deferred fsync policies. A failed barrier fail-stops like any
+        // other WAL error (there is no command to unwind — its effects
+        // were acknowledged under a deferred policy, which is exactly the
+        // bounded loss window that policy buys throughput with).
+        if let Some(w) = wal.as_deref_mut() {
+            if let Err(e) = w.batch_end() {
                 out.crashed = true;
+                out.wal_error = Some(e.to_string());
                 queue.close();
-                // `cmd` itself dies in the crash too — its reply must be
-                // unwound like the rest or its session hangs forever.
-                let mut rest: Vec<Command> = vec![cmd];
-                rest.extend(pending.by_ref());
-                drain_after_crash(rest, queue, batch_max);
+                drain_after_crash(Vec::new(), queue, batch_max);
                 progress.bump();
                 break 'serve;
-            }
-            out.commands += 1;
-            match cmd {
-                Command::Begin(txn) => {
-                    scheduler.begin(txn);
-                    if record_trace {
-                        out.trace.push(TraceEvent::Begin(txn));
-                    }
-                }
-                Command::Request {
-                    op,
-                    enqueued,
-                    reply,
-                } => {
-                    let request_index = requests_seen;
-                    requests_seen += 1;
-                    if faults.abort_requests.contains(&request_index) {
-                        // Injected abort: the scheduler is never asked;
-                        // the abort is applied exactly like a
-                        // scheduler-initiated one. The trace records a
-                        // plain `Abort` (not a `Decision`) so replay does
-                        // not expect a real scheduler to answer
-                        // `Aborted` here.
-                        out.injected_aborts += 1;
-                        scheduler.abort(op.txn);
-                        out.log.retain(|o| o.txn != op.txn);
-                        changed = true;
-                        if record_trace {
-                            out.trace.push(TraceEvent::Abort(op.txn));
-                        }
-                        reply.fill(Decision::Aborted(AbortReason::Injected));
-                        continue;
-                    }
-                    let t0 = Instant::now();
-                    let decision = scheduler.request(op);
-                    out.decision_ns.push(t0.elapsed().as_nanos() as u64);
-                    out.admission.record(enqueued.elapsed().as_nanos() as u64);
-                    match &decision {
-                        Decision::Granted => {
-                            out.grants += 1;
-                            out.log.push(op);
-                            changed = true;
-                        }
-                        Decision::Blocked { .. } => {
-                            out.blocked += 1;
-                        }
-                        Decision::Aborted(_) => {
-                            // The abort is applied here, inside the core,
-                            // so the scheduler state transition and the
-                            // log purge are atomic w.r.t. other commands.
-                            out.aborts += 1;
-                            scheduler.abort(op.txn);
-                            out.log.retain(|o| o.txn != op.txn);
-                            changed = true;
-                        }
-                    }
-                    if record_trace {
-                        out.trace.push(TraceEvent::Decision(op, decision.clone()));
-                    }
-                    reply.fill(decision);
-                }
-                Command::Commit(txn) => {
-                    scheduler.commit(txn);
-                    out.commits += 1;
-                    out.committed.push(txn);
-                    changed = true;
-                    if record_trace {
-                        out.trace.push(TraceEvent::Commit(txn));
-                    }
-                }
-                Command::Abort(txn) => {
-                    scheduler.abort(txn);
-                    out.log.retain(|o| o.txn != txn);
-                    out.timeout_aborts += 1;
-                    changed = true;
-                    if record_trace {
-                        out.trace.push(TraceEvent::Abort(txn));
-                    }
-                }
             }
         }
         // One bump per batch, not per command: waking blocked sessions is
@@ -374,7 +415,161 @@ pub fn run_core_faulty(
             progress.bump();
         }
     }
+    if let Some(w) = wal {
+        // Clean shutdown gets a final barrier; a crashed core died before
+        // reaching it (that is what the crash-point sweep recovers from).
+        if !out.crashed {
+            if let Err(e) = w.close() {
+                out.wal_error = Some(e.to_string());
+            }
+        }
+        out.wal = w.stats();
+    }
     out
+}
+
+/// Applies one command inside [`run_core_durable`]'s batch loop.
+/// `Err(halt)` means the core must crash without acknowledging the
+/// command. Separated out so the WAL-before-apply ordering is auditable
+/// per command kind.
+#[allow(clippy::too_many_arguments)]
+fn apply_command(
+    cmd: Command,
+    scheduler: &mut (dyn Scheduler + Send + '_),
+    out: &mut CoreOutput,
+    requests_seen: &mut u64,
+    record_trace: bool,
+    faults: &FaultPlan,
+    wal: &mut Option<&mut WalWriter>,
+    changed: &mut bool,
+) -> Result<(), Halt> {
+    if faults.crash_at_command == Some(out.commands) {
+        let reply = match cmd {
+            Command::Request { reply, .. } => Some(reply),
+            _ => None,
+        };
+        return Err(Halt::PlannedCrash(reply));
+    }
+    let mut wal_append = |rec: WalRecord| -> Result<(), String> {
+        match wal.as_deref_mut() {
+            Some(w) => w.append(&rec).map_err(|e| e.to_string()),
+            None => Ok(()),
+        }
+    };
+    out.commands += 1;
+    match cmd {
+        Command::Begin(txn) => {
+            if let Err(e) = wal_append(WalRecord::Begin(txn)) {
+                out.commands -= 1;
+                return Err(Halt::WalBroken(e, None));
+            }
+            scheduler.begin(txn);
+            if record_trace {
+                out.trace.push(TraceEvent::Begin(txn));
+            }
+        }
+        Command::Request {
+            op,
+            enqueued,
+            reply,
+        } => {
+            let request_index = *requests_seen;
+            *requests_seen += 1;
+            if faults.abort_requests.contains(&request_index) {
+                // Injected abort: the scheduler is never asked; the abort
+                // is applied exactly like a scheduler-initiated one. The
+                // trace records a plain `Abort` (not a `Decision`) so
+                // replay does not expect a real scheduler to answer
+                // `Aborted` here.
+                if let Err(e) = wal_append(WalRecord::Abort(op.txn)) {
+                    out.commands -= 1;
+                    *requests_seen -= 1;
+                    return Err(Halt::WalBroken(e, Some(reply)));
+                }
+                out.injected_aborts += 1;
+                scheduler.abort(op.txn);
+                out.log.retain(|o| o.txn != op.txn);
+                *changed = true;
+                if record_trace {
+                    out.trace.push(TraceEvent::Abort(op.txn));
+                }
+                reply.fill(Decision::Aborted(AbortReason::Injected));
+                return Ok(());
+            }
+            let t0 = Instant::now();
+            let decision = scheduler.request(op);
+            out.decision_ns.push(t0.elapsed().as_nanos() as u64);
+            out.admission.record(enqueued.elapsed().as_nanos() as u64);
+            // WAL-before-ack: the record for a state-changing decision
+            // must be appended (and, under `Always`, synced) before the
+            // reply is filled. On failure the decision is *not*
+            // acknowledged — the scheduler state change dies with the
+            // core, and recovery never sees the unlogged grant.
+            let wal_res = match &decision {
+                Decision::Granted => wal_append(WalRecord::Grant(op)),
+                Decision::Aborted(_) => wal_append(WalRecord::Abort(op.txn)),
+                Decision::Blocked { .. } => Ok(()),
+            };
+            if let Err(e) = wal_res {
+                out.commands -= 1;
+                *requests_seen -= 1;
+                return Err(Halt::WalBroken(e, Some(reply)));
+            }
+            match &decision {
+                Decision::Granted => {
+                    out.grants += 1;
+                    out.log.push(op);
+                    *changed = true;
+                }
+                Decision::Blocked { .. } => {
+                    out.blocked += 1;
+                }
+                Decision::Aborted(_) => {
+                    // The abort is applied here, inside the core, so the
+                    // scheduler state transition and the log purge are
+                    // atomic w.r.t. other commands.
+                    out.aborts += 1;
+                    scheduler.abort(op.txn);
+                    out.log.retain(|o| o.txn != op.txn);
+                    *changed = true;
+                }
+            }
+            if record_trace {
+                out.trace.push(TraceEvent::Decision(op, decision.clone()));
+            }
+            reply.fill(decision);
+        }
+        Command::Commit(txn) => {
+            // The commit record is durable (under `Always`) before the
+            // commit is applied and counted: an acknowledged commit can
+            // never be lost, an unlogged one is never acknowledged.
+            if let Err(e) = wal_append(WalRecord::Commit(txn)) {
+                out.commands -= 1;
+                return Err(Halt::WalBroken(e, None));
+            }
+            scheduler.commit(txn);
+            out.commits += 1;
+            out.committed.push(txn);
+            *changed = true;
+            if record_trace {
+                out.trace.push(TraceEvent::Commit(txn));
+            }
+        }
+        Command::Abort(txn) => {
+            if let Err(e) = wal_append(WalRecord::Abort(txn)) {
+                out.commands -= 1;
+                return Err(Halt::WalBroken(e, None));
+            }
+            scheduler.abort(txn);
+            out.log.retain(|o| o.txn != txn);
+            out.timeout_aborts += 1;
+            *changed = true;
+            if record_trace {
+                out.trace.push(TraceEvent::Abort(txn));
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Unwinds every command still in flight after a crash: request replies
@@ -410,7 +605,17 @@ mod tests {
         let h = std::thread::spawn(move || waiter.wait());
         std::thread::sleep(Duration::from_millis(5));
         r.fill(Decision::Granted);
-        assert_eq!(h.join().unwrap(), Decision::Granted);
+        assert_eq!(h.join().unwrap(), Ok(Decision::Granted));
+    }
+
+    #[test]
+    fn unfilled_reply_times_out_with_typed_error() {
+        let r = Reply::new();
+        let watchdog = Duration::from_millis(10);
+        assert_eq!(r.wait_for(watchdog), Err(ReplyLost { waited: watchdog }));
+        // The cell still works afterwards: a late fill is delivered.
+        r.fill(Decision::Granted);
+        assert_eq!(r.wait_for(watchdog), Ok(Decision::Granted));
     }
 
     #[test]

@@ -25,8 +25,13 @@
 //! * [`server`] — [`serve`] wires it all together with `thread::scope`
 //!   and returns the committed history as a validated
 //!   [`Schedule`](relser_core::schedule::Schedule) plus [`ServerMetrics`];
-//!   [`replay`] re-executes a recorded trace
-//!   deterministically on one thread;
+//!   [`serve_durable`] adds a write-ahead commit log
+//!   ([`relser_wal::WalWriter`]) so every acknowledged decision survives
+//!   a crash; [`replay`] re-executes a recorded trace deterministically
+//!   on one thread;
+//! * [`recovery`] — [`recover`] rebuilds a fresh scheduler from a WAL's
+//!   longest valid prefix and re-certifies the committed history against
+//!   the Theorem 1 oracle before accepting it;
 //! * [`baseline`] — the single-thread yardstick for throughput speedups.
 //!
 //! ## The headline invariant
@@ -58,15 +63,17 @@ pub mod baseline;
 pub mod core;
 pub mod metrics;
 pub mod queue;
+pub mod recovery;
 pub mod server;
 pub mod session;
 
 pub use baseline::{run_baseline, BaselineRun};
-pub use core::{FaultPlan, TraceEvent};
+pub use core::{run_core_durable, FaultPlan, ReplyLost, TraceEvent};
 pub use metrics::ServerMetrics;
 pub use queue::{BoundedQueue, PushError, QueueStats};
+pub use recovery::{recover, Recovery, RecoveryError};
 pub use server::{
-    replay, serve, serve_report, serve_stream, ReplayMismatch, RunOutcome, ServeReport,
-    ServerConfig, ServerError, ServerRun,
+    replay, serve, serve_durable, serve_report, serve_stream, ReplayMismatch, RunOutcome,
+    ServeReport, ServerConfig, ServerError, ServerRun,
 };
-pub use session::{OverloadPolicy, SessionError, SessionStats};
+pub use session::{restart_backoff, OverloadPolicy, SessionError, SessionStats};

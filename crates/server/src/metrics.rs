@@ -2,6 +2,7 @@
 
 use crate::queue::QueueStats;
 use relser_simdb::metrics::{DecisionLatency, LatencyHistogram};
+use relser_wal::WalStats;
 use std::fmt;
 use std::time::Duration;
 
@@ -42,6 +43,15 @@ pub struct ServerMetrics {
     pub elapsed: Duration,
     /// Operations in the committed history.
     pub committed_ops: u64,
+    /// Total time sessions slept in restart backoff, in nanoseconds
+    /// (summed across workers — see [`crate::session::restart_backoff`]).
+    pub backoff_ns: u64,
+    /// Largest incarnation count any single transaction needed.
+    pub max_txn_attempts: u32,
+    /// Write-ahead log counters (all zero for non-durable runs).
+    pub wal: WalStats,
+    /// Storage error that fail-stopped the admission core, if any.
+    pub wal_error: Option<String>,
 }
 
 impl ServerMetrics {
@@ -92,6 +102,25 @@ impl fmt::Display for ServerMetrics {
             "admission: requests={} grants={} blocked={} aborts={} timeout_aborts={} sheds={}",
             self.requests, self.grants, self.blocked, self.aborts, self.timeout_aborts, self.sheds
         )?;
+        writeln!(
+            f,
+            "restarts: backoff={:.1?} max_txn_attempts={}",
+            Duration::from_nanos(self.backoff_ns),
+            self.max_txn_attempts
+        )?;
+        if self.wal.records > 0 || self.wal_error.is_some() {
+            writeln!(
+                f,
+                "wal: records={} bytes={} syncs={}{}",
+                self.wal.records,
+                self.wal.bytes,
+                self.wal.syncs,
+                match &self.wal_error {
+                    Some(e) => format!(" error={e}"),
+                    None => String::new(),
+                }
+            )?;
+        }
         writeln!(
             f,
             "queue: max_depth={} mean_depth={:.2} batches={} mean_batch={:.2} max_batch={}",

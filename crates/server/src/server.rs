@@ -2,7 +2,7 @@
 //! core thread, and N session threads together; return the committed
 //! history plus metrics (and optionally a deterministic-replay trace).
 
-use crate::core::{run_core_faulty, Command, CoreOutput, FaultPlan, Progress, TraceEvent};
+use crate::core::{run_core_durable, Command, CoreOutput, FaultPlan, Progress, TraceEvent};
 use crate::metrics::ServerMetrics;
 use crate::queue::BoundedQueue;
 use crate::session::{run_txn, OverloadPolicy, SessionCtx, SessionError, SessionStats};
@@ -11,6 +11,7 @@ use relser_core::schedule::Schedule;
 use relser_core::txn::TxnSet;
 use relser_protocols::{Decision, Scheduler};
 use relser_simdb::metrics::DecisionLatency;
+use relser_wal::WalWriter;
 use relser_workload::stream::RequestStream;
 use std::fmt;
 use std::sync::atomic::AtomicU64;
@@ -32,8 +33,18 @@ pub struct ServerConfig {
     pub block_timeout: Duration,
     /// One epoch-wait slice while blocked (upper bound).
     pub retry_slice: Duration,
-    /// Backoff before restarting an aborted incarnation.
+    /// Base backoff before restarting an aborted incarnation; doubles
+    /// per consecutive restart (capped at `restart_backoff_max`, with
+    /// deterministic seeded jitter — see [`crate::session::restart_backoff`]).
     pub restart_backoff: Duration,
+    /// Cap on the exponential restart backoff.
+    pub restart_backoff_max: Duration,
+    /// Seed for the deterministic restart-backoff jitter.
+    pub backoff_seed: u64,
+    /// Per-request reply watchdog: a session that hears nothing from the
+    /// admission core for this long gives up with a typed
+    /// [`SessionError::ReplyLost`] (degrading itself, not the service).
+    pub reply_timeout: Duration,
     /// Simulated record-access latency per granted operation, in
     /// nanoseconds — slept, not spun, so it models I/O-bound work that
     /// sessions overlap (the thing the concurrent service parallelizes).
@@ -56,6 +67,9 @@ impl Default for ServerConfig {
             block_timeout: Duration::from_millis(100),
             retry_slice: Duration::from_millis(1),
             restart_backoff: Duration::from_micros(200),
+            restart_backoff_max: Duration::from_millis(20),
+            backoff_seed: 0xB0FF,
+            reply_timeout: Duration::from_secs(60),
             op_work_ns: 0,
             max_attempts: 10_000,
             record_trace: false,
@@ -72,6 +86,10 @@ pub enum ServerError {
     /// The service shut down before all transactions committed
     /// (another session failed, closing the queue).
     Shutdown,
+    /// A session's reply watchdog fired: the admission core stopped
+    /// answering, so that session's transaction was lost. Other sessions
+    /// keep running — this error names the degraded transaction.
+    ReplyLost(TxnId),
     /// The committed log is not a valid schedule — a service bug, never
     /// expected; carried instead of panicking so tests report it nicely.
     InvalidHistory(String),
@@ -82,6 +100,9 @@ impl fmt::Display for ServerError {
         match self {
             ServerError::Livelock(t) => write!(f, "transaction {t:?} exceeded its attempt budget"),
             ServerError::Shutdown => write!(f, "service shut down before completion"),
+            ServerError::ReplyLost(t) => {
+                write!(f, "lost the reply for {t:?} (admission core unresponsive)")
+            }
             ServerError::InvalidHistory(m) => write!(f, "committed log is not a schedule: {m}"),
         }
     }
@@ -184,6 +205,36 @@ pub fn serve_report(
     cfg: &ServerConfig,
     faults: &FaultPlan,
 ) -> ServeReport {
+    serve_with(txns, stream, scheduler, cfg, faults, None)
+}
+
+/// [`serve_report`] with a durable commit log: every state-changing
+/// admission decision is appended to `wal` **before** it is acknowledged,
+/// so after any crash [`crate::recovery::recover`] rebuilds exactly the
+/// state the core had acknowledged (and, under
+/// [`relser_wal::FsyncPolicy::Always`], no acknowledged commit is ever
+/// lost). A crash is modelled by dropping the writer without a clean
+/// close; a storage error mid-run fail-stops the core (see
+/// [`ServeReport::metrics`]'s `wal_error`).
+pub fn serve_durable(
+    txns: &TxnSet,
+    stream: &RequestStream,
+    scheduler: Box<dyn Scheduler + Send + '_>,
+    cfg: &ServerConfig,
+    faults: &FaultPlan,
+    wal: &mut WalWriter,
+) -> ServeReport {
+    serve_with(txns, stream, scheduler, cfg, faults, Some(wal))
+}
+
+fn serve_with(
+    txns: &TxnSet,
+    stream: &RequestStream,
+    scheduler: Box<dyn Scheduler + Send + '_>,
+    cfg: &ServerConfig,
+    faults: &FaultPlan,
+    wal: Option<&mut WalWriter>,
+) -> ServeReport {
     assert!(cfg.workers >= 1, "need at least one worker");
     let queue: BoundedQueue<Command> = BoundedQueue::new(cfg.queue_capacity);
     let progress = Progress::new();
@@ -196,13 +247,14 @@ pub fn serve_report(
             let progress = &progress;
             let sheds = &sheds;
             let core = s.spawn(move || {
-                run_core_faulty(
+                run_core_durable(
                     scheduler,
                     queue,
                     progress,
                     cfg.batch_max,
                     cfg.record_trace,
                     faults,
+                    wal,
                 )
             });
             let mut workers = Vec::with_capacity(cfg.workers);
@@ -216,6 +268,9 @@ pub fn serve_report(
                         block_timeout: cfg.block_timeout,
                         retry_slice: cfg.retry_slice,
                         restart_backoff: cfg.restart_backoff,
+                        restart_backoff_max: cfg.restart_backoff_max,
+                        backoff_seed: cfg.backoff_seed,
+                        reply_timeout: cfg.reply_timeout,
                         op_work_ns: cfg.op_work_ns,
                         max_attempts: cfg.max_attempts,
                         sheds,
@@ -228,10 +283,15 @@ pub fn serve_report(
                             break;
                         }
                     }
-                    if failure.is_some() {
-                        // Wake every blocked session and the core so the run
-                        // unwinds instead of hanging.
-                        queue.close();
+                    match failure {
+                        // A lost reply degrades only this session: its
+                        // transaction is gone, but the queue stays open so
+                        // the other sessions keep committing.
+                        Some(SessionError::ReplyLost(_)) | None => {}
+                        // Livelock/shutdown are run-wide: wake every blocked
+                        // session and the core so the run unwinds instead of
+                        // hanging.
+                        Some(_) => queue.close(),
                     }
                     (stats, failure)
                 }));
@@ -258,6 +318,9 @@ pub fn serve_report(
                     outcome = RunOutcome::Failed(ServerError::Livelock(*t));
                     break;
                 }
+                Some(SessionError::ReplyLost(t)) if outcome == RunOutcome::Completed => {
+                    outcome = RunOutcome::Failed(ServerError::ReplyLost(*t));
+                }
                 Some(SessionError::Shutdown) if outcome == RunOutcome::Completed => {
                     outcome = RunOutcome::Failed(ServerError::Shutdown);
                 }
@@ -271,6 +334,12 @@ pub fn serve_report(
         .iter()
         .filter(|o| core_out.committed.contains(&o.txn))
         .count() as u64;
+    let backoff_ns = sessions.iter().map(|(s, _)| s.backoff_ns).sum();
+    let max_txn_attempts = sessions
+        .iter()
+        .map(|(s, _)| s.max_txn_attempts)
+        .max()
+        .unwrap_or(0);
     let metrics = ServerMetrics {
         workers: cfg.workers,
         commits: core_out.commits,
@@ -288,6 +357,10 @@ pub fn serve_report(
         admission: core_out.admission,
         elapsed,
         committed_ops,
+        backoff_ns,
+        max_txn_attempts,
+        wal: core_out.wal,
+        wal_error: core_out.wal_error.clone(),
     };
 
     ServeReport {

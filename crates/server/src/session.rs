@@ -26,6 +26,8 @@
 
 use crate::core::{Command, Progress, Reply};
 use crate::queue::{BoundedQueue, PushError};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use relser_core::ids::{OpId, TxnId};
 use relser_core::txn::TxnSet;
 use relser_protocols::Decision;
@@ -43,7 +45,12 @@ pub enum OverloadPolicy {
     Shed,
 }
 
-/// Why a session gave up (the run as a whole then shuts down).
+/// Why a session gave up.
+///
+/// `Shutdown` and `Livelock` shut the whole run down (the queue closes
+/// and the other sessions unwind); `ReplyLost` degrades **only this
+/// session** — its transaction is lost, but the queue stays open and the
+/// other sessions keep committing.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum SessionError {
     /// The command queue closed underneath the session (another worker
@@ -51,6 +58,9 @@ pub enum SessionError {
     Shutdown,
     /// A transaction exceeded the per-transaction attempt budget.
     Livelock(TxnId),
+    /// The admission core never answered a request for this transaction
+    /// within the reply watchdog (see [`crate::core::ReplyLost`]).
+    ReplyLost(TxnId),
 }
 
 /// Per-session counters, merged into [`crate::ServerMetrics`] at the end.
@@ -66,6 +76,10 @@ pub struct SessionStats {
     pub sheds: u64,
     /// Granted operations executed (simulated work performed).
     pub ops_executed: u64,
+    /// Total wall-clock time slept in restart backoff, in nanoseconds.
+    pub backoff_ns: u64,
+    /// Largest incarnation count any single transaction needed.
+    pub max_txn_attempts: u32,
 }
 
 /// Everything a session needs, shared across all workers of one run.
@@ -82,8 +96,17 @@ pub struct SessionCtx<'a> {
     pub block_timeout: Duration,
     /// Upper bound on one epoch-wait slice while blocked.
     pub retry_slice: Duration,
-    /// Sleep before re-beginning an aborted incarnation.
+    /// Base sleep before re-beginning an aborted incarnation; doubles per
+    /// consecutive restart up to [`SessionCtx::restart_backoff_max`].
     pub restart_backoff: Duration,
+    /// Cap on the exponential restart backoff.
+    pub restart_backoff_max: Duration,
+    /// Seed for the deterministic backoff jitter (combined with the
+    /// transaction id and attempt number, so each restart of each
+    /// transaction gets its own reproducible jitter draw).
+    pub backoff_seed: u64,
+    /// Give up on an unanswered reply after this long (the core died).
+    pub reply_timeout: Duration,
     /// Simulated record-access latency per granted operation (slept,
     /// not spun — see [`SessionCtx::do_op_work`]).
     pub op_work_ns: u64,
@@ -153,6 +176,34 @@ impl SessionCtx<'_> {
     }
 }
 
+/// The backoff before restart number `attempt` (≥ 2) of `txn`: capped
+/// exponential with deterministic seeded jitter.
+///
+/// The exponential part doubles the base per consecutive restart (PR 3's
+/// Figure 1 exploration showed restart *storms* — every aborted
+/// incarnation retrying immediately — are the schedule-space blowup);
+/// the jitter draws uniformly from `[d/2, d]` so colliding transactions
+/// decorrelate instead of re-colliding in lockstep. The draw is a pure
+/// function of `(seed, txn, attempt)`, so a run with a fixed config is
+/// as reproducible as the arrival order allows.
+pub fn restart_backoff(
+    base: Duration,
+    max: Duration,
+    seed: u64,
+    txn: TxnId,
+    attempt: u32,
+) -> Duration {
+    if base.is_zero() {
+        return Duration::ZERO;
+    }
+    let doublings = attempt.saturating_sub(2).min(32);
+    let uncapped = base.saturating_mul(1u32 << doublings.min(31));
+    let ceiling = uncapped.min(max.max(base));
+    let mut rng = StdRng::seed_from_u64(seed ^ (txn.0 as u64).rotate_left(32) ^ attempt as u64);
+    let ns = ceiling.as_nanos().min(u128::from(u64::MAX)) as u64;
+    Duration::from_nanos(rng.random_range(ns / 2..=ns))
+}
+
 /// Runs one transaction to commit (restarting across aborts).
 pub fn run_txn(
     ctx: &SessionCtx<'_>,
@@ -163,12 +214,23 @@ pub fn run_txn(
     let mut attempts = 0u32;
     'incarnation: loop {
         attempts += 1;
+        stats.max_txn_attempts = stats.max_txn_attempts.max(attempts);
         if attempts > ctx.max_attempts {
             return Err(SessionError::Livelock(txn));
         }
         if attempts > 1 {
             stats.restarts += 1;
-            std::thread::sleep(ctx.restart_backoff);
+            let pause = restart_backoff(
+                ctx.restart_backoff,
+                ctx.restart_backoff_max,
+                ctx.backoff_seed,
+                txn,
+                attempts,
+            );
+            if !pause.is_zero() {
+                stats.backoff_ns += pause.as_nanos() as u64;
+                std::thread::sleep(pause);
+            }
         }
         ctx.send(Command::Begin(txn))?;
         for index in 0..n_ops {
@@ -184,7 +246,10 @@ pub fn run_txn(
                 let reply = Reply::new();
                 let seen = ctx.progress.current();
                 ctx.send_request(op, reply.clone(), stats)?;
-                match reply.wait() {
+                let decision = reply
+                    .wait_for(ctx.reply_timeout)
+                    .map_err(|_| SessionError::ReplyLost(txn))?;
+                match decision {
                     Decision::Granted => {
                         ctx.do_op_work();
                         stats.ops_executed += 1;
@@ -222,5 +287,82 @@ pub fn run_txn(
         ctx.send(Command::Commit(txn))?;
         stats.commits += 1;
         return Ok(());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_deterministic_and_jittered() {
+        let base = Duration::from_micros(100);
+        let max = Duration::from_millis(10);
+        let a = restart_backoff(base, max, 7, TxnId(3), 2);
+        let b = restart_backoff(base, max, 7, TxnId(3), 2);
+        assert_eq!(a, b, "same (seed, txn, attempt) -> same jitter");
+        assert_ne!(
+            restart_backoff(base, max, 7, TxnId(3), 2),
+            restart_backoff(base, max, 7, TxnId(4), 2),
+            "different transactions decorrelate"
+        );
+        // Attempt 2 draws from [base/2, base].
+        assert!(a >= base / 2 && a <= base, "{a:?}");
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let base = Duration::from_micros(100);
+        let max = Duration::from_micros(350);
+        for attempt in 2..40 {
+            let d = restart_backoff(base, max, 1, TxnId(0), attempt);
+            let ceiling = base.saturating_mul(1 << (attempt - 2).min(31)).min(max);
+            assert!(d <= ceiling, "attempt {attempt}: {d:?} > {ceiling:?}");
+            assert!(
+                d >= ceiling / 2,
+                "attempt {attempt}: {d:?} < {:?}",
+                ceiling / 2
+            );
+        }
+        // Far into the schedule the cap rules.
+        let capped = restart_backoff(base, max, 1, TxnId(0), 30);
+        assert!(capped <= max);
+        // Zero base means no backoff at all (and no jitter draw).
+        assert_eq!(
+            restart_backoff(Duration::ZERO, max, 1, TxnId(0), 9),
+            Duration::ZERO
+        );
+    }
+
+    #[test]
+    fn lost_reply_degrades_the_session_not_the_queue() {
+        // A queue with no admission core behind it: the request is
+        // enqueued but its reply is never filled, so the session's reply
+        // watchdog must fire and surface a typed per-session error.
+        let txns = TxnSet::parse(&["r1[x]"]).unwrap();
+        let queue: BoundedQueue<Command> = BoundedQueue::new(8);
+        let progress = Progress::new();
+        let sheds = AtomicU64::new(0);
+        let ctx = SessionCtx {
+            queue: &queue,
+            progress: &progress,
+            txns: &txns,
+            policy: OverloadPolicy::Wait,
+            block_timeout: Duration::from_millis(50),
+            retry_slice: Duration::from_millis(1),
+            restart_backoff: Duration::ZERO,
+            restart_backoff_max: Duration::ZERO,
+            backoff_seed: 0,
+            reply_timeout: Duration::from_millis(15),
+            op_work_ns: 0,
+            max_attempts: 10,
+            sheds: &sheds,
+        };
+        let mut stats = SessionStats::default();
+        let err = run_txn(&ctx, TxnId(0), &mut stats).unwrap_err();
+        assert_eq!(err, SessionError::ReplyLost(TxnId(0)));
+        // The failure is the session's own: the queue is still open for
+        // everyone else.
+        assert!(queue.push_wait(Command::Begin(TxnId(0))).is_ok());
     }
 }

@@ -1,0 +1,49 @@
+//! # relser-wal — a durable write-ahead commit log
+//!
+//! The concurrent service (`relser-server`) funnels every state change
+//! through a single-writer admission core, which makes durability almost
+//! free to specify: the core's state-changing events *in core order* are
+//! already the run's serialization point, so logging exactly that stream
+//! — begin / grant / commit / abort — is enough to reconstruct the
+//! scheduler state and the committed history after a crash.
+//!
+//! The pieces:
+//!
+//! * [`record`] — the [`WalRecord`] vocabulary and its length-prefixed,
+//!   CRC-32-checksummed frame format;
+//! * [`storage`] — the [`Storage`] trait plus the real-file and
+//!   in-memory backends (the model checker adds a fault-injecting one);
+//! * [`writer`] — [`WalWriter`]: appends frames under a configurable
+//!   [`FsyncPolicy`] with group-commit batching aligned to the core's
+//!   queue batches;
+//! * [`reader`] — [`scan`]: the torn-write-tolerant scanner that
+//!   recovers the longest valid record prefix from arbitrary bytes.
+//!
+//! The recovery manager itself lives in `relser-server` (it needs a
+//! scheduler to replay into and the RSG oracle to re-certify); this crate
+//! stays a pure log so it can be hammered byte-level by the storage
+//! fault injector in `relser-check`.
+//!
+//! ## Durability contract
+//!
+//! Under [`FsyncPolicy::Always`] every record is durable before the core
+//! acknowledges the command that produced it, so a crash at *any* point
+//! loses no acknowledged commit. Deferred policies (`EveryN`,
+//! `Interval`, `Never`) trade a bounded window of recent acknowledgments
+//! for throughput; the scanner's truncate-at-first-damage rule keeps the
+//! recovered prefix consistent in every case.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod crc32;
+pub mod reader;
+pub mod record;
+pub mod storage;
+pub mod writer;
+
+pub use crc32::crc32;
+pub use reader::{scan, ScanResult, Truncation};
+pub use record::{WalRecord, FRAME_OVERHEAD, MAGIC, MAX_PAYLOAD};
+pub use storage::{FileStorage, MemHandle, MemStorage, Storage};
+pub use writer::{FsyncPolicy, WalStats, WalWriter};

@@ -1,0 +1,171 @@
+//! The log record vocabulary and its on-disk framing.
+//!
+//! The admission core is the run's serialization point, so the log is
+//! simply its state-changing events in core order: `Begin`, `Grant`,
+//! `Commit`, `Abort`. Blocked probes change no state and are not logged —
+//! replaying the granted stream through a fresh scheduler reproduces the
+//! exact scheduler state (see `relser-server`'s recovery manager).
+//!
+//! Framing, per record:
+//!
+//! ```text
+//! +------------+-----------+------------------+
+//! | len: u32LE | crc: u32LE| payload (len B)  |
+//! +------------+-----------+------------------+
+//! payload = tag: u8, txn: u32LE [, index: u32LE for Grant]
+//! ```
+//!
+//! `crc` is the CRC-32 of the payload. A record is accepted only if the
+//! whole frame is present, `len` is sane, the checksum matches, and the
+//! payload parses — anything else is treated as the torn/corrupt tail of
+//! a crashed write and truncated by the scanner ([`crate::scan`]).
+
+use crate::crc32::crc32;
+use relser_core::ids::{OpId, TxnId};
+
+/// File magic: identifies a relser WAL and pins the format version.
+pub const MAGIC: &[u8; 8] = b"RSWAL01\n";
+
+/// Upper bound on a sane payload length. Real payloads are ≤ 9 bytes;
+/// anything larger means the length prefix itself is corrupt.
+pub const MAX_PAYLOAD: u32 = 64;
+
+/// Bytes of framing per record (length prefix + checksum).
+pub const FRAME_OVERHEAD: usize = 8;
+
+const TAG_BEGIN: u8 = 1;
+const TAG_GRANT: u8 = 2;
+const TAG_COMMIT: u8 = 3;
+const TAG_ABORT: u8 = 4;
+
+/// One durable event, in admission-core order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WalRecord {
+    /// A transaction incarnation started.
+    Begin(TxnId),
+    /// An operation request was granted (the only request outcome that
+    /// changes committed state; blocks are not logged, aborts log
+    /// [`WalRecord::Abort`]).
+    Grant(OpId),
+    /// The transaction committed. Under `FsyncPolicy::Always` this record
+    /// is durable before the core acknowledges the commit.
+    Commit(TxnId),
+    /// The transaction (incarnation) aborted — scheduler-initiated,
+    /// session timeout, or injected; recovery treats them all alike.
+    Abort(TxnId),
+}
+
+impl WalRecord {
+    /// The transaction this record is about.
+    pub fn txn(&self) -> TxnId {
+        match *self {
+            WalRecord::Begin(t) | WalRecord::Commit(t) | WalRecord::Abort(t) => t,
+            WalRecord::Grant(op) => op.txn,
+        }
+    }
+
+    /// Serialises the payload (tag + fields, no framing) into `buf`.
+    fn payload_into(&self, buf: &mut Vec<u8>) {
+        match *self {
+            WalRecord::Begin(t) => {
+                buf.push(TAG_BEGIN);
+                buf.extend_from_slice(&t.0.to_le_bytes());
+            }
+            WalRecord::Grant(op) => {
+                buf.push(TAG_GRANT);
+                buf.extend_from_slice(&op.txn.0.to_le_bytes());
+                buf.extend_from_slice(&op.index.to_le_bytes());
+            }
+            WalRecord::Commit(t) => {
+                buf.push(TAG_COMMIT);
+                buf.extend_from_slice(&t.0.to_le_bytes());
+            }
+            WalRecord::Abort(t) => {
+                buf.push(TAG_ABORT);
+                buf.extend_from_slice(&t.0.to_le_bytes());
+            }
+        }
+    }
+
+    /// Appends the full frame (length, checksum, payload) to `buf`.
+    pub fn encode_into(&self, buf: &mut Vec<u8>) {
+        let start = buf.len();
+        buf.extend_from_slice(&[0u8; FRAME_OVERHEAD]);
+        self.payload_into(buf);
+        let payload_len = (buf.len() - start - FRAME_OVERHEAD) as u32;
+        let crc = crc32(&buf[start + FRAME_OVERHEAD..]);
+        buf[start..start + 4].copy_from_slice(&payload_len.to_le_bytes());
+        buf[start + 4..start + 8].copy_from_slice(&crc.to_le_bytes());
+    }
+
+    /// Parses a checksum-verified payload. `None` on an unknown tag or a
+    /// field/length mismatch (corruption that happened to keep a valid
+    /// checksum cannot occur; this guards against truncated formats).
+    pub fn decode_payload(payload: &[u8]) -> Option<WalRecord> {
+        let (&tag, rest) = payload.split_first()?;
+        let u32_at = |b: &[u8], at: usize| -> Option<u32> {
+            b.get(at..at + 4)
+                .map(|s| u32::from_le_bytes(s.try_into().unwrap()))
+        };
+        match tag {
+            TAG_BEGIN if rest.len() == 4 => Some(WalRecord::Begin(TxnId(u32_at(rest, 0)?))),
+            TAG_COMMIT if rest.len() == 4 => Some(WalRecord::Commit(TxnId(u32_at(rest, 0)?))),
+            TAG_ABORT if rest.len() == 4 => Some(WalRecord::Abort(TxnId(u32_at(rest, 0)?))),
+            TAG_GRANT if rest.len() == 8 => Some(WalRecord::Grant(OpId {
+                txn: TxnId(u32_at(rest, 0)?),
+                index: u32_at(rest, 4)?,
+            })),
+            _ => None,
+        }
+    }
+
+    /// The encoded frame size of this record, in bytes.
+    pub fn frame_len(&self) -> usize {
+        FRAME_OVERHEAD
+            + match self {
+                WalRecord::Grant(_) => 9,
+                _ => 5,
+            }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(r: WalRecord) {
+        let mut buf = Vec::new();
+        r.encode_into(&mut buf);
+        assert_eq!(buf.len(), r.frame_len());
+        let len = u32::from_le_bytes(buf[0..4].try_into().unwrap()) as usize;
+        let crc = u32::from_le_bytes(buf[4..8].try_into().unwrap());
+        let payload = &buf[FRAME_OVERHEAD..FRAME_OVERHEAD + len];
+        assert_eq!(crc, crc32(payload));
+        assert_eq!(WalRecord::decode_payload(payload), Some(r));
+    }
+
+    #[test]
+    fn all_variants_roundtrip() {
+        roundtrip(WalRecord::Begin(TxnId(0)));
+        roundtrip(WalRecord::Grant(OpId::new(TxnId(3), 17)));
+        roundtrip(WalRecord::Commit(TxnId(u32::MAX)));
+        roundtrip(WalRecord::Abort(TxnId(42)));
+    }
+
+    #[test]
+    fn bad_payloads_are_rejected() {
+        assert_eq!(WalRecord::decode_payload(&[]), None);
+        assert_eq!(WalRecord::decode_payload(&[99, 0, 0, 0, 0]), None);
+        assert_eq!(
+            WalRecord::decode_payload(&[TAG_BEGIN, 0, 0, 0]),
+            None,
+            "short field"
+        );
+        assert_eq!(
+            WalRecord::decode_payload(&[TAG_BEGIN, 0, 0, 0, 0, 0]),
+            None,
+            "trailing garbage"
+        );
+        assert_eq!(WalRecord::decode_payload(&[TAG_GRANT, 1, 0, 0, 0]), None);
+    }
+}

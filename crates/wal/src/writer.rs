@@ -1,0 +1,220 @@
+//! The append side: [`WalWriter`] frames records onto a [`Storage`]
+//! backend under a configurable [`FsyncPolicy`].
+//!
+//! Group commit falls out of the admission core's existing batching: the
+//! core calls [`WalWriter::append`] per state-changing command and
+//! [`WalWriter::batch_end`] once per drained queue batch, so deferred
+//! policies (`EveryN`, `Interval`) amortize one durability barrier over a
+//! whole batch of commits — the classic group-commit trade of latency for
+//! throughput. `Always` syncs inside `append`, *before* the core
+//! acknowledges the command, which is what makes "zero acknowledged
+//! commits lost" provable in the crash-point sweep.
+
+use crate::record::{WalRecord, MAGIC};
+use crate::storage::Storage;
+use std::io;
+use std::time::{Duration, Instant};
+
+/// When the writer issues a durability barrier ([`Storage::sync`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// Sync after every record, before the record is acknowledged. No
+    /// acknowledged work is ever lost; slowest.
+    Always,
+    /// Sync once at least `n` records have accumulated since the last
+    /// barrier (checked per append and at batch boundaries).
+    EveryN(u64),
+    /// Sync when at least this long has passed since the last barrier
+    /// (checked at batch boundaries — aligned with group commit).
+    Interval(Duration),
+    /// Never sync mid-run; only a clean [`WalWriter::close`] syncs. A
+    /// crash may lose everything since the start of the run.
+    Never,
+}
+
+/// Append-side counters, surfaced through the server metrics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WalStats {
+    /// Records appended.
+    pub records: u64,
+    /// Bytes appended (frames + file header).
+    pub bytes: u64,
+    /// Durability barriers issued.
+    pub syncs: u64,
+}
+
+/// Frames [`WalRecord`]s onto a storage backend; see the module docs.
+pub struct WalWriter {
+    storage: Box<dyn Storage>,
+    policy: FsyncPolicy,
+    scratch: Vec<u8>,
+    unsynced: u64,
+    last_sync: Instant,
+    stats: WalStats,
+    broken: bool,
+}
+
+impl WalWriter {
+    /// Starts a fresh log on `storage`: writes the file header (and, under
+    /// [`FsyncPolicy::Always`], makes it durable immediately).
+    pub fn new(mut storage: Box<dyn Storage>, policy: FsyncPolicy) -> io::Result<WalWriter> {
+        storage.append(MAGIC)?;
+        let mut w = WalWriter {
+            storage,
+            policy,
+            scratch: Vec::with_capacity(64),
+            unsynced: 0,
+            last_sync: Instant::now(),
+            stats: WalStats {
+                records: 0,
+                bytes: MAGIC.len() as u64,
+                syncs: 0,
+            },
+            broken: false,
+        };
+        if policy == FsyncPolicy::Always {
+            w.sync_now()?;
+        }
+        Ok(w)
+    }
+
+    /// Appends one record and applies the per-record policy. On `Ok`
+    /// under [`FsyncPolicy::Always`], the record is durable.
+    ///
+    /// Any error marks the writer broken: the log tail is in an unknown
+    /// state, so the caller must fail-stop (crash the core) and let
+    /// recovery truncate at the damage.
+    pub fn append(&mut self, rec: &WalRecord) -> io::Result<()> {
+        self.check_broken()?;
+        self.scratch.clear();
+        rec.encode_into(&mut self.scratch);
+        if let Err(e) = self.storage.append(&self.scratch) {
+            self.broken = true;
+            return Err(e);
+        }
+        self.stats.records += 1;
+        self.stats.bytes += self.scratch.len() as u64;
+        self.unsynced += 1;
+        match self.policy {
+            FsyncPolicy::Always => self.sync_now(),
+            FsyncPolicy::EveryN(n) => {
+                if self.unsynced >= n.max(1) {
+                    self.sync_now()
+                } else {
+                    Ok(())
+                }
+            }
+            FsyncPolicy::Interval(_) | FsyncPolicy::Never => Ok(()),
+        }
+    }
+
+    /// Group-commit barrier, called once per drained queue batch. A no-op
+    /// unless the policy's deferred threshold is due.
+    pub fn batch_end(&mut self) -> io::Result<()> {
+        self.check_broken()?;
+        let due = match self.policy {
+            FsyncPolicy::Always | FsyncPolicy::Never => false,
+            FsyncPolicy::EveryN(n) => self.unsynced >= n.max(1),
+            FsyncPolicy::Interval(d) => self.unsynced > 0 && self.last_sync.elapsed() >= d,
+        };
+        if due {
+            self.sync_now()?;
+        }
+        Ok(())
+    }
+
+    /// Clean shutdown: a final durability barrier regardless of policy.
+    /// (A crash is modelled by *not* calling this.)
+    pub fn close(&mut self) -> io::Result<()> {
+        self.check_broken()?;
+        if self.unsynced > 0 || self.stats.syncs == 0 {
+            self.sync_now()?;
+        }
+        Ok(())
+    }
+
+    /// Append-side counters so far.
+    pub fn stats(&self) -> WalStats {
+        self.stats
+    }
+
+    /// Has a storage error poisoned the writer?
+    pub fn is_broken(&self) -> bool {
+        self.broken
+    }
+
+    fn check_broken(&self) -> io::Result<()> {
+        if self.broken {
+            Err(io::Error::other(
+                "write-ahead log is broken (earlier storage error)",
+            ))
+        } else {
+            Ok(())
+        }
+    }
+
+    fn sync_now(&mut self) -> io::Result<()> {
+        if let Err(e) = self.storage.sync() {
+            self.broken = true;
+            return Err(e);
+        }
+        self.stats.syncs += 1;
+        self.unsynced = 0;
+        self.last_sync = Instant::now();
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::MemStorage;
+    use relser_core::ids::TxnId;
+
+    #[test]
+    fn always_policy_syncs_every_record() {
+        let (mem, handle) = MemStorage::new();
+        let mut w = WalWriter::new(Box::new(mem), FsyncPolicy::Always).unwrap();
+        w.append(&WalRecord::Begin(TxnId(0))).unwrap();
+        w.append(&WalRecord::Commit(TxnId(0))).unwrap();
+        assert_eq!(w.stats().records, 2);
+        assert_eq!(w.stats().syncs, 3, "header + one per record");
+        assert_eq!(
+            handle.synced_len(),
+            handle.bytes().len(),
+            "everything appended is durable"
+        );
+    }
+
+    #[test]
+    fn every_n_defers_to_the_threshold() {
+        let (mem, handle) = MemStorage::new();
+        let mut w = WalWriter::new(Box::new(mem), FsyncPolicy::EveryN(3)).unwrap();
+        w.append(&WalRecord::Begin(TxnId(0))).unwrap();
+        w.append(&WalRecord::Begin(TxnId(1))).unwrap();
+        assert_eq!(handle.synced_len(), 0, "below threshold: nothing durable");
+        w.append(&WalRecord::Begin(TxnId(2))).unwrap();
+        assert_eq!(handle.synced_len(), handle.bytes().len(), "threshold hit");
+    }
+
+    #[test]
+    fn never_policy_only_syncs_on_close() {
+        let (mem, handle) = MemStorage::new();
+        let mut w = WalWriter::new(Box::new(mem), FsyncPolicy::Never).unwrap();
+        w.append(&WalRecord::Begin(TxnId(0))).unwrap();
+        w.batch_end().unwrap();
+        assert_eq!(handle.synced_len(), 0);
+        w.close().unwrap();
+        assert_eq!(handle.synced_len(), handle.bytes().len());
+    }
+
+    #[test]
+    fn interval_policy_syncs_at_batch_end_once_due() {
+        let (mem, handle) = MemStorage::new();
+        let mut w = WalWriter::new(Box::new(mem), FsyncPolicy::Interval(Duration::ZERO)).unwrap();
+        w.append(&WalRecord::Begin(TxnId(0))).unwrap();
+        assert_eq!(handle.synced_len(), 0, "interval checks only at batch end");
+        w.batch_end().unwrap();
+        assert_eq!(handle.synced_len(), handle.bytes().len());
+    }
+}

@@ -19,7 +19,11 @@
 //! * [`simdb`] — a discrete-event simulated database engine;
 //! * [`server`] — a concurrent transaction service: worker-thread
 //!   sessions over a bounded command queue into a single-writer
-//!   admission core that owns the scheduler;
+//!   admission core that owns the scheduler, with crash recovery that
+//!   replays the WAL and re-certifies the committed history;
+//! * [`wal`] — the durable write-ahead commit log: CRC-framed records,
+//!   configurable fsync policies with group commit, and a
+//!   torn-write-tolerant scanner;
 //! * [`check`] — the deterministic schedule-space model checker:
 //!   exhaustive/pruned/random exploration of small universes with every
 //!   execution cross-validated against offline oracles, fault-injection
@@ -40,6 +44,7 @@ pub use relser_digraph as digraph;
 pub use relser_protocols as protocols;
 pub use relser_server as server;
 pub use relser_simdb as simdb;
+pub use relser_wal as wal;
 pub use relser_workload as workload;
 
 pub use relser_core::prelude;
