@@ -9,7 +9,12 @@
 //!   framing/checksum/barrier work from disk variance;
 //! * what does a crash cost at restart? — serial logs of increasing
 //!   record counts are recovered (scan + replay + Theorem 1
-//!   re-certification) to show recovery stays linear-ish in log length.
+//!   re-certification) to show recovery stays linear-ish in log length;
+//! * what does checkpointing buy at restart? — the same histories logged
+//!   through a checkpointing [`SegmentedWal`] recover by seeding from
+//!   the newest checkpoint and replaying only the suffix, so recovery
+//!   time is bounded by the checkpoint cadence instead of growing with
+//!   history length.
 //!
 //! Measurements plus provenance meta go to `BENCH_wal.json`.
 
@@ -19,9 +24,12 @@ use relser_core::op::AccessMode;
 use relser_core::spec::AtomicitySpec;
 use relser_core::txn::TxnSet;
 use relser_protocols::rsg_sgt::RsgSgt;
-use relser_server::recovery::recover;
+use relser_server::recovery::{recover, recover_segments};
 use relser_server::{serve_durable, serve_report, FaultPlan, RunOutcome, ServerConfig};
-use relser_wal::{FsyncPolicy, MemStorage, WalRecord, WalWriter};
+use relser_wal::{
+    Checkpoint, CheckpointPolicy, CommitLog, FsyncPolicy, MemSegmentStore, MemStorage,
+    SegmentedWal, WalRecord, WalWriter,
+};
 use relser_workload::banking::{banking, BankingConfig, BankingScenario};
 use relser_workload::stream::RequestStream;
 use std::hint::black_box;
@@ -128,6 +136,57 @@ fn serial_log(n: usize) -> (TxnSet, AtomicitySpec, Vec<u8>) {
     (txns, spec, handle.bytes())
 }
 
+/// Checkpoint cadence for the segmented recovery logs.
+const CHECKPOINT_EVERY: u64 = 32;
+
+/// The same serial history as [`serial_log`], logged through a
+/// checkpointing [`SegmentedWal`]: a checkpoint is cut (and older
+/// segments deleted) every [`CHECKPOINT_EVERY`] records, exactly as the
+/// admission core would at a batch boundary. In this conflict-free
+/// serial universe every covered transaction is retired, so the
+/// checkpoints carry the committed list and an empty live-event stream.
+fn serial_segmented_log(n: usize) -> (TxnSet, AtomicitySpec, Vec<(u64, Vec<u8>)>) {
+    let mut txns = TxnSet::new();
+    for t in 0..n {
+        let name = format!("x{t}");
+        let ops: Vec<(AccessMode, &str)> = (0..OPS_PER_TXN)
+            .map(|_| (AccessMode::Write, name.as_str()))
+            .collect();
+        txns.add(&ops).unwrap();
+    }
+    let spec = AtomicitySpec::absolute(&txns);
+    let (store, handle) = MemSegmentStore::new();
+    let mut wal = SegmentedWal::new(
+        Box::new(store),
+        FsyncPolicy::Never,
+        CheckpointPolicy {
+            every_records: CHECKPOINT_EVERY,
+            every_bytes: u64::MAX,
+        },
+    )
+    .unwrap();
+    let mut committed: Vec<TxnId> = Vec::new();
+    for t in 0..n {
+        let txn = TxnId(t as u32);
+        wal.append(&WalRecord::Begin(txn)).unwrap();
+        for i in 0..OPS_PER_TXN {
+            wal.append(&WalRecord::Grant(OpId::new(txn, i as u32)))
+                .unwrap();
+        }
+        wal.append(&WalRecord::Commit(txn)).unwrap();
+        committed.push(txn);
+        if wal.checkpoint_due() {
+            wal.install_checkpoint(Checkpoint {
+                committed: committed.clone(),
+                events: Vec::new(),
+            })
+            .unwrap();
+        }
+    }
+    wal.close().unwrap();
+    (txns, spec, handle.segments())
+}
+
 /// Recovery time (scan + replay + re-certify) vs log length.
 fn bench_recovery(h: &mut Harness) {
     let inputs: Vec<(usize, TxnSet, AtomicitySpec, Vec<u8>)> = RECOVERY_TXNS
@@ -148,6 +207,38 @@ fn bench_recovery(h: &mut Harness) {
                 black_box(rec.committed.len())
             })
         });
+    }
+    group.finish();
+}
+
+/// Recovery time vs history length when the log checkpoints: seeding
+/// from the newest checkpoint replaces replaying the whole history, so
+/// the cost should flatten once histories exceed the cadence.
+type SegmentedInput = (usize, TxnSet, AtomicitySpec, Vec<(u64, Vec<u8>)>);
+
+fn bench_recovery_checkpointed(h: &mut Harness) {
+    let inputs: Vec<SegmentedInput> = RECOVERY_TXNS
+        .iter()
+        .map(|&n| {
+            let (txns, spec, segments) = serial_segmented_log(n);
+            (n * (OPS_PER_TXN + 2), txns, spec, segments)
+        })
+        .collect();
+    let mut group = h.group("wal_recovery_checkpointed");
+    group.sample_size(10);
+    for (records, txns, spec, segments) in &inputs {
+        group.bench_with_input(
+            BenchmarkId::new("ckpt_records", records),
+            records,
+            |b, _| {
+                b.iter(|| {
+                    let mut fresh = RsgSgt::new(txns, spec);
+                    let (_, rec) = recover_segments(txns, spec, &mut fresh, segments).unwrap();
+                    assert!(rec.replayed as u64 <= CHECKPOINT_EVERY + OPS_PER_TXN as u64 + 2);
+                    black_box(rec.committed.len())
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -173,8 +264,11 @@ fn main() {
         format!("serial, {OPS_PER_TXN} ops/txn, txns={RECOVERY_TXNS:?}"),
     );
 
+    h.set_meta("checkpoint_every_records", CHECKPOINT_EVERY);
+
     bench_policies(&mut h, &sc);
     bench_recovery(&mut h);
+    bench_recovery_checkpointed(&mut h);
 
     let median = |id: &str| {
         h.measurements()
@@ -186,19 +280,31 @@ fn main() {
     let none = median("policy/none");
     let always = median("policy/always");
     let never = median("policy/never");
-    let recovery: Vec<(usize, f64)> = RECOVERY_TXNS
+    let recovery: Vec<(usize, f64, f64)> = RECOVERY_TXNS
         .iter()
         .map(|&n| {
             let records = n * (OPS_PER_TXN + 2);
-            (records, median(&format!("records/{records}")))
+            (
+                records,
+                median(&format!("records/{records}")),
+                median(&format!("ckpt_records/{records}")),
+            )
         })
         .collect();
     h.set_meta("always_overhead_vs_none", format!("{:.3}", always / none));
     h.set_meta("never_overhead_vs_none", format!("{:.3}", never / none));
-    for (records, ns) in recovery {
+    for (records, ns, ckpt_ns) in recovery {
         h.set_meta(
             &format!("recovery_ns_per_record_{records}"),
             format!("{:.0}", ns / records as f64),
+        );
+        h.set_meta(
+            &format!("recovery_ckpt_ns_{records}"),
+            format!("{ckpt_ns:.0}"),
+        );
+        h.set_meta(
+            &format!("recovery_ckpt_speedup_{records}"),
+            format!("{:.2}", ns / ckpt_ns),
         );
     }
     println!(

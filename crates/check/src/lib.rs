@@ -57,5 +57,6 @@ pub use project::Projection;
 pub use shrink::{shrink, Counterexample};
 #[cfg(feature = "fault-fs")]
 pub use storage_faults::{
-    crash_point_sweep, CrashSweepConfig, CrashSweepReport, FaultFs, FaultFsConfig, FaultFsHandle,
+    checkpoint_crash_sweep, crash_point_sweep, CheckpointSweepConfig, CrashSweepConfig,
+    CrashSweepReport, FaultFs, FaultFsConfig, FaultFsHandle,
 };

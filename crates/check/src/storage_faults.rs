@@ -19,14 +19,25 @@
 //! The invariant this buys on top of the fault sweeps in
 //! [`crate::faults`]: **no storage failure can lose an acknowledged
 //! commit or make recovery bless a non-relatively-serializable history.**
+//!
+//! [`checkpoint_crash_sweep`] runs the same discipline against the
+//! *segmented, checkpointing* log ([`relser_wal::SegmentedWal`]): cuts
+//! and flips land across checkpoint and segment boundaries (including
+//! inside the head checkpoint frame, modelling a crash mid-rotation),
+//! live runs crash the core between rotations, and recovery must seed
+//! from the surviving checkpoint without losing an acknowledged commit.
 
 use crate::oracle::{check_execution, Divergence, ExecutionRecord};
 use relser_core::spec::AtomicitySpec;
 use relser_core::txn::TxnSet;
 use relser_protocols::SchedulerKind;
-use relser_server::recovery::{recover, Recovery};
-use relser_server::{serve_durable, FaultPlan, RunOutcome, ServeReport, ServerConfig};
-use relser_wal::{FsyncPolicy, MemStorage, Storage, WalWriter};
+use relser_server::recovery::{recover, recover_segments, Recovery};
+use relser_server::{
+    serve_durable, serve_durable_log, FaultPlan, RunOutcome, ServeReport, ServerConfig,
+};
+use relser_wal::{
+    CheckpointPolicy, FsyncPolicy, MemSegmentStore, MemStorage, SegmentedWal, Storage, WalWriter,
+};
 use relser_workload::stream::RequestStream;
 use std::io;
 use std::sync::{Arc, Mutex};
@@ -194,6 +205,12 @@ pub struct CrashSweepReport {
     /// Committed-count regressions across increasing cut points (must
     /// be 0: a longer surviving log never recovers fewer commits).
     pub monotonicity_violations: u64,
+    /// Checkpoints cut by the swept runs (only [`checkpoint_crash_sweep`]
+    /// produces any; it requires at least one per run to be meaningful).
+    pub checkpoints: u64,
+    /// Recoveries that seeded from a checkpoint rather than replaying
+    /// from the start of history.
+    pub seeded_recoveries: u64,
     /// Oracle divergences (count; storage capped like the fault sweep).
     pub divergence_count: u64,
     /// The first divergences found.
@@ -319,6 +336,215 @@ pub fn crash_point_sweep(
     report
 }
 
+/// The checkpointed-sweep grid: like [`CrashSweepConfig`] but the runs
+/// log through a [`SegmentedWal`] with an aggressive checkpoint cadence,
+/// so every log swept contains rotations, and recovery must seed from
+/// checkpoints instead of replaying history from the beginning.
+#[derive(Clone, Debug)]
+pub struct CheckpointSweepConfig {
+    /// Protocols to sweep.
+    pub kinds: Vec<SchedulerKind>,
+    /// Arrival-order seeds (one clean durable run each).
+    pub seeds: Vec<u64>,
+    /// Checkpoint every N records (small → several rotations per run).
+    pub every_records: u64,
+    /// Command ordinals at which to crash the core live, mid-run.
+    pub crash_commands: Vec<u64>,
+    /// Session worker threads per live run.
+    pub workers: usize,
+}
+
+impl Default for CheckpointSweepConfig {
+    fn default() -> Self {
+        CheckpointSweepConfig {
+            kinds: vec![SchedulerKind::RsgSgt],
+            seeds: vec![1, 2],
+            every_records: 4,
+            crash_commands: vec![3, 7, 13, 21],
+            workers: 3,
+        }
+    }
+}
+
+/// The crash-point sweep across **checkpoint and segment boundaries**:
+/// every run logs through a [`SegmentedWal`] that rotates every
+/// `every_records` records, and the sweep then
+///
+/// 1. cuts the surviving segment at every byte (covering the head
+///    checkpoint frame itself — a cut inside it models a crash
+///    mid-rotation, and recovery must fall back without failing),
+/// 2. flips one bit in every byte,
+/// 3. re-runs live with the core crashing at configured command
+///    ordinals, recovering from the durable segment prefixes,
+/// 4. replays torn-rotation states `[full segment, torn next head]`,
+///    which must fall back to the full segment and lose nothing.
+///
+/// Everything under [`FsyncPolicy::Always`]: zero acknowledged commits
+/// lost, every recovery oracle-clean over its certified history.
+pub fn checkpoint_crash_sweep(
+    txns: &TxnSet,
+    spec: &AtomicitySpec,
+    cfg: &CheckpointSweepConfig,
+) -> CrashSweepReport {
+    let ckpt_policy = CheckpointPolicy {
+        every_records: cfg.every_records,
+        every_bytes: u64::MAX,
+    };
+    let mut report = CrashSweepReport::default();
+    for &kind in &cfg.kinds {
+        for &seed in &cfg.seeds {
+            let server_cfg = ServerConfig {
+                workers: cfg.workers,
+                record_trace: true,
+                seed,
+                ..ServerConfig::default()
+            };
+            let (store, handle) = MemSegmentStore::new();
+            let mut wal = SegmentedWal::new(Box::new(store), FsyncPolicy::Always, ckpt_policy)
+                .expect("MemSegmentStore never fails");
+            let stream = RequestStream::shuffled(txns, seed);
+            let run = serve_durable_log(
+                txns,
+                &stream,
+                kind.make(txns, spec),
+                &server_cfg,
+                &FaultPlan::default(),
+                &mut wal,
+            );
+            if run.outcome != RunOutcome::Completed {
+                continue;
+            }
+            report.runs += 1;
+            report.checkpoints += run.checkpoints;
+            let segments = handle.synced_segments();
+            // Rotation deletes covered segments, so the durable set is
+            // the newest segment (plus, mid-rotation, its predecessor).
+            let (last_seq, last_bytes) = segments.last().cloned().expect("segment 0 always exists");
+
+            // The full durable set recovers the full run, nothing lost.
+            check_acked_segments(&run, &segments, txns, spec, kind, &mut report);
+
+            // Pass 1: cut the newest segment at every byte.
+            let prior: Vec<(u64, Vec<u8>)> = segments[..segments.len() - 1].to_vec();
+            let mut prev_commits = 0usize;
+            for cut in 0..=last_bytes.len() {
+                report.crash_points += 1;
+                let mut cut_segs = prior.clone();
+                cut_segs.push((last_seq, last_bytes[..cut].to_vec()));
+                let Some((_, rec)) = try_recover_segments(txns, spec, kind, &cut_segs, &mut report)
+                else {
+                    continue;
+                };
+                if rec.committed.len() < prev_commits {
+                    report.monotonicity_violations += 1;
+                }
+                prev_commits = rec.committed.len();
+                report.seeded_recoveries += u64::from(rec.seeded_events > 0);
+                if rec.truncation.is_none() && !rec.committed.is_empty() {
+                    oracle_check(txns, spec, kind, &rec, &mut report);
+                }
+            }
+
+            // Pass 2: flip one bit in every byte of the newest segment.
+            for byte in 0..last_bytes.len() {
+                report.bit_flips += 1;
+                let mut corrupt = last_bytes.clone();
+                corrupt[byte] ^= 1 << (byte % 8);
+                let mut segs = prior.clone();
+                segs.push((last_seq, corrupt));
+                let _ = try_recover_segments(txns, spec, kind, &segs, &mut report);
+            }
+
+            // Pass 3: torn rotation — a crash after the next segment was
+            // created but before its head checkpoint went durable leaves
+            // `[full, torn head]`; recovery must fall back to the full
+            // segment and still hold every acknowledged commit.
+            for torn_len in [0usize, 4, 9, 24] {
+                let mut segs = segments.clone();
+                segs.push((
+                    last_seq + 1,
+                    last_bytes[..torn_len.min(last_bytes.len())].to_vec(),
+                ));
+                check_acked_segments(&run, &segs, txns, spec, kind, &mut report);
+            }
+
+            // Pass 4: live core crashes mid-run; the durable segment
+            // prefixes must still hold every commit the crashed run
+            // acknowledged.
+            for &at in &cfg.crash_commands {
+                report.live_faults += 1;
+                let (store, handle) = MemSegmentStore::new();
+                let mut wal = SegmentedWal::new(Box::new(store), FsyncPolicy::Always, ckpt_policy)
+                    .expect("MemSegmentStore never fails");
+                let faults = FaultPlan {
+                    crash_at_command: Some(at),
+                    ..FaultPlan::default()
+                };
+                let stream = RequestStream::shuffled(txns, seed);
+                let crashed = serve_durable_log(
+                    txns,
+                    &stream,
+                    kind.make(txns, spec),
+                    &server_cfg,
+                    &faults,
+                    &mut wal,
+                );
+                report.checkpoints += crashed.checkpoints;
+                check_acked_segments(
+                    &crashed,
+                    &handle.synced_segments(),
+                    txns,
+                    spec,
+                    kind,
+                    &mut report,
+                );
+            }
+        }
+    }
+    report
+}
+
+/// Segment-set flavor of [`try_recover`].
+fn try_recover_segments(
+    txns: &TxnSet,
+    spec: &AtomicitySpec,
+    kind: SchedulerKind,
+    segments: &[(u64, Vec<u8>)],
+    report: &mut CrashSweepReport,
+) -> Option<(u64, Recovery)> {
+    let mut fresh = kind.make(txns, spec);
+    match recover_segments(txns, spec, &mut *fresh, segments) {
+        Ok(out) => Some(out),
+        Err(_) => {
+            report.failed_recoveries += 1;
+            None
+        }
+    }
+}
+
+/// Segment-set flavor of [`check_acked_commits`].
+fn check_acked_segments(
+    run: &ServeReport,
+    segments: &[(u64, Vec<u8>)],
+    txns: &TxnSet,
+    spec: &AtomicitySpec,
+    kind: SchedulerKind,
+    report: &mut CrashSweepReport,
+) {
+    let Some((_, rec)) = try_recover_segments(txns, spec, kind, segments, report) else {
+        report.lost_commits += run.committed.len() as u64;
+        return;
+    };
+    report.seeded_recoveries += u64::from(rec.seeded_events > 0);
+    for t in &run.committed {
+        report.acked_commits_checked += 1;
+        if !rec.committed.contains(t) {
+            report.lost_commits += 1;
+        }
+    }
+    oracle_check(txns, spec, kind, &rec, report);
+}
+
 /// One durable server run against `wal`.
 fn serve_one(
     txns: &TxnSet,
@@ -381,6 +607,12 @@ fn check_acked_commits(
 }
 
 /// Pushes a recovered state through the full offline oracle suite.
+///
+/// The Theorem 1 / lattice oracles need complete per-transaction op
+/// sets, so they run over [`Recovery::certified`] — committed
+/// transactions the recovered log fully contains. Without checkpoints
+/// that is all of `committed`; with them, checkpoint-retired commits
+/// are vouched for by the checkpoint's own pre-rotation certification.
 fn oracle_check(
     txns: &TxnSet,
     spec: &AtomicitySpec,
@@ -391,7 +623,7 @@ fn oracle_check(
     report.oracle_checked += 1;
     let exec = ExecutionRecord {
         path: Vec::new(),
-        committed: rec.committed.clone(),
+        committed: rec.certified.clone(),
         log: rec.log.clone(),
         trace: rec.trace.clone(),
         shadow_mismatch: None,
@@ -422,6 +654,28 @@ mod tests {
         };
         let report = crash_point_sweep(&fig.txns, &fig.spec, &cfg);
         assert!(report.clean(), "{report:?}");
+        assert!(report.crash_points > 0);
+        assert!(report.bit_flips > 0);
+        assert!(report.live_faults > 0);
+        assert!(report.acked_commits_checked > 0);
+    }
+
+    #[test]
+    fn figure1_checkpoint_crash_sweep_is_clean() {
+        let fig = Figure1::new();
+        let cfg = CheckpointSweepConfig {
+            seeds: vec![1],
+            every_records: 3,
+            crash_commands: vec![4, 9],
+            ..CheckpointSweepConfig::default()
+        };
+        let report = checkpoint_crash_sweep(&fig.txns, &fig.spec, &cfg);
+        assert!(report.clean(), "{report:?}");
+        assert!(report.checkpoints >= 2, "cadence 3 must rotate: {report:?}");
+        assert!(
+            report.seeded_recoveries > 0,
+            "recoveries must seed from checkpoints: {report:?}"
+        );
         assert!(report.crash_points > 0);
         assert!(report.bit_flips > 0);
         assert!(report.live_faults > 0);

@@ -10,13 +10,17 @@
 //! for every production scheduler.
 
 use relser_check::{check_execution, ExecutionRecord};
+use relser_core::incremental::CompactionPolicy;
 use relser_core::paper::{Figure1, Figure2};
 use relser_core::spec::AtomicitySpec;
 use relser_core::txn::TxnSet;
-use relser_protocols::SchedulerKind;
-use relser_server::recovery::recover;
-use relser_server::{serve_durable, FaultPlan, RunOutcome, ServerConfig};
-use relser_wal::{FsyncPolicy, MemHandle, MemStorage, WalWriter};
+use relser_protocols::rsg_sgt::RsgSgt;
+use relser_protocols::{AbortReason, Decision, Scheduler, SchedulerKind};
+use relser_server::recovery::{recover, recover_segments};
+use relser_server::{serve_durable, serve_durable_log, FaultPlan, RunOutcome, ServerConfig};
+use relser_wal::{
+    CheckpointPolicy, FsyncPolicy, MemHandle, MemSegmentStore, MemStorage, SegmentedWal, WalWriter,
+};
 use relser_workload::stream::RequestStream;
 
 /// One durable run; returns the committed set the server reported and
@@ -103,6 +107,100 @@ fn crashed_durable_runs_lose_no_acknowledged_commit() {
             );
         }
     }
+}
+
+#[test]
+fn checkpointed_runs_recover_from_the_suffix_not_the_history() {
+    let fig = Figure1::new();
+    for seed in [1u64, 2, 3] {
+        let (store, handle) = MemSegmentStore::new();
+        let mut wal = SegmentedWal::new(
+            Box::new(store),
+            FsyncPolicy::Always,
+            CheckpointPolicy {
+                every_records: 3,
+                every_bytes: u64::MAX,
+            },
+        )
+        .unwrap();
+        let cfg = ServerConfig {
+            workers: 3,
+            record_trace: true,
+            seed,
+            ..ServerConfig::default()
+        };
+        let stream = RequestStream::shuffled(&fig.txns, seed);
+        let report = serve_durable_log(
+            &fig.txns,
+            &stream,
+            SchedulerKind::RsgSgt.make(&fig.txns, &fig.spec),
+            &cfg,
+            &FaultPlan::default(),
+            &mut wal,
+        );
+        assert_eq!(report.outcome, RunOutcome::Completed, "seed {seed}");
+        assert!(report.checkpoints >= 1, "cadence 3 must checkpoint");
+
+        let segments = handle.synced_segments();
+        let mut fresh = SchedulerKind::RsgSgt.make(&fig.txns, &fig.spec);
+        let (seq, rec) =
+            recover_segments(&fig.txns, &fig.spec, &mut *fresh, &segments).expect("recovers");
+        assert_eq!(seq, segments.last().unwrap().0, "newest segment chosen");
+        // Seeding happened: the suffix replayed is strictly shorter than
+        // the scanned record count (the head checkpoint covers the rest).
+        assert!(rec.replayed < rec.records, "recovery did not seed");
+        // The whole point of checkpointing: the replayed suffix is
+        // bounded by the checkpoint cadence, not by history length.
+        assert!(
+            rec.replayed <= 3 + 1,
+            "replayed {} records, cadence is 3",
+            rec.replayed
+        );
+        assert_eq!(
+            rec.committed, report.committed,
+            "no acknowledged commit lost"
+        );
+        // Oracle suite over the certified subset (complete op sets).
+        let exec = ExecutionRecord {
+            path: Vec::new(),
+            committed: rec.certified.clone(),
+            log: rec.log.clone(),
+            trace: rec.trace.clone(),
+            shadow_mismatch: None,
+        };
+        let divergences = check_execution(&fig.txns, &fig.spec, SchedulerKind::RsgSgt, &exec);
+        assert!(divergences.is_empty(), "seed {seed}: {divergences:?}");
+    }
+}
+
+#[test]
+fn late_requests_for_retired_transactions_degrade_to_typed_aborts() {
+    // Satellite regression: an arc endpoint on a retired (reclaimed)
+    // node must surface as `Aborted(Retired)` through the protocol
+    // layer, not as an arena panic. Aggressive compaction makes every
+    // retirement reclaim immediately, so the first committed txn's ops
+    // are gone from the arena by the time the late request arrives.
+    let fig = Figure1::new();
+    let mut s = RsgSgt::with_policy(&fig.txns, &fig.spec, CompactionPolicy::aggressive());
+    let t0 = fig.txns.txn_ids().next().unwrap();
+    s.begin(t0);
+    for op in fig.txns.txn(t0).op_ids() {
+        assert_eq!(s.request(op), Decision::Granted);
+    }
+    s.commit(t0);
+    assert!(s.retired(t0), "no predecessors: retired at commit");
+    let late = fig.txns.txn(t0).op_ids().next().unwrap();
+    assert_eq!(
+        s.request(late),
+        Decision::Aborted(AbortReason::Retired),
+        "late request touching a retired node is a typed abort"
+    );
+    // The scheduler (and so the admission core) survives and keeps
+    // serving live transactions.
+    let t1 = fig.txns.txn_ids().nth(1).unwrap();
+    s.begin(t1);
+    let first = fig.txns.txn(t1).op_ids().next().unwrap();
+    assert_eq!(s.request(first), Decision::Granted);
 }
 
 #[test]

@@ -50,12 +50,29 @@
 //! anything. Retirement is sound because an admission only ever targets
 //! the requester's own nodes — a committed transaction never gains new
 //! incoming arcs — so no future cycle can enter the retired region.
+//!
+//! ## Reclamation and compaction
+//!
+//! Masking alone leaves memory O(total history): retired nodes keep their
+//! arcs, journals, ancestor bitsets and access-list entries. Retirement
+//! therefore *prunes* — the retired transaction's journals are blanked,
+//! its ancestor sets dropped, and its access-list entries removed. This
+//! is decision-neutral: a retired transaction's ancestors are themselves
+//! retired (every in-arc comes from a retired node, by the retirement
+//! rule), so any arc a pruned entry could have contributed would have had
+//! a retired endpoint and been masked from every cycle search anyway.
+//! When the retired fraction of the arena crosses the
+//! [`CompactionPolicy`] threshold, the arena itself is rebuilt
+//! ([`IncrementalDag::compact`]) with an old→new index remap, dropping
+//! retired nodes and their arcs and translating the outstanding live
+//! journals — so arena size tracks the live window, not total history.
 
 use crate::ids::{OpId, TxnId};
 use crate::rsg::ArcKinds;
 use crate::spec::AtomicitySpec;
 use crate::txn::TxnSet;
 use relser_digraph::bitset::BitSet;
+use relser_digraph::incremental::ArcRejection;
 use relser_digraph::{BatchUndo, IncrementalDag, NodeIdx};
 use std::collections::HashMap;
 
@@ -94,6 +111,62 @@ pub struct Rejection {
     pub cycle: Vec<OpId>,
 }
 
+/// Why [`IncrementalRsg::try_admit`] refused an operation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AdmitError {
+    /// Admission would close a cycle in the RSG.
+    Cycle(Rejection),
+    /// The operation belongs to an already-retired (committed and swept)
+    /// transaction — a late-arriving request after the transaction's
+    /// information was reclaimed. The engine is unchanged; the caller
+    /// should fail that request, not the scheduler.
+    Retired(TxnId),
+}
+
+/// When [`IncrementalRsg`] rebuilds its arena to drop retired state.
+///
+/// Compaction runs after a retirement sweep once **both** bounds hold:
+/// at least `min_retired_ops` operation nodes are retired, and they make
+/// up more than `retired_fraction_pct` percent of the arena. The first
+/// bound stops tiny universes from compacting constantly; the second
+/// keeps the amortized cost O(1) per retired node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CompactionPolicy {
+    /// Minimum retired operation nodes before compaction is considered.
+    pub min_retired_ops: usize,
+    /// Retired percentage of the arena (0–100) that triggers compaction.
+    pub retired_fraction_pct: u8,
+}
+
+impl Default for CompactionPolicy {
+    fn default() -> Self {
+        CompactionPolicy {
+            min_retired_ops: 256,
+            retired_fraction_pct: 50,
+        }
+    }
+}
+
+impl CompactionPolicy {
+    /// Never compact automatically (callers may still
+    /// [`IncrementalRsg::force_compact`]).
+    pub fn never() -> Self {
+        CompactionPolicy {
+            min_retired_ops: usize::MAX,
+            retired_fraction_pct: 100,
+        }
+    }
+
+    /// Compact as soon as anything at all is retired — used by tests to
+    /// exercise the remap machinery on every sweep.
+    pub fn aggressive() -> Self {
+        CompactionPolicy {
+            min_retired_ops: 1,
+            retired_fraction_pct: 0,
+        }
+    }
+}
+
 /// Incrementally maintained relative serialization graph over the full
 /// (static) operation set, supporting admission, rollback, and
 /// retirement. See the module docs for the invariants.
@@ -107,23 +180,44 @@ pub struct IncrementalRsg {
     owner: Vec<TxnId>,
     total: u32,
     dag: IncrementalDag<ArcKinds>,
-    nodes: Vec<NodeIdx>,
+    /// Arena node per global operation id; `None` once the operation's
+    /// transaction retired and a compaction dropped the node.
+    nodes: Vec<Option<NodeIdx>>,
+    /// Global operation id per arena node (the inverse of `nodes`),
+    /// rebuilt at each compaction.
+    node_global: Vec<u32>,
     /// Granted operations in grant order.
     admitted: Vec<OpId>,
-    /// One graph journal per admission, parallel to `admitted`.
+    /// One graph journal per admission, parallel to `admitted`. Journals
+    /// of retired transactions are blanked (their arcs are masked, so
+    /// undoing them is decision-neutral either way).
     journals: Vec<BatchUndo<ArcKinds>>,
-    /// `ancestors[g]` = depends-on set of admitted operation `g`.
+    /// `ancestors[g]` = depends-on set of admitted operation `g`;
+    /// dropped back to `None` when the owner retires.
     ancestors: Vec<Option<BitSet>>,
     /// Admitted accesses per object: (global id, is_write), grant order.
+    /// Entries of retired transactions are pruned.
     accesses: Vec<Vec<(u32, bool)>>,
     committed: Vec<bool>,
     retired: Vec<bool>,
+    /// Running count of retired transactions (O(1) `retired_count`).
+    retired_txns: usize,
+    /// Running count of retired operation nodes still in the arena.
+    retired_ops: usize,
+    policy: CompactionPolicy,
+    compactions: u64,
 }
 
 impl IncrementalRsg {
-    /// Creates the engine; nodes and the I-arc skeleton are installed up
-    /// front from the transaction programs.
+    /// Creates the engine with the default [`CompactionPolicy`]; nodes and
+    /// the I-arc skeleton are installed up front from the transaction
+    /// programs.
     pub fn new(txns: &TxnSet, spec: &AtomicitySpec) -> Self {
+        Self::with_policy(txns, spec, CompactionPolicy::default())
+    }
+
+    /// Creates the engine with an explicit [`CompactionPolicy`].
+    pub fn with_policy(txns: &TxnSet, spec: &AtomicitySpec, policy: CompactionPolicy) -> Self {
         let mut offset = Vec::with_capacity(txns.len());
         let mut owner = Vec::with_capacity(txns.total_ops());
         let mut acc = 0u32;
@@ -133,13 +227,13 @@ impl IncrementalRsg {
             owner.extend(std::iter::repeat_n(t.id(), t.len()));
         }
         let mut dag: IncrementalDag<ArcKinds> = IncrementalDag::new();
-        let nodes: Vec<NodeIdx> = (0..acc).map(|_| dag.add_node()).collect();
+        let nodes: Vec<Option<NodeIdx>> = (0..acc).map(|_| Some(dag.add_node())).collect();
         for t in txns.txns() {
             let base = offset[t.id().index()];
             for j in 1..t.len() as u32 {
                 let r = dag.try_add_labeled_edge(
-                    nodes[(base + j - 1) as usize],
-                    nodes[(base + j) as usize],
+                    nodes[(base + j - 1) as usize].unwrap(),
+                    nodes[(base + j) as usize].unwrap(),
                     ArcKinds::I,
                 );
                 debug_assert!(matches!(r, relser_digraph::AddEdge::Added));
@@ -153,12 +247,17 @@ impl IncrementalRsg {
             total: acc,
             dag,
             nodes,
+            node_global: (0..acc).collect(),
             admitted: Vec::new(),
             journals: Vec::new(),
             ancestors: vec![None; acc as usize],
             accesses: vec![Vec::new(); txns.objects().len()],
             committed: vec![false; txns.len()],
             retired: vec![false; txns.len()],
+            retired_txns: 0,
+            retired_ops: 0,
+            policy,
+            compactions: 0,
         }
     }
 
@@ -182,15 +281,26 @@ impl IncrementalRsg {
         self.retired[txn.index()]
     }
 
-    /// Number of retired transactions.
+    /// Number of retired transactions. O(1) — a running counter.
     pub fn retired_count(&self) -> usize {
-        self.retired.iter().filter(|&&r| r).count()
+        self.retired_txns
     }
 
     /// Number of merged arcs currently in the graph (including the static
-    /// I-skeleton and arcs of retired transactions).
+    /// I-skeleton and any not-yet-compacted arcs of retired transactions).
     pub fn arc_count(&self) -> usize {
         self.dag.graph().edge_count()
+    }
+
+    /// Nodes currently in the arena (live plus retired-but-uncompacted).
+    /// After a soak this is bounded by the live window, not total history.
+    pub fn dag_node_count(&self) -> usize {
+        self.dag.node_count()
+    }
+
+    /// Number of arena compactions performed so far.
+    pub fn compactions(&self) -> u64 {
+        self.compactions
     }
 
     #[inline]
@@ -220,7 +330,7 @@ impl IncrementalRsg {
         if op.index > 0 {
             let prev = (g - 1) as usize;
             debug_assert!(
-                self.ancestors[prev].is_some(),
+                self.ancestors[prev].is_some() || self.retired[op.txn.index()],
                 "operations must be admitted in program order"
             );
             if let Some(prev_anc) = &self.ancestors[prev] {
@@ -275,48 +385,76 @@ impl IncrementalRsg {
 
     /// Attempts to admit `op`: applies its delta atomically. On success
     /// the delta is returned and the admission is journalled; on failure
-    /// graph and engine state are **unchanged** and the rejection names
-    /// the offending arc and cycle.
-    pub fn try_admit(&mut self, op: OpId) -> Result<RsgDelta, Rejection> {
+    /// graph and engine state are **unchanged** and the error names
+    /// either the offending arc and cycle, or the retired transaction a
+    /// late request arrived for.
+    pub fn try_admit(&mut self, op: OpId) -> Result<RsgDelta, AdmitError> {
+        if self.retired[op.txn.index()] {
+            return Err(AdmitError::Retired(op.txn));
+        }
+        self.admit_inner(op)
+    }
+
+    /// Admission without the retired-transaction gate: abort-replay uses
+    /// this to re-admit a retired survivor's own operations (their deltas
+    /// are empty, so replay stays exact).
+    fn admit_inner(&mut self, op: OpId) -> Result<RsgDelta, AdmitError> {
         let delta = self.propose(op);
         let batch: Vec<(NodeIdx, NodeIdx, ArcKinds)> = delta
             .arcs
             .iter()
             .map(|&(a, b, k)| {
                 (
-                    self.nodes[self.global(a) as usize],
-                    self.nodes[self.global(b) as usize],
+                    self.nodes[self.global(a) as usize]
+                        .expect("delta endpoints belong to uncompacted transactions"),
+                    self.nodes[self.global(b) as usize]
+                        .expect("delta endpoints belong to uncompacted transactions"),
                     k,
                 )
             })
             .collect();
         match self.dag.try_add_batch(&batch) {
             Ok(undo) => {
-                let g = self.global(op);
-                let operation = self.txns.op(op).expect("operation belongs to the set");
-                self.ancestors[g as usize] = Some(delta.ancestors.clone());
-                self.accesses[operation.object.index()].push((g, operation.is_write()));
+                if !self.retired[op.txn.index()] {
+                    let g = self.global(op);
+                    let operation = self.txns.op(op).expect("operation belongs to the set");
+                    self.ancestors[g as usize] = Some(delta.ancestors.clone());
+                    self.accesses[operation.object.index()].push((g, operation.is_write()));
+                }
                 self.admitted.push(op);
                 self.journals.push(undo);
                 Ok(delta)
             }
-            Err(rej) => {
-                let arc = delta.arcs[rej.arc];
-                let cycle = rej
-                    .path
-                    .iter()
-                    .map(|v| self.op_of(v.0))
-                    .collect::<Vec<OpId>>();
-                Err(Rejection { op, arc, cycle })
-            }
+            Err(rej) => match rej.cause {
+                ArcRejection::WouldCycle(path) => {
+                    let arc = delta.arcs[rej.arc];
+                    let cycle = path
+                        .iter()
+                        .map(|v| self.op_of(self.node_global[v.index()]))
+                        .collect::<Vec<OpId>>();
+                    Err(AdmitError::Cycle(Rejection { op, arc, cycle }))
+                }
+                // `propose` filters arcs whose endpoints lie in retired
+                // transactions, so the dag can only see a retired endpoint
+                // if the owner retired between propose and apply — which
+                // cannot happen single-threaded. Surface it typed anyway.
+                ArcRejection::RetiredEndpoint(v) => Err(AdmitError::Retired(
+                    self.owner[self.node_global[v.index()] as usize],
+                )),
+            },
         }
     }
 
-    /// Undoes the newest admission (graph arcs and tables).
+    /// Undoes the newest admission (graph arcs and tables). For retired
+    /// operations the tables were already pruned at retirement, so only
+    /// the (blanked) journal is popped.
     fn pop_admission(&mut self) {
         let op = self.admitted.pop().expect("admission to pop");
         let undo = self.journals.pop().expect("journal parallel to admitted");
         self.dag.undo_batch(undo);
+        if self.retired[op.txn.index()] {
+            return;
+        }
         let g = self.global(op);
         self.ancestors[g as usize] = None;
         let operation = self.txns.op(op).expect("operation belongs to the set");
@@ -340,7 +478,7 @@ impl IncrementalRsg {
             if op.txn == txn {
                 continue;
             }
-            self.try_admit(op)
+            self.admit_inner(op)
                 .expect("replaying a subgraph of an acyclic graph cannot cycle");
         }
         self.sweep_retirement();
@@ -355,7 +493,8 @@ impl IncrementalRsg {
 
     /// Retires committed transactions whose every incoming arc originates
     /// from retired nodes or their own, iterating to a fixpoint (retiring
-    /// one transaction may unblock another).
+    /// one transaction may unblock another), then prunes the retired
+    /// state and compacts the arena if the policy says so.
     fn sweep_retirement(&mut self) {
         loop {
             let mut changed = false;
@@ -366,23 +505,81 @@ impl IncrementalRsg {
                 let base = self.offset[t];
                 let len = self.txns.txns()[t].len() as u32;
                 for g in base..base + len {
-                    for p in self.dag.graph().predecessors(self.nodes[g as usize]) {
-                        let src = self.owner[p.index()];
+                    let node = self.nodes[g as usize].expect("unretired txn is uncompacted");
+                    for p in self.dag.graph().predecessors(node) {
+                        let src = self.owner[self.node_global[p.index()] as usize];
                         if src.index() != t && !self.retired[src.index()] {
                             continue 'txns; // a live arc still points in
                         }
                     }
                 }
-                for g in base..base + len {
-                    self.dag.retire_node(self.nodes[g as usize]);
-                }
-                self.retired[t] = true;
+                self.retire_txn(t);
                 changed = true;
             }
             if !changed {
-                return;
+                break;
             }
         }
+        self.maybe_compact();
+    }
+
+    /// Masks `t`'s nodes and reclaims its per-operation state; see the
+    /// module docs for why the pruning is decision-neutral.
+    fn retire_txn(&mut self, t: usize) {
+        let base = self.offset[t];
+        let len = self.txns.txns()[t].len() as u32;
+        for g in base..base + len {
+            self.dag
+                .retire_node(self.nodes[g as usize].expect("retiring an uncompacted txn"));
+            self.ancestors[g as usize] = None;
+        }
+        for op in self.txns.txns()[t].ops() {
+            self.accesses[op.object.index()].retain(|&(u, _)| !(base..base + len).contains(&u));
+        }
+        for (i, op) in self.admitted.iter().enumerate() {
+            if op.txn.index() == t {
+                self.journals[i] = BatchUndo::default();
+            }
+        }
+        self.retired[t] = true;
+        self.retired_txns += 1;
+        self.retired_ops += len as usize;
+    }
+
+    /// Compacts when the policy's thresholds are met.
+    fn maybe_compact(&mut self) {
+        let arena = self.dag.node_count();
+        if arena == 0 || self.retired_ops < self.policy.min_retired_ops {
+            return;
+        }
+        if self.retired_ops * 100 > self.policy.retired_fraction_pct as usize * arena {
+            self.force_compact();
+        }
+    }
+
+    /// Rebuilds the arena dropping retired nodes and their arcs,
+    /// remapping the node tables and outstanding journals. Decisions are
+    /// bit-for-bit unchanged: retired nodes were already masked from
+    /// every cycle search, so the compacted arena answers every
+    /// reachability query identically.
+    pub fn force_compact(&mut self) {
+        let map = self.dag.compact();
+        for slot in self.nodes.iter_mut() {
+            *slot = slot.and_then(|n| map.node(n));
+        }
+        let mut node_global = vec![0u32; self.dag.node_count()];
+        for (g, slot) in self.nodes.iter().enumerate() {
+            if let Some(n) = slot {
+                node_global[n.index()] = g as u32;
+            }
+        }
+        self.node_global = node_global;
+        for j in self.journals.iter_mut() {
+            let old = std::mem::take(j);
+            *j = map.remap_undo(old);
+        }
+        self.retired_ops = 0;
+        self.compactions += 1;
     }
 }
 
@@ -456,7 +653,10 @@ mod tests {
         engine.try_admit(op(0, 0)).unwrap();
         engine.try_admit(op(1, 0)).unwrap();
         engine.try_admit(op(0, 1)).unwrap();
-        let rej = engine.try_admit(op(1, 1)).unwrap_err();
+        let rej = match engine.try_admit(op(1, 1)) {
+            Err(AdmitError::Cycle(r)) => r,
+            other => panic!("expected cycle rejection, got {other:?}"),
+        };
         assert_eq!(rej.op, op(1, 1));
         assert!(rej.cycle.len() >= 2, "cycle witness: {:?}", rej.cycle);
         // Rejection leaves the engine unchanged.
@@ -567,5 +767,93 @@ mod tests {
         engine.try_admit(op(1, 1)).unwrap();
         engine.commit(TxnId(1));
         assert_eq!(engine.retired_count(), 2);
+    }
+
+    #[test]
+    fn late_request_for_retired_txn_is_a_typed_error() {
+        let txns = TxnSet::parse(&["r1[x] w1[x]", "r2[y]"]).unwrap();
+        let spec = AtomicitySpec::absolute(&txns);
+        let mut engine = IncrementalRsg::new(&txns, &spec);
+        engine.try_admit(op(0, 0)).unwrap();
+        engine.commit(TxnId(0));
+        assert!(engine.is_retired(TxnId(0)));
+        // A straggler request for the retired T1 must not panic and must
+        // not disturb the engine.
+        let before = engine.admitted().len();
+        assert_eq!(
+            engine.try_admit(op(0, 1)),
+            Err(AdmitError::Retired(TxnId(0)))
+        );
+        assert_eq!(engine.admitted().len(), before);
+        // Live transactions are unaffected.
+        engine.try_admit(op(1, 0)).unwrap();
+    }
+
+    #[test]
+    fn compaction_shrinks_arena_and_preserves_decisions() {
+        // Sequential committed transactions retire immediately; under the
+        // aggressive policy every sweep compacts. A lockstep engine that
+        // never compacts must make identical decisions throughout.
+        let programs = ["r1[x] w1[x]", "r2[x] w2[x]", "r3[x] w3[x]", "r4[x] w4[x]"];
+        let txns = TxnSet::parse(&programs).unwrap();
+        let spec = AtomicitySpec::absolute(&txns);
+        let mut compacting =
+            IncrementalRsg::with_policy(&txns, &spec, CompactionPolicy::aggressive());
+        let mut plain = IncrementalRsg::with_policy(&txns, &spec, CompactionPolicy::never());
+        for t in 0..4u32 {
+            for j in 0..2u32 {
+                let a = compacting.try_admit(op(t, j));
+                let b = plain.try_admit(op(t, j));
+                assert_eq!(a.is_ok(), b.is_ok(), "op {t}:{j}");
+            }
+            compacting.commit(TxnId(t));
+            plain.commit(TxnId(t));
+            assert_eq!(compacting.admitted(), plain.admitted());
+        }
+        assert!(compacting.compactions() >= 2, "policy forced compactions");
+        assert_eq!(compacting.retired_count(), 4);
+        assert_eq!(
+            compacting.dag_node_count(),
+            0,
+            "everything retired: arena fully reclaimed"
+        );
+        assert_eq!(plain.dag_node_count(), 8, "masking alone keeps all nodes");
+    }
+
+    #[test]
+    fn abort_replay_is_exact_across_a_compaction() {
+        // T1 commits, retires, and is compacted away; T2 and T3 interleave
+        // and T2 aborts. The rollback walks journals that were written
+        // before the compaction — they must have been remapped.
+        let txns = TxnSet::parse(&["r1[x] w1[x]", "r2[x] w2[y]", "r3[y] w3[x]"]).unwrap();
+        let spec = AtomicitySpec::free(&txns);
+        let mut engine = IncrementalRsg::with_policy(&txns, &spec, CompactionPolicy::aggressive());
+        engine.try_admit(op(0, 0)).unwrap();
+        engine.try_admit(op(0, 1)).unwrap();
+        engine.commit(TxnId(0));
+        assert!(engine.compactions() >= 1, "T1 compacted away");
+        engine.try_admit(op(1, 0)).unwrap();
+        engine.try_admit(op(2, 0)).unwrap();
+        engine.try_admit(op(1, 1)).unwrap();
+        engine.try_admit(op(2, 1)).unwrap();
+        engine.abort(TxnId(1));
+
+        // Reference: fresh engine fed the survivors only.
+        let mut fresh = IncrementalRsg::with_policy(&txns, &spec, CompactionPolicy::never());
+        fresh.try_admit(op(0, 0)).unwrap();
+        fresh.try_admit(op(0, 1)).unwrap();
+        fresh.commit(TxnId(0));
+        fresh.try_admit(op(2, 0)).unwrap();
+        fresh.try_admit(op(2, 1)).unwrap();
+        assert_eq!(engine.admitted(), fresh.admitted());
+        // And both accept T2's restart identically.
+        engine.try_admit(op(1, 0)).unwrap();
+        fresh.try_admit(op(1, 0)).unwrap();
+        engine.try_admit(op(1, 1)).unwrap();
+        fresh.try_admit(op(1, 1)).unwrap();
+        engine.commit(TxnId(1));
+        engine.commit(TxnId(2));
+        assert_eq!(engine.retired_count(), 3);
+        assert_eq!(engine.dag_node_count(), 0);
     }
 }

@@ -17,7 +17,12 @@
 //!   via [`IncrementalDag::undo_batch`] when a transaction aborts;
 //! * `retire_node` — mask a node (a committed transaction whose
 //!   information is no longer needed) so its edges stop participating in
-//!   searches.
+//!   searches;
+//! * `compact` — rebuild the live nodes into a fresh arena, dropping
+//!   retired nodes and their edges, so memory is bounded by the live
+//!   window instead of total history. The returned [`CompactionMap`]
+//!   translates old indices (and outstanding [`BatchUndo`] journals) into
+//!   the new arena.
 //!
 //! The cycle check is a bounded DFS from the edge's head towards its tail,
 //! restricted to live nodes — the standard "naive" incremental algorithm,
@@ -46,6 +51,9 @@ impl EdgeLabel for () {
 pub struct IncrementalDag<L: EdgeLabel = ()> {
     g: DiGraph<(), L>,
     live: Vec<bool>,
+    /// Running count of `true` entries in `live`; kept in lockstep so
+    /// [`IncrementalDag::live_count`] is O(1) (it gates compaction).
+    live_nodes: usize,
 }
 
 /// Result of attempting to add an edge to an [`IncrementalDag`].
@@ -59,6 +67,10 @@ pub enum AddEdge {
     /// pre-existing path `to ~> from` (inclusive of both endpoints) that the
     /// new edge would have closed into a cycle.
     WouldCycle(Vec<NodeIdx>),
+    /// One endpoint is retired; graph unchanged. Retired nodes must not
+    /// gain edges — the caller decides whether that is a protocol error
+    /// (late-arriving operation) or a scheduler bug.
+    RetiredEndpoint(NodeIdx),
 }
 
 /// Journal of one applied [`IncrementalDag::try_add_batch`], consumed by
@@ -87,15 +99,77 @@ enum UndoOp<L> {
     Relabeled(NodeIdx, NodeIdx, L),
 }
 
+/// Why one arc of a batch (or single insert) was refused.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ArcRejection {
+    /// The pre-existing live path `to ~> from` the arc would have closed
+    /// into a cycle (inclusive of both endpoints).
+    WouldCycle(Vec<NodeIdx>),
+    /// The named endpoint is retired and must not gain edges.
+    RetiredEndpoint(NodeIdx),
+}
+
 /// Rejection report of a failed [`IncrementalDag::try_add_batch`]: the
 /// graph has been restored to its pre-batch state.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct BatchRejected {
     /// Index (into the submitted arc slice) of the offending arc.
     pub arc: usize,
-    /// The pre-existing live path `to ~> from` the arc would have closed
-    /// into a cycle (inclusive of both endpoints).
-    pub path: Vec<NodeIdx>,
+    /// Why that arc was refused.
+    pub cause: ArcRejection,
+}
+
+/// Old-arena → new-arena index translation produced by
+/// [`IncrementalDag::compact`].
+///
+/// Retired nodes map to `None`; their edges were dropped. Dropped edges
+/// are decision-neutral: an edge with a retired endpoint is already
+/// masked out of every cycle check, so forgetting it cannot change any
+/// future accept/reject decision.
+#[derive(Clone, Debug)]
+pub struct CompactionMap {
+    remap: Vec<Option<NodeIdx>>,
+    /// Retired nodes dropped by the compaction.
+    pub dropped_nodes: usize,
+    /// Edges dropped because an endpoint was retired.
+    pub dropped_edges: usize,
+}
+
+impl CompactionMap {
+    /// The new index of old node `old`, or `None` if it was retired.
+    pub fn node(&self, old: NodeIdx) -> Option<NodeIdx> {
+        self.remap.get(old.index()).copied().flatten()
+    }
+
+    /// Number of nodes in the *old* arena (valid inputs to
+    /// [`CompactionMap::node`]).
+    pub fn old_len(&self) -> usize {
+        self.remap.len()
+    }
+
+    /// Translates an outstanding undo journal into the new arena.
+    ///
+    /// Journal entries whose edges were dropped by the compaction (an
+    /// endpoint retired) are discarded: the edge no longer exists, and —
+    /// being masked — removing or relabelling it could not have changed
+    /// any decision anyway.
+    pub fn remap_undo<L>(&self, undo: BatchUndo<L>) -> BatchUndo<L> {
+        let ops = undo
+            .ops
+            .into_iter()
+            .filter_map(|op| match op {
+                UndoOp::Inserted(from, to) => match (self.node(from), self.node(to)) {
+                    (Some(f), Some(t)) => Some(UndoOp::Inserted(f, t)),
+                    _ => None,
+                },
+                UndoOp::Relabeled(from, to, prev) => match (self.node(from), self.node(to)) {
+                    (Some(f), Some(t)) => Some(UndoOp::Relabeled(f, t, prev)),
+                    _ => None,
+                },
+            })
+            .collect();
+        BatchUndo { ops }
+    }
 }
 
 impl<L: EdgeLabel> IncrementalDag<L> {
@@ -107,17 +181,19 @@ impl<L: EdgeLabel> IncrementalDag<L> {
     /// Adds a fresh live node.
     pub fn add_node(&mut self) -> NodeIdx {
         self.live.push(true);
+        self.live_nodes += 1;
         self.g.add_node(())
     }
 
-    /// Number of nodes ever added (including retired ones).
+    /// Number of nodes in the current arena (live plus retired-but-not-yet
+    /// compacted).
     pub fn node_count(&self) -> usize {
         self.g.node_count()
     }
 
-    /// Number of live (non-retired) nodes.
+    /// Number of live (non-retired) nodes. O(1) — a running counter.
     pub fn live_count(&self) -> usize {
-        self.live.iter().filter(|&&l| l).count()
+        self.live_nodes
     }
 
     /// Is `v` still live?
@@ -131,7 +207,44 @@ impl<L: EdgeLabel> IncrementalDag<L> {
     /// Retirement corresponds to forgetting a committed transaction in SGT
     /// once no live transaction can form a cycle through it.
     pub fn retire_node(&mut self, v: NodeIdx) {
-        self.live[v.index()] = false;
+        if std::mem::replace(&mut self.live[v.index()], false) {
+            self.live_nodes -= 1;
+        }
+    }
+
+    /// Rebuilds the arena keeping only live nodes (in their old relative
+    /// order) and the edges between them, and returns the old→new index
+    /// translation.
+    ///
+    /// Every decision the DAG can make afterwards is identical to what it
+    /// would have made without compacting: retired nodes and their edges
+    /// were already masked out of `live_path`, so dropping them removes
+    /// only state no search could reach. Outstanding [`BatchUndo`]
+    /// journals must be translated with [`CompactionMap::remap_undo`]
+    /// before being replayed against the compacted arena.
+    pub fn compact(&mut self) -> CompactionMap {
+        let old_n = self.g.node_count();
+        let mut g = DiGraph::with_capacity(self.live_nodes, self.g.edge_count());
+        let remap: Vec<Option<NodeIdx>> = self.live[..old_n]
+            .iter()
+            .map(|&live| live.then(|| g.add_node(())))
+            .collect();
+        let mut dropped_edges = 0;
+        for e in self.g.edge_refs() {
+            match (remap[e.from.index()], remap[e.to.index()]) {
+                (Some(f), Some(t)) => {
+                    g.add_edge(f, t, e.weight.clone());
+                }
+                _ => dropped_edges += 1,
+            }
+        }
+        self.g = g;
+        self.live = vec![true; self.live_nodes];
+        CompactionMap {
+            remap,
+            dropped_nodes: old_n - self.live_nodes,
+            dropped_edges,
+        }
     }
 
     /// Does a *live-node* edge `from -> to` exist?
@@ -148,23 +261,23 @@ impl<L: EdgeLabel> IncrementalDag<L> {
     /// graph acyclic.
     ///
     /// A self-loop is always rejected as [`AddEdge::WouldCycle`]. Edges
-    /// touching retired nodes are rejected by panic: retired nodes must not
-    /// gain edges (it would indicate a scheduler logic error).
+    /// touching retired nodes are rejected as [`AddEdge::RetiredEndpoint`]:
+    /// retired nodes must not gain edges, but a late-arriving operation
+    /// for a just-retired transaction is a protocol-level condition, not a
+    /// reason to unwind the scheduler.
     pub fn try_add_edge(&mut self, from: NodeIdx, to: NodeIdx) -> AddEdge {
         self.try_add_labeled_edge(from, to, L::default())
     }
 
     /// Attempts to insert `from -> to` carrying `label`, keeping the graph
     /// acyclic. If the edge already exists the labels are merged and
-    /// [`AddEdge::Duplicate`] is returned.
-    ///
-    /// # Panics
-    ///
-    /// Panics if either endpoint is retired.
+    /// [`AddEdge::Duplicate`] is returned; a retired endpoint yields
+    /// [`AddEdge::RetiredEndpoint`] with the graph unchanged.
     pub fn try_add_labeled_edge(&mut self, from: NodeIdx, to: NodeIdx, label: L) -> AddEdge {
         let mut undo = BatchUndo { ops: Vec::new() };
         match self.apply_arc(from, to, &label, &mut undo) {
-            Err(path) => AddEdge::WouldCycle(path),
+            Err(ArcRejection::WouldCycle(path)) => AddEdge::WouldCycle(path),
+            Err(ArcRejection::RetiredEndpoint(v)) => AddEdge::RetiredEndpoint(v),
             Ok(()) => match undo.ops.first() {
                 Some(UndoOp::Inserted(..)) => AddEdge::Added,
                 _ => AddEdge::Duplicate,
@@ -177,20 +290,17 @@ impl<L: EdgeLabel> IncrementalDag<L> {
     /// On success every arc is in the graph (new edges inserted, existing
     /// edges label-merged) and the returned [`BatchUndo`] reverses exactly
     /// this batch. On failure the graph is **unchanged** and the rejection
-    /// identifies the offending arc plus the cycle-closing path.
-    ///
-    /// # Panics
-    ///
-    /// Panics if any arc endpoint is retired.
+    /// identifies the offending arc plus the cause (the cycle-closing
+    /// path, or the retired endpoint).
     pub fn try_add_batch(
         &mut self,
         arcs: &[(NodeIdx, NodeIdx, L)],
     ) -> Result<BatchUndo<L>, BatchRejected> {
         let mut undo = BatchUndo { ops: Vec::new() };
         for (i, (from, to, label)) in arcs.iter().enumerate() {
-            if let Err(path) = self.apply_arc(*from, *to, label, &mut undo) {
+            if let Err(cause) = self.apply_arc(*from, *to, label, &mut undo) {
                 self.undo_batch(undo);
-                return Err(BatchRejected { arc: i, path });
+                return Err(BatchRejected { arc: i, cause });
             }
         }
         Ok(undo)
@@ -220,19 +330,23 @@ impl<L: EdgeLabel> IncrementalDag<L> {
         }
     }
 
-    /// Inserts or label-merges one arc, journalling the change; `Err` is
-    /// the cycle witness path and leaves graph and journal untouched.
+    /// Inserts or label-merges one arc, journalling the change; `Err`
+    /// names the rejection cause and leaves graph and journal untouched.
     fn apply_arc(
         &mut self,
         from: NodeIdx,
         to: NodeIdx,
         label: &L,
         undo: &mut BatchUndo<L>,
-    ) -> Result<(), Vec<NodeIdx>> {
-        assert!(self.live[from.index()], "edge source is retired");
-        assert!(self.live[to.index()], "edge target is retired");
+    ) -> Result<(), ArcRejection> {
+        if !self.live[from.index()] {
+            return Err(ArcRejection::RetiredEndpoint(from));
+        }
+        if !self.live[to.index()] {
+            return Err(ArcRejection::RetiredEndpoint(to));
+        }
         if from == to {
-            return Err(vec![from]);
+            return Err(ArcRejection::WouldCycle(vec![from]));
         }
         if let Some(e) = self.g.find_edge(from, to) {
             let prev = self.g.edge_weight(e).clone();
@@ -246,7 +360,7 @@ impl<L: EdgeLabel> IncrementalDag<L> {
         }
         // A cycle would arise iff `from` is reachable from `to` via live nodes.
         if let Some(path) = self.live_path(to, from) {
-            return Err(path);
+            return Err(ArcRejection::WouldCycle(path));
         }
         self.g.add_edge(from, to, label.clone());
         undo.ops.push(UndoOp::Inserted(from, to));
@@ -385,7 +499,7 @@ mod tests {
             ])
             .unwrap_err();
         assert_eq!(rejected.arc, 2);
-        assert_eq!(rejected.path, vec![a, b, c]);
+        assert_eq!(rejected.cause, ArcRejection::WouldCycle(vec![a, b, c]));
         assert!(!d.has_edge(b, c), "fresh arc rolled back");
         assert_eq!(
             d.edge_label(a, b),
@@ -470,13 +584,104 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "retired")]
-    fn edges_to_retired_nodes_panic() {
+    fn edges_to_retired_nodes_are_rejected_typed() {
         let mut d = IncrementalDag::<()>::new();
         let a = d.add_node();
         let b = d.add_node();
         d.retire_node(b);
+        assert_eq!(d.try_add_edge(a, b), AddEdge::RetiredEndpoint(b));
+        d.retire_node(a);
+        assert_eq!(d.try_add_edge(a, b), AddEdge::RetiredEndpoint(a));
+        assert_eq!(d.graph().edge_count(), 0, "graph unchanged");
+    }
+
+    #[test]
+    fn batch_with_retired_endpoint_rolls_back_typed() {
+        let mut d = IncrementalDag::<Mask>::new();
+        let a = d.add_node();
+        let b = d.add_node();
+        let c = d.add_node();
+        d.retire_node(c);
+        let rejected = d
+            .try_add_batch(&[(a, b, Mask(1)), (b, c, Mask(1))])
+            .unwrap_err();
+        assert_eq!(rejected.arc, 1);
+        assert_eq!(rejected.cause, ArcRejection::RetiredEndpoint(c));
+        assert!(!d.has_edge(a, b), "earlier arcs rolled back");
+    }
+
+    #[test]
+    fn compaction_preserves_live_structure_and_labels() {
+        // a -> b -> c with labels, d retired with edges in both directions.
+        let mut d = IncrementalDag::<Mask>::new();
+        let a = d.add_node();
+        let b = d.add_node();
+        let c = d.add_node();
+        let r = d.add_node();
+        d.try_add_labeled_edge(a, b, Mask(1));
+        d.try_add_labeled_edge(b, c, Mask(2));
+        d.try_add_labeled_edge(a, r, Mask(4));
+        d.try_add_labeled_edge(r, c, Mask(4));
+        d.retire_node(r);
+        let map = d.compact();
+        assert_eq!(map.dropped_nodes, 1);
+        assert_eq!(map.dropped_edges, 2);
+        assert_eq!(map.node(r), None);
+        assert_eq!(d.node_count(), 3, "arena shrank to live nodes");
+        assert_eq!(d.live_count(), 3);
+        let (na, nb, nc) = (
+            map.node(a).unwrap(),
+            map.node(b).unwrap(),
+            map.node(c).unwrap(),
+        );
+        assert_eq!(d.edge_label(na, nb), Some(&Mask(1)));
+        assert_eq!(d.edge_label(nb, nc), Some(&Mask(2)));
+        assert_eq!(d.graph().edge_count(), 2);
+        // Decisions are unchanged: c -> a still closes a cycle with the
+        // same witness path (in new indices).
+        match d.try_add_edge(nc, na) {
+            AddEdge::WouldCycle(path) => assert_eq!(path, vec![na, nb, nc]),
+            other => panic!("expected rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn compaction_remaps_outstanding_undo_journals() {
+        let mut d = IncrementalDag::<Mask>::new();
+        let a = d.add_node();
+        let b = d.add_node();
+        let r = d.add_node();
+        d.try_add_labeled_edge(a, b, Mask(1));
+        // A live batch: one label merge on a live edge, one fresh edge to a
+        // node that will retire before the undo runs.
+        let undo = d
+            .try_add_batch(&[(a, b, Mask(2)), (a, r, Mask(1))])
+            .unwrap();
+        d.retire_node(r);
+        let map = d.compact();
+        let undo = map.remap_undo(undo);
+        d.undo_batch(undo);
+        let (na, nb) = (map.node(a).unwrap(), map.node(b).unwrap());
+        assert_eq!(
+            d.edge_label(na, nb),
+            Some(&Mask(1)),
+            "label merge undone in the new arena; dropped-edge entry skipped"
+        );
+        assert_eq!(d.graph().edge_count(), 1);
+    }
+
+    #[test]
+    fn compaction_of_fully_live_arena_is_identity_shaped() {
+        let mut d = IncrementalDag::<()>::new();
+        let a = d.add_node();
+        let b = d.add_node();
         d.try_add_edge(a, b);
+        let map = d.compact();
+        assert_eq!(map.dropped_nodes, 0);
+        assert_eq!(map.dropped_edges, 0);
+        assert_eq!(map.node(a), Some(a));
+        assert_eq!(map.node(b), Some(b));
+        assert!(d.has_edge(a, b));
     }
 
     #[test]

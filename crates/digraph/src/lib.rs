@@ -64,4 +64,6 @@ pub mod topo;
 pub mod visit;
 
 pub use graph::{DiGraph, EdgeIdx, EdgeRef, NodeIdx};
-pub use incremental::{AddEdge, BatchRejected, BatchUndo, EdgeLabel, IncrementalDag};
+pub use incremental::{
+    AddEdge, ArcRejection, BatchRejected, BatchUndo, CompactionMap, EdgeLabel, IncrementalDag,
+};

@@ -54,6 +54,10 @@ pub enum AbortReason {
     /// A fault-injection layer aborted the transaction (never produced by
     /// a real protocol; see `relser-server`'s `FaultPlan`).
     Injected,
+    /// The request arrived for a transaction whose information the
+    /// scheduler has already retired (committed and reclaimed). A stale
+    /// or duplicate request — the session degrades, the core is fine.
+    Retired,
 }
 
 /// A scheduler's answer to one operation request.
@@ -101,4 +105,11 @@ pub trait Scheduler: Send {
 
     /// The transaction aborts; the scheduler must forget its effects.
     fn abort(&mut self, txn: TxnId);
+
+    /// Has the scheduler retired (committed and reclaimed) `txn`, so that
+    /// no further requests for it can be served? Schedulers without a
+    /// retirement concept keep the default `false`.
+    fn retired(&self, _txn: TxnId) -> bool {
+        false
+    }
 }

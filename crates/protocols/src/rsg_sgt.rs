@@ -53,7 +53,7 @@
 
 use crate::{AbortReason, Decision, Scheduler};
 use relser_core::ids::{OpId, TxnId};
-use relser_core::incremental::IncrementalRsg;
+use relser_core::incremental::{AdmitError, CompactionPolicy, IncrementalRsg};
 use relser_core::spec::AtomicitySpec;
 use relser_core::txn::TxnSet;
 
@@ -64,10 +64,18 @@ pub struct RsgSgt {
 }
 
 impl RsgSgt {
-    /// Creates a scheduler over a fixed transaction set and specification.
+    /// Creates a scheduler over a fixed transaction set and specification,
+    /// with the engine's default [`CompactionPolicy`].
     pub fn new(txns: &TxnSet, spec: &AtomicitySpec) -> Self {
         RsgSgt {
             engine: IncrementalRsg::new(txns, spec),
+        }
+    }
+
+    /// Creates a scheduler with an explicit arena [`CompactionPolicy`].
+    pub fn with_policy(txns: &TxnSet, spec: &AtomicitySpec, policy: CompactionPolicy) -> Self {
+        RsgSgt {
+            engine: IncrementalRsg::with_policy(txns, spec, policy),
         }
     }
 
@@ -79,6 +87,12 @@ impl RsgSgt {
     /// The underlying incremental engine (for inspection / experiments).
     pub fn engine(&self) -> &IncrementalRsg {
         &self.engine
+    }
+
+    /// Forces an arena compaction now, regardless of policy (tests use
+    /// this to interleave compactions at arbitrary points).
+    pub fn force_compact(&mut self) {
+        self.engine.force_compact();
     }
 }
 
@@ -92,7 +106,8 @@ impl Scheduler for RsgSgt {
     fn request(&mut self, op: OpId) -> Decision {
         match self.engine.try_admit(op) {
             Ok(_) => Decision::Granted,
-            Err(_) => Decision::Aborted(AbortReason::CycleRejected),
+            Err(AdmitError::Cycle(_)) => Decision::Aborted(AbortReason::CycleRejected),
+            Err(AdmitError::Retired(_)) => Decision::Aborted(AbortReason::Retired),
         }
     }
 
@@ -102,6 +117,10 @@ impl Scheduler for RsgSgt {
 
     fn abort(&mut self, txn: TxnId) {
         self.engine.abort(txn);
+    }
+
+    fn retired(&self, txn: TxnId) -> bool {
+        self.engine.is_retired(txn)
     }
 }
 

@@ -109,6 +109,12 @@ impl Scheduler for ConflictSgt {
                     // node retires, removing them from consideration.
                     return Decision::Aborted(AbortReason::CycleRejected);
                 }
+                AddEdge::RetiredEndpoint(_) => {
+                    // Unreachable by construction: `edges` is filtered to
+                    // live sources and `me` is live. Degrade the request,
+                    // never the scheduler.
+                    return Decision::Aborted(AbortReason::Retired);
+                }
             }
         }
         accesses.push((me, op.txn, operation.mode));

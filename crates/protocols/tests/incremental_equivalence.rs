@@ -1,8 +1,9 @@
 //! Satellite property suite for the incremental RSG maintenance engine:
 //! on ≥ 1,000 randomized workloads, the incremental [`RsgSgt`] makes
 //! **byte-identical** per-request decisions to the retained full-rebuild
-//! [`RsgSgtOracle`] — through grants, rejections, aborts, restarts, and
-//! commits — and every committed history passes the offline
+//! [`RsgSgtOracle`] — through grants, rejections, aborts, restarts,
+//! commits, **and arena compactions interleaved at pseudo-random points**
+//! — and every committed history passes the offline
 //! `Rsg::build(..).is_acyclic()` checker (Theorem 1).
 #![cfg(feature = "oracle")]
 
@@ -30,6 +31,9 @@ proptest! {
         n_txns in 2usize..6,
         objects in 2usize..5,
         write_pct in 0u32..=100,
+        // Force a compaction roughly every `compact_every` steps (0 off);
+        // the oracle has no arena, so decisions must stay identical.
+        compact_every in 0usize..6,
     ) {
         let cfg = RandomConfig {
             txns: n_txns,
@@ -60,6 +64,9 @@ proptest! {
         let mut steps = 0;
         while done.iter().any(|d| !d) && steps < 2000 {
             steps += 1;
+            if compact_every > 0 && steps % compact_every == 0 {
+                inc.force_compact();
+            }
             let mut t = (next() as usize) % n;
             while done[t] {
                 t = (t + 1) % n;

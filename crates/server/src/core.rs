@@ -15,11 +15,11 @@
 //! state *change* (grant, abort, commit — not a mere block) it bumps the
 //! shared [`Progress`] epoch, which wakes blocked sessions to retry.
 
-use crate::queue::BoundedQueue;
+use crate::queue::{BoundedQueue, PopWait};
 use relser_core::ids::{OpId, TxnId};
 use relser_protocols::{AbortReason, Decision, Scheduler};
 use relser_simdb::metrics::LatencyHistogram;
-use relser_wal::{WalRecord, WalStats, WalWriter};
+use relser_wal::{Checkpoint, CheckpointEvent, CommitLog, FsyncPolicy, WalRecord, WalStats};
 use std::fmt;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -249,6 +249,9 @@ pub struct CoreOutput {
     pub wal_error: Option<String>,
     /// Injected (fault-plan) aborts applied.
     pub injected_aborts: u64,
+    /// Checkpoints the core cut into the commit log (always zero for a
+    /// log without checkpoints).
+    pub checkpoints: u64,
     /// The replayable event trace (empty unless trace recording is on).
     pub trace: Vec<TraceEvent>,
     /// Commands processed.
@@ -325,7 +328,7 @@ enum Halt {
     WalBroken(String, Option<Reply>),
 }
 
-/// [`run_core_faulty`] with an optional write-ahead log.
+/// [`run_core_faulty`] with an optional durable commit log.
 ///
 /// When `wal` is given, the core follows the WAL discipline: every
 /// state-*changing* event (begin, grant, commit, abort — blocks change
@@ -334,7 +337,16 @@ enum Halt {
 /// Under `FsyncPolicy::Always` the append also syncs, so an acknowledged
 /// decision or an applied commit is durable by the time anyone can
 /// observe it. Deferred policies get their group-commit barrier once per
-/// drained queue batch ([`WalWriter::batch_end`]).
+/// drained queue batch ([`CommitLog::batch_end`]) *and* an idle tick
+/// ([`CommitLog::maybe_sync`]) while the queue is empty, so an `Interval`
+/// policy cannot strand acknowledged records unsynced forever.
+///
+/// A checkpointing log ([`CommitLog::wants_checkpoints`]) additionally
+/// gets a live-state snapshot whenever it reports one due: the core
+/// tracks the condensed begin/grant/commit stream of non-retired
+/// transactions and hands it over at a batch boundary (a core-order
+/// point), letting the log rotate segments and delete history the
+/// checkpoint covers.
 ///
 /// A WAL append/sync failure is fatal by design: the core cannot
 /// acknowledge work it cannot make durable, so it crashes exactly like a
@@ -348,12 +360,51 @@ pub fn run_core_durable(
     batch_max: usize,
     record_trace: bool,
     faults: &FaultPlan,
-    mut wal: Option<&mut WalWriter>,
+    mut wal: Option<&mut (dyn CommitLog + '_)>,
 ) -> CoreOutput {
     let mut out = CoreOutput::default();
     let mut batch: Vec<Command> = Vec::with_capacity(batch_max);
     let mut requests_seen: u64 = 0;
-    'serve: while queue.pop_batch(batch_max, &mut batch) {
+    // An `Interval` policy needs flush opportunities even when the queue
+    // is idle; wake at a fraction of the interval (clamped sane) to check.
+    let idle_tick: Option<Duration> = wal.as_ref().and_then(|w| match w.policy() {
+        FsyncPolicy::Interval(d) => {
+            Some(d.clamp(Duration::from_millis(1), Duration::from_millis(100)))
+        }
+        _ => None,
+    });
+    let track_live = wal.as_ref().is_some_and(|w| w.wants_checkpoints());
+    let mut live_events: Vec<CheckpointEvent> = Vec::new();
+    'serve: loop {
+        let popped = match idle_tick {
+            Some(tick) => queue.pop_batch_timeout(batch_max, &mut batch, tick),
+            None => {
+                if queue.pop_batch(batch_max, &mut batch) {
+                    PopWait::Batch
+                } else {
+                    PopWait::Closed
+                }
+            }
+        };
+        match popped {
+            PopWait::Closed => break 'serve,
+            PopWait::Idle => {
+                // Queue idle: the deferred policy's barrier opportunity. A
+                // failed barrier fail-stops like a batch-end failure.
+                if let Some(w) = wal.as_mut() {
+                    if let Err(e) = w.maybe_sync() {
+                        out.crashed = true;
+                        out.wal_error = Some(e.to_string());
+                        queue.close();
+                        drain_after_crash(Vec::new(), queue, batch_max);
+                        progress.bump();
+                        break 'serve;
+                    }
+                }
+                continue 'serve;
+            }
+            PopWait::Batch => {}
+        }
         out.batches += 1;
         out.max_batch = out.max_batch.max(batch.len());
         let mut changed = false;
@@ -368,6 +419,8 @@ pub fn run_core_durable(
                 faults,
                 &mut wal,
                 &mut changed,
+                track_live,
+                &mut live_events,
             ) {
                 Ok(()) => continue,
                 Err(h) => h,
@@ -399,7 +452,7 @@ pub fn run_core_durable(
         // other WAL error (there is no command to unwind — its effects
         // were acknowledged under a deferred policy, which is exactly the
         // bounded loss window that policy buys throughput with).
-        if let Some(w) = wal.as_deref_mut() {
+        if let Some(w) = wal.as_mut() {
             if let Err(e) = w.batch_end() {
                 out.crashed = true;
                 out.wal_error = Some(e.to_string());
@@ -407,6 +460,31 @@ pub fn run_core_durable(
                 drain_after_crash(Vec::new(), queue, batch_max);
                 progress.bump();
                 break 'serve;
+            }
+        }
+        // Checkpoint: the batch boundary is a core-order point, so the
+        // snapshot below is exactly the state the replayed log would have
+        // here. Retired transactions are purged first — their arcs can no
+        // longer matter, which is what keeps the snapshot (and therefore
+        // every segment) bounded by live state.
+        if track_live {
+            if let Some(w) = wal.as_mut() {
+                if w.checkpoint_due() {
+                    live_events.retain(|e| !scheduler.retired(event_txn(e)));
+                    let cp = Checkpoint {
+                        committed: out.committed.clone(),
+                        events: live_events.clone(),
+                    };
+                    if let Err(e) = w.install_checkpoint(cp) {
+                        out.crashed = true;
+                        out.wal_error = Some(e.to_string());
+                        queue.close();
+                        drain_after_crash(Vec::new(), queue, batch_max);
+                        progress.bump();
+                        break 'serve;
+                    }
+                    out.checkpoints += 1;
+                }
             }
         }
         // One bump per batch, not per command: waking blocked sessions is
@@ -428,6 +506,14 @@ pub fn run_core_durable(
     out
 }
 
+/// The transaction a checkpoint event concerns.
+fn event_txn(e: &CheckpointEvent) -> TxnId {
+    match e {
+        CheckpointEvent::Begin(t) | CheckpointEvent::Commit(t) => *t,
+        CheckpointEvent::Grant(op) => op.txn,
+    }
+}
+
 /// Applies one command inside [`run_core_durable`]'s batch loop.
 /// `Err(halt)` means the core must crash without acknowledging the
 /// command. Separated out so the WAL-before-apply ordering is auditable
@@ -440,8 +526,10 @@ fn apply_command(
     requests_seen: &mut u64,
     record_trace: bool,
     faults: &FaultPlan,
-    wal: &mut Option<&mut WalWriter>,
+    wal: &mut Option<&mut (dyn CommitLog + '_)>,
     changed: &mut bool,
+    track_live: bool,
+    live_events: &mut Vec<CheckpointEvent>,
 ) -> Result<(), Halt> {
     if faults.crash_at_command == Some(out.commands) {
         let reply = match cmd {
@@ -451,7 +539,7 @@ fn apply_command(
         return Err(Halt::PlannedCrash(reply));
     }
     let mut wal_append = |rec: WalRecord| -> Result<(), String> {
-        match wal.as_deref_mut() {
+        match wal.as_mut() {
             Some(w) => w.append(&rec).map_err(|e| e.to_string()),
             None => Ok(()),
         }
@@ -464,6 +552,9 @@ fn apply_command(
                 return Err(Halt::WalBroken(e, None));
             }
             scheduler.begin(txn);
+            if track_live {
+                live_events.push(CheckpointEvent::Begin(txn));
+            }
             if record_trace {
                 out.trace.push(TraceEvent::Begin(txn));
             }
@@ -489,6 +580,9 @@ fn apply_command(
                 out.injected_aborts += 1;
                 scheduler.abort(op.txn);
                 out.log.retain(|o| o.txn != op.txn);
+                if track_live {
+                    live_events.retain(|e| event_txn(e) != op.txn);
+                }
                 *changed = true;
                 if record_trace {
                     out.trace.push(TraceEvent::Abort(op.txn));
@@ -519,6 +613,9 @@ fn apply_command(
                 Decision::Granted => {
                     out.grants += 1;
                     out.log.push(op);
+                    if track_live {
+                        live_events.push(CheckpointEvent::Grant(op));
+                    }
                     *changed = true;
                 }
                 Decision::Blocked { .. } => {
@@ -531,6 +628,9 @@ fn apply_command(
                     out.aborts += 1;
                     scheduler.abort(op.txn);
                     out.log.retain(|o| o.txn != op.txn);
+                    if track_live {
+                        live_events.retain(|e| event_txn(e) != op.txn);
+                    }
                     *changed = true;
                 }
             }
@@ -550,6 +650,9 @@ fn apply_command(
             scheduler.commit(txn);
             out.commits += 1;
             out.committed.push(txn);
+            if track_live {
+                live_events.push(CheckpointEvent::Commit(txn));
+            }
             *changed = true;
             if record_trace {
                 out.trace.push(TraceEvent::Commit(txn));
@@ -562,6 +665,9 @@ fn apply_command(
             }
             scheduler.abort(txn);
             out.log.retain(|o| o.txn != txn);
+            if track_live {
+                live_events.retain(|e| event_txn(e) != txn);
+            }
             out.timeout_aborts += 1;
             *changed = true;
             if record_trace {

@@ -70,10 +70,10 @@ pub mod session;
 pub use baseline::{run_baseline, BaselineRun};
 pub use core::{run_core_durable, FaultPlan, ReplyLost, TraceEvent};
 pub use metrics::ServerMetrics;
-pub use queue::{BoundedQueue, PushError, QueueStats};
-pub use recovery::{recover, Recovery, RecoveryError};
+pub use queue::{BoundedQueue, PopWait, PushError, QueueStats};
+pub use recovery::{recover, recover_segments, Recovery, RecoveryError};
 pub use server::{
-    replay, serve, serve_durable, serve_report, serve_stream, ReplayMismatch, RunOutcome,
-    ServeReport, ServerConfig, ServerError, ServerRun,
+    replay, serve, serve_durable, serve_durable_log, serve_report, serve_stream, ReplayMismatch,
+    RunOutcome, ServeReport, ServerConfig, ServerError, ServerRun,
 };
 pub use session::{restart_backoff, OverloadPolicy, SessionError, SessionStats};

@@ -37,7 +37,7 @@ use relser_core::rsg::Rsg;
 use relser_core::spec::AtomicitySpec;
 use relser_core::txn::TxnSet;
 use relser_protocols::{Decision, Scheduler};
-use relser_wal::{scan, Truncation, WalRecord};
+use relser_wal::{scan, CheckpointEvent, Truncation, WalRecord};
 use std::fmt;
 
 /// What [`recover`] rebuilt from the log's valid prefix.
@@ -57,9 +57,24 @@ pub struct Recovery {
     /// [`crate::core::CoreOutput::log`], captured before step 3's
     /// rollback so oracle replays can compare against a crashed run.
     pub log: Vec<OpId>,
+    /// The committed transactions whose *complete* operation sets are in
+    /// the recovered log — what the Theorem 1 oracle can re-certify.
+    /// Without a checkpoint this equals [`Recovery::committed`]; with
+    /// one, transactions the checkpoint already retired keep their place
+    /// in `committed` (zero acknowledged-commit loss) but their
+    /// operations were compacted away, so they are vouched for by the
+    /// checkpoint that certified them at rotation time, not re-proved.
+    pub certified: Vec<TxnId>,
     /// The committed history: [`Recovery::log`] filtered to
-    /// [`Recovery::committed`]. This is what gets re-certified.
+    /// [`Recovery::certified`]. This is what gets re-certified.
     pub history: Vec<OpId>,
+    /// Checkpoint events replayed to seed the scheduler (0 when the log
+    /// has no checkpoint).
+    pub seeded_events: usize,
+    /// Records replayed *after* the seeding checkpoint — the suffix. With
+    /// segment compaction this is bounded by the checkpoint policy, not
+    /// by history length.
+    pub replayed: usize,
     /// The replayed events in core order, in the same [`TraceEvent`]
     /// vocabulary the live core records (blocked decisions are absent:
     /// they change no state and were never logged).
@@ -143,22 +158,95 @@ pub fn recover(
     bytes: &[u8],
 ) -> Result<Recovery, RecoveryError> {
     let scanned = scan(bytes);
+    let records = &scanned.records;
 
-    // Step 2: replay the valid prefix, mirroring the core's bookkeeping.
     let mut log: Vec<OpId> = Vec::new();
     let mut committed: Vec<TxnId> = Vec::new();
-    let mut trace: Vec<TraceEvent> = Vec::with_capacity(scanned.records.len());
+    let mut trace: Vec<TraceEvent> = Vec::with_capacity(records.len());
     let mut live: Vec<TxnId> = Vec::new();
-    for (at, record) in scanned.records.iter().enumerate() {
-        let txn = record.txn();
-        if txn.index() >= txns.len() {
-            return Err(RecoveryError::ForeignRecord {
+    let check_txn = |t: TxnId, at: usize| -> Result<(), RecoveryError> {
+        if t.index() >= txns.len() {
+            Err(RecoveryError::ForeignRecord {
                 at,
-                record: *record,
-            });
+                record: records[at].clone(),
+            })
+        } else {
+            Ok(())
         }
+    };
+    let check_op = |op: OpId, at: usize| -> Result<(), RecoveryError> {
+        check_txn(op.txn, at)?;
+        if op.index >= txns.txn(op.txn).len() as u32 {
+            Err(RecoveryError::ForeignRecord {
+                at,
+                record: records[at].clone(),
+            })
+        } else {
+            Ok(())
+        }
+    };
+
+    // Step 2a: seed from the *newest* checkpoint, if any. Its `events`
+    // stream is the condensed, retirement-pruned replay of the live state
+    // at rotation time; its `committed` list is the full acknowledged
+    // commit set. Everything before it in this log is already covered.
+    let seed_at = records
+        .iter()
+        .rposition(|r| matches!(r, WalRecord::Checkpoint(_)));
+    let mut seeded_events = 0;
+    let start = match seed_at {
+        Some(k) => {
+            let WalRecord::Checkpoint(cp) = &records[k] else {
+                unreachable!("rposition matched a checkpoint");
+            };
+            for &t in &cp.committed {
+                check_txn(t, k)?;
+            }
+            committed = cp.committed.clone();
+            seeded_events = cp.events.len();
+            for ev in &cp.events {
+                match *ev {
+                    CheckpointEvent::Begin(t) => {
+                        check_txn(t, k)?;
+                        scheduler.begin(t);
+                        if !live.contains(&t) {
+                            live.push(t);
+                        }
+                        trace.push(TraceEvent::Begin(t));
+                    }
+                    CheckpointEvent::Grant(op) => {
+                        check_op(op, k)?;
+                        let got = scheduler.request(op);
+                        if got != Decision::Granted {
+                            return Err(RecoveryError::ReplayDivergence {
+                                at: k,
+                                record: records[k].clone(),
+                                got,
+                            });
+                        }
+                        log.push(op);
+                        trace.push(TraceEvent::Decision(op, Decision::Granted));
+                    }
+                    CheckpointEvent::Commit(t) => {
+                        check_txn(t, k)?;
+                        scheduler.commit(t);
+                        live.retain(|&u| u != t);
+                        trace.push(TraceEvent::Commit(t));
+                    }
+                }
+            }
+            k + 1
+        }
+        None => 0,
+    };
+
+    // Step 2b: replay the post-checkpoint suffix, mirroring the core's
+    // bookkeeping record for record.
+    let replayed = records.len() - start;
+    for (at, record) in records.iter().enumerate().skip(start) {
         match *record {
             WalRecord::Begin(txn) => {
+                check_txn(txn, at)?;
                 scheduler.begin(txn);
                 if !live.contains(&txn) {
                     live.push(txn);
@@ -166,17 +254,12 @@ pub fn recover(
                 trace.push(TraceEvent::Begin(txn));
             }
             WalRecord::Grant(op) => {
-                if op.index >= txns.txn(op.txn).len() as u32 {
-                    return Err(RecoveryError::ForeignRecord {
-                        at,
-                        record: *record,
-                    });
-                }
+                check_op(op, at)?;
                 let got = scheduler.request(op);
                 if got != Decision::Granted {
                     return Err(RecoveryError::ReplayDivergence {
                         at,
-                        record: *record,
+                        record: record.clone(),
                         got,
                     });
                 }
@@ -184,26 +267,37 @@ pub fn recover(
                 trace.push(TraceEvent::Decision(op, Decision::Granted));
             }
             WalRecord::Commit(txn) => {
+                check_txn(txn, at)?;
                 scheduler.commit(txn);
                 committed.push(txn);
                 live.retain(|&t| t != txn);
                 trace.push(TraceEvent::Commit(txn));
             }
             WalRecord::Abort(txn) => {
+                check_txn(txn, at)?;
                 scheduler.abort(txn);
                 log.retain(|o| o.txn != txn);
                 live.retain(|&t| t != txn);
                 trace.push(TraceEvent::Abort(txn));
             }
+            WalRecord::Checkpoint(_) => {
+                unreachable!("the newest checkpoint seeds; none can follow it")
+            }
         }
     }
 
-    // The pre-rollback log (committed + live grants) and the committed
-    // history, before step 3 cleans the survivors away.
+    // The committed transactions whose complete operation sets survived
+    // into this log (all of them, absent compaction), the pre-rollback
+    // log, and the re-certifiable history.
+    let certified: Vec<TxnId> = committed
+        .iter()
+        .copied()
+        .filter(|&t| log.iter().filter(|o| o.txn == t).count() == txns.txn(t).len())
+        .collect();
     let history: Vec<OpId> = log
         .iter()
         .copied()
-        .filter(|o| committed.contains(&o.txn))
+        .filter(|o| certified.contains(&o.txn))
         .collect();
     let pre_rollback_log = log.clone();
 
@@ -212,9 +306,9 @@ pub fn recover(
         scheduler.abort(txn);
     }
 
-    // Step 4: re-certify the committed history against Theorem 1.
-    if !committed.is_empty() {
-        let projection = Projection::subset(txns, spec, &committed)
+    // Step 4: re-certify the certified history against Theorem 1.
+    if !certified.is_empty() {
+        let projection = Projection::subset(txns, spec, &certified)
             .map_err(|e| RecoveryError::InvalidHistory(e.to_string()))?;
         let schedule = projection
             .schedule(&history)
@@ -226,15 +320,45 @@ pub fn recover(
     }
 
     Ok(Recovery {
-        records: scanned.records.len(),
+        records: records.len(),
         valid_bytes: scanned.valid_bytes,
         truncation: scanned.truncation,
         committed,
+        certified,
         log: pre_rollback_log,
         history,
+        seeded_events,
+        replayed,
         trace,
         live_aborted: live,
     })
+}
+
+/// Recovers from a *segmented* log: picks the newest segment whose head
+/// checkpoint frame is intact (rotation forces it durable before older
+/// segments may be deleted, so if a crash tore the newest segment's head
+/// the previous segment is still on disk and wholly covers the
+/// acknowledged state), then runs [`recover`] on that segment's bytes.
+/// Returns the chosen segment's sequence number alongside the recovery.
+///
+/// `segments` is `(seq, bytes)` ascending — from
+/// [`relser_wal::DirSegmentStore::list`] plus `std::fs::read`, or from
+/// [`relser_wal::MemSegmentsHandle::segments`] in tests.
+pub fn recover_segments(
+    txns: &TxnSet,
+    spec: &AtomicitySpec,
+    scheduler: &mut dyn Scheduler,
+    segments: &[(u64, Vec<u8>)],
+) -> Result<(u64, Recovery), RecoveryError> {
+    let chosen = segments
+        .iter()
+        .rev()
+        .find(|(_, bytes)| matches!(scan(bytes).records.first(), Some(WalRecord::Checkpoint(_))))
+        .or_else(|| segments.last());
+    match chosen {
+        Some((seq, bytes)) => Ok((*seq, recover(txns, spec, scheduler, bytes)?)),
+        None => Ok((0, recover(txns, spec, scheduler, &[])?)),
+    }
 }
 
 #[cfg(test)]
@@ -332,7 +456,7 @@ mod tests {
         // only if the log is inconsistent; an out-of-universe id is the
         // unambiguous forgery.
         let mut bytes = MAGIC.to_vec();
-        WalRecord::Begin(TxnId(99)).encode_into(&mut bytes);
+        WalRecord::Begin(TxnId(99)).encode_into(&mut bytes).unwrap();
         let mut fresh = RsgSgt::new(&txns, &spec);
         let err = recover(&txns, &spec, &mut fresh, &bytes).unwrap_err();
         assert!(matches!(err, RecoveryError::ForeignRecord { at: 0, .. }));

@@ -11,7 +11,7 @@ use relser_core::schedule::Schedule;
 use relser_core::txn::TxnSet;
 use relser_protocols::{Decision, Scheduler};
 use relser_simdb::metrics::DecisionLatency;
-use relser_wal::WalWriter;
+use relser_wal::{CommitLog, WalWriter};
 use relser_workload::stream::RequestStream;
 use std::fmt;
 use std::sync::atomic::AtomicU64;
@@ -192,6 +192,9 @@ pub struct ServeReport {
     pub metrics: ServerMetrics,
     /// Injected (fault-plan) aborts the core applied.
     pub injected_aborts: u64,
+    /// Checkpoints the core cut into the commit log (zero without a
+    /// checkpointing log — see [`serve_durable_log`]).
+    pub checkpoints: u64,
 }
 
 /// [`serve_stream`] with a deterministic [`FaultPlan`], returning a
@@ -227,13 +230,31 @@ pub fn serve_durable(
     serve_with(txns, stream, scheduler, cfg, faults, Some(wal))
 }
 
+/// [`serve_durable`] over any [`CommitLog`] — in particular the
+/// checkpointing, segment-compacting [`relser_wal::SegmentedWal`]: when
+/// the log reports a checkpoint due, the core snapshots its live state
+/// into it at a batch boundary and the log rotates, keeping retained
+/// bytes (and recovery time) bounded by live state instead of history
+/// length. The caller keeps ownership of the log and can inspect its
+/// segment counters after the run.
+pub fn serve_durable_log(
+    txns: &TxnSet,
+    stream: &RequestStream,
+    scheduler: Box<dyn Scheduler + Send + '_>,
+    cfg: &ServerConfig,
+    faults: &FaultPlan,
+    wal: &mut dyn CommitLog,
+) -> ServeReport {
+    serve_with(txns, stream, scheduler, cfg, faults, Some(wal))
+}
+
 fn serve_with(
     txns: &TxnSet,
     stream: &RequestStream,
     scheduler: Box<dyn Scheduler + Send + '_>,
     cfg: &ServerConfig,
     faults: &FaultPlan,
-    wal: Option<&mut WalWriter>,
+    wal: Option<&mut dyn CommitLog>,
 ) -> ServeReport {
     assert!(cfg.workers >= 1, "need at least one worker");
     let queue: BoundedQueue<Command> = BoundedQueue::new(cfg.queue_capacity);
@@ -370,6 +391,7 @@ fn serve_with(
         trace: core_out.trace,
         metrics,
         injected_aborts: core_out.injected_aborts,
+        checkpoints: core_out.checkpoints,
     }
 }
 

@@ -1,0 +1,87 @@
+//! The [`CommitLog`] abstraction: what the admission core needs from a
+//! durable log, whether it is a single append-only file
+//! ([`crate::WalWriter`]) or a checkpointed, segment-compacting one
+//! ([`crate::SegmentedWal`]).
+//!
+//! The core drives the log with exactly five verbs — append a record
+//! (WAL-before-ack), end a batch (group-commit barrier), tick while idle
+//! (deferred-policy flush), close cleanly, read counters — plus the
+//! checkpoint protocol: the *log* decides when a checkpoint is due
+//! (`checkpoint_due`), the *core* supplies the state snapshot
+//! (`install_checkpoint`), because only the core knows its live state and
+//! only the log knows its segment sizes.
+
+use crate::record::{Checkpoint, WalRecord};
+use crate::writer::{FsyncPolicy, WalStats, WalWriter};
+use std::io;
+
+/// A durable commit log, from the admission core's point of view.
+pub trait CommitLog: Send {
+    /// Appends one record under the log's fsync policy; on `Ok` under
+    /// [`FsyncPolicy::Always`] the record is durable. Any error means the
+    /// caller must fail-stop.
+    fn append(&mut self, rec: &WalRecord) -> io::Result<()>;
+
+    /// Group-commit barrier, once per drained queue batch.
+    fn batch_end(&mut self) -> io::Result<()>;
+
+    /// Deferred-policy flush opportunity, called while the queue is idle
+    /// so an `Interval` policy cannot strand acknowledged records in the
+    /// unsynced window forever.
+    fn maybe_sync(&mut self) -> io::Result<()>;
+
+    /// Clean shutdown: a final durability barrier.
+    fn close(&mut self) -> io::Result<()>;
+
+    /// Append-side counters so far (across all segments, if any).
+    fn stats(&self) -> WalStats;
+
+    /// The log's fsync policy (the core derives its idle-tick cadence
+    /// from an `Interval` policy).
+    fn policy(&self) -> FsyncPolicy;
+
+    /// Does this log use checkpoints at all? When `false` (the plain
+    /// single-file writer), the core skips live-state tracking entirely.
+    fn wants_checkpoints(&self) -> bool {
+        false
+    }
+
+    /// Is a checkpoint due under the log's policy? Only meaningful when
+    /// [`CommitLog::wants_checkpoints`] is `true`.
+    fn checkpoint_due(&self) -> bool {
+        false
+    }
+
+    /// Installs a checkpoint snapshot (rotating / compacting as the
+    /// implementation sees fit). The default is a no-op for logs without
+    /// checkpoints.
+    fn install_checkpoint(&mut self, _cp: Checkpoint) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+impl CommitLog for WalWriter {
+    fn append(&mut self, rec: &WalRecord) -> io::Result<()> {
+        WalWriter::append(self, rec)
+    }
+
+    fn batch_end(&mut self) -> io::Result<()> {
+        WalWriter::batch_end(self)
+    }
+
+    fn maybe_sync(&mut self) -> io::Result<()> {
+        WalWriter::maybe_sync(self)
+    }
+
+    fn close(&mut self) -> io::Result<()> {
+        WalWriter::close(self)
+    }
+
+    fn stats(&self) -> WalStats {
+        WalWriter::stats(self)
+    }
+
+    fn policy(&self) -> FsyncPolicy {
+        WalWriter::policy(self)
+    }
+}

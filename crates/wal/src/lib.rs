@@ -17,7 +17,12 @@
 //!   [`FsyncPolicy`] with group-commit batching aligned to the core's
 //!   queue batches;
 //! * [`reader`] — [`scan`]: the torn-write-tolerant scanner that
-//!   recovers the longest valid record prefix from arbitrary bytes.
+//!   recovers the longest valid record prefix from arbitrary bytes;
+//! * [`commit_log`] — the [`CommitLog`] trait the admission core drives,
+//!   implemented by both the plain writer and the segmented log;
+//! * [`segment`] — [`SegmentedWal`]: checkpoint-headed segments with
+//!   rotation and deletion, bounding log size and recovery time by live
+//!   state instead of history length.
 //!
 //! The recovery manager itself lives in `relser-server` (it needs a
 //! scheduler to replay into and the RSG oracle to re-certify); this crate
@@ -36,14 +41,23 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod commit_log;
 pub mod crc32;
 pub mod reader;
 pub mod record;
+pub mod segment;
 pub mod storage;
 pub mod writer;
 
+pub use commit_log::CommitLog;
 pub use crc32::crc32;
 pub use reader::{scan, ScanResult, Truncation};
-pub use record::{WalRecord, FRAME_OVERHEAD, MAGIC, MAX_PAYLOAD};
+pub use record::{
+    Checkpoint, CheckpointEvent, EncodeError, WalRecord, FRAME_OVERHEAD, MAGIC, MAX_PAYLOAD,
+};
+pub use segment::{
+    CheckpointPolicy, DirSegmentStore, MemSegmentStore, MemSegmentsHandle, SegmentStats,
+    SegmentStore, SegmentedWal,
+};
 pub use storage::{FileStorage, MemHandle, MemStorage, Storage};
 pub use writer::{FsyncPolicy, WalStats, WalWriter};

@@ -131,16 +131,25 @@ mod tests {
 
     fn sample_log() -> (Vec<u8>, Vec<WalRecord>) {
         let records = vec![
+            WalRecord::Checkpoint(crate::record::Checkpoint::default()),
             WalRecord::Begin(TxnId(0)),
             WalRecord::Grant(OpId::new(TxnId(0), 0)),
             WalRecord::Grant(OpId::new(TxnId(0), 1)),
+            WalRecord::Checkpoint(crate::record::Checkpoint {
+                committed: vec![],
+                events: vec![
+                    crate::record::CheckpointEvent::Begin(TxnId(0)),
+                    crate::record::CheckpointEvent::Grant(OpId::new(TxnId(0), 0)),
+                    crate::record::CheckpointEvent::Grant(OpId::new(TxnId(0), 1)),
+                ],
+            }),
             WalRecord::Commit(TxnId(0)),
             WalRecord::Begin(TxnId(1)),
             WalRecord::Abort(TxnId(1)),
         ];
         let mut bytes = MAGIC.to_vec();
         for r in &records {
-            r.encode_into(&mut bytes);
+            r.encode_into(&mut bytes).unwrap();
         }
         (bytes, records)
     }

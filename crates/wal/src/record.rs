@@ -4,7 +4,10 @@
 //! simply its state-changing events in core order: `Begin`, `Grant`,
 //! `Commit`, `Abort`. Blocked probes change no state and are not logged —
 //! replaying the granted stream through a fresh scheduler reproduces the
-//! exact scheduler state (see `relser-server`'s recovery manager).
+//! exact scheduler state (see `relser-server`'s recovery manager). A
+//! fifth record, [`WalRecord::Checkpoint`], snapshots the core's live
+//! state so recovery can seed from it and replay only the suffix, and so
+//! older log segments can be deleted (see `crate::segment`).
 //!
 //! Framing, per record:
 //!
@@ -13,6 +16,10 @@
 //! | len: u32LE | crc: u32LE| payload (len B)  |
 //! +------------+-----------+------------------+
 //! payload = tag: u8, txn: u32LE [, index: u32LE for Grant]
+//! checkpoint payload = tag: u8,
+//!                      committed count: u32LE, committed txns: u32LE…,
+//!                      event count: u32LE,
+//!                      events: kind u8, txn u32LE [, index u32LE]…
 //! ```
 //!
 //! `crc` is the CRC-32 of the payload. A record is accepted only if the
@@ -22,13 +29,18 @@
 
 use crate::crc32::crc32;
 use relser_core::ids::{OpId, TxnId};
+use std::fmt;
 
 /// File magic: identifies a relser WAL and pins the format version.
 pub const MAGIC: &[u8; 8] = b"RSWAL01\n";
 
-/// Upper bound on a sane payload length. Real payloads are ≤ 9 bytes;
-/// anything larger means the length prefix itself is corrupt.
-pub const MAX_PAYLOAD: u32 = 64;
+/// Upper bound on a sane payload length. Event records are ≤ 9 bytes;
+/// checkpoint payloads scale with the number of live (non-retired)
+/// transactions, so the bound is generous — but still a bound: a length
+/// prefix beyond it means the frame header itself is corrupt, and an
+/// encode that would exceed it is a typed error, never a silent `u32`
+/// wrap.
+pub const MAX_PAYLOAD: u32 = 1 << 16;
 
 /// Bytes of framing per record (length prefix + checksum).
 pub const FRAME_OVERHEAD: usize = 8;
@@ -37,9 +49,79 @@ const TAG_BEGIN: u8 = 1;
 const TAG_GRANT: u8 = 2;
 const TAG_COMMIT: u8 = 3;
 const TAG_ABORT: u8 = 4;
+const TAG_CHECKPOINT: u8 = 5;
+
+const EV_BEGIN: u8 = 1;
+const EV_GRANT: u8 = 2;
+const EV_COMMIT: u8 = 3;
+
+/// The payload would not fit the frame format. Returned by
+/// [`WalRecord::encode_into`] instead of letting the `as u32` length cast
+/// wrap silently.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EncodeError {
+    /// The encoded payload exceeds [`MAX_PAYLOAD`] bytes.
+    PayloadTooLarge {
+        /// The payload size that did not fit.
+        len: usize,
+    },
+}
+
+impl fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EncodeError::PayloadTooLarge { len } => write!(
+                f,
+                "record payload of {len} bytes exceeds MAX_PAYLOAD ({MAX_PAYLOAD})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EncodeError {}
+
+/// One live-state event inside a [`Checkpoint`]: the condensed,
+/// retirement-free replay stream that reconstructs the admission core's
+/// scheduler state, in core order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CheckpointEvent {
+    /// The incarnation started (and had not aborted by checkpoint time).
+    Begin(TxnId),
+    /// The operation was granted (and its incarnation survived).
+    Grant(OpId),
+    /// The transaction committed but was not yet retired by the
+    /// scheduler, so later admissions may still order against it.
+    Commit(TxnId),
+}
+
+impl CheckpointEvent {
+    fn encoded_len(&self) -> usize {
+        match self {
+            CheckpointEvent::Grant(_) => 9,
+            _ => 5,
+        }
+    }
+}
+
+/// A snapshot of the admission core's live state, logged as the first
+/// record of every segment (and whenever the checkpoint policy fires).
+///
+/// `committed` is the full commit-order list — bounded by the transaction
+/// universe since each [`TxnId`] commits at most once — and `events` is
+/// the condensed event stream of the *non-retired* transactions only.
+/// Recovery replays `events` through a fresh scheduler, takes `committed`
+/// as the acknowledged-commit set, then replays the post-checkpoint
+/// suffix; everything before the checkpoint can be deleted.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Checkpoint {
+    /// Transactions committed so far, in commit order.
+    pub committed: Vec<TxnId>,
+    /// Condensed live-state events (non-retired transactions), core order.
+    pub events: Vec<CheckpointEvent>,
+}
 
 /// One durable event, in admission-core order.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum WalRecord {
     /// A transaction incarnation started.
     Begin(TxnId),
@@ -53,20 +135,25 @@ pub enum WalRecord {
     /// The transaction (incarnation) aborted — scheduler-initiated,
     /// session timeout, or injected; recovery treats them all alike.
     Abort(TxnId),
+    /// A live-state snapshot; recovery seeds from the newest one and
+    /// replays only the records after it.
+    Checkpoint(Checkpoint),
 }
 
 impl WalRecord {
-    /// The transaction this record is about.
-    pub fn txn(&self) -> TxnId {
-        match *self {
-            WalRecord::Begin(t) | WalRecord::Commit(t) | WalRecord::Abort(t) => t,
-            WalRecord::Grant(op) => op.txn,
+    /// The transaction this record is about; `None` for records that span
+    /// the whole state (checkpoints).
+    pub fn txn(&self) -> Option<TxnId> {
+        match self {
+            WalRecord::Begin(t) | WalRecord::Commit(t) | WalRecord::Abort(t) => Some(*t),
+            WalRecord::Grant(op) => Some(op.txn),
+            WalRecord::Checkpoint(_) => None,
         }
     }
 
     /// Serialises the payload (tag + fields, no framing) into `buf`.
     fn payload_into(&self, buf: &mut Vec<u8>) {
-        match *self {
+        match self {
             WalRecord::Begin(t) => {
                 buf.push(TAG_BEGIN);
                 buf.extend_from_slice(&t.0.to_le_bytes());
@@ -84,18 +171,50 @@ impl WalRecord {
                 buf.push(TAG_ABORT);
                 buf.extend_from_slice(&t.0.to_le_bytes());
             }
+            WalRecord::Checkpoint(cp) => {
+                buf.push(TAG_CHECKPOINT);
+                buf.extend_from_slice(&(cp.committed.len() as u32).to_le_bytes());
+                for t in &cp.committed {
+                    buf.extend_from_slice(&t.0.to_le_bytes());
+                }
+                buf.extend_from_slice(&(cp.events.len() as u32).to_le_bytes());
+                for ev in &cp.events {
+                    match ev {
+                        CheckpointEvent::Begin(t) => {
+                            buf.push(EV_BEGIN);
+                            buf.extend_from_slice(&t.0.to_le_bytes());
+                        }
+                        CheckpointEvent::Grant(op) => {
+                            buf.push(EV_GRANT);
+                            buf.extend_from_slice(&op.txn.0.to_le_bytes());
+                            buf.extend_from_slice(&op.index.to_le_bytes());
+                        }
+                        CheckpointEvent::Commit(t) => {
+                            buf.push(EV_COMMIT);
+                            buf.extend_from_slice(&t.0.to_le_bytes());
+                        }
+                    }
+                }
+            }
         }
     }
 
-    /// Appends the full frame (length, checksum, payload) to `buf`.
-    pub fn encode_into(&self, buf: &mut Vec<u8>) {
+    /// Appends the full frame (length, checksum, payload) to `buf`. On
+    /// [`EncodeError`], `buf` is restored to its original length —
+    /// nothing partial is ever left behind for storage to append.
+    pub fn encode_into(&self, buf: &mut Vec<u8>) -> Result<(), EncodeError> {
         let start = buf.len();
         buf.extend_from_slice(&[0u8; FRAME_OVERHEAD]);
         self.payload_into(buf);
-        let payload_len = (buf.len() - start - FRAME_OVERHEAD) as u32;
+        let payload_len = buf.len() - start - FRAME_OVERHEAD;
+        if payload_len > MAX_PAYLOAD as usize {
+            buf.truncate(start);
+            return Err(EncodeError::PayloadTooLarge { len: payload_len });
+        }
         let crc = crc32(&buf[start + FRAME_OVERHEAD..]);
-        buf[start..start + 4].copy_from_slice(&payload_len.to_le_bytes());
+        buf[start..start + 4].copy_from_slice(&(payload_len as u32).to_le_bytes());
         buf[start + 4..start + 8].copy_from_slice(&crc.to_le_bytes());
+        Ok(())
     }
 
     /// Parses a checksum-verified payload. `None` on an unknown tag or a
@@ -115,8 +234,54 @@ impl WalRecord {
                 txn: TxnId(u32_at(rest, 0)?),
                 index: u32_at(rest, 4)?,
             })),
+            TAG_CHECKPOINT => Self::decode_checkpoint(rest).map(WalRecord::Checkpoint),
             _ => None,
         }
+    }
+
+    /// Strict checkpoint-body parser: every byte must be consumed and
+    /// every count must be exactly satisfied, so a truncated or padded
+    /// body is rejected rather than silently partially accepted.
+    fn decode_checkpoint(mut rest: &[u8]) -> Option<Checkpoint> {
+        let take_u32 = |b: &mut &[u8]| -> Option<u32> {
+            let head = b.get(..4)?;
+            let v = u32::from_le_bytes(head.try_into().unwrap());
+            *b = &b[4..];
+            Some(v)
+        };
+        let n_committed = take_u32(&mut rest)? as usize;
+        // Counts are sanity-bounded by what could possibly fit in the
+        // remaining bytes, so a corrupt count cannot drive a huge
+        // pre-allocation.
+        if n_committed > rest.len() / 4 {
+            return None;
+        }
+        let mut committed = Vec::with_capacity(n_committed);
+        for _ in 0..n_committed {
+            committed.push(TxnId(take_u32(&mut rest)?));
+        }
+        let n_events = take_u32(&mut rest)? as usize;
+        if n_events > rest.len() / 5 {
+            return None;
+        }
+        let mut events = Vec::with_capacity(n_events);
+        for _ in 0..n_events {
+            let (&kind, tail) = rest.split_first()?;
+            rest = tail;
+            events.push(match kind {
+                EV_BEGIN => CheckpointEvent::Begin(TxnId(take_u32(&mut rest)?)),
+                EV_COMMIT => CheckpointEvent::Commit(TxnId(take_u32(&mut rest)?)),
+                EV_GRANT => CheckpointEvent::Grant(OpId {
+                    txn: TxnId(take_u32(&mut rest)?),
+                    index: take_u32(&mut rest)?,
+                }),
+                _ => return None,
+            });
+        }
+        if !rest.is_empty() {
+            return None;
+        }
+        Some(Checkpoint { committed, events })
     }
 
     /// The encoded frame size of this record, in bytes.
@@ -124,6 +289,12 @@ impl WalRecord {
         FRAME_OVERHEAD
             + match self {
                 WalRecord::Grant(_) => 9,
+                WalRecord::Checkpoint(cp) => {
+                    1 + 4
+                        + 4 * cp.committed.len()
+                        + 4
+                        + cp.events.iter().map(|e| e.encoded_len()).sum::<usize>()
+                }
                 _ => 5,
             }
     }
@@ -135,7 +306,7 @@ mod tests {
 
     fn roundtrip(r: WalRecord) {
         let mut buf = Vec::new();
-        r.encode_into(&mut buf);
+        r.encode_into(&mut buf).unwrap();
         assert_eq!(buf.len(), r.frame_len());
         let len = u32::from_le_bytes(buf[0..4].try_into().unwrap()) as usize;
         let crc = u32::from_le_bytes(buf[4..8].try_into().unwrap());
@@ -150,6 +321,53 @@ mod tests {
         roundtrip(WalRecord::Grant(OpId::new(TxnId(3), 17)));
         roundtrip(WalRecord::Commit(TxnId(u32::MAX)));
         roundtrip(WalRecord::Abort(TxnId(42)));
+        roundtrip(WalRecord::Checkpoint(Checkpoint::default()));
+        roundtrip(WalRecord::Checkpoint(Checkpoint {
+            committed: vec![TxnId(2), TxnId(0), TxnId(7)],
+            events: vec![
+                CheckpointEvent::Begin(TxnId(1)),
+                CheckpointEvent::Grant(OpId::new(TxnId(1), 0)),
+                CheckpointEvent::Commit(TxnId(1)),
+                CheckpointEvent::Begin(TxnId(3)),
+            ],
+        }));
+    }
+
+    #[test]
+    fn oversized_payload_is_a_typed_error_not_a_wrap() {
+        // Enough committed entries to push the payload past MAX_PAYLOAD.
+        let huge = WalRecord::Checkpoint(Checkpoint {
+            committed: (0..=(MAX_PAYLOAD / 4)).map(TxnId).collect(),
+            events: Vec::new(),
+        });
+        let mut buf = vec![0xAB; 3];
+        let err = huge.encode_into(&mut buf).unwrap_err();
+        assert!(matches!(
+            err,
+            EncodeError::PayloadTooLarge { len } if len > MAX_PAYLOAD as usize
+        ));
+        assert_eq!(buf, vec![0xAB; 3], "failed encode leaves no partial frame");
+    }
+
+    #[test]
+    fn boundary_payload_still_encodes() {
+        // The largest payload that fits: tag(1) + count(4) + ids + count(4).
+        let ids = (MAX_PAYLOAD as usize - 1 - 4 - 4) / 4;
+        let rec = WalRecord::Checkpoint(Checkpoint {
+            committed: (0..ids as u32).map(TxnId).collect(),
+            events: Vec::new(),
+        });
+        assert_eq!(rec.frame_len(), FRAME_OVERHEAD + 9 + 4 * ids);
+        assert!(rec.frame_len() - FRAME_OVERHEAD <= MAX_PAYLOAD as usize);
+        let mut buf = Vec::new();
+        rec.encode_into(&mut buf).unwrap();
+        // One more id crosses the line.
+        let rec = WalRecord::Checkpoint(Checkpoint {
+            committed: (0..ids as u32 + 1).map(TxnId).collect(),
+            events: Vec::new(),
+        });
+        let mut buf = Vec::new();
+        assert!(rec.encode_into(&mut buf).is_err());
     }
 
     #[test]
@@ -167,5 +385,41 @@ mod tests {
             "trailing garbage"
         );
         assert_eq!(WalRecord::decode_payload(&[TAG_GRANT, 1, 0, 0, 0]), None);
+    }
+
+    #[test]
+    fn corrupt_checkpoint_bodies_are_rejected() {
+        let good = WalRecord::Checkpoint(Checkpoint {
+            committed: vec![TxnId(1)],
+            events: vec![CheckpointEvent::Grant(OpId::new(TxnId(0), 2))],
+        });
+        let mut frame = Vec::new();
+        good.encode_into(&mut frame).unwrap();
+        let payload = frame[FRAME_OVERHEAD..].to_vec();
+        assert!(WalRecord::decode_payload(&payload).is_some());
+        // Truncated anywhere inside the body: rejected.
+        for cut in 1..payload.len() {
+            assert_eq!(
+                WalRecord::decode_payload(&payload[..cut]),
+                None,
+                "cut at {cut}"
+            );
+        }
+        // Trailing garbage: rejected.
+        let mut padded = payload.clone();
+        padded.push(0);
+        assert_eq!(WalRecord::decode_payload(&padded), None);
+        // A count that claims more entries than the bytes could hold:
+        // rejected without a giant allocation.
+        let mut lying = vec![TAG_CHECKPOINT];
+        lying.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(WalRecord::decode_payload(&lying), None);
+        // An unknown event kind: rejected.
+        let mut bad_kind = vec![TAG_CHECKPOINT];
+        bad_kind.extend_from_slice(&0u32.to_le_bytes());
+        bad_kind.extend_from_slice(&1u32.to_le_bytes());
+        bad_kind.push(9);
+        bad_kind.extend_from_slice(&0u32.to_le_bytes());
+        assert_eq!(WalRecord::decode_payload(&bad_kind), None);
     }
 }

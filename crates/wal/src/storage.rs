@@ -8,8 +8,8 @@
 //! checker's `FaultFs`). The per-record granularity is what makes
 //! crash-at-record-k fault plans exact.
 
-use std::fs::File;
-use std::io::{self, Write};
+use std::fs::{File, OpenOptions};
+use std::io::{self, Seek, SeekFrom, Write};
 use std::path::Path;
 use std::sync::{Arc, Mutex};
 
@@ -43,6 +43,23 @@ impl FileStorage {
         Ok(FileStorage {
             file: File::create(path)?,
             written: 0,
+        })
+    }
+
+    /// Reopens an existing log for appending, first truncating it to
+    /// `valid_len` — the scanner's `valid_bytes` — so a torn tail left by
+    /// a crash is physically cut *before* any new frame lands after it.
+    /// Appending past a torn tail without this truncation would leave the
+    /// damage buried mid-log, where the truncate-at-first-damage scanner
+    /// would discard every record after it on the next recovery.
+    pub fn reopen(path: &Path, valid_len: u64) -> io::Result<Self> {
+        let mut file = OpenOptions::new().read(true).write(true).open(path)?;
+        file.set_len(valid_len)?;
+        file.sync_data()?;
+        file.seek(SeekFrom::End(0))?;
+        Ok(FileStorage {
+            file,
+            written: valid_len,
         })
     }
 }
@@ -151,6 +168,24 @@ mod tests {
         assert_eq!(h.synced_bytes(), b"abc");
         assert_eq!(h.bytes(), b"abcde");
         assert_eq!(s.len(), 5);
+    }
+
+    #[test]
+    fn reopen_truncates_the_torn_tail_before_appending() {
+        let path = std::env::temp_dir().join("relser_wal_storage_reopen_test.log");
+        {
+            let mut s = FileStorage::create(&path).unwrap();
+            s.append(b"goodTORN").unwrap();
+            s.sync().unwrap();
+        }
+        {
+            let mut s = FileStorage::reopen(&path, 4).unwrap();
+            assert_eq!(s.len(), 4);
+            s.append(b"new").unwrap();
+            s.sync().unwrap();
+        }
+        assert_eq!(std::fs::read(&path).unwrap(), b"goodnew");
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

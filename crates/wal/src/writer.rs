@@ -78,6 +78,32 @@ impl WalWriter {
         Ok(w)
     }
 
+    /// Resumes appending to an existing log whose header is already on
+    /// `storage` (the reopen-after-recovery path: the caller truncates the
+    /// file to the scanner's `valid_bytes` first, then resumes). Writes
+    /// nothing; the byte counter continues from `storage.len()`.
+    pub fn resume(storage: Box<dyn Storage>, policy: FsyncPolicy) -> WalWriter {
+        let bytes = storage.len();
+        WalWriter {
+            storage,
+            policy,
+            scratch: Vec::with_capacity(64),
+            unsynced: 0,
+            last_sync: Instant::now(),
+            stats: WalStats {
+                records: 0,
+                bytes,
+                syncs: 0,
+            },
+            broken: false,
+        }
+    }
+
+    /// The writer's fsync policy.
+    pub fn policy(&self) -> FsyncPolicy {
+        self.policy
+    }
+
     /// Appends one record and applies the per-record policy. On `Ok`
     /// under [`FsyncPolicy::Always`], the record is durable.
     ///
@@ -87,7 +113,12 @@ impl WalWriter {
     pub fn append(&mut self, rec: &WalRecord) -> io::Result<()> {
         self.check_broken()?;
         self.scratch.clear();
-        rec.encode_into(&mut self.scratch);
+        if let Err(e) = rec.encode_into(&mut self.scratch) {
+            // An unencodable record is a logic error upstream, but the log
+            // itself is still intact: nothing was appended. Refuse the
+            // record without poisoning the writer.
+            return Err(io::Error::new(io::ErrorKind::InvalidInput, e));
+        }
         if let Err(e) = self.storage.append(&self.scratch) {
             self.broken = true;
             return Err(e);
@@ -111,6 +142,17 @@ impl WalWriter {
     /// Group-commit barrier, called once per drained queue batch. A no-op
     /// unless the policy's deferred threshold is due.
     pub fn batch_end(&mut self) -> io::Result<()> {
+        self.maybe_sync()
+    }
+
+    /// Syncs if the policy's deferred threshold is due; otherwise a no-op.
+    ///
+    /// Called from batch boundaries *and* from the core's idle tick: an
+    /// `Interval` policy whose due-check only ran after a drained batch
+    /// would never sync while the queue sits idle, leaving acknowledged
+    /// records in the unsynced window indefinitely. The idle tick closes
+    /// that hole.
+    pub fn maybe_sync(&mut self) -> io::Result<()> {
         self.check_broken()?;
         let due = match self.policy {
             FsyncPolicy::Always | FsyncPolicy::Never => false,
@@ -118,6 +160,17 @@ impl WalWriter {
             FsyncPolicy::Interval(d) => self.unsynced > 0 && self.last_sync.elapsed() >= d,
         };
         if due {
+            self.sync_now()?;
+        }
+        Ok(())
+    }
+
+    /// Forced durability barrier, regardless of policy. Segment rotation
+    /// uses this: a checkpoint must be durable before the segments it
+    /// replaces may be deleted.
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.check_broken()?;
+        if self.unsynced > 0 || self.stats.syncs == 0 {
             self.sync_now()?;
         }
         Ok(())
@@ -206,6 +259,37 @@ mod tests {
         assert_eq!(handle.synced_len(), 0);
         w.close().unwrap();
         assert_eq!(handle.synced_len(), handle.bytes().len());
+    }
+
+    #[test]
+    fn interval_policy_syncs_on_idle_tick_without_a_batch() {
+        let (mem, handle) = MemStorage::new();
+        let mut w = WalWriter::new(Box::new(mem), FsyncPolicy::Interval(Duration::ZERO)).unwrap();
+        w.append(&WalRecord::Begin(TxnId(0))).unwrap();
+        assert_eq!(handle.synced_len(), 0, "append alone defers");
+        // No batch boundary — the idle tick alone must flush a due interval.
+        w.maybe_sync().unwrap();
+        assert_eq!(handle.synced_len(), handle.bytes().len());
+    }
+
+    #[test]
+    fn resume_continues_an_existing_log_without_a_second_header() {
+        let (mem, handle) = MemStorage::new();
+        let mut w = WalWriter::new(Box::new(mem), FsyncPolicy::Always).unwrap();
+        w.append(&WalRecord::Begin(TxnId(0))).unwrap();
+        w.close().unwrap();
+        let before = handle.bytes();
+        let (mut mem2, handle2) = MemStorage::new();
+        mem2.append(&before).unwrap();
+        let mut w2 = WalWriter::resume(Box::new(mem2), FsyncPolicy::Always);
+        w2.append(&WalRecord::Commit(TxnId(0))).unwrap();
+        let bytes = handle2.bytes();
+        let scan = crate::scan(&bytes);
+        assert_eq!(scan.truncation, None);
+        assert_eq!(
+            scan.records,
+            vec![WalRecord::Begin(TxnId(0)), WalRecord::Commit(TxnId(0))]
+        );
     }
 
     #[test]
