@@ -177,6 +177,7 @@ fn serial_segmented_log(n: usize) -> (TxnSet, AtomicitySpec, Vec<(u64, Vec<u8>)>
         committed.push(txn);
         if wal.checkpoint_due() {
             wal.install_checkpoint(Checkpoint {
+                shard: 0,
                 committed: committed.clone(),
                 events: Vec::new(),
             })

@@ -25,6 +25,11 @@
 //! * [`faults`] — fault-injection sweeps against the real server
 //!   (`relser-server`): injected aborts, admission-core crashes, queue
 //!   shedding, and block-timeout storms, each run validated end to end;
+//! * [`shard_faults`] — crash-at-k sweeps over the sharded service's
+//!   two-phase admit window: live core crashes and admit rejects on a
+//!   durable N-shard run, full-log and skewed-cut recoveries, the
+//!   no-half-admitted invariant, and the Theorem 1 oracle re-run whole
+//!   over every merged committed history;
 //! * [`storage_faults`] (feature `fault-fs`) — storage fault injection
 //!   against the durable server: a fault-injecting WAL backend plus the
 //!   crash-point sweep that cuts, flips, and live-fails the commit log at
@@ -46,6 +51,7 @@ pub mod explore;
 pub mod faults;
 pub mod oracle;
 pub mod project;
+pub mod shard_faults;
 pub mod shrink;
 #[cfg(feature = "fault-fs")]
 pub mod storage_faults;
@@ -54,6 +60,7 @@ pub use explore::{ExploreConfig, ExploreReport, ExploreStats, Mode, ScheduleExpl
 pub use faults::{fault_sweep, FaultSweepConfig, FaultSweepReport};
 pub use oracle::{check_execution, Divergence, DivergenceKind, ExecutionRecord};
 pub use project::Projection;
+pub use shard_faults::{shard_admit_sweep, ShardSweepConfig, ShardSweepReport};
 pub use shrink::{shrink, Counterexample};
 #[cfg(feature = "fault-fs")]
 pub use storage_faults::{

@@ -1,0 +1,344 @@
+//! Crash-at-k sweeps over the sharded service's two-phase admit window.
+//!
+//! The sharded router admits a cross-shard transaction in two phases
+//! (admit fan-out with D-arc epoch exchange, then operations, then a
+//! `CommitAt` fan-out under one global stamp), and the correctness story
+//! says a crash or reject *anywhere* in that window never produces a
+//! half-admitted or half-committed transaction — live or recovered.
+//! [`shard_admit_sweep`] pins that down mechanically:
+//!
+//! 1. **Live crash grid** — for every (seed, crash shard, command
+//!    ordinal k) cell, a durable sharded run where that shard's core
+//!    crashes after its k-th command, optionally with admit rejects
+//!    injected on a second shard. Because k sweeps a dense ordinal
+//!    range, crashes land before, between, and after the grants of the
+//!    two-phase window.
+//! 2. **Recovery** — every run (crashed or clean) is recovered from its
+//!    per-shard synced logs via
+//!    [`recover_sharded`](relser_server::recover_sharded), which applies
+//!    the all-owners commit rule and re-certifies the merged history.
+//! 3. **Skewed-cut recovery** — the logs are additionally cut at
+//!    deterministic per-shard fractions (shards crashing at *different*
+//!    instants — in particular between one owner's `CommitAt` and
+//!    another's), and each cut set must still recover.
+//!
+//! Every recovery is held to the no-half-admitted invariant (committed ∩
+//! partial = ∅, committed op sets complete in the merged history, no
+//! partial op present) plus the Theorem 1 oracle re-run *whole* over the
+//! merged committed history — independently of the certification
+//! `recover_sharded` already performs internally.
+
+use relser_core::ids::TxnId;
+use relser_core::rsg::Rsg;
+use relser_core::spec::AtomicitySpec;
+use relser_core::txn::TxnSet;
+use relser_protocols::rsg_sgt::RsgSgt;
+use relser_protocols::Scheduler;
+use relser_server::{
+    recover_sharded, serve_sharded_report, FaultPlan, RunOutcome, ServerConfig, ShardedRecovery,
+    ShardedReport,
+};
+use relser_wal::{CommitLog, FsyncPolicy, MemStorage, WalWriter};
+use relser_workload::stream::RequestStream;
+
+/// The sweep grid. Every combination of seed × crash shard × crash
+/// ordinal runs once; `reject_admits` (when non-empty) additionally
+/// lands on the shard after the crashing one, so the grid covers
+/// reject-then-crash interleavings too.
+#[derive(Clone, Debug)]
+pub struct ShardSweepConfig {
+    /// Shard (admission core) count.
+    pub shards: usize,
+    /// Arrival-order seeds.
+    pub seeds: Vec<u64>,
+    /// Command ordinals at which the crash shard's core fail-stops.
+    /// `None` entries run faultless (the clean-recovery baseline).
+    pub crash_commands: Vec<Option<u64>>,
+    /// Shards to crash (each ordinal runs once per entry, mod `shards`).
+    pub crash_shards: Vec<u32>,
+    /// Admit ordinals rejected on the shard after the crashing one.
+    pub reject_admits: Vec<u64>,
+    /// Per-shard log-cut fractions, in per-mille (each entry is one cut
+    /// recovery: shard `s` keeps `fractions[s % len]`‰ of its log).
+    pub cut_permille: Vec<Vec<u64>>,
+    /// Session worker threads per run.
+    pub workers: usize,
+}
+
+impl Default for ShardSweepConfig {
+    fn default() -> Self {
+        ShardSweepConfig {
+            shards: 3,
+            seeds: vec![1, 2],
+            crash_commands: vec![None, Some(2), Some(5), Some(9), Some(14), Some(21)],
+            crash_shards: vec![0, 1],
+            reject_admits: vec![0],
+            cut_permille: vec![
+                vec![1000, 0, 500],
+                vec![0, 1000, 1000],
+                vec![700, 300, 900],
+                vec![1000, 1000, 250],
+            ],
+            workers: 4,
+        }
+    }
+}
+
+/// What the sweep observed; [`ShardSweepReport::clean`] is the pass/fail.
+#[derive(Debug, Default)]
+pub struct ShardSweepReport {
+    /// Live runs driven (crashed and faultless).
+    pub runs: u64,
+    /// Runs that ended in a core crash (the interesting cells).
+    pub crashed_runs: u64,
+    /// Cross-shard admits the router recorded across all runs.
+    pub cross_shard_admits: u64,
+    /// Admits that came back rejected (and were rolled back LIFO).
+    pub rejected_admits: u64,
+    /// Recoveries performed (full logs + skewed cuts).
+    pub recoveries: u64,
+    /// Recoveries whose merged history the Theorem 1 oracle re-certified.
+    pub oracle_checked: u64,
+    /// Live-acknowledged commits verified present after full-log recovery.
+    pub acked_commits_checked: u64,
+    /// Acknowledged commits a full-log recovery lost (must be 0).
+    pub lost_commits: u64,
+    /// Recoveries that errored — including an internal certification
+    /// failure inside `recover_sharded` (must be 0).
+    pub failed_recoveries: u64,
+    /// Transactions violating the no-half-admitted invariant: committed
+    /// with an incomplete op set, a partial transaction's op in the
+    /// merged history, or committed ∩ partial ≠ ∅ (must be 0).
+    pub half_admitted: u64,
+    /// Merged histories the independent oracle re-run found cyclic
+    /// (must be 0).
+    pub oracle_violations: u64,
+}
+
+impl ShardSweepReport {
+    /// Did every crash point roll back cleanly and recover certified?
+    pub fn clean(&self) -> bool {
+        self.lost_commits == 0
+            && self.failed_recoveries == 0
+            && self.half_admitted == 0
+            && self.oracle_violations == 0
+    }
+}
+
+/// Runs the two-phase-admit crash sweep over one universe; see the
+/// module docs. Everything logs under [`FsyncPolicy::Always`], the
+/// policy whose acknowledged-commit contract is checkable pointwise.
+pub fn shard_admit_sweep(
+    txns: &TxnSet,
+    spec: &AtomicitySpec,
+    cfg: &ShardSweepConfig,
+) -> ShardSweepReport {
+    assert!(cfg.shards >= 2, "the admit window needs at least 2 shards");
+    let mut report = ShardSweepReport::default();
+    for &seed in &cfg.seeds {
+        for &crash_shard in &cfg.crash_shards {
+            let crash_shard = (crash_shard as usize % cfg.shards) as u32;
+            let reject_shard = (crash_shard + 1) % cfg.shards as u32;
+            for &crash_at in &cfg.crash_commands {
+                let mut faults = vec![FaultPlan::default(); cfg.shards];
+                faults[crash_shard as usize].crash_at_command = crash_at;
+                faults[reject_shard as usize].reject_admits = cfg.reject_admits.clone();
+
+                let server_cfg = ServerConfig {
+                    workers: cfg.workers,
+                    seed,
+                    ..ServerConfig::default()
+                };
+                let stream = RequestStream::shuffled(txns, seed);
+                let mut handles = Vec::new();
+                let mut wals: Vec<WalWriter> = (0..cfg.shards)
+                    .map(|_| {
+                        let (mem, handle) = MemStorage::new();
+                        handles.push(handle);
+                        WalWriter::new(Box::new(mem), FsyncPolicy::Always)
+                            .expect("MemStorage never fails")
+                    })
+                    .collect();
+                let run = serve_sharded_report(
+                    txns,
+                    &stream,
+                    shard_schedulers(txns, spec, cfg.shards),
+                    &server_cfg,
+                    &faults,
+                    wals.iter_mut()
+                        .map(|w| w as &mut dyn CommitLog)
+                        .collect::<Vec<_>>(),
+                );
+                report.runs += 1;
+                report.crashed_runs += u64::from(run.outcome == RunOutcome::Crashed);
+                tally_admits(&run, &mut report);
+
+                // Full-log recovery: the all-owners rule must hand back
+                // every commit the live run acknowledged, nothing half.
+                let logs: Vec<Vec<u8>> = handles.iter().map(|h| h.bytes()).collect();
+                if let Some(rec) = try_recover(txns, spec, &logs, &mut report) {
+                    for t in &run.committed {
+                        report.acked_commits_checked += 1;
+                        if !rec.committed.contains(t) {
+                            report.lost_commits += 1;
+                        }
+                    }
+                    check_invariants(txns, spec, &rec, &mut report);
+                }
+
+                // Skewed cuts: shards lose different log suffixes.
+                for fractions in &cfg.cut_permille {
+                    let cut: Vec<Vec<u8>> = logs
+                        .iter()
+                        .enumerate()
+                        .map(|(s, bytes)| {
+                            let keep = fractions[s % fractions.len()].min(1000) as usize;
+                            bytes[..bytes.len() * keep / 1000].to_vec()
+                        })
+                        .collect();
+                    if let Some(rec) = try_recover(txns, spec, &cut, &mut report) {
+                        check_invariants(txns, spec, &rec, &mut report);
+                    }
+                }
+            }
+        }
+    }
+    report
+}
+
+fn shard_schedulers<'a>(
+    txns: &'a TxnSet,
+    spec: &'a AtomicitySpec,
+    shards: usize,
+) -> Vec<Box<dyn Scheduler + Send + 'a>> {
+    (0..shards)
+        .map(|_| Box::new(RsgSgt::new(txns, spec)) as Box<dyn Scheduler + Send + 'a>)
+        .collect()
+}
+
+fn tally_admits(run: &ShardedReport, report: &mut ShardSweepReport) {
+    report.cross_shard_admits += run.admits.len() as u64;
+    report.rejected_admits += run.admits.iter().filter(|a| !a.granted).count() as u64;
+}
+
+fn try_recover(
+    txns: &TxnSet,
+    spec: &AtomicitySpec,
+    logs: &[Vec<u8>],
+    report: &mut ShardSweepReport,
+) -> Option<ShardedRecovery> {
+    report.recoveries += 1;
+    match recover_sharded(
+        txns,
+        spec,
+        |_| Box::new(RsgSgt::new(txns, spec)) as Box<dyn Scheduler + '_>,
+        logs,
+    ) {
+        Ok(rec) => Some(rec),
+        Err(_) => {
+            report.failed_recoveries += 1;
+            None
+        }
+    }
+}
+
+/// The no-half-admitted invariant plus the independent whole-history
+/// oracle re-run over one recovered state.
+fn check_invariants(
+    txns: &TxnSet,
+    spec: &AtomicitySpec,
+    rec: &ShardedRecovery,
+    report: &mut ShardSweepReport,
+) {
+    for t in &rec.committed {
+        if rec.partial.contains(t) {
+            report.half_admitted += 1;
+        }
+        let present = rec.history.iter().filter(|o| o.txn == *t).count();
+        if present != txns.txn(*t).len() {
+            report.half_admitted += 1;
+        }
+    }
+    for t in &rec.partial {
+        if rec.history.iter().any(|o| o.txn == *t) {
+            report.half_admitted += 1;
+        }
+    }
+    if rec.committed.is_empty() {
+        return;
+    }
+    report.oracle_checked += 1;
+    if !merged_history_certifies(txns, spec, &rec.committed, &rec.history) {
+        report.oracle_violations += 1;
+    }
+}
+
+/// Theorem 1 over the merged committed history, run whole: project the
+/// universe onto the committed subset and demand an acyclic RSG.
+fn merged_history_certifies(
+    txns: &TxnSet,
+    spec: &AtomicitySpec,
+    committed: &[TxnId],
+    history: &[relser_core::ids::OpId],
+) -> bool {
+    let Ok(projection) = relser_core::project::Projection::subset(txns, spec, committed) else {
+        return false;
+    };
+    let Ok(schedule) = projection.schedule(history) else {
+        return false;
+    };
+    Rsg::build(&projection.txns, &schedule, &projection.spec).is_acyclic()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relser_workload::random::{random_spec, random_txns, RandomConfig};
+
+    fn universe(seed: u64) -> (TxnSet, AtomicitySpec) {
+        let txns = random_txns(
+            &RandomConfig {
+                txns: 6,
+                ops_per_txn: (1, 4),
+                objects: 3,
+                theta: 0.6,
+                write_ratio: 0.5,
+            },
+            seed,
+        );
+        let spec = random_spec(&txns, 0.5, seed);
+        (txns, spec)
+    }
+
+    #[test]
+    fn two_phase_admit_crash_sweep_is_clean() {
+        let (txns, spec) = universe(42);
+        let report = shard_admit_sweep(&txns, &spec, &ShardSweepConfig::default());
+        assert!(report.clean(), "{report:?}");
+        assert!(report.crashed_runs > 0, "the grid must hit live crashes");
+        assert!(
+            report.cross_shard_admits > 0,
+            "the universe must exercise the two-phase admit window"
+        );
+        assert!(report.recoveries > report.runs, "cut recoveries ran");
+        assert!(report.oracle_checked > 0);
+        assert!(report.acked_commits_checked > 0);
+    }
+
+    #[test]
+    fn rejects_land_and_roll_back() {
+        let (txns, spec) = universe(7);
+        let cfg = ShardSweepConfig {
+            seeds: vec![3, 4, 5],
+            crash_commands: vec![None],
+            reject_admits: vec![0, 1],
+            ..ShardSweepConfig::default()
+        };
+        let report = shard_admit_sweep(&txns, &spec, &cfg);
+        assert!(report.clean(), "{report:?}");
+        assert!(
+            report.rejected_admits > 0,
+            "injected rejects must be observed by the router: {report:?}"
+        );
+    }
+}

@@ -326,17 +326,23 @@ impl IncrementalRsg {
 
         // Direct predecessors: program order + earlier conflicting
         // accesses; ancestors = union of their closures plus themselves.
+        // The program-order predecessor is the *nearest admitted* earlier
+        // operation of the transaction: a single-core feed admits in
+        // program order (so that is `op.index - 1`), while a shard core
+        // sees only its shard's projection of a cross-shard transaction —
+        // the skipped operations live on other shards, their closures are
+        // foreign, and their nodes still participate in cycle searches
+        // through the static I-skeleton.
         let mut ancestors = BitSet::with_capacity(self.total as usize);
-        if op.index > 0 {
-            let prev = (g - 1) as usize;
-            debug_assert!(
-                self.ancestors[prev].is_some() || self.retired[op.txn.index()],
-                "operations must be admitted in program order"
-            );
-            if let Some(prev_anc) = &self.ancestors[prev] {
+        let base = self.offset[op.txn.index()];
+        if let Some(prev) = (base..g)
+            .rev()
+            .find(|&p| self.ancestors[p as usize].is_some())
+        {
+            if let Some(prev_anc) = &self.ancestors[prev as usize] {
                 ancestors.union_with(prev_anc);
             }
-            ancestors.insert(prev);
+            ancestors.insert(prev as usize);
         }
         for &(u, was_write) in &self.accesses[operation.object.index()] {
             if was_write || operation.is_write() {

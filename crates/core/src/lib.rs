@@ -87,6 +87,7 @@ pub mod project;
 pub mod rsg;
 pub mod schedule;
 pub mod sg;
+pub mod shard;
 pub mod spec;
 pub mod spec_builders;
 pub mod txn;
@@ -103,6 +104,7 @@ pub mod prelude {
     pub use crate::rsg::{ArcKinds, Rsg};
     pub use crate::schedule::Schedule;
     pub use crate::sg::SerializationGraph;
+    pub use crate::shard::{merge_program_order, ArcExchange, ShardMap};
     pub use crate::spec::AtomicitySpec;
     pub use crate::spec_builders::{compatibility_sets, multilevel, MultilevelSpec};
     pub use crate::txn::{Transaction, TxnSet};

@@ -17,10 +17,12 @@
 
 use crate::queue::{BoundedQueue, PopWait};
 use relser_core::ids::{OpId, TxnId};
+use relser_core::shard::ArcExchange;
 use relser_protocols::{AbortReason, Decision, Scheduler};
 use relser_simdb::metrics::LatencyHistogram;
 use relser_wal::{Checkpoint, CheckpointEvent, CommitLog, FsyncPolicy, WalRecord, WalStats};
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -39,6 +41,17 @@ pub enum TraceEvent {
     Commit(TxnId),
     /// A session-initiated `abort(txn)` was applied (waits-for timeout).
     Abort(TxnId),
+    /// A cross-shard two-phase admit reached this shard core (sharded
+    /// service only). `granted: true` implies the core applied
+    /// `begin(txn)`; `false` means the admit was refused (fault injection)
+    /// and no state changed. Recording admits in the trace keeps sharded
+    /// runs replayable per shard, cross-shard ordering included.
+    Admit {
+        /// The transaction being admitted.
+        txn: TxnId,
+        /// Whether this shard granted the admit.
+        granted: bool,
+    },
 }
 
 /// A one-shot reply cell: the core fills it once, the session waits on it.
@@ -196,6 +209,33 @@ pub enum Command {
     Commit(TxnId),
     /// Session-initiated abort (waits-for timeout fired while blocked).
     Abort(TxnId),
+    /// Phase one of a cross-shard admit (sharded service only): begin the
+    /// transaction on this shard and fold the router's cross-shard D-arc
+    /// summary into the shard's clock. Answered `Granted` or, under fault
+    /// injection, `Aborted(Injected)` — in which case the router unwinds
+    /// the shards that already granted (LIFO) with [`Command::Rollback`].
+    Admit {
+        /// The transaction being admitted.
+        txn: TxnId,
+        /// Cross-shard D-arc summary: the commit epochs of every shard as
+        /// snapshotted by the router when it fanned this admit out.
+        exchange: ArcExchange,
+        /// Where the admit verdict is delivered.
+        reply: Reply,
+    },
+    /// The transaction commits at a global commit stamp (sharded service
+    /// only) — the stamp totally orders commits across shards so recovery
+    /// can merge per-shard segment streams into one commit order.
+    CommitAt {
+        /// The committing transaction.
+        txn: TxnId,
+        /// Its position in the global commit order.
+        stamp: u64,
+    },
+    /// Router-initiated unwind of a partially-admitted cross-shard
+    /// transaction (a sibling shard rejected, or an operation aborted
+    /// mid-flight). Applied like an abort, counted separately.
+    Rollback(TxnId),
 }
 
 /// Deterministic fault injection for the admission core.
@@ -216,12 +256,19 @@ pub struct FaultPlan {
     /// commands, closes the queue, and drains everything still enqueued,
     /// answering `Aborted(Injected)` so no session hangs on a reply.
     pub crash_at_command: Option<u64>,
+    /// Admit commands (0-based, counted over `Command::Admit` only)
+    /// answered `Aborted(Injected)` without touching the scheduler —
+    /// exercises the two-phase admit's reject path: the router must LIFO-
+    /// rollback every shard that already granted.
+    pub reject_admits: Vec<u64>,
 }
 
 impl FaultPlan {
     /// Does the plan inject anything at all?
     pub fn is_empty(&self) -> bool {
-        self.abort_requests.is_empty() && self.crash_at_command.is_none()
+        self.abort_requests.is_empty()
+            && self.crash_at_command.is_none()
+            && self.reject_admits.is_empty()
     }
 }
 
@@ -274,6 +321,21 @@ pub struct CoreOutput {
     pub decision_ns: Vec<u64>,
     /// Enqueue→decision latency (queue wait + decision) histogram.
     pub admission: LatencyHistogram,
+    /// Sharded cores only: each grant paired with its draw from the
+    /// global grant sequencer, in this shard's grant order. Merging all
+    /// shards' `seq_log`s by stamp reconstructs one global operation
+    /// order consistent with every shard's local order (purged on abort
+    /// in lockstep with [`CoreOutput::log`]).
+    pub seq_log: Vec<(u64, OpId)>,
+    /// Sharded cores only: `(txn, stamp)` per `CommitAt`, in local commit
+    /// order; stamps merge the per-shard commit orders into one.
+    pub commit_stamps: Vec<(TxnId, u64)>,
+    /// Cross-shard admits granted.
+    pub admits: u64,
+    /// Cross-shard admits refused by fault injection.
+    pub admit_rejects: u64,
+    /// Router-initiated rollbacks applied (two-phase admit unwinds).
+    pub rollbacks: u64,
 }
 
 /// Runs the admission core until the queue is closed and drained.
@@ -318,6 +380,58 @@ pub fn run_core_faulty(
     )
 }
 
+/// What a shard core shares with its siblings: its identity, the global
+/// grant sequencer, and the per-shard commit-epoch counters every other
+/// shard publishes into (the source of the [`ArcExchange`] snapshots the
+/// router piggybacks on cross-shard admits).
+pub struct ShardCoreCtx<'a> {
+    /// This core's shard id (stamped into its WAL checkpoints).
+    pub shard: u32,
+    /// Global grant sequencer: one `fetch_add` per grant orders all
+    /// shards' grants on a single timeline (see [`CoreOutput::seq_log`]).
+    pub seq: &'a AtomicU64,
+    /// One commit-epoch counter per shard; this core bumps its own on
+    /// every commit it applies.
+    pub epochs: &'a [AtomicU64],
+}
+
+/// Per-shard mutable state derived from [`ShardCoreCtx`] for one run.
+struct ShardState<'a> {
+    ctx: ShardCoreCtx<'a>,
+    /// The shard's observed cross-shard clock: its own commits plus every
+    /// exchange summary folded in from incoming admits.
+    clock: ArcExchange,
+}
+
+/// [`run_core_durable`] for one shard core of a sharded service: grants
+/// additionally draw from the global grant sequencer, commits arrive as
+/// [`Command::CommitAt`] and bump this shard's epoch counter, and
+/// [`Command::Admit`]/[`Command::Rollback`] implement the receiving side
+/// of the router's two-phase cross-shard admit.
+#[allow(clippy::too_many_arguments)]
+pub fn run_core_sharded(
+    scheduler: Box<dyn Scheduler + Send + '_>,
+    queue: &BoundedQueue<Command>,
+    progress: &Progress,
+    batch_max: usize,
+    record_trace: bool,
+    faults: &FaultPlan,
+    wal: Option<&mut (dyn CommitLog + '_)>,
+    ctx: ShardCoreCtx<'_>,
+) -> CoreOutput {
+    let clock = ArcExchange::new(ctx.shard, ctx.epochs.len() as u32);
+    run_core_inner(
+        scheduler,
+        queue,
+        progress,
+        batch_max,
+        record_trace,
+        faults,
+        wal,
+        Some(ShardState { ctx, clock }),
+    )
+}
+
 /// Why one command's application stopped the core.
 enum Halt {
     /// Planned crash ([`FaultPlan::crash_at_command`]); the command was
@@ -354,6 +468,30 @@ enum Halt {
 /// storage error is reported in [`CoreOutput::wal_error`]. Recovery then
 /// truncates the log at the damage.
 pub fn run_core_durable(
+    scheduler: Box<dyn Scheduler + Send + '_>,
+    queue: &BoundedQueue<Command>,
+    progress: &Progress,
+    batch_max: usize,
+    record_trace: bool,
+    faults: &FaultPlan,
+    wal: Option<&mut (dyn CommitLog + '_)>,
+) -> CoreOutput {
+    run_core_inner(
+        scheduler,
+        queue,
+        progress,
+        batch_max,
+        record_trace,
+        faults,
+        wal,
+        None,
+    )
+}
+
+/// The shared core loop behind [`run_core_durable`] (unsharded) and
+/// [`run_core_sharded`] (one shard of N).
+#[allow(clippy::too_many_arguments)]
+fn run_core_inner(
     mut scheduler: Box<dyn Scheduler + Send + '_>,
     queue: &BoundedQueue<Command>,
     progress: &Progress,
@@ -361,10 +499,12 @@ pub fn run_core_durable(
     record_trace: bool,
     faults: &FaultPlan,
     mut wal: Option<&mut (dyn CommitLog + '_)>,
+    mut shard: Option<ShardState<'_>>,
 ) -> CoreOutput {
     let mut out = CoreOutput::default();
     let mut batch: Vec<Command> = Vec::with_capacity(batch_max);
     let mut requests_seen: u64 = 0;
+    let mut admits_seen: u64 = 0;
     // An `Interval` policy needs flush opportunities even when the queue
     // is idle; wake at a fraction of the interval (clamped sane) to check.
     let idle_tick: Option<Duration> = wal.as_ref().and_then(|w| match w.policy() {
@@ -415,12 +555,14 @@ pub fn run_core_durable(
                 &mut *scheduler,
                 &mut out,
                 &mut requests_seen,
+                &mut admits_seen,
                 record_trace,
                 faults,
                 &mut wal,
                 &mut changed,
                 track_live,
                 &mut live_events,
+                &mut shard,
             ) {
                 Ok(()) => continue,
                 Err(h) => h,
@@ -472,6 +614,7 @@ pub fn run_core_durable(
                 if w.checkpoint_due() {
                     live_events.retain(|e| !scheduler.retired(event_txn(e)));
                     let cp = Checkpoint {
+                        shard: shard.as_ref().map_or(0, |s| s.ctx.shard),
                         committed: out.committed.clone(),
                         events: live_events.clone(),
                     };
@@ -524,16 +667,18 @@ fn apply_command(
     scheduler: &mut (dyn Scheduler + Send + '_),
     out: &mut CoreOutput,
     requests_seen: &mut u64,
+    admits_seen: &mut u64,
     record_trace: bool,
     faults: &FaultPlan,
     wal: &mut Option<&mut (dyn CommitLog + '_)>,
     changed: &mut bool,
     track_live: bool,
     live_events: &mut Vec<CheckpointEvent>,
+    shard: &mut Option<ShardState<'_>>,
 ) -> Result<(), Halt> {
     if faults.crash_at_command == Some(out.commands) {
         let reply = match cmd {
-            Command::Request { reply, .. } => Some(reply),
+            Command::Request { reply, .. } | Command::Admit { reply, .. } => Some(reply),
             _ => None,
         };
         return Err(Halt::PlannedCrash(reply));
@@ -580,6 +725,7 @@ fn apply_command(
                 out.injected_aborts += 1;
                 scheduler.abort(op.txn);
                 out.log.retain(|o| o.txn != op.txn);
+                out.seq_log.retain(|&(_, o)| o.txn != op.txn);
                 if track_live {
                     live_events.retain(|e| event_txn(e) != op.txn);
                 }
@@ -613,6 +759,10 @@ fn apply_command(
                 Decision::Granted => {
                     out.grants += 1;
                     out.log.push(op);
+                    if let Some(s) = shard.as_ref() {
+                        out.seq_log
+                            .push((s.ctx.seq.fetch_add(1, Ordering::SeqCst), op));
+                    }
                     if track_live {
                         live_events.push(CheckpointEvent::Grant(op));
                     }
@@ -628,6 +778,7 @@ fn apply_command(
                     out.aborts += 1;
                     scheduler.abort(op.txn);
                     out.log.retain(|o| o.txn != op.txn);
+                    out.seq_log.retain(|&(_, o)| o.txn != op.txn);
                     if track_live {
                         live_events.retain(|e| event_txn(e) != op.txn);
                     }
@@ -665,10 +816,94 @@ fn apply_command(
             }
             scheduler.abort(txn);
             out.log.retain(|o| o.txn != txn);
+            out.seq_log.retain(|&(_, o)| o.txn != txn);
             if track_live {
                 live_events.retain(|e| event_txn(e) != txn);
             }
             out.timeout_aborts += 1;
+            *changed = true;
+            if record_trace {
+                out.trace.push(TraceEvent::Abort(txn));
+            }
+        }
+        Command::Admit {
+            txn,
+            exchange,
+            reply,
+        } => {
+            let admit_index = *admits_seen;
+            *admits_seen += 1;
+            if faults.reject_admits.contains(&admit_index) {
+                // Injected reject: the scheduler is never consulted and no
+                // state changes, so nothing is logged — recovery must see
+                // this shard as if the transaction never arrived. The
+                // router unwinds the sibling shards that already granted.
+                out.admit_rejects += 1;
+                if record_trace {
+                    out.trace.push(TraceEvent::Admit {
+                        txn,
+                        granted: false,
+                    });
+                }
+                reply.fill(Decision::Aborted(AbortReason::Injected));
+                return Ok(());
+            }
+            // WAL-before-ack, exactly like a Begin: this shard's grant of
+            // the admit is acknowledged only once durable.
+            if let Err(e) = wal_append(WalRecord::Begin(txn)) {
+                out.commands -= 1;
+                *admits_seen -= 1;
+                return Err(Halt::WalBroken(e, Some(reply)));
+            }
+            scheduler.begin(txn);
+            if let Some(s) = shard.as_mut() {
+                s.clock.observe(&exchange);
+            }
+            out.admits += 1;
+            if track_live {
+                live_events.push(CheckpointEvent::Begin(txn));
+            }
+            if record_trace {
+                out.trace.push(TraceEvent::Admit { txn, granted: true });
+            }
+            reply.fill(Decision::Granted);
+        }
+        Command::CommitAt { txn, stamp } => {
+            if let Err(e) = wal_append(WalRecord::CommitAt { txn, stamp }) {
+                out.commands -= 1;
+                return Err(Halt::WalBroken(e, None));
+            }
+            scheduler.commit(txn);
+            out.commits += 1;
+            out.committed.push(txn);
+            out.commit_stamps.push((txn, stamp));
+            if let Some(s) = shard.as_mut() {
+                s.clock.tick();
+                s.ctx.epochs[s.ctx.shard as usize].fetch_add(1, Ordering::SeqCst);
+            }
+            if track_live {
+                live_events.push(CheckpointEvent::Commit(txn));
+            }
+            *changed = true;
+            if record_trace {
+                out.trace.push(TraceEvent::Commit(txn));
+            }
+        }
+        Command::Rollback(txn) => {
+            // WAL-before-apply like any abort: the unwind must be durable
+            // before sibling shards can observe this shard as clean, or a
+            // crash here would recover a half-admitted transaction.
+            if let Err(e) = wal_append(WalRecord::Abort(txn)) {
+                out.commands -= 1;
+                return Err(Halt::WalBroken(e, None));
+            }
+            scheduler.abort(txn);
+            out.log.retain(|o| o.txn != txn);
+            out.seq_log.retain(|&(_, o)| o.txn != txn);
+            if track_live {
+                live_events.retain(|e| event_txn(e) != txn);
+            }
+            out.rollbacks += 1;
             *changed = true;
             if record_trace {
                 out.trace.push(TraceEvent::Abort(txn));
@@ -684,7 +919,7 @@ fn apply_command(
 /// so this terminates once the backlog is drained.
 fn drain_after_crash(rest: Vec<Command>, queue: &BoundedQueue<Command>, batch_max: usize) {
     let unwind = |cmd: Command| {
-        if let Command::Request { reply, .. } = cmd {
+        if let Command::Request { reply, .. } | Command::Admit { reply, .. } = cmd {
             reply.fill(Decision::Aborted(AbortReason::Injected));
         }
     };

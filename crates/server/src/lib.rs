@@ -66,14 +66,23 @@ pub mod queue;
 pub mod recovery;
 pub mod server;
 pub mod session;
+pub mod shard;
 
 pub use baseline::{run_baseline, BaselineRun};
-pub use core::{run_core_durable, FaultPlan, ReplyLost, TraceEvent};
+pub use core::{
+    run_core_durable, run_core_sharded, FaultPlan, ReplyLost, ShardCoreCtx, TraceEvent,
+};
 pub use metrics::ServerMetrics;
 pub use queue::{BoundedQueue, PopWait, PushError, QueueStats};
-pub use recovery::{recover, recover_segments, Recovery, RecoveryError};
+pub use recovery::{
+    recover, recover_segments, recover_sharded, Recovery, RecoveryError, ShardedRecovery,
+};
 pub use server::{
     replay, serve, serve_durable, serve_durable_log, serve_report, serve_stream, ReplayMismatch,
     RunOutcome, ServeReport, ServerConfig, ServerError, ServerRun,
 };
 pub use session::{restart_backoff, OverloadPolicy, SessionError, SessionStats};
+pub use shard::{
+    replay_sharded, serve_sharded, serve_sharded_report, serve_sharded_stream, AdmitRecord,
+    ShardedReport, ShardedRun,
+};

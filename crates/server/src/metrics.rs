@@ -73,6 +73,48 @@ impl ServerMetrics {
             self.commands as f64 / self.batches as f64
         }
     }
+
+    /// Merges another (shard) core's metrics into this one, producing the
+    /// aggregate report of a sharded run. Counters sum; maxima take the
+    /// max; the queue's mean depth averages weighted by commands; the
+    /// decision summary merges conservatively (see
+    /// [`DecisionLatency::merge`]) and the admission histogram merges
+    /// exactly. `workers` is shared session threads, not summed — the
+    /// caller sets it once. `elapsed` takes the max: shards run
+    /// concurrently inside one wall-clock window.
+    pub fn merge(&mut self, other: &ServerMetrics) {
+        let total_cmds = self.commands + other.commands;
+        self.queue.mean_depth = if total_cmds == 0 {
+            0.0
+        } else {
+            (self.queue.mean_depth * self.commands as f64
+                + other.queue.mean_depth * other.commands as f64)
+                / total_cmds as f64
+        };
+        self.queue.max_depth = self.queue.max_depth.max(other.queue.max_depth);
+        self.commits += other.commits;
+        self.aborts += other.aborts;
+        self.timeout_aborts += other.timeout_aborts;
+        self.sheds += other.sheds;
+        self.requests += other.requests;
+        self.grants += other.grants;
+        self.blocked += other.blocked;
+        self.commands = total_cmds;
+        self.batches += other.batches;
+        self.max_batch = self.max_batch.max(other.max_batch);
+        self.decision.merge(&other.decision);
+        self.admission.merge(&other.admission);
+        self.elapsed = self.elapsed.max(other.elapsed);
+        self.committed_ops += other.committed_ops;
+        self.backoff_ns += other.backoff_ns;
+        self.max_txn_attempts = self.max_txn_attempts.max(other.max_txn_attempts);
+        self.wal.records += other.wal.records;
+        self.wal.bytes += other.wal.bytes;
+        self.wal.syncs += other.wal.syncs;
+        if self.wal_error.is_none() {
+            self.wal_error = other.wal_error.clone();
+        }
+    }
 }
 
 fn per_sec(n: u64, elapsed: Duration) -> f64 {

@@ -34,6 +34,7 @@ use crate::core::TraceEvent;
 use relser_core::ids::{OpId, TxnId};
 use relser_core::project::Projection;
 use relser_core::rsg::Rsg;
+use relser_core::shard::{merge_program_order, ShardMap};
 use relser_core::spec::AtomicitySpec;
 use relser_core::txn::TxnSet;
 use relser_protocols::{Decision, Scheduler};
@@ -52,6 +53,14 @@ pub struct Recovery {
     pub truncation: Option<Truncation>,
     /// Transactions committed before the crash, in commit order.
     pub committed: Vec<TxnId>,
+    /// Global commit stamps seen in `CommitAt` records, `(stamp, txn)` in
+    /// local commit order (empty for an unsharded log). Sharded recovery
+    /// merges the per-shard commit orders by these stamps.
+    pub commit_stamps: Vec<(u64, TxnId)>,
+    /// The shard id stamped in the seeding checkpoint (`None` when the
+    /// log has no checkpoint). [`recover_sharded`] uses it to refuse a
+    /// segment stream routed to the wrong shard's recovery.
+    pub shard: Option<u32>,
     /// Granted operations of committed *and* still-live incarnations at
     /// the crash point, in grant order — the recovered counterpart of
     /// [`crate::core::CoreOutput::log`], captured before step 3's
@@ -116,6 +125,15 @@ pub enum RecoveryError {
     /// over the committed sub-universe (a malformed projection — carries
     /// the underlying error text).
     InvalidHistory(String),
+    /// A sharded recovery was handed a log whose checkpoint is stamped
+    /// with a different shard id — the per-shard segment streams were
+    /// routed to the wrong recovery managers.
+    ShardMismatch {
+        /// The shard whose log this position should hold.
+        expected: u32,
+        /// The shard id found in the log's checkpoint.
+        found: u32,
+    },
 }
 
 impl fmt::Display for RecoveryError {
@@ -140,6 +158,10 @@ impl fmt::Display for RecoveryError {
             RecoveryError::InvalidHistory(m) => {
                 write!(f, "recovered committed history is not a schedule: {m}")
             }
+            RecoveryError::ShardMismatch { expected, found } => write!(
+                f,
+                "log for shard {expected} carries a checkpoint stamped shard {found}"
+            ),
         }
     }
 }
@@ -162,6 +184,7 @@ pub fn recover(
 
     let mut log: Vec<OpId> = Vec::new();
     let mut committed: Vec<TxnId> = Vec::new();
+    let mut commit_stamps: Vec<(u64, TxnId)> = Vec::new();
     let mut trace: Vec<TraceEvent> = Vec::with_capacity(records.len());
     let mut live: Vec<TxnId> = Vec::new();
     let check_txn = |t: TxnId, at: usize| -> Result<(), RecoveryError> {
@@ -194,6 +217,7 @@ pub fn recover(
         .iter()
         .rposition(|r| matches!(r, WalRecord::Checkpoint(_)));
     let mut seeded_events = 0;
+    let mut shard: Option<u32> = None;
     let start = match seed_at {
         Some(k) => {
             let WalRecord::Checkpoint(cp) = &records[k] else {
@@ -202,6 +226,7 @@ pub fn recover(
             for &t in &cp.committed {
                 check_txn(t, k)?;
             }
+            shard = Some(cp.shard);
             committed = cp.committed.clone();
             seeded_events = cp.events.len();
             for ev in &cp.events {
@@ -273,6 +298,14 @@ pub fn recover(
                 live.retain(|&t| t != txn);
                 trace.push(TraceEvent::Commit(txn));
             }
+            WalRecord::CommitAt { txn, stamp } => {
+                check_txn(txn, at)?;
+                scheduler.commit(txn);
+                committed.push(txn);
+                commit_stamps.push((stamp, txn));
+                live.retain(|&t| t != txn);
+                trace.push(TraceEvent::Commit(txn));
+            }
             WalRecord::Abort(txn) => {
                 check_txn(txn, at)?;
                 scheduler.abort(txn);
@@ -324,6 +357,8 @@ pub fn recover(
         valid_bytes: scanned.valid_bytes,
         truncation: scanned.truncation,
         committed,
+        commit_stamps,
+        shard,
         certified,
         log: pre_rollback_log,
         history,
@@ -359,6 +394,161 @@ pub fn recover_segments(
         Some((seq, bytes)) => Ok((*seq, recover(txns, spec, scheduler, bytes)?)),
         None => Ok((0, recover(txns, spec, scheduler, &[])?)),
     }
+}
+
+/// What [`recover_sharded`] rebuilt from N per-shard logs.
+#[derive(Clone, Debug)]
+pub struct ShardedRecovery {
+    /// The per-shard recoveries, index = shard id.
+    pub shards: Vec<Recovery>,
+    /// Transactions committed on **every** shard they touch, in global
+    /// commit order (by `CommitAt` stamp; checkpoint-covered commits,
+    /// which lost their stamps to compaction, order first). This is the
+    /// acknowledged-commit set of the sharded service.
+    pub committed: Vec<TxnId>,
+    /// Transactions with a commit record on some owning shards but not
+    /// all — crash-interrupted cross-shard commits. They are *excluded*
+    /// from the committed set and their scheduler state was rolled back:
+    /// the no-half-admitted-transaction invariant. A resumed service
+    /// re-submits them like any crash-orphaned incarnation.
+    pub partial: Vec<TxnId>,
+    /// The merged committed history: every shard's recovered grant log
+    /// filtered to [`ShardedRecovery::committed`] and re-woven into one
+    /// program-order-consistent schedule (conflicts are same-shard, so
+    /// the weave is conflict-equivalent to the real execution). This is
+    /// what the Theorem 1 oracle re-certified whole.
+    pub history: Vec<OpId>,
+}
+
+/// Recovers a sharded service from its N per-shard write-ahead logs
+/// (`logs[s]` = shard `s`'s bytes; the shard count is `logs.len()`).
+///
+/// Each shard's log is recovered independently via [`recover`] — with a
+/// fresh scheduler from `make_scheduler(shard)` — then the per-shard
+/// views are merged under the two-phase commit rule: a transaction is
+/// committed iff **every** shard it touches logged its commit (the same
+/// `(txn, stamp)` pair, durable before acknowledgement on each shard).
+/// A transaction committed on a strict subset of its shards was caught
+/// mid-crash; it is excluded and reported in
+/// [`ShardedRecovery::partial`], so no half-admitted transaction ever
+/// survives recovery. Finally the merged history is re-certified whole
+/// against the paper's Theorem 1 oracle — per-shard acyclicity is *not*
+/// trusted to compose.
+pub fn recover_sharded<'a, F>(
+    txns: &TxnSet,
+    spec: &AtomicitySpec,
+    mut make_scheduler: F,
+    logs: &[Vec<u8>],
+) -> Result<ShardedRecovery, RecoveryError>
+where
+    F: FnMut(u32) -> Box<dyn Scheduler + 'a>,
+{
+    assert!(!logs.is_empty(), "need at least one shard log");
+    let map = ShardMap::new(logs.len() as u32);
+    let mut shards: Vec<Recovery> = Vec::with_capacity(logs.len());
+    for (s, bytes) in logs.iter().enumerate() {
+        let mut scheduler = make_scheduler(s as u32);
+        let rec = recover(txns, spec, &mut *scheduler, bytes)?;
+        if let Some(found) = rec.shard {
+            if found != s as u32 {
+                return Err(RecoveryError::ShardMismatch {
+                    expected: s as u32,
+                    found,
+                });
+            }
+        }
+        shards.push(rec);
+    }
+
+    // All-owners commit rule: which shards acknowledged each transaction,
+    // and the global stamp where one survived compaction.
+    let mut stamp: Vec<Option<u64>> = vec![None; txns.len()];
+    let mut acked: Vec<Vec<u32>> = vec![Vec::new(); txns.len()];
+    for (s, rec) in shards.iter().enumerate() {
+        for &t in &rec.committed {
+            acked[t.index()].push(s as u32);
+        }
+        for &(st, t) in &rec.commit_stamps {
+            stamp[t.index()] = Some(st);
+        }
+    }
+    let mut committed: Vec<TxnId> = Vec::new();
+    let mut partial: Vec<TxnId> = Vec::new();
+    for t in txns.txn_ids() {
+        if acked[t.index()].is_empty() {
+            continue;
+        }
+        let owners = map.shards_of_txn(txns, t);
+        if owners.iter().all(|s| acked[t.index()].contains(s)) {
+            committed.push(t);
+        } else {
+            partial.push(t);
+        }
+    }
+
+    // Defensive completeness: a committed transaction's full op set must
+    // be present across the shard logs (guaranteed by WAL-before-ack plus
+    // append order within each log; checked anyway — an incomplete one is
+    // demoted to partial rather than certified on a fragment).
+    let mut in_committed = vec![false; txns.len()];
+    for &t in &committed {
+        in_committed[t.index()] = true;
+    }
+    let mut op_counts = vec![0usize; txns.len()];
+    for rec in &shards {
+        for o in rec.log.iter().filter(|o| in_committed[o.txn.index()]) {
+            op_counts[o.txn.index()] += 1;
+        }
+    }
+    committed.retain(|&t| {
+        let complete = op_counts[t.index()] == txns.txn(t).len();
+        if !complete {
+            in_committed[t.index()] = false;
+            partial.push(t);
+        }
+        complete
+    });
+
+    // Global commit order: stamped commits by stamp; unstamped ones (the
+    // rare checkpoint-compacted case) first, in id order — they predate
+    // every stamped commit on their own shards.
+    committed.sort_by_key(|&t| match stamp[t.index()] {
+        Some(s) => (1u8, s),
+        None => (0u8, t.0 as u64),
+    });
+
+    // Merge the per-shard grant logs of the committed set into one
+    // schedule and re-certify it whole.
+    let shard_logs: Vec<Vec<OpId>> = shards
+        .iter()
+        .map(|rec| {
+            rec.log
+                .iter()
+                .copied()
+                .filter(|o| in_committed[o.txn.index()])
+                .collect()
+        })
+        .collect();
+    let history = merge_program_order(txns, &shard_logs)
+        .map_err(|e| RecoveryError::InvalidHistory(e.to_string()))?;
+    if !committed.is_empty() {
+        let projection = Projection::subset(txns, spec, &committed)
+            .map_err(|e| RecoveryError::InvalidHistory(e.to_string()))?;
+        let schedule = projection
+            .schedule(&history)
+            .map_err(|e| RecoveryError::InvalidHistory(e.to_string()))?;
+        let rsg = Rsg::build(&projection.txns, &schedule, &projection.spec);
+        if !rsg.is_acyclic() {
+            return Err(RecoveryError::NotRelativelySerializable);
+        }
+    }
+
+    Ok(ShardedRecovery {
+        shards,
+        committed,
+        partial,
+        history,
+    })
 }
 
 #[cfg(test)]

@@ -458,6 +458,14 @@ pub fn replay(
                 scheduler.abort(*txn);
                 log.retain(|o| o.txn != *txn);
             }
+            TraceEvent::Admit { txn, granted } => {
+                // A granted cross-shard admit applied `begin` on this
+                // shard; a rejected one changed nothing (the reject
+                // happened before the scheduler was consulted).
+                if *granted {
+                    scheduler.begin(*txn);
+                }
+            }
         }
     }
     Ok(log)

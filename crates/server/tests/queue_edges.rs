@@ -1,7 +1,9 @@
 //! Edge cases of the bounded MPSC command queue: shed accounting under a
-//! full queue with competing producers, backpressure wakeups with a
-//! batch-1 consumer (no lost wakeups, no lost items), batch boundaries at
-//! capacity 1, and close-time delivery guarantees.
+//! full queue with competing producers (one queue and per-shard queue
+//! banks), backpressure wakeups with batch-1 consumers (no lost wakeups,
+//! no lost items — including producers spraying across multiple shard
+//! queues), batch boundaries at capacity 1, and close-time delivery
+//! guarantees.
 
 use relser_server::{BoundedQueue, PushError};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -129,6 +131,154 @@ fn capacity_one_bounds_every_batch_to_a_singleton() {
         assert!(q.pop_batch(64, &mut out));
         assert_eq!(out, vec![i], "batch of one despite max = 64");
         out.clear();
+    }
+}
+
+/// Sharded shed accounting: producers spray `try_push` across a bank of
+/// per-shard capacity-2 queues (round-robin, like the router hashing
+/// operations over shards) while each shard's consumer drains slowly.
+/// Per-shard shed counters and the aggregate must reconcile exactly:
+/// aggregate = Σ per-shard, and per shard delivered + shed = routed.
+#[test]
+fn per_shard_shed_counters_reconcile_with_the_aggregate() {
+    const SHARDS: usize = 4;
+    const PRODUCERS: u64 = 4;
+    const ATTEMPTS: u64 = 400;
+    let queues: Arc<Vec<BoundedQueue<u64>>> =
+        Arc::new((0..SHARDS).map(|_| BoundedQueue::new(2)).collect());
+    let shard_sheds: Arc<Vec<AtomicU64>> =
+        Arc::new((0..SHARDS).map(|_| AtomicU64::new(0)).collect());
+    let total_sheds = Arc::new(AtomicU64::new(0));
+
+    let mut producers = Vec::new();
+    for p in 0..PRODUCERS {
+        let queues = Arc::clone(&queues);
+        let shard_sheds = Arc::clone(&shard_sheds);
+        let total_sheds = Arc::clone(&total_sheds);
+        producers.push(std::thread::spawn(move || {
+            for i in 0..ATTEMPTS {
+                let item = p * ATTEMPTS + i;
+                let shard = (item % SHARDS as u64) as usize;
+                match queues[shard].try_push(item) {
+                    Ok(()) => {}
+                    Err(PushError::Full(back)) => {
+                        assert_eq!(back, item, "the shed item is handed back");
+                        shard_sheds[shard].fetch_add(1, Ordering::Relaxed);
+                        total_sheds.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(PushError::Closed(_)) => panic!("queue closed mid-run"),
+                }
+            }
+        }));
+    }
+
+    let mut consumers = Vec::new();
+    for s in 0..SHARDS {
+        let queues = Arc::clone(&queues);
+        consumers.push(std::thread::spawn(move || {
+            let mut got = Vec::new();
+            let mut batch = Vec::new();
+            while queues[s].pop_batch(2, &mut batch) {
+                got.append(&mut batch);
+                std::thread::sleep(Duration::from_micros(50));
+            }
+            got
+        }));
+    }
+
+    for p in producers {
+        p.join().unwrap();
+    }
+    for q in queues.iter() {
+        q.close();
+    }
+    let per_shard: Vec<Vec<u64>> = consumers.into_iter().map(|c| c.join().unwrap()).collect();
+
+    let aggregate: u64 = shard_sheds.iter().map(|s| s.load(Ordering::Relaxed)).sum();
+    assert_eq!(
+        aggregate,
+        total_sheds.load(Ordering::Relaxed),
+        "aggregate shed counter = sum of per-shard counters"
+    );
+    let mut all = Vec::new();
+    for (s, got) in per_shard.iter().enumerate() {
+        // Routing is by item % SHARDS: nothing lands on the wrong shard.
+        assert!(got.iter().all(|&i| i % SHARDS as u64 == s as u64));
+        assert_eq!(
+            got.len() as u64 + shard_sheds[s].load(Ordering::Relaxed),
+            PRODUCERS * ATTEMPTS / SHARDS as u64,
+            "shard {s}: delivered + shed = routed"
+        );
+        all.extend_from_slice(got);
+    }
+    assert!(aggregate > 0, "slow consumers shed somewhere");
+    all.sort_unstable();
+    let before = all.len();
+    all.dedup();
+    assert_eq!(all.len(), before, "no duplicates across shards");
+}
+
+/// Sharded backpressure: every producer cycles `push_wait` over all the
+/// capacity-1 shard queues in turn, so each producer repeatedly parks on
+/// whichever shard is full while the other shards' consumers make
+/// progress. A lost `not_full` wakeup on any queue deadlocks the test;
+/// completion with every item delivered and per-producer FIFO *per shard*
+/// is the assertion.
+#[test]
+fn sharded_wait_backpressure_loses_no_wakeups_across_queues() {
+    const SHARDS: usize = 3;
+    const PRODUCERS: u64 = 4;
+    const ITEMS: u64 = 150;
+    let queues: Arc<Vec<BoundedQueue<u64>>> =
+        Arc::new((0..SHARDS).map(|_| BoundedQueue::new(1)).collect());
+
+    let mut producers = Vec::new();
+    for p in 0..PRODUCERS {
+        let queues = Arc::clone(&queues);
+        producers.push(std::thread::spawn(move || {
+            for i in 0..ITEMS {
+                let item = p * ITEMS + i;
+                queues[(i % SHARDS as u64) as usize]
+                    .push_wait(item)
+                    .unwrap();
+            }
+        }));
+    }
+
+    let mut consumers = Vec::new();
+    for s in 0..SHARDS {
+        let queues = Arc::clone(&queues);
+        consumers.push(std::thread::spawn(move || {
+            let mut got = Vec::new();
+            let mut batch = Vec::new();
+            while queues[s].pop_batch(1, &mut batch) {
+                got.append(&mut batch);
+            }
+            got
+        }));
+    }
+
+    for p in producers {
+        p.join().unwrap();
+    }
+    for q in queues.iter() {
+        q.close();
+    }
+    let per_shard: Vec<Vec<u64>> = consumers.into_iter().map(|c| c.join().unwrap()).collect();
+    let total: usize = per_shard.iter().map(|g| g.len()).sum();
+    assert_eq!(total, (PRODUCERS * ITEMS) as usize, "nothing lost");
+    // Each producer's items within one shard arrive in increasing order
+    // (the router's per-queue FIFO guarantee the CommitAt fan-out relies on).
+    for got in &per_shard {
+        let mut last = vec![None::<u64>; PRODUCERS as usize];
+        for &item in got {
+            let p = (item / ITEMS) as usize;
+            assert!(
+                last[p].is_none_or(|prev| prev < item),
+                "producer {p} reordered within a shard"
+            );
+            last[p] = Some(item);
+        }
     }
 }
 

@@ -15,6 +15,8 @@ pub struct DecisionLatency {
     pub mean_ns: f64,
     /// 95th-percentile nanoseconds per decision.
     pub p95_ns: u64,
+    /// 99th-percentile nanoseconds per decision.
+    pub p99_ns: u64,
     /// Slowest single decision.
     pub max_ns: u64,
 }
@@ -28,14 +30,37 @@ impl DecisionLatency {
         let mut sorted = samples.to_vec();
         sorted.sort_unstable();
         let total: u64 = sorted.iter().sum();
-        let p95_idx = ((sorted.len() as f64 * 0.95).ceil() as usize).clamp(1, sorted.len()) - 1;
+        let quantile_idx =
+            |q: f64| ((sorted.len() as f64 * q).ceil() as usize).clamp(1, sorted.len()) - 1;
         DecisionLatency {
             decisions: sorted.len() as u64,
             total_ns: total,
             mean_ns: total as f64 / sorted.len() as f64,
-            p95_ns: sorted[p95_idx],
+            p95_ns: sorted[quantile_idx(0.95)],
+            p99_ns: sorted[quantile_idx(0.99)],
             max_ns: *sorted.last().unwrap(),
         }
+    }
+
+    /// Merges another summary into this one (per-shard → aggregate).
+    ///
+    /// Counts, totals, means, and maxima combine exactly. The p95/p99
+    /// are conservative upper bounds (max of the two stream quantiles):
+    /// without the raw samples the true merged quantile is
+    /// unrecoverable, and for capacity reporting an over-estimate errs
+    /// on the safe side. Callers holding raw samples should concatenate
+    /// and re-run [`DecisionLatency::from_samples`] instead.
+    pub fn merge(&mut self, other: &DecisionLatency) {
+        self.decisions += other.decisions;
+        self.total_ns = self.total_ns.saturating_add(other.total_ns);
+        self.mean_ns = if self.decisions == 0 {
+            0.0
+        } else {
+            self.total_ns as f64 / self.decisions as f64
+        };
+        self.p95_ns = self.p95_ns.max(other.p95_ns);
+        self.p99_ns = self.p99_ns.max(other.p99_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
     }
 }
 
@@ -208,6 +233,41 @@ impl PartialEq for Metrics {
     }
 }
 
+impl Metrics {
+    /// Merges another run's metrics into this one, for aggregating
+    /// per-shard (or per-partition) statistics into a single report.
+    ///
+    /// Counters sum exactly. `makespan` takes the maximum — shards run
+    /// concurrently over the same wall of ticks, so the aggregate span is
+    /// the slowest shard's. Throughput is recomputed from the merged
+    /// commit count over that span. Mean latency is commit-weighted and
+    /// exact; `p95_latency` is the conservative maximum of the stream
+    /// p95s (the raw per-commit samples are gone). Mean concurrency sums:
+    /// each shard's in-flight transactions coexist on the wall clock, so
+    /// time-averaged populations add (shards with a shorter makespan are
+    /// scaled onto the merged span).
+    pub fn merge(&mut self, other: &Metrics) {
+        let merged_span = self.makespan.max(other.makespan).max(1);
+        let commits = self.commits + other.commits;
+        self.mean_latency = if commits == 0 {
+            0.0
+        } else {
+            (self.mean_latency * self.commits as f64 + other.mean_latency * other.commits as f64)
+                / commits as f64
+        };
+        self.mean_concurrency = (self.mean_concurrency * self.makespan as f64
+            + other.mean_concurrency * other.makespan as f64)
+            / merged_span as f64;
+        self.commits = commits;
+        self.aborts += other.aborts;
+        self.blocked_events += other.blocked_events;
+        self.makespan = merged_span;
+        self.throughput_per_kilotick = commits as f64 * 1000.0 / merged_span as f64;
+        self.p95_latency = self.p95_latency.max(other.p95_latency);
+        self.scheduler_latency.merge(&other.scheduler_latency);
+    }
+}
+
 /// Builds [`Metrics`] from per-transaction observations.
 ///
 /// `spans` are `(arrival, commit)` tick pairs; `busy_integral` is the
@@ -314,6 +374,7 @@ mod tests {
         assert_eq!(d.total_ns, 1600);
         assert!((d.mean_ns - 400.0).abs() < 1e-9);
         assert_eq!(d.p95_ns, 1000);
+        assert_eq!(d.p99_ns, 1000);
         assert_eq!(d.max_ns, 1000);
         assert_eq!(
             DecisionLatency::from_samples(&[]),
@@ -359,6 +420,72 @@ mod tests {
         let empty = LatencyHistogram::new();
         assert_eq!(empty.quantile_ns(0.95), 0);
         assert_eq!(empty.mean_ns(), 0.0);
+    }
+
+    #[test]
+    fn metrics_merge_matches_single_stream_accumulation() {
+        // Two shards' spans with identical per-commit latency and a shared
+        // origin: every merged field (including p95) is then exact, so the
+        // merge must equal summarizing the union stream directly.
+        let shard_a = vec![(0, 10), (2, 12), (4, 14)];
+        let shard_b = vec![(0, 10), (6, 16)];
+        let union: Vec<(u64, u64)> = shard_a.iter().chain(&shard_b).copied().collect();
+        let mut merged = summarize(&shard_a, 1, 3, 20, &[]);
+        merged.merge(&summarize(&shard_b, 2, 4, 12, &[]));
+        let single = summarize(&union, 3, 7, 32, &[]);
+        assert_eq!(merged.commits, single.commits);
+        assert_eq!(merged.aborts, single.aborts);
+        assert_eq!(merged.blocked_events, single.blocked_events);
+        assert_eq!(merged.makespan, single.makespan);
+        assert!((merged.throughput_per_kilotick - single.throughput_per_kilotick).abs() < 1e-9);
+        assert!((merged.mean_latency - single.mean_latency).abs() < 1e-9);
+        assert_eq!(merged.p95_latency, single.p95_latency);
+        assert!(
+            (merged.mean_concurrency - single.mean_concurrency).abs() < 1e-9,
+            "{} vs {}",
+            merged.mean_concurrency,
+            single.mean_concurrency
+        );
+    }
+
+    #[test]
+    fn histogram_merge_matches_single_stream_accumulation() {
+        // Satellite check: splitting one sample stream across two
+        // histograms and merging is byte-identical (PartialEq on the
+        // whole struct) to recording the stream into one histogram.
+        let samples: Vec<u64> = (0..200u64).map(|i| i * i * 37 % 100_000).collect();
+        let mut whole = LatencyHistogram::new();
+        let mut left = LatencyHistogram::new();
+        let mut right = LatencyHistogram::new();
+        for (i, &s) in samples.iter().enumerate() {
+            whole.record(s);
+            if i % 2 == 0 {
+                left.record(s);
+            } else {
+                right.record(s);
+            }
+        }
+        left.merge(&right);
+        assert_eq!(left, whole);
+    }
+
+    #[test]
+    fn decision_latency_merge_is_exact_on_sums_conservative_on_p95() {
+        let a = DecisionLatency::from_samples(&[100, 200, 300]);
+        let b = DecisionLatency::from_samples(&[400, 500]);
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged.decisions, 5);
+        assert_eq!(merged.total_ns, 1500);
+        assert!((merged.mean_ns - 300.0).abs() < 1e-9);
+        assert_eq!(merged.max_ns, 500);
+        // p95 is an upper bound on the true merged p95.
+        let exact = DecisionLatency::from_samples(&[100, 200, 300, 400, 500]);
+        assert!(merged.p95_ns >= exact.p95_ns);
+        // Merging into the empty summary reproduces the other side.
+        let mut empty = DecisionLatency::default();
+        empty.merge(&b);
+        assert_eq!(empty, b);
     }
 
     #[test]

@@ -136,6 +136,7 @@ mod tests {
             WalRecord::Grant(OpId::new(TxnId(0), 0)),
             WalRecord::Grant(OpId::new(TxnId(0), 1)),
             WalRecord::Checkpoint(crate::record::Checkpoint {
+                shard: 0,
                 committed: vec![],
                 events: vec![
                     crate::record::CheckpointEvent::Begin(TxnId(0)),

@@ -16,7 +16,8 @@
 //! | len: u32LE | crc: u32LE| payload (len B)  |
 //! +------------+-----------+------------------+
 //! payload = tag: u8, txn: u32LE [, index: u32LE for Grant]
-//! checkpoint payload = tag: u8,
+//!                               [, stamp: u64LE for CommitAt]
+//! checkpoint payload = tag: u8, shard: u32LE,
 //!                      committed count: u32LE, committed txns: u32LE…,
 //!                      event count: u32LE,
 //!                      events: kind u8, txn u32LE [, index u32LE]…
@@ -50,6 +51,7 @@ const TAG_GRANT: u8 = 2;
 const TAG_COMMIT: u8 = 3;
 const TAG_ABORT: u8 = 4;
 const TAG_CHECKPOINT: u8 = 5;
+const TAG_COMMIT_AT: u8 = 6;
 
 const EV_BEGIN: u8 = 1;
 const EV_GRANT: u8 = 2;
@@ -114,6 +116,10 @@ impl CheckpointEvent {
 /// suffix; everything before the checkpoint can be deleted.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Checkpoint {
+    /// The shard core that wrote this checkpoint (0 in the unsharded
+    /// service). Recovery uses it to reject a segment stream that was
+    /// accidentally fed to the wrong shard's recovery manager.
+    pub shard: u32,
     /// Transactions committed so far, in commit order.
     pub committed: Vec<TxnId>,
     /// Condensed live-state events (non-retired transactions), core order.
@@ -135,6 +141,18 @@ pub enum WalRecord {
     /// The transaction (incarnation) aborted — scheduler-initiated,
     /// session timeout, or injected; recovery treats them all alike.
     Abort(TxnId),
+    /// The transaction committed at a global commit stamp. Written by
+    /// shard cores: the stamp totally orders commits *across* per-shard
+    /// segment streams, so sharded recovery can rebuild one commit order.
+    /// A multi-shard transaction writes the same `(txn, stamp)` pair into
+    /// every owning shard's log; it counts as committed only if the
+    /// record is present on *all* of them.
+    CommitAt {
+        /// The committing transaction.
+        txn: TxnId,
+        /// Its position in the global commit order.
+        stamp: u64,
+    },
     /// A live-state snapshot; recovery seeds from the newest one and
     /// replays only the records after it.
     Checkpoint(Checkpoint),
@@ -146,6 +164,7 @@ impl WalRecord {
     pub fn txn(&self) -> Option<TxnId> {
         match self {
             WalRecord::Begin(t) | WalRecord::Commit(t) | WalRecord::Abort(t) => Some(*t),
+            WalRecord::CommitAt { txn, .. } => Some(*txn),
             WalRecord::Grant(op) => Some(op.txn),
             WalRecord::Checkpoint(_) => None,
         }
@@ -171,8 +190,14 @@ impl WalRecord {
                 buf.push(TAG_ABORT);
                 buf.extend_from_slice(&t.0.to_le_bytes());
             }
+            WalRecord::CommitAt { txn, stamp } => {
+                buf.push(TAG_COMMIT_AT);
+                buf.extend_from_slice(&txn.0.to_le_bytes());
+                buf.extend_from_slice(&stamp.to_le_bytes());
+            }
             WalRecord::Checkpoint(cp) => {
                 buf.push(TAG_CHECKPOINT);
+                buf.extend_from_slice(&cp.shard.to_le_bytes());
                 buf.extend_from_slice(&(cp.committed.len() as u32).to_le_bytes());
                 for t in &cp.committed {
                     buf.extend_from_slice(&t.0.to_le_bytes());
@@ -234,6 +259,10 @@ impl WalRecord {
                 txn: TxnId(u32_at(rest, 0)?),
                 index: u32_at(rest, 4)?,
             })),
+            TAG_COMMIT_AT if rest.len() == 12 => Some(WalRecord::CommitAt {
+                txn: TxnId(u32_at(rest, 0)?),
+                stamp: u64::from_le_bytes(rest.get(4..12)?.try_into().unwrap()),
+            }),
             TAG_CHECKPOINT => Self::decode_checkpoint(rest).map(WalRecord::Checkpoint),
             _ => None,
         }
@@ -249,6 +278,7 @@ impl WalRecord {
             *b = &b[4..];
             Some(v)
         };
+        let shard = take_u32(&mut rest)?;
         let n_committed = take_u32(&mut rest)? as usize;
         // Counts are sanity-bounded by what could possibly fit in the
         // remaining bytes, so a corrupt count cannot drive a huge
@@ -281,7 +311,11 @@ impl WalRecord {
         if !rest.is_empty() {
             return None;
         }
-        Some(Checkpoint { committed, events })
+        Some(Checkpoint {
+            shard,
+            committed,
+            events,
+        })
     }
 
     /// The encoded frame size of this record, in bytes.
@@ -289,8 +323,10 @@ impl WalRecord {
         FRAME_OVERHEAD
             + match self {
                 WalRecord::Grant(_) => 9,
+                WalRecord::CommitAt { .. } => 13,
                 WalRecord::Checkpoint(cp) => {
                     1 + 4
+                        + 4
                         + 4 * cp.committed.len()
                         + 4
                         + cp.events.iter().map(|e| e.encoded_len()).sum::<usize>()
@@ -321,8 +357,13 @@ mod tests {
         roundtrip(WalRecord::Grant(OpId::new(TxnId(3), 17)));
         roundtrip(WalRecord::Commit(TxnId(u32::MAX)));
         roundtrip(WalRecord::Abort(TxnId(42)));
+        roundtrip(WalRecord::CommitAt {
+            txn: TxnId(9),
+            stamp: u64::MAX - 1,
+        });
         roundtrip(WalRecord::Checkpoint(Checkpoint::default()));
         roundtrip(WalRecord::Checkpoint(Checkpoint {
+            shard: 3,
             committed: vec![TxnId(2), TxnId(0), TxnId(7)],
             events: vec![
                 CheckpointEvent::Begin(TxnId(1)),
@@ -337,6 +378,7 @@ mod tests {
     fn oversized_payload_is_a_typed_error_not_a_wrap() {
         // Enough committed entries to push the payload past MAX_PAYLOAD.
         let huge = WalRecord::Checkpoint(Checkpoint {
+            shard: 0,
             committed: (0..=(MAX_PAYLOAD / 4)).map(TxnId).collect(),
             events: Vec::new(),
         });
@@ -351,18 +393,21 @@ mod tests {
 
     #[test]
     fn boundary_payload_still_encodes() {
-        // The largest payload that fits: tag(1) + count(4) + ids + count(4).
-        let ids = (MAX_PAYLOAD as usize - 1 - 4 - 4) / 4;
+        // The largest payload that fits:
+        // tag(1) + shard(4) + count(4) + ids + count(4).
+        let ids = (MAX_PAYLOAD as usize - 1 - 4 - 4 - 4) / 4;
         let rec = WalRecord::Checkpoint(Checkpoint {
+            shard: 0,
             committed: (0..ids as u32).map(TxnId).collect(),
             events: Vec::new(),
         });
-        assert_eq!(rec.frame_len(), FRAME_OVERHEAD + 9 + 4 * ids);
+        assert_eq!(rec.frame_len(), FRAME_OVERHEAD + 13 + 4 * ids);
         assert!(rec.frame_len() - FRAME_OVERHEAD <= MAX_PAYLOAD as usize);
         let mut buf = Vec::new();
         rec.encode_into(&mut buf).unwrap();
         // One more id crosses the line.
         let rec = WalRecord::Checkpoint(Checkpoint {
+            shard: 0,
             committed: (0..ids as u32 + 1).map(TxnId).collect(),
             events: Vec::new(),
         });
@@ -385,11 +430,17 @@ mod tests {
             "trailing garbage"
         );
         assert_eq!(WalRecord::decode_payload(&[TAG_GRANT, 1, 0, 0, 0]), None);
+        assert_eq!(
+            WalRecord::decode_payload(&[TAG_COMMIT_AT, 1, 0, 0, 0]),
+            None,
+            "commit-at missing its stamp"
+        );
     }
 
     #[test]
     fn corrupt_checkpoint_bodies_are_rejected() {
         let good = WalRecord::Checkpoint(Checkpoint {
+            shard: 7,
             committed: vec![TxnId(1)],
             events: vec![CheckpointEvent::Grant(OpId::new(TxnId(0), 2))],
         });
@@ -416,8 +467,9 @@ mod tests {
         assert_eq!(WalRecord::decode_payload(&lying), None);
         // An unknown event kind: rejected.
         let mut bad_kind = vec![TAG_CHECKPOINT];
-        bad_kind.extend_from_slice(&0u32.to_le_bytes());
-        bad_kind.extend_from_slice(&1u32.to_le_bytes());
+        bad_kind.extend_from_slice(&0u32.to_le_bytes()); // shard
+        bad_kind.extend_from_slice(&0u32.to_le_bytes()); // committed count
+        bad_kind.extend_from_slice(&1u32.to_le_bytes()); // event count
         bad_kind.push(9);
         bad_kind.extend_from_slice(&0u32.to_le_bytes());
         assert_eq!(WalRecord::decode_payload(&bad_kind), None);

@@ -395,6 +395,7 @@ mod tests {
         let (mut wal, handle) = seg(CheckpointPolicy::never());
         wal.append(&WalRecord::Begin(TxnId(0))).unwrap();
         wal.install_checkpoint(Checkpoint {
+            shard: 0,
             committed: vec![],
             events: vec![crate::record::CheckpointEvent::Begin(TxnId(0))],
         })
@@ -418,6 +419,7 @@ mod tests {
         }
         assert_eq!(handle.segment_count(), 1);
         wal.install_checkpoint(Checkpoint {
+            shard: 0,
             committed: (0..4).map(TxnId).collect(),
             events: vec![],
         })
