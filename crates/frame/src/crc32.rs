@@ -1,0 +1,67 @@
+//! CRC-32 (IEEE 802.3, the polynomial used by gzip/zlib/ethernet),
+//! table-driven. The workspace has no crates.io access, so the checksum
+//! is implemented here; it exists to detect torn and corrupted frames,
+//! not to resist an adversary.
+
+/// The reflected IEEE polynomial.
+const POLY: u32 = 0xEDB8_8320;
+
+/// 256-entry lookup table, built at compile time.
+const TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// The CRC-32 of `bytes` (initial value `!0`, final xor `!0` — the
+/// standard gzip convention).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard test vectors for CRC-32/IEEE.
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn single_bit_flip_changes_checksum() {
+        let a = b"relative serializability".to_vec();
+        let base = crc32(&a);
+        for byte in 0..a.len() {
+            for bit in 0..8 {
+                let mut b = a.clone();
+                b[byte] ^= 1 << bit;
+                assert_ne!(crc32(&b), base, "flip at {byte}:{bit} undetected");
+            }
+        }
+    }
+}

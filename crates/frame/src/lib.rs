@@ -1,0 +1,285 @@
+//! # relser-frame — the shared binary frame codec
+//!
+//! Both durable storage (`relser-wal`) and the wire protocol
+//! (`relser-net`) carry self-delimiting binary payloads over media that
+//! can tear and corrupt them: a file a crash truncates mid-write, a TCP
+//! stream a buggy client fills with garbage. They use one framing
+//! discipline, defined here, so the two implementations cannot drift:
+//!
+//! ```text
+//! +------------+------------+------------------+
+//! | len: u32LE | crc: u32LE | payload (len B)  |
+//! +------------+------------+------------------+
+//! ```
+//!
+//! `crc` is the CRC-32 (IEEE) of the payload. A frame is accepted only
+//! if the whole frame is present, `len` is within the caller's bound,
+//! and the checksum matches; every rejection is a typed [`FrameError`]
+//! the caller maps onto its own recovery policy (the WAL truncates at
+//! the damage, the wire front-end closes the one bad connection).
+//!
+//! Decoding is *total*: any byte slice yields either a frame or a typed
+//! error, never a panic and never an allocation proportional to a
+//! corrupt length prefix.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod crc32;
+
+pub use crc32::crc32;
+
+use std::fmt;
+
+/// Bytes of framing per frame (length prefix + checksum).
+pub const FRAME_OVERHEAD: usize = 8;
+
+/// Why a byte slice does not start with a valid frame.
+///
+/// The three variants deliberately distinguish *incomplete* (more bytes
+/// may still arrive — a torn file tail, a partial TCP read) from
+/// *corrupt* (no amount of further bytes can fix it): stream consumers
+/// wait on the former and fail on the latter.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FrameError {
+    /// The slice ends before the frame does: `have` bytes present,
+    /// `need` required (header included). More input may complete it.
+    Incomplete {
+        /// Bytes of the frame actually present.
+        have: usize,
+        /// Bytes the frame needs in total (`FRAME_OVERHEAD` + payload).
+        need: usize,
+    },
+    /// The length prefix is zero or beyond the caller's `max_payload` —
+    /// the frame header itself is corrupt, and since the length can no
+    /// longer be trusted there is no next-frame boundary to resume at.
+    BadLength {
+        /// The nonsensical length read.
+        len: u32,
+    },
+    /// The payload checksum does not match (bit rot, a torn interior,
+    /// or stream garbage that happened to have a plausible length).
+    BadCrc,
+}
+
+impl FrameError {
+    /// Could more input turn this into a valid frame? `true` only for
+    /// [`FrameError::Incomplete`]; corrupt frames are terminal.
+    pub fn is_incomplete(&self) -> bool {
+        matches!(self, FrameError::Incomplete { .. })
+    }
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Incomplete { have, need } => {
+                write!(f, "incomplete frame: {have} of {need} bytes")
+            }
+            FrameError::BadLength { len } => write!(f, "corrupt frame length prefix {len}"),
+            FrameError::BadCrc => write!(f, "frame checksum mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// The payload would not fit the frame format (longer than the caller's
+/// `max_payload` bound). Returned by [`finish_frame`] instead of letting
+/// the `as u32` length cast wrap silently.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FrameTooLarge {
+    /// The payload size that did not fit.
+    pub len: usize,
+}
+
+impl fmt::Display for FrameTooLarge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "frame payload of {} bytes exceeds the bound", self.len)
+    }
+}
+
+impl std::error::Error for FrameTooLarge {}
+
+/// Reserves space for a frame header at the end of `buf` and returns the
+/// frame's start offset. The caller appends the payload bytes directly
+/// to `buf` (no intermediate allocation), then calls [`finish_frame`].
+#[inline]
+pub fn begin_frame(buf: &mut Vec<u8>) -> usize {
+    let start = buf.len();
+    buf.extend_from_slice(&[0u8; FRAME_OVERHEAD]);
+    start
+}
+
+/// Patches the length prefix and checksum of the frame begun at `start`
+/// (everything appended since [`begin_frame`] is the payload). On
+/// [`FrameTooLarge`], `buf` is restored to its pre-`begin_frame` length —
+/// nothing partial is ever left behind. Returns the full frame length.
+pub fn finish_frame(
+    buf: &mut Vec<u8>,
+    start: usize,
+    max_payload: u32,
+) -> Result<usize, FrameTooLarge> {
+    debug_assert!(buf.len() >= start + FRAME_OVERHEAD, "frame not begun");
+    let payload_len = buf.len() - start - FRAME_OVERHEAD;
+    if payload_len == 0 || payload_len > max_payload as usize {
+        buf.truncate(start);
+        return Err(FrameTooLarge { len: payload_len });
+    }
+    let crc = crc32(&buf[start + FRAME_OVERHEAD..]);
+    buf[start..start + 4].copy_from_slice(&(payload_len as u32).to_le_bytes());
+    buf[start + 4..start + 8].copy_from_slice(&crc.to_le_bytes());
+    Ok(payload_len + FRAME_OVERHEAD)
+}
+
+/// Convenience one-shot encoder: frames `payload` onto the end of `buf`.
+pub fn encode_frame(
+    buf: &mut Vec<u8>,
+    payload: &[u8],
+    max_payload: u32,
+) -> Result<usize, FrameTooLarge> {
+    let start = begin_frame(buf);
+    buf.extend_from_slice(payload);
+    finish_frame(buf, start, max_payload)
+}
+
+/// A checksum-verified frame decoded from the head of a byte slice.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Frame<'a> {
+    /// The verified payload bytes.
+    pub payload: &'a [u8],
+    /// Total bytes the frame occupies (header + payload) — the offset
+    /// of the next frame.
+    pub consumed: usize,
+}
+
+/// Decodes the frame at the head of `bytes`, accepting payloads up to
+/// `max_payload`. Total over arbitrary input: every outcome is a
+/// [`Frame`] or a typed [`FrameError`]; never panics, never allocates.
+pub fn decode_frame(bytes: &[u8], max_payload: u32) -> Result<Frame<'_>, FrameError> {
+    if bytes.len() < FRAME_OVERHEAD {
+        return Err(FrameError::Incomplete {
+            have: bytes.len(),
+            need: FRAME_OVERHEAD,
+        });
+    }
+    let len = u32::from_le_bytes(bytes[0..4].try_into().unwrap());
+    if len == 0 || len > max_payload {
+        return Err(FrameError::BadLength { len });
+    }
+    let need = FRAME_OVERHEAD + len as usize;
+    if bytes.len() < need {
+        return Err(FrameError::Incomplete {
+            have: bytes.len(),
+            need,
+        });
+    }
+    let crc = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+    let payload = &bytes[FRAME_OVERHEAD..need];
+    if crc32(payload) != crc {
+        return Err(FrameError::BadCrc);
+    }
+    Ok(Frame {
+        payload,
+        consumed: need,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MAX: u32 = 1 << 16;
+
+    #[test]
+    fn roundtrip() {
+        let mut buf = vec![0xEE; 3]; // pre-existing bytes are untouched
+        let n = encode_frame(&mut buf, b"hello frame", MAX).unwrap();
+        assert_eq!(n, FRAME_OVERHEAD + 11);
+        assert_eq!(buf.len(), 3 + n);
+        let frame = decode_frame(&buf[3..], MAX).unwrap();
+        assert_eq!(frame.payload, b"hello frame");
+        assert_eq!(frame.consumed, n);
+    }
+
+    #[test]
+    fn incremental_build_roundtrips() {
+        let mut buf = Vec::new();
+        let start = begin_frame(&mut buf);
+        buf.push(7);
+        buf.extend_from_slice(&42u32.to_le_bytes());
+        finish_frame(&mut buf, start, MAX).unwrap();
+        let frame = decode_frame(&buf, MAX).unwrap();
+        assert_eq!(frame.payload, &[7, 42, 0, 0, 0]);
+        assert_eq!(frame.consumed, buf.len());
+    }
+
+    #[test]
+    fn oversized_payload_is_refused_and_buffer_restored() {
+        let mut buf = vec![0xAB; 5];
+        let err = encode_frame(&mut buf, &vec![0u8; MAX as usize + 1], MAX).unwrap_err();
+        assert_eq!(err.len, MAX as usize + 1);
+        assert_eq!(buf, vec![0xAB; 5], "failed encode leaves no partial frame");
+        // Empty payloads are refused too: len 0 is the corrupt-header
+        // sentinel on the decode side.
+        assert!(encode_frame(&mut buf, &[], MAX).is_err());
+        assert_eq!(buf, vec![0xAB; 5]);
+    }
+
+    #[test]
+    fn boundary_payload_encodes() {
+        let mut buf = Vec::new();
+        encode_frame(&mut buf, &vec![9u8; MAX as usize], MAX).unwrap();
+        assert_eq!(decode_frame(&buf, MAX).unwrap().payload.len(), MAX as usize);
+    }
+
+    #[test]
+    fn truncations_are_incomplete_not_corrupt() {
+        let mut buf = Vec::new();
+        encode_frame(&mut buf, b"payload!", MAX).unwrap();
+        for cut in 0..buf.len() {
+            let err = decode_frame(&buf[..cut], MAX).unwrap_err();
+            assert!(err.is_incomplete(), "cut at {cut}: {err:?}");
+            if let FrameError::Incomplete { have, need } = err {
+                assert_eq!(have, cut);
+                assert!(need > cut);
+            }
+        }
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_detected() {
+        let mut buf = Vec::new();
+        encode_frame(&mut buf, b"some payload bytes", MAX).unwrap();
+        for byte in 0..buf.len() {
+            for bit in 0..8 {
+                let mut corrupt = buf.clone();
+                corrupt[byte] ^= 1 << bit;
+                match decode_frame(&corrupt, MAX) {
+                    Ok(frame) => panic!("flip at {byte}:{bit} accepted: {frame:?}"),
+                    Err(
+                        FrameError::BadCrc
+                        | FrameError::BadLength { .. }
+                        | FrameError::Incomplete { .. },
+                    ) => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bad_length_is_terminal_without_allocation() {
+        let mut bytes = u32::MAX.to_le_bytes().to_vec();
+        bytes.extend_from_slice(&[0u8; 12]);
+        assert_eq!(
+            decode_frame(&bytes, MAX),
+            Err(FrameError::BadLength { len: u32::MAX })
+        );
+        let mut zero = 0u32.to_le_bytes().to_vec();
+        zero.extend_from_slice(&[0u8; 12]);
+        assert_eq!(
+            decode_frame(&zero, MAX),
+            Err(FrameError::BadLength { len: 0 })
+        );
+    }
+}

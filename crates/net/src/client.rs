@@ -1,0 +1,368 @@
+//! The loopback load driver: N real TCP connections, each pipelining K
+//! concurrent transaction streams against [`serve_net`](crate::serve_net).
+//!
+//! Each connection runs `streams` independent transaction state machines
+//! over one socket. Program order holds *within* a stream (the next
+//! operation is sent only after the previous one is granted), while the
+//! streams interleave freely — so a connection keeps up to `streams`
+//! requests in flight, correlated by request id. That is the pipelining
+//! the wire protocol exists for: decisions come back in whatever order
+//! the core produces them.
+//!
+//! The driver speaks the full client protocol the in-process sessions
+//! do: restart an incarnation on `Aborted` (with capped deterministic
+//! backoff), retry the same operation on `Shed`, and treat a server
+//! `Error` — or a dead socket — as the loss of *this connection only*,
+//! recording its in-flight transactions as lost while the other
+//! connections keep going.
+
+use crate::wire::{ReqId, Request, Response};
+use relser_core::ids::{OpId, TxnId};
+use relser_core::op::AccessMode;
+use relser_core::txn::TxnSet;
+use relser_workload::stream::RequestStream;
+use std::collections::HashMap;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Tunables for one [`drive`] run.
+#[derive(Clone, Debug)]
+pub struct LoadConfig {
+    /// TCP connections (one thread each).
+    pub connections: usize,
+    /// Concurrent transaction streams pipelined per connection.
+    pub streams: usize,
+    /// Give up on a connection whose in-flight requests get no response
+    /// for this long.
+    pub reply_timeout: Duration,
+    /// Give up on a transaction after this many incarnations.
+    pub max_attempts: u32,
+    /// Base restart/shed backoff; grows linearly with the attempt count.
+    pub backoff: Duration,
+    /// Cap on the backoff.
+    pub backoff_max: Duration,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            connections: 8,
+            streams: 4,
+            reply_timeout: Duration::from_secs(30),
+            max_attempts: 10_000,
+            backoff: Duration::from_micros(200),
+            backoff_max: Duration::from_millis(20),
+        }
+    }
+}
+
+/// What the whole driver observed, summed over connections.
+#[derive(Clone, Debug, Default)]
+pub struct ClientStats {
+    /// Transactions acknowledged `Committed`.
+    pub committed: u64,
+    /// Incarnations restarted after an `Aborted` response.
+    pub restarts: u64,
+    /// `Shed` responses (each retried).
+    pub sheds: u64,
+    /// Connections that died (server error response, socket failure, or
+    /// response timeout).
+    pub failed_connections: u64,
+    /// Transactions lost with their connection (in flight when it died)
+    /// or abandoned at the attempt budget.
+    pub lost: Vec<TxnId>,
+}
+
+impl ClientStats {
+    fn absorb(&mut self, other: ClientStats) {
+        self.committed += other.committed;
+        self.restarts += other.restarts;
+        self.sheds += other.sheds;
+        self.failed_connections += other.failed_connections;
+        self.lost.extend(other.lost);
+    }
+}
+
+/// What a transaction stream sends next.
+#[derive(Clone, Copy)]
+enum Phase {
+    Begin,
+    Op(u32),
+    Commit,
+    /// The arrival stream is exhausted; this slot is finished.
+    Done,
+}
+
+/// One transaction stream's state machine.
+struct Slot {
+    txn: TxnId,
+    n_ops: u32,
+    phase: Phase,
+    attempts: u32,
+    /// Set while a request is in flight (its id).
+    waiting: Option<ReqId>,
+    /// Do not send before this (restart/shed backoff).
+    ready_at: Instant,
+}
+
+impl Slot {
+    fn done(&self) -> bool {
+        matches!(self.phase, Phase::Done)
+    }
+}
+
+/// Drives every transaction in `stream` to commit over `cfg.connections`
+/// real sockets. Blocks until the stream is exhausted and every claimed
+/// transaction finished (committed, lost, or abandoned with its
+/// connection).
+pub fn drive(
+    addr: SocketAddr,
+    txns: &TxnSet,
+    stream: &RequestStream,
+    cfg: &LoadConfig,
+) -> ClientStats {
+    assert!(cfg.connections >= 1 && cfg.streams >= 1);
+    let total = Mutex::new(ClientStats::default());
+    std::thread::scope(|s| {
+        for _ in 0..cfg.connections {
+            s.spawn(|| {
+                let stats = run_connection(addr, txns, stream, cfg);
+                total.lock().expect("stats lock").absorb(stats);
+            });
+        }
+    });
+    total.into_inner().expect("stats lock")
+}
+
+fn run_connection(
+    addr: SocketAddr,
+    txns: &TxnSet,
+    stream: &RequestStream,
+    cfg: &LoadConfig,
+) -> ClientStats {
+    let mut stats = ClientStats::default();
+    let mut sock = match TcpStream::connect(addr) {
+        Ok(s) => s,
+        Err(_) => {
+            stats.failed_connections += 1;
+            return stats;
+        }
+    };
+    let _ = sock.set_nodelay(true);
+    let _ = sock.set_read_timeout(Some(Duration::from_micros(500)));
+
+    let mut slots: Vec<Slot> = Vec::new();
+    let mut by_req: HashMap<ReqId, usize> = HashMap::new();
+    let mut next_req: ReqId = 1;
+    let mut rbuf: Vec<u8> = Vec::new();
+    let mut out: Vec<u8> = Vec::new();
+    let mut last_response = Instant::now();
+
+    for _ in 0..cfg.streams {
+        match stream.next() {
+            Some(txn) => slots.push(new_slot(txns, txn)),
+            None => break,
+        }
+    }
+
+    loop {
+        if slots.iter().all(|s| s.done()) {
+            return stats; // stream exhausted, everything settled
+        }
+
+        // Send every stream that is ready.
+        out.clear();
+        let now = Instant::now();
+        for (i, slot) in slots.iter_mut().enumerate() {
+            if slot.done() || slot.waiting.is_some() || now < slot.ready_at {
+                continue;
+            }
+            let req_id = next_req;
+            next_req += 1;
+            let req = match slot.phase {
+                Phase::Begin => Request::Begin {
+                    req_id,
+                    txn: slot.txn,
+                },
+                Phase::Op(index) => {
+                    let op = OpId {
+                        txn: slot.txn,
+                        index,
+                    };
+                    let operation = txns.op(op).expect("client knows the workload");
+                    match operation.mode {
+                        AccessMode::Read => Request::Read {
+                            req_id,
+                            op,
+                            object: operation.object,
+                        },
+                        AccessMode::Write => Request::Write {
+                            req_id,
+                            op,
+                            object: operation.object,
+                        },
+                    }
+                }
+                Phase::Commit => Request::Commit {
+                    req_id,
+                    txn: slot.txn,
+                },
+                Phase::Done => unreachable!(),
+            };
+            req.encode_into(&mut out);
+            slot.waiting = Some(req_id);
+            by_req.insert(req_id, i);
+        }
+        if !out.is_empty() {
+            if sock.write_all(&out).is_err() {
+                return die(stats, slots);
+            }
+            last_response = Instant::now();
+        }
+
+        // Read and dispatch whatever responses arrived.
+        let mut tmp = [0u8; 4096];
+        match sock.read(&mut tmp) {
+            Ok(0) => return die(stats, slots),
+            Ok(n) => rbuf.extend_from_slice(&tmp[..n]),
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {}
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return die(stats, slots),
+        }
+        let mut at = 0;
+        let mut dead = false;
+        while at < rbuf.len() {
+            match Response::decode(&rbuf[at..]) {
+                Ok((resp, n)) => {
+                    at += n;
+                    last_response = Instant::now();
+                    if dispatch(resp, txns, stream, cfg, &mut slots, &mut by_req, &mut stats)
+                        .is_err()
+                    {
+                        dead = true;
+                        break;
+                    }
+                }
+                Err(e) if e.is_incomplete() => break,
+                Err(_) => {
+                    // The server sent garbage; the stream is unusable.
+                    dead = true;
+                    break;
+                }
+            }
+        }
+        if dead {
+            return die(stats, slots);
+        }
+        if at > 0 {
+            rbuf.drain(..at);
+        }
+
+        // A connection whose in-flight requests get no answer for the
+        // whole timeout is dead (the server closed it, or worse).
+        let waiting = slots.iter().any(|s| s.waiting.is_some());
+        if waiting && last_response.elapsed() >= cfg.reply_timeout {
+            return die(stats, slots);
+        }
+    }
+}
+
+fn new_slot(txns: &TxnSet, txn: TxnId) -> Slot {
+    Slot {
+        txn,
+        n_ops: txns.txn(txn).len() as u32,
+        phase: Phase::Begin,
+        attempts: 1,
+        waiting: None,
+        ready_at: Instant::now(),
+    }
+}
+
+/// The connection is gone: every unfinished stream's transaction is lost.
+fn die(mut stats: ClientStats, slots: Vec<Slot>) -> ClientStats {
+    stats.failed_connections += 1;
+    stats
+        .lost
+        .extend(slots.into_iter().filter(|s| !s.done()).map(|s| s.txn));
+    stats
+}
+
+fn backoff(cfg: &LoadConfig, attempts: u32) -> Duration {
+    cfg.backoff
+        .saturating_mul(attempts.min(64))
+        .min(cfg.backoff_max)
+}
+
+/// Applies one response to its stream. `Err(())` means the connection
+/// must be abandoned (server-reported error or protocol violation).
+fn dispatch(
+    resp: Response,
+    txns: &TxnSet,
+    stream: &RequestStream,
+    cfg: &LoadConfig,
+    slots: &mut [Slot],
+    by_req: &mut HashMap<ReqId, usize>,
+    stats: &mut ClientStats,
+) -> Result<(), ()> {
+    if let Response::Error { .. } = resp {
+        // The server is closing this connection (bad request, lost
+        // reply, shutdown); nothing in flight will be answered.
+        return Err(());
+    }
+    let Some(i) = by_req.remove(&resp.req_id()) else {
+        return Err(()); // response to a request we never sent
+    };
+    let slot = &mut slots[i];
+    if slot.waiting != Some(resp.req_id()) {
+        return Err(());
+    }
+    slot.waiting = None;
+    match resp {
+        Response::Granted { .. } => {
+            slot.phase = match slot.phase {
+                Phase::Begin if slot.n_ops == 0 => Phase::Commit,
+                Phase::Begin => Phase::Op(0),
+                Phase::Op(i) if i + 1 < slot.n_ops => Phase::Op(i + 1),
+                Phase::Op(_) => Phase::Commit,
+                // Commits answer `Committed`, done slots ask nothing.
+                Phase::Commit | Phase::Done => return Err(()),
+            };
+        }
+        Response::Committed { .. } => {
+            stats.committed += 1;
+            refill(txns, stream, slot);
+        }
+        Response::Aborted { .. } => {
+            // The incarnation is dead server-side; restart from the
+            // first operation (or give up at the attempt budget).
+            slot.attempts += 1;
+            if slot.attempts > cfg.max_attempts {
+                stats.lost.push(slot.txn);
+                refill(txns, stream, slot);
+            } else {
+                stats.restarts += 1;
+                slot.phase = Phase::Begin;
+                slot.ready_at = Instant::now() + backoff(cfg, slot.attempts);
+            }
+        }
+        Response::Shed { .. } => {
+            // Nothing was enqueued; retry the same request after a
+            // backoff (the phase is unchanged).
+            stats.sheds += 1;
+            slot.ready_at = Instant::now() + backoff(cfg, slot.attempts);
+        }
+        Response::Error { .. } => unreachable!("handled above"),
+    }
+    Ok(())
+}
+
+/// Points the slot at the next transaction from the arrival stream, or
+/// marks it done when the stream is exhausted.
+fn refill(txns: &TxnSet, stream: &RequestStream, slot: &mut Slot) {
+    match stream.next() {
+        Some(txn) => *slot = new_slot(txns, txn),
+        None => slot.phase = Phase::Done,
+    }
+}

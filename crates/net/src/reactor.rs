@@ -1,0 +1,91 @@
+//! The readiness loop: one reactor thread multiplexes many nonblocking
+//! connections over a fixed tick.
+//!
+//! There is no `epoll` wrapper in a `std`-only build, so readiness is
+//! polled: every tick the reactor adopts newly accepted sockets, lets
+//! each connection read/parse/submit/poll/flush, and sleeps one poll
+//! quantum only when a full pass made no progress anywhere (an idle
+//! server costs a few wakeups per millisecond, a busy one spins usefully).
+//! The acceptor thread hands sockets over a channel, round-robin across
+//! reactors, so N reactor threads scale the front-end the same way N
+//! session threads scale the in-process service.
+
+use crate::conn::{Conn, ReactorCtx};
+use crate::metrics::NetMetrics;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, Sender, TryRecvError};
+use std::time::Duration;
+
+/// Accepts connections until `stop`, distributing them round-robin over
+/// the reactor channels. Returns the number accepted.
+pub(crate) fn accept_loop(
+    listener: &TcpListener,
+    reactors: Vec<Sender<TcpStream>>,
+    stop: &AtomicBool,
+    quantum: Duration,
+) -> u64 {
+    let mut next = 0usize;
+    let mut accepted = 0u64;
+    while !stop.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // A send can only fail if the reactor died; the stream
+                // is dropped (connection refused at the protocol level).
+                let _ = reactors[next % reactors.len()].send(stream);
+                next += 1;
+                accepted += 1;
+            }
+            Err(_) => std::thread::sleep(quantum),
+        }
+    }
+    accepted
+}
+
+/// Runs one reactor until the server stops and its connections drain.
+pub(crate) fn run_reactor(
+    ctx: &ReactorCtx<'_>,
+    incoming: Receiver<TcpStream>,
+    stop: &AtomicBool,
+    quantum: Duration,
+) -> NetMetrics {
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut m = NetMetrics::default();
+    let mut acceptor_gone = false;
+    loop {
+        let mut busy = false;
+        loop {
+            match incoming.try_recv() {
+                Ok(stream) => {
+                    if let Ok(conn) = Conn::new(stream) {
+                        conns.push(conn);
+                        m.connections += 1;
+                        busy = true;
+                    }
+                }
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => {
+                    acceptor_gone = true;
+                    break;
+                }
+            }
+        }
+        let stopping = stop.load(Ordering::Acquire);
+        for conn in conns.iter_mut() {
+            if stopping {
+                // The load driver has returned; anything still open was
+                // abandoned — abort its live transactions and close.
+                conn.begin_shutdown(&mut m);
+            }
+            busy |= conn.tick(ctx, &mut m);
+        }
+        conns.retain(|c| !c.closed);
+        if stopping && acceptor_gone && conns.is_empty() {
+            break;
+        }
+        if !busy {
+            std::thread::sleep(quantum);
+        }
+    }
+    m
+}

@@ -1,0 +1,193 @@
+//! Server orchestration: listener + acceptor + reactors + the
+//! single-writer admission core, wired under one `thread::scope`.
+
+use crate::conn::ReactorCtx;
+use crate::metrics::{histogram_of, NetMetrics, NetReport};
+use crate::reactor::{accept_loop, run_reactor};
+use relser_core::txn::TxnSet;
+use relser_protocols::Scheduler;
+use relser_server::core::{run_core_durable, Command, FaultPlan, Progress};
+use relser_server::queue::BoundedQueue;
+use relser_server::{OverloadPolicy, ServerMetrics};
+use relser_simdb::metrics::DecisionLatency;
+use relser_wal::CommitLog;
+use std::io;
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+/// Tunables for one [`serve_net`] run.
+#[derive(Clone, Debug)]
+pub struct NetConfig {
+    /// Reactor threads multiplexing the connections.
+    pub reactors: usize,
+    /// Command queue capacity (the admission backpressure threshold).
+    pub queue_capacity: usize,
+    /// Max commands the core drains per queue lock acquisition.
+    pub batch_max: usize,
+    /// What happens to operation requests when the queue is full:
+    /// `Wait` defers them (pausing the connection's reads — TCP
+    /// backpressure), `Shed` answers [`crate::wire::Response::Shed`].
+    pub policy: OverloadPolicy,
+    /// Per-connection cap on in-flight commands (pipelining depth the
+    /// server is willing to buffer before pausing reads).
+    pub max_inflight: usize,
+    /// Abort a transaction blocked on an unchanged waits-for set this
+    /// long (deadlock resolution, mirroring the in-process sessions).
+    pub block_timeout: Duration,
+    /// Re-submit a blocked operation at least this often.
+    pub retry_slice: Duration,
+    /// Close a connection whose request the core never answers within
+    /// this (the degrade-don't-die path).
+    pub reply_timeout: Duration,
+    /// Reactor/acceptor idle sleep.
+    pub poll_quantum: Duration,
+    /// Record a replayable core trace.
+    pub record_trace: bool,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            reactors: 2,
+            queue_capacity: 1024,
+            batch_max: 64,
+            policy: OverloadPolicy::Wait,
+            max_inflight: 32,
+            block_timeout: Duration::from_millis(100),
+            retry_slice: Duration::from_millis(1),
+            reply_timeout: Duration::from_secs(5),
+            poll_quantum: Duration::from_micros(100),
+            record_trace: false,
+        }
+    }
+}
+
+/// Serves the transaction set over real TCP on a loopback address.
+///
+/// Binds `127.0.0.1:0`, spawns the admission core, `cfg.reactors`
+/// reactor threads and an acceptor, then calls `client` with the bound
+/// address on the current thread — the closure drives load (connect,
+/// pipeline requests, commit transactions) and its return ends the run:
+/// the acceptor stops, the reactors drain and close every connection
+/// (aborting whatever the client left live), the queue closes, and the
+/// core exits. Returns the combined [`NetReport`] plus the closure's
+/// own result.
+///
+/// The scheduler may borrow `txns` (e.g. `RsgSgt::new(&txns, &spec)`),
+/// which is why the server runs under `thread::scope` behind a closure
+/// instead of owning `'static` threads.
+pub fn serve_net<R>(
+    txns: &TxnSet,
+    scheduler: Box<dyn Scheduler + Send + '_>,
+    cfg: &NetConfig,
+    faults: &FaultPlan,
+    wal: Option<&mut dyn CommitLog>,
+    client: impl FnOnce(SocketAddr) -> R,
+) -> io::Result<(NetReport, R)> {
+    assert!(cfg.reactors >= 1, "need at least one reactor");
+    let listener = TcpListener::bind((std::net::Ipv4Addr::LOCALHOST, 0))?;
+    let addr = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+
+    let queue: BoundedQueue<Command> = BoundedQueue::new(cfg.queue_capacity);
+    let progress = Progress::new();
+    let stop = AtomicBool::new(false);
+    let ctx = ReactorCtx {
+        queue: &queue,
+        progress: &progress,
+        txns,
+        policy: cfg.policy,
+        max_inflight: cfg.max_inflight,
+        block_timeout: cfg.block_timeout,
+        retry_slice: cfg.retry_slice,
+        reply_timeout: cfg.reply_timeout,
+    };
+    let t0 = Instant::now();
+
+    let (core_out, net, client_out) = std::thread::scope(|s| {
+        let queue_ref = &queue;
+        let progress_ref = &progress;
+        let stop_ref = &stop;
+        let ctx_ref = &ctx;
+        let listener_ref = &listener;
+        let core = s.spawn(move || {
+            run_core_durable(
+                scheduler,
+                queue_ref,
+                progress_ref,
+                cfg.batch_max,
+                cfg.record_trace,
+                faults,
+                wal,
+            )
+        });
+        let mut senders = Vec::with_capacity(cfg.reactors);
+        let mut reactors = Vec::with_capacity(cfg.reactors);
+        for _ in 0..cfg.reactors {
+            let (tx, rx) = mpsc::channel();
+            senders.push(tx);
+            reactors.push(s.spawn(move || run_reactor(ctx_ref, rx, stop_ref, cfg.poll_quantum)));
+        }
+        let acceptor =
+            s.spawn(move || accept_loop(listener_ref, senders, stop_ref, cfg.poll_quantum));
+
+        let client_out = client(addr);
+
+        stop.store(true, Ordering::Release);
+        acceptor.join().expect("acceptor thread panicked");
+        let mut net = NetMetrics::default();
+        for r in reactors {
+            net.merge(&r.join().expect("reactor thread panicked"));
+        }
+        queue.close();
+        let core_out = core.join().expect("admission core panicked");
+        (core_out, net, client_out)
+    });
+    let elapsed = t0.elapsed();
+
+    let committed_ops = core_out
+        .log
+        .iter()
+        .filter(|o| core_out.committed.contains(&o.txn))
+        .count() as u64;
+    let metrics = ServerMetrics {
+        workers: net.connections as usize,
+        commits: core_out.commits,
+        aborts: core_out.aborts,
+        timeout_aborts: core_out.timeout_aborts,
+        sheds: net.sheds,
+        requests: core_out.grants + core_out.blocked + core_out.aborts,
+        grants: core_out.grants,
+        blocked: core_out.blocked,
+        commands: core_out.commands,
+        batches: core_out.batches,
+        max_batch: core_out.max_batch,
+        queue: queue.stats(),
+        decision: DecisionLatency::from_samples(&core_out.decision_ns),
+        admission: core_out.admission,
+        queue_wait: core_out.queue_wait,
+        wal_sync: histogram_of(&core_out.wal_sync_ns),
+        elapsed,
+        committed_ops,
+        backoff_ns: 0,
+        max_txn_attempts: 0,
+        wal: core_out.wal,
+        wal_error: core_out.wal_error.clone(),
+    };
+    let admit = histogram_of(&core_out.decision_ns);
+
+    Ok((
+        NetReport {
+            committed: core_out.committed,
+            log: core_out.log,
+            trace: core_out.trace,
+            crashed: core_out.crashed,
+            metrics,
+            net,
+            admit,
+        },
+        client_out,
+    ))
+}

@@ -87,6 +87,15 @@ impl Reply {
         self.wait_for(Duration::from_secs(60))
     }
 
+    /// Non-blocking poll: takes the decision if the core has filled the
+    /// cell, `None` otherwise. The reactor front-end (`relser-net`) polls
+    /// its in-flight replies with this on every tick instead of parking a
+    /// thread per request the way [`Reply::wait`] does.
+    pub fn try_take(&self) -> Option<Decision> {
+        let (slot, _) = &*self.cell;
+        slot.lock().expect("reply lock").take()
+    }
+
     /// [`Reply::wait`] with an explicit watchdog duration (tests and
     /// latency-sensitive deployments shorten it).
     pub fn wait_for(&self, watchdog: Duration) -> Result<Decision, ReplyLost> {
@@ -207,6 +216,20 @@ pub enum Command {
     },
     /// The transaction commits (all operations were granted).
     Commit(TxnId),
+    /// [`Command::Commit`] with an acknowledgment: the reply is filled
+    /// only after the commit record is appended to the write-ahead log —
+    /// so under `FsyncPolicy::Always` the acknowledgment is durable. The
+    /// wire front-end uses this for its `Committed` response: the fsync
+    /// is *inside* the wire-to-wire latency, not after it.
+    CommitAck {
+        /// The committing transaction.
+        txn: TxnId,
+        /// When the submitter enqueued the command (queue-wait stage
+        /// measurement).
+        enqueued: Instant,
+        /// Filled `Granted` once the commit is durable and applied.
+        reply: Reply,
+    },
     /// Session-initiated abort (waits-for timeout fired while blocked).
     Abort(TxnId),
     /// Phase one of a cross-shard admit (sharded service only): begin the
@@ -261,6 +284,13 @@ pub struct FaultPlan {
     /// exercises the two-phase admit's reject path: the router must LIFO-
     /// rollback every shard that already granted.
     pub reject_admits: Vec<u64>,
+    /// Request commands (0-based, counted over `Command::Request` only)
+    /// whose reply cell is silently dropped: the scheduler is never
+    /// consulted, no state changes, nothing is logged or traced — the
+    /// submitter's watchdog fires [`ReplyLost`]. Exercises the degrade
+    /// path: one session (or one wire connection) fails, the service
+    /// keeps running.
+    pub drop_replies: Vec<u64>,
 }
 
 impl FaultPlan {
@@ -269,6 +299,7 @@ impl FaultPlan {
         self.abort_requests.is_empty()
             && self.crash_at_command.is_none()
             && self.reject_admits.is_empty()
+            && self.drop_replies.is_empty()
     }
 }
 
@@ -321,6 +352,15 @@ pub struct CoreOutput {
     pub decision_ns: Vec<u64>,
     /// Enqueue→decision latency (queue wait + decision) histogram.
     pub admission: LatencyHistogram,
+    /// Pure queue-wait latency: enqueue→dequeue, measured just before the
+    /// scheduler is consulted (the admission histogram minus the decision
+    /// itself). One sample per `Request` and per `CommitAck`.
+    pub queue_wait: LatencyHistogram,
+    /// Wall-clock nanoseconds of each WAL fsync the commit log performed,
+    /// harvested via [`CommitLog::take_sync_ns`] (empty without a log).
+    pub wal_sync_ns: Vec<u64>,
+    /// Replies dropped by [`FaultPlan::drop_replies`].
+    pub dropped_replies: u64,
     /// Sharded cores only: each grant paired with its draw from the
     /// global grant sequencer, in this shard's grant order. Merging all
     /// shards' `seq_log`s by stamp reconstructs one global operation
@@ -645,6 +685,7 @@ fn run_core_inner(
             }
         }
         out.wal = w.stats();
+        out.wal_sync_ns = w.take_sync_ns();
     }
     out
 }
@@ -678,7 +719,9 @@ fn apply_command(
 ) -> Result<(), Halt> {
     if faults.crash_at_command == Some(out.commands) {
         let reply = match cmd {
-            Command::Request { reply, .. } | Command::Admit { reply, .. } => Some(reply),
+            Command::Request { reply, .. }
+            | Command::Admit { reply, .. }
+            | Command::CommitAck { reply, .. } => Some(reply),
             _ => None,
         };
         return Err(Halt::PlannedCrash(reply));
@@ -711,6 +754,15 @@ fn apply_command(
         } => {
             let request_index = *requests_seen;
             *requests_seen += 1;
+            if faults.drop_replies.contains(&request_index) {
+                // Injected reply loss: the cell is dropped unfilled — the
+                // submitter's watchdog turns the silence into `ReplyLost`.
+                // No state change, no log, no trace: to recovery and
+                // replay this request never happened.
+                out.dropped_replies += 1;
+                drop(reply);
+                return Ok(());
+            }
             if faults.abort_requests.contains(&request_index) {
                 // Injected abort: the scheduler is never asked; the abort
                 // is applied exactly like a scheduler-initiated one. The
@@ -736,6 +788,7 @@ fn apply_command(
                 reply.fill(Decision::Aborted(AbortReason::Injected));
                 return Ok(());
             }
+            out.queue_wait.record(enqueued.elapsed().as_nanos() as u64);
             let t0 = Instant::now();
             let decision = scheduler.request(op);
             out.decision_ns.push(t0.elapsed().as_nanos() as u64);
@@ -808,6 +861,35 @@ fn apply_command(
             if record_trace {
                 out.trace.push(TraceEvent::Commit(txn));
             }
+        }
+        Command::CommitAck {
+            txn,
+            enqueued,
+            reply,
+        } => {
+            out.queue_wait.record(enqueued.elapsed().as_nanos() as u64);
+            // Same WAL-before-ack discipline as `Commit`, with the
+            // acknowledgment made explicit: the reply is filled only
+            // after the append (and, under `Always`, its fsync) succeeds.
+            if let Err(e) = wal_append(WalRecord::Commit(txn)) {
+                out.commands -= 1;
+                return Err(Halt::WalBroken(e, Some(reply)));
+            }
+            scheduler.commit(txn);
+            out.commits += 1;
+            out.committed.push(txn);
+            if track_live {
+                live_events.push(CheckpointEvent::Commit(txn));
+            }
+            *changed = true;
+            // The trace records a plain `Commit`: replay applies it via
+            // fire-and-forget `commit`, indistinguishable from
+            // `Command::Commit` — the ack is a liveness detail, not a
+            // state transition.
+            if record_trace {
+                out.trace.push(TraceEvent::Commit(txn));
+            }
+            reply.fill(Decision::Granted);
         }
         Command::Abort(txn) => {
             if let Err(e) = wal_append(WalRecord::Abort(txn)) {
@@ -919,7 +1001,10 @@ fn apply_command(
 /// so this terminates once the backlog is drained.
 fn drain_after_crash(rest: Vec<Command>, queue: &BoundedQueue<Command>, batch_max: usize) {
     let unwind = |cmd: Command| {
-        if let Command::Request { reply, .. } | Command::Admit { reply, .. } = cmd {
+        if let Command::Request { reply, .. }
+        | Command::Admit { reply, .. }
+        | Command::CommitAck { reply, .. } = cmd
+        {
             reply.fill(Decision::Aborted(AbortReason::Injected));
         }
     };

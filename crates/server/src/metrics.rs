@@ -39,6 +39,12 @@ pub struct ServerMetrics {
     pub decision: DecisionLatency,
     /// Admission latency: enqueue → decision (queue wait + decision).
     pub admission: LatencyHistogram,
+    /// Pure queue-wait latency: enqueue → dequeue, before the scheduler
+    /// is consulted (one sample per request and per acked commit).
+    pub queue_wait: LatencyHistogram,
+    /// WAL durability-barrier (fsync) latency, one sample per barrier
+    /// (empty for non-durable runs).
+    pub wal_sync: LatencyHistogram,
     /// Wall-clock duration of the run.
     pub elapsed: Duration,
     /// Operations in the committed history.
@@ -104,6 +110,8 @@ impl ServerMetrics {
         self.max_batch = self.max_batch.max(other.max_batch);
         self.decision.merge(&other.decision);
         self.admission.merge(&other.admission);
+        self.queue_wait.merge(&other.queue_wait);
+        self.wal_sync.merge(&other.wal_sync);
         self.elapsed = self.elapsed.max(other.elapsed);
         self.committed_ops += other.committed_ops;
         self.backoff_ns += other.backoff_ns;
@@ -180,6 +188,11 @@ impl fmt::Display for ServerMetrics {
             self.decision.max_ns,
             self.decision.decisions
         )?;
-        write!(f, "admission latency: {}", self.admission)
+        writeln!(f, "admission latency: {}", self.admission)?;
+        write!(f, "queue wait: {}", self.queue_wait)?;
+        if self.wal_sync.count() > 0 {
+            write!(f, "\nwal fsync: {}", self.wal_sync)?;
+        }
+        Ok(())
     }
 }

@@ -10,7 +10,7 @@ use relser_core::ids::{OpId, TxnId};
 use relser_core::schedule::Schedule;
 use relser_core::txn::TxnSet;
 use relser_protocols::{Decision, Scheduler};
-use relser_simdb::metrics::DecisionLatency;
+use relser_simdb::metrics::{DecisionLatency, LatencyHistogram};
 use relser_wal::{CommitLog, WalWriter};
 use relser_workload::stream::RequestStream;
 use std::fmt;
@@ -376,6 +376,8 @@ fn serve_with(
         queue: queue.stats(),
         decision: DecisionLatency::from_samples(&core_out.decision_ns),
         admission: core_out.admission,
+        queue_wait: core_out.queue_wait,
+        wal_sync: histogram_of(&core_out.wal_sync_ns),
         elapsed,
         committed_ops,
         backoff_ns,
@@ -393,6 +395,16 @@ fn serve_with(
         injected_aborts: core_out.injected_aborts,
         checkpoints: core_out.checkpoints,
     }
+}
+
+/// Folds raw latency samples into a histogram (the WAL keeps raw ns so
+/// it stays free of metrics dependencies; the server owns the fold).
+pub(crate) fn histogram_of(samples: &[u64]) -> LatencyHistogram {
+    let mut h = LatencyHistogram::new();
+    for &ns in samples {
+        h.record(ns);
+    }
+    h
 }
 
 /// A replay diverged from its trace: the scheduler answered differently

@@ -427,6 +427,8 @@ pub fn serve_sharded_report<'a>(
             queue: queues[shard_id].stats(),
             decision: DecisionLatency::from_samples(&out.decision_ns),
             admission: out.admission.clone(),
+            queue_wait: out.queue_wait.clone(),
+            wal_sync: crate::server::histogram_of(&out.wal_sync_ns),
             elapsed,
             committed_ops: shard_committed_ops,
             backoff_ns: 0,

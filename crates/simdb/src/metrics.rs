@@ -157,6 +157,23 @@ impl LatencyHistogram {
         self.max_ns
     }
 
+    /// Median: upper bound of the bucket holding the 50th-percentile
+    /// sample. See [`LatencyHistogram::quantile_ns`].
+    pub fn p50_ns(&self) -> u64 {
+        self.quantile_ns(0.50)
+    }
+
+    /// Upper bound of the bucket holding the 99th-percentile sample.
+    pub fn p99_ns(&self) -> u64 {
+        self.quantile_ns(0.99)
+    }
+
+    /// Upper bound of the bucket holding the 99.9th-percentile sample —
+    /// the tail the wire-to-wire latency report is about.
+    pub fn p999_ns(&self) -> u64 {
+        self.quantile_ns(0.999)
+    }
+
     /// Upper bound of bucket `k` in nanoseconds.
     #[inline]
     fn bucket_upper(k: usize) -> u64 {
@@ -420,6 +437,62 @@ mod tests {
         let empty = LatencyHistogram::new();
         assert_eq!(empty.quantile_ns(0.95), 0);
         assert_eq!(empty.mean_ns(), 0.0);
+    }
+
+    #[test]
+    fn histogram_named_quantiles_track_the_samples() {
+        // 1000 samples 1..=1000: the pXX accessors must bracket the exact
+        // rank statistic within one log2 bucket (upper bound ≥ exact,
+        // and < 2x above it).
+        let mut h = LatencyHistogram::new();
+        for ns in 1..=1000u64 {
+            h.record(ns);
+        }
+        for (got, exact) in [(h.p50_ns(), 500u64), (h.p99_ns(), 990), (h.p999_ns(), 999)] {
+            assert!(got >= exact, "upper bound {got} below exact {exact}");
+            assert!(got < exact * 2, "upper bound {got} over 2x exact {exact}");
+        }
+        // Ordering between the named quantiles always holds.
+        assert!(h.p50_ns() <= h.p99_ns());
+        assert!(h.p99_ns() <= h.p999_ns());
+        // p999 is a bucket upper bound, so it can exceed the exact max —
+        // but never the max's own bucket upper bound.
+        assert!(h.p999_ns() <= h.max_ns().next_power_of_two());
+    }
+
+    #[test]
+    fn histogram_named_quantiles_survive_merge() {
+        // Quantiles over a merged histogram equal quantiles over one
+        // histogram fed the union stream — merge loses nothing the
+        // buckets can express. The tail (p999) lives entirely in the
+        // right-hand stream, so the merged p999 must come from it.
+        let mut left = LatencyHistogram::new();
+        let mut right = LatencyHistogram::new();
+        let mut whole = LatencyHistogram::new();
+        for i in 0..2000u64 {
+            let ns = if i < 1990 {
+                100 + i % 50
+            } else {
+                1_000_000 + i
+            };
+            whole.record(ns);
+            if i % 3 == 0 {
+                left.record(ns);
+            } else {
+                right.record(ns);
+            }
+        }
+        let mut merged = left.clone();
+        merged.merge(&right);
+        assert_eq!(merged.p50_ns(), whole.p50_ns());
+        assert_eq!(merged.p99_ns(), whole.p99_ns());
+        assert_eq!(merged.p999_ns(), whole.p999_ns());
+        assert!(merged.p999_ns() >= 1 << 20, "tail samples drive p999");
+        assert!(merged.p50_ns() <= 256, "bulk samples drive p50");
+        // Empty histograms answer 0 for every named quantile.
+        let empty = LatencyHistogram::new();
+        assert_eq!(empty.p50_ns(), 0);
+        assert_eq!(empty.p999_ns(), 0);
     }
 
     #[test]

@@ -40,6 +40,13 @@ pub trait CommitLog: Send {
     /// from an `Interval` policy).
     fn policy(&self) -> FsyncPolicy;
 
+    /// Drains the wall-clock duration (ns) of every durability barrier
+    /// since the last call — the fsync stage of the per-stage latency
+    /// report. Logs that do not track barrier timings return empty.
+    fn take_sync_ns(&mut self) -> Vec<u64> {
+        Vec::new()
+    }
+
     /// Does this log use checkpoints at all? When `false` (the plain
     /// single-file writer), the core skips live-state tracking entirely.
     fn wants_checkpoints(&self) -> bool {
@@ -83,5 +90,9 @@ impl CommitLog for WalWriter {
 
     fn policy(&self) -> FsyncPolicy {
         WalWriter::policy(self)
+    }
+
+    fn take_sync_ns(&mut self) -> Vec<u64> {
+        WalWriter::take_sync_ns(self)
     }
 }

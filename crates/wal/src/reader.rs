@@ -8,8 +8,8 @@
 //! crashed write. Scanning never panics on arbitrary bytes — that is the
 //! property the storage fault injector hammers on.
 
-use crate::crc32::crc32;
-use crate::record::{WalRecord, FRAME_OVERHEAD, MAGIC, MAX_PAYLOAD};
+use crate::record::{WalRecord, MAGIC, MAX_PAYLOAD};
+use relser_frame::{decode_frame, FrameError};
 
 /// Why the scan stopped before the end of the byte log. `None` in
 /// [`ScanResult::truncation`] means the log ended cleanly at a record
@@ -83,41 +83,27 @@ pub fn scan(bytes: &[u8]) -> ScanResult {
     result.valid_bytes = at;
     result.boundaries.push(at);
     while at < bytes.len() {
-        let rest = &bytes[at..];
-        if rest.len() < FRAME_OVERHEAD {
-            result.truncation = Some(Truncation::TornFrame {
-                at,
-                have: rest.len(),
-                need: FRAME_OVERHEAD,
-            });
-            return result;
-        }
-        let len = u32::from_le_bytes(rest[0..4].try_into().unwrap());
-        if len == 0 || len > MAX_PAYLOAD {
-            result.truncation = Some(Truncation::BadLength { at, len });
-            return result;
-        }
-        let need = FRAME_OVERHEAD + len as usize;
-        if rest.len() < need {
-            result.truncation = Some(Truncation::TornFrame {
-                at,
-                have: rest.len(),
-                need,
-            });
-            return result;
-        }
-        let crc = u32::from_le_bytes(rest[4..8].try_into().unwrap());
-        let payload = &rest[FRAME_OVERHEAD..need];
-        if crc32(payload) != crc {
-            result.truncation = Some(Truncation::BadCrc { at });
-            return result;
-        }
-        let Some(record) = WalRecord::decode_payload(payload) else {
+        let frame = match decode_frame(&bytes[at..], MAX_PAYLOAD) {
+            Ok(frame) => frame,
+            Err(FrameError::Incomplete { have, need }) => {
+                result.truncation = Some(Truncation::TornFrame { at, have, need });
+                return result;
+            }
+            Err(FrameError::BadLength { len }) => {
+                result.truncation = Some(Truncation::BadLength { at, len });
+                return result;
+            }
+            Err(FrameError::BadCrc) => {
+                result.truncation = Some(Truncation::BadCrc { at });
+                return result;
+            }
+        };
+        let Some(record) = WalRecord::decode_payload(frame.payload) else {
             result.truncation = Some(Truncation::BadPayload { at });
             return result;
         };
         result.records.push(record);
-        at += need;
+        at += frame.consumed;
         result.valid_bytes = at;
         result.boundaries.push(at);
     }

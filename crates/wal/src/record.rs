@@ -28,8 +28,8 @@
 //! payload parses — anything else is treated as the torn/corrupt tail of
 //! a crashed write and truncated by the scanner ([`crate::scan`]).
 
-use crate::crc32::crc32;
 use relser_core::ids::{OpId, TxnId};
+use relser_frame::{begin_frame, finish_frame};
 use std::fmt;
 
 /// File magic: identifies a relser WAL and pins the format version.
@@ -43,8 +43,9 @@ pub const MAGIC: &[u8; 8] = b"RSWAL01\n";
 /// wrap.
 pub const MAX_PAYLOAD: u32 = 1 << 16;
 
-/// Bytes of framing per record (length prefix + checksum).
-pub const FRAME_OVERHEAD: usize = 8;
+/// Bytes of framing per record (length prefix + checksum), from the
+/// shared codec.
+pub const FRAME_OVERHEAD: usize = relser_frame::FRAME_OVERHEAD;
 
 const TAG_BEGIN: u8 = 1;
 const TAG_GRANT: u8 = 2;
@@ -228,18 +229,11 @@ impl WalRecord {
     /// [`EncodeError`], `buf` is restored to its original length —
     /// nothing partial is ever left behind for storage to append.
     pub fn encode_into(&self, buf: &mut Vec<u8>) -> Result<(), EncodeError> {
-        let start = buf.len();
-        buf.extend_from_slice(&[0u8; FRAME_OVERHEAD]);
+        let start = begin_frame(buf);
         self.payload_into(buf);
-        let payload_len = buf.len() - start - FRAME_OVERHEAD;
-        if payload_len > MAX_PAYLOAD as usize {
-            buf.truncate(start);
-            return Err(EncodeError::PayloadTooLarge { len: payload_len });
-        }
-        let crc = crc32(&buf[start + FRAME_OVERHEAD..]);
-        buf[start..start + 4].copy_from_slice(&(payload_len as u32).to_le_bytes());
-        buf[start + 4..start + 8].copy_from_slice(&crc.to_le_bytes());
-        Ok(())
+        finish_frame(buf, start, MAX_PAYLOAD)
+            .map(|_| ())
+            .map_err(|e| EncodeError::PayloadTooLarge { len: e.len })
     }
 
     /// Parses a checksum-verified payload. `None` on an unknown tag or a
@@ -339,6 +333,7 @@ impl WalRecord {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use relser_frame::crc32;
 
     fn roundtrip(r: WalRecord) {
         let mut buf = Vec::new();

@@ -232,6 +232,10 @@ pub struct SegmentedWal {
     since_records: u64,
     since_bytes: u64,
     sealed: WalStats,
+    /// Barrier timings harvested from sealed segments' writers at
+    /// rotation, so [`CommitLog::take_sync_ns`] loses nothing when the
+    /// inner writer is replaced.
+    sealed_sync_ns: Vec<u64>,
     seg_stats: SegmentStats,
     broken: bool,
 }
@@ -259,6 +263,7 @@ impl SegmentedWal {
             since_records: 0,
             since_bytes: 0,
             sealed: WalStats::default(),
+            sealed_sync_ns: Vec::new(),
             seg_stats: SegmentStats::default(),
             broken: false,
         })
@@ -303,11 +308,12 @@ impl SegmentedWal {
                 return Err(e);
             }
         };
-        let old = std::mem::replace(&mut self.writer, new_writer);
+        let mut old = std::mem::replace(&mut self.writer, new_writer);
         let old_stats = old.stats();
         self.sealed.records += old_stats.records;
         self.sealed.bytes += old_stats.bytes;
         self.sealed.syncs += old_stats.syncs;
+        self.sealed_sync_ns.append(&mut old.take_sync_ns());
         self.seq = new_seq;
         // 3. The checkpoint is durable: everything before it is garbage.
         for s in self.oldest..new_seq {
@@ -361,6 +367,12 @@ impl CommitLog for SegmentedWal {
 
     fn policy(&self) -> FsyncPolicy {
         self.policy
+    }
+
+    fn take_sync_ns(&mut self) -> Vec<u64> {
+        let mut all = std::mem::take(&mut self.sealed_sync_ns);
+        all.append(&mut self.writer.take_sync_ns());
+        all
     }
 
     fn wants_checkpoints(&self) -> bool {

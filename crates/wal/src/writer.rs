@@ -51,6 +51,7 @@ pub struct WalWriter {
     unsynced: u64,
     last_sync: Instant,
     stats: WalStats,
+    sync_ns: Vec<u64>,
     broken: bool,
 }
 
@@ -70,6 +71,7 @@ impl WalWriter {
                 bytes: MAGIC.len() as u64,
                 syncs: 0,
             },
+            sync_ns: Vec::new(),
             broken: false,
         };
         if policy == FsyncPolicy::Always {
@@ -95,6 +97,7 @@ impl WalWriter {
                 bytes,
                 syncs: 0,
             },
+            sync_ns: Vec::new(),
             broken: false,
         }
     }
@@ -207,14 +210,24 @@ impl WalWriter {
     }
 
     fn sync_now(&mut self) -> io::Result<()> {
+        let t0 = Instant::now();
         if let Err(e) = self.storage.sync() {
             self.broken = true;
             return Err(e);
         }
+        self.sync_ns.push(t0.elapsed().as_nanos() as u64);
         self.stats.syncs += 1;
         self.unsynced = 0;
         self.last_sync = Instant::now();
         Ok(())
+    }
+
+    /// Drains the wall-clock duration (ns) of every durability barrier
+    /// issued since the last call. The admission core harvests these into
+    /// the per-stage latency report; keeping raw samples (not a
+    /// histogram) keeps this crate free of metrics dependencies.
+    pub fn take_sync_ns(&mut self) -> Vec<u64> {
+        std::mem::take(&mut self.sync_ns)
     }
 }
 

@@ -24,6 +24,12 @@
 //! * [`wal`] — the durable write-ahead commit log: CRC-framed records,
 //!   configurable fsync policies with group commit, and a
 //!   torn-write-tolerant scanner;
+//! * [`frame`] — the length-prefixed CRC-32 frame codec shared by the
+//!   WAL's on-disk records and the network wire protocol;
+//! * [`net`] — a real TCP front-end: framed pipelined wire protocol,
+//!   a readiness-driven reactor multiplexing connections onto the
+//!   admission core, wire-to-wire per-stage latency accounting, and a
+//!   loopback load driver;
 //! * [`check`] — the deterministic schedule-space model checker:
 //!   exhaustive/pruned/random exploration of small universes with every
 //!   execution cross-validated against offline oracles, fault-injection
@@ -41,6 +47,8 @@ pub use relser_check as check;
 pub use relser_classes as classes;
 pub use relser_core as core;
 pub use relser_digraph as digraph;
+pub use relser_frame as frame;
+pub use relser_net as net;
 pub use relser_protocols as protocols;
 pub use relser_server as server;
 pub use relser_simdb as simdb;
