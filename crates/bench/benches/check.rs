@@ -11,8 +11,12 @@
 use relser_bench::harness::{git_commit, BenchmarkId, Harness};
 use relser_check::{shrink, ExploreConfig, ExploreStats, Mode, ScheduleExplorer};
 use relser_core::paper::{Figure1, Figure4};
+use relser_core::rsg::Rsg;
+use relser_core::vclock;
 use relser_protocols::SchedulerKind;
+use relser_workload::{random_schedule, random_spec, random_txns, RandomConfig};
 use std::hint::black_box;
+use std::time::{Duration, Instant};
 
 fn explore(
     txns: &relser_core::txn::TxnSet,
@@ -106,6 +110,107 @@ fn bench_shrink(h: &mut Harness) {
     group.finish();
 }
 
+/// Ops-per-transaction grid for the certifier scaling comparison
+/// (transaction count stays fixed at [`SCALING_K`], so the total op
+/// count `n` grows 8× across the grid).
+const SCALING_OPS: [usize; 4] = [25, 50, 100, 200];
+/// Fixed transaction count `K` of the scaling universes.
+const SCALING_K: usize = 4;
+
+/// One scaling universe: `K` transactions of exactly `m` ops each over a
+/// small shared object pool, with a random spec and a random valid
+/// interleaving of all `n = K·m` operations.
+fn scaling_universe(
+    m: usize,
+) -> (
+    relser_core::txn::TxnSet,
+    relser_core::spec::AtomicitySpec,
+    relser_core::schedule::Schedule,
+) {
+    let cfg = RandomConfig {
+        txns: SCALING_K,
+        ops_per_txn: (m, m),
+        objects: 6,
+        theta: 0.5,
+        write_ratio: 0.5,
+    };
+    let txns = random_txns(&cfg, 1994);
+    let spec = random_spec(&txns, 0.5, 515);
+    let s = random_schedule(&txns, 7);
+    (txns, spec, s)
+}
+
+/// Median wall time of `f` over a few runs (scaling-ratio input; the
+/// per-size distributions also land as regular benchmark rows).
+fn median_time(mut f: impl FnMut()) -> Duration {
+    let mut samples: Vec<Duration> = (0..7)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed()
+        })
+        .collect();
+    samples.sort();
+    samples[samples.len() / 2]
+}
+
+/// The complexity story of the ISSUE: with the transaction count fixed
+/// (the Biswas–Enea / Mathur–Viswanathan regime in which certification
+/// is tractable), the one-pass vector-clock certifier is O(n·K) in the
+/// history length, while the explicit Theorem 1 pipeline pays the
+/// superlinear depends-on closure. Both are timed on identical inputs;
+/// the growth ratio across an 8× op-count spread must be strictly
+/// smaller for the certifier, and both ratios are recorded as meta so a
+/// regression shows up in `BENCH_check.json`.
+fn bench_certifier_scaling(h: &mut Harness) {
+    let inputs: Vec<_> = SCALING_OPS.iter().map(|&m| scaling_universe(m)).collect();
+    let mut group = h.group("certifier_scaling");
+    group.sample_size(10);
+    let mut medians: Vec<(usize, Duration, Duration)> = Vec::new();
+    for (txns, spec, s) in &inputs {
+        let n = txns.total_ops();
+        group.bench_with_input(BenchmarkId::new("vclock", n), &n, |b, _| {
+            b.iter(|| black_box(vclock::certify(txns, s, spec).is_acyclic()))
+        });
+        group.bench_with_input(BenchmarkId::new("rsg_oracle", n), &n, |b, _| {
+            b.iter(|| black_box(Rsg::build(txns, s, spec).is_acyclic()))
+        });
+        // Agreement is re-asserted on the bench inputs themselves.
+        assert_eq!(
+            vclock::certify(txns, s, spec).is_acyclic(),
+            Rsg::build(txns, s, spec).is_acyclic(),
+            "certifier differential failure on the n={n} scaling input"
+        );
+        let t_vc = median_time(|| {
+            black_box(vclock::certify(txns, s, spec).is_acyclic());
+        });
+        let t_rsg = median_time(|| {
+            black_box(Rsg::build(txns, s, spec).is_acyclic());
+        });
+        medians.push((n, t_vc, t_rsg));
+    }
+    group.finish();
+
+    let (n0, vc0, rsg0) = medians[0];
+    let (n1, vc1, rsg1) = *medians.last().unwrap();
+    let vc_ratio = vc1.as_secs_f64() / vc0.as_secs_f64().max(1e-9);
+    let rsg_ratio = rsg1.as_secs_f64() / rsg0.as_secs_f64().max(1e-9);
+    h.set_meta("scaling_txns", SCALING_K);
+    h.set_meta("scaling_ops", format!("{n0}..{n1} (8x, K fixed)"));
+    h.set_meta("vclock_growth_ratio", format!("{vc_ratio:.2}"));
+    h.set_meta("rsg_oracle_growth_ratio", format!("{rsg_ratio:.2}"));
+    h.set_meta(
+        "scaling_regime",
+        "fixed transaction count (Biswas-Enea tractable regime): \
+         vclock one-pass O(n*K) vs explicit RSG with superlinear depends-on closure",
+    );
+    assert!(
+        vc_ratio < rsg_ratio,
+        "vclock must scale strictly better than the explicit-graph oracle: \
+         vclock {vc_ratio:.2}x vs oracle {rsg_ratio:.2}x over an 8x op spread"
+    );
+}
+
 fn main() {
     let mut h = Harness::new("check");
     h.set_meta("git_commit", git_commit());
@@ -115,6 +220,7 @@ fn main() {
     record_shapes(&mut h);
     bench_exploration(&mut h);
     bench_shrink(&mut h);
+    bench_certifier_scaling(&mut h);
     let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_check.json");
     if let Err(e) = h.write_json(out) {
         eprintln!("could not write {out}: {e}");

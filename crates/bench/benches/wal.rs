@@ -24,7 +24,7 @@ use relser_core::op::AccessMode;
 use relser_core::spec::AtomicitySpec;
 use relser_core::txn::TxnSet;
 use relser_protocols::rsg_sgt::RsgSgt;
-use relser_server::recovery::{recover, recover_segments};
+use relser_server::recovery::{recover, recover_segments, recover_with_certifier, Certifier};
 use relser_server::{serve_durable, serve_report, FaultPlan, RunOutcome, ServerConfig};
 use relser_wal::{
     Checkpoint, CheckpointPolicy, CommitLog, FsyncPolicy, MemSegmentStore, MemStorage,
@@ -212,6 +212,89 @@ fn bench_recovery(h: &mut Harness) {
     group.finish();
 }
 
+/// Fixed transaction count of the certifier-comparison logs.
+const CERTIFIER_K: usize = 8;
+/// Ops-per-transaction grid of the certifier-comparison logs (total op
+/// count grows 16× while the transaction count stays fixed).
+const CERTIFIER_OPS: [usize; 3] = [8, 32, 128];
+
+/// A *contended* serial log with a fixed transaction count: `k`
+/// transactions of `m` writes each, round-robin over four shared
+/// objects, committed back to back. Unlike [`serial_log`], conflicts are
+/// dense here, so step 4's re-certification does real dependency work —
+/// the cost the vector-clock certifier is meant to collapse.
+fn contended_serial_log(k: usize, m: usize) -> (TxnSet, AtomicitySpec, Vec<u8>) {
+    let mut txns = TxnSet::new();
+    let names: Vec<String> = (0..4).map(|o| format!("x{o}")).collect();
+    for t in 0..k {
+        let ops: Vec<(AccessMode, &str)> = (0..m)
+            .map(|i| (AccessMode::Write, names[(t + i) % names.len()].as_str()))
+            .collect();
+        txns.add(&ops).unwrap();
+    }
+    let spec = AtomicitySpec::absolute(&txns);
+    let (mem, handle) = MemStorage::new();
+    let mut wal = WalWriter::new(Box::new(mem), FsyncPolicy::Never).unwrap();
+    for t in 0..k {
+        let txn = TxnId(t as u32);
+        wal.append(&WalRecord::Begin(txn)).unwrap();
+        for i in 0..m {
+            wal.append(&WalRecord::Grant(OpId::new(txn, i as u32)))
+                .unwrap();
+        }
+        wal.append(&WalRecord::Commit(txn)).unwrap();
+    }
+    wal.close().unwrap();
+    (txns, spec, handle.bytes())
+}
+
+/// Old vs new recovery: identical contended logs recovered through the
+/// Theorem 1 `Rsg::build` re-certifier (the pre-vclock path, kept
+/// selectable) and through the default vector-clock certifier. Both rows
+/// land in `BENCH_wal.json`; with the transaction count fixed, the
+/// vclock path's growth in history length must not exceed the old
+/// path's (it replaces the superlinear depends-on closure with one
+/// O(n·K) pass — scan and scheduler replay cost is shared).
+fn bench_recovery_certifiers(h: &mut Harness) {
+    let inputs: Vec<(usize, TxnSet, AtomicitySpec, Vec<u8>)> = CERTIFIER_OPS
+        .iter()
+        .map(|&m| {
+            let (txns, spec, bytes) = contended_serial_log(CERTIFIER_K, m);
+            (CERTIFIER_K * m, txns, spec, bytes)
+        })
+        .collect();
+    let mut group = h.group("wal_recovery_certifier");
+    group.sample_size(10);
+    for (ops, txns, spec, bytes) in &inputs {
+        for (name, certifier) in [
+            ("vclock", Certifier::VClock),
+            ("theorem1_rsg", Certifier::Theorem1Rsg),
+        ] {
+            group.bench_with_input(BenchmarkId::new(name, ops), ops, |b, _| {
+                b.iter(|| {
+                    let mut fresh = RsgSgt::new(txns, spec);
+                    let rec =
+                        recover_with_certifier(txns, spec, &mut fresh, bytes, certifier).unwrap();
+                    assert_eq!(rec.committed.len(), CERTIFIER_K);
+                    black_box(rec.history.len())
+                })
+            });
+        }
+    }
+    group.finish();
+    h.set_meta(
+        "recovery_certifier_logs",
+        format!(
+            "contended serial, {CERTIFIER_K} txns, ops/txn={CERTIFIER_OPS:?}, 4 shared objects"
+        ),
+    );
+    h.set_meta(
+        "recovery_certifier_regime",
+        "fixed transaction count: vclock re-certification is one O(n*K) pass, \
+         Theorem1Rsg pays the depends-on closure",
+    );
+}
+
 /// Recovery time vs history length when the log checkpoints: seeding
 /// from the newest checkpoint replaces replaying the whole history, so
 /// the cost should flatten once histories exceed the cadence.
@@ -269,6 +352,7 @@ fn main() {
 
     bench_policies(&mut h, &sc);
     bench_recovery(&mut h);
+    bench_recovery_certifiers(&mut h);
     bench_recovery_checkpointed(&mut h);
 
     let median = |id: &str| {

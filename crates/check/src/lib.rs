@@ -61,7 +61,7 @@ pub use faults::{fault_sweep, FaultSweepConfig, FaultSweepReport};
 pub use oracle::{check_execution, Divergence, DivergenceKind, ExecutionRecord};
 pub use project::Projection;
 pub use shard_faults::{shard_admit_sweep, ShardSweepConfig, ShardSweepReport};
-pub use shrink::{shrink, Counterexample};
+pub use shrink::{shrink, shrink_universe, Counterexample};
 #[cfg(feature = "fault-fs")]
 pub use storage_faults::{
     checkpoint_crash_sweep, crash_point_sweep, CheckpointSweepConfig, CrashSweepConfig,

@@ -17,6 +17,7 @@ use relser_core::rsg::Rsg;
 use relser_core::sg::is_conflict_serializable;
 use relser_core::spec::AtomicitySpec;
 use relser_core::txn::TxnSet;
+use relser_core::vclock;
 use relser_protocols::SchedulerKind;
 use relser_server::{replay, TraceEvent};
 
@@ -56,6 +57,10 @@ pub enum DivergenceKind {
     /// Deterministic replay of the recorded trace did not reproduce the
     /// execution's log.
     ReplayMismatch,
+    /// The linear-time vector-clock certifier disagreed with the Theorem 1
+    /// `Rsg` oracle on the committed history — the two independent
+    /// implementations of the same predicate diverged.
+    CertifierMismatch,
 }
 
 impl DivergenceKind {
@@ -68,6 +73,7 @@ impl DivergenceKind {
             DivergenceKind::NotConflictSerializable => "not-conflict-serializable",
             DivergenceKind::ShadowMismatch => "shadow-mismatch",
             DivergenceKind::ReplayMismatch => "replay-mismatch",
+            DivergenceKind::CertifierMismatch => "certifier-mismatch",
         }
     }
 }
@@ -123,6 +129,24 @@ pub fn check_execution(
                 Err(e) => out.push(diverge(DivergenceKind::InvalidHistory, e.to_string())),
                 Ok(schedule) => {
                     let rsg = Rsg::build(&p.txns, &schedule, &p.spec);
+                    // Third backend: the linear-time vector-clock certifier
+                    // must reach the same verdict as the explicit graph.
+                    let verdict = vclock::certify(&p.txns, &schedule, &p.spec);
+                    if verdict.is_acyclic() != rsg.is_acyclic() {
+                        out.push(diverge(
+                            DivergenceKind::CertifierMismatch,
+                            format!(
+                                "vclock certifier says {} but Rsg says {} on `{}`",
+                                if verdict.is_acyclic() {
+                                    "accept"
+                                } else {
+                                    "reject"
+                                },
+                                if rsg.is_acyclic() { "accept" } else { "reject" },
+                                schedule.display(&p.txns)
+                            ),
+                        ));
+                    }
                     if !rsg.is_acyclic() {
                         let cycle = rsg
                             .find_cycle()
@@ -227,6 +251,12 @@ mod tests {
         assert!(
             ds.iter().any(|d| d.kind == DivergenceKind::CyclicRsg),
             "{ds:?}"
+        );
+        // Both certification backends reject — they may not disagree.
+        assert!(
+            !ds.iter()
+                .any(|d| d.kind == DivergenceKind::CertifierMismatch),
+            "vclock and Rsg must agree on the refutation history: {ds:?}"
         );
         assert!(ds[0].detail.contains("RSG cycle"));
     }

@@ -108,20 +108,67 @@ impl Counterexample {
     }
 }
 
-/// Explores the sub-universe `(keep, lens)` of `(txns, spec)` and, if the
-/// exploration diverges, returns the evidence.
-fn fails(
+/// Greedily minimizes `(txns, spec)` under an arbitrary reproduction
+/// predicate: repeatedly deletes whole transactions, then truncates one
+/// operation off each surviving program's end, keeping an edit only while
+/// `repro` still holds on the resulting sub-universe. Returns the final
+/// [`Projection`], or `None` when the full universe does not reproduce.
+///
+/// This is the delta-debugging core behind [`shrink`]; it is public so
+/// other harnesses — notably the vector-clock differential suite — can
+/// minimize their own failure conditions (e.g. "the one-pass certifier
+/// disagrees with `Rsg::build` on this universe") without going through
+/// the schedule explorer. `repro` must be deterministic, or minimization
+/// becomes flaky.
+pub fn shrink_universe(
     txns: &TxnSet,
     spec: &AtomicitySpec,
-    kind: SchedulerKind,
-    cfg: &ExploreConfig,
-    keep: &[TxnId],
-    lens: &[u32],
-) -> Option<(Projection, Divergence, ExploreStats)> {
-    let p = Projection::new(txns, spec, keep, lens).ok()?;
-    let report = ScheduleExplorer::new(&p.txns, &p.spec, kind, cfg.clone()).explore();
-    let divergence = report.divergences.into_iter().next()?;
-    Some((p, divergence, report.stats))
+    mut repro: impl FnMut(&Projection) -> bool,
+) -> Option<Projection> {
+    let mut attempt = |keep: &[TxnId], lens: &[u32]| -> Option<Projection> {
+        let p = Projection::new(txns, spec, keep, lens).ok()?;
+        repro(&p).then_some(p)
+    };
+    let mut keep: Vec<TxnId> = txns.txn_ids().collect();
+    let mut lens: Vec<u32> = keep.iter().map(|&t| txns.txn(t).len() as u32).collect();
+    let mut best = attempt(&keep, &lens)?;
+    loop {
+        let mut improved = false;
+        // Pass 1: delete whole transactions.
+        let mut i = 0;
+        while keep.len() > 1 && i < keep.len() {
+            let mut k2 = keep.clone();
+            let mut l2 = lens.clone();
+            k2.remove(i);
+            l2.remove(i);
+            if let Some(p) = attempt(&k2, &l2) {
+                keep = k2;
+                lens = l2;
+                best = p;
+                improved = true;
+            } else {
+                i += 1;
+            }
+        }
+        // Pass 2: truncate one operation off each program's end.
+        for i in 0..keep.len() {
+            while lens[i] > 1 {
+                let mut l2 = lens.clone();
+                l2[i] -= 1;
+                if let Some(p) = attempt(&keep, &l2) {
+                    lens = l2;
+                    best = p;
+                    improved = true;
+                } else {
+                    break;
+                }
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    Some(best)
 }
 
 /// Explores `(txns, spec)` under `kind` and, if any divergence is found,
@@ -137,46 +184,20 @@ pub fn shrink(
     kind: SchedulerKind,
     cfg: &ExploreConfig,
 ) -> Option<Counterexample> {
-    let mut keep: Vec<TxnId> = txns.txn_ids().collect();
-    let mut lens: Vec<u32> = keep.iter().map(|&t| txns.txn(t).len() as u32).collect();
-    let mut best = fails(txns, spec, kind, cfg, &keep, &lens)?;
-    loop {
-        let mut improved = false;
-        // Pass 1: delete whole transactions.
-        let mut i = 0;
-        while keep.len() > 1 && i < keep.len() {
-            let mut k2 = keep.clone();
-            let mut l2 = lens.clone();
-            k2.remove(i);
-            l2.remove(i);
-            if let Some(ev) = fails(txns, spec, kind, cfg, &k2, &l2) {
-                keep = k2;
-                lens = l2;
-                best = ev;
-                improved = true;
-            } else {
-                i += 1;
+    let mut best: Option<(Divergence, ExploreStats)> = None;
+    let universe = shrink_universe(txns, spec, |p| {
+        let report = ScheduleExplorer::new(&p.txns, &p.spec, kind, cfg.clone()).explore();
+        match report.divergences.into_iter().next() {
+            Some(d) => {
+                best = Some((d, report.stats));
+                true
             }
+            None => false,
         }
-        // Pass 2: truncate one operation off each program's end.
-        for i in 0..keep.len() {
-            while lens[i] > 1 {
-                let mut l2 = lens.clone();
-                l2[i] -= 1;
-                if let Some(ev) = fails(txns, spec, kind, cfg, &keep, &l2) {
-                    lens = l2;
-                    best = ev;
-                    improved = true;
-                } else {
-                    break;
-                }
-            }
-        }
-        if !improved {
-            break;
-        }
-    }
-    let (universe, divergence, stats) = best;
+    })?;
+    // `shrink_universe` keeps an edit only when the predicate holds, so
+    // the last recorded evidence belongs to the returned universe.
+    let (divergence, stats) = best.expect("predicate held on the returned universe");
     Some(Counterexample {
         kind,
         universe,
@@ -224,6 +245,40 @@ mod tests {
         let report = cex.render();
         assert!(report.contains("RSG cycle"), "{report}");
         assert!(report.contains("digraph"), "{report}");
+    }
+
+    #[test]
+    fn shrink_universe_minimizes_under_a_plain_predicate() {
+        // Predicate: the universe still has a write/read conflict on `x`.
+        // Starting from three transactions with trailing noise, the
+        // minimizer must land on exactly `w1[x]` vs `r2[x]`.
+        let txns = relser_core::txn::TxnSet::parse(&["w1[x] w1[y]", "r2[x] r2[y]", "r3[u] w3[u]"])
+            .unwrap();
+        let spec = relser_core::spec::AtomicitySpec::absolute(&txns);
+        let p = shrink_universe(&txns, &spec, |p| {
+            let mut writes_x = false;
+            let mut reads_x = false;
+            for t in p.txns.txn_ids() {
+                for &op in p.txns.txn(t).ops() {
+                    if p.txns.objects().name(op.object) == "x" {
+                        writes_x |= op.is_write() && t == TxnId(0);
+                        reads_x |= !op.is_write() && t != TxnId(0);
+                    }
+                }
+            }
+            writes_x && reads_x
+        })
+        .expect("full universe satisfies the predicate");
+        assert_eq!(p.txns.total_ops(), 2, "minimized to the conflicting pair");
+        assert_eq!(p.txns.len(), 2);
+        assert_eq!(p.kept(), &[TxnId(0), TxnId(1)]);
+    }
+
+    #[test]
+    fn shrink_universe_returns_none_when_not_reproducing() {
+        let txns = relser_core::txn::TxnSet::parse(&["r1[x]"]).unwrap();
+        let spec = relser_core::spec::AtomicitySpec::absolute(&txns);
+        assert!(shrink_universe(&txns, &spec, |_| false).is_none());
     }
 
     #[test]

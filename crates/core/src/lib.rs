@@ -91,6 +91,7 @@ pub mod shard;
 pub mod spec;
 pub mod spec_builders;
 pub mod txn;
+pub mod vclock;
 
 /// One-stop imports for downstream crates, tests, and examples.
 pub mod prelude {
@@ -108,6 +109,7 @@ pub mod prelude {
     pub use crate::spec::AtomicitySpec;
     pub use crate::spec_builders::{compatibility_sets, multilevel, MultilevelSpec};
     pub use crate::txn::{Transaction, TxnSet};
+    pub use crate::vclock::{self, CertifierStats, CycleWitness, VClockCertifier, Verdict};
 }
 
 pub use prelude::*;

@@ -75,7 +75,9 @@ pub use core::{
 pub use metrics::ServerMetrics;
 pub use queue::{BoundedQueue, PopWait, PushError, QueueStats};
 pub use recovery::{
-    recover, recover_segments, recover_sharded, Recovery, RecoveryError, ShardedRecovery,
+    recover, recover_segments, recover_segments_with_certifier, recover_sharded,
+    recover_sharded_with_certifier, recover_with_certifier, Certifier, Recovery, RecoveryError,
+    ShardedRecovery,
 };
 pub use server::{
     replay, serve, serve_durable, serve_durable_log, serve_report, serve_stream, ReplayMismatch,

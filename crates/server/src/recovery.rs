@@ -20,10 +20,15 @@
 //!    (their ids are reported in [`Recovery::live_aborted`] for
 //!    re-submission).
 //! 4. **Re-certify.** The committed history is projected onto the
-//!    committed sub-universe ([`Projection::subset`]) and checked against
-//!    the paper's Theorem 1 oracle: `Rsg::build(..).is_acyclic()`. A
-//!    cyclic RSG means the log was forged or the service is broken —
-//!    recovery refuses to bless it.
+//!    committed sub-universe ([`Projection::subset`]) and re-certified.
+//!    The default engine is the linear-time vector-clock certifier
+//!    (`relser_core::vclock`, O(n·K) in history length n and transaction
+//!    count K) — recovery no longer re-runs the full Theorem 1 graph
+//!    closure. The explicit `Rsg::build(..).is_acyclic()` path is kept
+//!    selectable via [`Certifier::Theorem1Rsg`] and the regression suite
+//!    asserts both paths recover byte-identical state at every crash
+//!    point. A rejected history means the log was forged or the service
+//!    is broken — recovery refuses to bless it.
 //!
 //! The headline invariant, exercised by the crash-point sweep in
 //! `relser-check`: under [`relser_wal::FsyncPolicy::Always`], for a crash
@@ -37,12 +42,17 @@ use relser_core::rsg::Rsg;
 use relser_core::shard::{merge_program_order, ShardMap};
 use relser_core::spec::AtomicitySpec;
 use relser_core::txn::TxnSet;
+use relser_core::vclock;
 use relser_protocols::{Decision, Scheduler};
 use relser_wal::{scan, CheckpointEvent, Truncation, WalRecord};
 use std::fmt;
 
 /// What [`recover`] rebuilt from the log's valid prefix.
-#[derive(Clone, Debug)]
+///
+/// Derives `PartialEq`/`Eq` so regression tests can assert that two
+/// recovery paths (e.g. the vector-clock and Theorem 1 re-certifiers)
+/// produce *identical* results, field by field.
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Recovery {
     /// Records replayed (the valid prefix length, in records).
     pub records: usize,
@@ -168,16 +178,77 @@ impl fmt::Display for RecoveryError {
 
 impl std::error::Error for RecoveryError {}
 
+/// Which engine step 4 uses to re-certify the recovered committed
+/// history. Both decide exactly the paper's Theorem 1 predicate; they
+/// differ only in cost.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Certifier {
+    /// The linear-time vector-clock certifier (`relser_core::vclock`):
+    /// one forward pass, O(n·K) for n history operations and K
+    /// transactions. The default.
+    #[default]
+    VClock,
+    /// The explicit Theorem 1 oracle: full depends-on closure plus
+    /// `Rsg::build(..).is_acyclic()` — superlinear in history length.
+    /// Kept for regression comparison against the vclock path.
+    Theorem1Rsg,
+}
+
+/// Step 4 for both flat and sharded recovery: project the certified
+/// history and re-certify it with the chosen engine.
+fn recertify(
+    txns: &TxnSet,
+    spec: &AtomicitySpec,
+    certified: &[TxnId],
+    history: &[OpId],
+    certifier: Certifier,
+) -> Result<(), RecoveryError> {
+    if certified.is_empty() {
+        return Ok(());
+    }
+    let projection = Projection::subset(txns, spec, certified)
+        .map_err(|e| RecoveryError::InvalidHistory(e.to_string()))?;
+    let schedule = projection
+        .schedule(history)
+        .map_err(|e| RecoveryError::InvalidHistory(e.to_string()))?;
+    let acyclic = match certifier {
+        Certifier::VClock => {
+            vclock::certify(&projection.txns, &schedule, &projection.spec).is_acyclic()
+        }
+        Certifier::Theorem1Rsg => {
+            Rsg::build(&projection.txns, &schedule, &projection.spec).is_acyclic()
+        }
+    };
+    if !acyclic {
+        return Err(RecoveryError::NotRelativelySerializable);
+    }
+    Ok(())
+}
+
 /// Recovers from `bytes` (the contents of a write-ahead log) into
 /// `scheduler`, which must be fresh and built over the same `txns` /
 /// `spec` universe the crashed service ran. See the module docs for the
-/// four steps. On success the scheduler holds exactly the committed
+/// four steps; step 4 uses the default linear-time vector-clock
+/// certifier. On success the scheduler holds exactly the committed
 /// state, ready to admit new work.
 pub fn recover(
     txns: &TxnSet,
     spec: &AtomicitySpec,
     scheduler: &mut dyn Scheduler,
     bytes: &[u8],
+) -> Result<Recovery, RecoveryError> {
+    recover_with_certifier(txns, spec, scheduler, bytes, Certifier::default())
+}
+
+/// [`recover`] with an explicit step-4 engine — the regression suite runs
+/// both [`Certifier`]s over every crash point and asserts byte-identical
+/// recovered state.
+pub fn recover_with_certifier(
+    txns: &TxnSet,
+    spec: &AtomicitySpec,
+    scheduler: &mut dyn Scheduler,
+    bytes: &[u8],
+    certifier: Certifier,
 ) -> Result<Recovery, RecoveryError> {
     let scanned = scan(bytes);
     let records = &scanned.records;
@@ -339,18 +410,8 @@ pub fn recover(
         scheduler.abort(txn);
     }
 
-    // Step 4: re-certify the certified history against Theorem 1.
-    if !certified.is_empty() {
-        let projection = Projection::subset(txns, spec, &certified)
-            .map_err(|e| RecoveryError::InvalidHistory(e.to_string()))?;
-        let schedule = projection
-            .schedule(&history)
-            .map_err(|e| RecoveryError::InvalidHistory(e.to_string()))?;
-        let rsg = Rsg::build(&projection.txns, &schedule, &projection.spec);
-        if !rsg.is_acyclic() {
-            return Err(RecoveryError::NotRelativelySerializable);
-        }
-    }
+    // Step 4: re-certify the certified history (vclock by default).
+    recertify(txns, spec, &certified, &history, certifier)?;
 
     Ok(Recovery {
         records: records.len(),
@@ -385,19 +446,36 @@ pub fn recover_segments(
     scheduler: &mut dyn Scheduler,
     segments: &[(u64, Vec<u8>)],
 ) -> Result<(u64, Recovery), RecoveryError> {
+    recover_segments_with_certifier(txns, spec, scheduler, segments, Certifier::default())
+}
+
+/// [`recover_segments`] with an explicit step-4 engine.
+pub fn recover_segments_with_certifier(
+    txns: &TxnSet,
+    spec: &AtomicitySpec,
+    scheduler: &mut dyn Scheduler,
+    segments: &[(u64, Vec<u8>)],
+    certifier: Certifier,
+) -> Result<(u64, Recovery), RecoveryError> {
     let chosen = segments
         .iter()
         .rev()
         .find(|(_, bytes)| matches!(scan(bytes).records.first(), Some(WalRecord::Checkpoint(_))))
         .or_else(|| segments.last());
     match chosen {
-        Some((seq, bytes)) => Ok((*seq, recover(txns, spec, scheduler, bytes)?)),
-        None => Ok((0, recover(txns, spec, scheduler, &[])?)),
+        Some((seq, bytes)) => Ok((
+            *seq,
+            recover_with_certifier(txns, spec, scheduler, bytes, certifier)?,
+        )),
+        None => Ok((
+            0,
+            recover_with_certifier(txns, spec, scheduler, &[], certifier)?,
+        )),
     }
 }
 
 /// What [`recover_sharded`] rebuilt from N per-shard logs.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ShardedRecovery {
     /// The per-shard recoveries, index = shard id.
     pub shards: Vec<Recovery>,
@@ -432,13 +510,28 @@ pub struct ShardedRecovery {
 /// mid-crash; it is excluded and reported in
 /// [`ShardedRecovery::partial`], so no half-admitted transaction ever
 /// survives recovery. Finally the merged history is re-certified whole
-/// against the paper's Theorem 1 oracle — per-shard acyclicity is *not*
-/// trusted to compose.
+/// (vclock by default) — per-shard acyclicity is *not* trusted to
+/// compose.
 pub fn recover_sharded<'a, F>(
+    txns: &TxnSet,
+    spec: &AtomicitySpec,
+    make_scheduler: F,
+    logs: &[Vec<u8>],
+) -> Result<ShardedRecovery, RecoveryError>
+where
+    F: FnMut(u32) -> Box<dyn Scheduler + 'a>,
+{
+    recover_sharded_with_certifier(txns, spec, make_scheduler, logs, Certifier::default())
+}
+
+/// [`recover_sharded`] with an explicit re-certification engine, applied
+/// both per shard and to the merged history.
+pub fn recover_sharded_with_certifier<'a, F>(
     txns: &TxnSet,
     spec: &AtomicitySpec,
     mut make_scheduler: F,
     logs: &[Vec<u8>],
+    certifier: Certifier,
 ) -> Result<ShardedRecovery, RecoveryError>
 where
     F: FnMut(u32) -> Box<dyn Scheduler + 'a>,
@@ -448,7 +541,7 @@ where
     let mut shards: Vec<Recovery> = Vec::with_capacity(logs.len());
     for (s, bytes) in logs.iter().enumerate() {
         let mut scheduler = make_scheduler(s as u32);
-        let rec = recover(txns, spec, &mut *scheduler, bytes)?;
+        let rec = recover_with_certifier(txns, spec, &mut *scheduler, bytes, certifier)?;
         if let Some(found) = rec.shard {
             if found != s as u32 {
                 return Err(RecoveryError::ShardMismatch {
@@ -531,17 +624,7 @@ where
         .collect();
     let history = merge_program_order(txns, &shard_logs)
         .map_err(|e| RecoveryError::InvalidHistory(e.to_string()))?;
-    if !committed.is_empty() {
-        let projection = Projection::subset(txns, spec, &committed)
-            .map_err(|e| RecoveryError::InvalidHistory(e.to_string()))?;
-        let schedule = projection
-            .schedule(&history)
-            .map_err(|e| RecoveryError::InvalidHistory(e.to_string()))?;
-        let rsg = Rsg::build(&projection.txns, &schedule, &projection.spec);
-        if !rsg.is_acyclic() {
-            return Err(RecoveryError::NotRelativelySerializable);
-        }
-    }
+    recertify(txns, spec, &committed, &history, certifier)?;
 
     Ok(ShardedRecovery {
         shards,

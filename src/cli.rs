@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! relser check   <file>            classify & explain every schedule
+//! relser audit   <file>            one-pass vector-clock certification
 //! relser dot     <file> <name>     emit the RSG of one schedule as DOT
 //! relser lattice <file>            exhaustive class counts (small universes)
 //! relser infer   <file>            minimal spec admitting the schedules
@@ -16,6 +17,7 @@ use relser_core::explain::explain;
 use relser_core::format::{parse, render, Document};
 use relser_core::infer::infer_spec;
 use relser_core::rsg::Rsg;
+use relser_core::vclock;
 use std::fmt::Write as _;
 
 /// Usage text.
@@ -24,6 +26,9 @@ relser — relative serializability analyzer (PODS'94)
 
 USAGE:
     relser check   <file>          classify & explain every schedule in the file
+    relser audit   <file>          certify every schedule with the linear-time
+                                   vector-clock certifier (cycle witness on
+                                   violation, cross-checked against Theorem 1)
     relser dot     <file> <name>   print the RSG of schedule <name> as Graphviz
     relser lattice <file>          exhaustive class counts over the universe
     relser infer   <file>          minimal spec making the schedules relatively atomic
@@ -42,6 +47,7 @@ pub fn dispatch(
 ) -> Result<String, String> {
     match args {
         [cmd, file] if cmd == "check" => check(&load(&read_file(file)?)?),
+        [cmd, file] if cmd == "audit" => audit(&load(&read_file(file)?)?),
         [cmd, file, name] if cmd == "dot" => dot(&load(&read_file(file)?)?, name),
         [cmd, file] if cmd == "lattice" => lattice(&load(&read_file(file)?)?),
         [cmd, file] if cmd == "infer" => infer(&load(&read_file(file)?)?),
@@ -62,6 +68,51 @@ pub fn check(doc: &Document) -> Result<String, String> {
     for (name, s) in &doc.schedules {
         let _ = writeln!(out, "=== {name} ===");
         out.push_str(&explain(&doc.txns, s, &doc.spec));
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+/// `relser audit`: one-pass vector-clock certification of every schedule,
+/// with a concrete cycle witness on violation and a Theorem 1 cross-check.
+pub fn audit(doc: &Document) -> Result<String, String> {
+    if doc.schedules.is_empty() {
+        return Err("the document defines no schedules to audit".into());
+    }
+    let mut out = String::new();
+    for (name, s) in &doc.schedules {
+        let _ = writeln!(out, "=== {name} ===");
+        let verdict = vclock::certify(&doc.txns, s, &doc.spec);
+        let stats = verdict.stats();
+        match verdict.witness() {
+            None => {
+                let _ = writeln!(out, "verdict: relatively serializable");
+            }
+            Some(w) => {
+                let _ = writeln!(out, "verdict: VIOLATION");
+                let _ = writeln!(out, "cycle:   {}", w.render(&doc.txns));
+            }
+        }
+        let _ = writeln!(
+            out,
+            "pass:    {} ops, {} txns wide, {} cross arcs ({} nodes, {} edges sealed)",
+            stats.ops, stats.width, stats.cross_arcs, stats.nodes, stats.edges
+        );
+        let rsg = Rsg::build(&doc.txns, s, &doc.spec);
+        let _ = writeln!(
+            out,
+            "oracle:  Theorem 1 RSG {} — certifier and oracle {}",
+            if rsg.is_acyclic() {
+                "acyclic"
+            } else {
+                "cyclic"
+            },
+            if rsg.is_acyclic() == verdict.is_acyclic() {
+                "agree"
+            } else {
+                "DISAGREE (certifier bug!)"
+            }
+        );
         out.push('\n');
     }
     Ok(out)
@@ -148,6 +199,27 @@ schedule good: r1[x] w1[x] r2[x] w2[x]
         assert!(out.contains("=== good ==="));
         assert!(out.contains("relatively serializable (Thm. 1): no"));
         assert!(out.contains("relatively serializable (Thm. 1): yes"));
+    }
+
+    #[test]
+    fn audit_certifies_each_schedule() {
+        let doc = parse(DOC).unwrap();
+        let out = audit(&doc).unwrap();
+        assert!(out.contains("=== bad ==="));
+        assert!(out.contains("=== good ==="));
+        // The lost-update interleaving is a violation with a witness…
+        assert!(out.contains("verdict: VIOLATION"));
+        assert!(out.contains("cycle:   "));
+        // …the serial one is accepted, and both agree with Theorem 1.
+        assert!(out.contains("verdict: relatively serializable"));
+        assert!(out.matches("certifier and oracle agree").count() == 2);
+        assert!(!out.contains("DISAGREE"));
+    }
+
+    #[test]
+    fn audit_requires_schedules() {
+        let doc = parse("txn r1[x] w1[x]").unwrap();
+        assert!(audit(&doc).unwrap_err().contains("no schedules"));
     }
 
     #[test]
