@@ -16,7 +16,10 @@
 use relser_bench::harness::{git_commit, BenchmarkId, Harness};
 use relser_core::spec::AtomicitySpec;
 use relser_core::txn::TxnSet;
-use relser_net::{drive, serve_net, LoadConfig, NetConfig, NetReport};
+use relser_net::{
+    drive, drive_resilient, serve_net, serve_net_supervised, ChaosPlan, LoadConfig, NetConfig,
+    NetReport, ResilientConfig, ResilientStats, SuperviseNetConfig, SupervisedNetReport,
+};
 use relser_protocols::rsg_sgt::RsgSgt;
 use relser_server::core::FaultPlan;
 use relser_wal::{FsyncPolicy, MemStorage, WalWriter};
@@ -24,6 +27,7 @@ use relser_workload::banking::{banking, BankingConfig};
 use relser_workload::random::random_spec;
 use relser_workload::stream::RequestStream;
 use std::hint::black_box;
+use std::time::Duration;
 
 /// 81 transactions / 660 operations of structured contention (family
 /// transfers vs credit/bank audits).
@@ -98,6 +102,113 @@ fn run_once(txns: &TxnSet, spec: &AtomicitySpec, connections: usize, durable: bo
         "benchmarked runs must commit everything"
     );
     report
+}
+
+/// One supervised two-shard run driven by the resilient client: serve,
+/// commit everything (retrying through whatever `faults` inject), tear
+/// down, and recover the authoritative committed history from the WAL
+/// segment streams.
+fn run_supervised(
+    txns: &TxnSet,
+    spec: &AtomicitySpec,
+    faults: &[FaultPlan],
+    cfg: &NetConfig,
+) -> (SupervisedNetReport, ResilientStats) {
+    let stream = RequestStream::shuffled(txns, ARRIVAL_SEED);
+    let sup = SuperviseNetConfig::default();
+    let rcfg = ResilientConfig {
+        connections: 8,
+        streams: STREAMS,
+        ..ResilientConfig::default()
+    };
+    let (report, stats) = serve_net_supervised(
+        txns,
+        spec,
+        |_| Box::new(RsgSgt::new(txns, spec)),
+        cfg,
+        &sup,
+        faults,
+        |addr| drive_resilient(addr, txns, &stream, &rcfg, &ChaosPlan::quiet()),
+    )
+    .expect("serve_net_supervised");
+    assert_eq!(
+        stats.committed.len(),
+        txns.len(),
+        "benchmarked runs must commit everything"
+    );
+    (report, stats)
+}
+
+/// Degraded-shard throughput and retry-path latency: a healthy
+/// supervised baseline, the same run with shard 0 killed at command 40
+/// (recovered in place while shard 1 keeps serving), and a run whose
+/// dropped replies force the exactly-once retry path through session
+/// resume. Medians land in `BENCH_net.json` next to the healthy
+/// wire numbers.
+fn bench_supervised(h: &mut Harness, txns: &TxnSet, spec: &AtomicitySpec) {
+    let cfg = NetConfig {
+        reactors: 4,
+        ..NetConfig::default()
+    };
+    // Dropped replies resolve at the reply watchdog; keep it tight so
+    // the retry-path number measures the retry, not a 5s default wait.
+    let retry_cfg = NetConfig {
+        reactors: 4,
+        ..NetConfig::default()
+    }
+    .with_reply_timeout(Duration::from_millis(200));
+    let kill = vec![
+        FaultPlan {
+            crash_at_command: Some(40),
+            ..FaultPlan::default()
+        },
+        FaultPlan::default(),
+    ];
+    let drops = vec![
+        FaultPlan {
+            drop_replies: vec![10, 40],
+            ..FaultPlan::default()
+        },
+        FaultPlan {
+            drop_replies: vec![25],
+            ..FaultPlan::default()
+        },
+    ];
+
+    let mut group = h.group("supervised_net");
+    group.sample_size(3);
+    group.bench_with_input(BenchmarkId::new("shards", "healthy"), &(), |b, _| {
+        b.iter(|| black_box(run_supervised(txns, spec, &[], &cfg).1.committed.len()))
+    });
+    group.bench_with_input(BenchmarkId::new("shards", "degraded"), &(), |b, _| {
+        b.iter(|| black_box(run_supervised(txns, spec, &kill, &cfg).1.committed.len()))
+    });
+    group.bench_with_input(BenchmarkId::new("shards", "retry_path"), &(), |b, _| {
+        b.iter(|| {
+            black_box(
+                run_supervised(txns, spec, &drops, &retry_cfg)
+                    .1
+                    .committed
+                    .len(),
+            )
+        })
+    });
+    group.finish();
+
+    // One representative run per mode for the robustness counters.
+    let (degraded, dstats) = run_supervised(txns, spec, &kill, &cfg);
+    h.set_meta(
+        "degraded_supervisor_restarts",
+        degraded.metrics.supervisor_restarts,
+    );
+    h.set_meta(
+        "degraded_recovering_replies",
+        degraded.net.recovering_replies,
+    );
+    h.set_meta("degraded_client_reconnects", dstats.reconnects);
+    let (_, rstats) = run_supervised(txns, spec, &drops, &retry_cfg);
+    h.set_meta("retry_path_commit_retries", rstats.commit_retries);
+    h.set_meta("retry_path_client_reconnects", rstats.reconnects);
 }
 
 fn bench_workload(h: &mut Harness, name: &str, txns: &TxnSet, spec: &AtomicitySpec) {
@@ -180,6 +291,7 @@ fn main() {
 
     bench_workload(&mut h, "banking_net", &sc.txns, &sc.spec);
     bench_workload(&mut h, "zipf_net", &zipf_txns, &zipf_spec);
+    bench_supervised(&mut h, &zipf_txns, &zipf_spec);
 
     capture_stages(&mut h, "banking", &sc.txns, &sc.spec);
     capture_stages(&mut h, "zipf", &zipf_txns, &zipf_spec);
@@ -202,6 +314,15 @@ fn main() {
             (c, b, z)
         })
         .collect();
+    let supervised: Vec<(&str, f64)> = ["healthy", "degraded", "retry_path"]
+        .iter()
+        .map(|&mode| {
+            (
+                mode,
+                zipf_ops * 1e9 / median("supervised_net", &format!("shards/{mode}")),
+            )
+        })
+        .collect();
     for (c, b, z) in throughputs {
         h.set_meta(
             format!("banking_conns{c}_ops_per_sec").as_str(),
@@ -212,6 +333,17 @@ fn main() {
             format!("{z:.0}"),
         );
         println!("connections={c}: banking {b:.0} ops/s, zipf {z:.0} ops/s");
+    }
+
+    // Headline robustness numbers: throughput with a shard recovering
+    // mid-run, and the cost of the dropped-reply retry path, both
+    // relative to the healthy supervised baseline.
+    for (mode, ops) in supervised {
+        h.set_meta(
+            format!("supervised_{mode}_ops_per_sec").as_str(),
+            format!("{ops:.0}"),
+        );
+        println!("supervised {mode}: {ops:.0} ops/s");
     }
 
     let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_net.json");

@@ -180,6 +180,7 @@ fn serial_segmented_log(n: usize) -> (TxnSet, AtomicitySpec, Vec<(u64, Vec<u8>)>
                 shard: 0,
                 committed: committed.clone(),
                 events: Vec::new(),
+                sessions: Vec::new(),
             })
             .unwrap();
         }

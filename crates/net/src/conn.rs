@@ -24,20 +24,41 @@
 use crate::metrics::NetMetrics;
 use crate::wire::{ErrorCode, ReqId, Request, Response};
 use relser_core::ids::{OpId, TxnId};
+use relser_core::shard::ShardMap;
 use relser_core::txn::TxnSet;
 use relser_protocols::{AbortReason, Decision};
 use relser_server::core::{Command, Progress, Reply};
 use relser_server::queue::{BoundedQueue, PushError};
+use relser_server::supervisor::{SessionTable, ShardHealth};
 use relser_server::OverloadPolicy;
 use std::collections::VecDeque;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{Shutdown, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
+
+/// The sharded, supervised back-end: one queue and one health slot per
+/// shard core, plus the object→shard map the reactor routes with and the
+/// global commit-stamp counter. Only single-shard transactions are
+/// admitted over the wire — the router's two-phase cross-shard admit
+/// stays an in-process protocol.
+pub(crate) struct ShardRoute<'a> {
+    /// One command queue per shard core.
+    pub queues: &'a [BoundedQueue<Command>],
+    /// One liveness slot per shard core (supervised restarts flip it).
+    pub healths: &'a [ShardHealth],
+    /// The object→shard partition.
+    pub map: ShardMap,
+    /// The global commit-stamp counter; one draw per commit merges the
+    /// per-shard commit orders into a single timeline.
+    pub seq: &'a AtomicU64,
+}
 
 /// Everything a connection needs from the server, shared by all
 /// connections of one run.
 pub(crate) struct ReactorCtx<'a> {
-    /// The command queue into the single-writer admission core.
+    /// The command queue into the single-writer admission core (shard 0's
+    /// queue when `route` is set — use [`ReactorCtx::queue_of`]).
     pub queue: &'a BoundedQueue<Command>,
     /// The core's progress epoch (blocked-operation retry wakeups).
     pub progress: &'a Progress,
@@ -56,32 +77,57 @@ pub(crate) struct ReactorCtx<'a> {
     pub retry_slice: Duration,
     /// Close the connection if the core never answers within this.
     pub reply_timeout: Duration,
+    /// Sharded supervised service only; `None` = one unsharded core.
+    pub route: Option<ShardRoute<'a>>,
+    /// The durable client-session retry table (supervised service only).
+    pub sessions: Option<&'a SessionTable>,
 }
 
-/// A decoded request waiting for room in the command queue.
+impl<'a> ReactorCtx<'a> {
+    /// The queue commands for `shard` go to.
+    fn queue_of(&self, shard: u32) -> &'a BoundedQueue<Command> {
+        match &self.route {
+            Some(r) => &r.queues[shard as usize],
+            None => self.queue,
+        }
+    }
+
+    /// The shard's health slot, when supervised.
+    fn health_of(&self, shard: u32) -> Option<&'a ShardHealth> {
+        self.route.as_ref().map(|r| &r.healths[shard as usize])
+    }
+}
+
+/// A decoded request waiting for room in the command queue. `shard` is
+/// the owning shard core (always 0 for an unsharded service).
 enum Action {
     Begin {
         req_id: ReqId,
         txn: TxnId,
+        shard: u32,
         t0: Instant,
     },
     Op {
         req_id: ReqId,
         op: OpId,
+        shard: u32,
         t0: Instant,
     },
     Commit {
         req_id: ReqId,
         txn: TxnId,
+        shard: u32,
         t0: Instant,
     },
     Abort {
         req_id: ReqId,
         txn: TxnId,
+        shard: u32,
         t0: Instant,
     },
     /// Degrade-path abort of a live transaction (EOF, lost reply, bad
     /// frame): no response, but the abort must still reach the core.
+    /// The owning shard is resolved at submit time.
     Cleanup { txn: TxnId },
 }
 
@@ -96,6 +142,8 @@ enum PendingKind {
 struct Pending {
     req_id: ReqId,
     kind: PendingKind,
+    /// The shard core the command went to (resubmits go back there).
+    shard: u32,
     reply: Reply,
     /// Wire-to-wire start: when the request's bytes were read.
     t0: Instant,
@@ -138,6 +186,11 @@ pub(crate) struct Conn {
     deferred: VecDeque<Action>,
     /// Transactions begun on this connection and not yet finished.
     live: Vec<TxnId>,
+    /// The session id a [`Request::Hello`] bound to this connection;
+    /// relaxes the live-transaction validation (a resumed session may
+    /// legitimately commit a transaction it began on a dead connection)
+    /// and stamps every commit into the retry table.
+    session: Option<u64>,
     /// Timestamp of the latest socket read (wire-to-wire start for the
     /// requests it delivered).
     last_read: Instant,
@@ -166,6 +219,7 @@ impl Conn {
             pending: Vec::new(),
             deferred: VecDeque::new(),
             live: Vec::new(),
+            session: None,
             last_read: Instant::now(),
             eof: false,
             closing: false,
@@ -207,9 +261,13 @@ impl Conn {
         busy
     }
 
-    /// The server is shutting down: abort anything still live and close.
+    /// The server is shutting down gracefully: broadcast a typed
+    /// [`Response::Closing`] notice, abort anything still live through
+    /// the queue (the drain), and close once the farewell is flushed.
     pub(crate) fn begin_shutdown(&mut self, m: &mut NetMetrics) {
         if !self.closing {
+            m.closing_replies += 1;
+            self.respond(Response::Closing { req_id: 0 }, None, m);
             self.degrade(m);
         }
     }
@@ -308,34 +366,93 @@ impl Conn {
     fn handle_request(&mut self, req: Request, ctx: &ReactorCtx<'_>, m: &mut NetMetrics) {
         let t0 = self.last_read;
         let req_id = req.req_id();
+        // A sessionful connection may be a resumed one: its transactions
+        // began on a connection that died, so "live on this connection"
+        // is too strict — existence in the universe is the contract, and
+        // the core's commit-supremacy rules answer retries of retired or
+        // committed incarnations with their typed verdicts.
+        let resumed = self.session.is_some();
         let action = match req {
+            Request::Hello { session, .. } => {
+                self.session = Some(session);
+                m.hellos += 1;
+                self.respond(Response::Welcome { req_id }, Some(t0), m);
+                return;
+            }
             Request::Begin { txn, .. } => {
                 if ctx.txns.get(txn).is_none() || self.live.contains(&txn) {
                     return self.fail(req_id, ErrorCode::BadRequest, m);
                 }
-                Action::Begin { req_id, txn, t0 }
+                let Some(shard) = self.shard_of(ctx, txn) else {
+                    return self.fail(req_id, ErrorCode::BadRequest, m);
+                };
+                Action::Begin {
+                    req_id,
+                    txn,
+                    shard,
+                    t0,
+                }
             }
             Request::Read { op, object, .. } | Request::Write { op, object, .. } => {
                 let known = match ctx.txns.op(op) {
                     Ok(real) => real.mode == req.mode().unwrap() && real.object == object,
                     Err(_) => false,
                 };
-                if !known || !self.live.contains(&op.txn) {
+                if !known || !(resumed || self.live.contains(&op.txn)) {
                     return self.fail(req_id, ErrorCode::BadRequest, m);
                 }
-                Action::Op { req_id, op, t0 }
+                let Some(shard) = self.shard_of(ctx, op.txn) else {
+                    return self.fail(req_id, ErrorCode::BadRequest, m);
+                };
+                Action::Op {
+                    req_id,
+                    op,
+                    shard,
+                    t0,
+                }
             }
             Request::Commit { txn, .. } => {
-                if !self.live.contains(&txn) {
+                // Exactly-once fast path: a retried commit whose original
+                // ack is in the session table gets the original verdict
+                // back without touching the admission core at all.
+                if let (Some(table), Some(sess)) = (ctx.sessions, self.session) {
+                    if let Some((acked, acked_txn)) = table.lookup(sess) {
+                        if req_id == acked && txn == acked_txn {
+                            m.dup_commit_fast += 1;
+                            self.live.retain(|&t| t != txn);
+                            self.respond(Response::Committed { req_id }, Some(t0), m);
+                            return;
+                        }
+                    }
+                }
+                let known = self.live.contains(&txn) || (resumed && ctx.txns.get(txn).is_some());
+                if !known {
                     return self.fail(req_id, ErrorCode::BadRequest, m);
                 }
-                Action::Commit { req_id, txn, t0 }
+                let Some(shard) = self.shard_of(ctx, txn) else {
+                    return self.fail(req_id, ErrorCode::BadRequest, m);
+                };
+                Action::Commit {
+                    req_id,
+                    txn,
+                    shard,
+                    t0,
+                }
             }
             Request::Abort { txn, .. } => {
-                if !self.live.contains(&txn) {
+                let known = self.live.contains(&txn) || (resumed && ctx.txns.get(txn).is_some());
+                if !known {
                     return self.fail(req_id, ErrorCode::BadRequest, m);
                 }
-                Action::Abort { req_id, txn, t0 }
+                let Some(shard) = self.shard_of(ctx, txn) else {
+                    return self.fail(req_id, ErrorCode::BadRequest, m);
+                };
+                Action::Abort {
+                    req_id,
+                    txn,
+                    shard,
+                    t0,
+                }
             }
         };
         // Per-connection FIFO: nothing may overtake an already-deferred
@@ -378,8 +495,13 @@ impl Conn {
             return None; // shutting down; drop silently
         }
         match action {
-            Action::Begin { req_id, txn, t0 } => {
-                match ctx.queue.try_push(Command::Begin(txn)) {
+            Action::Begin {
+                req_id,
+                txn,
+                shard,
+                t0,
+            } => {
+                match ctx.queue_of(shard).try_push(Command::Begin(txn)) {
                     Ok(()) => {
                         // FIFO queue order applies the begin before any
                         // later command of this connection, so the ack
@@ -388,14 +510,24 @@ impl Conn {
                         self.respond(Response::Granted { req_id }, Some(t0), m);
                         None
                     }
-                    Err(PushError::Full(_)) => Some(Action::Begin { req_id, txn, t0 }),
+                    Err(PushError::Full(_)) => Some(Action::Begin {
+                        req_id,
+                        txn,
+                        shard,
+                        t0,
+                    }),
                     Err(PushError::Closed(_)) => {
-                        self.shutdown_error(req_id, m);
+                        self.on_closed(shard, req_id, ctx, m);
                         None
                     }
                 }
             }
-            Action::Op { req_id, op, t0 } => {
+            Action::Op {
+                req_id,
+                op,
+                shard,
+                t0,
+            } => {
                 let reply = Reply::new();
                 let seen = ctx.progress.current();
                 let now = Instant::now();
@@ -404,11 +536,12 @@ impl Conn {
                     enqueued: now,
                     reply: reply.clone(),
                 };
-                match ctx.queue.try_push(cmd) {
+                match ctx.queue_of(shard).try_push(cmd) {
                     Ok(()) => {
                         self.pending.push(Pending {
                             req_id,
                             kind: PendingKind::Op(op),
+                            shard,
                             reply,
                             t0,
                             submitted: now,
@@ -426,27 +559,40 @@ impl Conn {
                             self.respond(Response::Shed { req_id }, Some(t0), m);
                             None
                         }
-                        OverloadPolicy::Wait => Some(Action::Op { req_id, op, t0 }),
+                        OverloadPolicy::Wait => Some(Action::Op {
+                            req_id,
+                            op,
+                            shard,
+                            t0,
+                        }),
                     },
                     Err(PushError::Closed(_)) => {
-                        self.shutdown_error(req_id, m);
+                        self.on_closed(shard, req_id, ctx, m);
                         None
                     }
                 }
             }
-            Action::Commit { req_id, txn, t0 } => {
+            Action::Commit {
+                req_id,
+                txn,
+                shard,
+                t0,
+            } => {
                 let reply = Reply::new();
                 let now = Instant::now();
                 let cmd = Command::CommitAck {
                     txn,
                     enqueued: now,
                     reply: reply.clone(),
+                    stamp: self.commit_stamp(ctx),
+                    session: self.session_entry(req_id),
                 };
-                match ctx.queue.try_push(cmd) {
+                match ctx.queue_of(shard).try_push(cmd) {
                     Ok(()) => {
                         self.pending.push(Pending {
                             req_id,
                             kind: PendingKind::Commit(txn),
+                            shard,
                             reply,
                             t0,
                             submitted: now,
@@ -458,40 +604,111 @@ impl Conn {
                         });
                         None
                     }
-                    Err(PushError::Full(_)) => Some(Action::Commit { req_id, txn, t0 }),
+                    Err(PushError::Full(_)) => Some(Action::Commit {
+                        req_id,
+                        txn,
+                        shard,
+                        t0,
+                    }),
                     Err(PushError::Closed(_)) => {
-                        self.shutdown_error(req_id, m);
+                        self.on_closed(shard, req_id, ctx, m);
                         None
                     }
                 }
             }
-            Action::Abort { req_id, txn, t0 } => match ctx.queue.try_push(Command::Abort(txn)) {
+            Action::Abort {
+                req_id,
+                txn,
+                shard,
+                t0,
+            } => match ctx.queue_of(shard).try_push(Command::Abort(txn)) {
                 Ok(()) => {
                     self.live.retain(|&t| t != txn);
                     self.respond(Response::Granted { req_id }, Some(t0), m);
                     None
                 }
-                Err(PushError::Full(_)) => Some(Action::Abort { req_id, txn, t0 }),
+                Err(PushError::Full(_)) => Some(Action::Abort {
+                    req_id,
+                    txn,
+                    shard,
+                    t0,
+                }),
                 Err(PushError::Closed(_)) => {
-                    self.shutdown_error(req_id, m);
+                    self.on_closed(shard, req_id, ctx, m);
                     None
                 }
             },
-            Action::Cleanup { txn } => match ctx.queue.try_push(Command::Abort(txn)) {
-                Ok(()) => None,
-                Err(PushError::Full(_)) => Some(Action::Cleanup { txn }),
-                Err(PushError::Closed(_)) => {
-                    self.queue_closed = true;
-                    self.deferred.clear();
-                    None
+            Action::Cleanup { txn } => {
+                let shard = self.shard_of(ctx, txn).unwrap_or(0);
+                match ctx.queue_of(shard).try_push(Command::Abort(txn)) {
+                    Ok(()) => None,
+                    Err(PushError::Full(_)) => Some(Action::Cleanup { txn }),
+                    Err(PushError::Closed(_)) => {
+                        match ctx.health_of(shard) {
+                            Some(h) if !h.is_failed() => {
+                                // Shard mid-recovery: the orphan will be
+                                // rolled back by recovery itself; nothing
+                                // to clean up.
+                            }
+                            _ => {
+                                self.queue_closed = true;
+                                self.deferred.clear();
+                            }
+                        }
+                        None
+                    }
                 }
-            },
+            }
         }
     }
 
     fn shutdown_error(&mut self, req_id: ReqId, m: &mut NetMetrics) {
         self.queue_closed = true;
-        self.fail(req_id, ErrorCode::Shutdown, m);
+        m.closing_replies += 1;
+        self.respond(Response::Closing { req_id }, None, m);
+        self.degrade(m);
+    }
+
+    /// A shard queue refused a push because it is closed. Under
+    /// supervision that is a *transient* condition (the supervisor is
+    /// recovering the shard core in place): answer the typed retryable
+    /// [`Response::Recovering`] and drop the action — the client backs
+    /// off and re-sends, and a retried commit keeps its `req_id` so the
+    /// retry table still deduplicates it. Without supervision (or once
+    /// the restart budget is exhausted) a closed queue is terminal.
+    fn on_closed(&mut self, shard: u32, req_id: ReqId, ctx: &ReactorCtx<'_>, m: &mut NetMetrics) {
+        match ctx.health_of(shard) {
+            Some(h) if !h.is_failed() => {
+                m.recovering_replies += 1;
+                self.respond(Response::Recovering { req_id }, None, m);
+            }
+            _ => self.shutdown_error(req_id, m),
+        }
+    }
+
+    /// The global commit stamp a sharded commit carries (`None` for an
+    /// unsharded core, which orders commits by its own queue order).
+    fn commit_stamp(&self, ctx: &ReactorCtx<'_>) -> Option<u64> {
+        ctx.route
+            .as_ref()
+            .map(|r| r.seq.fetch_add(1, Ordering::SeqCst))
+    }
+
+    /// The `(session, req_id)` pair a commit is recorded under in the
+    /// retry table (`None` on a sessionless connection).
+    fn session_entry(&self, req_id: ReqId) -> Option<(u64, u64)> {
+        self.session.map(|s| (s, req_id))
+    }
+
+    /// The shard core owning `txn`, or `None` for a cross-shard
+    /// transaction — those are not admissible over the wire.
+    fn shard_of(&self, ctx: &ReactorCtx<'_>, txn: TxnId) -> Option<u32> {
+        let Some(r) = &ctx.route else { return Some(0) };
+        match r.map.shards_of_txn(ctx.txns, txn).as_slice() {
+            &[s] => Some(s),
+            // Zero ops shares a fate with cross-shard: nothing to route by.
+            _ => None,
+        }
     }
 
     /// Polls every in-flight reply cell; applies decisions, runs the
@@ -541,7 +758,7 @@ impl Conn {
                         enqueued: now,
                         reply: reply.clone(),
                     };
-                    if ctx.queue.try_push(cmd).is_ok() {
+                    if ctx.queue_of(p.shard).try_push(cmd).is_ok() {
                         p.reply = reply;
                         p.submitted = now;
                         p.seen = seen;

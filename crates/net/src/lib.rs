@@ -73,6 +73,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod client;
 mod conn;
 pub mod metrics;
@@ -80,7 +81,13 @@ mod reactor;
 pub mod server;
 pub mod wire;
 
-pub use client::{drive, ClientStats, LoadConfig};
+pub use chaos::{ChaosDice, ChaosPlan, WireFault};
+pub use client::{
+    drive, drive_resilient, ClientStats, LoadConfig, ResilientConfig, ResilientStats,
+};
 pub use metrics::{NetMetrics, NetReport};
-pub use server::{serve_net, NetConfig};
+pub use server::{
+    serve_net, serve_net_supervised, serve_net_supervised_in, NetConfig, SuperviseNetConfig,
+    SupervisedNetReport,
+};
 pub use wire::{ErrorCode, ReqId, Request, Response, WireError};

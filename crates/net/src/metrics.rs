@@ -50,6 +50,19 @@ pub struct NetMetrics {
     /// Connections closed because the admission core never answered one
     /// of their requests (reply watchdog).
     pub reply_lost_closes: u64,
+    /// Sessions opened ([`Hello`](crate::wire::Request::Hello) accepted).
+    pub hellos: u64,
+    /// Requests answered
+    /// [`Recovering`](crate::wire::Response::Recovering): their shard's
+    /// core was down mid-supervised-restart, nothing was enqueued, the
+    /// client retries.
+    pub recovering_replies: u64,
+    /// Retried commits answered straight from the session retry table —
+    /// the original verdict re-sent without touching the admission core.
+    pub dup_commit_fast: u64,
+    /// [`Closing`](crate::wire::Response::Closing) notices sent
+    /// (graceful-shutdown broadcasts plus per-request refusals).
+    pub closing_replies: u64,
     /// Frame decode + request parse latency.
     pub decode: LatencyHistogram,
     /// Decision-taken → response-bytes-on-the-socket latency.
@@ -71,6 +84,10 @@ impl NetMetrics {
         self.timeout_aborts += other.timeout_aborts;
         self.bad_frame_closes += other.bad_frame_closes;
         self.reply_lost_closes += other.reply_lost_closes;
+        self.hellos += other.hellos;
+        self.recovering_replies += other.recovering_replies;
+        self.dup_commit_fast += other.dup_commit_fast;
+        self.closing_replies += other.closing_replies;
         self.decode.merge(&other.decode);
         self.reply.merge(&other.reply);
         self.wire.merge(&other.wire);
@@ -89,10 +106,15 @@ impl fmt::Display for NetMetrics {
             self.deferrals,
             self.retries
         )?;
-        write!(
+        writeln!(
             f,
             "net closes: bad_frame={} reply_lost={} timeout_aborts={}",
             self.bad_frame_closes, self.reply_lost_closes, self.timeout_aborts
+        )?;
+        write!(
+            f,
+            "net sessions: hellos={} recovering={} dup_commit_fast={} closing={}",
+            self.hellos, self.recovering_replies, self.dup_commit_fast, self.closing_replies
         )
     }
 }

@@ -1,19 +1,25 @@
 //! Server orchestration: listener + acceptor + reactors + the
 //! single-writer admission core, wired under one `thread::scope`.
 
-use crate::conn::ReactorCtx;
+use crate::conn::{ReactorCtx, ShardRoute};
 use crate::metrics::{histogram_of, NetMetrics, NetReport};
 use crate::reactor::{accept_loop, run_reactor};
+use relser_core::shard::ShardMap;
+use relser_core::spec::AtomicitySpec;
 use relser_core::txn::TxnSet;
 use relser_protocols::Scheduler;
 use relser_server::core::{run_core_durable, Command, FaultPlan, Progress};
 use relser_server::queue::BoundedQueue;
-use relser_server::{OverloadPolicy, ServerMetrics};
+use relser_server::recovery::{recover_sharded_segments_with_certifier, ShardedRecovery};
+use relser_server::supervisor::{
+    supervise_shard, SessionTable, ShardHealth, SupervisedRun, SupervisorCfg,
+};
+use relser_server::{Certifier, OverloadPolicy, ServerMetrics};
 use relser_simdb::metrics::DecisionLatency;
-use relser_wal::CommitLog;
+use relser_wal::{CheckpointPolicy, CommitLog, FsyncPolicy, MemSegmentStore, MemSegmentsHandle};
 use std::io;
 use std::net::{SocketAddr, TcpListener};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::time::{Duration, Instant};
 
@@ -64,6 +70,34 @@ impl Default for NetConfig {
     }
 }
 
+impl NetConfig {
+    /// Sets the reactor's reply watchdog: how long the core may stay
+    /// silent on a submitted request before the connection is degraded
+    /// with [`crate::wire::ErrorCode::ReplyLost`].
+    pub fn with_reply_timeout(mut self, t: Duration) -> NetConfig {
+        self.reply_timeout = t;
+        self
+    }
+
+    /// Sets the waits-for block timeout (deadlock resolution).
+    pub fn with_block_timeout(mut self, t: Duration) -> NetConfig {
+        self.block_timeout = t;
+        self
+    }
+
+    /// Sets the reactor/acceptor idle poll quantum.
+    pub fn with_poll_quantum(mut self, t: Duration) -> NetConfig {
+        self.poll_quantum = t;
+        self
+    }
+
+    /// Sets the reactor thread count.
+    pub fn with_reactors(mut self, n: usize) -> NetConfig {
+        self.reactors = n;
+        self
+    }
+}
+
 /// Serves the transaction set over real TCP on a loopback address.
 ///
 /// Binds `127.0.0.1:0`, spawns the admission core, `cfg.reactors`
@@ -103,6 +137,8 @@ pub fn serve_net<R>(
         block_timeout: cfg.block_timeout,
         retry_slice: cfg.retry_slice,
         reply_timeout: cfg.reply_timeout,
+        route: None,
+        sessions: None,
     };
     let t0 = Instant::now();
 
@@ -175,6 +211,9 @@ pub fn serve_net<R>(
         max_txn_attempts: 0,
         wal: core_out.wal,
         wal_error: core_out.wal_error.clone(),
+        supervisor_restarts: 0,
+        supervisor_panics: 0,
+        failed_shards: 0,
     };
     let admit = histogram_of(&core_out.decision_ns);
 
@@ -187,6 +226,306 @@ pub fn serve_net<R>(
             metrics,
             net,
             admit,
+        },
+        client_out,
+    ))
+}
+
+/// Supervision tunables for one [`serve_net_supervised`] run.
+#[derive(Clone, Debug)]
+pub struct SuperviseNetConfig {
+    /// Shard cores (the object space is partitioned across them).
+    pub shards: usize,
+    /// The engine recovery re-certifies committed history with.
+    pub certifier: Certifier,
+    /// Fsync policy of every shard core's segmented log.
+    pub fsync: FsyncPolicy,
+    /// Checkpoint/rotation policy of every shard core's log.
+    pub ckpt: CheckpointPolicy,
+    /// Per-shard supervisor restart budget.
+    pub max_restarts: u64,
+}
+
+impl Default for SuperviseNetConfig {
+    fn default() -> Self {
+        SuperviseNetConfig {
+            shards: 2,
+            certifier: Certifier::default(),
+            fsync: FsyncPolicy::Always,
+            ckpt: CheckpointPolicy::default(),
+            max_restarts: 8,
+        }
+    }
+}
+
+/// What one supervised sharded run produced. The WAL segment streams are
+/// the source of truth: `recovery` is their offline merge through
+/// [`recover_sharded_segments_with_certifier`] — the committed set and
+/// history it reports are what a post-crash service would serve, which
+/// is exactly the set acknowledged commits must be a subset of.
+pub struct SupervisedNetReport {
+    /// The offline merge of every shard's retained segment stream.
+    pub recovery: ShardedRecovery,
+    /// Per-shard supervisor outcomes (index = shard id).
+    pub runs: Vec<SupervisedRun>,
+    /// Merged core metrics (supervisor counters included).
+    pub metrics: ServerMetrics,
+    /// Merged reactor metrics.
+    pub net: NetMetrics,
+    /// Per-reactor-stage latency report.
+    pub report: NetReport,
+}
+
+/// [`serve_net`] with the supervised sharded back-end: `sup.shards`
+/// shard cores, each under [`supervise_shard`]'s panic/fail-stop
+/// boundary, a durable client-session retry table for exactly-once
+/// commit retries, and per-shard segmented WALs recovered **in place**
+/// when a core dies — the process, the listener, and every other shard
+/// keep serving.
+///
+/// `make_scheduler(shard)` must return a fresh scheduler each call (the
+/// supervisor also calls it on every restart). `faults` is one
+/// [`FaultPlan`] per shard (empty = no faults anywhere), applied to each
+/// shard's *first* incarnation only.
+///
+/// Only single-shard transactions are admissible over the wire; the
+/// cross-shard two-phase admit remains an in-process protocol.
+pub fn serve_net_supervised<'e, R>(
+    txns: &'e TxnSet,
+    spec: &'e AtomicitySpec,
+    make_scheduler: impl Fn(u32) -> Box<dyn Scheduler + Send + 'e> + Sync,
+    cfg: &NetConfig,
+    sup: &SuperviseNetConfig,
+    faults: &[FaultPlan],
+    client: impl FnOnce(SocketAddr) -> R,
+) -> io::Result<(SupervisedNetReport, R)> {
+    let stores: Vec<MemSegmentsHandle> =
+        (0..sup.shards).map(|_| MemSegmentStore::new().1).collect();
+    serve_net_supervised_in(
+        txns,
+        spec,
+        make_scheduler,
+        cfg,
+        sup,
+        faults,
+        &stores,
+        client,
+    )
+}
+
+/// [`serve_net_supervised`] over caller-owned segment stores — non-empty
+/// stores are recovered and resumed, so a second call with the same
+/// stores models a whole-service restart: every commit the first life
+/// acknowledged is served (and re-certified) by the second.
+#[allow(clippy::too_many_arguments)]
+pub fn serve_net_supervised_in<'e, R>(
+    txns: &'e TxnSet,
+    spec: &'e AtomicitySpec,
+    make_scheduler: impl Fn(u32) -> Box<dyn Scheduler + Send + 'e> + Sync,
+    cfg: &NetConfig,
+    sup: &SuperviseNetConfig,
+    faults: &[FaultPlan],
+    stores: &[MemSegmentsHandle],
+    client: impl FnOnce(SocketAddr) -> R,
+) -> io::Result<(SupervisedNetReport, R)> {
+    assert!(cfg.reactors >= 1, "need at least one reactor");
+    assert!(sup.shards >= 1, "need at least one shard");
+    assert!(
+        faults.is_empty() || faults.len() == sup.shards,
+        "fault plans must be absent or one per shard"
+    );
+    assert!(stores.len() == sup.shards, "one segment store per shard");
+    let shards = sup.shards;
+    let listener = TcpListener::bind((std::net::Ipv4Addr::LOCALHOST, 0))?;
+    let addr = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+
+    let queues: Vec<BoundedQueue<Command>> = (0..shards)
+        .map(|_| BoundedQueue::new(cfg.queue_capacity))
+        .collect();
+    let healths: Vec<ShardHealth> = (0..shards).map(|_| ShardHealth::new()).collect();
+    let sessions = SessionTable::new();
+    let progress = Progress::new();
+    let stop = AtomicBool::new(false);
+    let seq = AtomicU64::new(0);
+    let epochs: Vec<AtomicU64> = (0..shards).map(|_| AtomicU64::new(0)).collect();
+    let default_faults = FaultPlan::default();
+
+    let ctx = ReactorCtx {
+        queue: &queues[0],
+        progress: &progress,
+        txns,
+        policy: cfg.policy,
+        max_inflight: cfg.max_inflight,
+        block_timeout: cfg.block_timeout,
+        retry_slice: cfg.retry_slice,
+        reply_timeout: cfg.reply_timeout,
+        route: Some(ShardRoute {
+            queues: &queues,
+            healths: &healths,
+            map: ShardMap::new(shards as u32),
+            seq: &seq,
+        }),
+        sessions: Some(&sessions),
+    };
+    let sup_cfg = SupervisorCfg {
+        txns,
+        spec,
+        certifier: sup.certifier,
+        fsync: sup.fsync,
+        ckpt: sup.ckpt,
+        batch_max: cfg.batch_max,
+        record_trace: cfg.record_trace,
+        max_restarts: sup.max_restarts,
+    };
+    let t0 = Instant::now();
+
+    let (runs, net, client_out) = std::thread::scope(|s| {
+        let make_scheduler = &make_scheduler;
+        let sup_cfg = &sup_cfg;
+        let stop_ref = &stop;
+        let ctx_ref = &ctx;
+        let listener_ref = &listener;
+        let mut cores = Vec::with_capacity(shards);
+        for shard in 0..shards {
+            let queue = &queues[shard];
+            let health = &healths[shard];
+            let store = &stores[shard];
+            let sessions = &sessions;
+            let progress = &progress;
+            let seq = &seq;
+            let epochs = &epochs[..];
+            let plan = if faults.is_empty() {
+                &default_faults
+            } else {
+                &faults[shard]
+            };
+            cores.push(s.spawn(move || {
+                supervise_shard(
+                    || make_scheduler(shard as u32),
+                    queue,
+                    progress,
+                    plan,
+                    store,
+                    health,
+                    sessions,
+                    stop_ref,
+                    shard as u32,
+                    seq,
+                    epochs,
+                    sup_cfg,
+                )
+            }));
+        }
+        let mut senders = Vec::with_capacity(cfg.reactors);
+        let mut reactors = Vec::with_capacity(cfg.reactors);
+        for _ in 0..cfg.reactors {
+            let (tx, rx) = mpsc::channel();
+            senders.push(tx);
+            reactors.push(s.spawn(move || run_reactor(ctx_ref, rx, stop_ref, cfg.poll_quantum)));
+        }
+        let acceptor =
+            s.spawn(move || accept_loop(listener_ref, senders, stop_ref, cfg.poll_quantum));
+
+        let client_out = client(addr);
+
+        stop.store(true, Ordering::Release);
+        acceptor.join().expect("acceptor thread panicked");
+        let mut net = NetMetrics::default();
+        for r in reactors {
+            net.merge(&r.join().expect("reactor thread panicked"));
+        }
+        // A supervisor mid-recovery reopens its queue after we close it,
+        // so keep fencing until every shard loop has actually exited.
+        loop {
+            for q in &queues {
+                q.close();
+            }
+            if cores.iter().all(|c| c.is_finished()) {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let runs: Vec<SupervisedRun> = cores
+            .into_iter()
+            .map(|c| c.join().expect("supervisor thread panicked"))
+            .collect();
+        (runs, net, client_out)
+    });
+    let elapsed = t0.elapsed();
+
+    // The WAL is the source of truth: merge every shard's retained
+    // segment stream offline, rolling back crash orphans and
+    // re-certifying the merged history.
+    let segment_streams: Vec<Vec<(u64, Vec<u8>)>> = stores.iter().map(|h| h.segments()).collect();
+    let recovery = recover_sharded_segments_with_certifier(
+        txns,
+        spec,
+        |shard| make_scheduler(shard),
+        &segment_streams,
+        sup.certifier,
+    )
+    .map_err(|e| io::Error::other(format!("final WAL merge failed: {e}")))?;
+
+    let mut metrics: Option<ServerMetrics> = None;
+    for (shard, run) in runs.iter().enumerate() {
+        let out = &run.output;
+        let m = ServerMetrics {
+            workers: net.connections as usize,
+            commits: out.commits,
+            aborts: out.aborts,
+            timeout_aborts: out.timeout_aborts,
+            requests: out.grants + out.blocked + out.aborts,
+            grants: out.grants,
+            blocked: out.blocked,
+            commands: out.commands,
+            batches: out.batches,
+            max_batch: out.max_batch,
+            queue: queues[shard].stats(),
+            decision: DecisionLatency::from_samples(&out.decision_ns),
+            admission: out.admission.clone(),
+            queue_wait: out.queue_wait.clone(),
+            wal_sync: histogram_of(&out.wal_sync_ns),
+            elapsed,
+            wal: out.wal,
+            wal_error: out.wal_error.clone(),
+            supervisor_restarts: run.restarts,
+            supervisor_panics: run.panics,
+            failed_shards: run.gave_up as u64,
+            ..ServerMetrics::default()
+        };
+        match metrics.as_mut() {
+            Some(agg) => agg.merge(&m),
+            None => metrics = Some(m),
+        }
+    }
+    let mut metrics = metrics.expect("at least one shard");
+    metrics.workers = net.connections as usize;
+    metrics.sheds = net.sheds;
+    // Whole-service truth from the offline merge, not the final
+    // incarnations (whose in-memory view a crash may have eaten).
+    metrics.commits = recovery.committed.len() as u64;
+    metrics.committed_ops = recovery.history.len() as u64;
+    metrics.elapsed = elapsed;
+
+    let admit = metrics.admission.clone();
+    let report = NetReport {
+        committed: recovery.committed.clone(),
+        log: recovery.history.clone(),
+        trace: Vec::new(),
+        crashed: runs.iter().any(|r| r.gave_up),
+        metrics: metrics.clone(),
+        net: net.clone(),
+        admit,
+    };
+
+    Ok((
+        SupervisedNetReport {
+            recovery,
+            runs,
+            metrics,
+            net,
+            report,
         },
         client_out,
     ))

@@ -20,8 +20,9 @@ use relser_frame::{begin_frame, decode_frame, finish_frame, FrameError};
 use relser_protocols::AbortReason;
 use std::fmt;
 
-/// Upper bound on a wire payload. The largest real message is 21 bytes;
-/// anything claiming more is corruption, rejected before any buffering.
+/// Upper bound on a wire payload. The largest real message is 25 bytes
+/// (a session `Hello`); anything claiming more is corruption, rejected
+/// before any buffering.
 pub const MAX_PAYLOAD: u32 = 64;
 
 /// A client-chosen request correlation id, echoed by the response.
@@ -78,6 +79,21 @@ pub enum Request {
         /// The transaction to abort.
         txn: TxnId,
     },
+    /// Opens (or resumes, after a reconnect) a client session. Answered
+    /// [`Response::Welcome`]. A session id binds this connection to the
+    /// server's durable retry table: every later `Commit` on the
+    /// connection is recorded against it, so a retried commit — same
+    /// session, same `req_id`, re-sent over a fresh connection — gets
+    /// the **original** verdict back instead of being applied twice.
+    Hello {
+        /// Correlation id.
+        req_id: ReqId,
+        /// The client-chosen session id (stable across reconnects).
+        session: u64,
+        /// The highest `req_id` this client has seen acknowledged; purely
+        /// diagnostic today (the retry table is authoritative).
+        resume_from: u64,
+    },
 }
 
 /// A server → client message, correlated to its request by `req_id`.
@@ -118,6 +134,27 @@ pub enum Response {
         req_id: ReqId,
         /// What went wrong.
         code: ErrorCode,
+    },
+    /// Session accepted ([`Request::Hello`] acknowledged); commits on
+    /// this connection are retry-protected from here on.
+    Welcome {
+        /// Echo of the request's id.
+        req_id: ReqId,
+    },
+    /// The shard serving this request crashed and is being recovered in
+    /// place; nothing was enqueued. Retryable: the client backs off and
+    /// re-sends (a retried `Commit` keeps its original `req_id`, so the
+    /// retry table still deduplicates it). Other shards are unaffected.
+    Recovering {
+        /// Echo of the request's id.
+        req_id: ReqId,
+    },
+    /// The server is draining for a graceful shutdown: in-flight work is
+    /// being answered, the WAL is being synced, no new work is accepted.
+    /// Sent with `req_id` 0 as a broadcast, then per refused request.
+    Closing {
+        /// Echo of the refused request's id (0 for the broadcast).
+        req_id: ReqId,
     },
 }
 
@@ -197,12 +234,16 @@ const REQ_READ: u8 = 2;
 const REQ_WRITE: u8 = 3;
 const REQ_COMMIT: u8 = 4;
 const REQ_ABORT: u8 = 5;
+const REQ_HELLO: u8 = 6;
 
 const RESP_GRANTED: u8 = 1;
 const RESP_COMMITTED: u8 = 2;
 const RESP_ABORTED: u8 = 3;
 const RESP_SHED: u8 = 4;
 const RESP_ERROR: u8 = 5;
+const RESP_WELCOME: u8 = 6;
+const RESP_RECOVERING: u8 = 7;
+const RESP_CLOSING: u8 = 8;
 
 fn reason_to_u8(r: &AbortReason) -> u8 {
     match r {
@@ -258,7 +299,8 @@ impl Request {
             | Request::Read { req_id, .. }
             | Request::Write { req_id, .. }
             | Request::Commit { req_id, .. }
-            | Request::Abort { req_id, .. } => req_id,
+            | Request::Abort { req_id, .. }
+            | Request::Hello { req_id, .. } => req_id,
         }
     }
 
@@ -284,6 +326,18 @@ impl Request {
             }
             Request::Commit { req_id, txn } => put_frame(buf, REQ_COMMIT, req_id, &[txn.0]),
             Request::Abort { req_id, txn } => put_frame(buf, REQ_ABORT, req_id, &[txn.0]),
+            Request::Hello {
+                req_id,
+                session,
+                resume_from,
+            } => {
+                let start = begin_frame(buf);
+                buf.push(REQ_HELLO);
+                buf.extend_from_slice(&req_id.to_le_bytes());
+                buf.extend_from_slice(&session.to_le_bytes());
+                buf.extend_from_slice(&resume_from.to_le_bytes());
+                finish_frame(buf, start, MAX_PAYLOAD).expect("wire payload within bound");
+            }
         }
     }
 
@@ -325,6 +379,16 @@ impl Request {
                     Request::Write { req_id, op, object }
                 }
             }
+            REQ_HELLO => {
+                if body != 24 {
+                    return Err(malformed);
+                }
+                Request::Hello {
+                    req_id: get_req_id(p),
+                    session: u64::from_le_bytes(p[9..17].try_into().unwrap()),
+                    resume_from: u64::from_le_bytes(p[17..25].try_into().unwrap()),
+                }
+            }
             other => return Err(WireError::UnknownTag(other)),
         };
         Ok((req, frame.consumed))
@@ -339,7 +403,10 @@ impl Response {
             | Response::Committed { req_id }
             | Response::Aborted { req_id, .. }
             | Response::Shed { req_id }
-            | Response::Error { req_id, .. } => *req_id,
+            | Response::Error { req_id, .. }
+            | Response::Welcome { req_id }
+            | Response::Recovering { req_id }
+            | Response::Closing { req_id } => *req_id,
         }
     }
 
@@ -353,6 +420,9 @@ impl Response {
             }
             Response::Shed { req_id } => put_frame(buf, RESP_SHED, *req_id, &[]),
             Response::Error { req_id, code } => put_frame_u8(buf, RESP_ERROR, *req_id, *code as u8),
+            Response::Welcome { req_id } => put_frame(buf, RESP_WELCOME, *req_id, &[]),
+            Response::Recovering { req_id } => put_frame(buf, RESP_RECOVERING, *req_id, &[]),
+            Response::Closing { req_id } => put_frame(buf, RESP_CLOSING, *req_id, &[]),
         }
     }
 
@@ -365,7 +435,8 @@ impl Response {
         let body = p.len() - 1;
         let malformed = WireError::Malformed { tag, len: body };
         let resp = match tag {
-            RESP_GRANTED | RESP_COMMITTED | RESP_SHED => {
+            RESP_GRANTED | RESP_COMMITTED | RESP_SHED | RESP_WELCOME | RESP_RECOVERING
+            | RESP_CLOSING => {
                 if body != 8 {
                     return Err(malformed);
                 }
@@ -373,7 +444,10 @@ impl Response {
                 match tag {
                     RESP_GRANTED => Response::Granted { req_id },
                     RESP_COMMITTED => Response::Committed { req_id },
-                    _ => Response::Shed { req_id },
+                    RESP_SHED => Response::Shed { req_id },
+                    RESP_WELCOME => Response::Welcome { req_id },
+                    RESP_RECOVERING => Response::Recovering { req_id },
+                    _ => Response::Closing { req_id },
                 }
             }
             RESP_ABORTED => {
@@ -434,6 +508,11 @@ mod tests {
                 req_id: 43,
                 txn: TxnId(17),
             },
+            Request::Hello {
+                req_id: 44,
+                session: u64::MAX,
+                resume_from: 0x0102_0304_0506_0708,
+            },
         ]
     }
 
@@ -450,6 +529,9 @@ mod tests {
                 req_id: 0,
                 code: ErrorCode::ReplyLost,
             },
+            Response::Welcome { req_id: 11 },
+            Response::Recovering { req_id: 12 },
+            Response::Closing { req_id: 0 },
         ]
     }
 

@@ -16,11 +16,13 @@
 //! shared [`Progress`] epoch, which wakes blocked sessions to retry.
 
 use crate::queue::{BoundedQueue, PopWait};
+use crate::supervisor::SessionTable;
 use relser_core::ids::{OpId, TxnId};
 use relser_core::shard::ArcExchange;
 use relser_protocols::{AbortReason, Decision, Scheduler};
 use relser_simdb::metrics::LatencyHistogram;
 use relser_wal::{Checkpoint, CheckpointEvent, CommitLog, FsyncPolicy, WalRecord, WalStats};
+use std::collections::HashSet;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -229,6 +231,15 @@ pub enum Command {
         enqueued: Instant,
         /// Filled `Granted` once the commit is durable and applied.
         reply: Reply,
+        /// Sharded front-ends set the global commit stamp here, making
+        /// this an acknowledged [`Command::CommitAt`] (the stamp totally
+        /// orders commits across shards for recovery's merge).
+        stamp: Option<u64>,
+        /// Exactly-once retries: `(session, req_id)` recorded in the
+        /// same WAL frame as the commit ([`WalRecord::CommitSession`])
+        /// and in the shard's [`SessionTable`], so a retried commit is
+        /// answered with the original verdict instead of re-executing.
+        session: Option<(u64, u64)>,
     },
     /// Session-initiated abort (waits-for timeout fired while blocked).
     Abort(TxnId),
@@ -376,6 +387,16 @@ pub struct CoreOutput {
     pub admit_rejects: u64,
     /// Router-initiated rollbacks applied (two-phase admit unwinds).
     pub rollbacks: u64,
+    /// Commands refused under commit supremacy: operations and commits
+    /// of retired (rolled-back) incarnations answered
+    /// `Aborted(Retired)`, and stale aborts of already-committed
+    /// transactions ignored. These protect acknowledged commits from
+    /// client retries racing orphan cleanup.
+    pub retired_refusals: u64,
+    /// Retried commit acknowledgments answered idempotently from the
+    /// committed set — the original verdict re-sent, nothing re-applied
+    /// or re-logged.
+    pub duplicate_commit_acks: u64,
 }
 
 /// Runs the admission core until the queue is closed and drained.
@@ -433,6 +454,15 @@ pub struct ShardCoreCtx<'a> {
     /// One commit-epoch counter per shard; this core bumps its own on
     /// every commit it applies.
     pub epochs: &'a [AtomicU64],
+    /// The shared client-session retry table ([`SessionTable`]), updated
+    /// on every sessionful commit and snapshotted into checkpoints.
+    /// `None` for sessionless services (the pre-supervision paths).
+    pub sessions: Option<&'a SessionTable>,
+    /// Transactions recovered as committed by a previous incarnation of
+    /// this shard core. Seeds the commit-supremacy set so retried
+    /// commits stay idempotent and stale aborts of durably-committed
+    /// transactions are refused across a supervised restart.
+    pub recovered_committed: Vec<TxnId>,
 }
 
 /// Per-shard mutable state derived from [`ShardCoreCtx`] for one run.
@@ -555,6 +585,24 @@ fn run_core_inner(
     });
     let track_live = wal.as_ref().is_some_and(|w| w.wants_checkpoints());
     let mut live_events: Vec<CheckpointEvent> = Vec::new();
+    // Commit supremacy: the set of transactions this core (or, via the
+    // seed, a previous incarnation of it) durably committed, and the set
+    // currently live. Commands that would contradict a durable commit —
+    // a stale abort from orphan cleanup, a retried begin — are no-ops,
+    // and operations of retired incarnations are refused with a typed
+    // retryable verdict instead of silently corrupting the history.
+    let mut live: HashSet<TxnId> = HashSet::new();
+    let mut committed: HashSet<TxnId> = shard
+        .as_ref()
+        .map(|s| s.ctx.recovered_committed.iter().copied().collect())
+        .unwrap_or_default();
+    // The recovered commits also join the committed *list*: the next
+    // checkpoint this incarnation cuts must cover them, or rotation
+    // would delete the only segments that record them.
+    if let Some(s) = shard.as_ref() {
+        out.committed
+            .extend(s.ctx.recovered_committed.iter().copied());
+    }
     'serve: loop {
         let popped = match idle_tick {
             Some(tick) => queue.pop_batch_timeout(batch_max, &mut batch, tick),
@@ -603,6 +651,8 @@ fn run_core_inner(
                 track_live,
                 &mut live_events,
                 &mut shard,
+                &mut live,
+                &mut committed,
             ) {
                 Ok(()) => continue,
                 Err(h) => h,
@@ -653,10 +703,24 @@ fn run_core_inner(
             if let Some(w) = wal.as_mut() {
                 if w.checkpoint_due() {
                     live_events.retain(|e| !scheduler.retired(event_txn(e)));
+                    // Session entries ride in the checkpoint so the
+                    // retry table survives segment rotation; filtered to
+                    // this shard's committed set, which is exactly the
+                    // filter recovery re-applies when rebuilding it.
+                    let sessions = shard
+                        .as_ref()
+                        .and_then(|s| s.ctx.sessions)
+                        .map(|t| {
+                            let mut snap = t.snapshot();
+                            snap.retain(|e| committed.contains(&e.txn));
+                            snap
+                        })
+                        .unwrap_or_default();
                     let cp = Checkpoint {
                         shard: shard.as_ref().map_or(0, |s| s.ctx.shard),
                         committed: out.committed.clone(),
                         events: live_events.clone(),
+                        sessions,
                     };
                     if let Err(e) = w.install_checkpoint(cp) {
                         out.crashed = true;
@@ -716,6 +780,8 @@ fn apply_command(
     track_live: bool,
     live_events: &mut Vec<CheckpointEvent>,
     shard: &mut Option<ShardState<'_>>,
+    live: &mut HashSet<TxnId>,
+    committed: &mut HashSet<TxnId>,
 ) -> Result<(), Halt> {
     if faults.crash_at_command == Some(out.commands) {
         let reply = match cmd {
@@ -735,11 +801,21 @@ fn apply_command(
     out.commands += 1;
     match cmd {
         Command::Begin(txn) => {
+            // A begin for a transaction that already committed (client
+            // retry racing its own ack) or is still live (reconnect
+            // racing orphan cleanup) is a no-op: beginning it again
+            // would double-register it with the scheduler. The retrying
+            // client's next operation gets a typed verdict instead.
+            if committed.contains(&txn) || live.contains(&txn) {
+                out.retired_refusals += 1;
+                return Ok(());
+            }
             if let Err(e) = wal_append(WalRecord::Begin(txn)) {
                 out.commands -= 1;
                 return Err(Halt::WalBroken(e, None));
             }
             scheduler.begin(txn);
+            live.insert(txn);
             if track_live {
                 live_events.push(CheckpointEvent::Begin(txn));
             }
@@ -754,6 +830,17 @@ fn apply_command(
         } => {
             let request_index = *requests_seen;
             *requests_seen += 1;
+            // Commit supremacy: an operation for a transaction that
+            // already committed, or whose incarnation was rolled back
+            // (crash recovery, orphan cleanup), must not touch the
+            // scheduler — granting it would resurrect purged state. The
+            // typed `Retired` verdict tells the client to restart (or,
+            // if it was mid-retry of a commit, to re-send the commit).
+            if committed.contains(&op.txn) || !live.contains(&op.txn) {
+                out.retired_refusals += 1;
+                reply.fill(Decision::Aborted(AbortReason::Retired));
+                return Ok(());
+            }
             if faults.drop_replies.contains(&request_index) {
                 // Injected reply loss: the cell is dropped unfilled — the
                 // submitter's watchdog turns the silence into `ReplyLost`.
@@ -776,6 +863,7 @@ fn apply_command(
                 }
                 out.injected_aborts += 1;
                 scheduler.abort(op.txn);
+                live.remove(&op.txn);
                 out.log.retain(|o| o.txn != op.txn);
                 out.seq_log.retain(|&(_, o)| o.txn != op.txn);
                 if track_live {
@@ -830,6 +918,7 @@ fn apply_command(
                     // atomic w.r.t. other commands.
                     out.aborts += 1;
                     scheduler.abort(op.txn);
+                    live.remove(&op.txn);
                     out.log.retain(|o| o.txn != op.txn);
                     out.seq_log.retain(|&(_, o)| o.txn != op.txn);
                     if track_live {
@@ -844,6 +933,16 @@ fn apply_command(
             reply.fill(decision);
         }
         Command::Commit(txn) => {
+            // Idempotence / supremacy: a duplicate commit is a no-op, a
+            // commit of a rolled-back incarnation is refused (its grants
+            // were purged; committing would certify a hole).
+            if committed.contains(&txn) {
+                return Ok(());
+            }
+            if !live.contains(&txn) {
+                out.retired_refusals += 1;
+                return Ok(());
+            }
             // The commit record is durable (under `Always`) before the
             // commit is applied and counted: an acknowledged commit can
             // never be lost, an unlogged one is never acknowledged.
@@ -854,6 +953,8 @@ fn apply_command(
             scheduler.commit(txn);
             out.commits += 1;
             out.committed.push(txn);
+            live.remove(&txn);
+            committed.insert(txn);
             if track_live {
                 live_events.push(CheckpointEvent::Commit(txn));
             }
@@ -866,18 +967,72 @@ fn apply_command(
             txn,
             enqueued,
             reply,
+            stamp,
+            session,
         } => {
             out.queue_wait.record(enqueued.elapsed().as_nanos() as u64);
+            if committed.contains(&txn) {
+                // Exactly-once: a retried commit of an already-durable
+                // transaction re-sends the original verdict. The session
+                // table is refreshed so the connection fast-path catches
+                // the next retry without reaching the core at all.
+                if let (Some((sess, req)), Some(s)) = (session, shard.as_ref()) {
+                    if let Some(table) = s.ctx.sessions {
+                        table.record(sess, req, txn);
+                    }
+                }
+                out.duplicate_commit_acks += 1;
+                reply.fill(Decision::Granted);
+                return Ok(());
+            }
+            if !live.contains(&txn) {
+                // The incarnation was rolled back (crash recovery or
+                // orphan cleanup) — its grants are gone, so committing
+                // now would acknowledge a hole. `Retired` tells the
+                // client to restart the transaction from its begin.
+                out.retired_refusals += 1;
+                reply.fill(Decision::Aborted(AbortReason::Retired));
+                return Ok(());
+            }
             // Same WAL-before-ack discipline as `Commit`, with the
             // acknowledgment made explicit: the reply is filled only
             // after the append (and, under `Always`, its fsync) succeeds.
-            if let Err(e) = wal_append(WalRecord::Commit(txn)) {
+            // A sessionful commit uses the indivisible `CommitSession`
+            // frame — verdict and retry-table entry share one durability
+            // point, which is what makes the retry exactly-once.
+            let rec = match (session, stamp) {
+                (Some((sess, req)), st) => WalRecord::CommitSession {
+                    txn,
+                    stamp: st.unwrap_or(0),
+                    session: sess,
+                    req_id: req,
+                },
+                (None, Some(st)) => WalRecord::CommitAt { txn, stamp: st },
+                (None, None) => WalRecord::Commit(txn),
+            };
+            if let Err(e) = wal_append(rec) {
                 out.commands -= 1;
                 return Err(Halt::WalBroken(e, Some(reply)));
             }
             scheduler.commit(txn);
             out.commits += 1;
             out.committed.push(txn);
+            live.remove(&txn);
+            committed.insert(txn);
+            if let Some(st) = stamp {
+                out.commit_stamps.push((txn, st));
+            }
+            if let Some(s) = shard.as_mut() {
+                if stamp.is_some() {
+                    s.clock.tick();
+                    s.ctx.epochs[s.ctx.shard as usize].fetch_add(1, Ordering::SeqCst);
+                }
+            }
+            if let (Some((sess, req)), Some(s)) = (session, shard.as_ref()) {
+                if let Some(table) = s.ctx.sessions {
+                    table.record(sess, req, txn);
+                }
+            }
             if track_live {
                 live_events.push(CheckpointEvent::Commit(txn));
             }
@@ -892,11 +1047,23 @@ fn apply_command(
             reply.fill(Decision::Granted);
         }
         Command::Abort(txn) => {
+            // A stale abort of a committed transaction (orphan cleanup
+            // racing a reconnecting client's ack) must NOT purge durable
+            // state; an abort of an already-retired incarnation has
+            // nothing left to undo. Both are no-ops.
+            if committed.contains(&txn) {
+                out.retired_refusals += 1;
+                return Ok(());
+            }
+            if !live.contains(&txn) {
+                return Ok(());
+            }
             if let Err(e) = wal_append(WalRecord::Abort(txn)) {
                 out.commands -= 1;
                 return Err(Halt::WalBroken(e, None));
             }
             scheduler.abort(txn);
+            live.remove(&txn);
             out.log.retain(|o| o.txn != txn);
             out.seq_log.retain(|&(_, o)| o.txn != txn);
             if track_live {
@@ -938,6 +1105,7 @@ fn apply_command(
                 return Err(Halt::WalBroken(e, Some(reply)));
             }
             scheduler.begin(txn);
+            live.insert(txn);
             if let Some(s) = shard.as_mut() {
                 s.clock.observe(&exchange);
             }
@@ -951,6 +1119,13 @@ fn apply_command(
             reply.fill(Decision::Granted);
         }
         Command::CommitAt { txn, stamp } => {
+            if committed.contains(&txn) {
+                return Ok(());
+            }
+            if !live.contains(&txn) {
+                out.retired_refusals += 1;
+                return Ok(());
+            }
             if let Err(e) = wal_append(WalRecord::CommitAt { txn, stamp }) {
                 out.commands -= 1;
                 return Err(Halt::WalBroken(e, None));
@@ -958,6 +1133,8 @@ fn apply_command(
             scheduler.commit(txn);
             out.commits += 1;
             out.committed.push(txn);
+            live.remove(&txn);
+            committed.insert(txn);
             out.commit_stamps.push((txn, stamp));
             if let Some(s) = shard.as_mut() {
                 s.clock.tick();
@@ -972,6 +1149,16 @@ fn apply_command(
             }
         }
         Command::Rollback(txn) => {
+            // Same supremacy guards as `Abort`: a rollback must never
+            // undo a durable commit, and unwinding an already-gone
+            // incarnation is a no-op.
+            if committed.contains(&txn) {
+                out.retired_refusals += 1;
+                return Ok(());
+            }
+            if !live.contains(&txn) {
+                return Ok(());
+            }
             // WAL-before-apply like any abort: the unwind must be durable
             // before sibling shards can observe this shard as clean, or a
             // crash here would recover a half-admitted transaction.
@@ -980,6 +1167,7 @@ fn apply_command(
                 return Err(Halt::WalBroken(e, None));
             }
             scheduler.abort(txn);
+            live.remove(&txn);
             out.log.retain(|o| o.txn != txn);
             out.seq_log.retain(|&(_, o)| o.txn != txn);
             if track_live {
@@ -999,7 +1187,11 @@ fn apply_command(
 /// are filled with `Aborted(Injected)` so no session hangs, everything
 /// else is dropped (the scheduler is gone). The queue is already closed,
 /// so this terminates once the backlog is drained.
-fn drain_after_crash(rest: Vec<Command>, queue: &BoundedQueue<Command>, batch_max: usize) {
+pub(crate) fn drain_after_crash(
+    rest: Vec<Command>,
+    queue: &BoundedQueue<Command>,
+    batch_max: usize,
+) {
     let unwind = |cmd: Command| {
         if let Command::Request { reply, .. }
         | Command::Admit { reply, .. }

@@ -67,6 +67,7 @@ pub mod recovery;
 pub mod server;
 pub mod session;
 pub mod shard;
+pub mod supervisor;
 
 pub use baseline::{run_baseline, BaselineRun};
 pub use core::{
@@ -76,6 +77,7 @@ pub use metrics::ServerMetrics;
 pub use queue::{BoundedQueue, PopWait, PushError, QueueStats};
 pub use recovery::{
     recover, recover_segments, recover_segments_with_certifier, recover_sharded,
+    recover_sharded_segments, recover_sharded_segments_with_certifier,
     recover_sharded_with_certifier, recover_with_certifier, Certifier, Recovery, RecoveryError,
     ShardedRecovery,
 };
@@ -88,3 +90,4 @@ pub use shard::{
     replay_sharded, serve_sharded, serve_sharded_report, serve_sharded_stream, AdmitRecord,
     ShardedReport, ShardedRun,
 };
+pub use supervisor::{supervise_shard, SessionTable, ShardHealth, SupervisedRun, SupervisorCfg};

@@ -58,6 +58,13 @@ pub struct ServerMetrics {
     pub wal: WalStats,
     /// Storage error that fail-stopped the admission core, if any.
     pub wal_error: Option<String>,
+    /// Supervisor restarts of crashed shard cores (live in-place
+    /// recoveries, summed across shards; zero for unsupervised runs).
+    pub supervisor_restarts: u64,
+    /// Shard-core incarnations that ended in a panic (vs fail-stop).
+    pub supervisor_panics: u64,
+    /// Shards abandoned after the supervisor's restart budget ran out.
+    pub failed_shards: u64,
 }
 
 impl ServerMetrics {
@@ -122,6 +129,9 @@ impl ServerMetrics {
         if self.wal_error.is_none() {
             self.wal_error = other.wal_error.clone();
         }
+        self.supervisor_restarts += other.supervisor_restarts;
+        self.supervisor_panics += other.supervisor_panics;
+        self.failed_shards += other.failed_shards;
     }
 }
 
@@ -169,6 +179,13 @@ impl fmt::Display for ServerMetrics {
                     Some(e) => format!(" error={e}"),
                     None => String::new(),
                 }
+            )?;
+        }
+        if self.supervisor_restarts > 0 || self.supervisor_panics > 0 || self.failed_shards > 0 {
+            writeln!(
+                f,
+                "supervision: restarts={} panics={} failed_shards={}",
+                self.supervisor_restarts, self.supervisor_panics, self.failed_shards
             )?;
         }
         writeln!(

@@ -184,6 +184,18 @@ impl<T> BoundedQueue<T> {
         self.not_full.notify_all();
     }
 
+    /// Reopens a closed queue for a new consumer incarnation. The
+    /// supervisor closes the queue to fence producers while a crashed
+    /// shard core recovers, drains what was in flight, and reopens once
+    /// the recovered core is ready to consume again. Depth statistics
+    /// carry across incarnations.
+    pub fn reopen(&self) {
+        let mut state = self.state.lock().expect("queue lock");
+        state.closed = false;
+        drop(state);
+        self.not_full.notify_all();
+    }
+
     /// Depth statistics observed so far.
     pub fn stats(&self) -> QueueStats {
         let state = self.state.lock().expect("queue lock");
@@ -288,6 +300,22 @@ mod tests {
             q.pop_batch_timeout(4, &mut out, Duration::from_millis(1)),
             PopWait::Closed
         );
+    }
+
+    #[test]
+    fn reopen_revives_a_closed_queue() {
+        let q: BoundedQueue<u32> = BoundedQueue::new(4);
+        q.push_wait(1).unwrap();
+        q.close();
+        assert!(matches!(q.push_wait(2), Err(PushError::Closed(2))));
+        let mut out = Vec::new();
+        assert!(q.pop_batch(4, &mut out));
+        assert!(!q.pop_batch(4, &mut out), "drained and closed");
+        q.reopen();
+        q.push_wait(3).unwrap();
+        out.clear();
+        assert!(q.pop_batch(4, &mut out));
+        assert_eq!(out, vec![3]);
     }
 
     #[test]

@@ -44,7 +44,7 @@ use relser_core::spec::AtomicitySpec;
 use relser_core::txn::TxnSet;
 use relser_core::vclock;
 use relser_protocols::{Decision, Scheduler};
-use relser_wal::{scan, CheckpointEvent, Truncation, WalRecord};
+use relser_wal::{scan, CheckpointEvent, SessionEntry, Truncation, WalRecord};
 use std::fmt;
 
 /// What [`recover`] rebuilt from the log's valid prefix.
@@ -101,6 +101,13 @@ pub struct Recovery {
     /// Live incarnations rolled back in step 3 (crash-orphaned
     /// transactions a resumed service would re-submit).
     pub live_aborted: Vec<TxnId>,
+    /// The client-session retry table rebuilt from `CommitSession`
+    /// records and checkpoint session entries, filtered to transactions
+    /// in [`Recovery::committed`] (an entry can outlive its commit
+    /// record only across a torn rotation; the filter refuses to
+    /// promise a verdict the log no longer proves). One entry per
+    /// session id, carrying the newest acknowledged `req_id`.
+    pub sessions: Vec<SessionEntry>,
 }
 
 /// Why [`recover`] refused the log.
@@ -258,6 +265,7 @@ pub fn recover_with_certifier(
     let mut commit_stamps: Vec<(u64, TxnId)> = Vec::new();
     let mut trace: Vec<TraceEvent> = Vec::with_capacity(records.len());
     let mut live: Vec<TxnId> = Vec::new();
+    let mut sessions: Vec<SessionEntry> = Vec::new();
     let check_txn = |t: TxnId, at: usize| -> Result<(), RecoveryError> {
         if t.index() >= txns.len() {
             Err(RecoveryError::ForeignRecord {
@@ -299,6 +307,10 @@ pub fn recover_with_certifier(
             }
             shard = Some(cp.shard);
             committed = cp.committed.clone();
+            for e in &cp.sessions {
+                check_txn(e.txn, k)?;
+            }
+            sessions = cp.sessions.clone();
             seeded_events = cp.events.len();
             for ev in &cp.events {
                 match *ev {
@@ -377,6 +389,26 @@ pub fn recover_with_certifier(
                 live.retain(|&t| t != txn);
                 trace.push(TraceEvent::Commit(txn));
             }
+            WalRecord::CommitSession {
+                txn,
+                stamp,
+                session,
+                req_id,
+            } => {
+                // A sessionful commit: exactly a `CommitAt` plus the
+                // retry-table entry that was made durable with it.
+                check_txn(txn, at)?;
+                scheduler.commit(txn);
+                committed.push(txn);
+                commit_stamps.push((stamp, txn));
+                live.retain(|&t| t != txn);
+                sessions.push(SessionEntry {
+                    session,
+                    req_id,
+                    txn,
+                });
+                trace.push(TraceEvent::Commit(txn));
+            }
             WalRecord::Abort(txn) => {
                 check_txn(txn, at)?;
                 scheduler.abort(txn);
@@ -413,6 +445,12 @@ pub fn recover_with_certifier(
     // Step 4: re-certify the certified history (vclock by default).
     recertify(txns, spec, &certified, &history, certifier)?;
 
+    // Finalize the retry table: only entries whose commit this log
+    // proves (a checkpoint entry can outrun its commit record across a
+    // torn rotation under deferred fsync), newest req_id per session.
+    sessions.retain(|e| committed.contains(&e.txn));
+    let sessions = dedupe_sessions(sessions);
+
     Ok(Recovery {
         records: records.len(),
         valid_bytes: scanned.valid_bytes,
@@ -427,7 +465,28 @@ pub fn recover_with_certifier(
         replayed,
         trace,
         live_aborted: live,
+        sessions,
     })
+}
+
+/// Collapses session entries to one per session id, keeping the newest
+/// acknowledged `req_id` (a session's requests are strictly ordered, so
+/// the newest entry answers the only commit the client can still retry).
+/// Output is sorted by session id for deterministic comparison.
+fn dedupe_sessions(entries: Vec<SessionEntry>) -> Vec<SessionEntry> {
+    let mut best: Vec<SessionEntry> = Vec::with_capacity(entries.len());
+    for e in entries {
+        match best.iter_mut().find(|b| b.session == e.session) {
+            Some(b) => {
+                if e.req_id >= b.req_id {
+                    *b = e;
+                }
+            }
+            None => best.push(e),
+        }
+    }
+    best.sort_by_key(|e| e.session);
+    best
 }
 
 /// Recovers from a *segmented* log: picks the newest segment whose head
@@ -496,6 +555,10 @@ pub struct ShardedRecovery {
     /// the weave is conflict-equivalent to the real execution). This is
     /// what the Theorem 1 oracle re-certified whole.
     pub history: Vec<OpId>,
+    /// The merged client-session retry table: every shard's rebuilt
+    /// entries, filtered to the merged committed set and collapsed to
+    /// the newest `req_id` per session.
+    pub sessions: Vec<SessionEntry>,
 }
 
 /// Recovers a sharded service from its N per-shard write-ahead logs
@@ -537,7 +600,6 @@ where
     F: FnMut(u32) -> Box<dyn Scheduler + 'a>,
 {
     assert!(!logs.is_empty(), "need at least one shard log");
-    let map = ShardMap::new(logs.len() as u32);
     let mut shards: Vec<Recovery> = Vec::with_capacity(logs.len());
     for (s, bytes) in logs.iter().enumerate() {
         let mut scheduler = make_scheduler(s as u32);
@@ -552,6 +614,70 @@ where
         }
         shards.push(rec);
     }
+    merge_sharded_recoveries(txns, spec, shards, certifier)
+}
+
+/// Recovers a sharded service from its per-shard *segment* streams —
+/// `segments[s]` is shard `s`'s retained `(seq, bytes)` list, ascending.
+/// Per shard this picks the newest segment whose head checkpoint scans
+/// valid (the [`recover_segments`] rule), then merges the per-shard
+/// views exactly like [`recover_sharded`]. This is how the supervised
+/// service computes its authoritative end-of-run committed history, and
+/// how a chaos run proves zero acknowledged-commit loss.
+pub fn recover_sharded_segments<'a, F>(
+    txns: &TxnSet,
+    spec: &AtomicitySpec,
+    make_scheduler: F,
+    segments: &[Vec<(u64, Vec<u8>)>],
+) -> Result<ShardedRecovery, RecoveryError>
+where
+    F: FnMut(u32) -> Box<dyn Scheduler + 'a>,
+{
+    recover_sharded_segments_with_certifier(txns, spec, make_scheduler, segments, {
+        Certifier::default()
+    })
+}
+
+/// [`recover_sharded_segments`] with an explicit re-certification engine.
+pub fn recover_sharded_segments_with_certifier<'a, F>(
+    txns: &TxnSet,
+    spec: &AtomicitySpec,
+    mut make_scheduler: F,
+    segments: &[Vec<(u64, Vec<u8>)>],
+    certifier: Certifier,
+) -> Result<ShardedRecovery, RecoveryError>
+where
+    F: FnMut(u32) -> Box<dyn Scheduler + 'a>,
+{
+    assert!(!segments.is_empty(), "need at least one shard");
+    let mut shards: Vec<Recovery> = Vec::with_capacity(segments.len());
+    for (s, segs) in segments.iter().enumerate() {
+        let mut scheduler = make_scheduler(s as u32);
+        let (_, rec) =
+            recover_segments_with_certifier(txns, spec, &mut *scheduler, segs, certifier)?;
+        if let Some(found) = rec.shard {
+            if found != s as u32 {
+                return Err(RecoveryError::ShardMismatch {
+                    expected: s as u32,
+                    found,
+                });
+            }
+        }
+        shards.push(rec);
+    }
+    merge_sharded_recoveries(txns, spec, shards, certifier)
+}
+
+/// The shared second half of sharded recovery: all-owners commit rule,
+/// completeness demotion, global stamp order, program-order merge, whole
+/// re-certification, session-table union.
+fn merge_sharded_recoveries(
+    txns: &TxnSet,
+    spec: &AtomicitySpec,
+    shards: Vec<Recovery>,
+    certifier: Certifier,
+) -> Result<ShardedRecovery, RecoveryError> {
+    let map = ShardMap::new(shards.len() as u32);
 
     // All-owners commit rule: which shards acknowledged each transaction,
     // and the global stamp where one survived compaction.
@@ -626,11 +752,22 @@ where
         .map_err(|e| RecoveryError::InvalidHistory(e.to_string()))?;
     recertify(txns, spec, &committed, &history, certifier)?;
 
+    // Union the per-shard retry tables, restricted to the merged
+    // committed set (a demoted-to-partial commit must not promise a
+    // verdict the merged history does not contain).
+    let mut sessions: Vec<SessionEntry> = shards
+        .iter()
+        .flat_map(|rec| rec.sessions.iter().copied())
+        .collect();
+    sessions.retain(|e| in_committed[e.txn.index()]);
+    let sessions = dedupe_sessions(sessions);
+
     Ok(ShardedRecovery {
         shards,
         committed,
         partial,
         history,
+        sessions,
     })
 }
 

@@ -384,6 +384,9 @@ fn serve_with(
         max_txn_attempts,
         wal: core_out.wal,
         wal_error: core_out.wal_error.clone(),
+        supervisor_restarts: 0,
+        supervisor_panics: 0,
+        failed_shards: 0,
     };
 
     ServeReport {

@@ -284,6 +284,8 @@ pub fn serve_sharded_report<'a>(
                             shard: shard_id as u32,
                             seq,
                             epochs,
+                            sessions: None,
+                            recovered_committed: Vec::new(),
                         },
                     )
                 }));
@@ -435,6 +437,9 @@ pub fn serve_sharded_report<'a>(
             max_txn_attempts: 0,
             wal: out.wal,
             wal_error: out.wal_error.clone(),
+            supervisor_restarts: 0,
+            supervisor_panics: 0,
+            failed_shards: 0,
         };
         match metrics.as_mut() {
             Some(agg) => agg.merge(&m),

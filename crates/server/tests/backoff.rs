@@ -1,0 +1,119 @@
+//! Property tests for [`relser_server::restart_backoff`], the capped
+//! seeded-jitter schedule shared by restarting sessions and the
+//! resilient network client's reconnect loop.
+//!
+//! The contract under test: the schedule is a pure function of
+//! `(base, max, seed, txn, attempt)` (deterministic — a replay with the
+//! same seed restarts at the same instants), every delay lands in
+//! `[ceiling/2, ceiling]` where the ceiling doubles from `base` and
+//! saturates at `max` (jitter can halve a delay but never produce a
+//! zero-sleep hot loop, and no delay ever overshoots the cap), and a
+//! zero base disables backoff entirely.
+
+use proptest::prelude::*;
+use relser_core::ids::TxnId;
+use relser_server::restart_backoff;
+use std::time::Duration;
+
+/// The ceiling `restart_backoff` doubles toward: `base · 2^(attempt-2)`
+/// saturated at `max(max, base)` — attempts 1 and 2 both back off from
+/// `base` (the first retry is not penalized twice).
+fn ceiling(base: Duration, max: Duration, attempt: u32) -> Duration {
+    let doublings = attempt.saturating_sub(2).min(32);
+    base.saturating_mul(1u32 << doublings.min(31))
+        .min(max.max(base))
+}
+
+proptest! {
+    /// Same inputs, same delay — the jitter is seeded, not sampled from
+    /// ambient entropy, so chaos runs replay byte-for-byte.
+    #[test]
+    fn deterministic_for_identical_inputs(
+        base_us in 1u64..100_000,
+        max_us in 1u64..10_000_000,
+        seed in any::<u64>(),
+        txn in 0u32..10_000,
+        attempt in 1u32..100,
+    ) {
+        let base = Duration::from_micros(base_us);
+        let max = Duration::from_micros(max_us);
+        let a = restart_backoff(base, max, seed, TxnId(txn), attempt);
+        let b = restart_backoff(base, max, seed, TxnId(txn), attempt);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Every delay respects the cap and never collapses to a hot loop:
+    /// `ceiling/2 <= delay <= ceiling <= max(max, base)`.
+    #[test]
+    fn jitter_stays_within_half_open_ceiling(
+        base_us in 1u64..100_000,
+        max_us in 1u64..10_000_000,
+        seed in any::<u64>(),
+        txn in 0u32..10_000,
+        attempt in 1u32..100,
+    ) {
+        let base = Duration::from_micros(base_us);
+        let max = Duration::from_micros(max_us);
+        let d = restart_backoff(base, max, seed, TxnId(txn), attempt);
+        let c = ceiling(base, max, attempt);
+        prop_assert!(d <= c, "delay {d:?} over ceiling {c:?}");
+        prop_assert!(d >= c / 2, "delay {d:?} under half-ceiling {c:?}");
+        prop_assert!(d <= max.max(base), "delay {d:?} over cap");
+        prop_assert!(d > Duration::ZERO);
+    }
+
+    /// The schedule is monotone in expectation: the ceiling never
+    /// shrinks as attempts grow, and once it hits the cap it stays
+    /// there (no overflow wraparound at large attempt counts).
+    #[test]
+    fn ceilings_are_monotone_and_saturate(
+        base_us in 1u64..100_000,
+        max_us in 1u64..10_000_000,
+        attempt in 1u32..1_000,
+    ) {
+        let base = Duration::from_micros(base_us);
+        let max = Duration::from_micros(max_us);
+        let here = ceiling(base, max, attempt);
+        let next = ceiling(base, max, attempt + 1);
+        prop_assert!(next >= here);
+        // Far out on the schedule the cap has certainly been reached.
+        prop_assert_eq!(ceiling(base, max, 64), max.max(base));
+    }
+
+    /// Distinct transactions (or seeds) de-synchronize: with a spread of
+    /// transactions on the same attempt, the jitter must not collapse
+    /// them onto one instant (that would re-create the thundering herd
+    /// the jitter exists to break). Statistical, but with 64 samples in
+    /// `[c/2, c]` a collision of *all* of them is impossible unless the
+    /// range is degenerate — so only assert when the range is wide.
+    #[test]
+    fn jitter_spreads_transactions_apart(seed in any::<u64>()) {
+        let base = Duration::from_millis(1);
+        let max = Duration::from_secs(1);
+        let delays: Vec<Duration> = (0..64u32)
+            .map(|t| restart_backoff(base, max, seed, TxnId(t), 3))
+            .collect();
+        let distinct = {
+            let mut d = delays.clone();
+            d.sort_unstable();
+            d.dedup();
+            d.len()
+        };
+        prop_assert!(
+            distinct > 32,
+            "64 transactions produced only {distinct} distinct delays"
+        );
+    }
+}
+
+/// Zero base means "no backoff configured": always zero, regardless of
+/// attempt or cap.
+#[test]
+fn zero_base_disables_backoff() {
+    for attempt in 1..50 {
+        assert_eq!(
+            restart_backoff(Duration::ZERO, Duration::from_secs(1), 7, TxnId(3), attempt),
+            Duration::ZERO
+        );
+    }
+}

@@ -45,7 +45,9 @@ fn fold_prefix(records: &[WalRecord]) -> (Vec<TxnId>, Vec<OpId>) {
         match *r {
             WalRecord::Begin(_) => {}
             WalRecord::Grant(op) => log.push(op),
-            WalRecord::Commit(t) | WalRecord::CommitAt { txn: t, .. } => committed.push(t),
+            WalRecord::Commit(t)
+            | WalRecord::CommitAt { txn: t, .. }
+            | WalRecord::CommitSession { txn: t, .. } => committed.push(t),
             WalRecord::Abort(t) => log.retain(|o| o.txn != t),
             // Plain `serve_durable` over a `WalWriter` never checkpoints.
             WalRecord::Checkpoint(_) => unreachable!("unsegmented log"),

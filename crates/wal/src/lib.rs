@@ -53,7 +53,8 @@ pub use commit_log::CommitLog;
 pub use crc32::crc32;
 pub use reader::{scan, ScanResult, Truncation};
 pub use record::{
-    Checkpoint, CheckpointEvent, EncodeError, WalRecord, FRAME_OVERHEAD, MAGIC, MAX_PAYLOAD,
+    Checkpoint, CheckpointEvent, EncodeError, SessionEntry, WalRecord, FRAME_OVERHEAD, MAGIC,
+    MAX_PAYLOAD,
 };
 pub use segment::{
     CheckpointPolicy, DirSegmentStore, MemSegmentStore, MemSegmentsHandle, SegmentStats,

@@ -129,6 +129,7 @@ mod tests {
                     crate::record::CheckpointEvent::Grant(OpId::new(TxnId(0), 0)),
                     crate::record::CheckpointEvent::Grant(OpId::new(TxnId(0), 1)),
                 ],
+                sessions: vec![],
             }),
             WalRecord::Commit(TxnId(0)),
             WalRecord::Begin(TxnId(1)),

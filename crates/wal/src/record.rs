@@ -17,10 +17,14 @@
 //! +------------+-----------+------------------+
 //! payload = tag: u8, txn: u32LE [, index: u32LE for Grant]
 //!                               [, stamp: u64LE for CommitAt]
+//!                               [, stamp/session/req_id: u64LE ×3
+//!                                  for CommitSession]
 //! checkpoint payload = tag: u8, shard: u32LE,
 //!                      committed count: u32LE, committed txns: u32LE…,
 //!                      event count: u32LE,
-//!                      events: kind u8, txn u32LE [, index u32LE]…
+//!                      events: kind u8, txn u32LE [, index u32LE]…,
+//!                      session count: u32LE,
+//!                      sessions: session u64LE, req_id u64LE, txn u32LE…
 //! ```
 //!
 //! `crc` is the CRC-32 of the payload. A record is accepted only if the
@@ -53,6 +57,7 @@ const TAG_COMMIT: u8 = 3;
 const TAG_ABORT: u8 = 4;
 const TAG_CHECKPOINT: u8 = 5;
 const TAG_COMMIT_AT: u8 = 6;
+const TAG_COMMIT_SESSION: u8 = 7;
 
 const EV_BEGIN: u8 = 1;
 const EV_GRANT: u8 = 2;
@@ -106,6 +111,22 @@ impl CheckpointEvent {
     }
 }
 
+/// One durable client-session acknowledgment: session `session` was
+/// answered `Committed` for request `req_id`, which committed `txn`.
+/// Carried by [`WalRecord::CommitSession`] (live appends) and inside
+/// [`Checkpoint::sessions`] (so compaction cannot forget an acked
+/// commit's reply). Recovery rebuilds the exactly-once retry table from
+/// exactly these.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SessionEntry {
+    /// The client session id (chosen by the client at `Hello`).
+    pub session: u64,
+    /// The client's request id for the commit.
+    pub req_id: u64,
+    /// The transaction the commit acknowledged.
+    pub txn: TxnId,
+}
+
 /// A snapshot of the admission core's live state, logged as the first
 /// record of every segment (and whenever the checkpoint policy fires).
 ///
@@ -114,7 +135,9 @@ impl CheckpointEvent {
 /// the condensed event stream of the *non-retired* transactions only.
 /// Recovery replays `events` through a fresh scheduler, takes `committed`
 /// as the acknowledged-commit set, then replays the post-checkpoint
-/// suffix; everything before the checkpoint can be deleted.
+/// suffix; everything before the checkpoint can be deleted. `sessions`
+/// carries the client-session retry table forward across rotations the
+/// same way `committed` carries the commit set.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Checkpoint {
     /// The shard core that wrote this checkpoint (0 in the unsharded
@@ -125,6 +148,9 @@ pub struct Checkpoint {
     pub committed: Vec<TxnId>,
     /// Condensed live-state events (non-retired transactions), core order.
     pub events: Vec<CheckpointEvent>,
+    /// The client-session table at checkpoint time: every acknowledged
+    /// `(session, req_id) → txn` commit reply still retained for replay.
+    pub sessions: Vec<SessionEntry>,
 }
 
 /// One durable event, in admission-core order.
@@ -154,6 +180,22 @@ pub enum WalRecord {
         /// Its position in the global commit order.
         stamp: u64,
     },
+    /// [`WalRecord::CommitAt`] fused with a client-session acknowledgment
+    /// in **one** frame: the commit and the fact that session `session`
+    /// was answered for request `req_id` become durable atomically. Two
+    /// separate records would open a torn window (commit durable, session
+    /// entry not) in which a retried commit re-executes — the
+    /// exactly-once contract hangs on this frame being indivisible.
+    CommitSession {
+        /// The committing transaction.
+        txn: TxnId,
+        /// Its position in the global commit order.
+        stamp: u64,
+        /// The client session the commit was acknowledged to.
+        session: u64,
+        /// The client's request id for the commit.
+        req_id: u64,
+    },
     /// A live-state snapshot; recovery seeds from the newest one and
     /// replays only the records after it.
     Checkpoint(Checkpoint),
@@ -165,7 +207,7 @@ impl WalRecord {
     pub fn txn(&self) -> Option<TxnId> {
         match self {
             WalRecord::Begin(t) | WalRecord::Commit(t) | WalRecord::Abort(t) => Some(*t),
-            WalRecord::CommitAt { txn, .. } => Some(*txn),
+            WalRecord::CommitAt { txn, .. } | WalRecord::CommitSession { txn, .. } => Some(*txn),
             WalRecord::Grant(op) => Some(op.txn),
             WalRecord::Checkpoint(_) => None,
         }
@@ -196,6 +238,18 @@ impl WalRecord {
                 buf.extend_from_slice(&txn.0.to_le_bytes());
                 buf.extend_from_slice(&stamp.to_le_bytes());
             }
+            WalRecord::CommitSession {
+                txn,
+                stamp,
+                session,
+                req_id,
+            } => {
+                buf.push(TAG_COMMIT_SESSION);
+                buf.extend_from_slice(&txn.0.to_le_bytes());
+                buf.extend_from_slice(&stamp.to_le_bytes());
+                buf.extend_from_slice(&session.to_le_bytes());
+                buf.extend_from_slice(&req_id.to_le_bytes());
+            }
             WalRecord::Checkpoint(cp) => {
                 buf.push(TAG_CHECKPOINT);
                 buf.extend_from_slice(&cp.shard.to_le_bytes());
@@ -220,6 +274,12 @@ impl WalRecord {
                             buf.extend_from_slice(&t.0.to_le_bytes());
                         }
                     }
+                }
+                buf.extend_from_slice(&(cp.sessions.len() as u32).to_le_bytes());
+                for se in &cp.sessions {
+                    buf.extend_from_slice(&se.session.to_le_bytes());
+                    buf.extend_from_slice(&se.req_id.to_le_bytes());
+                    buf.extend_from_slice(&se.txn.0.to_le_bytes());
                 }
             }
         }
@@ -256,6 +316,12 @@ impl WalRecord {
             TAG_COMMIT_AT if rest.len() == 12 => Some(WalRecord::CommitAt {
                 txn: TxnId(u32_at(rest, 0)?),
                 stamp: u64::from_le_bytes(rest.get(4..12)?.try_into().unwrap()),
+            }),
+            TAG_COMMIT_SESSION if rest.len() == 28 => Some(WalRecord::CommitSession {
+                txn: TxnId(u32_at(rest, 0)?),
+                stamp: u64::from_le_bytes(rest.get(4..12)?.try_into().unwrap()),
+                session: u64::from_le_bytes(rest.get(12..20)?.try_into().unwrap()),
+                req_id: u64::from_le_bytes(rest.get(20..28)?.try_into().unwrap()),
             }),
             TAG_CHECKPOINT => Self::decode_checkpoint(rest).map(WalRecord::Checkpoint),
             _ => None,
@@ -302,6 +368,24 @@ impl WalRecord {
                 _ => return None,
             });
         }
+        let n_sessions = take_u32(&mut rest)? as usize;
+        if n_sessions > rest.len() / 20 {
+            return None;
+        }
+        let take_u64 = |b: &mut &[u8]| -> Option<u64> {
+            let head = b.get(..8)?;
+            let v = u64::from_le_bytes(head.try_into().unwrap());
+            *b = &b[8..];
+            Some(v)
+        };
+        let mut sessions = Vec::with_capacity(n_sessions);
+        for _ in 0..n_sessions {
+            sessions.push(SessionEntry {
+                session: take_u64(&mut rest)?,
+                req_id: take_u64(&mut rest)?,
+                txn: TxnId(take_u32(&mut rest)?),
+            });
+        }
         if !rest.is_empty() {
             return None;
         }
@@ -309,6 +393,7 @@ impl WalRecord {
             shard,
             committed,
             events,
+            sessions,
         })
     }
 
@@ -318,12 +403,15 @@ impl WalRecord {
             + match self {
                 WalRecord::Grant(_) => 9,
                 WalRecord::CommitAt { .. } => 13,
+                WalRecord::CommitSession { .. } => 29,
                 WalRecord::Checkpoint(cp) => {
                     1 + 4
                         + 4
                         + 4 * cp.committed.len()
                         + 4
                         + cp.events.iter().map(|e| e.encoded_len()).sum::<usize>()
+                        + 4
+                        + 20 * cp.sessions.len()
                 }
                 _ => 5,
             }
@@ -356,6 +444,12 @@ mod tests {
             txn: TxnId(9),
             stamp: u64::MAX - 1,
         });
+        roundtrip(WalRecord::CommitSession {
+            txn: TxnId(5),
+            stamp: 17,
+            session: u64::MAX,
+            req_id: 0x1234_5678_9ABC_DEF0,
+        });
         roundtrip(WalRecord::Checkpoint(Checkpoint::default()));
         roundtrip(WalRecord::Checkpoint(Checkpoint {
             shard: 3,
@@ -365,6 +459,18 @@ mod tests {
                 CheckpointEvent::Grant(OpId::new(TxnId(1), 0)),
                 CheckpointEvent::Commit(TxnId(1)),
                 CheckpointEvent::Begin(TxnId(3)),
+            ],
+            sessions: vec![
+                SessionEntry {
+                    session: 11,
+                    req_id: 900,
+                    txn: TxnId(2),
+                },
+                SessionEntry {
+                    session: u64::MAX,
+                    req_id: 1,
+                    txn: TxnId(7),
+                },
             ],
         }));
     }
@@ -376,6 +482,7 @@ mod tests {
             shard: 0,
             committed: (0..=(MAX_PAYLOAD / 4)).map(TxnId).collect(),
             events: Vec::new(),
+            sessions: Vec::new(),
         });
         let mut buf = vec![0xAB; 3];
         let err = huge.encode_into(&mut buf).unwrap_err();
@@ -388,15 +495,16 @@ mod tests {
 
     #[test]
     fn boundary_payload_still_encodes() {
-        // The largest payload that fits:
-        // tag(1) + shard(4) + count(4) + ids + count(4).
-        let ids = (MAX_PAYLOAD as usize - 1 - 4 - 4 - 4) / 4;
+        // The largest payload that fits: tag(1) + shard(4) + committed
+        // count(4) + ids + event count(4) + session count(4).
+        let ids = (MAX_PAYLOAD as usize - 1 - 4 - 4 - 4 - 4) / 4;
         let rec = WalRecord::Checkpoint(Checkpoint {
             shard: 0,
             committed: (0..ids as u32).map(TxnId).collect(),
             events: Vec::new(),
+            sessions: Vec::new(),
         });
-        assert_eq!(rec.frame_len(), FRAME_OVERHEAD + 13 + 4 * ids);
+        assert_eq!(rec.frame_len(), FRAME_OVERHEAD + 17 + 4 * ids);
         assert!(rec.frame_len() - FRAME_OVERHEAD <= MAX_PAYLOAD as usize);
         let mut buf = Vec::new();
         rec.encode_into(&mut buf).unwrap();
@@ -405,6 +513,7 @@ mod tests {
             shard: 0,
             committed: (0..ids as u32 + 1).map(TxnId).collect(),
             events: Vec::new(),
+            sessions: Vec::new(),
         });
         let mut buf = Vec::new();
         assert!(rec.encode_into(&mut buf).is_err());
@@ -430,6 +539,13 @@ mod tests {
             None,
             "commit-at missing its stamp"
         );
+        let mut short = vec![TAG_COMMIT_SESSION];
+        short.extend_from_slice(&[0u8; 27]);
+        assert_eq!(
+            WalRecord::decode_payload(&short),
+            None,
+            "commit-session truncated mid-field"
+        );
     }
 
     #[test]
@@ -438,6 +554,11 @@ mod tests {
             shard: 7,
             committed: vec![TxnId(1)],
             events: vec![CheckpointEvent::Grant(OpId::new(TxnId(0), 2))],
+            sessions: vec![SessionEntry {
+                session: 3,
+                req_id: 12,
+                txn: TxnId(1),
+            }],
         });
         let mut frame = Vec::new();
         good.encode_into(&mut frame).unwrap();

@@ -145,6 +145,16 @@ impl SegmentStore for MemSegmentStore {
 }
 
 impl MemSegmentsHandle {
+    /// A fresh write handle over the same shared segment map — used when
+    /// a supervised core resumes logging into the store it just
+    /// recovered from (the original [`MemSegmentStore`] died with the
+    /// crashed core thread).
+    pub fn store(&self) -> MemSegmentStore {
+        MemSegmentStore {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+
     /// The retained segments' full contents (durable or not), ascending.
     pub fn segments(&self) -> Vec<(u64, Vec<u8>)> {
         let inner = self.inner.lock().expect("segment lock");
@@ -265,6 +275,53 @@ impl SegmentedWal {
             sealed: WalStats::default(),
             sealed_sync_ns: Vec::new(),
             seg_stats: SegmentStats::default(),
+            broken: false,
+        })
+    }
+
+    /// Re-opens the log after in-place recovery: a fresh segment
+    /// `next_seq` headed by `head` (the recovered live state), forced
+    /// durable, after which every segment listed in `prior` is deleted —
+    /// the same durability-before-deletion order as
+    /// [`CommitLog::install_checkpoint`], so a crash mid-resume leaves
+    /// both generations on disk and recovery prefers the newest segment
+    /// whose head checkpoint scans valid.
+    pub fn resume(
+        mut store: Box<dyn SegmentStore>,
+        policy: FsyncPolicy,
+        ckpt: CheckpointPolicy,
+        head: Checkpoint,
+        next_seq: u64,
+        prior: &[u64],
+    ) -> io::Result<SegmentedWal> {
+        let storage = store.create(next_seq)?;
+        let mut writer = WalWriter::new(storage, policy)?;
+        writer.append(&WalRecord::Checkpoint(head))?;
+        writer.sync()?;
+        let mut seg_stats = SegmentStats {
+            checkpoints: 0,
+            segments_deleted: 0,
+            current_seq: next_seq,
+        };
+        for &s in prior {
+            if s >= next_seq {
+                continue;
+            }
+            store.delete(s)?;
+            seg_stats.segments_deleted += 1;
+        }
+        Ok(SegmentedWal {
+            store,
+            writer,
+            policy,
+            ckpt,
+            seq: next_seq,
+            oldest: next_seq,
+            since_records: 0,
+            since_bytes: 0,
+            sealed: WalStats::default(),
+            sealed_sync_ns: Vec::new(),
+            seg_stats,
             broken: false,
         })
     }
@@ -410,6 +467,7 @@ mod tests {
             shard: 0,
             committed: vec![],
             events: vec![crate::record::CheckpointEvent::Begin(TxnId(0))],
+            sessions: vec![],
         })
         .unwrap();
         for (_, bytes) in handle.segments() {
@@ -434,6 +492,7 @@ mod tests {
             shard: 0,
             committed: (0..4).map(TxnId).collect(),
             events: vec![],
+            sessions: vec![],
         })
         .unwrap();
         assert_eq!(handle.segment_count(), 1, "old segment deleted");
@@ -495,6 +554,55 @@ mod tests {
             "retained bytes {peak} grew with history"
         );
         assert!(wal.stats().records > 300, "total history kept flowing");
+    }
+
+    #[test]
+    fn resume_opens_a_fresh_segment_and_retires_the_old_generation() {
+        // First incarnation: two segments' worth of history, then the
+        // core "dies" (the wal is simply dropped).
+        let (mut wal, handle) = seg(CheckpointPolicy::never());
+        wal.append(&WalRecord::Begin(TxnId(0))).unwrap();
+        wal.append(&WalRecord::Commit(TxnId(0))).unwrap();
+        drop(wal);
+        let prior: Vec<u64> = handle.segments().iter().map(|&(s, _)| s).collect();
+        assert_eq!(prior, vec![0]);
+
+        // Second incarnation resumes into the same store with a head
+        // checkpoint summarizing the recovered state.
+        let head = Checkpoint {
+            shard: 0,
+            committed: vec![TxnId(0)],
+            events: vec![],
+            sessions: vec![],
+        };
+        let mut wal = SegmentedWal::resume(
+            Box::new(handle.store()),
+            FsyncPolicy::Always,
+            CheckpointPolicy::never(),
+            head,
+            1,
+            &prior,
+        )
+        .unwrap();
+        wal.append(&WalRecord::Begin(TxnId(1))).unwrap();
+        wal.append(&WalRecord::Commit(TxnId(1))).unwrap();
+        wal.close().unwrap();
+
+        let segs = handle.synced_segments();
+        assert_eq!(segs.len(), 1, "old generation deleted after resume");
+        assert_eq!(segs[0].0, 1);
+        let s = scan(&segs[0].1);
+        assert_eq!(s.truncation, None);
+        let WalRecord::Checkpoint(cp) = &s.records[0] else {
+            panic!("resumed segment opens with the recovery checkpoint");
+        };
+        assert_eq!(cp.committed, vec![TxnId(0)]);
+        assert_eq!(s.records.len(), 3);
+        // A further rotation from the resumed log only touches its own
+        // generation (oldest was advanced past the deleted segments).
+        wal.install_checkpoint(Checkpoint::default()).unwrap();
+        assert_eq!(wal.segment_stats().current_seq, 2);
+        assert_eq!(handle.segment_count(), 1);
     }
 
     #[test]
