@@ -9,14 +9,18 @@
 //! commit, workload parameters, and the achieved 8-worker speedup) go to
 //! `BENCH_server.json`.
 
+use relser_bench::gate::{
+    shard_schedulers, zipf_rmw_txns, zipf_spec, SHARD_COUNTS, SHARD_WORKERS, ZIPF_BREAKPOINT_PROB,
+    ZIPF_OBJECTS, ZIPF_THETA, ZIPF_TXNS,
+};
 use relser_bench::harness::{git_commit, BenchmarkId, Harness};
 use relser_core::spec::AtomicitySpec;
 use relser_core::txn::TxnSet;
-use relser_protocols::rsg_sgt::{RsgSgt, RsgSgtOracle};
-use relser_protocols::Scheduler;
-use relser_server::{run_baseline, serve_sharded, serve_stream, ServerConfig};
+use relser_protocols::rsg_sgt::RsgSgt;
+use relser_server::{
+    run_baseline, serve_sharded, serve_stream, BoundedQueue, QueueBackend, ServerConfig,
+};
 use relser_workload::banking::{banking, BankingConfig, BankingScenario};
-use relser_workload::random::random_spec;
 use relser_workload::stream::RequestStream;
 use std::hint::black_box;
 
@@ -71,56 +75,23 @@ fn bench_service(h: &mut Harness, sc: &BankingScenario) {
     group.finish();
 }
 
-/// Low-contention Zipf universe for the shard-scaling sweep: each
-/// transaction is a read-modify-write on one Zipf-sampled record, so
-/// every transaction is single-shard at every shard count (the traffic a
-/// partitioned admission tier is deployed for) and the router keeps the
-/// whole admission entirely local. 2048 records with mild skew keep
-/// cross-transaction conflicts rare, and zero per-op work means the
-/// sweep measures the admission path itself — which is exactly what
-/// sharding improves: the scheduler is the O(P²)-per-decision rebuild
-/// formulation ([`RsgSgtOracle`]), whose cost grows with the certified
-/// prefix, and partitioning keeps each core's prefix at 1/N of the
-/// stream. (The incremental engine flattens per-decision cost, so its
-/// shard win is plain multi-core parallelism — not measurable on a
-/// single-CPU bench runner; the prefix-shrinking win is.) Cross-shard
-/// two-phase-admit costs are exercised (and certified) by the shard
-/// test suite instead.
-const ZIPF_TXNS: usize = 384;
-const ZIPF_OBJECTS: usize = 2048;
-const ZIPF_THETA: f64 = 0.4;
-const ZIPF_BREAKPOINT_PROB: f64 = 0.4;
-const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
-const SHARD_WORKERS: usize = 16;
-
-/// Zipf-sampled single-record read-modify-write transactions.
-fn zipf_rmw_txns(seed: u64) -> TxnSet {
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
-    use relser_core::op::AccessMode;
-    use relser_workload::zipf::Zipf;
-
-    let mut rng = StdRng::seed_from_u64(seed);
-    let zipf = Zipf::new(ZIPF_OBJECTS, ZIPF_THETA);
-    let names: Vec<String> = (0..ZIPF_OBJECTS).map(|i| format!("r{i}")).collect();
-    let mut set = TxnSet::new();
-    for _ in 0..ZIPF_TXNS {
-        let record = names[zipf.sample(&mut rng)].as_str();
-        set.add(&[(AccessMode::Read, record), (AccessMode::Write, record)])
-            .expect("non-empty transaction");
-    }
-    set
-}
-
-fn shard_schedulers<'a>(
-    txns: &'a TxnSet,
-    spec: &'a AtomicitySpec,
-    shards: usize,
-) -> Vec<Box<dyn Scheduler + Send + 'a>> {
-    (0..shards)
-        .map(|_| Box::new(RsgSgtOracle::new(txns, spec)) as Box<dyn Scheduler + Send + 'a>)
-        .collect()
-}
+// Low-contention Zipf universe for the shard-scaling sweep: each
+// transaction is a read-modify-write on one Zipf-sampled record, so
+// every transaction is single-shard at every shard count (the traffic a
+// partitioned admission tier is deployed for) and the router keeps the
+// whole admission entirely local. Mild skew keeps cross-transaction
+// conflicts rare, and zero per-op work means the sweep measures the
+// admission path itself — which is exactly what sharding improves: the
+// scheduler is the O(P²)-per-decision rebuild formulation
+// (`RsgSgtOracle`), whose cost grows with the certified prefix, and
+// partitioning keeps each core's prefix at 1/N of the stream. (The
+// incremental engine flattens per-decision cost, so its shard win is
+// plain multi-core parallelism — not measurable on a single-CPU bench
+// runner; the prefix-shrinking win is.) Cross-shard two-phase-admit
+// costs are exercised (and certified) by the shard test suite instead.
+//
+// The workload builder and its parameters live in relser_bench::gate so
+// this bench and the CI bench_gate binary measure the identical thing.
 
 fn bench_shards(h: &mut Harness, txns: &TxnSet, spec: &AtomicitySpec) {
     let ops = txns.total_ops();
@@ -175,6 +146,52 @@ fn bench_shards(h: &mut Harness, txns: &TxnSet, spec: &AtomicitySpec) {
     let _ = ops;
 }
 
+/// Head-to-head raw transfer bench for the two [`BoundedQueue`]
+/// backends: 8 producers `push_wait` a fixed item count through a
+/// service-sized queue while one consumer drains core-sized batches —
+/// the exact traffic shape between sessions and the admission core,
+/// minus the scheduler. Pure coordination cost, so the mutex+condvar
+/// vs claim/publish-ring difference is the whole measurement.
+const QUEUE_PRODUCERS: u64 = 8;
+const QUEUE_ITEMS_PER_PRODUCER: u64 = 25_000;
+
+fn bench_queue_backends(h: &mut Harness) {
+    let mut group = h.group("queue_backend");
+    group.sample_size(5);
+    for (name, backend) in [
+        ("condvar", QueueBackend::Condvar),
+        ("ring", QueueBackend::Ring),
+    ] {
+        group.bench_with_input(BenchmarkId::new(name, 0usize), &0usize, |b, _| {
+            b.iter(|| {
+                let q: BoundedQueue<u64> = BoundedQueue::with_backend(1024, backend);
+                std::thread::scope(|s| {
+                    for p in 0..QUEUE_PRODUCERS {
+                        let q = &q;
+                        s.spawn(move || {
+                            for i in 0..QUEUE_ITEMS_PER_PRODUCER {
+                                q.push_wait(p * QUEUE_ITEMS_PER_PRODUCER + i).unwrap();
+                            }
+                        });
+                    }
+                    let consumer = s.spawn(|| {
+                        let mut seen = 0u64;
+                        let mut batch = Vec::new();
+                        let total = QUEUE_PRODUCERS * QUEUE_ITEMS_PER_PRODUCER;
+                        while seen < total && q.pop_batch(64, &mut batch) {
+                            seen += batch.len() as u64;
+                            batch.clear();
+                        }
+                        seen
+                    });
+                    black_box(consumer.join().expect("consumer"))
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
 fn main() {
     let sc = banking(&WORKLOAD, WORKLOAD_SEED);
     let ops = sc.txns.total_ops();
@@ -205,7 +222,7 @@ fn main() {
     bench_service(&mut h, &sc);
 
     let zipf_txns = zipf_rmw_txns(WORKLOAD_SEED);
-    let zipf_spec = random_spec(&zipf_txns, ZIPF_BREAKPOINT_PROB, WORKLOAD_SEED);
+    let zipf_spec = zipf_spec(&zipf_txns, WORKLOAD_SEED);
     h.set_meta("zipf_txns", zipf_txns.len());
     h.set_meta("zipf_total_ops", zipf_txns.total_ops());
     h.set_meta(
@@ -225,7 +242,25 @@ fn main() {
     );
     h.set_meta("shard_workers", SHARD_WORKERS);
     h.set_meta("zipf_scheduler", "RSG-SGT (rebuild formulation)");
+    // Pre-hot-path-PR baselines, recorded on this machine immediately
+    // before the first optimization landed (same workload, same seeds;
+    // see EXPERIMENTS.md "Hot-path pathologies"). Kept as static meta so
+    // the committed JSON always carries before/after side by side; the
+    // live shards{N}_* rows below are the "after".
+    h.set_meta("hotpath_before_shards1_ns_per_decision", 188_211u64);
+    h.set_meta("hotpath_before_shards2_ns_per_decision", 118_172u64);
+    h.set_meta("hotpath_before_shards4_ns_per_decision", 94_198u64);
+    h.set_meta("hotpath_before_e11_rsg_sgt_ns_per_decision", 1_864u64);
     bench_shards(&mut h, &zipf_txns, &zipf_spec);
+
+    h.set_meta(
+        "queue_bench_config",
+        format!(
+            "producers={QUEUE_PRODUCERS} items_per_producer={QUEUE_ITEMS_PER_PRODUCER} \
+             capacity=1024 batch_max=64"
+        ),
+    );
+    bench_queue_backends(&mut h);
 
     // Derive throughputs and the headline speedup from the medians.
     let median = |id: &str| {
@@ -239,6 +274,8 @@ fn main() {
     let w8 = median("workers/8");
     let s1 = median("shards/1");
     let s4 = median("shards/4");
+    let q_condvar = median("condvar/0");
+    let q_ring = median("ring/0");
     let ops_per_sec = |ns: f64| ops as f64 * 1e9 / ns;
     h.set_meta("baseline_ops_per_sec", format!("{:.0}", ops_per_sec(base)));
     h.set_meta("workers8_ops_per_sec", format!("{:.0}", ops_per_sec(w8)));
@@ -248,6 +285,26 @@ fn main() {
         ops_per_sec(base),
         ops_per_sec(w8),
         base / w8
+    );
+
+    let total_items = (QUEUE_PRODUCERS * QUEUE_ITEMS_PER_PRODUCER) as f64;
+    h.set_meta(
+        "queue_condvar_ns_per_item",
+        format!("{:.0}", q_condvar / total_items),
+    );
+    h.set_meta(
+        "queue_ring_ns_per_item",
+        format!("{:.0}", q_ring / total_items),
+    );
+    h.set_meta(
+        "queue_ring_speedup_vs_condvar",
+        format!("{:.2}", q_condvar / q_ring),
+    );
+    println!(
+        "queue transfer: condvar {:.0} ns/item, ring {:.0} ns/item -> ring {:.2}x",
+        q_condvar / total_items,
+        q_ring / total_items,
+        q_condvar / q_ring
     );
 
     h.set_meta("shards_speedup_4v1", format!("{:.2}", s1 / s4));

@@ -1,0 +1,122 @@
+//! CI regression gate for the admission hot path.
+//!
+//! Re-measures `shards{1,2,4}_ns_per_decision` on the same Zipf RMW
+//! workload the server bench commits to `BENCH_server.json`, takes the
+//! best of three runs per shard count (noise on a shared runner only
+//! inflates, never deflates — see `relser_bench::gate`), and exits
+//! non-zero if any row lands more than the tolerance above its
+//! committed baseline.
+//!
+//! ```text
+//! cargo run --release -p relser-bench --bin bench_gate
+//! cargo run --release -p relser-bench --bin bench_gate -- path/to/BENCH_server.json
+//! BENCH_GATE_TOLERANCE_PCT=50 cargo run --release -p relser-bench --bin bench_gate
+//! ```
+//!
+//! The default tolerance is 20%: wide enough to ride out runner jitter,
+//! tight enough that an accidental O(P²) admission rebuild or a lock
+//! dragged back onto the admit path (integer-factor regressions) cannot
+//! merge quietly. When baselines legitimately move — new hardware class,
+//! deliberate trade-off — re-run `cargo bench -p relser-bench --bench
+//! server` on an idle machine and commit the refreshed JSON in the same
+//! change.
+
+use relser_bench::gate::{
+    read_meta_f64, shards_ns_per_decision, zipf_rmw_txns, zipf_spec, GateRow, SHARD_COUNTS,
+};
+use std::process::ExitCode;
+
+/// Seeds mirror the server bench so the gate replays the exact
+/// committed workload (see `zipf_config` in the JSON meta).
+const WORKLOAD_SEED: u64 = 11;
+const ARRIVAL_SEED: u64 = 7;
+/// Best-of-N measurement runs per shard count (plus one discarded
+/// warmup run — first-run costs like thread spawn and page faults land
+/// there, not in the measurement).
+const RUNS: usize = 5;
+const DEFAULT_TOLERANCE_PCT: f64 = 20.0;
+
+fn main() -> ExitCode {
+    let path = std::env::args().nth(1).unwrap_or_else(|| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_server.json").to_string()
+    });
+    let tolerance_pct = std::env::var("BENCH_GATE_TOLERANCE_PCT")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(DEFAULT_TOLERANCE_PCT);
+
+    let json = match std::fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("bench_gate: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let txns = zipf_rmw_txns(WORKLOAD_SEED);
+    let spec = zipf_spec(&txns, WORKLOAD_SEED);
+
+    println!(
+        "bench_gate: {} decisions/run, best of {RUNS} runs, tolerance {tolerance_pct}% \
+         vs {path}",
+        txns.total_ops()
+    );
+
+    let mut rows = Vec::new();
+    let mut missing = Vec::new();
+    for &shards in &SHARD_COUNTS {
+        let key = format!("shards{shards}_ns_per_decision");
+        let Some(committed) = read_meta_f64(&json, &key) else {
+            missing.push(key);
+            continue;
+        };
+        let _warmup = shards_ns_per_decision(&txns, &spec, shards, ARRIVAL_SEED);
+        let measured = (0..RUNS)
+            .map(|_| shards_ns_per_decision(&txns, &spec, shards, ARRIVAL_SEED))
+            .fold(f64::INFINITY, f64::min);
+        rows.push(GateRow {
+            key,
+            committed,
+            measured,
+        });
+    }
+
+    if !missing.is_empty() {
+        eprintln!(
+            "bench_gate: committed baselines missing from {path}: {} — run \
+             `cargo bench -p relser-bench --bench server` and commit the JSON",
+            missing.join(", ")
+        );
+        return ExitCode::FAILURE;
+    }
+
+    let mut failed = false;
+    for row in &rows {
+        let verdict = if row.regressed(tolerance_pct) {
+            failed = true;
+            "REGRESSED"
+        } else if row.ratio() < 0.8 {
+            "improved (consider refreshing the committed baseline)"
+        } else {
+            "ok"
+        };
+        println!(
+            "  {:<28} committed {:>9.0} ns  measured {:>9.0} ns  ratio {:>5.2}  {verdict}",
+            row.key,
+            row.committed,
+            row.measured,
+            row.ratio()
+        );
+    }
+
+    if failed {
+        eprintln!(
+            "bench_gate: FAIL — hot-path ns/decision regressed more than {tolerance_pct}% \
+             vs the committed BENCH_server.json"
+        );
+        ExitCode::FAILURE
+    } else {
+        println!("bench_gate: PASS");
+        ExitCode::SUCCESS
+    }
+}

@@ -74,7 +74,6 @@ use crate::txn::TxnSet;
 use relser_digraph::bitset::BitSet;
 use relser_digraph::incremental::ArcRejection;
 use relser_digraph::{BatchUndo, IncrementalDag, NodeIdx};
-use std::collections::HashMap;
 
 /// The exact set of new arcs one admitted operation adds to the RSG.
 ///
@@ -97,6 +96,22 @@ impl RsgDelta {
     pub fn depends_on_count(&self) -> usize {
         self.ancestors.len()
     }
+}
+
+/// Allocation-free summary of a successful admission.
+///
+/// [`IncrementalRsg::try_admit`] returns this `Copy` digest instead of the
+/// full [`RsgDelta`] so the steady grant path materializes nothing; callers
+/// that need the arc list (tests, explainers) call
+/// [`IncrementalRsg::propose`] *before* admitting.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AdmitSummary {
+    /// The admitted operation.
+    pub op: OpId,
+    /// Number of D/F/B arcs the admission applied (after per-pair merging).
+    pub arcs: usize,
+    /// Number of operations `op` depends on.
+    pub depends_on: usize,
 }
 
 /// Why an admission was refused: one of the delta's arcs would have
@@ -193,10 +208,16 @@ pub struct IncrementalRsg {
     /// undoing them is decision-neutral either way).
     journals: Vec<BatchUndo<ArcKinds>>,
     /// `ancestors[g]` = depends-on set of admitted operation `g`;
-    /// dropped back to `None` when the owner retires.
+    /// dropped back to `None` (row recycled) when the owner retires.
     ancestors: Vec<Option<BitSet>>,
-    /// Admitted accesses per object: (global id, is_write), grant order.
-    /// Entries of retired transactions are pruned.
+    /// Admitted accesses per object id: (global id, is_write), grant
+    /// order. Rows are grown lazily to the highest object id actually
+    /// touched (an untouched row is an empty `Vec`, no heap behind it),
+    /// so a sparse workload over a huge object space pays for the objects
+    /// it touches rather than `O(objects)` setup per engine — while the
+    /// hot path keeps plain `O(1)` slice indexing instead of hashing.
+    /// Entries of retired transactions are pruned; emptied rows keep
+    /// their capacity.
     accesses: Vec<Vec<(u32, bool)>>,
     committed: Vec<bool>,
     retired: Vec<bool>,
@@ -206,6 +227,39 @@ pub struct IncrementalRsg {
     retired_ops: usize,
     policy: CompactionPolicy,
     compactions: u64,
+    /// Reusable per-admission working memory; see [`Scratch`].
+    scratch: Scratch,
+    /// Recycled ancestor rows (uniform capacity `total`): rows released by
+    /// rollback and retirement are reused by later admissions, so the
+    /// steady path never allocates a closure bitset.
+    row_pool: Vec<BitSet>,
+    /// Recycled admission journals, same discipline as `row_pool`.
+    journal_pool: Vec<BatchUndo<ArcKinds>>,
+}
+
+/// Reusable buffers for the admit/rollback hot path. Every admission
+/// clears and refills these in place; after warm-up their capacities
+/// stabilize and the steady path performs zero heap allocations.
+#[derive(Clone, Debug, Default)]
+struct Scratch {
+    /// Depends-on closure of the operation being proposed.
+    ancestors: BitSet,
+    /// Arc merge buffer: `((from << 32) | to, kinds)`, sorted ascending
+    /// and key-coalesced — replaces the old per-propose `HashMap`. The
+    /// packed-key order is exactly the old `(from, to)` lexicographic arc
+    /// order, so decisions and rejection reports are bit-for-bit
+    /// unchanged.
+    merged: Vec<(u64, ArcKinds)>,
+    /// D/B-arc stream for the merge producing `merged` (already sorted:
+    /// keys ascend with the ancestor id).
+    dbuf: Vec<(u64, ArcKinds)>,
+    /// F-arc stream for the merge (already sorted: `push_forward` targets
+    /// ascend as the ancestor walk ascends).
+    fbuf: Vec<(u64, ArcKinds)>,
+    /// Node-index batch handed to the dag.
+    batch: Vec<(NodeIdx, NodeIdx, ArcKinds)>,
+    /// Abort replay suffix.
+    suffix: Vec<OpId>,
 }
 
 impl IncrementalRsg {
@@ -251,13 +305,19 @@ impl IncrementalRsg {
             admitted: Vec::new(),
             journals: Vec::new(),
             ancestors: vec![None; acc as usize],
-            accesses: vec![Vec::new(); txns.objects().len()],
+            accesses: Vec::new(),
             committed: vec![false; txns.len()],
             retired: vec![false; txns.len()],
             retired_txns: 0,
             retired_ops: 0,
             policy,
             compactions: 0,
+            scratch: Scratch {
+                ancestors: BitSet::with_capacity(acc as usize),
+                ..Scratch::default()
+            },
+            row_pool: Vec::new(),
+            journal_pool: Vec::new(),
         }
     }
 
@@ -321,6 +381,33 @@ impl IncrementalRsg {
     /// transaction's own operations after an unrelated abort, or when an
     /// ancestor has retired).
     pub fn propose(&self, op: OpId) -> RsgDelta {
+        let mut ancestors = BitSet::with_capacity(self.total as usize);
+        let mut merged = Vec::new();
+        let (mut dbuf, mut fbuf) = (Vec::new(), Vec::new());
+        self.propose_into(op, &mut ancestors, &mut merged, &mut dbuf, &mut fbuf);
+        RsgDelta {
+            op,
+            arcs: merged
+                .iter()
+                .map(|&(key, k)| (self.op_of((key >> 32) as u32), self.op_of(key as u32), k))
+                .collect(),
+            ancestors,
+        }
+    }
+
+    /// [`IncrementalRsg::propose`] into caller-owned buffers — the
+    /// allocation-free core the admit path runs on. `ancestors` must have
+    /// capacity `total`; both buffers are cleared and refilled. `merged`
+    /// ends sorted by packed `(from << 32) | to` key with per-pair kinds
+    /// coalesced — the same deterministic arc order `propose` publishes.
+    fn propose_into(
+        &self,
+        op: OpId,
+        ancestors: &mut BitSet,
+        merged: &mut Vec<(u64, ArcKinds)>,
+        dbuf: &mut Vec<(u64, ArcKinds)>,
+        fbuf: &mut Vec<(u64, ArcKinds)>,
+    ) {
         let g = self.global(op);
         let operation = self.txns.op(op).expect("operation belongs to the set");
 
@@ -333,7 +420,7 @@ impl IncrementalRsg {
         // the skipped operations live on other shards, their closures are
         // foreign, and their nodes still participate in cycle searches
         // through the static I-skeleton.
-        let mut ancestors = BitSet::with_capacity(self.total as usize);
+        ancestors.clear();
         let base = self.offset[op.txn.index()];
         if let Some(prev) = (base..g)
             .rev()
@@ -344,110 +431,209 @@ impl IncrementalRsg {
             }
             ancestors.insert(prev as usize);
         }
-        for &(u, was_write) in &self.accesses[operation.object.index()] {
-            if was_write || operation.is_write() {
-                if let Some(u_anc) = &self.ancestors[u as usize] {
-                    ancestors.union_with(u_anc);
+        if let Some(accesses) = self.accesses.get(operation.object.index()) {
+            for &(u, was_write) in accesses {
+                if was_write || operation.is_write() {
+                    if let Some(u_anc) = &self.ancestors[u as usize] {
+                        ancestors.union_with(u_anc);
+                    }
+                    ancestors.insert(u as usize);
                 }
-                ancestors.insert(u as usize);
             }
         }
 
         // Definition 3 arcs for every *new* depends-on pair (u, op).
-        let mut merged: HashMap<(u32, u32), ArcKinds> = HashMap::new();
-        let mut add = |a: u32, b: u32, kind: ArcKinds| {
-            if a == b {
-                return; // F/B arc collapsed onto its own endpoint
+        //
+        // `ancestors` iterates ascending global ids and global ids are
+        // contiguous per transaction, so same-transaction ancestors form
+        // one run: the per-ancestor `push_forward`/`pull_backward` unit
+        // searches reduce to a pointer walked monotonically through the
+        // breakpoint list, recomputed once per run instead of per
+        // ancestor. The walk emits two already-sorted packed-key streams
+        // — D/B arcs (keys ascend with `u`; within one `u` the B key
+        // `(u, pb)` precedes the D key `(u, g)` because `pb <= g`) and F
+        // arcs (`push_forward` targets are non-decreasing along the walk,
+        // with duplicates therefore adjacent) — and a linear merge with
+        // key coalescing replaces the old O(n log n) sort. The output is
+        // the identical sorted, per-pair-merged arc list.
+        //
+        // Arcs with a retired endpoint are omitted as before: every
+        // D/F/B arc has one endpoint in `op.txn`, so a retired proposer
+        // emits nothing (the abort-replay case), and arcs touching a
+        // retired ancestor transaction are dropped by skipping that run.
+        merged.clear();
+        dbuf.clear();
+        fbuf.clear();
+        if !self.retired[op.txn.index()] {
+            let mut anc_txn = usize::MAX;
+            let mut fwd: &[u32] = &[]; // breakpoints(anc_txn, op.txn)
+            let mut fwd_unit = 0usize;
+            let mut anc_base = 0u32;
+            let mut anc_last = 0u32; // last op index of anc_txn
+            let mut pb_g = 0u32; // global id of pull_backward(op, anc_txn)
+            let gg = u64::from(g);
+            for u in ancestors.iter() {
+                let ut = self.owner[u].index();
+                if ut == op.txn.index() || self.retired[ut] {
+                    continue; // D-arcs are cross-transaction only
+                }
+                if ut != anc_txn {
+                    anc_txn = ut;
+                    let ut_id = self.owner[u];
+                    fwd = self.spec.breakpoints(ut_id, op.txn);
+                    fwd_unit = 0;
+                    anc_base = self.offset[ut];
+                    anc_last = self.txns.txns()[ut].len() as u32 - 1;
+                    let back = self.spec.breakpoints(op.txn, ut_id);
+                    let unit = back.partition_point(|&bp| bp <= op.index);
+                    let first = if unit == 0 { 0 } else { back[unit - 1] };
+                    pb_g = base + first;
+                }
+                let u_index = u as u32 - anc_base;
+                while fwd_unit < fwd.len() && fwd[fwd_unit] <= u_index {
+                    fwd_unit += 1;
+                }
+                let last = if fwd_unit == fwd.len() {
+                    anc_last
+                } else {
+                    fwd[fwd_unit] - 1
+                };
+                let ukey = u64::from(u as u32) << 32;
+                if pb_g == g {
+                    dbuf.push((ukey | gg, ArcKinds::D | ArcKinds::B));
+                } else {
+                    dbuf.push((ukey | u64::from(pb_g), ArcKinds::B));
+                    dbuf.push((ukey | gg, ArcKinds::D));
+                }
+                let fkey = (u64::from(anc_base + last) << 32) | gg;
+                match fbuf.last_mut() {
+                    Some(prev) if prev.0 == fkey => {}
+                    _ => fbuf.push((fkey, ArcKinds::F)),
+                }
             }
-            if self.retired[self.owner[a as usize].index()]
-                || self.retired[self.owner[b as usize].index()]
-            {
-                return; // decision-neutral: masked from searches anyway
-            }
-            *merged.entry((a, b)).or_insert_with(ArcKinds::empty) |= kind;
-        };
-        for u in ancestors.iter() {
-            let u_op = self.op_of(u as u32);
-            if u_op.txn == op.txn {
-                continue; // D-arcs are cross-transaction only
-            }
-            add(u as u32, g, ArcKinds::D);
-            let pf = self.spec.push_forward(u_op, op.txn);
-            add(self.global(pf), g, ArcKinds::F);
-            let pb = self.spec.pull_backward(op, u_op.txn);
-            add(u as u32, self.global(pb), ArcKinds::B);
         }
-        let mut arcs: Vec<((u32, u32), ArcKinds)> = merged.into_iter().collect();
-        arcs.sort_by_key(|&(k, _)| k);
-        RsgDelta {
-            op,
-            arcs: arcs
-                .into_iter()
-                .map(|((a, b), k)| (self.op_of(a), self.op_of(b), k))
-                .collect(),
-            ancestors,
+        let (mut i, mut j) = (0, 0);
+        while i < dbuf.len() && j < fbuf.len() {
+            let (dk, dv) = dbuf[i];
+            let (fk, fv) = fbuf[j];
+            if dk < fk {
+                merged.push((dk, dv));
+                i += 1;
+            } else if fk < dk {
+                merged.push((fk, fv));
+                j += 1;
+            } else {
+                merged.push((dk, dv | fv));
+                i += 1;
+                j += 1;
+            }
         }
+        merged.extend_from_slice(&dbuf[i..]);
+        merged.extend_from_slice(&fbuf[j..]);
     }
 
-    /// Attempts to admit `op`: applies its delta atomically. On success
-    /// the delta is returned and the admission is journalled; on failure
-    /// graph and engine state are **unchanged** and the error names
-    /// either the offending arc and cycle, or the retired transaction a
-    /// late request arrived for.
-    pub fn try_admit(&mut self, op: OpId) -> Result<RsgDelta, AdmitError> {
+    /// Attempts to admit `op`: applies its delta atomically. On success a
+    /// `Copy` [`AdmitSummary`] is returned and the admission is
+    /// journalled; on failure graph and engine state are **unchanged**
+    /// and the error names either the offending arc and cycle, or the
+    /// retired transaction a late request arrived for.
+    ///
+    /// The steady grant path is allocation-free: the delta is computed in
+    /// reusable scratch, the ancestor row comes from a recycled pool, and
+    /// the journal reuses a released journal's buffer.
+    pub fn try_admit(&mut self, op: OpId) -> Result<AdmitSummary, AdmitError> {
         if self.retired[op.txn.index()] {
             return Err(AdmitError::Retired(op.txn));
         }
-        self.admit_inner(op)
+        self.admit_inner(op, false)
     }
 
     /// Admission without the retired-transaction gate: abort-replay uses
     /// this to re-admit a retired survivor's own operations (their deltas
-    /// are empty, so replay stays exact).
-    fn admit_inner(&mut self, op: OpId) -> Result<RsgDelta, AdmitError> {
-        let delta = self.propose(op);
-        let batch: Vec<(NodeIdx, NodeIdx, ArcKinds)> = delta
-            .arcs
-            .iter()
-            .map(|&(a, b, k)| {
-                (
-                    self.nodes[self.global(a) as usize]
-                        .expect("delta endpoints belong to uncompacted transactions"),
-                    self.nodes[self.global(b) as usize]
-                        .expect("delta endpoints belong to uncompacted transactions"),
-                    k,
-                )
-            })
-            .collect();
-        match self.dag.try_add_batch(&batch) {
-            Ok(undo) => {
+    /// are empty, so replay stays exact). `trusted` marks a replay of
+    /// arcs that are a subset of a previously acyclic graph, letting the
+    /// dag skip the cycle sweep (debug builds still verify it).
+    fn admit_inner(&mut self, op: OpId, trusted: bool) -> Result<AdmitSummary, AdmitError> {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let res = self.admit_with(op, &mut scratch, trusted);
+        self.scratch = scratch;
+        res
+    }
+
+    fn admit_with(
+        &mut self,
+        op: OpId,
+        s: &mut Scratch,
+        trusted: bool,
+    ) -> Result<AdmitSummary, AdmitError> {
+        self.propose_into(
+            op,
+            &mut s.ancestors,
+            &mut s.merged,
+            &mut s.dbuf,
+            &mut s.fbuf,
+        );
+        s.batch.clear();
+        for &(key, k) in s.merged.iter() {
+            let (a, b) = ((key >> 32) as usize, key as u32 as usize);
+            s.batch.push((
+                self.nodes[a].expect("delta endpoints belong to uncompacted transactions"),
+                self.nodes[b].expect("delta endpoints belong to uncompacted transactions"),
+                k,
+            ));
+        }
+        let mut undo = self.journal_pool.pop().unwrap_or_default();
+        let applied = if trusted {
+            self.dag.add_batch_trusted_into(&s.batch, &mut undo)
+        } else {
+            self.dag.try_add_batch_into(&s.batch, &mut undo)
+        };
+        match applied {
+            Ok(()) => {
                 if !self.retired[op.txn.index()] {
                     let g = self.global(op);
                     let operation = self.txns.op(op).expect("operation belongs to the set");
-                    self.ancestors[g as usize] = Some(delta.ancestors.clone());
-                    self.accesses[operation.object.index()].push((g, operation.is_write()));
+                    let mut row = self
+                        .row_pool
+                        .pop()
+                        .unwrap_or_else(|| BitSet::with_capacity(self.total as usize));
+                    row.copy_from(&s.ancestors);
+                    self.ancestors[g as usize] = Some(row);
+                    let obj = operation.object.index();
+                    if obj >= self.accesses.len() {
+                        self.accesses.resize_with(obj + 1, Vec::new);
+                    }
+                    self.accesses[obj].push((g, operation.is_write()));
                 }
                 self.admitted.push(op);
                 self.journals.push(undo);
-                Ok(delta)
+                Ok(AdmitSummary {
+                    op,
+                    arcs: s.merged.len(),
+                    depends_on: s.ancestors.len(),
+                })
             }
-            Err(rej) => match rej.cause {
-                ArcRejection::WouldCycle(path) => {
-                    let arc = delta.arcs[rej.arc];
-                    let cycle = path
-                        .iter()
-                        .map(|v| self.op_of(self.node_global[v.index()]))
-                        .collect::<Vec<OpId>>();
-                    Err(AdmitError::Cycle(Rejection { op, arc, cycle }))
+            Err(rej) => {
+                self.journal_pool.push(undo); // rolled back: empty, reusable
+                let (key, k) = s.merged[rej.arc];
+                let arc = (self.op_of((key >> 32) as u32), self.op_of(key as u32), k);
+                match rej.cause {
+                    ArcRejection::WouldCycle(path) => {
+                        let cycle = path
+                            .iter()
+                            .map(|v| self.op_of(self.node_global[v.index()]))
+                            .collect::<Vec<OpId>>();
+                        Err(AdmitError::Cycle(Rejection { op, arc, cycle }))
+                    }
+                    // `propose` filters arcs whose endpoints lie in retired
+                    // transactions, so the dag can only see a retired endpoint
+                    // if the owner retired between propose and apply — which
+                    // cannot happen single-threaded. Surface it typed anyway.
+                    ArcRejection::RetiredEndpoint(v) => Err(AdmitError::Retired(
+                        self.owner[self.node_global[v.index()] as usize],
+                    )),
                 }
-                // `propose` filters arcs whose endpoints lie in retired
-                // transactions, so the dag can only see a retired endpoint
-                // if the owner retired between propose and apply — which
-                // cannot happen single-threaded. Surface it typed anyway.
-                ArcRejection::RetiredEndpoint(v) => Err(AdmitError::Retired(
-                    self.owner[self.node_global[v.index()] as usize],
-                )),
-            },
+            }
         }
     }
 
@@ -456,13 +642,16 @@ impl IncrementalRsg {
     /// the (blanked) journal is popped.
     fn pop_admission(&mut self) {
         let op = self.admitted.pop().expect("admission to pop");
-        let undo = self.journals.pop().expect("journal parallel to admitted");
-        self.dag.undo_batch(undo);
+        let mut undo = self.journals.pop().expect("journal parallel to admitted");
+        self.dag.undo_batch_into(&mut undo);
+        self.journal_pool.push(undo);
         if self.retired[op.txn.index()] {
             return;
         }
         let g = self.global(op);
-        self.ancestors[g as usize] = None;
+        if let Some(row) = self.ancestors[g as usize].take() {
+            self.row_pool.push(row);
+        }
         let operation = self.txns.op(op).expect("operation belongs to the set");
         let popped = self.accesses[operation.object.index()].pop();
         debug_assert_eq!(popped, Some((g, operation.is_write())));
@@ -476,17 +665,21 @@ impl IncrementalRsg {
         let Some(k) = self.admitted.iter().position(|o| o.txn == txn) else {
             return; // nothing of txn was admitted
         };
-        let suffix: Vec<OpId> = self.admitted[k..].to_vec();
+        let mut suffix = std::mem::take(&mut self.scratch.suffix);
+        suffix.clear();
+        suffix.extend_from_slice(&self.admitted[k..]);
         while self.admitted.len() > k {
             self.pop_admission();
         }
-        for op in suffix {
+        for &op in &suffix {
             if op.txn == txn {
                 continue;
             }
-            self.admit_inner(op)
+            self.admit_inner(op, true)
                 .expect("replaying a subgraph of an acyclic graph cannot cycle");
         }
+        suffix.clear();
+        self.scratch.suffix = suffix;
         self.sweep_retirement();
     }
 
@@ -537,14 +730,18 @@ impl IncrementalRsg {
         for g in base..base + len {
             self.dag
                 .retire_node(self.nodes[g as usize].expect("retiring an uncompacted txn"));
-            self.ancestors[g as usize] = None;
+            if let Some(row) = self.ancestors[g as usize].take() {
+                self.row_pool.push(row);
+            }
         }
         for op in self.txns.txns()[t].ops() {
-            self.accesses[op.object.index()].retain(|&(u, _)| !(base..base + len).contains(&u));
+            if let Some(accesses) = self.accesses.get_mut(op.object.index()) {
+                accesses.retain(|&(u, _)| !(base..base + len).contains(&u));
+            }
         }
         for (i, op) in self.admitted.iter().enumerate() {
             if op.txn.index() == t {
-                self.journals[i] = BatchUndo::default();
+                self.journals[i].clear();
             }
         }
         self.retired[t] = true;
@@ -595,17 +792,26 @@ mod tests {
     use crate::paper::Figure1;
     use crate::rsg::Rsg;
     use crate::schedule::Schedule;
+    use std::collections::HashMap;
 
     fn op(t: u32, j: u32) -> OpId {
         OpId::new(TxnId(t), j)
     }
 
-    /// Feeds a complete schedule; panics on rejection.
+    /// Feeds a complete schedule; panics on rejection. Returns the delta
+    /// each admission applied (proposed before admitting, since
+    /// `try_admit` itself returns only a summary).
     fn feed(engine: &mut IncrementalRsg, schedule: &Schedule) -> Vec<RsgDelta> {
         schedule
             .ops()
             .iter()
-            .map(|&o| engine.try_admit(o).expect("schedule known admissible"))
+            .map(|&o| {
+                let delta = engine.propose(o);
+                let summary = engine.try_admit(o).expect("schedule known admissible");
+                assert_eq!(summary.arcs, delta.arcs.len());
+                assert_eq!(summary.depends_on, delta.depends_on_count());
+                delta
+            })
             .collect()
     }
 

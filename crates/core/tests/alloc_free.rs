@@ -1,0 +1,104 @@
+//! Counting-allocator proof that the steady-state admit/rollback path of
+//! [`IncrementalRsg`] performs **zero** heap allocations.
+//!
+//! The engine is warmed up through several admit-everything /
+//! abort-everything rounds so every reusable buffer (scratch closure
+//! bitset, arc merge buffer, recycled ancestor rows, recycled journals,
+//! dag edge storage and DFS scratch, access rows) reaches its steady
+//! capacity; allocation counting is then enabled and further rounds —
+//! including full rollback-with-replay — must allocate nothing.
+//!
+//! This file deliberately contains a single `#[test]`: the counter is
+//! process-global, and a sibling test allocating concurrently would
+//! produce false positives.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use relser_core::ids::{OpId, TxnId};
+use relser_core::incremental::{CompactionPolicy, IncrementalRsg};
+use relser_core::spec::AtomicitySpec;
+use relser_core::txn::TxnSet;
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static COUNTING: AtomicBool = AtomicBool::new(false);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// One round: admit every operation serially (a serial schedule is always
+/// admissible), then abort every transaction — the first abort rolls the
+/// whole prefix back and replays the survivors, exercising the rollback
+/// and replay paths as hard as the admit path.
+fn round(engine: &mut IncrementalRsg, txns: &TxnSet) {
+    for t in txns.txns() {
+        for j in 0..t.len() as u32 {
+            let r = engine.try_admit(OpId::new(t.id(), j));
+            assert!(r.is_ok());
+        }
+    }
+    for t in 0..txns.len() as u32 {
+        engine.abort(TxnId(t));
+    }
+    assert!(engine.admitted().is_empty());
+}
+
+#[test]
+fn steady_state_admit_and_rollback_allocate_nothing() {
+    let txns = TxnSet::parse(&[
+        "r1[x] w1[x] w1[z] r1[y]",
+        "r2[y] w2[y] r2[x]",
+        "w3[x] w3[y] w3[z]",
+        "r4[z] w4[z] r4[x] w4[y]",
+    ])
+    .unwrap();
+    let spec = AtomicitySpec::absolute(&txns);
+    let mut engine = IncrementalRsg::with_policy(&txns, &spec, CompactionPolicy::never());
+
+    // Warm-up: grow every buffer to its steady capacity.
+    for _ in 0..4 {
+        round(&mut engine, &txns);
+    }
+
+    ALLOCS.store(0, Ordering::SeqCst);
+    COUNTING.store(true, Ordering::SeqCst);
+    for _ in 0..8 {
+        round(&mut engine, &txns);
+    }
+    COUNTING.store(false, Ordering::SeqCst);
+
+    let allocs = ALLOCS.load(Ordering::SeqCst);
+    assert_eq!(
+        allocs, 0,
+        "steady-state admit/rollback performed {allocs} heap allocations"
+    );
+}

@@ -72,17 +72,85 @@ impl BitSet {
     }
 
     /// `self |= other`. The sets must have equal capacity.
+    ///
+    /// Four `u64` lanes per step so the compiler can keep the loop in
+    /// vector registers; the remainder runs word-at-a-time.
     #[inline]
     pub fn union_with(&mut self, other: &BitSet) {
         debug_assert_eq!(self.nbits, other.nbits, "capacity mismatch");
-        for (a, b) in self.words.iter_mut().zip(&other.words) {
+        let n = self.words.len().min(other.words.len());
+        let (a4, a1) = self.words[..n].split_at_mut(n - n % 4);
+        let (b4, b1) = other.words[..n].split_at(n - n % 4);
+        for (a, b) in a4.chunks_exact_mut(4).zip(b4.chunks_exact(4)) {
+            a[0] |= b[0];
+            a[1] |= b[1];
+            a[2] |= b[2];
+            a[3] |= b[3];
+        }
+        for (a, b) in a1.iter_mut().zip(b1) {
             *a |= *b;
         }
+    }
+
+    /// Overwrites `self` with the contents of `other` (same capacity):
+    /// a word-level copy that reuses `self`'s allocation.
+    #[inline]
+    pub fn copy_from(&mut self, other: &BitSet) {
+        debug_assert_eq!(self.nbits, other.nbits, "capacity mismatch");
+        self.words.copy_from_slice(&other.words);
+    }
+
+    /// `self |= other << shift`: every element `i` of `other` joins as
+    /// `i + shift`. Elements shifted past `self`'s capacity are dropped
+    /// (the caller sized `self`; anything past it cannot matter). Runs
+    /// word-level: each source word lands in at most two target words.
+    pub fn or_with_shifted(&mut self, other: &BitSet, shift: usize) {
+        let (wshift, bshift) = (shift / 64, (shift % 64) as u32);
+        let nwords = self.words.len();
+        for (sw, &w) in other.words.iter().enumerate() {
+            if w == 0 {
+                continue;
+            }
+            let lo = sw + wshift;
+            if lo < nwords {
+                self.words[lo] |= w << bshift;
+            }
+            if bshift != 0 {
+                let hi = lo + 1;
+                if hi < nwords {
+                    self.words[hi] |= w >> (64 - bshift);
+                }
+            }
+        }
+        // Bits shifted into the trailing partial word but past `nbits`
+        // would make `len`/`iter` disagree with `contains`; mask them off.
+        let tail = self.nbits % 64;
+        if tail != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+    }
+
+    /// Returns `true` if every element of `self` is in `other`
+    /// (`self ⊆ other`), word-level: `a & !b` must vanish everywhere.
+    pub fn is_subset_of(&self, other: &BitSet) -> bool {
+        let common = self.words.len().min(other.words.len());
+        self.words[..common]
+            .iter()
+            .zip(&other.words[..common])
+            .all(|(a, b)| a & !b == 0)
+            && self.words[common..].iter().all(|&w| w == 0)
     }
 
     /// Returns `true` if `self` and `other` share at least one element.
     pub fn intersects(&self, other: &BitSet) -> bool {
         self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
+    }
+
+    /// The backing `u64` words, least-significant bits first.
+    pub fn words(&self) -> &[u64] {
+        &self.words
     }
 
     /// Number of elements present.

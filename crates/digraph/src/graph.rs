@@ -78,10 +78,12 @@ pub struct EdgeRef<'g, E> {
 pub struct DiGraph<N, E> {
     nodes: Vec<N>,
     edges: Vec<Edge<E>>,
-    /// `succ[v]` lists indices of edges leaving `v`.
-    succ: Vec<Vec<EdgeIdx>>,
-    /// `pred[v]` lists indices of edges entering `v`.
-    pred: Vec<Vec<EdgeIdx>>,
+    /// `succ[v]` lists the outgoing edges of `v` as `(target, edge)`,
+    /// the target cached inline so traversals and endpoint probes touch
+    /// only the adjacency row instead of chasing into `edges`.
+    succ: Vec<Vec<(NodeIdx, EdgeIdx)>>,
+    /// `pred[v]` lists the incoming edges of `v` as `(source, edge)`.
+    pred: Vec<Vec<(NodeIdx, EdgeIdx)>>,
 }
 
 impl<N, E> DiGraph<N, E> {
@@ -141,8 +143,8 @@ impl<N, E> DiGraph<N, E> {
         assert!(to.index() < self.nodes.len(), "edge target out of bounds");
         let idx = EdgeIdx(u32::try_from(self.edges.len()).expect("edge index overflows u32"));
         self.edges.push(Edge { from, to, weight });
-        self.succ[from.index()].push(idx);
-        self.pred[to.index()].push(idx);
+        self.succ[from.index()].push((to, idx));
+        self.pred[to.index()].push((from, idx));
         idx
     }
 
@@ -172,28 +174,35 @@ impl<N, E> DiGraph<N, E> {
         (removed.from, removed.to, removed.weight)
     }
 
-    fn detach(list: &mut Vec<EdgeIdx>, e: EdgeIdx) {
+    fn detach(list: &mut Vec<(NodeIdx, EdgeIdx)>, e: EdgeIdx) {
         let pos = list
             .iter()
-            .position(|&x| x == e)
+            .position(|&(_, x)| x == e)
             .expect("edge missing from adjacency list");
         list.swap_remove(pos);
     }
 
-    fn repoint(list: &mut [EdgeIdx], old: EdgeIdx, new: EdgeIdx) {
+    fn repoint(list: &mut [(NodeIdx, EdgeIdx)], old: EdgeIdx, new: EdgeIdx) {
         let pos = list
             .iter()
-            .position(|&x| x == old)
+            .position(|&(_, x)| x == old)
             .expect("moved edge missing from adjacency list");
-        list[pos] = new;
+        list[pos].1 = new;
     }
 
-    /// Returns the first edge `from -> to`, if any.
+    /// Returns an edge `from -> to`, if any.
+    ///
+    /// Scans whichever adjacency side is shorter. If parallel `from -> to`
+    /// edges exist, which of them is returned is unspecified (the two
+    /// adjacency sides may order them differently after removals).
     pub fn find_edge(&self, from: NodeIdx, to: NodeIdx) -> Option<EdgeIdx> {
-        self.succ[from.index()]
-            .iter()
-            .copied()
-            .find(|&e| self.edges[e.index()].to == to)
+        let fwd = &self.succ[from.index()];
+        let rev = &self.pred[to.index()];
+        if fwd.len() <= rev.len() {
+            fwd.iter().find(|&&(t, _)| t == to).map(|&(_, e)| e)
+        } else {
+            rev.iter().find(|&&(s, _)| s == from).map(|&(_, e)| e)
+        }
     }
 
     /// Returns `true` if at least one edge `from -> to` exists.
@@ -245,21 +254,17 @@ impl<N, E> DiGraph<N, E> {
     /// Successor nodes of `v` (one entry per outgoing edge, so parallel
     /// edges yield repeats).
     pub fn successors(&self, v: NodeIdx) -> impl Iterator<Item = NodeIdx> + '_ {
-        self.succ[v.index()]
-            .iter()
-            .map(move |&e| self.edges[e.index()].to)
+        self.succ[v.index()].iter().map(|&(t, _)| t)
     }
 
     /// Predecessor nodes of `v` (one entry per incoming edge).
     pub fn predecessors(&self, v: NodeIdx) -> impl Iterator<Item = NodeIdx> + '_ {
-        self.pred[v.index()]
-            .iter()
-            .map(move |&e| self.edges[e.index()].from)
+        self.pred[v.index()].iter().map(|&(s, _)| s)
     }
 
     /// Outgoing edges of `v`.
     pub fn out_edges(&self, v: NodeIdx) -> impl Iterator<Item = EdgeRef<'_, E>> + '_ {
-        self.succ[v.index()].iter().map(move |&e| {
+        self.succ[v.index()].iter().map(move |&(_, e)| {
             let edge = &self.edges[e.index()];
             EdgeRef {
                 idx: e,
@@ -272,7 +277,7 @@ impl<N, E> DiGraph<N, E> {
 
     /// Incoming edges of `v`.
     pub fn in_edges(&self, v: NodeIdx) -> impl Iterator<Item = EdgeRef<'_, E>> + '_ {
-        self.pred[v.index()].iter().map(move |&e| {
+        self.pred[v.index()].iter().map(move |&(_, e)| {
             let edge = &self.edges[e.index()];
             EdgeRef {
                 idx: e,

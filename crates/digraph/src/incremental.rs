@@ -54,6 +54,19 @@ pub struct IncrementalDag<L: EdgeLabel = ()> {
     /// Running count of `true` entries in `live`; kept in lockstep so
     /// [`IncrementalDag::live_count`] is O(1) (it gates compaction).
     live_nodes: usize,
+    /// Epoch-stamped DFS scratch for the per-arc cycle check: `dfs_seen[v]
+    /// == dfs_epoch` means "visited this search". Bumping the epoch resets
+    /// the whole array in O(1), so the steady-state check allocates
+    /// nothing (the vectors grow once to the arena size and stay).
+    dfs_seen: Vec<u64>,
+    dfs_epoch: u64,
+    /// DFS predecessor per node, valid only where `dfs_seen` is current;
+    /// used to reconstruct the witness path on the (cold) rejection path.
+    dfs_parent: Vec<u32>,
+    dfs_stack: Vec<u32>,
+    /// Distinct batch-arc heads already swept this batch (scratch for
+    /// [`IncrementalDag::try_add_batch_into`]).
+    head_scratch: Vec<u32>,
 }
 
 /// Result of attempting to add an edge to an [`IncrementalDag`].
@@ -88,6 +101,15 @@ impl<L> BatchUndo<L> {
     /// Did the batch change the graph at all?
     pub fn is_noop(&self) -> bool {
         self.ops.is_empty()
+    }
+
+    /// Blanks the journal in place, keeping its allocation for reuse.
+    ///
+    /// Used when the journalled changes are known to be decision-neutral
+    /// (the owning transaction retired) and by the recycling pool feeding
+    /// [`IncrementalDag::try_add_batch_into`].
+    pub fn clear(&mut self) {
+        self.ops.clear();
     }
 }
 
@@ -297,20 +319,191 @@ impl<L: EdgeLabel> IncrementalDag<L> {
         arcs: &[(NodeIdx, NodeIdx, L)],
     ) -> Result<BatchUndo<L>, BatchRejected> {
         let mut undo = BatchUndo { ops: Vec::new() };
+        self.try_add_batch_into(arcs, &mut undo).map(|()| undo)
+    }
+
+    /// [`IncrementalDag::try_add_batch`] journalling into a caller-owned
+    /// (typically recycled) `undo`, so the steady admission path performs
+    /// no journal allocation. `undo` must be empty on entry; on success it
+    /// holds the reversing journal, on failure it is left empty (the batch
+    /// was rolled back) with its capacity intact.
+    ///
+    /// The accepting path checks the whole batch with **one reachability
+    /// sweep per distinct arc head** rather than one DFS per arc. This is
+    /// sound because batch acceptance is order-independent: applying the
+    /// arcs one by one succeeds (in any order) iff the graph plus the
+    /// whole arc set is acyclic, and any cycle in that union must contain
+    /// a newly inserted arc `a -> h` — i.e. `h` reaches `a` in the union.
+    /// Rejection blame and the witness path *are* order-sensitive, so on
+    /// failure the batch is rolled back and replayed through the original
+    /// sequential per-arc algorithm, reproducing the exact error the old
+    /// implementation returned.
+    pub fn try_add_batch_into(
+        &mut self,
+        arcs: &[(NodeIdx, NodeIdx, L)],
+        undo: &mut BatchUndo<L>,
+    ) -> Result<(), BatchRejected> {
+        assert!(undo.is_noop(), "recycled journal must be empty");
+        // Phase 1: apply every arc without cycle checks. Static failures
+        // (self-loop, retired endpoint) divert to the cold path, which
+        // re-derives the order-correct blame.
+        for (from, to, label) in arcs.iter() {
+            if !self.live[from.index()]
+                || !self.live[to.index()]
+                || from == to
+                || self
+                    .merge_or_insert_unchecked(*from, *to, label, undo)
+                    .is_err()
+            {
+                self.undo_batch_into(undo);
+                return self.try_add_batch_sequential(arcs, undo);
+            }
+        }
+        // Phase 2: one full reachability sweep per distinct head of the
+        // *inserted* arcs (merged-into-existing arcs cannot be part of a
+        // new cycle — the graph containing them was already acyclic).
+        if !self.inserted_heads_acyclic(undo) {
+            self.undo_batch_into(undo);
+            return self.try_add_batch_sequential(arcs, undo);
+        }
+        Ok(())
+    }
+
+    /// Does the graph stay acyclic with the journalled insertions in
+    /// place? One reachability sweep per distinct inserted-arc head `h`:
+    /// a cycle exists iff some inserted arc `a -> h` has `a` reachable
+    /// from `h`.
+    fn inserted_heads_acyclic(&mut self, undo: &BatchUndo<L>) -> bool {
+        let mut checked = std::mem::take(&mut self.head_scratch);
+        checked.clear();
+        let mut acyclic = true;
+        'heads: for op in undo.ops.iter() {
+            let UndoOp::Inserted(_, to) = op else {
+                continue;
+            };
+            let h = to.index() as u32;
+            if checked.contains(&h) {
+                continue;
+            }
+            checked.push(h);
+            Self::scratch_mark_reachable(
+                &self.g,
+                &self.live,
+                &mut self.dfs_seen,
+                &mut self.dfs_epoch,
+                &mut self.dfs_parent,
+                &mut self.dfs_stack,
+                *to,
+            );
+            for other in undo.ops.iter() {
+                let UndoOp::Inserted(from, to2) = other else {
+                    continue;
+                };
+                if *to2 == *to && self.dfs_seen[from.index()] == self.dfs_epoch {
+                    acyclic = false;
+                    break 'heads;
+                }
+            }
+        }
+        self.head_scratch = checked;
+        acyclic
+    }
+
+    /// Applies a batch **without** the acyclicity sweep, for callers that
+    /// can prove the result stays acyclic — RSG-SGT's abort replay
+    /// re-admits a subset of arcs that were all present in the previously
+    /// acyclic graph. Static failures (self-loop, retired endpoint)
+    /// divert to the sequential path exactly like
+    /// [`IncrementalDag::try_add_batch_into`]. Debug builds re-verify the
+    /// caller's proof by running the sweep anyway and panicking if it
+    /// finds a cycle.
+    pub fn add_batch_trusted_into(
+        &mut self,
+        arcs: &[(NodeIdx, NodeIdx, L)],
+        undo: &mut BatchUndo<L>,
+    ) -> Result<(), BatchRejected> {
+        assert!(undo.is_noop(), "recycled journal must be empty");
+        for (from, to, label) in arcs.iter() {
+            if !self.live[from.index()]
+                || !self.live[to.index()]
+                || from == to
+                || self
+                    .merge_or_insert_unchecked(*from, *to, label, undo)
+                    .is_err()
+            {
+                self.undo_batch_into(undo);
+                return self.try_add_batch_sequential(arcs, undo);
+            }
+        }
+        #[cfg(debug_assertions)]
+        {
+            debug_assert!(
+                self.inserted_heads_acyclic(undo),
+                "trusted batch closed a cycle"
+            );
+        }
+        Ok(())
+    }
+
+    /// The original per-arc batch application: cycle-checks each arc
+    /// against the partially applied prefix, so the first failing arc and
+    /// its witness path are exactly the ones the sequential algorithm
+    /// blames. Used as the cold path after the batched acyclicity sweep
+    /// detects (or statically anticipates) a failure.
+    fn try_add_batch_sequential(
+        &mut self,
+        arcs: &[(NodeIdx, NodeIdx, L)],
+        undo: &mut BatchUndo<L>,
+    ) -> Result<(), BatchRejected> {
+        debug_assert!(undo.is_noop(), "sequential redo starts from a clean slate");
         for (i, (from, to, label)) in arcs.iter().enumerate() {
-            if let Err(cause) = self.apply_arc(*from, *to, label, &mut undo) {
-                self.undo_batch(undo);
+            if let Err(cause) = self.apply_arc(*from, *to, label, undo) {
+                self.undo_batch_into(undo);
                 return Err(BatchRejected { arc: i, cause });
             }
         }
-        Ok(undo)
+        Ok(())
+    }
+
+    /// Inserts or label-merges `from -> to` with **no** cycle check,
+    /// journalling the change; callers must establish acyclicity
+    /// afterwards (or roll back). `Err(())` signals a retired endpoint
+    /// raced in (defensive; phase 1 pre-checks liveness).
+    #[allow(clippy::result_unit_err)]
+    fn merge_or_insert_unchecked(
+        &mut self,
+        from: NodeIdx,
+        to: NodeIdx,
+        label: &L,
+        undo: &mut BatchUndo<L>,
+    ) -> Result<(), ()> {
+        if let Some(e) = self.g.find_edge(from, to) {
+            let prev = self.g.edge_weight(e).clone();
+            let mut merged = prev.clone();
+            merged.merge(label);
+            if merged != prev {
+                *self.g.edge_weight_mut(e) = merged;
+                undo.ops.push(UndoOp::Relabeled(from, to, prev));
+            }
+            return Ok(());
+        }
+        self.g.add_edge(from, to, label.clone());
+        undo.ops.push(UndoOp::Inserted(from, to));
+        Ok(())
     }
 
     /// Reverses one applied batch. Journals must be undone newest-first
     /// across batches; liveness is *not* required (a batch may be undone
     /// after one of its endpoints retired).
-    pub fn undo_batch(&mut self, undo: BatchUndo<L>) {
-        for op in undo.ops.into_iter().rev() {
+    pub fn undo_batch(&mut self, mut undo: BatchUndo<L>) {
+        self.undo_batch_into(&mut undo);
+    }
+
+    /// [`IncrementalDag::undo_batch`] draining a caller-owned journal in
+    /// place: on return `undo` is empty but keeps its allocation, ready to
+    /// be recycled through [`IncrementalDag::try_add_batch_into`].
+    pub fn undo_batch_into(&mut self, undo: &mut BatchUndo<L>) {
+        while let Some(op) = undo.ops.pop() {
             match op {
                 UndoOp::Inserted(from, to) => {
                     let e = self
@@ -358,13 +551,79 @@ impl<L: EdgeLabel> IncrementalDag<L> {
             }
             return Ok(());
         }
-        // A cycle would arise iff `from` is reachable from `to` via live nodes.
-        if let Some(path) = self.live_path(to, from) {
+        // A cycle would arise iff `from` is reachable from `to` via live
+        // nodes. The sweep runs on epoch-stamped scratch so the steady
+        // (accepting) path allocates nothing; the witness path is only
+        // materialized on the cold rejection path. (The sweep marks the
+        // full reachable set rather than early-exiting at `from`: on
+        // acceptance — the hot case — the full set is traversed either
+        // way, and the DFS parent tree it leaves behind is identical to
+        // the early-exit variant's for every node it visited.)
+        Self::scratch_mark_reachable(
+            &self.g,
+            &self.live,
+            &mut self.dfs_seen,
+            &mut self.dfs_epoch,
+            &mut self.dfs_parent,
+            &mut self.dfs_stack,
+            to,
+        );
+        if self.dfs_seen[from.index()] == self.dfs_epoch {
+            let mut path = vec![from];
+            let mut cur = from.index();
+            while cur != to.index() {
+                cur = self.dfs_parent[cur] as usize;
+                path.push(NodeIdx::from(cur));
+            }
+            path.reverse();
             return Err(ArcRejection::WouldCycle(path));
         }
         self.g.add_edge(from, to, label.clone());
         undo.ops.push(UndoOp::Inserted(from, to));
         Ok(())
+    }
+
+    /// Marks every live node reachable from `from` (including `from`
+    /// itself) with a fresh `dfs_epoch`, leaving `dfs_parent` holding a
+    /// valid predecessor chain back to `from` for every marked node —
+    /// callers test membership as `dfs_seen[v] == dfs_epoch` and can
+    /// reconstruct witness paths from the parent chain.
+    ///
+    /// An associated fn over disjoint field borrows so callers holding
+    /// `&self.g` elsewhere still type-check.
+    fn scratch_mark_reachable(
+        g: &DiGraph<(), L>,
+        live: &[bool],
+        seen: &mut Vec<u64>,
+        epoch: &mut u64,
+        parent: &mut Vec<u32>,
+        stack: &mut Vec<u32>,
+        from: NodeIdx,
+    ) {
+        let n = g.node_count();
+        if seen.len() < n {
+            seen.resize(n, 0);
+            parent.resize(n, 0);
+        }
+        *epoch += 1;
+        let e = *epoch;
+        if !live[from.index()] {
+            return;
+        }
+        seen[from.index()] = e;
+        stack.clear();
+        stack.push(from.index() as u32);
+        while let Some(v) = stack.pop() {
+            for s in g.successors(NodeIdx::from(v as usize)) {
+                let si = s.index();
+                if !live[si] || seen[si] == e {
+                    continue;
+                }
+                seen[si] = e;
+                parent[si] = v;
+                stack.push(si as u32);
+            }
+        }
     }
 
     /// Is `to` reachable from `from` through live nodes (non-empty path)?

@@ -1,0 +1,232 @@
+//! Property tests for the word-level `BitSet` operations against a naive
+//! bit-at-a-time reference, so the SIMD-friendly rewrite cannot drift.
+//!
+//! The reference model is a plain `Vec<bool>`; every word-level operation
+//! (union, or-with-shift, subset, copy, iteration) is checked element by
+//! element, with generators biased toward word-boundary capacities and
+//! shifts (0, 1, 63, 64, 65, …) and trailing-partial-word cases.
+
+use proptest::prelude::*;
+use relser_digraph::bitset::BitSet;
+
+/// Naive reference: membership vector of `cap` bits.
+#[derive(Clone, Debug)]
+struct Naive {
+    bits: Vec<bool>,
+}
+
+impl Naive {
+    fn union_with(&mut self, other: &Naive) {
+        for (a, b) in self.bits.iter_mut().zip(&other.bits) {
+            *a |= *b;
+        }
+    }
+
+    /// `self |= other << shift`, dropping bits past `self`'s capacity.
+    fn or_with_shifted(&mut self, other: &Naive, shift: usize) {
+        for (i, &b) in other.bits.iter().enumerate() {
+            if b {
+                if let Some(slot) = self.bits.get_mut(i + shift) {
+                    *slot = true;
+                }
+            }
+        }
+    }
+
+    fn is_subset_of(&self, other: &Naive) -> bool {
+        self.bits
+            .iter()
+            .enumerate()
+            .all(|(i, &b)| !b || other.bits.get(i).copied().unwrap_or(false))
+    }
+
+    fn elems(&self) -> Vec<usize> {
+        self.bits
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &b)| b.then_some(i))
+            .collect()
+    }
+}
+
+/// Word-boundary capacities the generator is biased toward.
+const BOUNDARY_CAPS: [usize; 11] = [0, 1, 63, 64, 65, 127, 128, 129, 191, 192, 193];
+
+/// Word-boundary shifts the generator is biased toward.
+const BOUNDARY_SHIFTS: [usize; 5] = [0, 1, 63, 64, 65];
+
+/// A capacity: half the time a word-boundary case, half arbitrary.
+fn arb_cap() -> impl Strategy<Value = usize> {
+    (any::<bool>(), 0usize..BOUNDARY_CAPS.len(), 0usize..300).prop_map(|(boundary, idx, free)| {
+        if boundary {
+            BOUNDARY_CAPS[idx]
+        } else {
+            free
+        }
+    })
+}
+
+/// A (BitSet, Naive) pair of capacity `cap` with the same membership.
+fn arb_pair(cap: usize) -> impl Strategy<Value = (BitSet, Naive)> {
+    proptest::collection::vec(any::<bool>(), cap).prop_map(move |bits| {
+        let mut s = BitSet::with_capacity(cap);
+        for (i, &b) in bits.iter().enumerate() {
+            if b {
+                s.insert(i);
+            }
+        }
+        (s, Naive { bits })
+    })
+}
+
+/// Two same-capacity sets plus a shift biased toward word boundaries.
+fn arb_two_and_shift() -> impl Strategy<Value = (BitSet, Naive, BitSet, Naive, usize)> {
+    arb_cap().prop_flat_map(|cap| {
+        let shift = (any::<bool>(), 0usize..BOUNDARY_SHIFTS.len(), 0usize..200)
+            .prop_map(|(boundary, idx, free)| if boundary { BOUNDARY_SHIFTS[idx] } else { free });
+        (arb_pair(cap), arb_pair(cap), shift).prop_map(|((a, na), (b, nb), s)| (a, na, b, nb, s))
+    })
+}
+
+fn assert_matches(s: &BitSet, n: &Naive) {
+    let got: Vec<usize> = s.iter().collect();
+    assert_eq!(got, n.elems(), "iter() disagrees with reference");
+    assert_eq!(s.len(), n.elems().len(), "len() disagrees with reference");
+    for i in 0..n.bits.len() + 70 {
+        assert_eq!(
+            s.contains(i),
+            n.bits.get(i).copied().unwrap_or(false),
+            "contains({i}) disagrees"
+        );
+    }
+}
+
+proptest! {
+    /// Word-level union equals element-wise union.
+    #[test]
+    fn union_matches_naive((a, na, b, nb, _) in arb_two_and_shift()) {
+        let (mut a, mut na) = (a, na);
+        a.union_with(&b);
+        na.union_with(&nb);
+        assert_matches(&a, &na);
+    }
+
+    /// `or_with_shifted` equals shifting each element, dropping overflow,
+    /// across word-boundary shifts and trailing partial words.
+    #[test]
+    fn or_with_shifted_matches_naive((a, na, b, nb, shift) in arb_two_and_shift()) {
+        let (mut a, mut na) = (a, na);
+        a.or_with_shifted(&b, shift);
+        na.or_with_shifted(&nb, shift);
+        assert_matches(&a, &na);
+    }
+
+    /// Word-level subset test equals the element-wise one, including
+    /// between sets of different capacities.
+    #[test]
+    fn subset_matches_naive(
+        (a, na, ..) in arb_two_and_shift(),
+        (b, nb, ..) in arb_two_and_shift(),
+    ) {
+        prop_assert_eq!(a.is_subset_of(&b), na.is_subset_of(&nb));
+        prop_assert_eq!(b.is_subset_of(&a), nb.is_subset_of(&na));
+        // Reflexivity, always.
+        prop_assert!(a.is_subset_of(&a));
+    }
+
+    /// After a union, both operands are subsets of the result, and the
+    /// result only contains elements of the operands.
+    #[test]
+    fn union_is_least_upper_bound((a, _, b, _, _) in arb_two_and_shift()) {
+        let mut u = a.clone();
+        u.union_with(&b);
+        prop_assert!(a.is_subset_of(&u));
+        prop_assert!(b.is_subset_of(&u));
+        for i in u.iter() {
+            prop_assert!(a.contains(i) || b.contains(i));
+        }
+    }
+
+    /// `copy_from` makes the destination an exact copy while reusing its
+    /// allocation.
+    #[test]
+    fn copy_from_matches((a, _, b, nb, _) in arb_two_and_shift()) {
+        let mut a = a;
+        a.copy_from(&b);
+        assert_matches(&a, &nb);
+        prop_assert_eq!(&a, &b);
+    }
+
+    /// `intersects` is true iff some element is shared.
+    #[test]
+    fn intersects_matches_naive((a, na, b, nb, _) in arb_two_and_shift()) {
+        let shared = na.elems().iter().any(|&i| nb.bits[i]);
+        prop_assert_eq!(a.intersects(&b), shared);
+    }
+
+    /// Shifting never materializes bits past capacity: `len`, `iter`, and
+    /// the raw words stay consistent (trailing bits are masked).
+    #[test]
+    fn shifted_bits_past_capacity_are_dropped((a, _, b, _, shift) in arb_two_and_shift()) {
+        let mut a = a;
+        a.or_with_shifted(&b, shift);
+        prop_assert_eq!(a.iter().count(), a.len());
+        prop_assert!(a.iter().all(|i| i < a.capacity()));
+        let tail = a.capacity() % 64;
+        if tail != 0 {
+            let last = *a.words().last().unwrap();
+            prop_assert_eq!(last >> tail, 0, "bits past capacity in last word");
+        }
+    }
+}
+
+#[test]
+fn or_with_shifted_word_boundary_cases() {
+    // shift = 64 exactly: whole-word displacement, no bit spill.
+    let mut a = BitSet::with_capacity(192);
+    let mut b = BitSet::with_capacity(192);
+    b.insert(0);
+    b.insert(63);
+    b.insert(64);
+    a.or_with_shifted(&b, 64);
+    assert_eq!(a.iter().collect::<Vec<_>>(), vec![64, 127, 128]);
+
+    // shift = 63: every source word straddles two target words.
+    let mut a = BitSet::with_capacity(192);
+    a.or_with_shifted(&b, 63);
+    assert_eq!(a.iter().collect::<Vec<_>>(), vec![63, 126, 127]);
+
+    // shift = 1 across the top: bit 63 -> 64 crosses a word boundary.
+    let mut a = BitSet::with_capacity(66);
+    let mut b = BitSet::with_capacity(66);
+    b.insert(63);
+    a.or_with_shifted(&b, 1);
+    assert_eq!(a.iter().collect::<Vec<_>>(), vec![64]);
+}
+
+#[test]
+fn or_with_shifted_drops_trailing_bits() {
+    // Capacity 70: last word holds 6 addressable bits. Shift pushes
+    // elements past 70; none may appear.
+    let mut a = BitSet::with_capacity(70);
+    let mut b = BitSet::with_capacity(70);
+    b.insert(5);
+    b.insert(69);
+    a.or_with_shifted(&b, 64);
+    assert_eq!(a.iter().collect::<Vec<_>>(), vec![69]);
+    assert_eq!(a.len(), 1);
+    assert!(!a.contains(133));
+}
+
+#[test]
+fn subset_across_capacities() {
+    let mut small = BitSet::with_capacity(10);
+    small.insert(3);
+    let mut big = BitSet::with_capacity(1000);
+    big.insert(3);
+    big.insert(777);
+    assert!(small.is_subset_of(&big));
+    assert!(!big.is_subset_of(&small));
+    big.remove(777);
+    assert!(big.is_subset_of(&small));
+}

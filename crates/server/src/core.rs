@@ -12,8 +12,9 @@
 //! The core drains commands in batches (up to `batch_max` per queue lock
 //! acquisition) so queue traffic is amortized under load, and it answers
 //! each operation request through a one-shot [`Reply`] cell. After every
-//! state *change* (grant, abort, commit — not a mere block) it bumps the
-//! shared [`Progress`] epoch, which wakes blocked sessions to retry.
+//! batch with a state *change* (grant, abort, commit — not a mere block)
+//! it bumps the shared [`Progress`] epoch with the set of transactions
+//! that changed, waking only the sessions blocked on one of them.
 
 use crate::queue::{BoundedQueue, PopWait};
 use crate::supervisor::SessionTable;
@@ -22,7 +23,7 @@ use relser_core::shard::ArcExchange;
 use relser_protocols::{AbortReason, Decision, Scheduler};
 use relser_simdb::metrics::LatencyHistogram;
 use relser_wal::{Checkpoint, CheckpointEvent, CommitLog, FsyncPolicy, WalRecord, WalStats};
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -149,50 +150,240 @@ impl Default for Reply {
 /// A monotone epoch counter sessions wait on: the core bumps it after
 /// every scheduler state change, waking blocked sessions to retry their
 /// request (wait/wake bookkeeping without per-lock wait queues).
+///
+/// Two wait disciplines coexist:
+///
+/// * [`Progress::wait_past`] — the legacy broadcast discipline: any
+///   state change wakes every waiter. Retained for crash paths (where
+///   *everyone* must re-examine the world) and as the fallback when a
+///   waiter has no specific interest.
+/// * [`Progress::wait_on`] — the targeted discipline: a blocked session
+///   registers the waits-for set from its `Blocked { on }` decision, and
+///   [`Progress::bump_txns`] wakes it only when one of *those*
+///   transactions changes. A commit of an unrelated transaction no
+///   longer stampedes every parked session into re-submitting a request
+///   that will just block again.
 pub struct Progress {
-    epoch: Mutex<u64>,
+    inner: Mutex<ProgressInner>,
+    /// Broadcast condvar for `wait_past` waiters; targeted waiters sleep
+    /// on their own per-wait cell instead.
     cv: Condvar,
+}
+
+struct ProgressInner {
+    epoch: u64,
+    /// Epoch at which each transaction last changed (granted, committed,
+    /// aborted, rolled back). Lets `wait_on` return immediately when an
+    /// interesting change raced the waiter's registration. Pruned by
+    /// horizon so it tracks recent activity, not the whole history —
+    /// a pruned miss costs one retry slice, never a lost wakeup.
+    last_change: HashMap<TxnId, u64>,
+    /// Registered targeted waiters (slab: `free` holds the holes).
+    slots: Vec<Option<RegisteredWaiter>>,
+    free: Vec<usize>,
+    targeted_wakeups: u64,
+    suppressed_wakeups: u64,
+    broadcast_wakeups: u64,
+    immediate_returns: u64,
+}
+
+struct RegisteredWaiter {
+    interest: Vec<TxnId>,
+    cell: Arc<WaitCell>,
+}
+
+struct WaitCell {
+    signaled: Mutex<bool>,
+    cv: Condvar,
+}
+
+/// Wakeup-targeting counters (observability for the wakeup policy).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WakeStats {
+    /// Targeted waiters woken because a transaction they wait on changed.
+    pub targeted_wakeups: u64,
+    /// Targeted waiters left asleep through a bump that did not touch
+    /// their waits-for set — each one a spurious wakeup the old
+    /// broadcast discipline would have issued.
+    pub suppressed_wakeups: u64,
+    /// Waiters woken indiscriminately by [`Progress::bump`] (crash and
+    /// shutdown paths).
+    pub broadcast_wakeups: u64,
+    /// `wait_on` calls that returned without sleeping because an
+    /// interesting change raced the registration.
+    pub immediate_returns: u64,
 }
 
 impl Progress {
     /// Epoch 0.
     pub fn new() -> Self {
         Progress {
-            epoch: Mutex::new(0),
+            inner: Mutex::new(ProgressInner {
+                epoch: 0,
+                last_change: HashMap::new(),
+                slots: Vec::new(),
+                free: Vec::new(),
+                targeted_wakeups: 0,
+                suppressed_wakeups: 0,
+                broadcast_wakeups: 0,
+                immediate_returns: 0,
+            }),
             cv: Condvar::new(),
         }
     }
 
     /// The current epoch.
     pub fn current(&self) -> u64 {
-        *self.epoch.lock().expect("progress lock")
+        self.inner.lock().expect("progress lock").epoch
     }
 
-    /// Advances the epoch and wakes all waiters.
+    /// Wakeup-targeting counters observed so far.
+    pub fn wake_stats(&self) -> WakeStats {
+        let inner = self.inner.lock().expect("progress lock");
+        WakeStats {
+            targeted_wakeups: inner.targeted_wakeups,
+            suppressed_wakeups: inner.suppressed_wakeups,
+            broadcast_wakeups: inner.broadcast_wakeups,
+            immediate_returns: inner.immediate_returns,
+        }
+    }
+
+    /// Advances the epoch and wakes **all** waiters — targeted ones
+    /// included, interest ignored. The crash/shutdown path: the queue
+    /// just closed or a core died, and every parked session must come
+    /// back and observe that, whatever it was waiting on.
     pub fn bump(&self) {
-        let mut e = self.epoch.lock().expect("progress lock");
-        *e += 1;
-        drop(e);
+        let mut inner = self.inner.lock().expect("progress lock");
+        inner.epoch += 1;
+        let mut woken = 0u64;
+        for w in inner.slots.iter().flatten() {
+            *w.cell.signaled.lock().expect("wait cell lock") = true;
+            w.cell.cv.notify_one();
+            woken += 1;
+        }
+        inner.broadcast_wakeups += woken;
+        drop(inner);
+        self.cv.notify_all();
+    }
+
+    /// Advances the epoch recording *which* transactions changed, and
+    /// wakes only the targeted waiters whose waits-for set intersects
+    /// `changed` (plus any legacy `wait_past` waiters, which opted into
+    /// every change). `changed` may contain duplicates.
+    pub fn bump_txns(&self, changed: &[TxnId]) {
+        let mut inner = self.inner.lock().expect("progress lock");
+        inner.epoch += 1;
+        let epoch = inner.epoch;
+        for &t in changed {
+            inner.last_change.insert(t, epoch);
+        }
+        // Horizon prune: entries old enough that every races they could
+        // settle are long decided. A pruned entry can only cost a
+        // too-cautious sleep bounded by the retry slice.
+        if inner.last_change.len() > 8192 {
+            let cutoff = epoch.saturating_sub(1024);
+            inner.last_change.retain(|_, e| *e >= cutoff);
+        }
+        let (mut targeted, mut suppressed) = (0u64, 0u64);
+        for w in inner.slots.iter().flatten() {
+            if w.interest.iter().any(|t| changed.contains(t)) {
+                *w.cell.signaled.lock().expect("wait cell lock") = true;
+                w.cell.cv.notify_one();
+                targeted += 1;
+            } else {
+                suppressed += 1;
+            }
+        }
+        inner.targeted_wakeups += targeted;
+        inner.suppressed_wakeups += suppressed;
+        drop(inner);
         self.cv.notify_all();
     }
 
     /// Waits until the epoch exceeds `seen` or `timeout` elapses;
-    /// returns the epoch observed on exit.
+    /// returns the epoch observed on exit. Woken by **every** bump —
+    /// the broadcast discipline.
     pub fn wait_past(&self, seen: u64, timeout: Duration) -> u64 {
         let deadline = Instant::now() + timeout;
-        let mut e = self.epoch.lock().expect("progress lock");
-        while *e <= seen {
+        let mut inner = self.inner.lock().expect("progress lock");
+        while inner.epoch <= seen {
             let now = Instant::now();
             if now >= deadline {
                 break;
             }
             let (g, _) = self
                 .cv
-                .wait_timeout(e, deadline - now)
+                .wait_timeout(inner, deadline - now)
                 .expect("progress lock");
-            e = g;
+            inner = g;
         }
-        *e
+        inner.epoch
+    }
+
+    /// Waits until one of the transactions in `interest` changes (seen
+    /// from epoch `seen`), a crash-path [`Progress::bump`] fires, or
+    /// `timeout` elapses; returns the epoch observed on exit. With an
+    /// empty `interest` this degrades to [`Progress::wait_past`].
+    ///
+    /// The timeout doubles as the liveness backstop: even if a relevant
+    /// change is never recorded (pruned history, unforeseen wake gap),
+    /// the caller retries after one slice exactly as it always did.
+    pub fn wait_on(&self, seen: u64, interest: &[TxnId], timeout: Duration) -> u64 {
+        if interest.is_empty() {
+            return self.wait_past(seen, timeout);
+        }
+        let (cell, slot) = {
+            let mut inner = self.inner.lock().expect("progress lock");
+            // An interesting change may have raced between the caller's
+            // `current()` snapshot and this registration — don't sleep
+            // on news that already arrived.
+            if inner.epoch > seen
+                && interest
+                    .iter()
+                    .any(|t| inner.last_change.get(t).is_some_and(|&e| e > seen))
+            {
+                inner.immediate_returns += 1;
+                return inner.epoch;
+            }
+            let cell = Arc::new(WaitCell {
+                signaled: Mutex::new(false),
+                cv: Condvar::new(),
+            });
+            let waiter = RegisteredWaiter {
+                interest: interest.to_vec(),
+                cell: Arc::clone(&cell),
+            };
+            let slot = match inner.free.pop() {
+                Some(i) => {
+                    inner.slots[i] = Some(waiter);
+                    i
+                }
+                None => {
+                    inner.slots.push(Some(waiter));
+                    inner.slots.len() - 1
+                }
+            };
+            (cell, slot)
+        };
+        let deadline = Instant::now() + timeout;
+        {
+            let mut signaled = cell.signaled.lock().expect("wait cell lock");
+            while !*signaled {
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                let (g, _) = cell
+                    .cv
+                    .wait_timeout(signaled, deadline - now)
+                    .expect("wait cell lock");
+                signaled = g;
+            }
+        }
+        let mut inner = self.inner.lock().expect("progress lock");
+        inner.slots[slot] = None;
+        inner.free.push(slot);
+        inner.epoch
     }
 }
 
@@ -603,6 +794,9 @@ fn run_core_inner(
         out.committed
             .extend(s.ctx.recovered_committed.iter().copied());
     }
+    // Transactions whose state changed in the current batch — the wakeup
+    // target set handed to `Progress::bump_txns`. Reused across batches.
+    let mut changed: Vec<TxnId> = Vec::new();
     'serve: loop {
         let popped = match idle_tick {
             Some(tick) => queue.pop_batch_timeout(batch_max, &mut batch, tick),
@@ -635,7 +829,7 @@ fn run_core_inner(
         }
         out.batches += 1;
         out.max_batch = out.max_batch.max(batch.len());
-        let mut changed = false;
+        changed.clear();
         let mut pending = batch.drain(..);
         while let Some(cmd) = pending.next() {
             let halt: Halt = match apply_command(
@@ -736,8 +930,10 @@ fn run_core_inner(
         }
         // One bump per batch, not per command: waking blocked sessions is
         // only useful after the batch's state changes are all applied.
-        if changed {
-            progress.bump();
+        // The bump carries the batch's changed-transaction set so only
+        // sessions actually waiting on one of them are woken.
+        if !changed.is_empty() {
+            progress.bump_txns(&changed);
         }
     }
     if let Some(w) = wal {
@@ -776,7 +972,7 @@ fn apply_command(
     record_trace: bool,
     faults: &FaultPlan,
     wal: &mut Option<&mut (dyn CommitLog + '_)>,
-    changed: &mut bool,
+    changed: &mut Vec<TxnId>,
     track_live: bool,
     live_events: &mut Vec<CheckpointEvent>,
     shard: &mut Option<ShardState<'_>>,
@@ -869,7 +1065,7 @@ fn apply_command(
                 if track_live {
                     live_events.retain(|e| event_txn(e) != op.txn);
                 }
-                *changed = true;
+                changed.push(op.txn);
                 if record_trace {
                     out.trace.push(TraceEvent::Abort(op.txn));
                 }
@@ -907,7 +1103,10 @@ fn apply_command(
                     if track_live {
                         live_events.push(CheckpointEvent::Grant(op));
                     }
-                    *changed = true;
+                    // A grant is a state change other waiters may care
+                    // about (altruistic donation, unit exits): the
+                    // granted transaction's waits-for observers re-check.
+                    changed.push(op.txn);
                 }
                 Decision::Blocked { .. } => {
                     out.blocked += 1;
@@ -924,7 +1123,7 @@ fn apply_command(
                     if track_live {
                         live_events.retain(|e| event_txn(e) != op.txn);
                     }
-                    *changed = true;
+                    changed.push(op.txn);
                 }
             }
             if record_trace {
@@ -958,7 +1157,7 @@ fn apply_command(
             if track_live {
                 live_events.push(CheckpointEvent::Commit(txn));
             }
-            *changed = true;
+            changed.push(txn);
             if record_trace {
                 out.trace.push(TraceEvent::Commit(txn));
             }
@@ -1036,7 +1235,7 @@ fn apply_command(
             if track_live {
                 live_events.push(CheckpointEvent::Commit(txn));
             }
-            *changed = true;
+            changed.push(txn);
             // The trace records a plain `Commit`: replay applies it via
             // fire-and-forget `commit`, indistinguishable from
             // `Command::Commit` — the ack is a liveness detail, not a
@@ -1070,7 +1269,7 @@ fn apply_command(
                 live_events.retain(|e| event_txn(e) != txn);
             }
             out.timeout_aborts += 1;
-            *changed = true;
+            changed.push(txn);
             if record_trace {
                 out.trace.push(TraceEvent::Abort(txn));
             }
@@ -1143,7 +1342,7 @@ fn apply_command(
             if track_live {
                 live_events.push(CheckpointEvent::Commit(txn));
             }
-            *changed = true;
+            changed.push(txn);
             if record_trace {
                 out.trace.push(TraceEvent::Commit(txn));
             }
@@ -1174,7 +1373,7 @@ fn apply_command(
                 live_events.retain(|e| event_txn(e) != txn);
             }
             out.rollbacks += 1;
-            *changed = true;
+            changed.push(txn);
             if record_trace {
                 out.trace.push(TraceEvent::Abort(txn));
             }
@@ -1253,5 +1452,81 @@ mod tests {
         std::thread::sleep(Duration::from_millis(5));
         p.bump();
         assert_eq!(h.join().unwrap(), 1);
+    }
+
+    #[test]
+    fn targeted_wait_wakes_only_interested_waiters() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let p = std::sync::Arc::new(Progress::new());
+        let done_b = std::sync::Arc::new(AtomicBool::new(false));
+
+        let pa = std::sync::Arc::clone(&p);
+        let a = std::thread::spawn(move || pa.wait_on(0, &[TxnId(1)], Duration::from_secs(10)));
+        let (pb, db) = (std::sync::Arc::clone(&p), std::sync::Arc::clone(&done_b));
+        let b = std::thread::spawn(move || {
+            let e = pb.wait_on(0, &[TxnId(2)], Duration::from_secs(10));
+            db.store(true, Ordering::SeqCst);
+            e
+        });
+        // Let both waiters register before bumping.
+        std::thread::sleep(Duration::from_millis(20));
+
+        p.bump_txns(&[TxnId(1)]);
+        assert_eq!(a.join().unwrap(), 1, "interested waiter released");
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(
+            !done_b.load(Ordering::SeqCst),
+            "waiter on TxnId(2) stays asleep through an unrelated bump"
+        );
+        let s = p.wake_stats();
+        assert_eq!(s.targeted_wakeups, 1);
+        assert!(s.suppressed_wakeups >= 1, "B's skipped wake is counted");
+
+        p.bump_txns(&[TxnId(2)]);
+        assert_eq!(b.join().unwrap(), 2);
+        assert_eq!(p.wake_stats().targeted_wakeups, 2);
+    }
+
+    #[test]
+    fn targeted_wait_returns_immediately_on_raced_change() {
+        let p = Progress::new();
+        p.bump_txns(&[TxnId(7)]);
+        // The change landed after our (stale) snapshot of epoch 0: no sleep.
+        let t0 = Instant::now();
+        let e = p.wait_on(0, &[TxnId(7), TxnId(8)], Duration::from_secs(10));
+        assert_eq!(e, 1);
+        assert!(
+            t0.elapsed() < Duration::from_secs(1),
+            "returned without waiting"
+        );
+        assert_eq!(p.wake_stats().immediate_returns, 1);
+        // Seen from the *current* epoch the change is old news: time out.
+        let e = p.wait_on(1, &[TxnId(7)], Duration::from_millis(5));
+        assert_eq!(e, 1, "no new change: timeout returns the old epoch");
+    }
+
+    #[test]
+    fn crash_path_bump_wakes_targeted_waiters_regardless_of_interest() {
+        let p = std::sync::Arc::new(Progress::new());
+        let pw = std::sync::Arc::clone(&p);
+        let h = std::thread::spawn(move || pw.wait_on(0, &[TxnId(9)], Duration::from_secs(10)));
+        std::thread::sleep(Duration::from_millis(20));
+        p.bump();
+        assert_eq!(h.join().unwrap(), 1, "broadcast reaches targeted waiters");
+        assert_eq!(p.wake_stats().broadcast_wakeups, 1);
+    }
+
+    #[test]
+    fn empty_interest_degrades_to_broadcast_wait() {
+        let p = std::sync::Arc::new(Progress::new());
+        let pw = std::sync::Arc::clone(&p);
+        let h = std::thread::spawn(move || pw.wait_on(0, &[], Duration::from_secs(10)));
+        std::thread::sleep(Duration::from_millis(20));
+        p.bump_txns(&[TxnId(3)]);
+        assert_eq!(
+            h.join().unwrap(),
+            1,
+            "any change wakes an interest-free waiter"
+        );
     }
 }

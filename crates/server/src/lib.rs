@@ -64,6 +64,7 @@ pub mod core;
 pub mod metrics;
 pub mod queue;
 pub mod recovery;
+pub mod ring;
 pub mod server;
 pub mod session;
 pub mod shard;
@@ -71,10 +72,11 @@ pub mod supervisor;
 
 pub use baseline::{run_baseline, BaselineRun};
 pub use core::{
-    run_core_durable, run_core_sharded, FaultPlan, ReplyLost, ShardCoreCtx, TraceEvent,
+    run_core_durable, run_core_sharded, FaultPlan, Progress, ReplyLost, ShardCoreCtx, TraceEvent,
+    WakeStats,
 };
 pub use metrics::ServerMetrics;
-pub use queue::{BoundedQueue, PopWait, PushError, QueueStats};
+pub use queue::{BoundedQueue, PopWait, PushError, QueueBackend, QueueStats};
 pub use recovery::{
     recover, recover_segments, recover_segments_with_certifier, recover_sharded,
     recover_sharded_segments, recover_sharded_segments_with_certifier,

@@ -7,12 +7,38 @@
 //! overload path — the caller gets the item back and decides what to do).
 //! The single consumer drains up to a whole batch per lock acquisition
 //! ([`BoundedQueue::pop_batch`]), which amortizes lock and wake traffic
-//! on the hot path. Closing the queue wakes everyone: pending items are
-//! still delivered, further pushes fail with [`PushError::Closed`].
+//! on the hot path. A drain wakes blocked producers **proportionally to
+//! the capacity it freed** (`min(drained, blocked)` targeted wakes, not
+//! a broadcast): waking every producer for a one-item drain just stampedes
+//! them into a full queue, and the losers go straight back to sleep —
+//! wasted wakeups the queue counts and exposes via
+//! [`QueueStats::spurious_producer_wakeups`]. Closing the queue wakes
+//! everyone: pending items are still delivered, further pushes fail with
+//! [`PushError::Closed`].
 
+use crate::ring::RingQueue;
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
+
+/// Which implementation backs a [`BoundedQueue`].
+///
+/// Both backends share semantics (FIFO per producer, shed/backpressure
+/// split, proportional producer wakes, close/reopen, batch drains) and
+/// pass the same edge-case suite; they differ in *how* producers and
+/// the consumer coordinate.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum QueueBackend {
+    /// One mutex guards the buffer; producers and the consumer park on
+    /// condvars. Simple, fair, and the reference implementation.
+    #[default]
+    Condvar,
+    /// Disruptor-style ring (see [`crate::ring`]): producers claim slots
+    /// with a CAS and publish via per-slot sequence numbers; the
+    /// consumer drains without taking any shared lock. Opt-in via
+    /// [`crate::ServerConfig::queue_backend`].
+    Ring,
+}
 
 /// How a [`BoundedQueue::pop_batch_timeout`] wait ended.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -35,13 +61,20 @@ pub enum PushError<T> {
     Closed(T),
 }
 
-/// Depth statistics observed at push time.
+/// Depth statistics observed at push time, plus producer wake accounting.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct QueueStats {
     /// Largest depth ever observed (immediately after a push).
     pub max_depth: usize,
     /// Mean depth over all pushes.
     pub mean_depth: f64,
+    /// Times a backpressured producer was woken from its wait.
+    pub producer_wakeups: u64,
+    /// Wakeups after which the producer found the queue still full and
+    /// had to sleep again — the thundering-herd waste a broadcast wake
+    /// produces. With proportional wakes this stays near zero (bounded
+    /// by push races, not by the number of blocked producers).
+    pub spurious_producer_wakeups: u64,
 }
 
 struct State<T> {
@@ -50,21 +83,120 @@ struct State<T> {
     max_depth: usize,
     depth_sum: u64,
     pushes: u64,
+    /// Producers currently blocked in [`BoundedQueue::push_wait`].
+    blocked_producers: usize,
+    producer_wakeups: u64,
+    spurious_producer_wakeups: u64,
 }
 
-/// The bounded MPSC queue; see the module docs.
+/// The bounded MPSC queue; see the module docs. A thin facade over the
+/// selected [`QueueBackend`] so every call site — core, sessions,
+/// supervisor, shard router — is backend-agnostic.
 pub struct BoundedQueue<T> {
+    backend: Backend<T>,
+}
+
+enum Backend<T> {
+    Condvar(CondvarQueue<T>),
+    Ring(RingQueue<T>),
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue holding at most `capacity` items (`capacity` ≥ 1), on the
+    /// default mutex+condvar backend.
+    pub fn new(capacity: usize) -> Self {
+        Self::with_backend(capacity, QueueBackend::Condvar)
+    }
+
+    /// A queue holding at most `capacity` items on the given backend.
+    pub fn with_backend(capacity: usize, backend: QueueBackend) -> Self {
+        BoundedQueue {
+            backend: match backend {
+                QueueBackend::Condvar => Backend::Condvar(CondvarQueue::new(capacity)),
+                QueueBackend::Ring => Backend::Ring(RingQueue::new(capacity)),
+            },
+        }
+    }
+
+    /// Enqueues `item`, blocking while the queue is full (backpressure).
+    /// Fails only when the queue is closed.
+    pub fn push_wait(&self, item: T) -> Result<(), PushError<T>> {
+        match &self.backend {
+            Backend::Condvar(q) => q.push_wait(item),
+            Backend::Ring(q) => q.push_wait(item),
+        }
+    }
+
+    /// Enqueues `item` only if there is room right now (shed policy).
+    pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
+        match &self.backend {
+            Backend::Condvar(q) => q.try_push(item),
+            Backend::Ring(q) => q.try_push(item),
+        }
+    }
+
+    /// Blocks until at least one item is available (or the queue is closed
+    /// and drained), then moves up to `max` items into `out`. Returns
+    /// `false` when the queue is closed and empty — the consumer's
+    /// shutdown signal.
+    pub fn pop_batch(&self, max: usize, out: &mut Vec<T>) -> bool {
+        match &self.backend {
+            Backend::Condvar(q) => q.pop_batch(max, out),
+            Backend::Ring(q) => q.pop_batch(max, out),
+        }
+    }
+
+    /// [`BoundedQueue::pop_batch`] with a bounded wait: returns
+    /// [`PopWait::Idle`] if `timeout` elapses with nothing enqueued, so
+    /// the consumer can run periodic housekeeping (e.g. a deferred-fsync
+    /// tick) instead of blocking forever on an idle queue.
+    pub fn pop_batch_timeout(&self, max: usize, out: &mut Vec<T>, timeout: Duration) -> PopWait {
+        match &self.backend {
+            Backend::Condvar(q) => q.pop_batch_timeout(max, out, timeout),
+            Backend::Ring(q) => q.pop_batch_timeout(max, out, timeout),
+        }
+    }
+
+    /// Closes the queue: wakes all blocked producers and the consumer.
+    /// Items already enqueued are still delivered by `pop_batch`.
+    pub fn close(&self) {
+        match &self.backend {
+            Backend::Condvar(q) => q.close(),
+            Backend::Ring(q) => q.close(),
+        }
+    }
+
+    /// Reopens a closed queue for a new consumer incarnation (crash
+    /// recovery; see the condvar backend's docs).
+    pub fn reopen(&self) {
+        match &self.backend {
+            Backend::Condvar(q) => q.reopen(),
+            Backend::Ring(q) => q.reopen(),
+        }
+    }
+
+    /// Depth and wakeup statistics observed so far.
+    pub fn stats(&self) -> QueueStats {
+        match &self.backend {
+            Backend::Condvar(q) => q.stats(),
+            Backend::Ring(q) => q.stats(),
+        }
+    }
+}
+
+/// The mutex+condvar backend (the default); see the module docs.
+struct CondvarQueue<T> {
     capacity: usize,
     state: Mutex<State<T>>,
     not_empty: Condvar,
     not_full: Condvar,
 }
 
-impl<T> BoundedQueue<T> {
+impl<T> CondvarQueue<T> {
     /// A queue holding at most `capacity` items (`capacity` ≥ 1).
-    pub fn new(capacity: usize) -> Self {
+    fn new(capacity: usize) -> Self {
         assert!(capacity >= 1, "queue capacity must be at least 1");
-        BoundedQueue {
+        CondvarQueue {
             capacity,
             state: Mutex::new(State {
                 buf: VecDeque::with_capacity(capacity),
@@ -72,6 +204,9 @@ impl<T> BoundedQueue<T> {
                 max_depth: 0,
                 depth_sum: 0,
                 pushes: 0,
+                blocked_producers: 0,
+                producer_wakeups: 0,
+                spurious_producer_wakeups: 0,
             }),
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
@@ -87,8 +222,9 @@ impl<T> BoundedQueue<T> {
 
     /// Enqueues `item`, blocking while the queue is full (backpressure).
     /// Fails only when the queue is closed.
-    pub fn push_wait(&self, item: T) -> Result<(), PushError<T>> {
+    fn push_wait(&self, item: T) -> Result<(), PushError<T>> {
         let mut state = self.state.lock().expect("queue lock");
+        let mut woken = false;
         loop {
             if state.closed {
                 return Err(PushError::Closed(item));
@@ -100,12 +236,20 @@ impl<T> BoundedQueue<T> {
                 self.not_empty.notify_one();
                 return Ok(());
             }
+            if woken {
+                // Woken into a still-full queue: the wake was wasted.
+                state.spurious_producer_wakeups += 1;
+            }
+            state.blocked_producers += 1;
             state = self.not_full.wait(state).expect("queue lock");
+            state.blocked_producers -= 1;
+            state.producer_wakeups += 1;
+            woken = true;
         }
     }
 
     /// Enqueues `item` only if there is room right now (shed policy).
-    pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
+    fn try_push(&self, item: T) -> Result<(), PushError<T>> {
         let mut state = self.state.lock().expect("queue lock");
         if state.closed {
             return Err(PushError::Closed(item));
@@ -124,16 +268,20 @@ impl<T> BoundedQueue<T> {
     /// and drained), then moves up to `max` items into `out`. Returns
     /// `false` when the queue is closed and empty — the consumer's
     /// shutdown signal.
-    pub fn pop_batch(&self, max: usize, out: &mut Vec<T>) -> bool {
+    fn pop_batch(&self, max: usize, out: &mut Vec<T>) -> bool {
         debug_assert!(max >= 1);
         let mut state = self.state.lock().expect("queue lock");
         loop {
             if !state.buf.is_empty() {
                 let take = state.buf.len().min(max);
                 out.extend(state.buf.drain(..take));
+                let wake = take.min(state.blocked_producers);
                 drop(state);
-                // A whole batch may have left; wake every waiting producer.
-                self.not_full.notify_all();
+                // `take` slots opened up: wake exactly as many producers
+                // as can use them, not the whole herd.
+                for _ in 0..wake {
+                    self.not_full.notify_one();
+                }
                 return true;
             }
             if state.closed {
@@ -147,7 +295,7 @@ impl<T> BoundedQueue<T> {
     /// [`PopWait::Idle`] if `timeout` elapses with nothing enqueued, so
     /// the consumer can run periodic housekeeping (e.g. a deferred-fsync
     /// tick) instead of blocking forever on an idle queue.
-    pub fn pop_batch_timeout(&self, max: usize, out: &mut Vec<T>, timeout: Duration) -> PopWait {
+    fn pop_batch_timeout(&self, max: usize, out: &mut Vec<T>, timeout: Duration) -> PopWait {
         debug_assert!(max >= 1);
         let deadline = Instant::now() + timeout;
         let mut state = self.state.lock().expect("queue lock");
@@ -155,8 +303,11 @@ impl<T> BoundedQueue<T> {
             if !state.buf.is_empty() {
                 let take = state.buf.len().min(max);
                 out.extend(state.buf.drain(..take));
+                let wake = take.min(state.blocked_producers);
                 drop(state);
-                self.not_full.notify_all();
+                for _ in 0..wake {
+                    self.not_full.notify_one();
+                }
                 return PopWait::Batch;
             }
             if state.closed {
@@ -176,7 +327,7 @@ impl<T> BoundedQueue<T> {
 
     /// Closes the queue: wakes all blocked producers and the consumer.
     /// Items already enqueued are still delivered by `pop_batch`.
-    pub fn close(&self) {
+    fn close(&self) {
         let mut state = self.state.lock().expect("queue lock");
         state.closed = true;
         drop(state);
@@ -189,7 +340,7 @@ impl<T> BoundedQueue<T> {
     /// shard core recovers, drains what was in flight, and reopens once
     /// the recovered core is ready to consume again. Depth statistics
     /// carry across incarnations.
-    pub fn reopen(&self) {
+    fn reopen(&self) {
         let mut state = self.state.lock().expect("queue lock");
         state.closed = false;
         drop(state);
@@ -197,7 +348,7 @@ impl<T> BoundedQueue<T> {
     }
 
     /// Depth statistics observed so far.
-    pub fn stats(&self) -> QueueStats {
+    fn stats(&self) -> QueueStats {
         let state = self.state.lock().expect("queue lock");
         QueueStats {
             max_depth: state.max_depth,
@@ -206,6 +357,8 @@ impl<T> BoundedQueue<T> {
             } else {
                 state.depth_sum as f64 / state.pushes as f64
             },
+            producer_wakeups: state.producer_wakeups,
+            spurious_producer_wakeups: state.spurious_producer_wakeups,
         }
     }
 }

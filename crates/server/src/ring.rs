@@ -1,0 +1,501 @@
+//! A Disruptor-style bounded ring queue: the opt-in alternative backend
+//! for [`crate::BoundedQueue`] (selected via
+//! [`crate::server::ServerConfig::queue_backend`]).
+//!
+//! The condvar backend serializes *every* push and pop through one
+//! mutex; under load the consumer and all producers contend for it on
+//! each transfer. Here the coordination hot path is a pair of atomic
+//! sequence counters instead: producers **claim** a position with a CAS
+//! on `claim`, **publish** it by storing the slot's sequence number, and
+//! the single consumer walks `read` over published slots without
+//! touching any shared lock. Mutexes remain only at the edges — a
+//! per-slot cell for the payload and a doorbell for parking — and both
+//! are uncontended by construction (see below), so acquiring them is a
+//! single uncontended CAS.
+//!
+//! ## Protocol
+//!
+//! Physical size `N` is `capacity` rounded up to a power of two; slot
+//! `i` serves positions `i, i+N, i+2N, …` (Vyukov's bounded-queue slot
+//! recycling). Each slot carries a sequence number with three states for
+//! a position `p` mapping to it:
+//!
+//! * `seq == p` — free: the producer that claims `p` may write it.
+//! * `seq == p + 1` — published: the consumer at `p` may read it.
+//! * `seq == p + N` — consumed: free again, now for position `p + N`.
+//!
+//! A producer claims `p` by `compare_exchange` on `claim` (so exactly
+//! one producer owns each position), writes the payload into the slot's
+//! `Mutex<Option<T>>`, and publishes with `seq.store(p + 1)`. The
+//! consumer reads `seq == p + 1`, takes the payload, and retires the
+//! slot with `seq.store(p + N)`. The slot mutex is therefore touched by
+//! exactly one thread at a time — whoever the sequence number says owns
+//! the slot — which is what keeps the backend free of `unsafe` (the
+//! crate forbids it) without reintroducing a contended lock: the mutex
+//! is never waited on, it only hands the payload across the
+//! publish/consume edge. Payload visibility comes from the slot mutex's
+//! own acquire/release pairing; the sequence atomics carry only the
+//! protocol.
+//!
+//! ## Memory ordering
+//!
+//! * `claim` CAS: `SeqCst` on success — the claim is the serialization
+//!   point among producers.
+//! * publish `seq.store`/consume-side `seq.load`: `SeqCst` store,
+//!   `Acquire` load in the drain loop. The store must be `SeqCst`
+//!   because it participates in the Dekker pattern below.
+//! * Parking uses the classic two-flag (Dekker) handshake to avoid lost
+//!   wakeups without holding a lock on the hot path. Consumer:
+//!   `consumer_parked.store(true, SeqCst)` then re-check the head
+//!   slot's sequence (`SeqCst` load) before sleeping. Producer:
+//!   publish (`SeqCst` store) then `consumer_parked.load(SeqCst)`. In
+//!   the total order `SeqCst` imposes, either the producer sees the
+//!   parked flag (and rings the doorbell), or its publish precedes the
+//!   consumer's re-check (and the consumer doesn't sleep). The doorbell
+//!   mutex closes the remaining window between the consumer's re-check
+//!   and its actual `wait`: the producer takes the doorbell lock before
+//!   notifying, so the notify cannot land in that window.
+//! * Blocked producers re-check fullness *while holding* the doorbell
+//!   lock before sleeping, and the consumer advances `read` before
+//!   taking the doorbell lock to count waiters — so a producer either
+//!   observes the freed capacity on its re-check (mutex acquire orders
+//!   it after the consumer's release) or is registered and receives one
+//!   of the consumer's `min(freed, blocked)` targeted wakes.
+//!
+//! Semantics (FIFO per producer, shed/backpressure split, close/reopen,
+//! batch drains, depth and wakeup stats) match the condvar backend —
+//! the `queue_edges` suite runs against both.
+
+use crate::queue::{PopWait, PushError, QueueStats};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+struct Slot<T> {
+    seq: AtomicU64,
+    value: Mutex<Option<T>>,
+}
+
+struct Doorbell {
+    /// Producers currently parked waiting for capacity.
+    blocked_producers: usize,
+}
+
+/// The ring backend; see the module docs for the protocol.
+pub(crate) struct RingQueue<T> {
+    /// Logical capacity (what the caller asked for; ≤ physical size).
+    capacity: u64,
+    /// Physical size − 1 (physical size is a power of two).
+    mask: u64,
+    slots: Box<[Slot<T>]>,
+    /// Next position a producer will claim.
+    claim: AtomicU64,
+    /// Next position the consumer will read. Written only by the
+    /// consumer; producers read it for the capacity check.
+    read: AtomicU64,
+    closed: AtomicBool,
+    /// Dekker flag: the consumer is parked (or about to park) on
+    /// `not_empty`.
+    consumer_parked: AtomicBool,
+    doorbell: Mutex<Doorbell>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    // Stats mirror the condvar backend's `QueueStats`.
+    max_depth: AtomicU64,
+    depth_sum: AtomicU64,
+    pushes: AtomicU64,
+    producer_wakeups: AtomicU64,
+    spurious_producer_wakeups: AtomicU64,
+}
+
+impl<T> RingQueue<T> {
+    pub(crate) fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "queue capacity must be at least 1");
+        let physical = capacity.next_power_of_two() as u64;
+        let slots = (0..physical)
+            .map(|i| Slot {
+                seq: AtomicU64::new(i),
+                value: Mutex::new(None),
+            })
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        RingQueue {
+            capacity: capacity as u64,
+            mask: physical - 1,
+            slots,
+            claim: AtomicU64::new(0),
+            read: AtomicU64::new(0),
+            closed: AtomicBool::new(false),
+            consumer_parked: AtomicBool::new(false),
+            doorbell: Mutex::new(Doorbell {
+                blocked_producers: 0,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            max_depth: AtomicU64::new(0),
+            depth_sum: AtomicU64::new(0),
+            pushes: AtomicU64::new(0),
+            producer_wakeups: AtomicU64::new(0),
+            spurious_producer_wakeups: AtomicU64::new(0),
+        }
+    }
+
+    /// Claim a position, write the payload, publish, ring the consumer's
+    /// doorbell if it is parked. `Err` hands the item back (full/closed).
+    fn try_publish(&self, item: T) -> Result<(), PushError<T>> {
+        let mut pos = self.claim.load(Ordering::Relaxed);
+        loop {
+            if self.closed.load(Ordering::SeqCst) {
+                return Err(PushError::Closed(item));
+            }
+            // Logical capacity gate (the physical ring may be larger
+            // than the requested capacity). `read` only advances, so a
+            // stale load errs toward reporting Full — never overfills.
+            if pos.wrapping_sub(self.read.load(Ordering::Acquire)) >= self.capacity {
+                let reloaded = self.claim.load(Ordering::Relaxed);
+                if reloaded == pos {
+                    return Err(PushError::Full(item));
+                }
+                pos = reloaded;
+                continue;
+            }
+            let slot = &self.slots[(pos & self.mask) as usize];
+            let seq = slot.seq.load(Ordering::Acquire);
+            if seq == pos {
+                match self.claim.compare_exchange_weak(
+                    pos,
+                    pos + 1,
+                    Ordering::SeqCst,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        *slot.value.lock().expect("ring slot lock") = Some(item);
+                        // Publish participates in the Dekker handshake
+                        // with the parked-consumer re-check: SeqCst.
+                        slot.seq.store(pos + 1, Ordering::SeqCst);
+                        self.record_push(pos);
+                        if self.consumer_parked.load(Ordering::SeqCst) {
+                            // Lock-then-notify so the wake cannot land
+                            // between the consumer's re-check and its
+                            // wait (both happen under this lock).
+                            drop(self.doorbell.lock().expect("ring doorbell lock"));
+                            self.not_empty.notify_one();
+                        }
+                        return Ok(());
+                    }
+                    Err(actual) => {
+                        pos = actual;
+                        continue;
+                    }
+                }
+            } else if seq < pos {
+                // The slot still holds the previous lap's item: full.
+                return Err(PushError::Full(item));
+            } else {
+                // Another producer claimed `pos`; chase the counter.
+                pos = self.claim.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    fn record_push(&self, pos: u64) {
+        let depth = (pos + 1).saturating_sub(self.read.load(Ordering::Relaxed));
+        self.max_depth.fetch_max(depth, Ordering::Relaxed);
+        self.depth_sum.fetch_add(depth, Ordering::Relaxed);
+        self.pushes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn try_push(&self, item: T) -> Result<(), PushError<T>> {
+        self.try_publish(item)
+    }
+
+    pub(crate) fn push_wait(&self, item: T) -> Result<(), PushError<T>> {
+        let mut item = item;
+        let mut woken = false;
+        loop {
+            match self.try_publish(item) {
+                Ok(()) => return Ok(()),
+                Err(PushError::Closed(it)) => return Err(PushError::Closed(it)),
+                Err(PushError::Full(it)) => {
+                    item = it;
+                    if woken {
+                        // Woken into a still-full ring: wasted wake.
+                        self.spurious_producer_wakeups
+                            .fetch_add(1, Ordering::Relaxed);
+                    }
+                    let mut db = self.doorbell.lock().expect("ring doorbell lock");
+                    // Re-check under the lock: the consumer advances
+                    // `read` before it takes this lock to count
+                    // waiters, so either we see the freed capacity here
+                    // or our registration is visible to its count.
+                    let len = self
+                        .claim
+                        .load(Ordering::SeqCst)
+                        .wrapping_sub(self.read.load(Ordering::SeqCst));
+                    if len < self.capacity || self.closed.load(Ordering::SeqCst) {
+                        continue;
+                    }
+                    db.blocked_producers += 1;
+                    let mut db = self.not_full.wait(db).expect("ring doorbell lock");
+                    db.blocked_producers -= 1;
+                    drop(db);
+                    self.producer_wakeups.fetch_add(1, Ordering::Relaxed);
+                    woken = true;
+                }
+            }
+        }
+    }
+
+    /// Take up to `max` published items. Lock-free except the per-slot
+    /// payload mutexes, which are uncontended by the protocol.
+    fn drain_into(&self, max: usize, out: &mut Vec<T>) -> usize {
+        let mut pos = self.read.load(Ordering::Relaxed);
+        let mut taken = 0usize;
+        while taken < max {
+            let slot = &self.slots[(pos & self.mask) as usize];
+            if slot.seq.load(Ordering::Acquire) != pos + 1 {
+                break;
+            }
+            let item = slot
+                .value
+                .lock()
+                .expect("ring slot lock")
+                .take()
+                .expect("published slot holds a value");
+            out.push(item);
+            // Retire the slot for the next lap's producer.
+            slot.seq.store(pos + self.mask + 1, Ordering::Release);
+            pos += 1;
+            taken += 1;
+        }
+        if taken > 0 {
+            // Advance before touching the doorbell: see push_wait.
+            self.read.store(pos, Ordering::SeqCst);
+            let db = self.doorbell.lock().expect("ring doorbell lock");
+            let wake = taken.min(db.blocked_producers);
+            drop(db);
+            for _ in 0..wake {
+                self.not_full.notify_one();
+            }
+        }
+        taken
+    }
+
+    /// `seq == pos + 1` for the head position, i.e. `drain_into` would
+    /// make progress. The `SeqCst` load is the consumer's half of the
+    /// Dekker handshake (module docs).
+    fn head_published(&self) -> bool {
+        let pos = self.read.load(Ordering::Relaxed);
+        self.slots[(pos & self.mask) as usize]
+            .seq
+            .load(Ordering::SeqCst)
+            == pos + 1
+    }
+
+    pub(crate) fn pop_batch(&self, max: usize, out: &mut Vec<T>) -> bool {
+        debug_assert!(max >= 1);
+        match self.pop_loop(max, out, None) {
+            PopWait::Batch => true,
+            PopWait::Closed => false,
+            PopWait::Idle => unreachable!("no deadline given"),
+        }
+    }
+
+    pub(crate) fn pop_batch_timeout(
+        &self,
+        max: usize,
+        out: &mut Vec<T>,
+        timeout: Duration,
+    ) -> PopWait {
+        debug_assert!(max >= 1);
+        self.pop_loop(max, out, Some(Instant::now() + timeout))
+    }
+
+    fn pop_loop(&self, max: usize, out: &mut Vec<T>, deadline: Option<Instant>) -> PopWait {
+        loop {
+            if self.drain_into(max, out) > 0 {
+                return PopWait::Batch;
+            }
+            if self.closed.load(Ordering::SeqCst) {
+                // A publish may have raced the close; drain once more so
+                // close-time delivery matches the condvar backend.
+                if self.drain_into(max, out) > 0 {
+                    return PopWait::Batch;
+                }
+                return PopWait::Closed;
+            }
+            let db = self.doorbell.lock().expect("ring doorbell lock");
+            self.consumer_parked.store(true, Ordering::SeqCst);
+            if self.head_published() || self.closed.load(Ordering::SeqCst) {
+                self.consumer_parked.store(false, Ordering::SeqCst);
+                continue;
+            }
+            match deadline {
+                None => {
+                    let g = self.not_empty.wait(db).expect("ring doorbell lock");
+                    drop(g);
+                }
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        self.consumer_parked.store(false, Ordering::SeqCst);
+                        return PopWait::Idle;
+                    }
+                    let (g, _) = self
+                        .not_empty
+                        .wait_timeout(db, d - now)
+                        .expect("ring doorbell lock");
+                    drop(g);
+                }
+            }
+            self.consumer_parked.store(false, Ordering::SeqCst);
+        }
+    }
+
+    pub(crate) fn close(&self) {
+        self.closed.store(true, Ordering::SeqCst);
+        drop(self.doorbell.lock().expect("ring doorbell lock"));
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    pub(crate) fn reopen(&self) {
+        self.closed.store(false, Ordering::SeqCst);
+        drop(self.doorbell.lock().expect("ring doorbell lock"));
+        self.not_full.notify_all();
+    }
+
+    pub(crate) fn stats(&self) -> QueueStats {
+        let pushes = self.pushes.load(Ordering::Relaxed);
+        QueueStats {
+            max_depth: self.max_depth.load(Ordering::Relaxed) as usize,
+            mean_depth: if pushes == 0 {
+                0.0
+            } else {
+                self.depth_sum.load(Ordering::Relaxed) as f64 / pushes as f64
+            },
+            producer_wakeups: self.producer_wakeups.load(Ordering::Relaxed),
+            spurious_producer_wakeups: self.spurious_producer_wakeups.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_across_many_laps_recycles_slots() {
+        // Capacity 2 (physical 2): 1000 items cycle each slot 500 times.
+        let q: RingQueue<u32> = RingQueue::new(2);
+        let mut out = Vec::new();
+        for i in 0..1000u32 {
+            q.try_push(i).unwrap();
+            if i % 2 == 1 {
+                assert!(q.pop_batch(2, &mut out));
+            }
+        }
+        assert_eq!(out.len(), 1000);
+        assert!(out.windows(2).all(|w| w[0] < w[1]), "FIFO over every lap");
+    }
+
+    #[test]
+    fn logical_capacity_binds_below_physical_size() {
+        // Capacity 3 rounds up to a physical ring of 4; the fourth push
+        // must still shed.
+        let q: RingQueue<u32> = RingQueue::new(3);
+        q.try_push(0).unwrap();
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert!(matches!(q.try_push(3), Err(PushError::Full(3))));
+        let mut out = Vec::new();
+        assert!(q.pop_batch(8, &mut out));
+        assert_eq!(out, vec![0, 1, 2]);
+        q.try_push(3).unwrap();
+    }
+
+    #[test]
+    fn close_wakes_parked_consumer_and_rejects_pushes() {
+        let q: Arc<RingQueue<u32>> = Arc::new(RingQueue::new(4));
+        let qc = Arc::clone(&q);
+        let consumer = std::thread::spawn(move || {
+            let mut out = Vec::new();
+            qc.pop_batch(4, &mut out)
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        q.close();
+        assert!(!consumer.join().unwrap(), "closed and empty: shutdown");
+        assert!(matches!(q.try_push(9), Err(PushError::Closed(9))));
+    }
+
+    #[test]
+    fn reopen_revives_after_close() {
+        let q: RingQueue<u32> = RingQueue::new(2);
+        q.try_push(1).unwrap();
+        q.close();
+        let mut out = Vec::new();
+        assert!(q.pop_batch(2, &mut out), "backlog delivered after close");
+        assert_eq!(out, vec![1]);
+        out.clear();
+        assert!(!q.pop_batch(2, &mut out));
+        q.reopen();
+        q.push_wait(2).unwrap();
+        assert!(q.pop_batch(2, &mut out));
+        assert_eq!(out, vec![2]);
+    }
+
+    #[test]
+    fn pop_timeout_reports_idle_then_batch_then_closed() {
+        let q: RingQueue<u32> = RingQueue::new(2);
+        let mut out = Vec::new();
+        assert_eq!(
+            q.pop_batch_timeout(2, &mut out, Duration::from_millis(1)),
+            PopWait::Idle
+        );
+        q.try_push(5).unwrap();
+        assert_eq!(
+            q.pop_batch_timeout(2, &mut out, Duration::from_millis(1)),
+            PopWait::Batch
+        );
+        assert_eq!(out, vec![5]);
+        out.clear();
+        q.close();
+        assert_eq!(
+            q.pop_batch_timeout(2, &mut out, Duration::from_millis(1)),
+            PopWait::Closed
+        );
+    }
+
+    #[test]
+    fn contended_producers_deliver_everything_exactly_once() {
+        let q: Arc<RingQueue<u64>> = Arc::new(RingQueue::new(3));
+        let mut producers = Vec::new();
+        for p in 0..4u64 {
+            let q = Arc::clone(&q);
+            producers.push(std::thread::spawn(move || {
+                for i in 0..500u64 {
+                    q.push_wait(p * 1000 + i).unwrap();
+                }
+            }));
+        }
+        let qc = Arc::clone(&q);
+        let consumer = std::thread::spawn(move || {
+            let mut got = Vec::new();
+            let mut batch = Vec::new();
+            while qc.pop_batch(8, &mut batch) {
+                got.append(&mut batch);
+            }
+            got
+        });
+        for p in producers {
+            p.join().unwrap();
+        }
+        q.close();
+        let mut got = consumer.join().unwrap();
+        got.sort_unstable();
+        assert_eq!(got.len(), 2000);
+        got.dedup();
+        assert_eq!(got.len(), 2000, "no duplicates");
+    }
+}

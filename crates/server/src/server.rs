@@ -4,7 +4,7 @@
 
 use crate::core::{run_core_durable, Command, CoreOutput, FaultPlan, Progress, TraceEvent};
 use crate::metrics::ServerMetrics;
-use crate::queue::BoundedQueue;
+use crate::queue::{BoundedQueue, QueueBackend};
 use crate::session::{run_txn, OverloadPolicy, SessionCtx, SessionError, SessionStats};
 use relser_core::ids::{OpId, TxnId};
 use relser_core::schedule::Schedule;
@@ -55,6 +55,9 @@ pub struct ServerConfig {
     pub record_trace: bool,
     /// Seed for the arrival order (see [`RequestStream::shuffled`]).
     pub seed: u64,
+    /// Which [`BoundedQueue`] implementation carries commands between
+    /// sessions and the admission core (see [`QueueBackend`]).
+    pub queue_backend: QueueBackend,
 }
 
 impl Default for ServerConfig {
@@ -74,6 +77,7 @@ impl Default for ServerConfig {
             max_attempts: 10_000,
             record_trace: false,
             seed: 0,
+            queue_backend: QueueBackend::Condvar,
         }
     }
 }
@@ -257,7 +261,8 @@ fn serve_with(
     wal: Option<&mut dyn CommitLog>,
 ) -> ServeReport {
     assert!(cfg.workers >= 1, "need at least one worker");
-    let queue: BoundedQueue<Command> = BoundedQueue::new(cfg.queue_capacity);
+    let queue: BoundedQueue<Command> =
+        BoundedQueue::with_backend(cfg.queue_capacity, cfg.queue_backend);
     let progress = Progress::new();
     let sheds = AtomicU64::new(0);
     let t0 = Instant::now();

@@ -277,9 +277,10 @@ pub fn run_txn(
                             stats.timeout_aborts += 1;
                             continue 'incarnation;
                         }
-                        // Sleep until the core makes progress (or a slice
-                        // elapses), then re-submit the same operation.
-                        ctx.progress.wait_past(seen, ctx.retry_slice);
+                        // Sleep until a transaction we wait on changes
+                        // (or a slice elapses), then re-submit the same
+                        // operation. Unrelated commits no longer wake us.
+                        ctx.progress.wait_on(seen, &waited_on, ctx.retry_slice);
                     }
                 }
             }

@@ -244,7 +244,7 @@ pub fn serve_sharded_report<'a>(
     );
     let map = ShardMap::new(shards as u32);
     let queues: Vec<BoundedQueue<Command>> = (0..shards)
-        .map(|_| BoundedQueue::new(cfg.queue_capacity))
+        .map(|_| BoundedQueue::with_backend(cfg.queue_capacity, cfg.queue_backend))
         .collect();
     let progresses: Vec<Progress> = (0..shards).map(|_| Progress::new()).collect();
     let epochs: Vec<AtomicU64> = (0..shards).map(|_| AtomicU64::new(0)).collect();
@@ -779,7 +779,9 @@ fn run_ops(
                         ctx.rollback_lifo(txn, &others);
                         return Ok(OpsOutcome::TimedOut);
                     }
-                    progress.wait_past(seen, ctx.cfg.retry_slice);
+                    // Targeted wait: only changes to the transactions in
+                    // this shard's waits-for answer wake us.
+                    progress.wait_on(seen, &waited_on, ctx.cfg.retry_slice);
                 }
             }
         }
